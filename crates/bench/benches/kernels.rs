@@ -1,0 +1,76 @@
+//! Criterion benchmarks of the computational kernels of the modelling flow:
+//! admittance moments, rational fit, charge-matching Ceff evaluation and the
+//! full Ceff iteration. These are the operations a static timing analyzer
+//! would execute per net, so their cost is the paper's "computationally
+//! efficient" claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_ceff::charge::{ceff_first_ramp, ceff_second_ramp};
+use rlc_ceff::iteration::{iterate_ceff1, IterationSettings};
+use rlc_charlib::{DriverCell, TimingTable};
+use rlc_interconnect::RlcLine;
+use rlc_moments::{distributed_admittance_moments, ladder_admittance_moments, RationalAdmittance};
+use rlc_numeric::units::{ff, mm, nh, pf, ps};
+use rlc_spice::testbench::InverterSpec;
+use std::hint::black_box;
+
+fn synthetic_cell() -> DriverCell {
+    let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+    let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+    let transition: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| loads.iter().map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0)).collect())
+        .collect();
+    let delay: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| loads.iter().map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0)).collect())
+        .collect();
+    DriverCell::from_parts(
+        InverterSpec::sized_018(75.0),
+        TimingTable::new(slews, loads, delay, transition),
+        70.0,
+    )
+}
+
+fn paper_line() -> RlcLine {
+    RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let line = paper_line();
+    c.bench_function("moments/distributed_5", |b| {
+        b.iter(|| distributed_admittance_moments(black_box(&line), ff(10.0), 5))
+    });
+    c.bench_function("moments/ladder_50seg_5", |b| {
+        b.iter(|| ladder_admittance_moments(black_box(&line), ff(10.0), 50, 5))
+    });
+}
+
+fn bench_fit_and_ceff(c: &mut Criterion) {
+    let line = paper_line();
+    let m = distributed_admittance_moments(&line, ff(10.0), 5);
+    c.bench_function("fit/rational_from_moments", |b| {
+        b.iter(|| RationalAdmittance::from_moments(black_box(&m)).unwrap())
+    });
+    let fit = RationalAdmittance::from_moments(&m).unwrap();
+    c.bench_function("ceff/first_ramp_eval", |b| {
+        b.iter(|| ceff_first_ramp(black_box(&fit), ps(60.0), 0.48))
+    });
+    c.bench_function("ceff/second_ramp_eval", |b| {
+        b.iter(|| ceff_second_ramp(black_box(&fit), ps(60.0), ps(200.0), 0.48))
+    });
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let line = paper_line();
+    let m = distributed_admittance_moments(&line, ff(10.0), 5);
+    let fit = RationalAdmittance::from_moments(&m).unwrap();
+    let cell = synthetic_cell();
+    let settings = IterationSettings::default();
+    c.bench_function("ceff/full_ceff1_iteration", |b| {
+        b.iter(|| iterate_ceff1(black_box(&cell), black_box(&fit), ps(100.0), 0.48, &settings).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_moments, bench_fit_and_ceff, bench_iteration);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! The headline cost comparison: the complete two-ramp modelling flow
+//! (admittance fit + breakpoint + both Ceff iterations) versus a golden
+//! transient simulation of the same case. The paper's motivation for the
+//! effective-capacitance approach is exactly this gap.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_ceff::flow::{AnalysisCase, DriverOutputModeler, ModelingConfig};
+use rlc_ceff::validation::{GoldenOptions, GoldenWaveforms};
+use rlc_charlib::{DriverCell, TimingTable};
+use rlc_interconnect::RlcLine;
+use rlc_numeric::units::{ff, mm, nh, pf, ps};
+use rlc_spice::testbench::InverterSpec;
+use std::hint::black_box;
+
+fn synthetic_cell() -> DriverCell {
+    let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+    let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+    let transition: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| loads.iter().map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0)).collect())
+        .collect();
+    let delay: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| loads.iter().map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0)).collect())
+        .collect();
+    DriverCell::from_parts(
+        InverterSpec::sized_018(75.0),
+        TimingTable::new(slews, loads, delay, transition),
+        70.0,
+    )
+}
+
+fn bench_model_vs_spice(c: &mut Criterion) {
+    let cell = synthetic_cell();
+    let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+    let config = ModelingConfig {
+        extract_rs_per_case: false,
+        ..ModelingConfig::default()
+    };
+    let modeler = DriverOutputModeler::new(config);
+
+    c.bench_function("flow/two_ramp_model", |b| {
+        b.iter(|| {
+            let case = AnalysisCase::new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0));
+            modeler.model(&case).unwrap()
+        })
+    });
+
+    let mut group = c.benchmark_group("golden_simulation");
+    group.sample_size(10);
+    for (label, segments, step) in [("24seg_1ps", 24usize, ps(1.0)), ("40seg_0p5ps", 40usize, ps(0.5))] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let case =
+                    AnalysisCase::new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0));
+                let opts = GoldenOptions {
+                    segments,
+                    time_step: step,
+                    max_stop_time: 2.0e-9,
+                };
+                GoldenWaveforms::simulate(&case, &opts).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_vs_spice);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Runs every experiment (Figures 1, 3–7 and Table 1) in one pass, sharing
+//! the characterized library, and writes all outputs under
+//! `target/experiments/`.
+//!
+//! Usage: `all_experiments [--quick]` — `--quick` caps the Figure 7 sweep at
+//! 40 inductive cases.
+
+use rlc_bench::output::write_csv;
+use rlc_bench::*;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let paths = OutputPaths::default_dir();
+    let mut ctx = ExperimentContext::new();
+
+    println!("[1/7] figure 1: driver output waveform with reflections");
+    let fig1 = run_fig1(&mut ctx).expect("figure 1 failed");
+    export_series(&paths, "fig1", &fig1);
+
+    println!("[2/7] figure 3: single-Ceff approximations");
+    let fig3 = run_fig3(&mut ctx).expect("figure 3 failed");
+    export_series(&paths, "fig3", &fig3.series);
+
+    println!("[3/7] figure 4: two-ramp construction");
+    let fig4 = run_fig4(&mut ctx).expect("figure 4 failed");
+    export_series(&paths, "fig4", &fig4.series);
+
+    println!("[4/7] figure 5: two-ramp model vs. simulation");
+    let fig5 = run_fig5(&mut ctx).expect("figure 5 failed");
+    for (k, cmp) in fig5.iter().enumerate() {
+        export_series(&paths, &format!("fig5_case{}", k + 1), &cmp.series);
+        println!(
+            "    {}: delay err {:+.1}%, slew err {:+.1}%",
+            cmp.label,
+            cmp.comparison.delay_error * 100.0,
+            cmp.comparison.slew_error * 100.0
+        );
+    }
+
+    println!("[5/7] figure 6: one-ramp case and far-end validation");
+    let fig6 = run_fig6(&mut ctx).expect("figure 6 failed");
+    export_series(&paths, "fig6_left", &fig6.single_ramp_case.series);
+    export_series(&paths, "fig6_right", &fig6.near_far_series);
+    println!(
+        "    single-ramp selected for the 25X case: {}",
+        fig6.single_ramp_selected
+    );
+
+    println!("[6/7] table 1: 15 published inductive cases");
+    let table1 = run_table1(&mut ctx, SimFidelity::Reference, threads).expect("table 1 failed");
+    let rows: Vec<Vec<f64>> = table1
+        .iter()
+        .map(|r| {
+            vec![
+                r.published.parasitics.length_mm,
+                r.published.parasitics.width_um,
+                r.two_ramp_delay_error,
+                r.one_ramp_delay_error,
+                r.two_ramp_slew_error,
+                r.one_ramp_slew_error,
+            ]
+        })
+        .collect();
+    write_csv(
+        &paths.file("table1_errors.csv"),
+        &[
+            "length_mm",
+            "width_um",
+            "two_ramp_delay_error",
+            "one_ramp_delay_error",
+            "two_ramp_slew_error",
+            "one_ramp_slew_error",
+        ],
+        &rows,
+    );
+
+    println!("[7/7] figure 7: accuracy sweep over inductive cases");
+    let fig7 = run_fig7(
+        &mut ctx,
+        SimFidelity::Sweep,
+        threads,
+        if quick { Some(40) } else { None },
+    )
+    .expect("figure 7 failed");
+    println!(
+        "    {} inductive cases: avg delay err {:.1}%, avg slew err {:.1}%",
+        fig7.cases.len(),
+        fig7.delay_stats.mean_abs * 100.0,
+        fig7.slew_stats.mean_abs * 100.0
+    );
+    let scatter: Vec<Vec<f64>> = fig7
+        .cases
+        .iter()
+        .map(|c| vec![c.sim_delay, c.model_delay, c.sim_slew, c.model_slew])
+        .collect();
+    write_csv(
+        &paths.file("fig7_scatter_summary.csv"),
+        &["sim_delay_s", "model_delay_s", "sim_slew_s", "model_slew_s"],
+        &scatter,
+    );
+
+    println!("all outputs written under target/experiments/");
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 1: the driver output waveform of a 5 mm, 1.6 µm RLC
+//! line (R = 72.44 Ω, L = 5.14 nH, C = 1.10 pF) driven by a 75X inverter,
+//! showing the transmission-line steps and plateaus.
+
+use rlc_bench::{export_series, run_fig1, ExperimentContext, OutputPaths};
+
+fn main() {
+    println!("== Figure 1: driver output waveform of a 5 mm / 1.6 um line, 75X driver ==");
+    let mut ctx = ExperimentContext::new();
+    let series = run_fig1(&mut ctx).expect("figure 1 simulation failed");
+    let paths = OutputPaths::default_dir();
+    export_series(&paths, "fig1", &series);
+
+    let near = series
+        .iter()
+        .find(|s| s.label == "driver_output")
+        .expect("driver output series present");
+    // Report the step/plateau structure: time to reach 40 % vs. 90 % of VDD.
+    let vdd = 1.8;
+    let wave = rlc_spice::Waveform::new(near.times.clone(), near.values.clone());
+    let t40 = wave.crossing_fraction(0.4, vdd, true).unwrap_or(f64::NAN);
+    let t90 = wave.crossing_fraction(0.9, vdd, true).unwrap_or(f64::NAN);
+    println!("time to 40% of VDD : {:7.1} ps (initial step)", t40 * 1e12);
+    println!("time to 90% of VDD : {:7.1} ps (after reflection)", t90 * 1e12);
+    println!(
+        "plateau between them: {:7.1} ps (round-trip time of flight is ~150 ps)",
+        (t90 - t40) * 1e12
+    );
+    println!("waveform CSVs written to target/experiments/fig1_*.csv");
+}

@@ -1,0 +1,33 @@
+//! Regenerates Figure 3: single effective-capacitance approximations
+//! (charge equated to the 100 % point and to the 50 % point) against the
+//! actual driver output for the 7 mm / 1.6 µm line driven by a 75X inverter.
+
+use rlc_bench::{export_series, run_fig3, ExperimentContext, OutputPaths};
+
+fn main() {
+    println!("== Figure 3: single-Ceff approximations of an inductive driver output ==");
+    let mut ctx = ExperimentContext::new();
+    let result = run_fig3(&mut ctx).expect("figure 3 experiment failed");
+    let paths = OutputPaths::default_dir();
+    export_series(&paths, "fig3", &result.series);
+
+    println!(
+        "total load capacitance          : {:7.1} fF",
+        result.total_capacitance * 1e15
+    );
+    println!(
+        "Ceff (charge to 100% of ramp)   : {:7.1} fF",
+        result.ceff_full * 1e15
+    );
+    println!(
+        "Ceff (charge to 50% of ramp)    : {:7.1} fF",
+        result.ceff_to_50 * 1e15
+    );
+    println!(
+        "shielding: Ceff(50%)/Ctotal = {:.2}, Ceff(100%)/Ctotal = {:.2}",
+        result.ceff_to_50 / result.total_capacitance,
+        result.ceff_full / result.total_capacitance
+    );
+    println!("Neither single ramp reproduces both the initial step and the slow tail;");
+    println!("see fig3_*.csv under target/experiments/ for the three waveforms.");
+}

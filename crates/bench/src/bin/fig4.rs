@@ -1,0 +1,20 @@
+//! Regenerates Figure 4: the construction of the two-ramp model — the first
+//! ramp from `Ceff1`, the second ramp from `Ceff2`, and the plateau-shifted
+//! second ramp (Equation 8).
+
+use rlc_bench::{export_series, run_fig4, ExperimentContext, OutputPaths};
+
+fn main() {
+    println!("== Figure 4: construction of the two-ramp driver output model ==");
+    let mut ctx = ExperimentContext::new();
+    let result = run_fig4(&mut ctx).expect("figure 4 experiment failed");
+    let paths = OutputPaths::default_dir();
+    export_series(&paths, "fig4", &result.series);
+
+    println!("voltage breakpoint f            : {:7.3}", result.breakpoint);
+    println!("Tr1 (ramp 1, from Ceff1)        : {:7.1} ps", result.tr1 * 1e12);
+    println!("Tr2 (ramp 2, from Ceff2)        : {:7.1} ps", result.tr2 * 1e12);
+    println!("plateau duration 2tf - Tr1      : {:7.1} ps", result.plateau * 1e12);
+    println!("Tr2_new (plateau corrected)     : {:7.1} ps", result.tr2_new * 1e12);
+    println!("waveform CSVs written to target/experiments/fig4_*.csv");
+}

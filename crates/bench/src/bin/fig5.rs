@@ -1,0 +1,46 @@
+//! Regenerates Figure 5: two-ramp driver output model vs. the golden
+//! simulation for the 3 mm / 1.2 µm (75X, 75 ps) and 5 mm / 1.6 µm
+//! (100X, 100 ps) cases.
+
+use rlc_bench::output::format_table;
+use rlc_bench::{export_series, run_fig5, ExperimentContext, OutputPaths};
+
+fn main() {
+    println!("== Figure 5: two-ramp model vs. simulation (driver output) ==");
+    let mut ctx = ExperimentContext::new();
+    let comparisons = run_fig5(&mut ctx).expect("figure 5 experiment failed");
+    let paths = OutputPaths::default_dir();
+
+    let mut rows = Vec::new();
+    for (k, cmp) in comparisons.iter().enumerate() {
+        export_series(&paths, &format!("fig5_case{}", k + 1), &cmp.series);
+        let c = &cmp.comparison;
+        rows.push(vec![
+            cmp.label.clone(),
+            format!("{:.1}", c.sim_delay * 1e12),
+            format!("{:.1}", c.model_delay * 1e12),
+            format!("{:+.1}%", c.delay_error * 100.0),
+            format!("{:.1}", c.sim_slew * 1e12),
+            format!("{:.1}", c.model_slew * 1e12),
+            format!("{:+.1}%", c.slew_error * 100.0),
+            if c.used_two_ramp { "2-ramp" } else { "1-ramp" }.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "case",
+                "sim delay(ps)",
+                "model delay(ps)",
+                "delay err",
+                "sim slew(ps)",
+                "model slew(ps)",
+                "slew err",
+                "model",
+            ],
+            &rows
+        )
+    );
+    println!("waveform CSVs written to target/experiments/fig5_case*_*.csv");
+}

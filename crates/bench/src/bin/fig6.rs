@@ -1,0 +1,49 @@
+//! Regenerates Figure 6: (left) the one-ramp model when inductance is not
+//! significant (4 mm / 1.6 µm, 25X driver); (right) near- and far-end
+//! responses of the modelled waveform vs. simulation (4 mm / 0.8 µm, 75X).
+
+use rlc_bench::{export_series, run_fig6, ExperimentContext, OutputPaths};
+
+fn main() {
+    println!("== Figure 6: one-ramp case and near/far-end validation ==");
+    let mut ctx = ExperimentContext::new();
+    let result = run_fig6(&mut ctx).expect("figure 6 experiment failed");
+    let paths = OutputPaths::default_dir();
+    export_series(&paths, "fig6_left", &result.single_ramp_case.series);
+    export_series(&paths, "fig6_right", &result.near_far_series);
+
+    let left = &result.single_ramp_case.comparison;
+    println!("-- left panel: 4 mm / 1.6 um line, 25X driver, 100 ps input slew --");
+    println!(
+        "screening selected the {} model (paper: single ramp is sufficient)",
+        if result.single_ramp_selected { "single-ramp" } else { "two-ramp" }
+    );
+    println!(
+        "driver-output delay : sim {:6.1} ps, model {:6.1} ps ({:+.1}%)",
+        left.sim_delay * 1e12,
+        left.model_delay * 1e12,
+        left.delay_error * 100.0
+    );
+    println!(
+        "driver-output slew  : sim {:6.1} ps, model {:6.1} ps ({:+.1}%)",
+        left.sim_slew * 1e12,
+        left.model_slew * 1e12,
+        left.slew_error * 100.0
+    );
+
+    let far = &result.far_end;
+    println!("-- right panel: 4 mm / 0.8 um line, 75X driver, 50 ps input slew --");
+    println!(
+        "far-end delay : sim {:6.1} ps, model-driven {:6.1} ps ({:+.1}%)",
+        far.sim_delay * 1e12,
+        far.model_delay * 1e12,
+        far.delay_error * 100.0
+    );
+    println!(
+        "far-end slew  : sim {:6.1} ps, model-driven {:6.1} ps ({:+.1}%)",
+        far.sim_slew * 1e12,
+        far.model_slew * 1e12,
+        far.slew_error * 100.0
+    );
+    println!("waveform CSVs written to target/experiments/fig6_*_*.csv");
+}

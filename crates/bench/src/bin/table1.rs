@@ -1,0 +1,110 @@
+//! Regenerates Table 1: the 15 published inductive cases, comparing the
+//! golden simulation, the two-ramp model and the one-ramp baseline for delay
+//! and slew at the driver output.
+
+use rlc_bench::output::{format_table, write_csv};
+use rlc_bench::{run_table1, ExperimentContext, OutputPaths, SimFidelity};
+use rlc_numeric::stats::ErrorSummary;
+
+fn main() {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    println!("== Table 1: simulation vs. two-ramp vs. one-ramp (driver output) ==");
+    let mut ctx = ExperimentContext::new();
+    let rows = run_table1(&mut ctx, SimFidelity::Reference, threads).expect("table 1 run failed");
+
+    let mut table = Vec::new();
+    let mut csv = Vec::new();
+    for r in &rows {
+        let p = &r.published;
+        table.push(vec![
+            format!("{}/{}", p.parasitics.length_mm, p.parasitics.width_um),
+            format!("{:.0}x/{:.0}ps", p.driver_size, p.input_slew_ps),
+            format!("{:.1}", r.sim_delay * 1e12),
+            format!("{:.1} ({:+.1}%)", r.two_ramp_delay * 1e12, r.two_ramp_delay_error * 100.0),
+            format!("{:.1} ({:+.1}%)", r.one_ramp_delay * 1e12, r.one_ramp_delay_error * 100.0),
+            format!("{:.1}", r.sim_slew * 1e12),
+            format!("{:.1} ({:+.1}%)", r.two_ramp_slew * 1e12, r.two_ramp_slew_error * 100.0),
+            format!("{:.1} ({:+.1}%)", r.one_ramp_slew * 1e12, r.one_ramp_slew_error * 100.0),
+        ]);
+        csv.push(vec![
+            p.parasitics.length_mm,
+            p.parasitics.width_um,
+            p.driver_size,
+            p.input_slew_ps,
+            r.sim_delay,
+            r.two_ramp_delay,
+            r.one_ramp_delay,
+            r.sim_slew,
+            r.two_ramp_slew,
+            r.one_ramp_slew,
+            p.hspice_delay_ps * 1e-12,
+            p.two_ramp_delay_ps * 1e-12,
+            p.one_ramp_delay_ps * 1e-12,
+            p.hspice_slew_ps * 1e-12,
+            p.two_ramp_slew_ps * 1e-12,
+            p.one_ramp_slew_ps * 1e-12,
+        ]);
+    }
+    println!(
+        "{}",
+        format_table(
+            &[
+                "len/wid",
+                "drv/slew",
+                "sim delay",
+                "2-ramp delay",
+                "1-ramp delay",
+                "sim slew",
+                "2-ramp slew",
+                "1-ramp slew",
+            ],
+            &table
+        )
+    );
+
+    let two_delay: Vec<f64> = rows.iter().map(|r| r.two_ramp_delay_error).collect();
+    let one_delay: Vec<f64> = rows.iter().map(|r| r.one_ramp_delay_error).collect();
+    let two_slew: Vec<f64> = rows.iter().map(|r| r.two_ramp_slew_error).collect();
+    let one_slew: Vec<f64> = rows.iter().map(|r| r.one_ramp_slew_error).collect();
+    let summary = |label: &str, e: &[f64]| {
+        let s = ErrorSummary::from_errors(e).unwrap();
+        println!(
+            "{label:<22} avg |err| = {:5.1}%  max |err| = {:5.1}%",
+            s.mean_abs * 100.0,
+            s.max_abs * 100.0
+        );
+    };
+    summary("two-ramp delay error", &two_delay);
+    summary("one-ramp delay error", &one_delay);
+    summary("two-ramp slew error", &two_slew);
+    summary("one-ramp slew error", &one_slew);
+    println!("(paper: two-ramp delay within ~8%, one-ramp delay off by 27-130%;");
+    println!(" two-ramp slew within ~15%, one-ramp slew 17-73% low)");
+
+    let paths = OutputPaths::default_dir();
+    write_csv(
+        &paths.file("table1.csv"),
+        &[
+            "length_mm",
+            "width_um",
+            "driver_size",
+            "input_slew_ps",
+            "sim_delay_s",
+            "two_ramp_delay_s",
+            "one_ramp_delay_s",
+            "sim_slew_s",
+            "two_ramp_slew_s",
+            "one_ramp_slew_s",
+            "paper_hspice_delay_s",
+            "paper_two_ramp_delay_s",
+            "paper_one_ramp_delay_s",
+            "paper_hspice_slew_s",
+            "paper_two_ramp_slew_s",
+            "paper_one_ramp_slew_s",
+        ],
+        &csv,
+    );
+    println!("full data (including the paper's published numbers) written to target/experiments/table1.csv");
+}

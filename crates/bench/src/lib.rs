@@ -1,0 +1,20 @@
+//! # rlc-bench
+//!
+//! Experiment harness for the DAC 2003 two-ramp effective-capacitance paper:
+//! one binary per table/figure (`fig1`, `fig3`, `fig4`, `fig5`, `fig6`,
+//! `fig7`, `table1`, plus `all_experiments`), sharing the runners in
+//! [`experiments`], and Criterion benchmarks for the computational kernels.
+//!
+//! Each runner returns plain data structures; the binaries format them as
+//! aligned text tables and CSV series under `target/experiments/` so the
+//! results can be compared against the paper (see `EXPERIMENTS.md`).
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+pub mod setup;
+
+pub use experiments::*;
+pub use output::{write_csv, write_text, OutputPaths};
+pub use setup::{build_line, cell_for, ExperimentContext, SimFidelity};

@@ -1,0 +1,132 @@
+//! Result output: aligned text tables on stdout and CSV files under
+//! `target/experiments/`.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Location of experiment outputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutputPaths {
+    root: PathBuf,
+}
+
+impl OutputPaths {
+    /// Creates (and ensures) the default output directory
+    /// `target/experiments/`.
+    pub fn default_dir() -> Self {
+        Self::at("target/experiments")
+    }
+
+    /// Creates (and ensures) a custom output directory.
+    ///
+    /// # Panics
+    /// Panics if the directory cannot be created.
+    pub fn at<P: AsRef<Path>>(path: P) -> Self {
+        let root = path.as_ref().to_path_buf();
+        fs::create_dir_all(&root).expect("failed to create the experiment output directory");
+        OutputPaths { root }
+    }
+
+    /// Full path of a file inside the output directory.
+    pub fn file(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+/// Writes rows of named columns to a CSV file.
+///
+/// # Panics
+/// Panics on I/O errors (the experiment binaries have nothing sensible to do
+/// about them) or when a row length does not match the header.
+pub fn write_csv(path: &Path, header: &[&str], rows: &[Vec<f64>]) {
+    let mut out = fs::File::create(path).expect("failed to create CSV file");
+    writeln!(out, "{}", header.join(",")).expect("failed to write CSV header");
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "CSV row length mismatch");
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.6e}")).collect();
+        writeln!(out, "{}", line.join(",")).expect("failed to write CSV row");
+    }
+}
+
+/// Writes a plain text report.
+///
+/// # Panics
+/// Panics on I/O errors.
+pub fn write_text(path: &Path, content: &str) {
+    fs::write(path, content).expect("failed to write text report");
+}
+
+/// Formats a table of rows (already stringified) with aligned columns.
+pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (k, cell) in row.iter().enumerate().take(n_cols) {
+            widths[k] = widths[k].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (n_cols - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn format_table_aligns_columns() {
+        let t = format_table(
+            &["case", "delay", "err"],
+            &[
+                vec!["3mm".into(), "25.0".into(), "-3.2%".into()],
+                vec!["5mm/1.6um".into(), "39.6".into(), "+1.0%".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("case"));
+        assert!(lines[2].ends_with("-3.2%"));
+        // All rows have the same width.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_and_text_roundtrip() {
+        let dir = std::env::temp_dir().join("rlc_bench_output_test");
+        let paths = OutputPaths::at(&dir);
+        let csv = paths.file("test.csv");
+        write_csv(&csv, &["a", "b"], &[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let content = std::fs::read_to_string(&csv).unwrap();
+        assert!(content.starts_with("a,b"));
+        assert_eq!(content.lines().count(), 3);
+        let txt = paths.file("test.txt");
+        write_text(&txt, "hello");
+        assert_eq!(std::fs::read_to_string(&txt).unwrap(), "hello");
+    }
+
+    #[test]
+    #[should_panic(expected = "row length mismatch")]
+    fn csv_rejects_ragged_rows() {
+        let dir = std::env::temp_dir().join("rlc_bench_output_test2");
+        let paths = OutputPaths::at(&dir);
+        write_csv(&paths.file("bad.csv"), &["a", "b"], &[vec![1.0]]);
+    }
+}

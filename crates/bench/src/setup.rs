@@ -1,0 +1,151 @@
+//! Shared setup for the experiment binaries: cached cell characterization,
+//! line construction from the paper's published parasitics, and the
+//! simulation fidelity presets.
+
+use std::collections::BTreeMap;
+
+use rlc_ceff::validation::GoldenOptions;
+use rlc_ceff::{far_end::FarEndOptions, IterationSettings, ModelingConfig};
+use rlc_charlib::{CharacterizationGrid, DriverCell, Library};
+use rlc_interconnect::paper_cases::PublishedParasitics;
+use rlc_interconnect::RlcLine;
+use rlc_numeric::units::{mm, ps};
+
+/// Golden-simulation fidelity presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimFidelity {
+    /// High fidelity (40 segments, 0.5 ps step) — used for the waveform
+    /// figures and Table 1.
+    Reference,
+    /// Reduced fidelity (24 segments, 1 ps step) — used for the 100+ case
+    /// Figure 7 sweep so the full harness completes in minutes.
+    Sweep,
+}
+
+impl SimFidelity {
+    /// Golden-simulation options for this preset.
+    pub fn golden(self) -> GoldenOptions {
+        match self {
+            SimFidelity::Reference => GoldenOptions {
+                segments: 40,
+                time_step: ps(0.5),
+                max_stop_time: 3e-9,
+            },
+            SimFidelity::Sweep => GoldenOptions {
+                segments: 24,
+                time_step: ps(1.0),
+                max_stop_time: 3e-9,
+            },
+        }
+    }
+
+    /// Far-end propagation options for this preset.
+    pub fn far_end(self) -> FarEndOptions {
+        match self {
+            SimFidelity::Reference => FarEndOptions {
+                segments: 40,
+                time_step: ps(0.5),
+                settle_time: ps(500.0),
+            },
+            SimFidelity::Sweep => FarEndOptions {
+                segments: 24,
+                time_step: ps(1.0),
+                settle_time: ps(400.0),
+            },
+        }
+    }
+}
+
+/// Builds an [`RlcLine`] from a published parasitic record.
+pub fn build_line(parasitics: &PublishedParasitics) -> RlcLine {
+    RlcLine::new(
+        parasitics.r_ohms,
+        parasitics.l_nh * 1e-9,
+        parasitics.c_pf * 1e-12,
+        mm(parasitics.length_mm),
+    )
+}
+
+/// Shared, lazily populated experiment context: the characterized library and
+/// the modelling configuration used by every experiment.
+#[derive(Debug)]
+pub struct ExperimentContext {
+    library: Library,
+    /// Modelling configuration used for all experiments.
+    pub config: ModelingConfig,
+}
+
+impl ExperimentContext {
+    /// Creates the context with the default characterization grid and the
+    /// paper's modelling flow configuration.
+    pub fn new() -> Self {
+        ExperimentContext {
+            library: Library::new(CharacterizationGrid::default()),
+            config: ModelingConfig {
+                iteration: IterationSettings::default(),
+                extract_rs_per_case: true,
+                ..ModelingConfig::default()
+            },
+        }
+    }
+
+    /// Returns (characterizing on first use) the cell of a given drive
+    /// strength.
+    ///
+    /// # Panics
+    /// Panics if characterization fails — the experiment binaries cannot
+    /// proceed without the library.
+    pub fn cell(&mut self, size: f64) -> DriverCell {
+        self.library
+            .cell(size)
+            .unwrap_or_else(|e| panic!("characterization of the {size}X driver failed: {e}"))
+            .clone()
+    }
+
+    /// Pre-characterizes a set of sizes and returns them keyed by size
+    /// (in thousandths, to keep a total order on f64 sizes).
+    pub fn cells(&mut self, sizes: &[f64]) -> BTreeMap<u64, DriverCell> {
+        sizes
+            .iter()
+            .map(|&s| ((s * 1000.0).round() as u64, self.cell(s)))
+            .collect()
+    }
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Convenience: characterize a single cell of the given size on the default
+/// grid (used by benches that do not need the whole context).
+pub fn cell_for(size: f64) -> DriverCell {
+    DriverCell::characterize(size, &CharacterizationGrid::default())
+        .unwrap_or_else(|e| panic!("characterization of the {size}X driver failed: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_interconnect::paper_cases;
+
+    #[test]
+    fn build_line_matches_published_values() {
+        let case = paper_cases::figure1_case();
+        let line = build_line(&case.parasitics);
+        assert!((line.resistance() - 72.44).abs() < 1e-9);
+        assert!((line.inductance() - 5.14e-9).abs() < 1e-18);
+        assert!((line.capacitance() - 1.10e-12).abs() < 1e-21);
+        assert!((line.length() - 5.0e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_presets_differ() {
+        let hi = SimFidelity::Reference.golden();
+        let lo = SimFidelity::Sweep.golden();
+        assert!(hi.segments > lo.segments);
+        assert!(hi.time_step < lo.time_step);
+        assert!(SimFidelity::Reference.far_end().segments > SimFidelity::Sweep.far_end().segments);
+    }
+}

@@ -1,0 +1,115 @@
+//! # rlc-charlib
+//!
+//! NLDM-style cell characterization built on the `rlc-spice` engine.
+//!
+//! The paper's flow is "compatible with existing pre-characterized cell
+//! tables that store only 50 % delay and output transition time for each
+//! input slew and output capacitive load". This crate produces exactly those
+//! tables for the calibrated 0.18 µm inverters (25X … 125X), provides the
+//! bilinear interpolation used during the effective-capacitance iterations,
+//! and extracts the driver on-resistance needed for the paper's voltage
+//! breakpoint `f = Z0 / (Z0 + Rs)` (fitting an exponential between the 50 %
+//! and 90 % points of the output waveform, as in Thevenin-model
+//! characterization).
+//!
+//! ```no_run
+//! use rlc_charlib::prelude::*;
+//!
+//! // Characterize a 75X inverter over the default grid (runs ~50 transient
+//! // simulations; use the cached `Library` in real flows).
+//! let cell = DriverCell::characterize(75.0, &CharacterizationGrid::default())?;
+//! let (delay, transition) = cell.lookup(100e-12, 500e-15);
+//! assert!(delay > 0.0 && transition > 0.0);
+//! # Ok::<(), rlc_charlib::CharlibError>(())
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod cell;
+pub mod characterize;
+pub mod library;
+pub mod resistance;
+pub mod table;
+
+pub use cell::DriverCell;
+pub use characterize::CharacterizationGrid;
+pub use library::Library;
+pub use resistance::driver_on_resistance;
+pub use table::TimingTable;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::cell::DriverCell;
+    pub use crate::characterize::CharacterizationGrid;
+    pub use crate::library::Library;
+    pub use crate::resistance::driver_on_resistance;
+    pub use crate::table::TimingTable;
+    pub use crate::CharlibError;
+}
+
+/// Errors produced during characterization.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CharlibError {
+    /// The underlying transient simulation failed.
+    Simulation(String),
+    /// A waveform measurement failed (the output never crossed the required
+    /// level within the simulated window).
+    Measurement {
+        /// Description of the failed measurement.
+        what: String,
+        /// Input slew of the failing characterization point (seconds).
+        input_slew: f64,
+        /// Load capacitance of the failing characterization point (farads).
+        load: f64,
+    },
+    /// The characterization grid is malformed.
+    InvalidGrid(String),
+}
+
+impl std::fmt::Display for CharlibError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CharlibError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
+            CharlibError::Measurement {
+                what,
+                input_slew,
+                load,
+            } => write!(
+                f,
+                "measurement '{what}' failed at slew {:.1} ps, load {:.1} fF",
+                input_slew * 1e12,
+                load * 1e15
+            ),
+            CharlibError::InvalidGrid(msg) => write!(f, "invalid characterization grid: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CharlibError {}
+
+impl From<rlc_spice::SpiceError> for CharlibError {
+    fn from(e: rlc_spice::SpiceError) -> Self {
+        CharlibError::Simulation(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_conversion() {
+        let e = CharlibError::Measurement {
+            what: "t90".into(),
+            input_slew: 100e-12,
+            load: 500e-15,
+        };
+        assert!(e.to_string().contains("t90"));
+        assert!(e.to_string().contains("100.0 ps"));
+        let from: CharlibError = rlc_spice::SpiceError::InvalidCircuit("x".into()).into();
+        assert!(matches!(from, CharlibError::Simulation(_)));
+        assert!(CharlibError::InvalidGrid("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+}

@@ -1,0 +1,156 @@
+//! A lazily characterized cell library with caching.
+
+use std::collections::BTreeMap;
+
+use crate::cell::DriverCell;
+use crate::characterize::CharacterizationGrid;
+use crate::CharlibError;
+
+/// A cache of characterized driver cells keyed by drive strength.
+///
+/// The paper sweeps driver strengths 25X–125X; characterizing each one costs
+/// tens of transient simulations, so the library characterizes lazily and
+/// caches the result for the rest of the run.
+#[derive(Debug, Clone)]
+pub struct Library {
+    grid: CharacterizationGrid,
+    cells: BTreeMap<u64, DriverCell>,
+}
+
+impl Library {
+    /// Creates an empty library that characterizes on the given grid.
+    pub fn new(grid: CharacterizationGrid) -> Self {
+        Library {
+            grid,
+            cells: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a library on the default (full-resolution) grid.
+    pub fn with_default_grid() -> Self {
+        Self::new(CharacterizationGrid::default())
+    }
+
+    /// The characterization grid used for new cells.
+    pub fn grid(&self) -> &CharacterizationGrid {
+        &self.grid
+    }
+
+    /// Number of cells characterized so far.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether any cell has been characterized yet.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Drive strengths characterized so far.
+    pub fn characterized_sizes(&self) -> Vec<f64> {
+        self.cells.keys().map(|&k| k as f64 / 1000.0).collect()
+    }
+
+    fn key(size: f64) -> u64 {
+        (size * 1000.0).round() as u64
+    }
+
+    /// Returns the characterized cell for `size`, characterizing it on first
+    /// use.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    ///
+    /// # Panics
+    /// Panics if `size` is not positive.
+    pub fn cell(&mut self, size: f64) -> Result<&DriverCell, CharlibError> {
+        assert!(size > 0.0, "driver size must be positive");
+        let key = Self::key(size);
+        if !self.cells.contains_key(&key) {
+            let cell = DriverCell::characterize(size, &self.grid)?;
+            self.cells.insert(key, cell);
+        }
+        Ok(self.cells.get(&key).expect("cell was just inserted"))
+    }
+
+    /// Inserts a pre-built cell (used by tests and for loading persisted
+    /// libraries).
+    pub fn insert(&mut self, cell: DriverCell) {
+        self.cells.insert(Self::key(cell.size()), cell);
+    }
+
+    /// Looks up an already characterized cell without triggering
+    /// characterization.
+    pub fn get(&self, size: f64) -> Option<&DriverCell> {
+        self.cells.get(&Self::key(size))
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Self::with_default_grid()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TimingTable;
+    use rlc_numeric::units::{ff, pf, ps};
+    use rlc_spice::testbench::InverterSpec;
+
+    fn dummy_cell(size: f64) -> DriverCell {
+        let slews = vec![ps(50.0), ps(100.0)];
+        let loads = vec![ff(100.0), pf(1.0)];
+        let grid = vec![vec![ps(10.0), ps(50.0)], vec![ps(12.0), ps(55.0)]];
+        DriverCell::from_parts(
+            InverterSpec::sized_018(size),
+            TimingTable::new(slews, loads, grid.clone(), grid),
+            100.0 / size * 25.0,
+        )
+    }
+
+    #[test]
+    fn insert_and_get_round_trip() {
+        let mut lib = Library::new(CharacterizationGrid::coarse_for_tests());
+        assert!(lib.is_empty());
+        lib.insert(dummy_cell(75.0));
+        lib.insert(dummy_cell(25.0));
+        assert_eq!(lib.len(), 2);
+        assert!(lib.get(75.0).is_some());
+        assert!(lib.get(100.0).is_none());
+        assert_eq!(lib.characterized_sizes(), vec![25.0, 75.0]);
+        assert_eq!(lib.grid(), &CharacterizationGrid::coarse_for_tests());
+    }
+
+    #[test]
+    fn cell_is_characterized_once_and_cached() {
+        let mut lib = Library::new(CharacterizationGrid::coarse_for_tests());
+        // Pre-insert so `cell` does not need to run simulations; the call must
+        // return the cached copy rather than re-characterizing.
+        lib.insert(dummy_cell(50.0));
+        let before = lib.len();
+        let cell = lib.cell(50.0).unwrap();
+        assert_eq!(cell.size(), 50.0);
+        assert_eq!(lib.len(), before);
+    }
+
+    #[test]
+    fn lazy_characterization_happens_on_demand() {
+        let mut lib = Library::new(CharacterizationGrid::coarse_for_tests());
+        assert!(lib.get(75.0).is_none());
+        let cell = lib.cell(75.0).unwrap();
+        assert!(cell.on_resistance() > 10.0);
+        assert_eq!(lib.len(), 1);
+        // Second call hits the cache (same pointer-equal table contents).
+        let again = lib.cell(75.0).unwrap().clone();
+        assert_eq!(&again, lib.get(75.0).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "size must be positive")]
+    fn negative_size_rejected() {
+        let mut lib = Library::default();
+        let _ = lib.cell(-5.0);
+    }
+}

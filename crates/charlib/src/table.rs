@@ -1,0 +1,165 @@
+//! Two-dimensional timing lookup tables (the NLDM "delay" and
+//! "output transition" tables).
+
+use rlc_numeric::interp::interp2;
+
+/// A pre-characterized timing table indexed by input transition time (rows)
+/// and output load capacitance (columns), storing the 50 % propagation delay
+/// and the 10–90 % output transition time — exactly the information the paper
+/// assumes a standard cell library provides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingTable {
+    slew_axis: Vec<f64>,
+    load_axis: Vec<f64>,
+    delay: Vec<Vec<f64>>,
+    transition: Vec<Vec<f64>>,
+}
+
+impl TimingTable {
+    /// Creates a table from its axes and row-major value grids.
+    ///
+    /// # Panics
+    /// Panics if the axes have fewer than two points, are not strictly
+    /// increasing, or the grids do not match the axes.
+    pub fn new(
+        slew_axis: Vec<f64>,
+        load_axis: Vec<f64>,
+        delay: Vec<Vec<f64>>,
+        transition: Vec<Vec<f64>>,
+    ) -> Self {
+        assert!(slew_axis.len() >= 2, "slew axis needs at least two points");
+        assert!(load_axis.len() >= 2, "load axis needs at least two points");
+        for axis in [&slew_axis, &load_axis] {
+            for w in axis.windows(2) {
+                assert!(w[1] > w[0], "table axes must be strictly increasing");
+            }
+        }
+        for grid in [&delay, &transition] {
+            assert_eq!(grid.len(), slew_axis.len(), "grid row count mismatch");
+            for row in grid {
+                assert_eq!(row.len(), load_axis.len(), "grid column count mismatch");
+            }
+        }
+        TimingTable {
+            slew_axis,
+            load_axis,
+            delay,
+            transition,
+        }
+    }
+
+    /// Input-transition axis (seconds).
+    pub fn slew_axis(&self) -> &[f64] {
+        &self.slew_axis
+    }
+
+    /// Load-capacitance axis (farads).
+    pub fn load_axis(&self) -> &[f64] {
+        &self.load_axis
+    }
+
+    /// 50 % propagation delay at the given input transition and load
+    /// (bilinear interpolation, linear extrapolation outside the grid).
+    pub fn delay(&self, input_slew: f64, load: f64) -> f64 {
+        interp2(&self.slew_axis, &self.load_axis, &self.delay, input_slew, load)
+    }
+
+    /// 10–90 % output transition time at the given input transition and load.
+    pub fn transition(&self, input_slew: f64, load: f64) -> f64 {
+        interp2(
+            &self.slew_axis,
+            &self.load_axis,
+            &self.transition,
+            input_slew,
+            load,
+        )
+    }
+
+    /// Both the delay and the output transition at the given point.
+    pub fn lookup(&self, input_slew: f64, load: f64) -> (f64, f64) {
+        (
+            self.delay(input_slew, load),
+            self.transition(input_slew, load),
+        )
+    }
+
+    /// Largest characterized load (useful for sanity-checking extrapolation).
+    pub fn max_load(&self) -> f64 {
+        *self.load_axis.last().unwrap()
+    }
+
+    /// Smallest characterized load.
+    pub fn min_load(&self) -> f64 {
+        self.load_axis[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+
+    fn synthetic_table() -> TimingTable {
+        // delay = 10ps + 100ps * C/pF + 0.2 * slew; transition = 20ps + 200ps * C/pF
+        let slews = vec![50e-12, 100e-12, 200e-12];
+        let loads = vec![100e-15, 500e-15, 1000e-15, 2000e-15];
+        let delay: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| 10e-12 + 100e-12 * (c / 1e-12) + 0.2 * s)
+                    .collect()
+            })
+            .collect();
+        let transition: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|_| loads.iter().map(|&c| 20e-12 + 200e-12 * (c / 1e-12)).collect())
+            .collect();
+        TimingTable::new(slews, loads, delay, transition)
+    }
+
+    #[test]
+    fn lookup_reproduces_bilinear_surface() {
+        let t = synthetic_table();
+        // On-grid point.
+        assert!(approx_eq(t.delay(100e-12, 500e-15), 10e-12 + 50e-12 + 20e-12, 1e-9));
+        // Off-grid point (the synthetic surface is affine, so interpolation is exact).
+        let d = t.delay(150e-12, 750e-15);
+        assert!(approx_eq(d, 10e-12 + 75e-12 + 30e-12, 1e-9));
+        let (d2, tr) = t.lookup(150e-12, 750e-15);
+        assert!(approx_eq(d, d2, 1e-15));
+        assert!(approx_eq(tr, 20e-12 + 150e-12, 1e-9));
+    }
+
+    #[test]
+    fn extrapolation_beyond_grid_is_linear() {
+        let t = synthetic_table();
+        let d = t.delay(100e-12, 4000e-15);
+        assert!(approx_eq(d, 10e-12 + 400e-12 + 20e-12, 1e-9));
+        assert!(approx_eq(t.min_load(), 100e-15, 1e-18));
+        assert!(approx_eq(t.max_load(), 2000e-15, 1e-18));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_axis_rejected() {
+        let _ = TimingTable::new(
+            vec![100e-12, 50e-12],
+            vec![1e-15, 2e-15],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn grid_shape_checked() {
+        let _ = TimingTable::new(
+            vec![50e-12, 100e-12],
+            vec![1e-15, 2e-15],
+            vec![vec![1.0, 1.0]],
+            vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+        );
+    }
+}

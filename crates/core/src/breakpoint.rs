@@ -1,0 +1,77 @@
+//! The voltage breakpoint of the two-ramp waveform (Equation 1 of the paper).
+//!
+//! At the driving point a transmission line initially looks like its
+//! characteristic impedance, so the driver and line form a resistive divider:
+//! the initial step rises to `f · VDD` with `f = Z0 / (Z0 + Rs)`. The first
+//! ramp of the two-ramp model ends at that voltage; the second ramp (the
+//! first reflection) carries the waveform the rest of the way to `VDD`.
+
+/// Computes the breakpoint fraction `f = Z0 / (Z0 + Rs)`.
+///
+/// # Panics
+/// Panics if either impedance is not positive.
+///
+/// ```
+/// use rlc_ceff::voltage_breakpoint;
+/// // A 75X driver (Rs ~ 70 ohm) on a 68-ohm line: the initial step is just
+/// // below half the supply, as in the paper's Figure 1.
+/// let f = voltage_breakpoint(68.0, 70.0);
+/// assert!(f > 0.45 && f < 0.55);
+/// ```
+pub fn voltage_breakpoint(z0: f64, rs: f64) -> f64 {
+    assert!(z0 > 0.0, "characteristic impedance must be positive");
+    assert!(rs > 0.0, "driver resistance must be positive");
+    z0 / (z0 + rs)
+}
+
+/// Height of the initial step in volts, `f · VDD`.
+///
+/// # Panics
+/// Panics if `vdd` is not positive (impedance checks as in
+/// [`voltage_breakpoint`]).
+pub fn initial_step_height(z0: f64, rs: f64, vdd: f64) -> f64 {
+    assert!(vdd > 0.0, "supply voltage must be positive");
+    voltage_breakpoint(z0, rs) * vdd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+
+    #[test]
+    fn equal_impedances_give_half_supply() {
+        assert!(approx_eq(voltage_breakpoint(70.0, 70.0), 0.5, 1e-12));
+        assert!(approx_eq(initial_step_height(70.0, 70.0, 1.8), 0.9, 1e-12));
+    }
+
+    #[test]
+    fn weak_drivers_give_small_steps_and_strong_drivers_large_steps() {
+        // Weak driver (25X, Rs ~ 200 ohm) on a 68-ohm line: small step,
+        // transmission-line effects invisible (paper's Figure 6 left).
+        let weak = voltage_breakpoint(68.0, 200.0);
+        assert!(weak < 0.3);
+        // Very strong driver: step approaches the full supply.
+        let strong = voltage_breakpoint(68.0, 10.0);
+        assert!(strong > 0.85);
+        assert!(strong > weak);
+    }
+
+    #[test]
+    fn breakpoint_is_monotonic_in_both_arguments() {
+        assert!(voltage_breakpoint(80.0, 70.0) > voltage_breakpoint(60.0, 70.0));
+        assert!(voltage_breakpoint(70.0, 50.0) > voltage_breakpoint(70.0, 90.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "impedance must be positive")]
+    fn zero_impedance_rejected() {
+        let _ = voltage_breakpoint(0.0, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn zero_resistance_rejected() {
+        let _ = voltage_breakpoint(50.0, 0.0);
+    }
+}

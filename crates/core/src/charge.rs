@@ -1,0 +1,323 @@
+//! Charge-matching effective-capacitance formulas (Section 4 of the paper).
+//!
+//! The load is the fitted rational admittance
+//! `Y(s) = (a1 s + a2 s² + a3 s³)/(1 + b1 s + b2 s²)` with poles `s1`, `s2`
+//! (the roots of `b2 s² + b1 s + 1 = 0`). Driving it with a saturated ramp of
+//! slope `VDD/Tr` produces the current
+//!
+//! ```text
+//! I(t) = (VDD/Tr) · [ a1 + H1 e^{s1 t} + H2 e^{s2 t} ],
+//! H_i = (a1 + a2 s_i + a3 s_i²) / (b2 s_i (s_i − s_j))
+//! ```
+//!
+//! and the effective capacitance over an interval is the delivered charge
+//! divided by the voltage swing over that interval. The paper writes the real
+//! and complex-conjugate pole cases separately (its Equations 4–7); here a
+//! single complex-valued implementation covers both, and the explicit
+//! real-trigonometric forms are provided as well and cross-checked in tests.
+
+use rlc_moments::{PolePair, RationalAdmittance};
+use rlc_numeric::Complex;
+
+/// Which part of the output transition the charge is equated over.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ChargeWindow {
+    /// From the start of the transition up to the fraction `f` of the supply
+    /// (`f = 1` reproduces the classic "equate charge over the whole
+    /// transition"; `f = 0.5` reproduces "equate charge up to the 50 % point",
+    /// the two single-Ceff baselines of the paper's Figure 3).
+    FirstRamp {
+        /// Breakpoint fraction (0 < f <= 1).
+        f: f64,
+    },
+    /// The second-ramp interval `[f·Tr1, f·Tr1 + (1−f)·Tr2]` of the two-ramp
+    /// waveform.
+    SecondRamp {
+        /// Breakpoint fraction (0 < f < 1).
+        f: f64,
+        /// Full-swing duration of the first ramp (s).
+        tr1: f64,
+    },
+}
+
+/// Residue factors `H_i` of the ramp-response partial fraction expansion.
+fn residues(fit: &RationalAdmittance) -> (Complex, Complex, Complex, Complex) {
+    let (s1, s2) = fit.poles().as_complex();
+    // Guard against a (numerically) repeated root: split the poles slightly.
+    let (s1, s2) = if (s1 - s2).abs() < 1e-9 * s1.abs().max(s2.abs()) {
+        let bump = Complex::real(1e-6 * s1.abs().max(1.0));
+        (s1 + bump, s2 - bump)
+    } else {
+        (s1, s2)
+    };
+    let num = |s: Complex| Complex::real(fit.a1) + s * (Complex::real(fit.a2) + s * fit.a3);
+    let h1 = num(s1) / (Complex::real(fit.b2) * s1 * (s1 - s2));
+    let h2 = num(s2) / (Complex::real(fit.b2) * s2 * (s2 - s1));
+    (s1, s2, h1, h2)
+}
+
+/// `(e^{s·t1} − e^{s·t0}) / s` evaluated stably.
+fn exp_increment_over_s(s: Complex, t0: f64, t1: f64) -> Complex {
+    ((s * t1).exp() - (s * t0).exp()) / s
+}
+
+/// Effective capacitance of the first ramp (the paper's `Ceff1`, Equations
+/// 4–5): the capacitance whose charge over `[0, f·Tr1]` equals the charge
+/// delivered into the fitted load by a ramp of full-swing duration `tr1`.
+///
+/// With `f = 1` this is the classic single effective capacitance obtained by
+/// equating charge over the entire transition; with `f = 0.5` it is the
+/// "equate charge up to the 50 % point" variant.
+///
+/// # Panics
+/// Panics if `tr1 <= 0` or `f` is outside `(0, 1]`.
+pub fn ceff_first_ramp(fit: &RationalAdmittance, tr1: f64, f: f64) -> f64 {
+    assert!(tr1 > 0.0, "ramp duration must be positive");
+    assert!(f > 0.0 && f <= 1.0, "breakpoint fraction must be in (0, 1]");
+    let (s1, s2, h1, h2) = residues(fit);
+    let t_end = f * tr1;
+    // Q / (f * VDD) with Q = (VDD/Tr1) [ a1 f Tr1 + Σ H_i (e^{s_i f Tr1} − 1)/s_i ].
+    let sum = h1 * exp_increment_over_s(s1, 0.0, t_end) + h2 * exp_increment_over_s(s2, 0.0, t_end);
+    fit.a1 + sum.re / (f * tr1)
+}
+
+/// Effective capacitance of the second ramp (the paper's `Ceff2`, Equations
+/// 6–7): the capacitance whose charge over `[f·Tr1, f·Tr1 + (1−f)·Tr2]`
+/// equals the charge delivered into the fitted load by the second-ramp
+/// voltage `V(t) = VDD·t/Tr2 + k·f·VDD`, `k = 1 − Tr1/Tr2`.
+///
+/// # Panics
+/// Panics if `tr1 <= 0`, `tr2 <= 0`, or `f` is outside `(0, 1)`.
+pub fn ceff_second_ramp(fit: &RationalAdmittance, tr1: f64, tr2: f64, f: f64) -> f64 {
+    assert!(tr1 > 0.0 && tr2 > 0.0, "ramp durations must be positive");
+    assert!(f > 0.0 && f < 1.0, "breakpoint fraction must be in (0, 1)");
+    let (s1, s2, h1, h2) = residues(fit);
+    let k = 1.0 - tr1 / tr2;
+    let t0 = f * tr1;
+    let t1 = f * tr1 + (1.0 - f) * tr2;
+    // I2(t) = (VDD/Tr2) a1 + Σ H_i (VDD/Tr2 + k f VDD s_i) e^{s_i t};
+    // Ceff2 = Q2 / ((1 − f) VDD).
+    let weight = |s: Complex| Complex::real(1.0 / tr2) + s * (k * f);
+    let sum = h1 * weight(s1) * exp_increment_over_s(s1, t0, t1)
+        + h2 * weight(s2) * exp_increment_over_s(s2, t0, t1);
+    fit.a1 + sum.re / (1.0 - f)
+}
+
+/// Effective capacitance for an arbitrary charge window (dispatch helper used
+/// by the iteration module).
+pub fn ceff_for_window(fit: &RationalAdmittance, window: ChargeWindow, tr: f64) -> f64 {
+    match window {
+        ChargeWindow::FirstRamp { f } => ceff_first_ramp(fit, tr, f),
+        ChargeWindow::SecondRamp { f, tr1 } => ceff_second_ramp(fit, tr1, tr, f),
+    }
+}
+
+/// Current delivered into the fitted load by a saturated ramp of full-swing
+/// duration `tr` and amplitude `vdd`, at time `t` (valid for `0 ≤ t ≤ tr`).
+/// Used by diagnostics and by the closed-form-vs-quadrature tests.
+pub fn ramp_current(fit: &RationalAdmittance, vdd: f64, tr: f64, t: f64) -> f64 {
+    assert!(tr > 0.0);
+    let (s1, s2, h1, h2) = residues(fit);
+    let val = Complex::real(fit.a1) + h1 * (s1 * t).exp() + h2 * (s2 * t).exp();
+    vdd / tr * val.re
+}
+
+/// The paper's explicit real-pole form of `Ceff1` (Equation 4), kept for
+/// fidelity and cross-checked against the complex implementation.
+///
+/// # Panics
+/// Panics if the fitted poles are not real, `tr1 <= 0`, or `f` outside
+/// `(0, 1]`.
+pub fn ceff_first_ramp_real_poles(fit: &RationalAdmittance, tr1: f64, f: f64) -> f64 {
+    assert!(tr1 > 0.0 && f > 0.0 && f <= 1.0);
+    let (s1, s2) = match fit.poles() {
+        PolePair::Real { s1, s2 } => (s1, s2),
+        PolePair::Complex { .. } => panic!("ceff_first_ramp_real_poles requires real poles"),
+    };
+    let num = |s: f64| fit.a1 + fit.a2 * s + fit.a3 * s * s;
+    let term = |si: f64, sj: f64| {
+        num(si) / (tr1 * f * fit.b2 * si * si * (si - sj)) * ((si * f * tr1).exp() - 1.0)
+    };
+    fit.a1 + term(s1, s2) + term(s2, s1)
+}
+
+/// The paper's explicit complex-pole (trigonometric) form of `Ceff1`
+/// (Equation 5), cross-checked against the complex implementation.
+///
+/// # Panics
+/// Panics if the fitted poles are real, `tr1 <= 0`, or `f` outside `(0, 1]`.
+pub fn ceff_first_ramp_complex_poles(fit: &RationalAdmittance, tr1: f64, f: f64) -> f64 {
+    assert!(tr1 > 0.0 && f > 0.0 && f <= 1.0);
+    let (alpha, beta) = match fit.poles() {
+        PolePair::Complex { alpha, beta } => (alpha, beta),
+        PolePair::Real { .. } => panic!("ceff_first_ramp_complex_poles requires complex poles"),
+    };
+    // I(t) = (VDD/Tr1)[ p + e^{alpha t} (q cos(beta t) + r sin(beta t)) ] with
+    // p = a1 and q, r obtained from the residues: H1 = (q - j r)/2 at
+    // s1 = alpha + j beta.
+    let s1 = Complex::new(alpha, beta);
+    let s2 = Complex::new(alpha, -beta);
+    let num = |s: Complex| Complex::real(fit.a1) + s * (Complex::real(fit.a2) + s * fit.a3);
+    let h1 = num(s1) / (Complex::real(fit.b2) * s1 * (s1 - s2));
+    let q = 2.0 * h1.re;
+    let r = -2.0 * h1.im;
+    let t_end = f * tr1;
+    // ∫ e^{at} cos(bt) dt and ∫ e^{at} sin(bt) dt closed forms.
+    let d = alpha * alpha + beta * beta;
+    let e = (alpha * t_end).exp();
+    let int_cos =
+        (e * (alpha * (beta * t_end).cos() + beta * (beta * t_end).sin()) - alpha) / d;
+    let int_sin =
+        (e * (alpha * (beta * t_end).sin() - beta * (beta * t_end).cos()) + beta) / d;
+    fit.a1 + (q * int_cos + r * int_sin) / (f * tr1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_interconnect::RlcLine;
+    use rlc_moments::distributed_admittance_moments;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::quadrature::adaptive_simpson;
+    use rlc_numeric::units::{ff, mm, nh, pf, ps};
+
+    /// The paper's 5 mm / 1.6 um line terminated by a small receiver load.
+    fn inductive_fit() -> RationalAdmittance {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let m = distributed_admittance_moments(&line, ff(10.0), 5);
+        RationalAdmittance::from_moments(&m).unwrap()
+    }
+
+    /// A resistive (RC-like) line whose fit has real poles.
+    fn resistive_fit() -> RationalAdmittance {
+        let line = RlcLine::new(400.0, nh(1.0), pf(1.5), mm(6.0));
+        let m = distributed_admittance_moments(&line, ff(10.0), 5);
+        RationalAdmittance::from_moments(&m).unwrap()
+    }
+
+    #[test]
+    fn ceff1_equals_total_capacitance_for_slow_ramps() {
+        // For a very slow ramp nothing is shielded: Ceff -> Ctotal.
+        let fit = inductive_fit();
+        let ceff = ceff_first_ramp(&fit, ps(1.0e6), 1.0);
+        assert!(approx_eq(ceff, fit.a1, 1e-3), "{ceff} vs {}", fit.a1);
+    }
+
+    #[test]
+    fn ceff1_is_shielded_for_fast_ramps() {
+        let fit = inductive_fit();
+        let fast = ceff_first_ramp(&fit, ps(30.0), 0.5);
+        let slow = ceff_first_ramp(&fit, ps(2000.0), 0.5);
+        assert!(fast < slow);
+        assert!(fast < fit.a1);
+        assert!(fast > 0.0);
+    }
+
+    #[test]
+    fn ceff1_matches_numerical_charge_integration() {
+        for fit in [inductive_fit(), resistive_fit()] {
+            for &(tr, f) in &[(ps(60.0), 0.5), (ps(120.0), 0.45), (ps(200.0), 1.0)] {
+                let vdd = 1.8;
+                let closed = ceff_first_ramp(&fit, tr, f);
+                let charge =
+                    adaptive_simpson(|t| ramp_current(&fit, vdd, tr, t), 0.0, f * tr, 1e-20);
+                let numeric = charge / (f * vdd);
+                assert!(
+                    approx_eq(closed, numeric, 1e-6),
+                    "closed {closed:.6e} vs numeric {numeric:.6e} (tr={tr:.1e}, f={f})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ceff2_matches_numerical_charge_integration() {
+        let vdd = 1.8;
+        for fit in [inductive_fit(), resistive_fit()] {
+            let (tr1, tr2, f) = (ps(50.0), ps(180.0), 0.48);
+            let closed = ceff_second_ramp(&fit, tr1, tr2, f);
+            // Numerical: integrate the current produced by the second-ramp
+            // drive V(t) = VDD t / Tr2 + k f VDD over [f Tr1, f Tr1 + (1-f) Tr2].
+            let k = 1.0 - tr1 / tr2;
+            let (s1, s2, h1, h2) = super::residues(&fit);
+            let current = |t: f64| {
+                let val = Complex::real(fit.a1 / tr2)
+                    + h1 * (Complex::real(1.0 / tr2) + s1 * (k * f)) * (s1 * t).exp()
+                    + h2 * (Complex::real(1.0 / tr2) + s2 * (k * f)) * (s2 * t).exp();
+                vdd * val.re
+            };
+            let t0 = f * tr1;
+            let t1 = t0 + (1.0 - f) * tr2;
+            let numeric = adaptive_simpson(current, t0, t1, 1e-20) / ((1.0 - f) * vdd);
+            assert!(
+                approx_eq(closed, numeric, 1e-6),
+                "closed {closed:.6e} vs numeric {numeric:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_real_pole_form_agrees_with_complex_implementation() {
+        let fit = resistive_fit();
+        assert!(fit.has_real_poles());
+        for &(tr, f) in &[(ps(80.0), 0.5), (ps(150.0), 1.0), (ps(300.0), 0.7)] {
+            let general = ceff_first_ramp(&fit, tr, f);
+            let explicit = ceff_first_ramp_real_poles(&fit, tr, f);
+            assert!(
+                approx_eq(general, explicit, 1e-9),
+                "{general:.6e} vs {explicit:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_complex_pole_form_agrees_with_complex_implementation() {
+        let fit = inductive_fit();
+        assert!(!fit.has_real_poles());
+        for &(tr, f) in &[(ps(60.0), 0.48), (ps(120.0), 1.0), (ps(40.0), 0.3)] {
+            let general = ceff_first_ramp(&fit, tr, f);
+            let explicit = ceff_first_ramp_complex_poles(&fit, tr, f);
+            assert!(
+                approx_eq(general, explicit, 1e-9),
+                "{general:.6e} vs {explicit:.6e}"
+            );
+        }
+    }
+
+    #[test]
+    fn charge_window_dispatch() {
+        let fit = inductive_fit();
+        let a = ceff_for_window(&fit, ChargeWindow::FirstRamp { f: 0.5 }, ps(80.0));
+        assert!(approx_eq(a, ceff_first_ramp(&fit, ps(80.0), 0.5), 1e-15));
+        let b = ceff_for_window(
+            &fit,
+            ChargeWindow::SecondRamp { f: 0.5, tr1: ps(50.0) },
+            ps(200.0),
+        );
+        assert!(approx_eq(b, ceff_second_ramp(&fit, ps(50.0), ps(200.0), 0.5), 1e-15));
+    }
+
+    #[test]
+    fn equating_to_50_percent_underestimates_the_tail() {
+        // The paper's Figure 3 argument: equating charge only up to the 50 %
+        // point ignores the flattened second half and yields a smaller (more
+        // optimistic) capacitance than equating over the full transition.
+        let fit = inductive_fit();
+        let tr = ps(150.0);
+        let to_50 = ceff_first_ramp(&fit, tr, 0.5);
+        let to_100 = ceff_first_ramp(&fit, tr, 1.0);
+        assert!(to_50 < to_100, "{to_50:.3e} vs {to_100:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1]")]
+    fn invalid_fraction_rejected() {
+        let _ = ceff_first_ramp(&inductive_fit(), ps(100.0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires real poles")]
+    fn real_pole_form_rejects_complex_fit() {
+        let _ = ceff_first_ramp_real_poles(&inductive_fit(), ps(100.0), 0.5);
+    }
+}

@@ -1,0 +1,215 @@
+//! Inductance-significance screening (Equation 9 of the paper).
+//!
+//! The paper combines the Deutsch/Ismail criteria with one addition: the
+//! transition time compared against the time of flight uses the **driver
+//! output** rise time (the initial ramp `Tr1` from the `Ceff1` iteration)
+//! rather than the input transition time, because inductive behaviour is
+//! governed by how fast the driver actually slews the line.
+//!
+//! ```text
+//! C_L << C·l          (the fan-out load does not dominate the line)
+//! R·l  < 2·Z0         (the line is not attenuation-dominated)
+//! R_s  < 2·Z0         (the driver is strong enough to launch a step)
+//! T_r1 < 2·t_f        (the output transition is faster than the round trip)
+//! ```
+
+use rlc_interconnect::RlcLine;
+
+/// Thresholds for the significance checks. The structural form follows the
+/// paper; the `load_fraction_limit` makes the "much less than" in `C_L << C·l`
+/// concrete.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InductanceCriteria {
+    /// Maximum allowed `C_L / (C·l)` for the load check (default 0.3).
+    pub load_fraction_limit: f64,
+    /// Multiplier on `Z0` in the line-resistance check (default 2.0, as in
+    /// the paper).
+    pub line_resistance_factor: f64,
+    /// Multiplier on `Z0` in the driver-resistance check (default 2.0).
+    pub driver_resistance_factor: f64,
+    /// Multiplier on `t_f` in the rise-time check (default 2.0).
+    pub rise_time_factor: f64,
+}
+
+impl Default for InductanceCriteria {
+    fn default() -> Self {
+        InductanceCriteria {
+            load_fraction_limit: 0.3,
+            line_resistance_factor: 2.0,
+            driver_resistance_factor: 2.0,
+            rise_time_factor: 2.0,
+        }
+    }
+}
+
+/// One individual check of the criteria.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriterionCheck {
+    /// The measured value.
+    pub value: f64,
+    /// The limit it is compared against.
+    pub limit: f64,
+    /// Whether the check passes (value below limit).
+    pub passes: bool,
+}
+
+impl CriterionCheck {
+    fn new(value: f64, limit: f64) -> Self {
+        CriterionCheck {
+            value,
+            limit,
+            passes: value < limit,
+        }
+    }
+}
+
+/// The full evaluation of Equation 9 for one case.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CriteriaReport {
+    /// `C_L` vs. `load_fraction_limit · C·l`.
+    pub load_check: CriterionCheck,
+    /// `R·l` vs. `line_resistance_factor · Z0`.
+    pub line_resistance_check: CriterionCheck,
+    /// `R_s` vs. `driver_resistance_factor · Z0`.
+    pub driver_resistance_check: CriterionCheck,
+    /// `T_r1` vs. `rise_time_factor · t_f`.
+    pub rise_time_check: CriterionCheck,
+}
+
+impl CriteriaReport {
+    /// Whether inductive effects are significant (all four checks pass) and
+    /// the two-ramp model should be used.
+    pub fn inductance_significant(&self) -> bool {
+        self.load_check.passes
+            && self.line_resistance_check.passes
+            && self.driver_resistance_check.passes
+            && self.rise_time_check.passes
+    }
+
+    /// Human-readable one-line summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "CL {} | Rl {} | Rs {} | Tr1 {} -> {}",
+            if self.load_check.passes { "ok" } else { "FAIL" },
+            if self.line_resistance_check.passes { "ok" } else { "FAIL" },
+            if self.driver_resistance_check.passes { "ok" } else { "FAIL" },
+            if self.rise_time_check.passes { "ok" } else { "FAIL" },
+            if self.inductance_significant() {
+                "inductance significant (two-ramp model)"
+            } else {
+                "inductance not significant (single ramp)"
+            }
+        )
+    }
+}
+
+impl InductanceCriteria {
+    /// Evaluates the criteria for a line, its load, the driver's
+    /// on-resistance and the converged first-ramp duration `tr1`.
+    ///
+    /// # Panics
+    /// Panics if `tr1` or `driver_resistance` is not positive or `c_load` is
+    /// negative.
+    pub fn evaluate(
+        &self,
+        line: &RlcLine,
+        c_load: f64,
+        driver_resistance: f64,
+        tr1: f64,
+    ) -> CriteriaReport {
+        assert!(tr1 > 0.0, "tr1 must be positive");
+        assert!(driver_resistance > 0.0, "driver resistance must be positive");
+        assert!(c_load >= 0.0, "load capacitance must be non-negative");
+        let z0 = line.characteristic_impedance();
+        let tf = line.time_of_flight();
+        CriteriaReport {
+            load_check: CriterionCheck::new(c_load, self.load_fraction_limit * line.capacitance()),
+            line_resistance_check: CriterionCheck::new(
+                line.resistance(),
+                self.line_resistance_factor * z0,
+            ),
+            driver_resistance_check: CriterionCheck::new(
+                driver_resistance,
+                self.driver_resistance_factor * z0,
+            ),
+            rise_time_check: CriterionCheck::new(tr1, self.rise_time_factor * tf),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::units::{ff, mm, nh, pf, ps};
+
+    fn inductive_line() -> RlcLine {
+        // 5 mm / 1.6 um: Z0 ~ 68 ohm, tf ~ 75 ps, R = 72 ohm.
+        RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+    }
+
+    #[test]
+    fn strong_driver_on_wide_line_is_inductive() {
+        let report = InductanceCriteria::default().evaluate(
+            &inductive_line(),
+            ff(10.0),
+            70.0,   // 75X-class driver
+            ps(60.0), // fast initial ramp
+        );
+        assert!(report.inductance_significant(), "{}", report.summary());
+    }
+
+    #[test]
+    fn weak_driver_fails_the_driver_resistance_check() {
+        // A 25X driver (Rs ~ 200 ohm) on the same line: Figure 6 left.
+        let report =
+            InductanceCriteria::default().evaluate(&inductive_line(), ff(10.0), 220.0, ps(150.0));
+        assert!(!report.driver_resistance_check.passes);
+        assert!(!report.inductance_significant());
+        assert!(report.summary().contains("single ramp"));
+    }
+
+    #[test]
+    fn resistive_line_fails_the_attenuation_check() {
+        // A long narrow line: R >> 2 Z0.
+        let line = RlcLine::new(400.0, nh(7.0), pf(1.5), mm(7.0));
+        let report = InductanceCriteria::default().evaluate(&line, ff(10.0), 70.0, ps(60.0));
+        assert!(!report.line_resistance_check.passes);
+        assert!(!report.inductance_significant());
+    }
+
+    #[test]
+    fn slow_output_ramp_fails_the_rise_time_check() {
+        // Short line (tf ~ 15 ps) driven with a slow output ramp: inductance
+        // is screened out even though the impedances would allow it.
+        let line = RlcLine::new(15.0, nh(1.0), pf(0.22), mm(1.0));
+        let report = InductanceCriteria::default().evaluate(&line, ff(5.0), 50.0, ps(120.0));
+        assert!(!report.rise_time_check.passes);
+        assert!(!report.inductance_significant());
+    }
+
+    #[test]
+    fn heavy_fanout_load_fails_the_load_check() {
+        let report =
+            InductanceCriteria::default().evaluate(&inductive_line(), pf(0.9), 70.0, ps(60.0));
+        assert!(!report.load_check.passes);
+        assert!(!report.inductance_significant());
+    }
+
+    #[test]
+    fn thresholds_are_tunable() {
+        let strict = InductanceCriteria {
+            rise_time_factor: 0.5,
+            ..InductanceCriteria::default()
+        };
+        let report = strict.evaluate(&inductive_line(), ff(10.0), 70.0, ps(60.0));
+        assert!(!report.rise_time_check.passes);
+    }
+
+    #[test]
+    fn summary_mentions_every_check() {
+        let report =
+            InductanceCriteria::default().evaluate(&inductive_line(), ff(10.0), 70.0, ps(60.0));
+        let s = report.summary();
+        assert!(s.contains("CL") && s.contains("Rl") && s.contains("Rs") && s.contains("Tr1"));
+    }
+}

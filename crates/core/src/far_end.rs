@@ -1,0 +1,160 @@
+//! Far-end response computation.
+//!
+//! Step 5 of the paper's flow: "Replace the driver with a voltage source
+//! consisting of two ramps and compute the far-end response of the
+//! interconnect." The modelled waveform becomes an ideal PWL source driving
+//! the same segmented RLC line, and the far-end delay and slew are measured
+//! from that (purely linear, fast) simulation.
+
+use rlc_interconnect::RlcLine;
+use rlc_numeric::units::ps;
+use rlc_spice::testbench::pwl_source_with_rlc_line;
+use rlc_spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_spice::Waveform;
+
+use crate::flow::DriverOutputModel;
+use crate::CeffError;
+
+/// Options for the far-end propagation simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarEndOptions {
+    /// Number of ladder segments (default 40).
+    pub segments: usize,
+    /// Transient time step (default 0.5 ps).
+    pub time_step: f64,
+    /// Extra settling time added after the modelled transition completes
+    /// (default 500 ps).
+    pub settle_time: f64,
+}
+
+impl Default for FarEndOptions {
+    fn default() -> Self {
+        FarEndOptions {
+            segments: 40,
+            time_step: ps(0.5),
+            settle_time: ps(500.0),
+        }
+    }
+}
+
+/// The far-end response produced by driving the line with a modelled
+/// driver-output waveform.
+#[derive(Debug, Clone)]
+pub struct FarEndResponse {
+    /// Far-end voltage waveform.
+    pub far_waveform: Waveform,
+    /// Near-end (source) waveform actually applied.
+    pub near_waveform: Waveform,
+    /// 50 % delay of the far end measured from the input's 50 % crossing (s).
+    pub delay_from_input: f64,
+    /// 10–90 % far-end transition time (s).
+    pub slew: f64,
+    /// Far-end overshoot above the supply (V).
+    pub overshoot: f64,
+}
+
+impl FarEndResponse {
+    /// Simulates the far-end response of `line` (terminated by `c_load`)
+    /// driven by the modelled waveform.
+    ///
+    /// # Errors
+    /// Propagates simulation errors and reports missing waveform crossings.
+    pub fn from_model(
+        model: &DriverOutputModel,
+        line: &RlcLine,
+        c_load: f64,
+        options: &FarEndOptions,
+    ) -> Result<Self, CeffError> {
+        let t_stop = model.end_time() + options.settle_time + 4.0 * line.time_of_flight();
+        let source = model.to_source(t_stop);
+        let (ckt, nodes) = pwl_source_with_rlc_line(
+            source,
+            0.0,
+            line.resistance(),
+            line.inductance(),
+            line.capacitance(),
+            options.segments,
+            c_load,
+        );
+        let result = TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop))
+            .run(&ckt)?;
+        let far = result.waveform(nodes.far_end);
+        let near = result.waveform(nodes.output);
+        let vdd = model.vdd;
+        let t50 = far
+            .crossing_fraction(0.5, vdd, true)
+            .ok_or_else(|| CeffError::Measurement("far end never crossed 50%".into()))?;
+        let slew = far
+            .slew_10_90(vdd, true)
+            .ok_or_else(|| CeffError::Measurement("far end never completed 10-90%".into()))?;
+        Ok(FarEndResponse {
+            overshoot: far.overshoot(vdd),
+            delay_from_input: t50 - model.input_t50,
+            slew,
+            far_waveform: far,
+            near_waveform: near,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::{AnalysisCase, DriverOutputModeler, ModelingConfig};
+    use rlc_charlib::{DriverCell, TimingTable};
+    use rlc_numeric::units::{ff, mm, nh, pf};
+    use rlc_spice::testbench::InverterSpec;
+
+    fn synthetic_cell() -> DriverCell {
+        let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+        let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+        let transition: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                    .collect()
+            })
+            .collect();
+        let delay: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                    .collect()
+            })
+            .collect();
+        DriverCell::from_parts(
+            InverterSpec::sized_018(75.0),
+            TimingTable::new(slews, loads, delay, transition),
+            70.0,
+        )
+    }
+
+    #[test]
+    fn far_end_lags_near_end_and_completes() {
+        let cell = synthetic_cell();
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let config = ModelingConfig {
+            extract_rs_per_case: false,
+            ..ModelingConfig::default()
+        };
+        let model = DriverOutputModeler::new(config).model(&case).unwrap();
+        let options = FarEndOptions {
+            segments: 16,
+            time_step: ps(1.0),
+            ..FarEndOptions::default()
+        };
+        let far = FarEndResponse::from_model(&model, &line, ff(10.0), &options).unwrap();
+        assert!(far.far_waveform.last_value() > 0.95 * model.vdd);
+        // The far end switches later than the modelled near-end delay.
+        assert!(far.delay_from_input > model.delay());
+        assert!(far.slew > 0.0);
+        // Ramp drive of a low-loss line overshoots at the open far end.
+        assert!(far.overshoot >= 0.0);
+        assert!(far.near_waveform.last_value() > 0.95 * model.vdd);
+    }
+}

@@ -1,0 +1,294 @@
+//! The effective-capacitance fixed-point iterations.
+//!
+//! "Ceff1 can be obtained by iterating on Tr1. We start with an initial guess
+//! of Ceff1 equal to the total capacitance and iteratively improve the
+//! effective capacitance until the value converges. Tr1 at each step can be
+//! obtained from pre-characterized cell information" (Section 4.1). The same
+//! scheme is used for `Ceff2` and for the single-Ceff fallback.
+
+use rlc_charlib::DriverCell;
+use rlc_moments::RationalAdmittance;
+
+use crate::charge::{ceff_first_ramp, ceff_second_ramp};
+use crate::CeffError;
+
+/// Convergence controls for the Ceff iterations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationSettings {
+    /// Relative change of Ceff below which the iteration is converged.
+    pub rel_tolerance: f64,
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Damping factor in `(0, 1]`: 1 is the paper's plain fixed-point update,
+    /// smaller values stabilize rare oscillating cases.
+    pub damping: f64,
+    /// Lower clamp for the effective capacitance as a fraction of the total
+    /// capacitance (keeps the cell-table lookup inside a physical range even
+    /// when a non-passive moment fit momentarily produces a negative charge).
+    pub min_fraction_of_total: f64,
+}
+
+impl Default for IterationSettings {
+    fn default() -> Self {
+        IterationSettings {
+            rel_tolerance: 1e-4,
+            max_iterations: 100,
+            damping: 1.0,
+            min_fraction_of_total: 0.02,
+        }
+    }
+}
+
+/// Result of one converged Ceff iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CeffIteration {
+    /// Converged effective capacitance (farads).
+    pub ceff: f64,
+    /// Full-swing ramp time looked up from the cell table at `ceff` (seconds).
+    pub ramp_time: f64,
+    /// 50 % cell delay looked up at `ceff` (seconds).
+    pub delay: f64,
+    /// Iterations used.
+    pub iterations: usize,
+}
+
+fn iterate_ceff<G>(
+    cell: &DriverCell,
+    input_slew: f64,
+    total_capacitance: f64,
+    ceiling_fraction: f64,
+    settings: &IterationSettings,
+    which: &'static str,
+    mut ceff_of_ramp: G,
+) -> Result<CeffIteration, CeffError>
+where
+    G: FnMut(f64) -> f64,
+{
+    assert!(input_slew > 0.0, "input slew must be positive");
+    assert!(total_capacitance > 0.0, "total capacitance must be positive");
+    let floor = settings.min_fraction_of_total * total_capacitance;
+    let ceiling = ceiling_fraction * total_capacitance;
+    let mut ceff = total_capacitance;
+    let mut ramp = cell.ramp_time(input_slew, ceff);
+    for it in 1..=settings.max_iterations {
+        let raw = ceff_of_ramp(ramp);
+        let clamped = raw.clamp(floor, ceiling);
+        let next = (1.0 - settings.damping) * ceff + settings.damping * clamped;
+        let change = (next - ceff).abs() / ceff.max(1e-30);
+        ceff = next;
+        ramp = cell.ramp_time(input_slew, ceff);
+        if change < settings.rel_tolerance {
+            return Ok(CeffIteration {
+                ceff,
+                ramp_time: ramp,
+                delay: cell.delay(input_slew, ceff),
+                iterations: it,
+            });
+        }
+    }
+    Err(CeffError::IterationDiverged {
+        which,
+        iterations: settings.max_iterations,
+    })
+}
+
+/// Iterates the first-ramp effective capacitance `Ceff1` (or, with `f = 1`,
+/// the classic single effective capacitance). `Ceff1` is clamped to the total
+/// capacitance: the charge delivered while the output rises to the breakpoint
+/// can never exceed what a lumped total capacitance would take.
+///
+/// # Errors
+/// Returns [`CeffError::IterationDiverged`] if the fixed point does not
+/// settle within the allowed iterations.
+pub fn iterate_ceff1(
+    cell: &DriverCell,
+    fit: &RationalAdmittance,
+    input_slew: f64,
+    f: f64,
+    settings: &IterationSettings,
+) -> Result<CeffIteration, CeffError> {
+    iterate_ceff(
+        cell,
+        input_slew,
+        fit.total_capacitance(),
+        1.0,
+        settings,
+        "Ceff1",
+        |ramp| ceff_first_ramp(fit, ramp, f),
+    )
+}
+
+/// Iterates the second-ramp effective capacitance `Ceff2`, given the already
+/// converged first-ramp duration `tr1`.
+///
+/// Unlike `Ceff1`, the second-interval charge legitimately exceeds the total
+/// capacitance times the remaining voltage swing: the reflection returns the
+/// charge that was shielded during the first ramp. The iterate is therefore
+/// only clamped at three times the total capacitance, as a guard against
+/// numerically pathological fits.
+///
+/// # Errors
+/// Returns [`CeffError::IterationDiverged`] if the fixed point does not
+/// settle within the allowed iterations.
+pub fn iterate_ceff2(
+    cell: &DriverCell,
+    fit: &RationalAdmittance,
+    input_slew: f64,
+    f: f64,
+    tr1: f64,
+    settings: &IterationSettings,
+) -> Result<CeffIteration, CeffError> {
+    iterate_ceff(
+        cell,
+        input_slew,
+        fit.total_capacitance(),
+        3.0,
+        settings,
+        "Ceff2",
+        |ramp| ceff_second_ramp(fit, tr1, ramp, f),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_charlib::{CharacterizationGrid, DriverCell, TimingTable};
+    use rlc_interconnect::RlcLine;
+    use rlc_moments::distributed_admittance_moments;
+    use rlc_numeric::units::{ff, mm, nh, pf, ps};
+    use rlc_spice::testbench::InverterSpec;
+
+    /// A synthetic affine cell table (fast, deterministic) for iteration tests.
+    fn synthetic_cell(size: f64) -> DriverCell {
+        let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+        let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+        // Transition grows affinely with load, inversely with size.
+        let transition: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(12000.0) / size)
+                    .collect()
+            })
+            .collect();
+        let delay: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(4000.0) / size)
+                    .collect()
+            })
+            .collect();
+        DriverCell::from_parts(
+            InverterSpec::sized_018(size),
+            TimingTable::new(slews, loads, delay, transition),
+            5000.0 / size,
+        )
+    }
+
+    fn paper_fit() -> RationalAdmittance {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let m = distributed_admittance_moments(&line, ff(10.0), 5);
+        RationalAdmittance::from_moments(&m).unwrap()
+    }
+
+    #[test]
+    fn ceff1_iteration_converges_and_shields_the_line() {
+        let cell = synthetic_cell(75.0);
+        let fit = paper_fit();
+        let it = iterate_ceff1(&cell, &fit, ps(100.0), 0.48, &IterationSettings::default())
+            .unwrap();
+        assert!(it.iterations < 50);
+        assert!(it.ceff > 0.0 && it.ceff < fit.total_capacitance());
+        // The first ramp sees a strongly shielded load (most of the line's
+        // capacitance is beyond one time of flight).
+        assert!(it.ceff < 0.7 * fit.total_capacitance(), "ceff1 = {:.3e}", it.ceff);
+        assert!(it.ramp_time > 0.0 && it.delay > 0.0);
+    }
+
+    #[test]
+    fn ceff2_exceeds_ceff1() {
+        let cell = synthetic_cell(75.0);
+        let fit = paper_fit();
+        let f = 0.48;
+        let settings = IterationSettings::default();
+        let first = iterate_ceff1(&cell, &fit, ps(100.0), f, &settings).unwrap();
+        let second =
+            iterate_ceff2(&cell, &fit, ps(100.0), f, first.ramp_time, &settings).unwrap();
+        assert!(
+            second.ceff > first.ceff,
+            "ceff2 ({:.3e}) must exceed ceff1 ({:.3e}): the reflection returns the shielded charge",
+            second.ceff,
+            first.ceff
+        );
+        // The reflection can return more charge than the lumped total would take
+        // over the same voltage swing, but not absurdly more.
+        assert!(second.ceff <= 3.0 * fit.total_capacitance());
+    }
+
+    #[test]
+    fn single_ceff_with_f_one_lies_between_ceff1_and_total() {
+        let cell = synthetic_cell(75.0);
+        let fit = paper_fit();
+        let settings = IterationSettings::default();
+        let ceff1 = iterate_ceff1(&cell, &fit, ps(100.0), 0.48, &settings).unwrap();
+        let single = iterate_ceff1(&cell, &fit, ps(100.0), 1.0, &settings).unwrap();
+        assert!(single.ceff > ceff1.ceff);
+        assert!(single.ceff <= fit.total_capacitance());
+    }
+
+    #[test]
+    fn stronger_drivers_see_more_shielding() {
+        let fit = paper_fit();
+        let settings = IterationSettings::default();
+        let weak = iterate_ceff1(&synthetic_cell(25.0), &fit, ps(100.0), 1.0, &settings).unwrap();
+        let strong =
+            iterate_ceff1(&synthetic_cell(125.0), &fit, ps(100.0), 1.0, &settings).unwrap();
+        assert!(
+            strong.ceff < weak.ceff,
+            "a faster driver sees a smaller effective capacitance"
+        );
+    }
+
+    #[test]
+    fn damping_still_converges() {
+        let cell = synthetic_cell(75.0);
+        let fit = paper_fit();
+        let settings = IterationSettings {
+            damping: 0.5,
+            ..IterationSettings::default()
+        };
+        let it = iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &settings).unwrap();
+        let plain = iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &IterationSettings::default())
+            .unwrap();
+        assert!((it.ceff - plain.ceff).abs() / plain.ceff < 1e-3);
+    }
+
+    #[test]
+    fn divergence_is_reported() {
+        let cell = synthetic_cell(75.0);
+        let fit = paper_fit();
+        let settings = IterationSettings {
+            max_iterations: 1,
+            rel_tolerance: 1e-12,
+            ..IterationSettings::default()
+        };
+        assert!(matches!(
+            iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &settings),
+            Err(CeffError::IterationDiverged { which: "Ceff1", .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_with_real_characterized_cell() {
+        // End-to-end sanity with an actual simulated table (coarse grid).
+        let cell = DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests())
+            .unwrap();
+        let fit = paper_fit();
+        let it = iterate_ceff1(&cell, &fit, ps(100.0), 1.0, &IterationSettings::default())
+            .unwrap();
+        assert!(it.ceff > 0.1e-12 && it.ceff <= fit.total_capacitance());
+    }
+}

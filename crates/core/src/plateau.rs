@@ -1,0 +1,78 @@
+//! Plateau correction of the second ramp (Equation 8 of the paper).
+//!
+//! Between the initial step and the arrival of the first reflection the
+//! driver output is (nearly) flat for a duration `2 tf − Tr1` — the round
+//! trip time of flight minus the part already spent ramping. No charge flows
+//! during the plateau, so `Ceff2` does not see it; the paper accounts for the
+//! extra delay by stretching the second ramp:
+//!
+//! ```text
+//! Tr2_new = Tr2 + (2 tf − Tr1) / (1 − f)
+//! ```
+//!
+//! The division by `(1 − f)` appears because only the `(1 − f)` fraction of
+//! the second ramp is actually traversed, so shifting its end point by the
+//! plateau duration requires stretching the full-swing time by the larger
+//! amount.
+
+/// Duration of the reflection plateau, `max(0, 2 tf − tr1)`.
+///
+/// # Panics
+/// Panics if `time_of_flight` or `tr1` is negative.
+pub fn plateau_duration(time_of_flight: f64, tr1: f64) -> f64 {
+    assert!(time_of_flight >= 0.0 && tr1 >= 0.0);
+    (2.0 * time_of_flight - tr1).max(0.0)
+}
+
+/// The plateau-corrected second-ramp duration `Tr2_new` (Equation 8). When
+/// the initial ramp is slower than the round-trip time of flight there is no
+/// plateau and `tr2` is returned unchanged.
+///
+/// # Panics
+/// Panics if `tr2 <= 0`, `f` is not in `(0, 1)`, or the other arguments are
+/// negative.
+pub fn plateau_corrected_tr2(tr2: f64, tr1: f64, time_of_flight: f64, f: f64) -> f64 {
+    assert!(tr2 > 0.0, "second ramp duration must be positive");
+    assert!(f > 0.0 && f < 1.0, "breakpoint fraction must be in (0, 1)");
+    tr2 + plateau_duration(time_of_flight, tr1) / (1.0 - f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::ps;
+
+    #[test]
+    fn no_plateau_when_ramp_is_slower_than_round_trip() {
+        assert_eq!(plateau_duration(ps(40.0), ps(100.0)), 0.0);
+        let tr2 = plateau_corrected_tr2(ps(200.0), ps(100.0), ps(40.0), 0.5);
+        assert!(approx_eq(tr2, ps(200.0), 1e-12));
+    }
+
+    #[test]
+    fn plateau_extends_the_second_ramp() {
+        // tf = 75 ps, tr1 = 60 ps -> plateau 90 ps; f = 0.5 -> stretch 180 ps.
+        let tr2 = plateau_corrected_tr2(ps(150.0), ps(60.0), ps(75.0), 0.5);
+        assert!(approx_eq(tr2, ps(150.0) + ps(180.0), 1e-9));
+    }
+
+    #[test]
+    fn higher_breakpoints_stretch_more() {
+        let low_f = plateau_corrected_tr2(ps(150.0), ps(60.0), ps(75.0), 0.3);
+        let high_f = plateau_corrected_tr2(ps(150.0), ps(60.0), ps(75.0), 0.7);
+        assert!(high_f > low_f);
+    }
+
+    #[test]
+    fn plateau_duration_matches_paper_expression() {
+        assert!(approx_eq(plateau_duration(ps(75.0), ps(60.0)), ps(90.0), 1e-12));
+        assert_eq!(plateau_duration(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in (0, 1)")]
+    fn f_of_one_rejected() {
+        let _ = plateau_corrected_tr2(ps(100.0), ps(50.0), ps(60.0), 1.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! The single-ramp (classic effective capacitance) driver output model, used
+//! when the inductance criteria are not met and as the "1 ramp" baseline of
+//! the paper's Table 1.
+
+use rlc_spice::{SourceWaveform, Waveform};
+
+/// A saturated single-ramp waveform of full-swing duration `tr` starting at
+/// `start_time`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleRampModel {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Full-swing ramp duration (s).
+    pub tr: f64,
+    /// Absolute time at which the output transition starts (s).
+    pub start_time: f64,
+}
+
+impl SingleRampModel {
+    /// Creates a single-ramp waveform description.
+    ///
+    /// # Panics
+    /// Panics if `vdd` or `tr` is not positive.
+    pub fn new(vdd: f64, tr: f64, start_time: f64) -> Self {
+        assert!(vdd > 0.0, "supply must be positive");
+        assert!(tr > 0.0, "ramp duration must be positive");
+        SingleRampModel {
+            vdd,
+            tr,
+            start_time,
+        }
+    }
+
+    /// Voltage at absolute time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        let tau = t - self.start_time;
+        (self.vdd * tau / self.tr).clamp(0.0, self.vdd)
+    }
+
+    /// Absolute time of the crossing of `fraction · vdd`.
+    pub fn crossing_time(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        self.start_time + fraction * self.tr
+    }
+
+    /// 50 % delay relative to the input's 50 % crossing.
+    pub fn delay_from(&self, input_t50: f64) -> f64 {
+        self.crossing_time(0.5) - input_t50
+    }
+
+    /// 10–90 % transition time (0.8 · `tr` for a linear ramp).
+    pub fn slew_10_90(&self) -> f64 {
+        0.8 * self.tr
+    }
+
+    /// The waveform as a PWL voltage source padded to `t_stop`.
+    pub fn to_source(&self, t_stop: f64) -> SourceWaveform {
+        let mut pts = vec![(0.0, 0.0), (self.start_time.max(0.0), 0.0)];
+        pts.push((self.start_time + self.tr, self.vdd));
+        if t_stop > self.start_time + self.tr {
+            pts.push((t_stop, self.vdd));
+        }
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-30 && (a.1 - b.1).abs() < 1e-30);
+        SourceWaveform::pwl(pts)
+    }
+
+    /// Samples the model into a [`Waveform`].
+    pub fn to_waveform(&self, t_stop: f64, n: usize) -> Waveform {
+        Waveform::from_fn(|t| self.value_at(t), t_stop, n)
+    }
+}
+
+impl std::fmt::Display for SingleRampModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "single ramp: Tr={:.1} ps, start={:.1} ps",
+            self.tr * 1e12,
+            self.start_time * 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::ps;
+
+    #[test]
+    fn ramp_shape_and_metrics() {
+        let m = SingleRampModel::new(1.8, ps(200.0), ps(50.0));
+        assert_eq!(m.value_at(0.0), 0.0);
+        assert!(approx_eq(m.value_at(ps(150.0)), 0.9, 1e-12));
+        assert_eq!(m.value_at(ps(500.0)), 1.8);
+        assert!(approx_eq(m.crossing_time(0.5), ps(150.0), 1e-12));
+        assert!(approx_eq(m.delay_from(ps(100.0)), ps(50.0), 1e-12));
+        assert!(approx_eq(m.slew_10_90(), ps(160.0), 1e-12));
+    }
+
+    #[test]
+    fn pwl_source_matches_model() {
+        let m = SingleRampModel::new(1.8, ps(200.0), ps(50.0));
+        let src = m.to_source(ps(1000.0));
+        for &t in &[0.0, ps(40.0), ps(100.0), ps(250.0), ps(800.0)] {
+            assert!(approx_eq(src.value_at(t), m.value_at(t), 1e-9));
+        }
+        let w = m.to_waveform(ps(600.0), 600);
+        assert!(approx_eq(w.slew_10_90(1.8, true).unwrap(), m.slew_10_90(), 1e-2));
+    }
+
+    #[test]
+    fn display_reports_picoseconds() {
+        assert!(SingleRampModel::new(1.8, ps(120.0), 0.0)
+            .to_string()
+            .contains("Tr=120.0 ps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ramp duration must be positive")]
+    fn zero_tr_rejected() {
+        let _ = SingleRampModel::new(1.8, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The two-ramp driver output waveform (Figure 2 / Equation 2 of the paper).
+
+use rlc_spice::{SourceWaveform, Waveform};
+
+/// A two-ramp saturated waveform: a first ramp of full-swing duration `tr1`
+/// up to the breakpoint `f·vdd`, followed by a second ramp of full-swing
+/// duration `tr2` (already plateau-corrected) that completes the transition
+/// to `vdd`. `start_time` places the waveform on the absolute time axis of
+/// the testbench (the instant the driver output starts rising).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TwoRampModel {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Breakpoint fraction `f = Z0/(Z0+Rs)`.
+    pub f: f64,
+    /// Full-swing duration of the first ramp (s).
+    pub tr1: f64,
+    /// Full-swing duration of the second ramp, after the plateau correction
+    /// (s).
+    pub tr2: f64,
+    /// Absolute time at which the output transition starts (s).
+    pub start_time: f64,
+}
+
+impl TwoRampModel {
+    /// Creates a two-ramp waveform description.
+    ///
+    /// # Panics
+    /// Panics if `vdd`, `tr1` or `tr2` is not positive, or `f` is outside
+    /// `(0, 1)`.
+    pub fn new(vdd: f64, f: f64, tr1: f64, tr2: f64, start_time: f64) -> Self {
+        assert!(vdd > 0.0, "supply must be positive");
+        assert!(f > 0.0 && f < 1.0, "breakpoint fraction must be in (0, 1)");
+        assert!(tr1 > 0.0 && tr2 > 0.0, "ramp durations must be positive");
+        TwoRampModel {
+            vdd,
+            f,
+            tr1,
+            tr2,
+            start_time,
+        }
+    }
+
+    /// Time (relative to `start_time`) at which the first ramp ends.
+    pub fn breakpoint_time(&self) -> f64 {
+        self.f * self.tr1
+    }
+
+    /// Time (relative to `start_time`) at which the waveform reaches `vdd`.
+    pub fn end_time(&self) -> f64 {
+        self.f * self.tr1 + (1.0 - self.f) * self.tr2
+    }
+
+    /// Voltage at absolute time `t` (Equation 2, with saturation at 0 and
+    /// `vdd` outside the transition window).
+    pub fn value_at(&self, t: f64) -> f64 {
+        let tau = t - self.start_time;
+        if tau <= 0.0 {
+            return 0.0;
+        }
+        let t_break = self.breakpoint_time();
+        if tau <= t_break {
+            self.vdd * tau / self.tr1
+        } else if tau < self.end_time() {
+            self.vdd * tau / self.tr2 + (1.0 - self.tr1 / self.tr2) * self.f * self.vdd
+        } else {
+            self.vdd
+        }
+    }
+
+    /// Absolute time of the first crossing of `fraction · vdd`.
+    pub fn crossing_time(&self, fraction: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&fraction));
+        let target = fraction * self.vdd;
+        if fraction <= self.f {
+            self.start_time + target / self.vdd * self.tr1
+        } else {
+            // Invert the second-ramp expression.
+            self.start_time + (target / self.vdd - (1.0 - self.tr1 / self.tr2) * self.f) * self.tr2
+        }
+    }
+
+    /// 50 % delay of the modelled driver output relative to the input's 50 %
+    /// crossing time.
+    pub fn delay_from(&self, input_t50: f64) -> f64 {
+        self.crossing_time(0.5) - input_t50
+    }
+
+    /// 10–90 % transition time of the modelled waveform (the slew metric the
+    /// paper reports).
+    pub fn slew_10_90(&self) -> f64 {
+        self.crossing_time(0.9) - self.crossing_time(0.1)
+    }
+
+    /// The waveform as a piecewise-linear voltage source for the far-end
+    /// simulation, padded with a flat tail up to `t_stop`.
+    pub fn to_source(&self, t_stop: f64) -> SourceWaveform {
+        let mut pts = vec![(0.0, 0.0), (self.start_time.max(0.0), 0.0)];
+        pts.push((
+            self.start_time + self.breakpoint_time(),
+            self.f * self.vdd,
+        ));
+        pts.push((self.start_time + self.end_time(), self.vdd));
+        if t_stop > self.start_time + self.end_time() {
+            pts.push((t_stop, self.vdd));
+        }
+        // Remove any duplicate leading point if start_time == 0.
+        pts.dedup_by(|a, b| (a.0 - b.0).abs() < 1e-30 && (a.1 - b.1).abs() < 1e-30);
+        SourceWaveform::pwl(pts)
+    }
+
+    /// Samples the model into a [`Waveform`] over `[0, t_stop]` with `n`
+    /// intervals, for plotting and RMS comparisons against simulation.
+    pub fn to_waveform(&self, t_stop: f64, n: usize) -> Waveform {
+        Waveform::from_fn(|t| self.value_at(t), t_stop, n)
+    }
+}
+
+impl std::fmt::Display for TwoRampModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "two-ramp: f={:.3}, Tr1={:.1} ps, Tr2={:.1} ps, start={:.1} ps",
+            self.f,
+            self.tr1 * 1e12,
+            self.tr2 * 1e12,
+            self.start_time * 1e12
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::ps;
+
+    fn model() -> TwoRampModel {
+        TwoRampModel::new(1.8, 0.5, ps(60.0), ps(240.0), ps(100.0))
+    }
+
+    #[test]
+    fn piecewise_values_follow_equation_2() {
+        let m = model();
+        assert_eq!(m.value_at(ps(50.0)), 0.0);
+        // Midway through the first ramp.
+        assert!(approx_eq(m.value_at(ps(100.0) + ps(15.0)), 1.8 * 15.0 / 60.0, 1e-12));
+        // At the breakpoint: f*vdd.
+        assert!(approx_eq(m.value_at(ps(100.0) + ps(30.0)), 0.9, 1e-12));
+        // End of the transition: vdd, then saturated.
+        let end = ps(100.0) + m.end_time();
+        assert!(approx_eq(m.value_at(end), 1.8, 1e-9));
+        assert_eq!(m.value_at(end + ps(500.0)), 1.8);
+    }
+
+    #[test]
+    fn continuity_at_the_breakpoint() {
+        let m = TwoRampModel::new(1.8, 0.47, ps(55.0), ps(310.0), 0.0);
+        let tb = m.breakpoint_time();
+        let below = m.value_at(tb - 1e-18);
+        let above = m.value_at(tb + 1e-18);
+        assert!((below - above).abs() < 1e-6);
+        assert!(approx_eq(below, 0.47 * 1.8, 1e-6));
+    }
+
+    #[test]
+    fn crossing_times_invert_the_waveform() {
+        let m = model();
+        for frac in [0.1, 0.3, 0.5, 0.7, 0.9] {
+            let t = m.crossing_time(frac);
+            assert!(
+                approx_eq(m.value_at(t), frac * 1.8, 1e-9),
+                "fraction {frac}: value {} at t {}",
+                m.value_at(t),
+                t
+            );
+        }
+    }
+
+    #[test]
+    fn delay_and_slew_metrics() {
+        let m = model();
+        // 50 % crossing is exactly at the breakpoint (f = 0.5): 30 ps after start.
+        let d = m.delay_from(ps(80.0));
+        assert!(approx_eq(d, ps(100.0) + ps(30.0) - ps(80.0), 1e-9));
+        // Slew: 10 % on ramp 1 (6 ps), 90 % on ramp 2.
+        let slew = m.slew_10_90();
+        let expected = (0.5 - 0.1) * ps(60.0) + (0.9 - 0.5) * ps(240.0);
+        assert!(approx_eq(slew, expected, 1e-9));
+    }
+
+    #[test]
+    fn second_ramp_dominates_slew_when_plateau_corrected() {
+        let short = TwoRampModel::new(1.8, 0.5, ps(60.0), ps(100.0), 0.0);
+        let long = TwoRampModel::new(1.8, 0.5, ps(60.0), ps(400.0), 0.0);
+        assert!(long.slew_10_90() > short.slew_10_90());
+    }
+
+    #[test]
+    fn pwl_source_matches_the_analytic_waveform() {
+        let m = model();
+        let src = m.to_source(ps(1000.0));
+        for &t in &[0.0, ps(90.0), ps(115.0), ps(130.0), ps(200.0), ps(400.0), ps(900.0)] {
+            assert!(
+                approx_eq(src.value_at(t), m.value_at(t), 1e-9),
+                "t = {t}: {} vs {}",
+                src.value_at(t),
+                m.value_at(t)
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_waveform_has_same_slew() {
+        let m = model();
+        let w = m.to_waveform(ps(800.0), 4000);
+        let slew = w.slew_10_90(1.8, true).unwrap();
+        assert!(approx_eq(slew, m.slew_10_90(), 1e-2));
+    }
+
+    #[test]
+    fn display_reports_picoseconds() {
+        let s = model().to_string();
+        assert!(s.contains("Tr1=60.0 ps"));
+        assert!(s.contains("f=0.500"));
+    }
+
+    #[test]
+    #[should_panic(expected = "breakpoint fraction")]
+    fn f_outside_unit_interval_rejected() {
+        let _ = TwoRampModel::new(1.8, 1.2, ps(50.0), ps(100.0), 0.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Golden-simulation validation: run the full nonlinear testbench (inverter
+//! driving the segmented RLC line) with `rlc-spice`, measure delay and slew
+//! at the near and far ends, and compare against the model. This is the
+//! machinery behind the paper's Table 1 and Figure 7.
+
+use rlc_interconnect::RlcLine;
+use rlc_numeric::relative_error;
+use rlc_numeric::units::ps;
+use rlc_spice::testbench::{inverter_with_rlc_line, OutputTransition};
+use rlc_spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_spice::Waveform;
+
+use crate::far_end::{FarEndOptions, FarEndResponse};
+use crate::flow::{AnalysisCase, DriverOutputModel, DriverOutputModeler};
+use crate::CeffError;
+
+/// Options for the golden simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GoldenOptions {
+    /// Number of ladder segments (default 40).
+    pub segments: usize,
+    /// Transient time step (default 0.5 ps).
+    pub time_step: f64,
+    /// Hard cap on the simulated window (default 3 ns).
+    pub max_stop_time: f64,
+}
+
+impl Default for GoldenOptions {
+    fn default() -> Self {
+        GoldenOptions {
+            segments: 40,
+            time_step: ps(0.5),
+            max_stop_time: 3e-9,
+        }
+    }
+}
+
+impl GoldenOptions {
+    /// A cheaper configuration for debug-build unit tests.
+    pub fn coarse_for_tests() -> Self {
+        GoldenOptions {
+            segments: 14,
+            time_step: ps(1.0),
+            max_stop_time: 2.5e-9,
+        }
+    }
+}
+
+/// The waveforms produced by the golden simulation of one case.
+#[derive(Debug, Clone)]
+pub struct GoldenWaveforms {
+    /// Input ramp at the driver's gate.
+    pub input: Waveform,
+    /// Driver output (near end of the line).
+    pub near: Waveform,
+    /// Far end of the line.
+    pub far: Waveform,
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Absolute time of the input's 50 % crossing (s).
+    pub input_t50: f64,
+}
+
+impl GoldenWaveforms {
+    /// Simulates the golden testbench for a case.
+    ///
+    /// # Errors
+    /// Propagates simulation errors and missing measurements.
+    pub fn simulate(case: &AnalysisCase<'_>, options: &GoldenOptions) -> Result<Self, CeffError> {
+        let line = case.line;
+        let spec = case.cell.spec();
+        // Simulation window: input ramp, several round trips, and the RC
+        // settling of the driver against the full line capacitance.
+        let rs_estimate = 3.0e-3 / spec.nmos_width;
+        let settle = 8.0 * (rs_estimate + line.resistance()) * (line.capacitance() + case.c_load);
+        let t_stop = (case.input_delay
+            + case.input_slew
+            + 10.0 * line.time_of_flight()
+            + settle
+            + ps(200.0))
+        .min(options.max_stop_time);
+
+        let (ckt, nodes) = inverter_with_rlc_line(
+            spec,
+            case.input_slew,
+            case.input_delay,
+            line.resistance(),
+            line.inductance(),
+            line.capacitance(),
+            options.segments,
+            case.c_load,
+            OutputTransition::Rising,
+        );
+        let result = TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop))
+            .run(&ckt)?;
+        let input = result.waveform(nodes.input);
+        let near = result.waveform(nodes.output);
+        let far = result.waveform(nodes.far_end);
+        let vdd = spec.vdd;
+        let input_t50 = input
+            .crossing_fraction(0.5, vdd, false)
+            .ok_or_else(|| CeffError::Measurement("input never crossed 50%".into()))?;
+        Ok(GoldenWaveforms {
+            input,
+            near,
+            far,
+            vdd,
+            input_t50,
+        })
+    }
+
+    /// Near-end 50 % delay from the input's 50 % crossing.
+    ///
+    /// # Errors
+    /// Fails if the near-end waveform never crosses 50 %.
+    pub fn near_delay(&self) -> Result<f64, CeffError> {
+        let t = self
+            .near
+            .crossing_fraction(0.5, self.vdd, true)
+            .ok_or_else(|| CeffError::Measurement("near end never crossed 50%".into()))?;
+        Ok(t - self.input_t50)
+    }
+
+    /// Near-end 10–90 % transition time.
+    ///
+    /// # Errors
+    /// Fails if the near-end waveform never completes the transition.
+    pub fn near_slew(&self) -> Result<f64, CeffError> {
+        self.near
+            .slew_10_90(self.vdd, true)
+            .ok_or_else(|| CeffError::Measurement("near end never completed 10-90%".into()))
+    }
+
+    /// Far-end 50 % delay from the input's 50 % crossing.
+    ///
+    /// # Errors
+    /// Fails if the far-end waveform never crosses 50 %.
+    pub fn far_delay(&self) -> Result<f64, CeffError> {
+        let t = self
+            .far
+            .crossing_fraction(0.5, self.vdd, true)
+            .ok_or_else(|| CeffError::Measurement("far end never crossed 50%".into()))?;
+        Ok(t - self.input_t50)
+    }
+
+    /// Far-end 10–90 % transition time.
+    ///
+    /// # Errors
+    /// Fails if the far-end waveform never completes the transition.
+    pub fn far_slew(&self) -> Result<f64, CeffError> {
+        self.far
+            .slew_10_90(self.vdd, true)
+            .ok_or_else(|| CeffError::Measurement("far end never completed 10-90%".into()))
+    }
+}
+
+/// Model-vs-golden comparison of one case (one row of Table 1 / one point of
+/// Figure 7).
+#[derive(Debug, Clone)]
+pub struct CaseComparison {
+    /// Golden (simulated) near-end delay (s).
+    pub sim_delay: f64,
+    /// Golden near-end slew (s).
+    pub sim_slew: f64,
+    /// Modelled near-end delay (s).
+    pub model_delay: f64,
+    /// Modelled near-end slew (s).
+    pub model_slew: f64,
+    /// Signed relative delay error of the model.
+    pub delay_error: f64,
+    /// Signed relative slew error of the model.
+    pub slew_error: f64,
+    /// Whether the two-ramp model was used.
+    pub used_two_ramp: bool,
+    /// The model itself (for waveform-level inspection).
+    pub model: DriverOutputModel,
+}
+
+impl CaseComparison {
+    /// Runs the golden simulation and the modelling flow for a case and
+    /// compares their near-end delay and slew.
+    ///
+    /// # Errors
+    /// Propagates simulation, fit and measurement errors.
+    pub fn evaluate(
+        case: &AnalysisCase<'_>,
+        modeler: &DriverOutputModeler,
+        options: &GoldenOptions,
+    ) -> Result<Self, CeffError> {
+        let golden = GoldenWaveforms::simulate(case, options)?;
+        let model = modeler.model(case)?;
+        Self::against_golden(&golden, model)
+    }
+
+    /// Compares an already computed model against already simulated golden
+    /// waveforms (lets callers reuse the expensive golden run for several
+    /// model variants, e.g. the one-ramp baseline).
+    ///
+    /// # Errors
+    /// Propagates measurement errors.
+    pub fn against_golden(
+        golden: &GoldenWaveforms,
+        model: DriverOutputModel,
+    ) -> Result<Self, CeffError> {
+        let sim_delay = golden.near_delay()?;
+        let sim_slew = golden.near_slew()?;
+        let model_delay = model.delay();
+        let model_slew = model.slew();
+        Ok(CaseComparison {
+            sim_delay,
+            sim_slew,
+            model_delay,
+            model_slew,
+            delay_error: relative_error(model_delay, sim_delay),
+            slew_error: relative_error(model_slew, sim_slew),
+            used_two_ramp: model.is_two_ramp(),
+            model,
+        })
+    }
+
+    /// Far-end comparison: golden far-end delay/slew vs. the far end obtained
+    /// by driving the line with the modelled waveform.
+    ///
+    /// # Errors
+    /// Propagates simulation and measurement errors.
+    pub fn far_end(
+        &self,
+        golden: &GoldenWaveforms,
+        line: &RlcLine,
+        c_load: f64,
+        options: &FarEndOptions,
+    ) -> Result<FarEndComparison, CeffError> {
+        let model_far = FarEndResponse::from_model(&self.model, line, c_load, options)?;
+        let sim_delay = golden.far_delay()?;
+        let sim_slew = golden.far_slew()?;
+        Ok(FarEndComparison {
+            sim_delay,
+            sim_slew,
+            model_delay: model_far.delay_from_input,
+            model_slew: model_far.slew,
+            delay_error: relative_error(model_far.delay_from_input, sim_delay),
+            slew_error: relative_error(model_far.slew, sim_slew),
+        })
+    }
+}
+
+/// Far-end delay/slew comparison.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FarEndComparison {
+    /// Golden far-end delay (s).
+    pub sim_delay: f64,
+    /// Golden far-end slew (s).
+    pub sim_slew: f64,
+    /// Model-driven far-end delay (s).
+    pub model_delay: f64,
+    /// Model-driven far-end slew (s).
+    pub model_slew: f64,
+    /// Signed relative delay error.
+    pub delay_error: f64,
+    /// Signed relative slew error.
+    pub slew_error: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::ModelingConfig;
+    use rlc_charlib::{CharacterizationGrid, DriverCell};
+    use rlc_numeric::units::{ff, mm, nh, pf};
+
+    /// End-to-end check on the paper's flagship case (5 mm / 1.6 µm, 75X):
+    /// the golden simulation shows the transmission-line step and the
+    /// two-ramp model tracks its delay and slew far better than order-of-
+    /// magnitude. (Tight error-band checks run in release mode via the
+    /// integration tests and the experiment binaries.)
+    #[test]
+    fn two_ramp_model_tracks_golden_simulation() {
+        let cell =
+            DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let modeler = DriverOutputModeler::new(ModelingConfig {
+            extract_rs_per_case: false,
+            ..ModelingConfig::default()
+        });
+        let options = GoldenOptions::coarse_for_tests();
+        let cmp = CaseComparison::evaluate(&case, &modeler, &options).unwrap();
+        assert!(cmp.sim_delay > ps(10.0) && cmp.sim_delay < ps(120.0));
+        assert!(cmp.sim_slew > ps(60.0) && cmp.sim_slew < ps(600.0));
+        assert!(
+            cmp.delay_error.abs() < 0.5,
+            "delay error {:.1}% (sim {:.1} ps, model {:.1} ps)",
+            cmp.delay_error * 100.0,
+            cmp.sim_delay * 1e12,
+            cmp.model_delay * 1e12
+        );
+        assert!(
+            cmp.slew_error.abs() < 0.6,
+            "slew error {:.1}% (sim {:.1} ps, model {:.1} ps)",
+            cmp.slew_error * 100.0,
+            cmp.sim_slew * 1e12,
+            cmp.model_slew * 1e12
+        );
+    }
+
+    /// The golden near-end waveform of an inductive case must show the
+    /// initial-step-then-plateau shape the paper's Figure 1 describes: it
+    /// reaches ~f*VDD quickly and then stalls before completing.
+    #[test]
+    fn golden_waveform_shows_the_transmission_line_step() {
+        let cell =
+            DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::coarse_for_tests()).unwrap();
+        let vdd = golden.vdd;
+        let t40 = golden.near.crossing_fraction(0.4, vdd, true).unwrap();
+        let t90 = golden.near.crossing_fraction(0.9, vdd, true).unwrap();
+        // Reaching 40 % is fast (initial step), but reaching 90 % has to wait
+        // for at least one reflection: the gap must exceed the round trip.
+        assert!(
+            t90 - t40 > 1.5 * line.time_of_flight(),
+            "t40 = {:.1} ps, t90 = {:.1} ps",
+            t40 * 1e12,
+            t90 * 1e12
+        );
+        assert!(golden.near_delay().unwrap() > 0.0);
+        assert!(golden.far_delay().unwrap() > golden.near_delay().unwrap());
+        assert!(golden.far_slew().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,78 @@
+//! Wire geometry descriptions.
+
+use rlc_numeric::units::{to_mm, to_um};
+
+/// Physical geometry of a single on-chip wire (all dimensions in metres).
+///
+/// The paper sweeps length (1–7 mm) and width (0.8–3.5 µm); thickness and the
+/// dielectric stack are fixed by the technology, so they live in
+/// [`crate::technology::Technology`] rather than here.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireGeometry {
+    /// Routed length (m).
+    pub length: f64,
+    /// Drawn width (m).
+    pub width: f64,
+}
+
+impl WireGeometry {
+    /// Creates a wire geometry.
+    ///
+    /// # Panics
+    /// Panics if either dimension is not positive.
+    pub fn new(length: f64, width: f64) -> Self {
+        assert!(length > 0.0, "wire length must be positive");
+        assert!(width > 0.0, "wire width must be positive");
+        WireGeometry { length, width }
+    }
+
+    /// Length in millimetres (for display and for the empirical fit, which is
+    /// parameterized in the paper's units).
+    pub fn length_mm(&self) -> f64 {
+        to_mm(self.length)
+    }
+
+    /// Width in micrometres.
+    pub fn width_um(&self) -> f64 {
+        to_um(self.width)
+    }
+
+    /// Aspect ratio length/width (dimensionless).
+    pub fn aspect_ratio(&self) -> f64 {
+        self.length / self.width
+    }
+}
+
+impl std::fmt::Display for WireGeometry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} mm x {:.2} um", self.length_mm(), self.width_um())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::{mm, um};
+
+    #[test]
+    fn constructor_and_unit_accessors() {
+        let g = WireGeometry::new(mm(5.0), um(1.6));
+        assert!(approx_eq(g.length_mm(), 5.0, 1e-12));
+        assert!(approx_eq(g.width_um(), 1.6, 1e-12));
+        assert!(g.aspect_ratio() > 3000.0);
+        assert_eq!(g.to_string(), "5.00 mm x 1.60 um");
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_rejected() {
+        let _ = WireGeometry::new(0.0, um(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn negative_width_rejected() {
+        let _ = WireGeometry::new(mm(1.0), -um(1.0));
+    }
+}

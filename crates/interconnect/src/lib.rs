@@ -1,0 +1,51 @@
+//! # rlc-interconnect
+//!
+//! On-chip interconnect modelling for the RLC effective-capacitance
+//! reproduction: wire geometry, a calibrated 0.18 µm back-end technology
+//! description, parasitic extraction (the stand-in for the paper's
+//! "industry standard 3D field solver"), transmission-line properties and
+//! the published parasitic values of every experiment in the paper.
+//!
+//! Two extraction back-ends are provided:
+//!
+//! * [`extraction::EmpiricalExtractor`] — per-unit-length R/L/C fitted to the
+//!   values the paper publishes for its 0.18 µm technology (Table 1 and the
+//!   figure captions). This is the default used to regenerate experiments,
+//!   and it reproduces every published value to within a few percent.
+//! * [`extraction::PhysicalExtractor`] — closed-form sheet-resistance,
+//!   Sakurai–Tamaru capacitance and partial-inductance formulas, useful for
+//!   sanity checks and for geometries outside the calibrated range.
+//!
+//! ```
+//! use rlc_interconnect::prelude::*;
+//!
+//! let geom = WireGeometry::new(mm(5.0), um(1.6));
+//! let line = EmpiricalExtractor::cmos018().extract(&geom);
+//! // The paper's 5 mm / 1.6 um line: R = 72.44 ohm, L = 5.14 nH, C = 1.10 pF.
+//! assert!((line.resistance() - 72.44).abs() / 72.44 < 0.05);
+//! assert!((line.inductance() - 5.14e-9).abs() / 5.14e-9 < 0.05);
+//! assert!((line.capacitance() - 1.10e-12).abs() / 1.10e-12 < 0.05);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod extraction;
+pub mod geometry;
+pub mod line;
+pub mod paper_cases;
+pub mod technology;
+
+pub use extraction::{EmpiricalExtractor, Extractor, PhysicalExtractor};
+pub use geometry::WireGeometry;
+pub use line::RlcLine;
+pub use technology::Technology;
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::extraction::{EmpiricalExtractor, Extractor, PhysicalExtractor};
+    pub use crate::geometry::WireGeometry;
+    pub use crate::line::RlcLine;
+    pub use crate::paper_cases;
+    pub use crate::technology::Technology;
+    pub use rlc_numeric::units::{ff, mm, nh, pf, ps, um};
+}

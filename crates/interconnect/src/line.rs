@@ -1,0 +1,251 @@
+//! Extracted RLC transmission-line representation and derived electrical
+//! properties (characteristic impedance, time of flight, damping), plus the
+//! ladder segmentation handed to the circuit simulator.
+
+use rlc_spice::circuit::{Circuit, NodeId};
+use rlc_spice::testbench::add_rlc_ladder;
+
+/// A uniform on-chip RLC line described by its **total** series resistance,
+/// series inductance and shunt capacitance.
+///
+/// ```
+/// use rlc_interconnect::RlcLine;
+/// use rlc_numeric::units::{mm, nh, pf};
+///
+/// // The paper's 5 mm / 1.6 um line.
+/// let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+/// assert!((line.characteristic_impedance() - 68.4).abs() < 1.0);
+/// assert!((line.time_of_flight() * 1e12 - 75.2).abs() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlcLine {
+    resistance: f64,
+    inductance: f64,
+    capacitance: f64,
+    length: f64,
+}
+
+impl RlcLine {
+    /// Creates a line from total parasitics and physical length (SI units).
+    ///
+    /// # Panics
+    /// Panics if any parasitic or the length is not positive.
+    pub fn new(resistance: f64, inductance: f64, capacitance: f64, length: f64) -> Self {
+        assert!(resistance > 0.0, "line resistance must be positive");
+        assert!(inductance > 0.0, "line inductance must be positive");
+        assert!(capacitance > 0.0, "line capacitance must be positive");
+        assert!(length > 0.0, "line length must be positive");
+        RlcLine {
+            resistance,
+            inductance,
+            capacitance,
+            length,
+        }
+    }
+
+    /// Total series resistance (ohms).
+    pub fn resistance(&self) -> f64 {
+        self.resistance
+    }
+
+    /// Total series inductance (henries).
+    pub fn inductance(&self) -> f64 {
+        self.inductance
+    }
+
+    /// Total shunt capacitance (farads).
+    pub fn capacitance(&self) -> f64 {
+        self.capacitance
+    }
+
+    /// Physical length (metres).
+    pub fn length(&self) -> f64 {
+        self.length
+    }
+
+    /// Resistance per unit length (ohm/m).
+    pub fn r_per_length(&self) -> f64 {
+        self.resistance / self.length
+    }
+
+    /// Inductance per unit length (H/m).
+    pub fn l_per_length(&self) -> f64 {
+        self.inductance / self.length
+    }
+
+    /// Capacitance per unit length (F/m).
+    pub fn c_per_length(&self) -> f64 {
+        self.capacitance / self.length
+    }
+
+    /// Lossless characteristic impedance `Z0 = sqrt(L/C)` (ohms).
+    pub fn characteristic_impedance(&self) -> f64 {
+        (self.inductance / self.capacitance).sqrt()
+    }
+
+    /// Time of flight `tf = sqrt(L_total * C_total)` (seconds) — the paper's
+    /// `tf` in Equations 8 and 9.
+    pub fn time_of_flight(&self) -> f64 {
+        (self.inductance * self.capacitance).sqrt()
+    }
+
+    /// Attenuation factor `R_total / (2 Z0)`; lines with values well above 1
+    /// behave resistively (RC-like) regardless of the driver.
+    pub fn attenuation(&self) -> f64 {
+        self.resistance / (2.0 * self.characteristic_impedance())
+    }
+
+    /// Lumped RC (Elmore-style) time constant `R_total * C_total / 2`,
+    /// useful for choosing simulation windows.
+    pub fn rc_time_constant(&self) -> f64 {
+        0.5 * self.resistance * self.capacitance
+    }
+
+    /// Whether the unloaded line is underdamped as a lumped series RLC
+    /// (`R < 2 Z0`), a quick indicator of potential inductive behaviour.
+    pub fn is_underdamped(&self) -> bool {
+        self.attenuation() < 1.0
+    }
+
+    /// A per-mm scaled copy of this line with a new length: keeps the
+    /// per-unit-length parasitics, changes the total length.
+    ///
+    /// # Panics
+    /// Panics if `new_length <= 0`.
+    pub fn with_length(&self, new_length: f64) -> RlcLine {
+        assert!(new_length > 0.0);
+        let scale = new_length / self.length;
+        RlcLine {
+            resistance: self.resistance * scale,
+            inductance: self.inductance * scale,
+            capacitance: self.capacitance * scale,
+            length: new_length,
+        }
+    }
+
+    /// Recommended number of ladder segments for transient simulation: at
+    /// least 10 segments and at least 4 segments per `min_feature_time`
+    /// of propagation delay, capped at 120. The rule keeps the per-segment
+    /// delay well below both the signal transition time and the time of
+    /// flight so reflections are resolved.
+    pub fn recommended_segments(&self, min_feature_time: f64) -> usize {
+        assert!(min_feature_time > 0.0);
+        let tof = self.time_of_flight();
+        let by_feature = (4.0 * tof / min_feature_time).ceil() as usize;
+        by_feature.clamp(10, 120)
+    }
+
+    /// Appends this line as a segmented ladder to an existing circuit (see
+    /// [`rlc_spice::testbench::add_rlc_ladder`]); returns the far-end node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn add_to_circuit(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        segments: usize,
+        c_load: f64,
+        v_initial: f64,
+        name_prefix: &str,
+    ) -> NodeId {
+        add_rlc_ladder(
+            ckt,
+            near,
+            self.resistance,
+            self.inductance,
+            self.capacitance,
+            segments,
+            c_load,
+            v_initial,
+            name_prefix,
+        )
+    }
+}
+
+impl std::fmt::Display for RlcLine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "R={:.2} ohm, L={:.3} nH, C={:.3} pF ({:.2} mm)",
+            self.resistance,
+            self.inductance * 1e9,
+            self.capacitance * 1e12,
+            self.length * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::{mm, nh, pf, ps};
+
+    fn paper_5mm_line() -> RlcLine {
+        RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+    }
+
+    #[test]
+    fn derived_quantities_match_hand_calculation() {
+        let line = paper_5mm_line();
+        assert!(approx_eq(line.characteristic_impedance(), (5.14e-9f64 / 1.10e-12).sqrt(), 1e-12));
+        assert!(approx_eq(line.time_of_flight(), (5.14e-9f64 * 1.10e-12).sqrt(), 1e-12));
+        assert!(approx_eq(line.r_per_length(), 72.44 / 5.0e-3, 1e-12));
+        assert!(line.is_underdamped());
+        assert!(line.attenuation() < 0.6);
+        assert!(line.rc_time_constant() > ps(30.0));
+    }
+
+    #[test]
+    fn with_length_scales_parasitics_linearly() {
+        let line = paper_5mm_line().with_length(mm(10.0));
+        assert!(approx_eq(line.resistance(), 2.0 * 72.44, 1e-12));
+        assert!(approx_eq(line.inductance(), 2.0 * 5.14e-9, 1e-12));
+        assert!(approx_eq(line.capacitance(), 2.0 * 1.10e-12, 1e-12));
+        // Per-unit-length values unchanged.
+        assert!(approx_eq(
+            line.c_per_length(),
+            paper_5mm_line().c_per_length(),
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn recommended_segments_has_sane_bounds() {
+        let line = paper_5mm_line();
+        let n = line.recommended_segments(ps(50.0));
+        assert!(n >= 10 && n <= 120);
+        // Shorter feature times demand more segments.
+        assert!(line.recommended_segments(ps(10.0)) >= n);
+        // A very short line hits the lower bound.
+        let short = line.with_length(mm(0.2));
+        assert_eq!(short.recommended_segments(ps(100.0)), 10);
+    }
+
+    #[test]
+    fn add_to_circuit_creates_far_end() {
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource(
+            "V1",
+            near,
+            Circuit::GROUND,
+            rlc_spice::SourceWaveform::dc(0.0),
+        );
+        let far = paper_5mm_line().add_to_circuit(&mut ckt, near, 8, 10e-15, 0.0, "ln");
+        assert_ne!(near, far);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = paper_5mm_line().to_string();
+        assert!(s.contains("72.44"));
+        assert!(s.contains("5.140 nH"));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance must be positive")]
+    fn zero_capacitance_rejected() {
+        let _ = RlcLine::new(1.0, 1e-9, 0.0, 1e-3);
+    }
+}

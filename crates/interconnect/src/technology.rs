@@ -1,0 +1,91 @@
+//! Back-end-of-line technology description.
+//!
+//! The paper uses "a commercial 1.8 V, 0.18 µm CMOS technology" whose global
+//! wiring parasitics it publishes case by case. [`Technology::cmos018`]
+//! captures the corresponding physical back-end parameters (metal thickness,
+//! resistivity, dielectric height and permittivity, an effective
+//! current-return distance for loop inductance) chosen so the
+//! [`crate::extraction::PhysicalExtractor`] lands close to those published
+//! values.
+
+/// Vacuum permeability (H/m).
+pub const MU0: f64 = 4.0e-7 * std::f64::consts::PI;
+/// Vacuum permittivity (F/m).
+pub const EPS0: f64 = 8.854_187_812_8e-12;
+
+/// Physical back-end parameters of a metal layer used for global routing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Technology {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Minimum drawn channel length (m); the paper's driver sizes are
+    /// multiples of `2 * l_min`.
+    pub l_min: f64,
+    /// Metal resistivity (ohm·m).
+    pub resistivity: f64,
+    /// Metal thickness (m).
+    pub metal_thickness: f64,
+    /// Dielectric height between the wire and its return plane (m).
+    pub dielectric_height: f64,
+    /// Relative permittivity of the inter-layer dielectric.
+    pub epsilon_r: f64,
+    /// Effective distance to the current return path used for the loop
+    /// inductance estimate (m). On-chip return currents spread over nearby
+    /// power/ground wiring, so this is a calibration parameter rather than a
+    /// drawn dimension.
+    pub return_distance: f64,
+}
+
+impl Technology {
+    /// The calibrated 0.18 µm, 1.8 V technology used throughout the
+    /// reproduction.
+    pub fn cmos018() -> Self {
+        Technology {
+            vdd: 1.8,
+            l_min: 0.18e-6,
+            // Copper with barrier/temperature overhead.
+            resistivity: 2.2e-8,
+            metal_thickness: 0.90e-6,
+            dielectric_height: 0.58e-6,
+            epsilon_r: 3.9,
+            return_distance: 120e-6,
+        }
+    }
+
+    /// Sheet resistance of the routing layer (ohms per square).
+    pub fn sheet_resistance(&self) -> f64 {
+        self.resistivity / self.metal_thickness
+    }
+
+    /// Dielectric permittivity (F/m).
+    pub fn permittivity(&self) -> f64 {
+        self.epsilon_r * EPS0
+    }
+}
+
+impl Default for Technology {
+    fn default() -> Self {
+        Technology::cmos018()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmos018_constants_are_plausible() {
+        let t = Technology::cmos018();
+        assert_eq!(t.vdd, 1.8);
+        // Global-layer sheet resistance in 0.18 um technologies is a few
+        // tens of milliohms per square.
+        let rsh = t.sheet_resistance();
+        assert!(rsh > 0.015 && rsh < 0.04, "sheet resistance {rsh}");
+        assert!(t.permittivity() > 3.0e-11 && t.permittivity() < 4.0e-11);
+    }
+
+    #[test]
+    fn default_is_cmos018() {
+        assert_eq!(Technology::default(), Technology::cmos018());
+    }
+}

@@ -1,0 +1,293 @@
+//! Driving-point admittance moments of an RLC line terminated by a load
+//! capacitance.
+//!
+//! `Y(s) = m1 s + m2 s^2 + m3 s^3 + ...` — the moment `m1` is the total load
+//! capacitance, `m2` and higher carry the resistive/inductive shielding
+//! information. Two independent computations are provided and cross-checked
+//! in the tests:
+//!
+//! 1. [`ladder_admittance_moments`] — propagate a truncated power series
+//!    backwards through a lumped ladder discretization (the same topology the
+//!    transient simulator uses).
+//! 2. [`distributed_admittance_moments`] — expand the exact input admittance
+//!    of a uniform distributed RLC line,
+//!    `Yin = (Y_L + Y_c tanh θ) / (1 + Y_L Z0 tanh θ)`, as a power series
+//!    using `tanh(x)/x` in the analytic variable `u = (R + sL)(sC)`.
+
+use rlc_interconnect::RlcLine;
+use rlc_numeric::PowerSeries;
+
+/// Coefficients of `tanh(sqrt(u)) / sqrt(u)` as a power series in `u`:
+/// `1 - u/3 + 2u^2/15 - 17u^3/315 + 62u^4/2835 - 1382u^5/155925 + ...`.
+const TANH_SQRT_OVER_SQRT: [f64; 8] = [
+    1.0,
+    -1.0 / 3.0,
+    2.0 / 15.0,
+    -17.0 / 315.0,
+    62.0 / 2835.0,
+    -1382.0 / 155_925.0,
+    21844.0 / 6_081_075.0,
+    -929_569.0 / 638_512_875.0,
+];
+
+/// Moments (`m1..=m_{n_moments}`) of the driving-point admittance of a
+/// uniform RLC `line` terminated by `c_load`, computed from the distributed
+/// (exact transmission-line) expression.
+///
+/// The returned vector has length `n_moments`; `result[k]` is the coefficient
+/// of `s^(k+1)` in `Y(s)` (there is no `s^0` term because the DC input
+/// admittance of a capacitively terminated line is zero).
+///
+/// # Panics
+/// Panics if `n_moments` is 0 or larger than 8, or if `c_load < 0`.
+pub fn distributed_admittance_moments(line: &RlcLine, c_load: f64, n_moments: usize) -> Vec<f64> {
+    assert!(n_moments >= 1 && n_moments <= 8, "supported moment count is 1..=8");
+    assert!(c_load >= 0.0, "load capacitance must be non-negative");
+    let n_terms = n_moments + 1; // series order includes s^0
+
+    let r = line.resistance();
+    let l = line.inductance();
+    let c = line.capacitance();
+
+    // u(s) = (R + sL) * (sC): zero constant term, analytic in s.
+    let series_r_sl = {
+        let mut coeffs = vec![0.0; n_terms];
+        coeffs[0] = r;
+        if n_terms > 1 {
+            coeffs[1] = l;
+        }
+        PowerSeries::new(coeffs)
+    };
+    let u = series_r_sl.mul(&PowerSeries::linear(c, n_terms));
+
+    // T(u) = tanh(sqrt(u))/sqrt(u) composed with the series u (u(0) = 0).
+    let t_of_u = compose_in_zero_constant_series(&TANH_SQRT_OVER_SQRT, &u);
+
+    // Y_c * tanh(theta) = sC * T(u); Z0 * tanh(theta) = (R + sL) * T(u).
+    let sc = PowerSeries::linear(c, n_terms);
+    let yc_tanh = sc.mul(&t_of_u);
+    let z0_tanh = series_r_sl.mul(&t_of_u);
+
+    // Y_L = s * C_load.
+    let yl = PowerSeries::linear(c_load, n_terms);
+
+    // Yin = (Y_L + Yc tanh) / (1 + Y_L * Z0 tanh).
+    let numerator = yl.add(&yc_tanh);
+    let denominator = PowerSeries::constant(1.0, n_terms).add(&yl.mul(&z0_tanh));
+    let yin = numerator.div(&denominator);
+
+    debug_assert!(yin.coeff(0).abs() < 1e-30, "DC admittance must vanish");
+    (1..=n_moments).map(|k| yin.coeff(k)).collect()
+}
+
+/// Composes a power series in `u` (given by `outer_coeffs[k]` for `u^k`) with
+/// an inner series `u(s)` whose constant term is zero.
+fn compose_in_zero_constant_series(outer_coeffs: &[f64], u: &PowerSeries) -> PowerSeries {
+    assert!(
+        u.coeff(0).abs() < 1e-30,
+        "inner series must have zero constant term"
+    );
+    let n_terms = u.n_terms();
+    let mut acc = PowerSeries::constant(outer_coeffs[0], n_terms);
+    let mut u_power = PowerSeries::constant(1.0, n_terms);
+    for &ck in outer_coeffs.iter().skip(1).take(n_terms - 1) {
+        u_power = u_power.mul(u);
+        acc = acc.add(&u_power.scale(ck));
+    }
+    acc
+}
+
+/// Moments of the driving-point admittance of the same load computed on a
+/// lumped ladder discretization with `segments` sections (the discretization
+/// used by the transient simulator: series R/L per section, shunt C split as
+/// half-sections at both ends, `c_load` at the far end).
+///
+/// As `segments` grows this converges to
+/// [`distributed_admittance_moments`]; the property tests check agreement.
+///
+/// # Panics
+/// Panics if `segments == 0`, `n_moments` is 0 or larger than 8, or
+/// `c_load < 0`.
+pub fn ladder_admittance_moments(
+    line: &RlcLine,
+    c_load: f64,
+    segments: usize,
+    n_moments: usize,
+) -> Vec<f64> {
+    assert!(segments > 0, "need at least one segment");
+    assert!(n_moments >= 1 && n_moments <= 8, "supported moment count is 1..=8");
+    assert!(c_load >= 0.0, "load capacitance must be non-negative");
+    let n_terms = n_moments + 1;
+
+    let rs = line.resistance() / segments as f64;
+    let ls = line.inductance() / segments as f64;
+    let cs = line.capacitance() / segments as f64;
+
+    // Start from the far end: load capacitance plus the far half-section.
+    let mut y = PowerSeries::linear(c_load + 0.5 * cs, n_terms);
+
+    for k in 0..segments {
+        // Series impedance of one section: Z = rs + s*ls.
+        let mut z_coeffs = vec![0.0; n_terms];
+        z_coeffs[0] = rs;
+        if n_terms > 1 {
+            z_coeffs[1] = ls;
+        }
+        let z = PowerSeries::new(z_coeffs);
+        // Looking into the section: Y' = Y / (1 + Z*Y).
+        let denom = PowerSeries::constant(1.0, n_terms).add(&z.mul(&y));
+        y = y.div(&denom);
+        // Shunt capacitance at the near side of the section: full section for
+        // interior nodes, half section at the driving point.
+        let shunt = if k + 1 == segments { 0.5 * cs } else { cs };
+        y = y.add(&PowerSeries::linear(shunt, n_terms));
+    }
+
+    (1..=n_moments).map(|k| y.coeff(k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::{ff, mm, nh, pf};
+
+    fn paper_line() -> RlcLine {
+        RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+    }
+
+    #[test]
+    fn first_moment_is_total_capacitance() {
+        let line = paper_line();
+        let cl = ff(20.0);
+        let m = distributed_admittance_moments(&line, cl, 5);
+        assert!(approx_eq(m[0], line.capacitance() + cl, 1e-9));
+        let ml = ladder_admittance_moments(&line, cl, 50, 5);
+        assert!(approx_eq(ml[0], line.capacitance() + cl, 1e-9));
+    }
+
+    #[test]
+    fn second_moment_matches_open_ended_line_closed_form() {
+        // For an open-ended uniform RC(L) line the second admittance moment
+        // is -R C^2 / 3 (inductance does not enter until m3).
+        let line = paper_line();
+        let m = distributed_admittance_moments(&line, 0.0, 3);
+        let expected = -line.resistance() * line.capacitance() * line.capacitance() / 3.0;
+        assert!(
+            approx_eq(m[1], expected, 1e-9),
+            "m2 = {} vs {}",
+            m[1],
+            expected
+        );
+    }
+
+    #[test]
+    fn third_moment_contains_inductance_term() {
+        // m3 for an open line: R^2 C^3 * 2/15 - L C^2 / 3.
+        let line = paper_line();
+        let m = distributed_admittance_moments(&line, 0.0, 3);
+        let r = line.resistance();
+        let c = line.capacitance();
+        let l = line.inductance();
+        let expected = 2.0 / 15.0 * r * r * c * c * c - l * c * c / 3.0;
+        assert!(
+            approx_eq(m[2], expected, 1e-9),
+            "m3 = {} vs {}",
+            m[2],
+            expected
+        );
+    }
+
+    #[test]
+    fn ladder_converges_to_distributed() {
+        let line = paper_line();
+        let cl = ff(30.0);
+        let exact = distributed_admittance_moments(&line, cl, 5);
+        let coarse = ladder_admittance_moments(&line, cl, 10, 5);
+        let fine = ladder_admittance_moments(&line, cl, 200, 5);
+        for k in 0..5 {
+            let err_coarse = (coarse[k] - exact[k]).abs() / exact[k].abs();
+            let err_fine = (fine[k] - exact[k]).abs() / exact[k].abs();
+            assert!(err_fine < 2e-3, "moment {k}: fine error {err_fine}");
+            assert!(
+                err_fine <= err_coarse + 1e-12,
+                "refining the ladder must not increase the error (moment {k})"
+            );
+        }
+    }
+
+    #[test]
+    fn load_capacitance_increases_low_order_moments() {
+        let line = paper_line();
+        let without = distributed_admittance_moments(&line, 0.0, 2);
+        let with = distributed_admittance_moments(&line, ff(100.0), 2);
+        assert!(with[0] > without[0]);
+        // m2 is negative and becomes more negative with extra far-end load.
+        assert!(with[1] < without[1]);
+    }
+
+    #[test]
+    fn moment_signs_alternate_for_rc_line() {
+        // For a pure RC line (inductance negligibly small) the admittance
+        // moments alternate in sign: m1 > 0, m2 < 0, m3 > 0, ...
+        let line = RlcLine::new(100.0, 1e-15, pf(1.0), mm(5.0));
+        let m = distributed_admittance_moments(&line, 0.0, 5);
+        assert!(m[0] > 0.0 && m[1] < 0.0 && m[2] > 0.0 && m[3] < 0.0 && m[4] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn ladder_requires_segments() {
+        let _ = ladder_admittance_moments(&paper_line(), 0.0, 0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "supported moment count")]
+    fn too_many_moments_rejected() {
+        let _ = distributed_admittance_moments(&paper_line(), 0.0, 9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rlc_numeric::units::{mm, nh, pf};
+
+    proptest! {
+        /// The lumped-ladder and distributed computations agree for any line
+        /// in the paper's parameter range once the ladder is fine enough.
+        #[test]
+        fn ladder_and_distributed_agree(
+            r in 20.0f64..150.0,
+            l_nh in 1.0f64..8.0,
+            c_pf in 0.3f64..2.0,
+            cl_ff in 0.0f64..200.0,
+        ) {
+            let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(5.0));
+            let exact = distributed_admittance_moments(&line, cl_ff * 1e-15, 5);
+            let ladder = ladder_admittance_moments(&line, cl_ff * 1e-15, 200, 5);
+            for k in 0..5 {
+                let scale = exact[k].abs().max(1e-40);
+                prop_assert!(
+                    ((ladder[k] - exact[k]) / scale).abs() < 1e-2,
+                    "moment {} mismatch: {} vs {}", k, ladder[k], exact[k]
+                );
+            }
+        }
+
+        /// m1 equals total capacitance for arbitrary loads.
+        #[test]
+        fn m1_is_total_capacitance(
+            r in 20.0f64..150.0,
+            l_nh in 1.0f64..8.0,
+            c_pf in 0.3f64..2.0,
+            cl_ff in 0.0f64..500.0,
+        ) {
+            let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(3.0));
+            let m = distributed_admittance_moments(&line, cl_ff * 1e-15, 2);
+            let total = c_pf * 1e-12 + cl_ff * 1e-15;
+            prop_assert!(((m[0] - total) / total).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! # rlc-moments
+//!
+//! Driving-point admittance moment analysis for RLC interconnect loads.
+//!
+//! The paper models the load seen by a driver with the rational admittance
+//!
+//! ```text
+//! Y(s) = (a1 s + a2 s^2 + a3 s^3) / (1 + b1 s + b2 s^2)
+//! ```
+//!
+//! whose five coefficients are obtained by matching the first five moments of
+//! the driving-point admittance of the actual RLC line (plus its load
+//! capacitance). This crate computes those moments in two independent ways —
+//! by truncated-power-series propagation through a lumped ladder and by the
+//! analytic series of the distributed transmission-line input admittance —
+//! fits the rational model, and also provides the classic RC baselines
+//! (O'Brien–Savarino pi model and a Qian/Pillage-style single effective
+//! capacitance) that the paper compares against.
+//!
+//! ```
+//! use rlc_interconnect::RlcLine;
+//! use rlc_moments::prelude::*;
+//! use rlc_numeric::units::{ff, mm, nh, pf};
+//!
+//! let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+//! let moments = distributed_admittance_moments(&line, ff(10.0), 6);
+//! let fit = RationalAdmittance::from_moments(&moments).unwrap();
+//! // The first moment is the total capacitance of the load.
+//! assert!((fit.a1 - (1.10e-12 + 10e-15)).abs() < 1e-15);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod driving_point;
+pub mod pi_model;
+pub mod rational;
+
+pub use driving_point::{distributed_admittance_moments, ladder_admittance_moments};
+pub use pi_model::{PiModel, RcCeffBaseline};
+pub use rational::{PolePair, RationalAdmittance};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::driving_point::{distributed_admittance_moments, ladder_admittance_moments};
+    pub use crate::pi_model::{PiModel, RcCeffBaseline};
+    pub use crate::rational::{PolePair, RationalAdmittance};
+}
+
+/// Errors produced while fitting reduced-order load models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MomentError {
+    /// Not enough moments were supplied for the requested fit.
+    NotEnoughMoments {
+        /// Number of moments required.
+        required: usize,
+        /// Number of moments supplied.
+        supplied: usize,
+    },
+    /// The moment-matching linear system was singular — the load is
+    /// degenerate (for example a pure capacitance, which has no second-order
+    /// dynamics to fit).
+    DegenerateLoad(String),
+}
+
+impl std::fmt::Display for MomentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MomentError::NotEnoughMoments { required, supplied } => write!(
+                f,
+                "moment fit needs {required} moments but only {supplied} were supplied"
+            ),
+            MomentError::DegenerateLoad(msg) => write!(f, "degenerate load: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MomentError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = MomentError::NotEnoughMoments {
+            required: 5,
+            supplied: 3,
+        };
+        assert!(e.to_string().contains('5'));
+        let e = MomentError::DegenerateLoad("pure capacitor".into());
+        assert!(e.to_string().contains("pure capacitor"));
+    }
+}

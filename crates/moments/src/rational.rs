@@ -1,0 +1,353 @@
+//! The paper's rational driving-point admittance model
+//! `Y(s) = (a1 s + a2 s^2 + a3 s^3) / (1 + b1 s + b2 s^2)` fitted to the
+//! first five admittance moments, and its pole analysis.
+
+use rlc_numeric::roots::quadratic_roots;
+use rlc_numeric::Complex;
+
+use crate::MomentError;
+
+/// The two poles of the fitted admittance denominator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PolePair {
+    /// Two real poles `s1`, `s2` (both negative for passive loads).
+    Real {
+        /// First pole (1/s).
+        s1: f64,
+        /// Second pole (1/s).
+        s2: f64,
+    },
+    /// A complex-conjugate pair `alpha ± j·beta`.
+    Complex {
+        /// Real part (1/s), negative for passive loads.
+        alpha: f64,
+        /// Imaginary part magnitude (1/s), positive.
+        beta: f64,
+    },
+}
+
+impl PolePair {
+    /// Both poles as complex numbers (conjugate order for the complex case).
+    pub fn as_complex(&self) -> (Complex, Complex) {
+        match *self {
+            PolePair::Real { s1, s2 } => (Complex::real(s1), Complex::real(s2)),
+            PolePair::Complex { alpha, beta } => {
+                (Complex::new(alpha, beta), Complex::new(alpha, -beta))
+            }
+        }
+    }
+
+    /// Whether the fitted load is stable (all poles strictly in the left half
+    /// plane).
+    pub fn is_stable(&self) -> bool {
+        match *self {
+            PolePair::Real { s1, s2 } => s1 < 0.0 && s2 < 0.0,
+            PolePair::Complex { alpha, .. } => alpha < 0.0,
+        }
+    }
+}
+
+/// The fitted rational admittance (Equation 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RationalAdmittance {
+    /// Numerator coefficient of `s` — equals the total load capacitance.
+    pub a1: f64,
+    /// Numerator coefficient of `s^2`.
+    pub a2: f64,
+    /// Numerator coefficient of `s^3`.
+    pub a3: f64,
+    /// Denominator coefficient of `s`.
+    pub b1: f64,
+    /// Denominator coefficient of `s^2`.
+    pub b2: f64,
+}
+
+impl RationalAdmittance {
+    /// Fits the five coefficients to the first five admittance moments
+    /// (`moments[k]` is the coefficient of `s^(k+1)`).
+    ///
+    /// Matching `(a1 s + a2 s^2 + a3 s^3) = (1 + b1 s + b2 s^2) · Σ m_k s^k`
+    /// order by order gives
+    ///
+    /// ```text
+    /// a1 = m1
+    /// a2 = m2 + b1 m1
+    /// a3 = m3 + b1 m2 + b2 m1
+    /// 0  = m4 + b1 m3 + b2 m2
+    /// 0  = m5 + b1 m4 + b2 m3
+    /// ```
+    ///
+    /// # Errors
+    /// Returns [`MomentError::NotEnoughMoments`] when fewer than five moments
+    /// are supplied and [`MomentError::DegenerateLoad`] when the 2×2 system
+    /// for `b1`, `b2` is singular (for example a purely capacitive load).
+    pub fn from_moments(moments: &[f64]) -> Result<Self, MomentError> {
+        if moments.len() < 5 {
+            return Err(MomentError::NotEnoughMoments {
+                required: 5,
+                supplied: moments.len(),
+            });
+        }
+        let (m1, m2, m3, m4, m5) = (moments[0], moments[1], moments[2], moments[3], moments[4]);
+        // Solve [m3 m2; m4 m3] [b1; b2] = [-m4; -m5].
+        let det = m3 * m3 - m2 * m4;
+        let scale = (m3 * m3).abs().max((m2 * m4).abs()).max(1e-300);
+        if det.abs() < 1e-12 * scale {
+            return Err(MomentError::DegenerateLoad(
+                "moment matrix for b1/b2 is singular (load has fewer than two observable poles)"
+                    .to_string(),
+            ));
+        }
+        let b1 = (-m4 * m3 + m5 * m2) / det;
+        let b2 = (-m5 * m3 + m4 * m4) / det;
+        let a1 = m1;
+        let a2 = m2 + b1 * m1;
+        let a3 = m3 + b1 * m2 + b2 * m1;
+        Ok(RationalAdmittance { a1, a2, a3, b1, b2 })
+    }
+
+    /// Total capacitance of the load (= the first admittance moment).
+    pub fn total_capacitance(&self) -> f64 {
+        self.a1
+    }
+
+    /// Evaluates `Y(s)` at a complex frequency.
+    pub fn eval(&self, s: Complex) -> Complex {
+        let num = s * (Complex::real(self.a1) + s * (Complex::real(self.a2) + s * self.a3));
+        let den = Complex::ONE + s * (Complex::real(self.b1) + s * self.b2);
+        num / den
+    }
+
+    /// The admittance moments reproduced by the fit (useful for round-trip
+    /// checks); returns `n` moments.
+    pub fn moments(&self, n: usize) -> Vec<f64> {
+        // Expand (a1 s + a2 s^2 + a3 s^3) * (1 + b1 s + b2 s^2)^{-1}.
+        let mut inv = vec![0.0; n + 1];
+        inv[0] = 1.0;
+        for k in 1..=n {
+            let mut acc = 0.0;
+            if k >= 1 {
+                acc += self.b1 * inv[k - 1];
+            }
+            if k >= 2 {
+                acc += self.b2 * inv[k - 2];
+            }
+            inv[k] = -acc;
+        }
+        let a = [0.0, self.a1, self.a2, self.a3];
+        (1..=n)
+            .map(|k| {
+                let mut acc = 0.0;
+                for (j, &aj) in a.iter().enumerate().take(4) {
+                    if j <= k {
+                        acc += aj * inv[k - j];
+                    }
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Poles of the admittance: the roots of `b2 s^2 + b1 s + 1 = 0`
+    /// (equivalently the paper's `s^2 + (b1/b2) s + 1/b2 = 0`).
+    ///
+    /// # Panics
+    /// Panics if `b2` is zero (the fit produced a single-pole load; this does
+    /// not happen for the RLC lines handled by this workspace).
+    pub fn poles(&self) -> PolePair {
+        assert!(self.b2 != 0.0, "admittance fit has no second-order pole");
+        let (r1, r2) = quadratic_roots(self.b2, self.b1, 1.0);
+        if r1.im == 0.0 && r2.im == 0.0 {
+            PolePair::Real {
+                s1: r1.re,
+                s2: r2.re,
+            }
+        } else {
+            PolePair::Complex {
+                alpha: r1.re,
+                beta: r1.im.abs(),
+            }
+        }
+    }
+
+    /// Whether the fitted load's poles are real (heavily damped load) rather
+    /// than a complex pair (ringing / inductance-dominated load).
+    pub fn has_real_poles(&self) -> bool {
+        matches!(self.poles(), PolePair::Real { .. })
+    }
+}
+
+impl std::fmt::Display for RationalAdmittance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Y(s) = ({:.4e} s + {:.4e} s^2 + {:.4e} s^3) / (1 + {:.4e} s + {:.4e} s^2)",
+            self.a1, self.a2, self.a3, self.b1, self.b2
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driving_point::distributed_admittance_moments;
+    use rlc_interconnect::RlcLine;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::{ff, mm, nh, pf};
+
+    fn paper_line_fit() -> RationalAdmittance {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let m = distributed_admittance_moments(&line, ff(10.0), 5);
+        RationalAdmittance::from_moments(&m).unwrap()
+    }
+
+    #[test]
+    fn fit_reproduces_the_matched_moments() {
+        let line = RlcLine::new(101.3, nh(7.1), pf(1.54), mm(7.0));
+        let m = distributed_admittance_moments(&line, ff(15.0), 5);
+        let fit = RationalAdmittance::from_moments(&m).unwrap();
+        let back = fit.moments(5);
+        for k in 0..5 {
+            assert!(
+                approx_eq(back[k], m[k], 1e-6),
+                "moment {k}: {} vs {}",
+                back[k],
+                m[k]
+            );
+        }
+    }
+
+    #[test]
+    fn a1_is_total_capacitance() {
+        let fit = paper_line_fit();
+        assert!(approx_eq(fit.total_capacitance(), 1.10e-12 + 10e-15, 1e-6));
+    }
+
+    #[test]
+    fn poles_are_stable() {
+        let fit = paper_line_fit();
+        assert!(fit.poles().is_stable());
+    }
+
+    #[test]
+    fn rc_dominated_line_has_real_poles_and_rlc_line_can_ring() {
+        // Heavily resistive line: poles must be real.
+        let rc_line = RlcLine::new(500.0, nh(0.5), pf(1.5), mm(5.0));
+        let m = distributed_admittance_moments(&rc_line, 0.0, 5);
+        let fit = RationalAdmittance::from_moments(&m).unwrap();
+        assert!(fit.has_real_poles(), "{fit}");
+
+        // Low-loss, high-inductance line: complex poles.
+        let lc_line = RlcLine::new(20.0, nh(6.0), pf(1.0), mm(5.0));
+        let m = distributed_admittance_moments(&lc_line, 0.0, 5);
+        let fit = RationalAdmittance::from_moments(&m).unwrap();
+        assert!(!fit.has_real_poles(), "{fit}");
+        assert!(fit.poles().is_stable());
+    }
+
+    #[test]
+    fn eval_matches_low_frequency_capacitor_behaviour() {
+        let fit = paper_line_fit();
+        // At low frequency Y(jw) ~ jw * Ctotal: the conductive (real) part is
+        // second order in w and therefore small relative to the susceptance.
+        let w = 1e6;
+        let y = fit.eval(Complex::new(0.0, w));
+        assert!(y.re.abs() < 1e-3 * y.im.abs());
+        assert!(approx_eq(y.im, w * fit.a1, 1e-3));
+    }
+
+    #[test]
+    fn errors_for_bad_inputs() {
+        assert!(matches!(
+            RationalAdmittance::from_moments(&[1.0, 2.0]),
+            Err(MomentError::NotEnoughMoments { .. })
+        ));
+        // A pure capacitor: m1 = C, all higher moments zero -> degenerate.
+        assert!(matches!(
+            RationalAdmittance::from_moments(&[1e-12, 0.0, 0.0, 0.0, 0.0]),
+            Err(MomentError::DegenerateLoad(_))
+        ));
+    }
+
+    #[test]
+    fn pole_pair_helpers() {
+        let real = PolePair::Real { s1: -1.0, s2: -2.0 };
+        assert!(real.is_stable());
+        let (p1, p2) = real.as_complex();
+        assert_eq!(p1.im, 0.0);
+        assert_eq!(p2.re, -2.0);
+        let cplx = PolePair::Complex {
+            alpha: -3.0,
+            beta: 4.0,
+        };
+        assert!(cplx.is_stable());
+        let (p1, p2) = cplx.as_complex();
+        assert_eq!(p1.im, 4.0);
+        assert_eq!(p2.im, -4.0);
+        assert!(!PolePair::Real { s1: 1.0, s2: -1.0 }.is_stable());
+    }
+
+    #[test]
+    fn display_contains_all_coefficients() {
+        let s = paper_line_fit().to_string();
+        assert!(s.contains("s^3"));
+        assert!(s.contains("s^2"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::driving_point::distributed_admittance_moments;
+    use proptest::prelude::*;
+    use rlc_interconnect::RlcLine;
+    use rlc_numeric::units::{mm, nh, pf};
+
+    proptest! {
+        /// Over the paper's parameter range the fit always exists, keeps the
+        /// total capacitance as its first coefficient and reproduces the
+        /// matched moments. (Stability is *not* asserted over the whole
+        /// range: for strongly resistive lines the two-pole Padé fit of a
+        /// distributed line can produce a right-half-plane pole, which is the
+        /// well-known AWE non-passivity issue; the modelling flow screens
+        /// such loads into the RC path.)
+        #[test]
+        fn fit_exists_and_roundtrips(
+            r in 20.0f64..200.0,
+            l_nh in 1.0f64..8.0,
+            c_pf in 0.3f64..2.0,
+            cl_ff in 0.0f64..200.0,
+        ) {
+            let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(5.0));
+            let m = distributed_admittance_moments(&line, cl_ff * 1e-15, 5);
+            let fit = RationalAdmittance::from_moments(&m).unwrap();
+            prop_assert!(fit.a1 > 0.0);
+            let back = fit.moments(5);
+            for k in 0..5 {
+                let scale = m[k].abs().max(1e-40);
+                prop_assert!(((back[k] - m[k]) / scale).abs() < 1e-6);
+            }
+        }
+
+        /// In the inductance-dominated regime the paper actually applies the
+        /// two-ramp model to (low-loss lines comparable to its Table 1 cases)
+        /// the fitted poles are stable.
+        #[test]
+        fn fit_is_stable_for_inductive_lines(
+            z0 in 50.0f64..90.0,
+            tof_ps in 40.0f64..120.0,
+            damping in 0.2f64..0.75,
+            cl_ff in 0.0f64..50.0,
+        ) {
+            // Construct the line from its wave parameters: Z0, time of
+            // flight, and attenuation R/(2 Z0).
+            let l_total = z0 * tof_ps * 1e-12;
+            let c_total = tof_ps * 1e-12 / z0;
+            let r_total = damping * 2.0 * z0;
+            let line = RlcLine::new(r_total, l_total, c_total, mm(5.0));
+            let m = distributed_admittance_moments(&line, cl_ff * 1e-15, 5);
+            let fit = RationalAdmittance::from_moments(&m).unwrap();
+            prop_assert!(fit.poles().is_stable(), "{fit}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Minimal complex number type.
+//!
+//! The paper distinguishes the "real poles" and "imaginary (complex) poles"
+//! cases of the fitted admittance denominator and derives separate closed
+//! forms for each. Internally we compute everything with [`Complex`]
+//! arithmetic and take real parts, which is both simpler and what the
+//! separate real-valued formulas reduce to; the explicit trigonometric forms
+//! are still provided in `rlc-ceff` and cross-checked against this type.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+///
+/// ```
+/// use rlc_numeric::Complex;
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!((a * b).re, 5.0);
+/// assert_eq!((a * b).im, 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Imaginary unit `j`.
+    pub const I: Complex = Complex { re: 0.0, im: 1.0 };
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Magnitude (absolute value).
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Argument (phase) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the value is exactly zero.
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        debug_assert!(n > 0.0, "reciprocal of zero complex number");
+        Self::new(self.re / n, -self.im / n)
+    }
+
+    /// Complex exponential `e^(self)`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Self::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Principal square root.
+    pub fn sqrt(self) -> Self {
+        let r = self.abs();
+        let re = ((r + self.re) / 2.0).max(0.0).sqrt();
+        let im = ((r - self.re) / 2.0).max(0.0).sqrt();
+        Self::new(re, if self.im >= 0.0 { im } else { -im })
+    }
+
+    /// Returns true if the imaginary part is negligible relative to the
+    /// magnitude (or absolutely, near zero).
+    pub fn is_approx_real(self, rel: f64) -> bool {
+        let mag = self.abs();
+        if mag < 1e-300 {
+            return true;
+        }
+        self.im.abs() <= rel * mag
+    }
+
+    /// Scales by a real factor.
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}-{}j", self.re, -self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex> for f64 {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, rhs: f64) -> Complex {
+        Complex::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, 4.0);
+        assert_eq!(a + b, Complex::new(4.0, 6.0));
+        assert_eq!(b - a, Complex::new(2.0, 2.0));
+        assert_eq!(a * b, Complex::new(-5.0, 10.0));
+        let q = b / a;
+        assert!(approx_eq(q.re, 2.2, 1e-12));
+        assert!(approx_eq(q.im, -0.4, 1e-12));
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        let z = Complex::new(0.0, std::f64::consts::FRAC_PI_3).exp();
+        assert!(approx_eq(z.abs(), 1.0, 1e-12));
+        assert!(approx_eq(z.re, 0.5, 1e-12));
+    }
+
+    #[test]
+    fn exp_splits_into_magnitude_and_phase() {
+        let z = Complex::new(1.0, std::f64::consts::FRAC_PI_2).exp();
+        assert!(approx_eq(z.re, 0.0, 1e-9) || z.re.abs() < 1e-12);
+        assert!(approx_eq(z.im, std::f64::consts::E, 1e-12));
+    }
+
+    #[test]
+    fn sqrt_roundtrips() {
+        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+            let z = Complex::new(re, im);
+            let r = z.sqrt();
+            let back = r * r;
+            assert!(approx_eq(back.re, re, 1e-10), "{z} -> {r}");
+            assert!(approx_eq(back.im, im, 1e-10), "{z} -> {r}");
+        }
+    }
+
+    #[test]
+    fn sqrt_of_negative_real_is_positive_imaginary() {
+        let r = Complex::real(-9.0).sqrt();
+        assert!(approx_eq(r.im, 3.0, 1e-12));
+        assert!(r.re.abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_and_div_agree() {
+        let a = Complex::new(2.0, -7.0);
+        let one = a * a.recip();
+        assert!(approx_eq(one.re, 1.0, 1e-12));
+        assert!(one.im.abs() < 1e-12);
+    }
+
+    #[test]
+    fn conj_negates_imaginary() {
+        let a = Complex::new(1.5, -2.5);
+        assert_eq!(a.conj(), Complex::new(1.5, 2.5));
+        assert!(approx_eq((a * a.conj()).re, a.norm_sqr(), 1e-12));
+    }
+
+    #[test]
+    fn is_approx_real_detection() {
+        assert!(Complex::new(5.0, 1e-14).is_approx_real(1e-9));
+        assert!(!Complex::new(5.0, 0.1).is_approx_real(1e-9));
+        assert!(Complex::ZERO.is_approx_real(1e-9));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+}

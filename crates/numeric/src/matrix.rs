@@ -1,0 +1,353 @@
+//! Dense matrices and LU factorization with partial pivoting.
+//!
+//! The MNA systems assembled by `rlc-spice` are modest (a few hundred
+//! unknowns for the longest segmented lines), so a cache-friendly dense LU
+//! with partial pivoting is both simple and fast enough. The factorization is
+//! reused across Newton iterations whenever the matrix is unchanged.
+
+use std::fmt;
+
+/// A dense row-major matrix of `f64`.
+///
+/// ```
+/// use rlc_numeric::DenseMatrix;
+/// let mut a = DenseMatrix::zeros(2, 2);
+/// a.set(0, 0, 4.0); a.set(0, 1, 1.0);
+/// a.set(1, 0, 1.0); a.set(1, 1, 3.0);
+/// let x = a.solve(&[1.0, 2.0]).unwrap();
+/// assert!((x[0] - 1.0 / 11.0).abs() < 1e-12);
+/// assert!((x[1] - 7.0 / 11.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Error returned when a linear solve fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveError {
+    /// The matrix is singular (or numerically singular) — a zero pivot was
+    /// encountered during elimination.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        column: usize,
+    },
+    /// Dimensions of the right-hand side do not match the matrix.
+    DimensionMismatch,
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Singular { column } => {
+                write!(f, "matrix is singular at pivot column {column}")
+            }
+            SolveError::DimensionMismatch => write!(f, "right-hand side dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+impl DenseMatrix {
+    /// Creates a `rows x cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix of size `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Creates a matrix from nested rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = Self::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "inconsistent row lengths");
+            for (j, &v) in row.iter().enumerate() {
+                m.set(i, j, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to element `(i, j)` — the natural operation for MNA stamping.
+    #[inline]
+    pub fn add_at(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.cols()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// LU-factorizes the matrix (with partial pivoting) and returns the
+    /// factorization for repeated solves.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Singular`] if a pivot smaller than `1e-300` in
+    /// magnitude is encountered.
+    pub fn lu(&self) -> Result<LuFactors, SolveError> {
+        assert_eq!(self.rows, self.cols, "LU requires a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+
+        for k in 0..n {
+            // partial pivoting: find the largest |value| in column k at or below row k
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SolveError::Singular { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                if factor != 0.0 {
+                    for j in (k + 1)..n {
+                        lu[i * n + j] -= factor * lu[k * n + j];
+                    }
+                }
+            }
+        }
+        Ok(LuFactors { n, lu, perm })
+    }
+
+    /// Solves `A x = b` for `x`.
+    ///
+    /// # Errors
+    /// Returns an error if the matrix is singular or the dimensions mismatch.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, SolveError> {
+        if b.len() != self.rows {
+            return Err(SolveError::DimensionMismatch);
+        }
+        Ok(self.lu()?.solve(b))
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                write!(f, "{:>12.4e} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// The result of an LU factorization, reusable for multiple right-hand sides.
+#[derive(Debug, Clone)]
+pub struct LuFactors {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+}
+
+impl LuFactors {
+    /// Solves `A x = b` using the stored factors.
+    ///
+    /// # Panics
+    /// Panics if `b.len()` does not match the factorized dimension.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n);
+        let n = self.n;
+        // apply permutation
+        let mut x: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        // forward substitution (L has implicit unit diagonal)
+        for i in 1..n {
+            let mut acc = x[i];
+            for j in 0..i {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc;
+        }
+        // back substitution
+        for i in (0..n).rev() {
+            let mut acc = x[i];
+            for j in (i + 1)..n {
+                acc -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = acc / self.lu[i * n + i];
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn solve_small_system() {
+        let a = DenseMatrix::from_rows(&[
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ]);
+        let x = a.solve(&[8.0, -11.0, -3.0]).unwrap();
+        assert!(approx_eq(x[0], 2.0, 1e-10));
+        assert!(approx_eq(x[1], 3.0, 1e-10));
+        assert!(approx_eq(x[2], -1.0, 1e-10));
+    }
+
+    #[test]
+    fn identity_solve_returns_rhs() {
+        let a = DenseMatrix::identity(4);
+        let b = vec![1.0, -2.0, 3.5, 0.0];
+        assert_eq!(a.solve(&b).unwrap(), b);
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        match a.solve(&[1.0, 2.0]) {
+            Err(SolveError::Singular { .. }) => {}
+            other => panic!("expected singular error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dimension_mismatch_is_reported() {
+        let a = DenseMatrix::identity(3);
+        assert_eq!(a.solve(&[1.0]), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = DenseMatrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[3.0, 4.0]).unwrap();
+        assert!(approx_eq(x[0], 4.0, 1e-12));
+        assert!(approx_eq(x[1], 3.0, 1e-12));
+    }
+
+    #[test]
+    fn lu_factors_reused_for_multiple_rhs() {
+        let a = DenseMatrix::from_rows(&[vec![4.0, 1.0], vec![1.0, 3.0]]);
+        let lu = a.lu().unwrap();
+        for rhs in [[1.0, 2.0], [5.0, -1.0], [0.0, 0.0]] {
+            let x = lu.solve(&rhs);
+            let back = a.mul_vec(&x);
+            assert!(approx_eq(back[0], rhs[0], 1e-10));
+            assert!(approx_eq(back[1], rhs[1], 1e-10));
+        }
+    }
+
+    #[test]
+    fn mul_vec_matches_manual() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    fn add_at_accumulates() {
+        let mut a = DenseMatrix::zeros(2, 2);
+        a.add_at(0, 0, 1.5);
+        a.add_at(0, 0, 2.5);
+        assert_eq!(a.get(0, 0), 4.0);
+        a.clear();
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Solving a random diagonally-dominant system and multiplying back
+        /// reproduces the right-hand side.
+        #[test]
+        fn solve_then_multiply_roundtrips(
+            n in 1usize..8,
+            seed in prop::collection::vec(-1.0f64..1.0, 64 + 8)
+        ) {
+            let mut a = DenseMatrix::zeros(n, n);
+            let mut idx = 0;
+            for i in 0..n {
+                for j in 0..n {
+                    a.set(i, j, seed[idx % seed.len()]);
+                    idx += 1;
+                }
+                // make it diagonally dominant so it is well conditioned
+                a.add_at(i, i, 10.0);
+            }
+            let b: Vec<f64> = seed[..n].to_vec();
+            let x = a.solve(&b).unwrap();
+            let back = a.mul_vec(&x);
+            for i in 0..n {
+                prop_assert!((back[i] - b[i]).abs() < 1e-8);
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Dense real polynomials in one variable.
+//!
+//! Used for admittance numerators/denominators, companion-model algebra and
+//! for checking the rational moment fit in `rlc-moments`.
+
+use crate::complex::Complex;
+use crate::roots::quadratic_roots;
+
+/// A polynomial `c0 + c1 x + c2 x^2 + ...` with real coefficients.
+///
+/// ```
+/// use rlc_numeric::Polynomial;
+/// let p = Polynomial::new(vec![1.0, 2.0, 3.0]); // 1 + 2x + 3x^2
+/// assert_eq!(p.eval(2.0), 17.0);
+/// assert_eq!(p.degree(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Polynomial {
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients in ascending power order.
+    /// Trailing (highest-order) zero coefficients are trimmed.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        let mut p = Self { coeffs };
+        p.trim();
+        p
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self { coeffs: vec![] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::new(vec![c])
+    }
+
+    /// Coefficients in ascending power order (may be empty for the zero
+    /// polynomial).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `x^k` (zero if beyond the stored degree).
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs.get(k).copied().unwrap_or(0.0)
+    }
+
+    /// Degree of the polynomial; the zero polynomial reports degree 0.
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Returns true for the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    fn trim(&mut self) {
+        while matches!(self.coeffs.last(), Some(&c) if c == 0.0) {
+            self.coeffs.pop();
+        }
+    }
+
+    /// Evaluates the polynomial at a real point using Horner's rule.
+    pub fn eval(&self, x: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+    }
+
+    /// Evaluates the polynomial at a complex point.
+    pub fn eval_complex(&self, x: Complex) -> Complex {
+        self.coeffs
+            .iter()
+            .rev()
+            .fold(Complex::ZERO, |acc, &c| acc * x + Complex::real(c))
+    }
+
+    /// Derivative polynomial.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() <= 1 {
+            return Polynomial::zero();
+        }
+        Polynomial::new(
+            self.coeffs
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(k, &c)| c * k as f64)
+                .collect(),
+        )
+    }
+
+    /// Polynomial addition.
+    pub fn add(&self, other: &Polynomial) -> Polynomial {
+        let n = self.coeffs.len().max(other.coeffs.len());
+        let coeffs = (0..n).map(|k| self.coeff(k) + other.coeff(k)).collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Polynomial multiplication.
+    pub fn mul(&self, other: &Polynomial) -> Polynomial {
+        if self.is_zero() || other.is_zero() {
+            return Polynomial::zero();
+        }
+        let mut coeffs = vec![0.0; self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, &a) in self.coeffs.iter().enumerate() {
+            for (j, &b) in other.coeffs.iter().enumerate() {
+                coeffs[i + j] += a * b;
+            }
+        }
+        Polynomial::new(coeffs)
+    }
+
+    /// Scales every coefficient by `k`.
+    pub fn scale(&self, k: f64) -> Polynomial {
+        Polynomial::new(self.coeffs.iter().map(|&c| c * k).collect())
+    }
+
+    /// Roots of a quadratic (degree <= 2) polynomial.
+    ///
+    /// Returns `None` when the polynomial is not genuinely quadratic (leading
+    /// coefficient zero) or is constant.
+    pub fn quadratic_roots(&self) -> Option<(Complex, Complex)> {
+        if self.degree() != 2 || self.coeff(2) == 0.0 {
+            return None;
+        }
+        Some(quadratic_roots(self.coeff(2), self.coeff(1), self.coeff(0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn eval_and_degree() {
+        let p = Polynomial::new(vec![3.0, 0.0, 2.0]); // 3 + 2x^2
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(0.0), 3.0);
+        assert_eq!(p.eval(2.0), 11.0);
+    }
+
+    #[test]
+    fn trailing_zeros_are_trimmed() {
+        let p = Polynomial::new(vec![1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(p.coeffs(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn zero_polynomial_behaviour() {
+        let z = Polynomial::zero();
+        assert!(z.is_zero());
+        assert_eq!(z.eval(5.0), 0.0);
+        assert_eq!(z.degree(), 0);
+        assert!(z.derivative().is_zero());
+    }
+
+    #[test]
+    fn derivative_of_cubic() {
+        // 1 + x + x^2 + x^3 -> 1 + 2x + 3x^2
+        let p = Polynomial::new(vec![1.0, 1.0, 1.0, 1.0]);
+        assert_eq!(p.derivative().coeffs(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn add_and_mul() {
+        let a = Polynomial::new(vec![1.0, 1.0]); // 1 + x
+        let b = Polynomial::new(vec![-1.0, 1.0]); // -1 + x
+        assert_eq!(a.add(&b).coeffs(), &[0.0, 2.0]);
+        assert_eq!(a.mul(&b).coeffs(), &[-1.0, 0.0, 1.0]); // x^2 - 1
+    }
+
+    #[test]
+    fn complex_evaluation_matches_real_on_real_axis() {
+        let p = Polynomial::new(vec![2.0, -3.0, 0.5, 1.0]);
+        for &x in &[-2.0, -0.5, 0.0, 1.3, 4.0] {
+            let c = p.eval_complex(Complex::real(x));
+            assert!(approx_eq(c.re, p.eval(x), 1e-12));
+            assert!(c.im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quadratic_roots_real_and_complex() {
+        // x^2 - 3x + 2 -> roots 1, 2
+        let p = Polynomial::new(vec![2.0, -3.0, 1.0]);
+        let (r1, r2) = p.quadratic_roots().unwrap();
+        let mut roots = [r1.re, r2.re];
+        roots.sort_by(f64::total_cmp);
+        assert!(approx_eq(roots[0], 1.0, 1e-12));
+        assert!(approx_eq(roots[1], 2.0, 1e-12));
+
+        // x^2 + 1 -> +/- j
+        let p = Polynomial::new(vec![1.0, 0.0, 1.0]);
+        let (r1, _) = p.quadratic_roots().unwrap();
+        assert!(r1.re.abs() < 1e-12);
+        assert!(approx_eq(r1.im.abs(), 1.0, 1e-12));
+
+        // not a quadratic
+        assert!(Polynomial::new(vec![1.0, 2.0]).quadratic_roots().is_none());
+    }
+
+    #[test]
+    fn scale_multiplies_all_coefficients() {
+        let p = Polynomial::new(vec![1.0, -2.0, 4.0]).scale(0.5);
+        assert_eq!(p.coeffs(), &[0.5, -1.0, 2.0]);
+    }
+}

@@ -1,0 +1,148 @@
+//! Numerical integration.
+//!
+//! The Ceff charge-matching integrals have closed forms; numerical quadrature
+//! is used in tests to validate those closed forms and in the waveform module
+//! to integrate sampled currents.
+
+/// Composite Simpson's rule with `n` (even, >= 2) panels.
+///
+/// # Panics
+/// Panics if `n` is zero or odd, or if `b < a`.
+///
+/// ```
+/// use rlc_numeric::quadrature::simpson;
+/// let v = simpson(|x| x * x, 0.0, 1.0, 100);
+/// assert!((v - 1.0 / 3.0).abs() < 1e-10);
+/// ```
+pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
+    assert!(n >= 2 && n % 2 == 0, "simpson needs an even, positive panel count");
+    assert!(b >= a, "integration bounds must be ordered");
+    if a == b {
+        return 0.0;
+    }
+    let h = (b - a) / n as f64;
+    let mut acc = f(a) + f(b);
+    for k in 1..n {
+        let x = a + k as f64 * h;
+        acc += if k % 2 == 0 { 2.0 * f(x) } else { 4.0 * f(x) };
+    }
+    acc * h / 3.0
+}
+
+/// Adaptive Simpson integration to an absolute tolerance.
+///
+/// # Panics
+/// Panics if `b < a`.
+pub fn adaptive_simpson<F: Fn(f64) -> f64 + Copy>(f: F, a: f64, b: f64, tol: f64) -> f64 {
+    assert!(b >= a, "integration bounds must be ordered");
+    if a == b {
+        return 0.0;
+    }
+    fn recurse<F: Fn(f64) -> f64 + Copy>(
+        f: F,
+        a: f64,
+        b: f64,
+        fa: f64,
+        fb: f64,
+        fm: f64,
+        whole: f64,
+        tol: f64,
+        depth: usize,
+    ) -> f64 {
+        let m = 0.5 * (a + b);
+        let lm = 0.5 * (a + m);
+        let rm = 0.5 * (m + b);
+        let flm = f(lm);
+        let frm = f(rm);
+        let left = (m - a) / 6.0 * (fa + 4.0 * flm + fm);
+        let right = (b - m) / 6.0 * (fm + 4.0 * frm + fb);
+        let delta = left + right - whole;
+        if depth == 0 || delta.abs() <= 15.0 * tol {
+            left + right + delta / 15.0
+        } else {
+            recurse(f, a, m, fa, fm, flm, left, tol / 2.0, depth - 1)
+                + recurse(f, m, b, fm, fb, frm, right, tol / 2.0, depth - 1)
+        }
+    }
+    let fa = f(a);
+    let fb = f(b);
+    let m = 0.5 * (a + b);
+    let fm = f(m);
+    let whole = (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+    recurse(f, a, b, fa, fb, fm, whole, tol, 40)
+}
+
+/// Trapezoidal integration of already-sampled data `(xs, ys)`.
+///
+/// # Panics
+/// Panics if the slices differ in length or have fewer than 2 points.
+pub fn trapezoid_sampled(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len());
+    assert!(xs.len() >= 2, "need at least two samples");
+    xs.windows(2)
+        .zip(ys.windows(2))
+        .map(|(x, y)| 0.5 * (y[0] + y[1]) * (x[1] - x[0]))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn simpson_is_exact_for_cubics() {
+        let v = simpson(|x| x * x * x - 2.0 * x + 1.0, 0.0, 2.0, 2);
+        // integral = 4 - 4 + 2 = 2
+        assert!(approx_eq(v, 2.0, 1e-12));
+    }
+
+    #[test]
+    fn simpson_converges_for_exponential() {
+        let v = simpson(f64::exp, 0.0, 1.0, 64);
+        assert!(approx_eq(v, std::f64::consts::E - 1.0, 1e-9));
+    }
+
+    #[test]
+    fn simpson_zero_width_interval() {
+        assert_eq!(simpson(|x| x, 1.0, 1.0, 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn simpson_rejects_odd_panels() {
+        let _ = simpson(|x| x, 0.0, 1.0, 3);
+    }
+
+    #[test]
+    fn adaptive_simpson_handles_peaked_integrand() {
+        // integral of 1/(1 + 100 x^2) from -1 to 1 = (2/10) atan(10)
+        let v = adaptive_simpson(|x| 1.0 / (1.0 + 100.0 * x * x), -1.0, 1.0, 1e-10);
+        let exact = 0.2 * 10.0f64.atan();
+        assert!(approx_eq(v, exact, 1e-8));
+    }
+
+    #[test]
+    fn adaptive_simpson_exp_decay_times_cosine() {
+        // This is the shape of the Ceff imaginary-root integrand.
+        let alpha = -2.0e9;
+        let beta = 5.0e9;
+        let t_end = 1.0e-9;
+        let numeric = adaptive_simpson(|t| (alpha * t).exp() * (beta * t).cos(), 0.0, t_end, 1e-16);
+        // closed form of \int e^{a t} cos(b t) dt
+        let closed = {
+            let d = alpha * alpha + beta * beta;
+            let f = |t: f64| (alpha * t).exp() * (alpha * (beta * t).cos() + beta * (beta * t).sin()) / d;
+            f(t_end) - f(0.0)
+        };
+        assert!(approx_eq(numeric, closed, 1e-7));
+    }
+
+    #[test]
+    fn trapezoid_sampled_matches_linear_exactly() {
+        let xs: Vec<f64> = (0..=10).map(|k| k as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        // integral of 3x + 1 over [0, 10] = 150 + 10
+        assert!(approx_eq(trapezoid_sampled(&xs, &ys), 160.0, 1e-12));
+    }
+}

@@ -1,0 +1,251 @@
+//! Root finding: quadratic formula (complex-aware), bisection, Newton and a
+//! damped fixed-point iteration helper used by the Ceff solvers.
+
+use crate::complex::Complex;
+
+/// Roots of `a x^2 + b x + c = 0` as complex numbers.
+///
+/// Uses the numerically stable form that avoids cancellation between `-b` and
+/// the discriminant.
+///
+/// # Panics
+/// Panics if `a == 0` (not a quadratic).
+///
+/// ```
+/// use rlc_numeric::roots::quadratic_roots;
+/// let (r1, r2) = quadratic_roots(1.0, -3.0, 2.0);
+/// let mut re = [r1.re, r2.re];
+/// re.sort_by(f64::total_cmp);
+/// assert!((re[0] - 1.0).abs() < 1e-12 && (re[1] - 2.0).abs() < 1e-12);
+/// ```
+pub fn quadratic_roots(a: f64, b: f64, c: f64) -> (Complex, Complex) {
+    assert!(a != 0.0, "quadratic_roots called with a == 0");
+    let disc = b * b - 4.0 * a * c;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // q = -(b + sign(b) * sqrt(disc)) / 2 avoids catastrophic cancellation
+        let q = -0.5 * (b + b.signum() * sq);
+        let (r1, r2) = if q != 0.0 {
+            (q / a, c / q)
+        } else {
+            // b == 0 and c == 0
+            (0.0, 0.0)
+        };
+        (Complex::real(r1), Complex::real(r2))
+    } else {
+        let sq = (-disc).sqrt();
+        let re = -b / (2.0 * a);
+        let im = sq / (2.0 * a);
+        (Complex::new(re, im), Complex::new(re, -im))
+    }
+}
+
+/// Result of an iterative root search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RootResult {
+    /// Final abscissa.
+    pub x: f64,
+    /// Residual `f(x)` at the returned point.
+    pub residual: f64,
+    /// Number of iterations used.
+    pub iterations: usize,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+}
+
+/// Bisection on `[lo, hi]`.
+///
+/// # Panics
+/// Panics if `f(lo)` and `f(hi)` have the same sign.
+pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, mut lo: f64, mut hi: f64, tol: f64, max_iter: usize) -> RootResult {
+    let mut flo = f(lo);
+    let fhi = f(hi);
+    assert!(
+        flo * fhi <= 0.0,
+        "bisection requires a sign change on the bracket ({flo} vs {fhi})"
+    );
+    let mut mid = 0.5 * (lo + hi);
+    let mut fmid = f(mid);
+    let mut iterations = 0;
+    while (hi - lo).abs() > tol && iterations < max_iter {
+        if flo * fmid <= 0.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+            flo = fmid;
+        }
+        mid = 0.5 * (lo + hi);
+        fmid = f(mid);
+        iterations += 1;
+    }
+    RootResult {
+        x: mid,
+        residual: fmid,
+        iterations,
+        converged: (hi - lo).abs() <= tol,
+    }
+}
+
+/// Newton-Raphson with numeric fallback to bisection-free damping: if a step
+/// would diverge (|f| increases by more than 4x) the step is halved up to
+/// five times.
+pub fn newton<F, D>(mut f: F, mut df: D, x0: f64, tol: f64, max_iter: usize) -> RootResult
+where
+    F: FnMut(f64) -> f64,
+    D: FnMut(f64) -> f64,
+{
+    let mut x = x0;
+    let mut fx = f(x);
+    for it in 0..max_iter {
+        if fx.abs() <= tol {
+            return RootResult {
+                x,
+                residual: fx,
+                iterations: it,
+                converged: true,
+            };
+        }
+        let d = df(x);
+        if d == 0.0 {
+            break;
+        }
+        let mut step = fx / d;
+        let mut xn = x - step;
+        let mut fn_ = f(xn);
+        let mut halvings = 0;
+        while fn_.abs() > 4.0 * fx.abs() && halvings < 5 {
+            step *= 0.5;
+            xn = x - step;
+            fn_ = f(xn);
+            halvings += 1;
+        }
+        x = xn;
+        fx = fn_;
+    }
+    RootResult {
+        x,
+        residual: fx,
+        iterations: max_iter,
+        converged: fx.abs() <= tol,
+    }
+}
+
+/// Damped fixed-point iteration `x_{k+1} = (1 - damping) * x_k + damping * g(x_k)`.
+///
+/// This is exactly the shape of the paper's Ceff iterations ("start with an
+/// initial guess equal to the total capacitance and iteratively improve the
+/// effective capacitance until the value converges"). Convergence is declared
+/// when the relative change drops below `rel_tol`.
+pub fn fixed_point<G: FnMut(f64) -> f64>(
+    mut g: G,
+    x0: f64,
+    damping: f64,
+    rel_tol: f64,
+    max_iter: usize,
+) -> RootResult {
+    assert!(damping > 0.0 && damping <= 1.0, "damping must be in (0, 1]");
+    let mut x = x0;
+    for it in 0..max_iter {
+        let gx = g(x);
+        let xn = (1.0 - damping) * x + damping * gx;
+        let scale = x.abs().max(xn.abs()).max(1e-30);
+        let change = (xn - x).abs() / scale;
+        x = xn;
+        if change < rel_tol {
+            return RootResult {
+                x,
+                residual: change,
+                iterations: it + 1,
+                converged: true,
+            };
+        }
+    }
+    RootResult {
+        x,
+        residual: f64::NAN,
+        iterations: max_iter,
+        converged: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn quadratic_real_roots() {
+        let (r1, r2) = quadratic_roots(2.0, -4.0, -6.0); // roots -1, 3
+        let mut roots = [r1.re, r2.re];
+        roots.sort_by(f64::total_cmp);
+        assert!(approx_eq(roots[0], -1.0, 1e-12));
+        assert!(approx_eq(roots[1], 3.0, 1e-12));
+        assert!(r1.im == 0.0 && r2.im == 0.0);
+    }
+
+    #[test]
+    fn quadratic_complex_roots_are_conjugates() {
+        let (r1, r2) = quadratic_roots(1.0, 2.0, 10.0); // -1 +/- 3j
+        assert!(approx_eq(r1.re, -1.0, 1e-12));
+        assert!(approx_eq(r1.im.abs(), 3.0, 1e-12));
+        assert!(approx_eq(r2.im, -r1.im, 1e-12));
+    }
+
+    #[test]
+    fn quadratic_double_root() {
+        let (r1, r2) = quadratic_roots(1.0, -2.0, 1.0);
+        assert!(approx_eq(r1.re, 1.0, 1e-12));
+        assert!(approx_eq(r2.re, 1.0, 1e-12));
+    }
+
+    #[test]
+    fn quadratic_is_stable_for_small_c() {
+        // roots ~ -1e-8 and -1e8; naive formula loses the small one
+        let (r1, r2) = quadratic_roots(1.0, 1e8 + 1e-8, 1.0);
+        let small = r1.re.abs().min(r2.re.abs());
+        assert!(approx_eq(small, 1e-8, 1e-6));
+    }
+
+    #[test]
+    fn bisect_finds_cosine_root() {
+        let r = bisect(|x| x.cos(), 0.0, 3.0, 1e-12, 200);
+        assert!(r.converged);
+        assert!(approx_eq(r.x, std::f64::consts::FRAC_PI_2, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "sign change")]
+    fn bisect_requires_bracket() {
+        let _ = bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-9, 100);
+    }
+
+    #[test]
+    fn newton_converges_quadratically_on_sqrt() {
+        let r = newton(|x| x * x - 2.0, |x| 2.0 * x, 1.0, 1e-14, 50);
+        assert!(r.converged);
+        assert!(approx_eq(r.x, std::f64::consts::SQRT_2, 1e-12));
+        assert!(r.iterations < 10);
+    }
+
+    #[test]
+    fn newton_reports_failure_on_zero_derivative() {
+        let r = newton(|_| 1.0, |_| 0.0, 0.0, 1e-12, 10);
+        assert!(!r.converged);
+    }
+
+    #[test]
+    fn fixed_point_converges_for_contraction() {
+        // x = cos(x) has the Dottie number as fixed point
+        let r = fixed_point(|x| x.cos(), 1.0, 1.0, 1e-12, 500);
+        assert!(r.converged);
+        assert!(approx_eq(r.x, 0.739_085_133_215_160_6, 1e-9));
+    }
+
+    #[test]
+    fn fixed_point_damping_stabilizes_oscillation() {
+        // g(x) = 3 - x oscillates undamped; damping 0.5 converges to 1.5
+        let r = fixed_point(|x| 3.0 - x, 0.0, 0.5, 1e-12, 500);
+        assert!(r.converged);
+        assert!(approx_eq(r.x, 1.5, 1e-9));
+    }
+}

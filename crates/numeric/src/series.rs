@@ -1,0 +1,336 @@
+//! Truncated power series arithmetic.
+//!
+//! Moment analysis of a driving-point admittance is exactly power-series
+//! arithmetic in the Laplace variable `s` truncated at a fixed order: the
+//! moments of `Y(s)` are its Maclaurin coefficients. Propagating moments
+//! through a ladder of series impedances and shunt admittances only needs
+//! addition, multiplication and reciprocals of such truncated series, which
+//! this module provides.
+
+use std::fmt;
+
+/// A power series `c0 + c1 s + c2 s^2 + ...` truncated after a fixed number
+/// of terms.
+///
+/// All binary operations require both operands to have the same truncation
+/// order and panic otherwise; this catches accidental mixing of series built
+/// for different moment counts.
+///
+/// ```
+/// use rlc_numeric::PowerSeries;
+/// // 1/(1 - s) = 1 + s + s^2 + ... truncated at order 3
+/// let one = PowerSeries::constant(1.0, 4);
+/// let denom = PowerSeries::new(vec![1.0, -1.0, 0.0, 0.0]);
+/// let q = one.div(&denom);
+/// assert_eq!(q.coeffs(), &[1.0, 1.0, 1.0, 1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerSeries {
+    coeffs: Vec<f64>,
+}
+
+impl PowerSeries {
+    /// Creates a series from coefficients in ascending power order. The
+    /// truncation order is `coeffs.len() - 1`.
+    ///
+    /// # Panics
+    /// Panics if `coeffs` is empty.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "power series needs at least one term");
+        Self { coeffs }
+    }
+
+    /// A constant series with `n_terms` stored coefficients.
+    pub fn constant(value: f64, n_terms: usize) -> Self {
+        assert!(n_terms > 0);
+        let mut coeffs = vec![0.0; n_terms];
+        coeffs[0] = value;
+        Self { coeffs }
+    }
+
+    /// The zero series with `n_terms` stored coefficients.
+    pub fn zero(n_terms: usize) -> Self {
+        Self::constant(0.0, n_terms)
+    }
+
+    /// The series `value * s` with `n_terms` stored coefficients.
+    ///
+    /// # Panics
+    /// Panics if `n_terms < 2`.
+    pub fn linear(value: f64, n_terms: usize) -> Self {
+        assert!(n_terms >= 2, "need at least two terms for a linear series");
+        let mut coeffs = vec![0.0; n_terms];
+        coeffs[1] = value;
+        Self { coeffs }
+    }
+
+    /// Number of stored coefficients (truncation order + 1).
+    pub fn n_terms(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Stored coefficients in ascending power order.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of `s^k`.
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the truncation order.
+    pub fn coeff(&self, k: usize) -> f64 {
+        self.coeffs[k]
+    }
+
+    fn assert_same_order(&self, other: &Self) {
+        assert_eq!(
+            self.coeffs.len(),
+            other.coeffs.len(),
+            "power series truncation orders differ"
+        );
+    }
+
+    /// Term-by-term sum.
+    pub fn add(&self, other: &Self) -> Self {
+        self.assert_same_order(other);
+        Self {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Term-by-term difference.
+    pub fn sub(&self, other: &Self) -> Self {
+        self.assert_same_order(other);
+        Self {
+            coeffs: self
+                .coeffs
+                .iter()
+                .zip(&other.coeffs)
+                .map(|(a, b)| a - b)
+                .collect(),
+        }
+    }
+
+    /// Scales every coefficient.
+    pub fn scale(&self, k: f64) -> Self {
+        Self {
+            coeffs: self.coeffs.iter().map(|c| c * k).collect(),
+        }
+    }
+
+    /// Cauchy product truncated at the common order.
+    pub fn mul(&self, other: &Self) -> Self {
+        self.assert_same_order(other);
+        let n = self.coeffs.len();
+        let mut coeffs = vec![0.0; n];
+        for i in 0..n {
+            if self.coeffs[i] == 0.0 {
+                continue;
+            }
+            for j in 0..n - i {
+                coeffs[i + j] += self.coeffs[i] * other.coeffs[j];
+            }
+        }
+        Self { coeffs }
+    }
+
+    /// Multiplicative inverse `1/self` as a truncated series.
+    ///
+    /// # Panics
+    /// Panics if the constant term is zero (the reciprocal would not be a
+    /// power series).
+    pub fn recip(&self) -> Self {
+        let c0 = self.coeffs[0];
+        assert!(
+            c0 != 0.0,
+            "reciprocal of a power series with zero constant term"
+        );
+        let n = self.coeffs.len();
+        let mut out = vec![0.0; n];
+        out[0] = 1.0 / c0;
+        for k in 1..n {
+            // c0 * out[k] + sum_{i=1..=k} self[i] * out[k-i] = 0
+            let mut acc = 0.0;
+            for i in 1..=k {
+                acc += self.coeffs[i] * out[k - i];
+            }
+            out[k] = -acc / c0;
+        }
+        Self { coeffs: out }
+    }
+
+    /// Series division `self / other`.
+    ///
+    /// # Panics
+    /// Panics if `other` has a zero constant term.
+    pub fn div(&self, other: &Self) -> Self {
+        self.mul(&other.recip())
+    }
+
+    /// Multiplies the series by `s` (shifts coefficients up by one), dropping
+    /// the highest-order term.
+    pub fn mul_s(&self) -> Self {
+        let n = self.coeffs.len();
+        let mut coeffs = vec![0.0; n];
+        for k in 1..n {
+            coeffs[k] = self.coeffs[k - 1];
+        }
+        Self { coeffs }
+    }
+
+    /// Evaluates the truncated series at a real point.
+    pub fn eval(&self, s: f64) -> f64 {
+        self.coeffs.iter().rev().fold(0.0, |acc, &c| acc * s + c)
+    }
+}
+
+impl fmt::Display for PowerSeries {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, c)| format!("{c:+.6e} s^{k}"))
+            .collect();
+        write!(f, "{}", terms.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn constant_and_linear_constructors() {
+        let c = PowerSeries::constant(3.0, 4);
+        assert_eq!(c.coeffs(), &[3.0, 0.0, 0.0, 0.0]);
+        let l = PowerSeries::linear(2.5, 3);
+        assert_eq!(l.coeffs(), &[0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = PowerSeries::new(vec![1.0, 2.0, 3.0]);
+        let b = PowerSeries::new(vec![0.5, -1.0, 4.0]);
+        assert_eq!(a.add(&b).coeffs(), &[1.5, 1.0, 7.0]);
+        assert_eq!(a.sub(&b).coeffs(), &[0.5, 3.0, -1.0]);
+        assert_eq!(a.scale(2.0).coeffs(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn multiplication_truncates() {
+        // (1 + s)^2 = 1 + 2s + s^2, truncated at order 2
+        let a = PowerSeries::new(vec![1.0, 1.0, 0.0]);
+        let sq = a.mul(&a);
+        assert_eq!(sq.coeffs(), &[1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn reciprocal_of_one_minus_s_is_geometric() {
+        let d = PowerSeries::new(vec![1.0, -1.0, 0.0, 0.0, 0.0]);
+        let r = d.recip();
+        assert_eq!(r.coeffs(), &[1.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn recip_roundtrip() {
+        let a = PowerSeries::new(vec![2.0, 0.3, -0.7, 0.05, 1.2, -0.4]);
+        let prod = a.mul(&a.recip());
+        assert!(approx_eq(prod.coeff(0), 1.0, 1e-12));
+        for k in 1..a.n_terms() {
+            assert!(prod.coeff(k).abs() < 1e-12, "k={k}: {}", prod.coeff(k));
+        }
+    }
+
+    #[test]
+    fn division_matches_hand_computed_rational_expansion() {
+        // (s + 2 s^2) / (1 + s) = s + s^2 - s^3 + s^4 ...
+        let num = PowerSeries::new(vec![0.0, 1.0, 2.0, 0.0, 0.0]);
+        let den = PowerSeries::new(vec![1.0, 1.0, 0.0, 0.0, 0.0]);
+        let q = num.div(&den);
+        assert!(approx_eq(q.coeff(1), 1.0, 1e-12));
+        assert!(approx_eq(q.coeff(2), 1.0, 1e-12));
+        assert!(approx_eq(q.coeff(3), -1.0, 1e-12));
+        assert!(approx_eq(q.coeff(4), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn mul_s_shifts_up() {
+        let a = PowerSeries::new(vec![1.0, 2.0, 3.0]);
+        assert_eq!(a.mul_s().coeffs(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "truncation orders differ")]
+    fn mismatched_orders_panic() {
+        let a = PowerSeries::new(vec![1.0, 2.0]);
+        let b = PowerSeries::new(vec![1.0, 2.0, 3.0]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero constant term")]
+    fn recip_of_pure_s_panics() {
+        let a = PowerSeries::new(vec![0.0, 1.0]);
+        let _ = a.recip();
+    }
+
+    #[test]
+    fn eval_is_truncated_horner() {
+        let a = PowerSeries::new(vec![1.0, 1.0, 0.5]);
+        assert!(approx_eq(a.eval(0.1), 1.0 + 0.1 + 0.005, 1e-12));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn series_strategy(n: usize) -> impl Strategy<Value = PowerSeries> {
+        // keep the constant term away from zero so recip() is defined
+        (
+            prop::collection::vec(-5.0f64..5.0, n - 1),
+            prop_oneof![0.2f64..5.0, -5.0f64..-0.2],
+        )
+            .prop_map(|(mut tail, c0)| {
+                let mut v = vec![c0];
+                v.append(&mut tail);
+                PowerSeries::new(v)
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn mul_is_commutative(a in series_strategy(6), b in series_strategy(6)) {
+            let ab = a.mul(&b);
+            let ba = b.mul(&a);
+            for k in 0..6 {
+                prop_assert!((ab.coeff(k) - ba.coeff(k)).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn recip_is_involutive(a in series_strategy(6)) {
+            let back = a.recip().recip();
+            for k in 0..6 {
+                prop_assert!((back.coeff(k) - a.coeff(k)).abs() < 1e-6 * (1.0 + a.coeff(k).abs()));
+            }
+        }
+
+        #[test]
+        fn distributive_law(a in series_strategy(5), b in series_strategy(5), c in series_strategy(5)) {
+            let lhs = a.mul(&b.add(&c));
+            let rhs = a.mul(&b).add(&a.mul(&c));
+            for k in 0..5 {
+                prop_assert!((lhs.coeff(k) - rhs.coeff(k)).abs() < 1e-8);
+            }
+        }
+    }
+}

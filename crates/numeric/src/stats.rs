@@ -1,0 +1,160 @@
+//! Simple descriptive statistics used by the experiment harness
+//! (average/percentile error over the Figure 7 sweep, error-bucket counts).
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation. Returns `None` for an empty slice.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Maximum of a slice (ignoring NaN). Returns `None` for an empty slice.
+pub fn max(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.max(v))))
+}
+
+/// Minimum of a slice (ignoring NaN). Returns `None` for an empty slice.
+pub fn min(values: &[f64]) -> Option<f64> {
+    values
+        .iter()
+        .copied()
+        .filter(|v| !v.is_nan())
+        .fold(None, |acc, v| Some(acc.map_or(v, |a: f64| a.min(v))))
+}
+
+/// Linear-interpolated percentile (`p` in `[0, 100]`). Returns `None` for an
+/// empty slice.
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 100]`.
+pub fn percentile(values: &[f64], p: f64) -> Option<f64> {
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        Some(sorted[lo])
+    } else {
+        let t = rank - lo as f64;
+        Some(sorted[lo] + t * (sorted[hi] - sorted[lo]))
+    }
+}
+
+/// Fraction of values whose absolute value is below `threshold`.
+/// Returns `None` for an empty slice.
+pub fn fraction_below(values: &[f64], threshold: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let count = values.iter().filter(|v| v.abs() < threshold).count();
+    Some(count as f64 / values.len() as f64)
+}
+
+/// Summary of an error population, as reported in the paper's Section 6
+/// ("average error", "% of cases under 5 %", "% of cases under 10 %").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean of |error|.
+    pub mean_abs: f64,
+    /// Maximum |error|.
+    pub max_abs: f64,
+    /// Fraction of samples with |error| < 0.05.
+    pub frac_below_5pct: f64,
+    /// Fraction of samples with |error| < 0.10.
+    pub frac_below_10pct: f64,
+}
+
+impl ErrorSummary {
+    /// Builds a summary from signed fractional errors (0.06 == 6 %).
+    /// Returns `None` for an empty slice.
+    pub fn from_errors(errors: &[f64]) -> Option<Self> {
+        if errors.is_empty() {
+            return None;
+        }
+        let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        Some(Self {
+            count: errors.len(),
+            mean_abs: mean(&abs)?,
+            max_abs: max(&abs)?,
+            frac_below_5pct: fraction_below(errors, 0.05)?,
+            frac_below_10pct: fraction_below(errors, 0.10)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn mean_and_std() {
+        let v = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!(approx_eq(mean(&v).unwrap(), 5.0, 1e-12));
+        assert!(approx_eq(std_dev(&v).unwrap(), 2.0, 1e-12));
+        assert!(mean(&[]).is_none());
+        assert!(std_dev(&[]).is_none());
+    }
+
+    #[test]
+    fn min_max_ignore_nan() {
+        let v = [1.0, f64::NAN, -3.0, 2.0];
+        assert_eq!(min(&v), Some(-3.0));
+        assert_eq!(max(&v), Some(2.0));
+        assert_eq!(max(&[]), None);
+    }
+
+    #[test]
+    fn percentile_interpolates() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert!(approx_eq(percentile(&v, 0.0).unwrap(), 1.0, 1e-12));
+        assert!(approx_eq(percentile(&v, 100.0).unwrap(), 4.0, 1e-12));
+        assert!(approx_eq(percentile(&v, 50.0).unwrap(), 2.5, 1e-12));
+        assert!(percentile(&[], 50.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1.0], 150.0);
+    }
+
+    #[test]
+    fn fraction_below_counts_absolute_values() {
+        let v = [0.01, -0.04, 0.2, -0.07];
+        assert!(approx_eq(fraction_below(&v, 0.05).unwrap(), 0.5, 1e-12));
+        assert!(approx_eq(fraction_below(&v, 0.10).unwrap(), 0.75, 1e-12));
+    }
+
+    #[test]
+    fn error_summary_matches_paper_style_reporting() {
+        let errors = [0.03, -0.02, 0.06, 0.12, -0.04];
+        let s = ErrorSummary::from_errors(&errors).unwrap();
+        assert_eq!(s.count, 5);
+        assert!(approx_eq(s.mean_abs, 0.054, 1e-12));
+        assert!(approx_eq(s.max_abs, 0.12, 1e-12));
+        assert!(approx_eq(s.frac_below_5pct, 0.6, 1e-12));
+        assert!(approx_eq(s.frac_below_10pct, 0.8, 1e-12));
+        assert!(ErrorSummary::from_errors(&[]).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! Unit helpers.
+//!
+//! Everything in the workspace is stored in SI units (`f64` seconds, ohms,
+//! farads, henries, volts, metres). These helper constructors keep test and
+//! example code readable: `ps(100.0)` is far less error-prone than `100e-12`.
+
+/// Picoseconds to seconds.
+pub const fn ps(v: f64) -> f64 {
+    v * 1e-12
+}
+
+/// Nanoseconds to seconds.
+pub const fn ns(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Femtofarads to farads.
+pub const fn ff(v: f64) -> f64 {
+    v * 1e-15
+}
+
+/// Picofarads to farads.
+pub const fn pf(v: f64) -> f64 {
+    v * 1e-12
+}
+
+/// Nanohenries to henries.
+pub const fn nh(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Picohenries to henries.
+pub const fn ph(v: f64) -> f64 {
+    v * 1e-12
+}
+
+/// Millimetres to metres.
+pub const fn mm(v: f64) -> f64 {
+    v * 1e-3
+}
+
+/// Micrometres to metres.
+pub const fn um(v: f64) -> f64 {
+    v * 1e-6
+}
+
+/// Nanometres to metres.
+pub const fn nm(v: f64) -> f64 {
+    v * 1e-9
+}
+
+/// Kiloohms to ohms.
+pub const fn kohm(v: f64) -> f64 {
+    v * 1e3
+}
+
+/// Seconds to picoseconds (for display).
+pub const fn to_ps(v: f64) -> f64 {
+    v * 1e12
+}
+
+/// Farads to femtofarads (for display).
+pub const fn to_ff(v: f64) -> f64 {
+    v * 1e15
+}
+
+/// Farads to picofarads (for display).
+pub const fn to_pf(v: f64) -> f64 {
+    v * 1e12
+}
+
+/// Henries to nanohenries (for display).
+pub const fn to_nh(v: f64) -> f64 {
+    v * 1e9
+}
+
+/// Metres to millimetres (for display).
+pub const fn to_mm(v: f64) -> f64 {
+    v * 1e3
+}
+
+/// Metres to micrometres (for display).
+pub const fn to_um(v: f64) -> f64 {
+    v * 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn roundtrips() {
+        assert!(approx_eq(to_ps(ps(123.0)), 123.0, 1e-12));
+        assert!(approx_eq(to_ff(ff(45.0)), 45.0, 1e-12));
+        assert!(approx_eq(to_pf(pf(1.1)), 1.1, 1e-12));
+        assert!(approx_eq(to_nh(nh(5.14)), 5.14, 1e-12));
+        assert!(approx_eq(to_mm(mm(5.0)), 5.0, 1e-12));
+        assert!(approx_eq(to_um(um(1.6)), 1.6, 1e-12));
+    }
+
+    #[test]
+    fn magnitudes_are_correct() {
+        assert_eq!(ps(1.0), 1e-12);
+        assert_eq!(ns(1.0), 1e-9);
+        assert_eq!(ff(1.0), 1e-15);
+        assert_eq!(pf(1.0), 1e-12);
+        assert_eq!(nh(1.0), 1e-9);
+        assert_eq!(ph(1.0), 1e-12);
+        assert_eq!(mm(1.0), 1e-3);
+        assert_eq!(um(1.0), 1e-6);
+        assert_eq!(nm(1.0), 1e-9);
+        assert_eq!(kohm(1.0), 1e3);
+    }
+
+    #[test]
+    fn paper_case_reads_naturally() {
+        // 5 mm / 1.6 um line from the paper: R=72.44, L=5.14 nH, C=1.10 pF
+        let l = nh(5.14);
+        let c = pf(1.10);
+        let z0 = (l / c).sqrt();
+        assert!(z0 > 60.0 && z0 < 75.0, "Z0 = {z0}");
+        let tof = (l * c).sqrt();
+        assert!(to_ps(tof) > 70.0 && to_ps(tof) < 80.0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Circuit container and construction API.
+
+use std::collections::HashMap;
+
+use crate::elements::Element;
+use crate::mosfet::MosfetParams;
+use crate::source::SourceWaveform;
+use crate::SpiceError;
+
+/// Identifier of a circuit node. Node 0 is always ground.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of the node (0 = ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Whether this node is the ground reference.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A circuit: a set of named nodes plus a list of elements.
+///
+/// ```
+/// use rlc_spice::prelude::*;
+///
+/// let mut ckt = Circuit::new();
+/// let n1 = ckt.node("n1");
+/// ckt.add_vsource("V1", n1, Circuit::GROUND, SourceWaveform::dc(1.0));
+/// ckt.add_resistor("R1", n1, Circuit::GROUND, 50.0);
+/// assert_eq!(ckt.num_nodes(), 2); // ground + n1
+/// assert_eq!(ckt.elements().len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    name_to_node: HashMap<String, NodeId>,
+    elements: Vec<Element>,
+    initial_conditions: HashMap<NodeId, f64>,
+}
+
+impl Circuit {
+    /// The ground node (node 0).
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        let mut c = Circuit {
+            node_names: vec!["0".to_string()],
+            name_to_node: HashMap::new(),
+            elements: Vec::new(),
+            initial_conditions: HashMap::new(),
+        };
+        c.name_to_node.insert("0".to_string(), Self::GROUND);
+        c
+    }
+
+    /// Returns the node with the given name, creating it if necessary.
+    /// The names `"0"`, `"gnd"` and `"GND"` refer to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Self::GROUND;
+        }
+        if let Some(&id) = self.name_to_node.get(name) {
+            return id;
+        }
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.to_string());
+        self.name_to_node.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up an existing node by name without creating it.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(Self::GROUND);
+        }
+        self.name_to_node.get(name).copied()
+    }
+
+    /// Name of a node.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All elements in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Adds a pre-built element.
+    pub fn add_element(&mut self, element: Element) {
+        self.elements.push(element);
+    }
+
+    /// Adds a resistor.
+    ///
+    /// # Panics
+    /// Panics if `ohms <= 0`.
+    pub fn add_resistor(&mut self, name: &str, a: NodeId, b: NodeId, ohms: f64) {
+        assert!(ohms > 0.0, "resistor {name} must have positive resistance");
+        self.elements.push(Element::Resistor {
+            name: name.to_string(),
+            a,
+            b,
+            ohms,
+        });
+    }
+
+    /// Adds a capacitor.
+    ///
+    /// # Panics
+    /// Panics if `farads <= 0`.
+    pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) {
+        assert!(farads > 0.0, "capacitor {name} must have positive capacitance");
+        self.elements.push(Element::Capacitor {
+            name: name.to_string(),
+            a,
+            b,
+            farads,
+        });
+    }
+
+    /// Adds an inductor.
+    ///
+    /// # Panics
+    /// Panics if `henries <= 0`.
+    pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) {
+        assert!(henries > 0.0, "inductor {name} must have positive inductance");
+        self.elements.push(Element::Inductor {
+            name: name.to_string(),
+            a,
+            b,
+            henries,
+        });
+    }
+
+    /// Adds an independent voltage source (positive terminal `pos`).
+    pub fn add_vsource(&mut self, name: &str, pos: NodeId, neg: NodeId, waveform: SourceWaveform) {
+        self.elements.push(Element::VoltageSource {
+            name: name.to_string(),
+            pos,
+            neg,
+            waveform,
+        });
+    }
+
+    /// Adds an independent current source driving current from `from` to `to`
+    /// through the external circuit.
+    pub fn add_isource(&mut self, name: &str, from: NodeId, to: NodeId, waveform: SourceWaveform) {
+        self.elements.push(Element::CurrentSource {
+            name: name.to_string(),
+            from,
+            to,
+            waveform,
+        });
+    }
+
+    /// Adds a MOSFET (drain, gate, source; bulk tied to source).
+    ///
+    /// # Panics
+    /// Panics if `width <= 0`.
+    pub fn add_mosfet(
+        &mut self,
+        name: &str,
+        drain: NodeId,
+        gate: NodeId,
+        source: NodeId,
+        params: MosfetParams,
+        width: f64,
+    ) {
+        assert!(width > 0.0, "mosfet {name} must have positive width");
+        self.elements.push(Element::Mosfet {
+            name: name.to_string(),
+            drain,
+            gate,
+            source,
+            params,
+            width,
+        });
+    }
+
+    /// Sets the initial voltage of a node for transient analysis started with
+    /// "use initial conditions" (the default when any IC is present).
+    pub fn set_initial_condition(&mut self, node: NodeId, volts: f64) {
+        self.initial_conditions.insert(node, volts);
+    }
+
+    /// All user-specified initial conditions.
+    pub fn initial_conditions(&self) -> &HashMap<NodeId, f64> {
+        &self.initial_conditions
+    }
+
+    /// Basic sanity checks run before any analysis.
+    ///
+    /// # Errors
+    /// Returns [`SpiceError::InvalidCircuit`] when the circuit is empty, has
+    /// no element connected to ground, or an element references a node that
+    /// does not exist.
+    pub fn validate(&self) -> Result<(), SpiceError> {
+        if self.elements.is_empty() {
+            return Err(SpiceError::InvalidCircuit("circuit has no elements".into()));
+        }
+        let mut touches_ground = false;
+        for e in &self.elements {
+            for n in e.nodes() {
+                if n.0 >= self.node_names.len() {
+                    return Err(SpiceError::InvalidCircuit(format!(
+                        "element {} references unknown node {}",
+                        e.name(),
+                        n.0
+                    )));
+                }
+                if n.is_ground() {
+                    touches_ground = true;
+                }
+            }
+        }
+        if !touches_ground {
+            return Err(SpiceError::InvalidCircuit(
+                "no element is connected to ground".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_creation_and_lookup() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let a2 = ckt.node("a");
+        assert_eq!(a, a2);
+        assert_eq!(ckt.node("gnd"), Circuit::GROUND);
+        assert_eq!(ckt.node("0"), Circuit::GROUND);
+        assert_eq!(ckt.num_nodes(), 2);
+        assert_eq!(ckt.node_name(a), "a");
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("zzz"), None);
+    }
+
+    #[test]
+    fn validate_rejects_empty_circuit() {
+        let ckt = Circuit::new();
+        assert!(matches!(ckt.validate(), Err(SpiceError::InvalidCircuit(_))));
+    }
+
+    #[test]
+    fn validate_requires_ground_connection() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_resistor("R1", a, b, 1.0);
+        assert!(matches!(ckt.validate(), Err(SpiceError::InvalidCircuit(_))));
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-15);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive resistance")]
+    fn negative_resistor_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_resistor("R1", a, Circuit::GROUND, -1.0);
+    }
+
+    #[test]
+    fn initial_conditions_are_stored() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.set_initial_condition(a, 1.8);
+        assert_eq!(ckt.initial_conditions().get(&a), Some(&1.8));
+    }
+}

@@ -1,0 +1,178 @@
+//! DC operating-point analysis (Newton–Raphson with gmin and step limiting).
+
+use crate::circuit::Circuit;
+use crate::mna::MnaSystem;
+use crate::SpiceError;
+
+/// Options controlling the DC Newton loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DcOptions {
+    /// Maximum Newton iterations.
+    pub max_iterations: usize,
+    /// Convergence tolerance on node-voltage updates (volts).
+    pub voltage_tolerance: f64,
+    /// Largest allowed voltage change per iteration (volts); larger updates
+    /// are clamped, which keeps the alpha-power MOSFET linearization inside
+    /// its region of validity.
+    pub step_limit: f64,
+}
+
+impl Default for DcOptions {
+    fn default() -> Self {
+        DcOptions {
+            max_iterations: 200,
+            voltage_tolerance: 1e-9,
+            step_limit: 0.5,
+        }
+    }
+}
+
+/// Solution of a DC operating-point analysis.
+#[derive(Debug, Clone)]
+pub struct DcSolution {
+    system: MnaSystem,
+    x: Vec<f64>,
+    /// Newton iterations used.
+    pub iterations: usize,
+}
+
+impl DcSolution {
+    /// Voltage of a node in the solution.
+    pub fn voltage(&self, node: crate::circuit::NodeId) -> f64 {
+        self.system.node_voltage(&self.x, node.index())
+    }
+
+    /// Branch current of a named voltage source (SPICE convention: the
+    /// current flowing *into* the positive terminal, so a source delivering
+    /// power reports a negative value).
+    pub fn vsource_current(&self, name: &str) -> Option<f64> {
+        self.system.vsource_branch(name).map(|b| self.x[b])
+    }
+
+    /// Raw solution vector (node voltages then branch currents).
+    pub fn raw(&self) -> &[f64] {
+        &self.x
+    }
+}
+
+/// Computes the DC operating point of a circuit.
+///
+/// # Errors
+/// Returns [`SpiceError::NonConvergence`] if Newton fails, or
+/// [`SpiceError::SingularMatrix`] / [`SpiceError::InvalidCircuit`] for
+/// structural problems.
+pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcSolution, SpiceError> {
+    circuit.validate()?;
+    let system = MnaSystem::compile(circuit);
+    let n = system.num_unknowns();
+    let n_voltages = system.num_nodes() - 1;
+
+    // Initial guess: user-provided initial conditions when present, zero
+    // otherwise.
+    let mut x = vec![0.0; n];
+    for (&node, &v) in circuit.initial_conditions() {
+        if let Some(idx) = system.voltage_unknown(node) {
+            x[idx] = v;
+        }
+    }
+
+    let mut last_delta = f64::INFINITY;
+    for it in 0..options.max_iterations {
+        let (m, rhs) = system.assemble_dc(&x);
+        let x_new = m
+            .solve(&rhs)
+            .map_err(|_| SpiceError::SingularMatrix { time: None })?;
+
+        let mut max_delta: f64 = 0.0;
+        let mut x_next = x.clone();
+        for k in 0..n {
+            let mut delta = x_new[k] - x[k];
+            if k < n_voltages {
+                delta = delta.clamp(-options.step_limit, options.step_limit);
+                max_delta = max_delta.max(delta.abs());
+            }
+            x_next[k] = x[k] + delta;
+        }
+        // Branch currents follow the voltage solution directly once voltages
+        // have settled; take them unclamped.
+        for k in n_voltages..n {
+            x_next[k] = x_new[k];
+        }
+
+        x = x_next;
+        last_delta = max_delta;
+        if max_delta < options.voltage_tolerance {
+            return Ok(DcSolution {
+                system,
+                x,
+                iterations: it + 1,
+            });
+        }
+    }
+
+    Err(SpiceError::NonConvergence {
+        time: None,
+        iterations: options.max_iterations,
+        max_delta: last_delta,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::mosfet::MosfetParams;
+    use crate::source::SourceWaveform;
+    use rlc_numeric::approx_eq;
+
+    #[test]
+    fn resistive_divider() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_resistor("R1", a, b, 3000.0);
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1000.0);
+        let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
+        assert!(approx_eq(sol.voltage(b), 0.45, 1e-6));
+        assert!(approx_eq(sol.voltage(a), 1.8, 1e-9));
+        // delivered current = 1.8 / 4k = 0.45 mA, reported as -0.45 mA
+        assert!(approx_eq(sol.vsource_current("V1").unwrap(), -0.45e-3, 1e-6));
+    }
+
+    #[test]
+    fn inverter_output_low_when_input_high() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_vsource("VIN", vin, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_mosfet("MP", vout, vin, vdd, MosfetParams::pmos_018(), 54e-6);
+        ckt.add_mosfet("MN", vout, vin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_capacitor("CL", vout, Circuit::GROUND, 10e-15);
+        let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
+        assert!(sol.voltage(vout) < 0.05, "out = {}", sol.voltage(vout));
+    }
+
+    #[test]
+    fn inverter_output_high_when_input_low() {
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_vsource("VIN", vin, Circuit::GROUND, SourceWaveform::dc(0.0));
+        ckt.add_mosfet("MP", vout, vin, vdd, MosfetParams::pmos_018(), 54e-6);
+        ckt.add_mosfet("MN", vout, vin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_capacitor("CL", vout, Circuit::GROUND, 10e-15);
+        let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
+        assert!(sol.voltage(vout) > 1.75, "out = {}", sol.voltage(vout));
+    }
+
+    #[test]
+    fn invalid_circuit_is_rejected() {
+        let ckt = Circuit::new();
+        assert!(dc_operating_point(&ckt, DcOptions::default()).is_err());
+    }
+}

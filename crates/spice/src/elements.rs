@@ -1,0 +1,181 @@
+//! Circuit element descriptions.
+
+use crate::circuit::NodeId;
+use crate::mosfet::MosfetParams;
+use crate::source::SourceWaveform;
+
+/// One circuit element.
+///
+/// Elements are plain data; all analysis behaviour (companion models, Newton
+/// linearization) lives in [`crate::mna`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Element {
+    /// Linear resistor between `a` and `b`.
+    Resistor {
+        /// Instance name (used in error messages).
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Resistance in ohms (must be > 0).
+        ohms: f64,
+    },
+    /// Linear capacitor between `a` and `b`.
+    Capacitor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Capacitance in farads (must be > 0).
+        farads: f64,
+    },
+    /// Linear inductor between `a` and `b`. Its branch current is an extra
+    /// MNA unknown (flowing from `a` to `b` through the inductor).
+    Inductor {
+        /// Instance name.
+        name: String,
+        /// First terminal.
+        a: NodeId,
+        /// Second terminal.
+        b: NodeId,
+        /// Inductance in henries (must be > 0).
+        henries: f64,
+    },
+    /// Independent voltage source; `pos` is the positive terminal. Its branch
+    /// current (flowing out of `pos` through the external circuit) is an
+    /// extra MNA unknown.
+    VoltageSource {
+        /// Instance name.
+        name: String,
+        /// Positive terminal.
+        pos: NodeId,
+        /// Negative terminal.
+        neg: NodeId,
+        /// Source value over time.
+        waveform: SourceWaveform,
+    },
+    /// Independent current source pushing current out of `from` and into `to`
+    /// (i.e. conventional current flows `from → to` through the external
+    /// circuit when the value is positive).
+    CurrentSource {
+        /// Instance name.
+        name: String,
+        /// Terminal the current leaves (through the external circuit).
+        from: NodeId,
+        /// Terminal the current enters.
+        to: NodeId,
+        /// Source value over time (amperes).
+        waveform: SourceWaveform,
+    },
+    /// Alpha-power-law MOSFET. Drain/gate/source terminals; the bulk is
+    /// implicitly tied to the source (body effect is not modelled).
+    Mosfet {
+        /// Instance name.
+        name: String,
+        /// Drain terminal.
+        drain: NodeId,
+        /// Gate terminal.
+        gate: NodeId,
+        /// Source terminal.
+        source: NodeId,
+        /// Device model parameters.
+        params: MosfetParams,
+        /// Drawn width in metres.
+        width: f64,
+    },
+}
+
+impl Element {
+    /// Instance name of the element.
+    pub fn name(&self) -> &str {
+        match self {
+            Element::Resistor { name, .. }
+            | Element::Capacitor { name, .. }
+            | Element::Inductor { name, .. }
+            | Element::VoltageSource { name, .. }
+            | Element::CurrentSource { name, .. }
+            | Element::Mosfet { name, .. } => name,
+        }
+    }
+
+    /// Nodes this element touches.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        match self {
+            Element::Resistor { a, b, .. }
+            | Element::Capacitor { a, b, .. }
+            | Element::Inductor { a, b, .. } => vec![*a, *b],
+            Element::VoltageSource { pos, neg, .. } => vec![*pos, *neg],
+            Element::CurrentSource { from, to, .. } => vec![*from, *to],
+            Element::Mosfet {
+                drain, gate, source, ..
+            } => vec![*drain, *gate, *source],
+        }
+    }
+
+    /// Whether the element contributes an extra branch-current unknown to the
+    /// MNA system (voltage sources and inductors do).
+    pub fn needs_branch_current(&self) -> bool {
+        matches!(
+            self,
+            Element::VoltageSource { .. } | Element::Inductor { .. }
+        )
+    }
+
+    /// Whether the element is nonlinear (requires Newton iterations).
+    pub fn is_nonlinear(&self) -> bool {
+        matches!(self, Element::Mosfet { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn element_metadata() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let r = Element::Resistor {
+            name: "R1".into(),
+            a,
+            b,
+            ohms: 10.0,
+        };
+        assert_eq!(r.name(), "R1");
+        assert_eq!(r.nodes(), vec![a, b]);
+        assert!(!r.needs_branch_current());
+        assert!(!r.is_nonlinear());
+
+        let l = Element::Inductor {
+            name: "L1".into(),
+            a,
+            b,
+            henries: 1e-9,
+        };
+        assert!(l.needs_branch_current());
+
+        let v = Element::VoltageSource {
+            name: "V1".into(),
+            pos: a,
+            neg: Circuit::GROUND,
+            waveform: SourceWaveform::dc(1.0),
+        };
+        assert!(v.needs_branch_current());
+
+        let m = Element::Mosfet {
+            name: "M1".into(),
+            drain: a,
+            gate: b,
+            source: Circuit::GROUND,
+            params: MosfetParams::nmos_018(),
+            width: 1e-6,
+        };
+        assert!(m.is_nonlinear());
+        assert_eq!(m.nodes().len(), 3);
+    }
+}

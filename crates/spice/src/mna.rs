@@ -1,0 +1,603 @@
+//! Modified nodal analysis: compilation of a [`Circuit`] into flat element
+//! tables and assembly of the (linearized) MNA system for DC and transient
+//! analysis.
+//!
+//! Unknown ordering: node voltages for every non-ground node (node `k` maps
+//! to unknown `k - 1`), followed by one branch current per voltage source and
+//! per inductor, in element order.
+
+use rlc_numeric::DenseMatrix;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::Element;
+use crate::mosfet::{eval_alpha_power, MosfetParams, MosfetType};
+use crate::source::SourceWaveform;
+
+/// Minimum conductance added from every node to ground for numerical
+/// robustness (floating nodes, capacitor-only nodes in DC).
+pub const GMIN: f64 = 1e-12;
+
+/// Integration scheme used to turn capacitors and inductors into resistive
+/// companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompanionMethod {
+    /// Backward Euler: L-stable, slightly dissipative (damps LC ringing).
+    BackwardEuler,
+    /// Trapezoidal: energy-preserving, the default for waveform accuracy.
+    Trapezoidal,
+}
+
+/// A compiled resistor.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledResistor {
+    pub a: usize,
+    pub b: usize,
+    pub conductance: f64,
+}
+
+/// A compiled capacitor (explicit element or MOSFET parasitic).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledCapacitor {
+    pub a: usize,
+    pub b: usize,
+    pub farads: f64,
+}
+
+/// A compiled inductor with its branch-current unknown.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledInductor {
+    pub a: usize,
+    pub b: usize,
+    pub henries: f64,
+    pub branch: usize,
+}
+
+/// A compiled voltage source with its branch-current unknown.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledVsource {
+    pub name: String,
+    pub pos: usize,
+    pub neg: usize,
+    pub waveform: SourceWaveform,
+    pub branch: usize,
+}
+
+/// A compiled current source.
+#[derive(Debug, Clone)]
+pub(crate) struct CompiledIsource {
+    pub from: usize,
+    pub to: usize,
+    pub waveform: SourceWaveform,
+}
+
+/// A compiled MOSFET.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledMosfet {
+    pub drain: usize,
+    pub gate: usize,
+    pub source: usize,
+    pub params: MosfetParams,
+    pub width: f64,
+}
+
+/// The compiled MNA view of a circuit.
+///
+/// Node index 0 is ground; unknown `k` is the voltage of node `k + 1` for
+/// `k < num_nodes - 1`, and a branch current otherwise.
+#[derive(Debug, Clone)]
+pub struct MnaSystem {
+    num_nodes: usize,
+    num_unknowns: usize,
+    pub(crate) resistors: Vec<CompiledResistor>,
+    pub(crate) capacitors: Vec<CompiledCapacitor>,
+    pub(crate) inductors: Vec<CompiledInductor>,
+    pub(crate) vsources: Vec<CompiledVsource>,
+    pub(crate) isources: Vec<CompiledIsource>,
+    pub(crate) mosfets: Vec<CompiledMosfet>,
+}
+
+impl MnaSystem {
+    /// Compiles a circuit into flat element tables.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let num_nodes = circuit.num_nodes();
+        let mut next_branch = num_nodes - 1;
+        let mut resistors = Vec::new();
+        let mut capacitors = Vec::new();
+        let mut inductors = Vec::new();
+        let mut vsources = Vec::new();
+        let mut isources = Vec::new();
+        let mut mosfets = Vec::new();
+
+        for e in circuit.elements() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => resistors.push(CompiledResistor {
+                    a: a.index(),
+                    b: b.index(),
+                    conductance: 1.0 / ohms,
+                }),
+                Element::Capacitor { a, b, farads, .. } => capacitors.push(CompiledCapacitor {
+                    a: a.index(),
+                    b: b.index(),
+                    farads: *farads,
+                }),
+                Element::Inductor { a, b, henries, .. } => {
+                    inductors.push(CompiledInductor {
+                        a: a.index(),
+                        b: b.index(),
+                        henries: *henries,
+                        branch: next_branch,
+                    });
+                    next_branch += 1;
+                }
+                Element::VoltageSource {
+                    name,
+                    pos,
+                    neg,
+                    waveform,
+                } => {
+                    vsources.push(CompiledVsource {
+                        name: name.clone(),
+                        pos: pos.index(),
+                        neg: neg.index(),
+                        waveform: waveform.clone(),
+                        branch: next_branch,
+                    });
+                    next_branch += 1;
+                }
+                Element::CurrentSource {
+                    from, to, waveform, ..
+                } => isources.push(CompiledIsource {
+                    from: from.index(),
+                    to: to.index(),
+                    waveform: waveform.clone(),
+                }),
+                Element::Mosfet {
+                    drain,
+                    gate,
+                    source,
+                    params,
+                    width,
+                    ..
+                } => {
+                    mosfets.push(CompiledMosfet {
+                        drain: drain.index(),
+                        gate: gate.index(),
+                        source: source.index(),
+                        params: *params,
+                        width: *width,
+                    });
+                    // Lumped parasitic capacitances: half the gate cap to the
+                    // source, half to the drain (Miller), plus the drain
+                    // junction cap to the source terminal (which is the local
+                    // supply rail for inverter-style connections).
+                    let cg = params.c_gate_per_width * width;
+                    let cj = params.c_junction_per_width * width;
+                    if cg > 0.0 {
+                        capacitors.push(CompiledCapacitor {
+                            a: gate.index(),
+                            b: source.index(),
+                            farads: 0.5 * cg,
+                        });
+                        capacitors.push(CompiledCapacitor {
+                            a: gate.index(),
+                            b: drain.index(),
+                            farads: 0.5 * cg,
+                        });
+                    }
+                    if cj > 0.0 {
+                        capacitors.push(CompiledCapacitor {
+                            a: drain.index(),
+                            b: source.index(),
+                            farads: cj,
+                        });
+                    }
+                }
+            }
+        }
+
+        MnaSystem {
+            num_nodes,
+            num_unknowns: next_branch,
+            resistors,
+            capacitors,
+            inductors,
+            vsources,
+            isources,
+            mosfets,
+        }
+    }
+
+    /// Total number of MNA unknowns (node voltages + branch currents).
+    pub fn num_unknowns(&self) -> usize {
+        self.num_unknowns
+    }
+
+    /// Number of circuit nodes including ground.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of compiled capacitors (explicit plus MOSFET parasitics); the
+    /// dynamic state vector for transient analysis has this many entries.
+    pub fn num_capacitors(&self) -> usize {
+        self.capacitors.len()
+    }
+
+    /// Index of the unknown holding the voltage of `node`, or `None` for
+    /// ground.
+    pub fn voltage_unknown(&self, node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    /// Branch-current unknown of the named voltage source, if any.
+    pub fn vsource_branch(&self, name: &str) -> Option<usize> {
+        self.vsources
+            .iter()
+            .find(|v| v.name == name)
+            .map(|v| v.branch)
+    }
+
+    /// Voltage of `node` taken from a solution vector.
+    pub fn node_voltage(&self, x: &[f64], node: usize) -> f64 {
+        if node == 0 {
+            0.0
+        } else {
+            x[node - 1]
+        }
+    }
+
+    fn stamp_conductance(&self, m: &mut DenseMatrix, a: usize, b: usize, g: f64) {
+        if a != 0 {
+            m.add_at(a - 1, a - 1, g);
+        }
+        if b != 0 {
+            m.add_at(b - 1, b - 1, g);
+        }
+        if a != 0 && b != 0 {
+            m.add_at(a - 1, b - 1, -g);
+            m.add_at(b - 1, a - 1, -g);
+        }
+    }
+
+    fn stamp_current_injection(&self, rhs: &mut [f64], into: usize, out_of: usize, amps: f64) {
+        if into != 0 {
+            rhs[into - 1] += amps;
+        }
+        if out_of != 0 {
+            rhs[out_of - 1] -= amps;
+        }
+    }
+
+    /// Assembles the DC operating-point system linearized about `x_guess`.
+    ///
+    /// Capacitors are open circuits; inductors become 0 V constraints through
+    /// their branch equations; sources take their `t = 0` values.
+    pub fn assemble_dc(&self, x_guess: &[f64]) -> (DenseMatrix, Vec<f64>) {
+        let n = self.num_unknowns;
+        let mut m = DenseMatrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+
+        for k in 0..(self.num_nodes - 1) {
+            m.add_at(k, k, GMIN);
+        }
+        for r in &self.resistors {
+            self.stamp_conductance(&mut m, r.a, r.b, r.conductance);
+        }
+        for l in &self.inductors {
+            // Branch row: Va - Vb = 0; KCL: branch current leaves a, enters b.
+            self.stamp_branch_voltage_rows(&mut m, l.a, l.b, l.branch);
+        }
+        for v in &self.vsources {
+            self.stamp_branch_voltage_rows(&mut m, v.pos, v.neg, v.branch);
+            rhs[v.branch] = v.waveform.initial_value();
+        }
+        for i in &self.isources {
+            self.stamp_current_injection(&mut rhs, i.to, i.from, i.waveform.initial_value());
+        }
+        for f in &self.mosfets {
+            self.stamp_mosfet(&mut m, &mut rhs, f, x_guess);
+        }
+        (m, rhs)
+    }
+
+    /// Assembles the transient system at time `t` for step size `h`,
+    /// linearized about `x_guess`, given the previous accepted solution
+    /// `prev_x` and the previous capacitor currents `prev_cap_currents`
+    /// (one per compiled capacitor, flowing `a → b`).
+    #[allow(clippy::too_many_arguments)]
+    pub fn assemble_transient(
+        &self,
+        t: f64,
+        h: f64,
+        method: CompanionMethod,
+        x_guess: &[f64],
+        prev_x: &[f64],
+        prev_cap_currents: &[f64],
+    ) -> (DenseMatrix, Vec<f64>) {
+        let n = self.num_unknowns;
+        let mut m = DenseMatrix::zeros(n, n);
+        let mut rhs = vec![0.0; n];
+
+        for k in 0..(self.num_nodes - 1) {
+            m.add_at(k, k, GMIN);
+        }
+        for r in &self.resistors {
+            self.stamp_conductance(&mut m, r.a, r.b, r.conductance);
+        }
+        for (idx, c) in self.capacitors.iter().enumerate() {
+            let v_prev = self.node_voltage(prev_x, c.a) - self.node_voltage(prev_x, c.b);
+            let (g, ieq) = match method {
+                CompanionMethod::BackwardEuler => {
+                    let g = c.farads / h;
+                    (g, g * v_prev)
+                }
+                CompanionMethod::Trapezoidal => {
+                    let g = 2.0 * c.farads / h;
+                    (g, g * v_prev + prev_cap_currents[idx])
+                }
+            };
+            self.stamp_conductance(&mut m, c.a, c.b, g);
+            // Companion current source injects ieq into node a (out of b):
+            // i_cap = g * v - ieq, so the "-ieq" term is a current entering a.
+            self.stamp_current_injection(&mut rhs, c.a, c.b, ieq);
+        }
+        for l in &self.inductors {
+            let i_prev = prev_x[l.branch];
+            let v_prev = self.node_voltage(prev_x, l.a) - self.node_voltage(prev_x, l.b);
+            let (z, rhs_val) = match method {
+                CompanionMethod::BackwardEuler => {
+                    let z = l.henries / h;
+                    (z, -z * i_prev)
+                }
+                CompanionMethod::Trapezoidal => {
+                    let z = 2.0 * l.henries / h;
+                    (z, -z * i_prev - v_prev)
+                }
+            };
+            // KCL columns and branch voltage row.
+            self.stamp_branch_voltage_rows(&mut m, l.a, l.b, l.branch);
+            // Branch equation: Va - Vb - z * i = rhs_val.
+            m.add_at(l.branch, l.branch, -z);
+            rhs[l.branch] = rhs_val;
+        }
+        for v in &self.vsources {
+            self.stamp_branch_voltage_rows(&mut m, v.pos, v.neg, v.branch);
+            rhs[v.branch] = v.waveform.value_at(t);
+        }
+        for i in &self.isources {
+            self.stamp_current_injection(&mut rhs, i.to, i.from, i.waveform.value_at(t));
+        }
+        for f in &self.mosfets {
+            self.stamp_mosfet(&mut m, &mut rhs, f, x_guess);
+        }
+        (m, rhs)
+    }
+
+    /// Stamps the `+1/-1` pattern shared by ideal voltage sources, DC
+    /// inductor shorts and the voltage part of inductor branch equations.
+    fn stamp_branch_voltage_rows(&self, m: &mut DenseMatrix, pos: usize, neg: usize, branch: usize) {
+        if pos != 0 {
+            m.add_at(pos - 1, branch, 1.0);
+            m.add_at(branch, pos - 1, 1.0);
+        }
+        if neg != 0 {
+            m.add_at(neg - 1, branch, -1.0);
+            m.add_at(branch, neg - 1, -1.0);
+        }
+    }
+
+    /// Stamps a MOSFET linearized about the guess voltages.
+    fn stamp_mosfet(
+        &self,
+        m: &mut DenseMatrix,
+        rhs: &mut [f64],
+        f: &CompiledMosfet,
+        x_guess: &[f64],
+    ) {
+        let vd = self.node_voltage(x_guess, f.drain);
+        let vg = self.node_voltage(x_guess, f.gate);
+        let vs = self.node_voltage(x_guess, f.source);
+
+        // Pick the device-frame (high, low) channel terminals so the
+        // device-frame Vds is always non-negative; the MOSFET is symmetric in
+        // drain/source for this model.
+        let (hi_node, lo_node, v_hi, v_lo) = match f.params.mos_type {
+            MosfetType::Nmos => {
+                if vd >= vs {
+                    (f.drain, f.source, vd, vs)
+                } else {
+                    (f.source, f.drain, vs, vd)
+                }
+            }
+            MosfetType::Pmos => {
+                // For PMOS the "source" in device frame is the higher terminal.
+                if vs >= vd {
+                    (f.source, f.drain, vs, vd)
+                } else {
+                    (f.drain, f.source, vd, vs)
+                }
+            }
+        };
+
+        match f.params.mos_type {
+            MosfetType::Nmos => {
+                // Device frame: drain = hi, source = lo.
+                let vgs = vg - v_lo;
+                let vds = v_hi - v_lo;
+                let e = eval_alpha_power(&f.params, f.width, vgs, vds);
+                // Current leaves hi (drain) node, enters lo (source) node:
+                // I = id0 + gm*(Vg - Vlo - vgs) + gds*(Vhi - Vlo - vds)
+                let const_term = e.id - e.gm * vgs - e.gds * vds;
+                self.stamp_vccs(m, hi_node, lo_node, f.gate, lo_node, e.gm);
+                self.stamp_conductance_directed(m, hi_node, lo_node, hi_node, lo_node, e.gds);
+                self.stamp_current_injection(rhs, lo_node, hi_node, const_term);
+            }
+            MosfetType::Pmos => {
+                // Device frame: source = hi, drain = lo.
+                let vsg = v_hi - vg;
+                let vsd = v_hi - v_lo;
+                let e = eval_alpha_power(&f.params, f.width, vsg, vsd);
+                // Current leaves hi (source) node, enters lo (drain) node:
+                // I = id0 + gm*(Vhi - Vg - vsg) + gds*(Vhi - Vlo - vsd)
+                let const_term = e.id - e.gm * vsg - e.gds * vsd;
+                self.stamp_vccs(m, hi_node, lo_node, hi_node, f.gate, e.gm);
+                self.stamp_conductance_directed(m, hi_node, lo_node, hi_node, lo_node, e.gds);
+                self.stamp_current_injection(rhs, lo_node, hi_node, const_term);
+            }
+        }
+    }
+
+    /// Stamps a voltage-controlled current source: a current `g * (V_cp - V_cn)`
+    /// leaves node `out_of` and enters node `into`.
+    fn stamp_vccs(
+        &self,
+        m: &mut DenseMatrix,
+        out_of: usize,
+        into: usize,
+        cp: usize,
+        cn: usize,
+        g: f64,
+    ) {
+        for (node, sign) in [(out_of, 1.0), (into, -1.0)] {
+            if node == 0 {
+                continue;
+            }
+            if cp != 0 {
+                m.add_at(node - 1, cp - 1, sign * g);
+            }
+            if cn != 0 {
+                m.add_at(node - 1, cn - 1, -sign * g);
+            }
+        }
+    }
+
+    /// Stamps a conductance whose current `g * (V_cp - V_cn)` leaves `out_of`
+    /// and enters `into` (used for the MOSFET output conductance where the
+    /// controlling and conducting node pairs coincide).
+    fn stamp_conductance_directed(
+        &self,
+        m: &mut DenseMatrix,
+        out_of: usize,
+        into: usize,
+        cp: usize,
+        cn: usize,
+        g: f64,
+    ) {
+        self.stamp_vccs(m, out_of, into, cp, cn, g);
+    }
+
+    /// Updates the per-capacitor branch currents after a converged transient
+    /// step (needed by the trapezoidal companion at the next step).
+    pub fn update_capacitor_currents(
+        &self,
+        h: f64,
+        method: CompanionMethod,
+        x_new: &[f64],
+        prev_x: &[f64],
+        prev_cap_currents: &mut [f64],
+    ) {
+        for (idx, c) in self.capacitors.iter().enumerate() {
+            let v_new = self.node_voltage(x_new, c.a) - self.node_voltage(x_new, c.b);
+            let v_prev = self.node_voltage(prev_x, c.a) - self.node_voltage(prev_x, c.b);
+            prev_cap_currents[idx] = match method {
+                CompanionMethod::BackwardEuler => c.farads / h * (v_new - v_prev),
+                CompanionMethod::Trapezoidal => {
+                    2.0 * c.farads / h * (v_new - v_prev) - prev_cap_currents[idx]
+                }
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::source::SourceWaveform;
+
+    #[test]
+    fn compile_counts_unknowns() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R1", a, b, 10.0);
+        ckt.add_inductor("L1", b, Circuit::GROUND, 1e-9);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12);
+        let sys = MnaSystem::compile(&ckt);
+        // 2 node voltages + 1 vsource branch + 1 inductor branch
+        assert_eq!(sys.num_unknowns(), 4);
+        assert_eq!(sys.num_capacitors(), 1);
+        // Branch unknowns are assigned in element order: V1 was added first.
+        assert_eq!(sys.vsource_branch("V1"), Some(2));
+        assert_eq!(sys.vsource_branch("nope"), None);
+    }
+
+    #[test]
+    fn mosfet_adds_parasitic_capacitors() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_mosfet(
+            "M1",
+            d,
+            g,
+            Circuit::GROUND,
+            crate::mosfet::MosfetParams::nmos_018(),
+            10e-6,
+        );
+        let sys = MnaSystem::compile(&ckt);
+        assert_eq!(sys.num_capacitors(), 3); // Cgs, Cgd, Cdb
+    }
+
+    #[test]
+    fn dc_voltage_divider_assembles_correctly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(2.0));
+        ckt.add_resistor("R1", a, b, 1000.0);
+        ckt.add_resistor("R2", b, Circuit::GROUND, 1000.0);
+        let sys = MnaSystem::compile(&ckt);
+        let x0 = vec![0.0; sys.num_unknowns()];
+        let (m, rhs) = sys.assemble_dc(&x0);
+        let x = m.solve(&rhs).unwrap();
+        let vb = sys.node_voltage(&x, b.index());
+        assert!((vb - 1.0).abs() < 1e-6);
+        // Source branch current: current into the + terminal is -I(delivered) = -1 mA.
+        let i = x[sys.vsource_branch("V1").unwrap()];
+        assert!((i + 1.0e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dc_inductor_acts_as_short() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_inductor("L1", a, b, 1e-9);
+        ckt.add_resistor("R1", b, Circuit::GROUND, 100.0);
+        let sys = MnaSystem::compile(&ckt);
+        let x0 = vec![0.0; sys.num_unknowns()];
+        let (m, rhs) = sys.assemble_dc(&x0);
+        let x = m.solve(&rhs).unwrap();
+        assert!((sys.node_voltage(&x, b.index()) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn current_source_injects_into_to_node() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_isource("I1", Circuit::GROUND, a, SourceWaveform::dc(1e-3));
+        ckt.add_resistor("R1", a, Circuit::GROUND, 1000.0);
+        let sys = MnaSystem::compile(&ckt);
+        let x0 = vec![0.0; sys.num_unknowns()];
+        let (m, rhs) = sys.assemble_dc(&x0);
+        let x = m.solve(&rhs).unwrap();
+        assert!((sys.node_voltage(&x, a.index()) - 1.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,258 @@
+//! Alpha-power-law MOSFET model (Sakurai–Newton).
+//!
+//! The paper's experiments use a commercial 1.8 V, 0.18 µm CMOS technology.
+//! We replace it with the alpha-power-law model, the standard analytic model
+//! for velocity-saturated short-channel devices in timing literature. The
+//! default parameters are calibrated so that inverter drive strengths (25X …
+//! 125X, where `X` is a multiple of the minimum NMOS width, W = X · 2·Lmin =
+//! X · 0.36 µm, PMOS twice as wide) produce effective output resistances
+//! comparable to the characteristic impedances of the paper's lines
+//! (≈ 40–80 Ω for 75X–125X drivers), which is what controls the inductive
+//! behaviour being studied.
+
+/// Device polarity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MosfetType {
+    /// N-channel device.
+    Nmos,
+    /// P-channel device.
+    Pmos,
+}
+
+/// Alpha-power-law model parameters for one polarity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosfetParams {
+    /// Device polarity.
+    pub mos_type: MosfetType,
+    /// Threshold voltage magnitude (V). Positive for both polarities.
+    pub vth: f64,
+    /// Velocity-saturation index `alpha` (2.0 = classic square law, ~1.2–1.4
+    /// for short-channel devices).
+    pub alpha: f64,
+    /// Drain-current coefficient `k_sat` (A per metre of width at
+    /// `(Vgs - Vth) = 1 V`): `Id_sat = k_sat · W · (Vgs - Vth)^alpha`.
+    pub k_sat: f64,
+    /// Saturation-voltage coefficient `k_v` (V at `(Vgs - Vth) = 1 V`):
+    /// `Vd_sat = k_v · (Vgs - Vth)^(alpha/2)`.
+    pub k_v: f64,
+    /// Channel-length modulation (1/V).
+    pub lambda: f64,
+    /// Gate capacitance per metre of width (F/m), lumped as Cgs and Cgd.
+    pub c_gate_per_width: f64,
+    /// Drain junction capacitance per metre of width (F/m).
+    pub c_junction_per_width: f64,
+}
+
+impl MosfetParams {
+    /// Default NMOS parameters for the calibrated 0.18 µm technology.
+    ///
+    /// Calibration targets (see `rlc-charlib` tests): a 75X inverter
+    /// (W_N = 27 µm, W_P = 54 µm) drives with an effective resistance of
+    /// roughly 55–75 Ω, and saturation current density is ≈ 0.6 mA/µm at
+    /// Vgs = 1.8 V.
+    pub fn nmos_018() -> Self {
+        MosfetParams {
+            mos_type: MosfetType::Nmos,
+            vth: 0.43,
+            alpha: 1.3,
+            // Idsat(Vgs=1.8) = k_sat * (1.37)^1.3 ~= k_sat * 1.506; target 600 A/m
+            k_sat: 400.0,
+            k_v: 0.95,
+            lambda: 0.05,
+            // ~1 fF/um of gate width split between Cgs and Cgd
+            c_gate_per_width: 1.0e-9,
+            c_junction_per_width: 0.8e-9,
+        }
+    }
+
+    /// Default PMOS parameters for the calibrated 0.18 µm technology.
+    pub fn pmos_018() -> Self {
+        MosfetParams {
+            mos_type: MosfetType::Pmos,
+            vth: 0.43,
+            alpha: 1.35,
+            // PMOS current density roughly half of NMOS
+            k_sat: 200.0,
+            k_v: 1.05,
+            lambda: 0.05,
+            c_gate_per_width: 1.0e-9,
+            c_junction_per_width: 0.8e-9,
+        }
+    }
+
+    /// Saturation drain current (A) for a device of width `w` metres at gate
+    /// overdrive `vgst = |Vgs| - Vth` (V). Zero when the device is off.
+    pub fn idsat(&self, w: f64, vgst: f64) -> f64 {
+        if vgst <= 0.0 {
+            0.0
+        } else {
+            self.k_sat * w * vgst.powf(self.alpha)
+        }
+    }
+
+    /// Saturation voltage (V) at gate overdrive `vgst`.
+    pub fn vdsat(&self, vgst: f64) -> f64 {
+        if vgst <= 0.0 {
+            0.0
+        } else {
+            self.k_v * vgst.powf(self.alpha / 2.0)
+        }
+    }
+}
+
+/// Operating-point evaluation of the drain current and its derivatives, in
+/// the *device frame* (NMOS conventions: `vgs`, `vds` ≥ 0 in normal forward
+/// operation; drain current flows drain → source).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MosfetEval {
+    /// Drain current (A), positive into the drain terminal.
+    pub id: f64,
+    /// Transconductance dId/dVgs (S).
+    pub gm: f64,
+    /// Output conductance dId/dVds (S).
+    pub gds: f64,
+}
+
+/// Evaluates the alpha-power-law equations for a device of width `w` (m) at
+/// the given device-frame bias. Handles cutoff, the "linear" (triode) region
+/// and saturation with channel-length modulation; the current and its first
+/// derivatives are continuous across the region boundaries (the triode
+/// expression equals the saturation expression and has zero `dId/dVds` slope
+/// mismatch at `Vds = Vdsat` when `lambda = 0`; with `lambda > 0` the small
+/// discontinuity in `gds` is handled by the Newton damping).
+pub fn eval_alpha_power(params: &MosfetParams, w: f64, vgs: f64, vds: f64) -> MosfetEval {
+    debug_assert!(vds >= 0.0, "device-frame vds must be non-negative");
+    let vgst = vgs - params.vth;
+    if vgst <= 0.0 {
+        // Cutoff: tiny leakage conductance keeps the Jacobian non-singular.
+        let gleak = 1e-12;
+        return MosfetEval {
+            id: gleak * vds,
+            gm: 0.0,
+            gds: gleak,
+        };
+    }
+    let idsat = params.idsat(w, vgst);
+    let vdsat = params.vdsat(vgst);
+    let didsat_dvgs = params.alpha * params.k_sat * w * vgst.powf(params.alpha - 1.0);
+    let dvdsat_dvgs = 0.5 * params.alpha * params.k_v * vgst.powf(params.alpha / 2.0 - 1.0);
+
+    if vds >= vdsat {
+        // Saturation with channel-length modulation.
+        let clm = 1.0 + params.lambda * (vds - vdsat);
+        let id = idsat * clm;
+        let gds = idsat * params.lambda + 1e-12;
+        let gm = didsat_dvgs * clm - idsat * params.lambda * dvdsat_dvgs;
+        MosfetEval { id, gm, gds }
+    } else {
+        // Triode: Id = Idsat * (2 - x) * x with x = Vds/Vdsat.
+        let x = vds / vdsat;
+        let shape = (2.0 - x) * x;
+        let id = idsat * shape;
+        let dshape_dx = 2.0 - 2.0 * x;
+        let gds = idsat * dshape_dx / vdsat + 1e-12;
+        // d/dVgs at constant Vds: dIdsat/dVgs * shape + Idsat * dshape/dx * dx/dVgs,
+        // with dx/dVgs = -Vds/Vdsat^2 * dVdsat/dVgs.
+        let dx_dvgs = -vds / (vdsat * vdsat) * dvdsat_dvgs;
+        let gm = didsat_dvgs * shape + idsat * dshape_dx * dx_dvgs;
+        MosfetEval { id, gm: gm.max(0.0), gds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nmos() -> MosfetParams {
+        MosfetParams::nmos_018()
+    }
+
+    #[test]
+    fn cutoff_has_negligible_current() {
+        let e = eval_alpha_power(&nmos(), 27e-6, 0.2, 1.0);
+        assert!(e.id.abs() < 1e-9);
+        assert_eq!(e.gm, 0.0);
+    }
+
+    #[test]
+    fn saturation_current_density_is_realistic() {
+        // 1 um wide NMOS at full gate drive should carry roughly 0.5-0.7 mA.
+        let e = eval_alpha_power(&nmos(), 1e-6, 1.8, 1.8);
+        assert!(e.id > 4e-4 && e.id < 8e-4, "Idsat/um = {}", e.id);
+    }
+
+    #[test]
+    fn current_is_continuous_at_vdsat() {
+        let p = nmos();
+        let w = 27e-6;
+        let vgs = 1.8;
+        let vdsat = p.vdsat(vgs - p.vth);
+        let below = eval_alpha_power(&p, w, vgs, vdsat * (1.0 - 1e-9));
+        let above = eval_alpha_power(&p, w, vgs, vdsat * (1.0 + 1e-9));
+        assert!((below.id - above.id).abs() / above.id < 1e-6);
+    }
+
+    #[test]
+    fn triode_current_increases_with_vds() {
+        let p = nmos();
+        let w = 27e-6;
+        let i1 = eval_alpha_power(&p, w, 1.8, 0.05).id;
+        let i2 = eval_alpha_power(&p, w, 1.8, 0.10).id;
+        assert!(i2 > i1);
+    }
+
+    #[test]
+    fn gm_and_gds_match_finite_differences() {
+        let p = nmos();
+        let w = 10e-6;
+        for &(vgs, vds) in &[(1.0, 0.1), (1.2, 0.3), (1.8, 0.2), (1.8, 1.5), (0.9, 1.0)] {
+            let e = eval_alpha_power(&p, w, vgs, vds);
+            let h = 1e-7;
+            let d_gm = (eval_alpha_power(&p, w, vgs + h, vds).id
+                - eval_alpha_power(&p, w, vgs - h, vds).id)
+                / (2.0 * h);
+            let d_gds = (eval_alpha_power(&p, w, vgs, vds + h).id
+                - eval_alpha_power(&p, w, vgs, vds - h).id)
+                / (2.0 * h);
+            assert!(
+                (e.gm - d_gm).abs() <= 1e-3 * d_gm.abs().max(1e-6),
+                "gm mismatch at ({vgs},{vds}): {} vs {}",
+                e.gm,
+                d_gm
+            );
+            assert!(
+                (e.gds - d_gds).abs() <= 2e-3 * d_gds.abs().max(1e-6),
+                "gds mismatch at ({vgs},{vds}): {} vs {}",
+                e.gds,
+                d_gds
+            );
+        }
+    }
+
+    #[test]
+    fn effective_resistance_of_75x_pullup_is_near_line_impedance() {
+        // A crude switch-resistance estimate: R_eff ~ 0.75 * VDD / Idsat(VDD).
+        // For the 75X inverter the PMOS is 54 um wide.
+        let p = MosfetParams::pmos_018();
+        let idsat = p.idsat(54e-6, 1.8 - p.vth);
+        let reff = 0.75 * 1.8 / idsat;
+        assert!(
+            reff > 30.0 && reff < 120.0,
+            "75X pull-up effective resistance {reff:.1} ohms is outside the expected window"
+        );
+    }
+
+    #[test]
+    fn pmos_is_weaker_than_nmos_per_width() {
+        let n = MosfetParams::nmos_018();
+        let p = MosfetParams::pmos_018();
+        assert!(n.idsat(1e-6, 1.37) > p.idsat(1e-6, 1.37));
+    }
+
+    #[test]
+    fn idsat_and_vdsat_are_zero_when_off() {
+        let p = nmos();
+        assert_eq!(p.idsat(1e-6, -0.1), 0.0);
+        assert_eq!(p.vdsat(-0.1), 0.0);
+    }
+}

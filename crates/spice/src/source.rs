@@ -1,0 +1,226 @@
+//! Independent source waveforms.
+
+/// Time-dependent value of an independent voltage or current source.
+///
+/// ```
+/// use rlc_spice::SourceWaveform;
+/// let ramp = SourceWaveform::rising_ramp(1.8, 10e-12, 100e-12);
+/// assert_eq!(ramp.value_at(0.0), 0.0);
+/// assert!((ramp.value_at(60e-12) - 0.9).abs() < 1e-12);
+/// assert_eq!(ramp.value_at(1e-9), 1.8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum SourceWaveform {
+    /// Constant value.
+    Dc(f64),
+    /// Piecewise-linear waveform: `(time, value)` pairs sorted by time.
+    /// Before the first point the first value holds; after the last point the
+    /// last value holds.
+    Pwl(Vec<(f64, f64)>),
+    /// Periodic pulse: `initial`, `pulsed`, `delay`, `rise`, `fall`, `width`, `period`.
+    Pulse {
+        /// Value before the pulse and between pulses.
+        initial: f64,
+        /// Value during the pulse.
+        pulsed: f64,
+        /// Delay before the first pulse edge.
+        delay: f64,
+        /// Rise time of the leading edge.
+        rise: f64,
+        /// Fall time of the trailing edge.
+        fall: f64,
+        /// Pulse width (time at the pulsed value).
+        width: f64,
+        /// Repetition period.
+        period: f64,
+    },
+}
+
+impl SourceWaveform {
+    /// A DC source.
+    pub fn dc(value: f64) -> Self {
+        SourceWaveform::Dc(value)
+    }
+
+    /// A saturated rising ramp from 0 to `vdd`, starting at `delay` and taking
+    /// `transition` seconds (0 % to 100 %).
+    pub fn rising_ramp(vdd: f64, delay: f64, transition: f64) -> Self {
+        SourceWaveform::Pwl(vec![
+            (0.0, 0.0),
+            (delay, 0.0),
+            (delay + transition, vdd),
+        ])
+    }
+
+    /// A saturated falling ramp from `vdd` to 0, starting at `delay` and taking
+    /// `transition` seconds (100 % to 0 %).
+    pub fn falling_ramp(vdd: f64, delay: f64, transition: f64) -> Self {
+        SourceWaveform::Pwl(vec![
+            (0.0, vdd),
+            (delay, vdd),
+            (delay + transition, 0.0),
+        ])
+    }
+
+    /// A piecewise-linear source from `(time, value)` points.
+    ///
+    /// # Panics
+    /// Panics if fewer than one point is given or the times are not
+    /// non-decreasing.
+    pub fn pwl(points: Vec<(f64, f64)>) -> Self {
+        assert!(!points.is_empty(), "PWL source needs at least one point");
+        for w in points.windows(2) {
+            assert!(w[1].0 >= w[0].0, "PWL times must be non-decreasing");
+        }
+        SourceWaveform::Pwl(points)
+    }
+
+    /// Value of the source at time `t`.
+    pub fn value_at(&self, t: f64) -> f64 {
+        match self {
+            SourceWaveform::Dc(v) => *v,
+            SourceWaveform::Pwl(points) => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                for w in points.windows(2) {
+                    let (t0, v0) = w[0];
+                    let (t1, v1) = w[1];
+                    // Strict upper bound: at a vertical step (two points with
+                    // the same time) the later value wins.
+                    if t < t1 {
+                        if t1 == t0 {
+                            return v1;
+                        }
+                        return v0 + (v1 - v0) * (t - t0) / (t1 - t0);
+                    }
+                }
+                points.last().unwrap().1
+            }
+            SourceWaveform::Pulse {
+                initial,
+                pulsed,
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+            } => {
+                if t < *delay {
+                    return *initial;
+                }
+                let tp = (t - delay) % period.max(f64::MIN_POSITIVE);
+                if tp < *rise {
+                    initial + (pulsed - initial) * tp / rise.max(f64::MIN_POSITIVE)
+                } else if tp < rise + width {
+                    *pulsed
+                } else if tp < rise + width + fall {
+                    pulsed + (initial - pulsed) * (tp - rise - width) / fall.max(f64::MIN_POSITIVE)
+                } else {
+                    *initial
+                }
+            }
+        }
+    }
+
+    /// Value at `t = 0`, used for DC operating points and initial conditions.
+    pub fn initial_value(&self) -> f64 {
+        self.value_at(0.0)
+    }
+
+    /// The latest time at which the waveform still changes (end of the last
+    /// PWL segment, end of one pulse period, or 0 for DC). Useful for picking
+    /// a default simulation window.
+    pub fn last_event_time(&self) -> f64 {
+        match self {
+            SourceWaveform::Dc(_) => 0.0,
+            SourceWaveform::Pwl(points) => points.last().map(|p| p.0).unwrap_or(0.0),
+            SourceWaveform::Pulse {
+                delay,
+                rise,
+                fall,
+                width,
+                period,
+                ..
+            } => delay + period.max(rise + width + fall),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let s = SourceWaveform::dc(1.8);
+        assert_eq!(s.value_at(0.0), 1.8);
+        assert_eq!(s.value_at(1.0), 1.8);
+        assert_eq!(s.last_event_time(), 0.0);
+    }
+
+    #[test]
+    fn rising_ramp_shape() {
+        let s = SourceWaveform::rising_ramp(1.8, 50e-12, 100e-12);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert_eq!(s.value_at(50e-12), 0.0);
+        assert!((s.value_at(100e-12) - 0.9).abs() < 1e-12);
+        assert_eq!(s.value_at(150e-12), 1.8);
+        assert_eq!(s.value_at(1.0), 1.8);
+        assert_eq!(s.last_event_time(), 150e-12);
+    }
+
+    #[test]
+    fn falling_ramp_shape() {
+        let s = SourceWaveform::falling_ramp(1.8, 0.0, 100e-12);
+        assert_eq!(s.value_at(0.0), 1.8);
+        assert!((s.value_at(50e-12) - 0.9).abs() < 1e-12);
+        assert_eq!(s.value_at(200e-12), 0.0);
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let s = SourceWaveform::pwl(vec![(1e-9, 0.0), (2e-9, 1.0), (3e-9, -1.0)]);
+        assert_eq!(s.value_at(0.0), 0.0);
+        assert!((s.value_at(1.5e-9) - 0.5).abs() < 1e-12);
+        assert!((s.value_at(2.5e-9) - 0.0).abs() < 1e-12);
+        assert_eq!(s.value_at(10e-9), -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn pwl_rejects_unsorted_times() {
+        let _ = SourceWaveform::pwl(vec![(1e-9, 0.0), (0.5e-9, 1.0)]);
+    }
+
+    #[test]
+    fn pwl_with_vertical_step_uses_new_value() {
+        let s = SourceWaveform::pwl(vec![(0.0, 0.0), (1e-9, 0.0), (1e-9, 1.0), (2e-9, 1.0)]);
+        assert_eq!(s.value_at(1e-9), 1.0);
+        assert_eq!(s.value_at(0.5e-9), 0.0);
+    }
+
+    #[test]
+    fn pulse_waveform_cycles() {
+        let s = SourceWaveform::Pulse {
+            initial: 0.0,
+            pulsed: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.8e-9,
+            period: 2e-9,
+        };
+        assert_eq!(s.value_at(0.5e-9), 0.0);
+        assert!((s.value_at(1.05e-9) - 0.5).abs() < 1e-9);
+        assert_eq!(s.value_at(1.5e-9), 1.0);
+        assert_eq!(s.value_at(3.5e-9), 1.0); // second period
+        assert!(s.last_event_time() >= 3e-9);
+    }
+
+    #[test]
+    fn initial_value_matches_t0() {
+        let s = SourceWaveform::falling_ramp(1.8, 10e-12, 50e-12);
+        assert_eq!(s.initial_value(), 1.8);
+    }
+}

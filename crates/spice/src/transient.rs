@@ -1,0 +1,453 @@
+//! Fixed-step transient analysis with Newton–Raphson at every time point.
+
+use std::collections::HashMap;
+
+use crate::circuit::{Circuit, NodeId};
+use crate::dc::{dc_operating_point, DcOptions};
+use crate::mna::{CompanionMethod, MnaSystem};
+use crate::waveform::Waveform;
+use crate::SpiceError;
+
+/// Integration method for the transient companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// Trapezoidal rule (default): second-order accurate, preserves the
+    /// LC ringing that produces the transmission-line kinks being studied.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler: first-order, numerically damped; useful as a
+    /// cross-check and for stiff start-up transients.
+    BackwardEuler,
+}
+
+impl IntegrationMethod {
+    fn companion(self) -> CompanionMethod {
+        match self {
+            IntegrationMethod::Trapezoidal => CompanionMethod::Trapezoidal,
+            IntegrationMethod::BackwardEuler => CompanionMethod::BackwardEuler,
+        }
+    }
+}
+
+/// How the transient analysis obtains its starting state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitialState {
+    /// Run a DC operating point first unless the circuit carries explicit
+    /// initial conditions (the SPICE "UIC when ICs are present" behaviour).
+    #[default]
+    Auto,
+    /// Always run a DC operating point.
+    DcOperatingPoint,
+    /// Use the circuit's initial conditions (unspecified nodes start at 0 V).
+    UseInitialConditions,
+}
+
+/// Options for a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransientOptions {
+    /// Fixed time step (seconds).
+    pub time_step: f64,
+    /// Stop time (seconds).
+    pub stop_time: f64,
+    /// Integration method.
+    pub method: IntegrationMethod,
+    /// Starting-state policy.
+    pub initial_state: InitialState,
+    /// Maximum Newton iterations per time point.
+    pub max_newton_iterations: usize,
+    /// Convergence tolerance on voltage updates (volts).
+    pub voltage_tolerance: f64,
+    /// Largest allowed voltage change per Newton iteration (volts).
+    pub step_limit: f64,
+}
+
+impl TransientOptions {
+    /// Creates options with the given step and stop time and default
+    /// tolerances.
+    ///
+    /// # Panics
+    /// Panics if `time_step <= 0`, `stop_time <= 0`, or
+    /// `stop_time < time_step`.
+    pub fn new(time_step: f64, stop_time: f64) -> Self {
+        assert!(time_step > 0.0 && stop_time > 0.0, "times must be positive");
+        assert!(stop_time >= time_step, "stop time shorter than one step");
+        TransientOptions {
+            time_step,
+            stop_time,
+            method: IntegrationMethod::default(),
+            initial_state: InitialState::default(),
+            max_newton_iterations: 100,
+            voltage_tolerance: 1e-6,
+            step_limit: 1.0,
+        }
+    }
+
+    /// Sets the integration method (builder style).
+    pub fn with_method(mut self, method: IntegrationMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Sets the starting-state policy (builder style).
+    pub fn with_initial_state(mut self, initial_state: InitialState) -> Self {
+        self.initial_state = initial_state;
+        self
+    }
+}
+
+/// A transient analysis runner.
+#[derive(Debug, Clone)]
+pub struct TransientAnalysis {
+    options: TransientOptions,
+}
+
+/// Result of a transient run: the full solution history.
+#[derive(Debug, Clone)]
+pub struct TransientResult {
+    times: Vec<f64>,
+    solutions: Vec<Vec<f64>>,
+    system: MnaSystem,
+    node_names: HashMap<String, NodeId>,
+}
+
+impl TransientResult {
+    /// Simulated time points.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Number of accepted time points.
+    pub fn num_points(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Waveform of a node voltage.
+    pub fn waveform(&self, node: NodeId) -> Waveform {
+        let values = self
+            .solutions
+            .iter()
+            .map(|x| self.system.node_voltage(x, node.index()))
+            .collect();
+        Waveform::new(self.times.clone(), values)
+    }
+
+    /// Waveform of a node voltage looked up by name. Returns `None` when the
+    /// node does not exist.
+    pub fn waveform_by_name(&self, name: &str) -> Option<Waveform> {
+        self.node_names.get(name).map(|&n| self.waveform(n))
+    }
+
+    /// Branch current of a named voltage source over time (SPICE convention:
+    /// current into the positive terminal). Returns `None` for unknown names.
+    pub fn vsource_current(&self, name: &str) -> Option<Waveform> {
+        let branch = self.system.vsource_branch(name)?;
+        let values = self.solutions.iter().map(|x| x[branch]).collect();
+        Some(Waveform::new(self.times.clone(), values))
+    }
+}
+
+impl TransientAnalysis {
+    /// Creates a transient analysis with the given options.
+    pub fn new(options: TransientOptions) -> Self {
+        TransientAnalysis { options }
+    }
+
+    /// Runs the analysis on a circuit.
+    ///
+    /// # Errors
+    /// Returns a [`SpiceError`] if the circuit is invalid, the Newton loop
+    /// fails to converge at some time point, or the MNA matrix is singular.
+    pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, SpiceError> {
+        circuit.validate()?;
+        let system = MnaSystem::compile(circuit);
+        let n = system.num_unknowns();
+        let n_voltages = system.num_nodes() - 1;
+        let opts = &self.options;
+
+        // Starting state.
+        let use_ics = match opts.initial_state {
+            InitialState::Auto => !circuit.initial_conditions().is_empty(),
+            InitialState::DcOperatingPoint => false,
+            InitialState::UseInitialConditions => true,
+        };
+        let mut x = if use_ics {
+            let mut x0 = vec![0.0; n];
+            for (&node, &v) in circuit.initial_conditions() {
+                if let Some(idx) = system.voltage_unknown(node) {
+                    x0[idx] = v;
+                }
+            }
+            x0
+        } else {
+            dc_operating_point(circuit, DcOptions::default())?.raw().to_vec()
+        };
+
+        let mut cap_currents = vec![0.0; system.num_capacitors()];
+        let n_steps = (opts.stop_time / opts.time_step).round() as usize;
+        let mut times = Vec::with_capacity(n_steps + 1);
+        let mut solutions = Vec::with_capacity(n_steps + 1);
+        times.push(0.0);
+        solutions.push(x.clone());
+
+        let method = opts.method.companion();
+        let h = opts.time_step;
+
+        for step in 1..=n_steps {
+            let t = step as f64 * h;
+            let prev_x = x.clone();
+            // Newton iterations about the previous solution as initial guess.
+            let mut guess = prev_x.clone();
+            let mut converged = false;
+            let mut last_delta = f64::INFINITY;
+            for _ in 0..opts.max_newton_iterations {
+                let (m, rhs) =
+                    system.assemble_transient(t, h, method, &guess, &prev_x, &cap_currents);
+                let x_new = m
+                    .solve(&rhs)
+                    .map_err(|_| SpiceError::SingularMatrix { time: Some(t) })?;
+                let mut max_delta: f64 = 0.0;
+                for k in 0..n {
+                    let mut delta = x_new[k] - guess[k];
+                    if k < n_voltages {
+                        delta = delta.clamp(-opts.step_limit, opts.step_limit);
+                        max_delta = max_delta.max(delta.abs());
+                        guess[k] += delta;
+                    } else {
+                        guess[k] = x_new[k];
+                    }
+                }
+                last_delta = max_delta;
+                if max_delta < opts.voltage_tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::NonConvergence {
+                    time: Some(t),
+                    iterations: opts.max_newton_iterations,
+                    max_delta: last_delta,
+                });
+            }
+            system.update_capacitor_currents(h, method, &guess, &prev_x, &mut cap_currents);
+            x = guess;
+            times.push(t);
+            solutions.push(x.clone());
+        }
+
+        let node_names = (0..circuit.num_nodes())
+            .map(|k| {
+                let id = if k == 0 {
+                    Circuit::GROUND
+                } else {
+                    // Reconstruct NodeId; indices are stable.
+                    NodeId(k)
+                };
+                (circuit.node_name(id).to_string(), id)
+            })
+            .collect();
+
+        Ok(TransientResult {
+            times,
+            solutions,
+            system,
+            node_names,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::mosfet::MosfetParams;
+    use crate::source::SourceWaveform;
+    use rlc_numeric::approx_eq;
+    use rlc_numeric::units::{ff, nh, pf, ps};
+
+    /// RC step response: V(t) = V0 (1 - e^{-t/RC}).
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let r = 1000.0;
+        let c = 100e-15;
+        let tau = r * c;
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R1", a, b, r);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, c);
+        ckt.set_initial_condition(b, 0.0);
+        ckt.set_initial_condition(a, 1.0);
+
+        let opts = TransientOptions::new(tau / 200.0, 6.0 * tau);
+        let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
+        let w = res.waveform(b);
+        for &t in &[0.5 * tau, tau, 2.0 * tau, 4.0 * tau] {
+            let expected = 1.0 - (-t / tau).exp();
+            assert!(
+                (w.value_at(t) - expected).abs() < 2e-3,
+                "t = {t}: {} vs {expected}",
+                w.value_at(t)
+            );
+        }
+    }
+
+    /// Series RLC with an underdamped response must ring at the right
+    /// frequency.
+    #[test]
+    fn rlc_ringing_frequency_is_correct() {
+        let r = 5.0;
+        let l = nh(5.0);
+        let c = pf(1.0);
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let m = ckt.node("m");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R1", a, m, r);
+        ckt.add_inductor("L1", m, b, l);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, c);
+        ckt.set_initial_condition(a, 1.0);
+
+        let opts = TransientOptions::new(ps(0.2), ps(1500.0))
+            .with_initial_state(InitialState::UseInitialConditions);
+        let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
+        let w = res.waveform(b);
+        // Damped natural period T = 2*pi / sqrt(1/LC - (R/2L)^2)
+        let wd = (1.0 / (l * c) - (r / (2.0 * l)).powi(2)).sqrt();
+        let period = 2.0 * std::f64::consts::PI / wd;
+        // Find the first two upward crossings of the final value 1.0.
+        let t1 = w.crossing_time(1.0, true).unwrap();
+        let after: Vec<(f64, f64)> = w
+            .times()
+            .iter()
+            .copied()
+            .zip(w.values().iter().copied())
+            .filter(|&(t, _)| t > t1 + 0.4 * period)
+            .collect();
+        let wave2 = Waveform::new(
+            after.iter().map(|p| p.0).collect(),
+            after.iter().map(|p| p.1).collect(),
+        );
+        let t2 = wave2.crossing_time(1.0, true).unwrap();
+        let measured_period = t2 - t1;
+        assert!(
+            (measured_period - period).abs() / period < 0.03,
+            "period {measured_period:.3e} vs analytic {period:.3e}"
+        );
+        // Peak overshoot of a lightly damped RLC approaches 2x the step.
+        assert!(w.max_value() > 1.5);
+    }
+
+    /// An inverter driving a capacitor must swing rail to rail with a plausible
+    /// delay, and the output must be monotonic for a lumped capacitive load.
+    #[test]
+    fn inverter_driving_capacitor_switches() {
+        let vdd = 1.8;
+        let mut ckt = Circuit::new();
+        let nvdd = ckt.node("vdd");
+        let nin = ckt.node("in");
+        let nout = ckt.node("out");
+        ckt.add_vsource("VDD", nvdd, Circuit::GROUND, SourceWaveform::dc(vdd));
+        ckt.add_vsource(
+            "VIN",
+            nin,
+            Circuit::GROUND,
+            SourceWaveform::falling_ramp(vdd, ps(20.0), ps(100.0)),
+        );
+        ckt.add_mosfet("MP", nout, nin, nvdd, MosfetParams::pmos_018(), 54e-6);
+        ckt.add_mosfet("MN", nout, nin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_capacitor("CL", nout, Circuit::GROUND, ff(500.0));
+        ckt.set_initial_condition(nin, vdd);
+        ckt.set_initial_condition(nout, 0.0);
+        ckt.set_initial_condition(nvdd, vdd);
+
+        let opts = TransientOptions::new(ps(0.5), ps(1000.0));
+        let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
+        let out = res.waveform(nout);
+        assert!(out.last_value() > 0.98 * vdd, "output must reach VDD");
+        let t50_out = out.crossing_fraction(0.5, vdd, true).unwrap();
+        let t50_in = ps(20.0) + ps(50.0);
+        let delay = t50_out - t50_in;
+        assert!(delay > ps(1.0) && delay < ps(200.0), "delay = {delay:.3e}");
+        let slew = out.slew_10_90(vdd, true).unwrap();
+        assert!(slew > ps(5.0) && slew < ps(500.0), "slew = {slew:.3e}");
+    }
+
+    /// Backward Euler and trapezoidal must agree on smooth RC waveforms.
+    #[test]
+    fn integration_methods_agree_on_rc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::rising_ramp(1.0, 0.0, ps(50.0)),
+        );
+        ckt.add_resistor("R1", a, b, 500.0);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, ff(200.0));
+        ckt.set_initial_condition(a, 0.0);
+
+        let trap = TransientAnalysis::new(
+            TransientOptions::new(ps(0.25), ps(600.0)).with_method(IntegrationMethod::Trapezoidal),
+        )
+        .run(&ckt)
+        .unwrap()
+        .waveform(b);
+        let be = TransientAnalysis::new(
+            TransientOptions::new(ps(0.25), ps(600.0)).with_method(IntegrationMethod::BackwardEuler),
+        )
+        .run(&ckt)
+        .unwrap()
+        .waveform(b);
+        assert!(trap.rms_difference(&be) < 5e-3);
+    }
+
+    #[test]
+    fn dc_start_matches_operating_point() {
+        // No initial conditions: the run must start from the DC solution
+        // (output high for input low), not from zero.
+        let vdd = 1.8;
+        let mut ckt = Circuit::new();
+        let nvdd = ckt.node("vdd");
+        let nin = ckt.node("in");
+        let nout = ckt.node("out");
+        ckt.add_vsource("VDD", nvdd, Circuit::GROUND, SourceWaveform::dc(vdd));
+        ckt.add_vsource("VIN", nin, Circuit::GROUND, SourceWaveform::dc(0.0));
+        ckt.add_mosfet("MP", nout, nin, nvdd, MosfetParams::pmos_018(), 10e-6);
+        ckt.add_mosfet("MN", nout, nin, Circuit::GROUND, MosfetParams::nmos_018(), 5e-6);
+        ckt.add_capacitor("CL", nout, Circuit::GROUND, ff(50.0));
+        let res = TransientAnalysis::new(TransientOptions::new(ps(1.0), ps(50.0)))
+            .run(&ckt)
+            .unwrap();
+        let out = res.waveform(nout);
+        assert!(out.value_at(0.0) > 1.7);
+        assert!(out.last_value() > 1.7);
+    }
+
+    #[test]
+    fn vsource_current_is_recorded() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R1", a, Circuit::GROUND, 100.0);
+        let res = TransientAnalysis::new(TransientOptions::new(ps(1.0), ps(10.0)))
+            .run(&ckt)
+            .unwrap();
+        let i = res.vsource_current("V1").unwrap();
+        assert!(approx_eq(i.last_value(), -0.01, 1e-6));
+        assert!(res.vsource_current("nope").is_none());
+        assert!(res.waveform_by_name("a").is_some());
+        assert!(res.waveform_by_name("zzz").is_none());
+        assert_eq!(res.num_points(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "stop time shorter")]
+    fn options_validate_stop_time() {
+        let _ = TransientOptions::new(ps(10.0), ps(1.0));
+    }
+}

@@ -1,0 +1,319 @@
+//! Sampled waveforms and the timing measurements used throughout the
+//! workspace (50 % delay, 10–90 % transition time, crossings, overshoot).
+
+use rlc_numeric::interp::{first_crossing, interp1};
+use rlc_numeric::quadrature::trapezoid_sampled;
+
+/// A sampled waveform: strictly increasing time points and the corresponding
+/// values.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Waveform {
+    times: Vec<f64>,
+    values: Vec<f64>,
+}
+
+impl Waveform {
+    /// Creates a waveform from samples.
+    ///
+    /// # Panics
+    /// Panics if the lengths differ, fewer than two samples are given, or the
+    /// times are not strictly increasing.
+    pub fn new(times: Vec<f64>, values: Vec<f64>) -> Self {
+        assert_eq!(times.len(), values.len(), "time/value length mismatch");
+        assert!(times.len() >= 2, "waveform needs at least two samples");
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "times must be strictly increasing");
+        }
+        Self { times, values }
+    }
+
+    /// Builds a waveform by sampling a closure on a uniform grid from 0 to
+    /// `t_stop` with `n` intervals.
+    ///
+    /// # Panics
+    /// Panics if `n < 1` or `t_stop <= 0`.
+    pub fn from_fn<F: Fn(f64) -> f64>(f: F, t_stop: f64, n: usize) -> Self {
+        assert!(n >= 1 && t_stop > 0.0);
+        let times: Vec<f64> = (0..=n).map(|k| t_stop * k as f64 / n as f64).collect();
+        let values = times.iter().map(|&t| f(t)).collect();
+        Self::new(times, values)
+    }
+
+    /// Time samples.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Value samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Always false (a waveform has at least two samples).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First sampled time.
+    pub fn first_time(&self) -> f64 {
+        self.times[0]
+    }
+
+    /// Last sampled time.
+    pub fn last_time(&self) -> f64 {
+        *self.times.last().unwrap()
+    }
+
+    /// Value at the last sample.
+    pub fn last_value(&self) -> f64 {
+        *self.values.last().unwrap()
+    }
+
+    /// Linearly interpolated value at time `t` (clamped to the sampled range).
+    pub fn value_at(&self, t: f64) -> f64 {
+        interp1(&self.times, &self.values, t.clamp(self.first_time(), self.last_time()))
+    }
+
+    /// Minimum sampled value.
+    pub fn min_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Maximum sampled value.
+    pub fn max_value(&self) -> f64 {
+        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Time of the first crossing of `level`, searching in the direction
+    /// given by `rising`. Returns `None` if the waveform never crosses.
+    pub fn crossing_time(&self, level: f64, rising: bool) -> Option<f64> {
+        first_crossing(&self.times, &self.values, level, rising)
+    }
+
+    /// Time of the first crossing of `fraction * v_ref`, e.g.
+    /// `crossing_fraction(0.5, 1.8, true)` for the 50 % point of a 1.8 V
+    /// rising transition.
+    pub fn crossing_fraction(&self, fraction: f64, v_ref: f64, rising: bool) -> Option<f64> {
+        self.crossing_time(fraction * v_ref, rising)
+    }
+
+    /// Transition time between `lo_frac * v_ref` and `hi_frac * v_ref`
+    /// (e.g. 10 %–90 %). For falling edges pass `rising = false`; the result
+    /// is always positive. Returns `None` if either crossing is missing.
+    pub fn transition_time(
+        &self,
+        lo_frac: f64,
+        hi_frac: f64,
+        v_ref: f64,
+        rising: bool,
+    ) -> Option<f64> {
+        let (first, second) = if rising {
+            (
+                self.crossing_fraction(lo_frac, v_ref, true)?,
+                self.crossing_fraction(hi_frac, v_ref, true)?,
+            )
+        } else {
+            (
+                self.crossing_fraction(hi_frac, v_ref, false)?,
+                self.crossing_fraction(lo_frac, v_ref, false)?,
+            )
+        };
+        Some((second - first).abs())
+    }
+
+    /// 10 %–90 % transition time, the slew metric used in the paper's tables.
+    pub fn slew_10_90(&self, v_ref: f64, rising: bool) -> Option<f64> {
+        self.transition_time(0.1, 0.9, v_ref, rising)
+    }
+
+    /// 50 % delay of this waveform relative to a reference waveform (both
+    /// referenced to `v_ref`): `t50(self) - t50(reference)`.
+    pub fn delay_50_from(&self, reference: &Waveform, v_ref: f64, self_rising: bool, ref_rising: bool) -> Option<f64> {
+        let t_self = self.crossing_fraction(0.5, v_ref, self_rising)?;
+        let t_ref = reference.crossing_fraction(0.5, v_ref, ref_rising)?;
+        Some(t_self - t_ref)
+    }
+
+    /// Overshoot above `v_ref` (0 if none).
+    pub fn overshoot(&self, v_ref: f64) -> f64 {
+        (self.max_value() - v_ref).max(0.0)
+    }
+
+    /// Undershoot below 0 (0 if none).
+    pub fn undershoot(&self) -> f64 {
+        (-self.min_value()).max(0.0)
+    }
+
+    /// Integral of the waveform over its whole sampled range (trapezoidal).
+    pub fn integral(&self) -> f64 {
+        trapezoid_sampled(&self.times, &self.values)
+    }
+
+    /// Integral of the waveform between `t0` and `t1` (clamped to the sampled
+    /// range), using trapezoidal integration on the existing samples plus the
+    /// interpolated end points.
+    pub fn integral_between(&self, t0: f64, t1: f64) -> f64 {
+        let t0 = t0.clamp(self.first_time(), self.last_time());
+        let t1 = t1.clamp(self.first_time(), self.last_time());
+        if t1 <= t0 {
+            return 0.0;
+        }
+        let mut ts = vec![t0];
+        let mut vs = vec![self.value_at(t0)];
+        for (&t, &v) in self.times.iter().zip(&self.values) {
+            if t > t0 && t < t1 {
+                ts.push(t);
+                vs.push(v);
+            }
+        }
+        ts.push(t1);
+        vs.push(self.value_at(t1));
+        trapezoid_sampled(&ts, &vs)
+    }
+
+    /// Resamples the waveform onto a uniform grid with `n` intervals spanning
+    /// the original range.
+    pub fn resample(&self, n: usize) -> Waveform {
+        assert!(n >= 1);
+        let t0 = self.first_time();
+        let t1 = self.last_time();
+        let times: Vec<f64> = (0..=n)
+            .map(|k| t0 + (t1 - t0) * k as f64 / n as f64)
+            .collect();
+        let values = times.iter().map(|&t| self.value_at(t)).collect();
+        Waveform::new(times, values)
+    }
+
+    /// Returns a new waveform with every value scaled by `k`.
+    pub fn scaled(&self, k: f64) -> Waveform {
+        Waveform {
+            times: self.times.clone(),
+            values: self.values.iter().map(|v| v * k).collect(),
+        }
+    }
+
+    /// Root-mean-square difference against another waveform, evaluated on
+    /// this waveform's time grid.
+    pub fn rms_difference(&self, other: &Waveform) -> f64 {
+        let acc: f64 = self
+            .times
+            .iter()
+            .zip(&self.values)
+            .map(|(&t, &v)| {
+                let d = v - other.value_at(t);
+                d * d
+            })
+            .sum();
+        (acc / self.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+
+    fn ramp_wave() -> Waveform {
+        // 0 -> 1.8 V linear ramp over 100 ps, then flat to 300 ps
+        Waveform::new(
+            vec![0.0, 100e-12, 300e-12],
+            vec![0.0, 1.8, 1.8],
+        )
+    }
+
+    #[test]
+    fn crossings_on_a_ramp() {
+        let w = ramp_wave();
+        let t50 = w.crossing_fraction(0.5, 1.8, true).unwrap();
+        assert!(approx_eq(t50, 50e-12, 1e-9));
+        let slew = w.slew_10_90(1.8, true).unwrap();
+        assert!(approx_eq(slew, 80e-12, 1e-9));
+        assert!(w.crossing_time(2.0, true).is_none());
+    }
+
+    #[test]
+    fn falling_transition_time() {
+        let w = Waveform::new(vec![0.0, 100e-12], vec![1.8, 0.0]);
+        let slew = w.slew_10_90(1.8, false).unwrap();
+        assert!(approx_eq(slew, 80e-12, 1e-9));
+        let t50 = w.crossing_fraction(0.5, 1.8, false).unwrap();
+        assert!(approx_eq(t50, 50e-12, 1e-9));
+    }
+
+    #[test]
+    fn delay_between_waveforms() {
+        let input = Waveform::new(vec![0.0, 100e-12], vec![1.8, 0.0]); // falling input
+        let output = Waveform::new(vec![0.0, 60e-12, 160e-12], vec![0.0, 0.0, 1.8]); // rising out
+        let d = output.delay_50_from(&input, 1.8, true, false).unwrap();
+        assert!(approx_eq(d, (110.0 - 50.0) * 1e-12, 1e-9));
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let w = ramp_wave();
+        assert!(approx_eq(w.value_at(50e-12), 0.9, 1e-12));
+        assert_eq!(w.value_at(-1.0), 0.0);
+        assert_eq!(w.value_at(1.0), 1.8);
+    }
+
+    #[test]
+    fn integral_between_matches_geometry() {
+        let w = ramp_wave();
+        // area under the ramp from 0 to 100 ps = 0.5 * 1.8 * 100 ps
+        assert!(approx_eq(w.integral_between(0.0, 100e-12), 0.9 * 100e-12, 1e-9));
+        // full integral adds the flat region
+        assert!(approx_eq(
+            w.integral(),
+            0.9 * 100e-12 + 1.8 * 200e-12,
+            1e-9
+        ));
+        assert_eq!(w.integral_between(50e-12, 50e-12), 0.0);
+    }
+
+    #[test]
+    fn overshoot_and_undershoot() {
+        let w = Waveform::new(vec![0.0, 1.0, 2.0], vec![0.0, 2.0, -0.1]);
+        assert!(approx_eq(w.overshoot(1.8), 0.2, 1e-12));
+        assert!(approx_eq(w.undershoot(), 0.1, 1e-12));
+        assert_eq!(ramp_wave().overshoot(1.8), 0.0);
+    }
+
+    #[test]
+    fn resample_preserves_shape() {
+        let w = ramp_wave();
+        let r = w.resample(300);
+        assert_eq!(r.len(), 301);
+        assert!(approx_eq(r.value_at(50e-12), 0.9, 1e-6));
+        assert!(approx_eq(
+            r.crossing_fraction(0.5, 1.8, true).unwrap(),
+            50e-12,
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn from_fn_samples_uniformly() {
+        let w = Waveform::from_fn(|t| 2.0 * t, 1.0, 10);
+        assert_eq!(w.len(), 11);
+        assert!(approx_eq(w.value_at(0.5), 1.0, 1e-12));
+    }
+
+    #[test]
+    fn rms_difference_of_identical_is_zero() {
+        let w = ramp_wave();
+        assert!(w.rms_difference(&w) < 1e-15);
+        let shifted = w.scaled(1.1);
+        assert!(shifted.rms_difference(&w) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_monotonic_times() {
+        let _ = Waveform::new(vec![0.0, 1.0, 1.0], vec![0.0, 1.0, 2.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Bus timing sweep: size a global bus repeater against wire length.
+//!
+//! The motivating workload of the paper's introduction: long, wide global
+//! interconnect (clock spines, buses) driven by strong buffers. For a set of
+//! candidate wire lengths and driver strengths this example runs the
+//! effective-capacitance flow for every combination and prints the predicted
+//! driver-output delay, slew, the far-end delay, and whether inductance had
+//! to be modelled with two ramps — the information a designer needs to pick a
+//! repeater size and spacing.
+//!
+//! Run with: `cargo run --release --example bus_timing_sweep`
+
+use rlc_ceff::far_end::{FarEndOptions, FarEndResponse};
+use rlc_ceff::prelude::*;
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lengths_mm = [2.0, 3.0, 4.0, 5.0, 6.0];
+    let drivers = [50.0, 75.0, 100.0];
+    let width_um = 1.6;
+    let input_slew = ps(100.0);
+
+    let extractor = EmpiricalExtractor::cmos018();
+    let mut library = Library::new(CharacterizationGrid::default());
+    // Characterize every driver once up front.
+    for &d in &drivers {
+        let _ = library.cell(d)?;
+    }
+    let modeler = DriverOutputModeler::new(ModelingConfig::default());
+    let far_opts = FarEndOptions {
+        segments: 24,
+        time_step: ps(1.0),
+        ..FarEndOptions::default()
+    };
+
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>11} {:>13} {:>9}",
+        "len(mm)", "driver", "delay(ps)", "slew(ps)", "far(ps)", "model", "Ceff(fF)"
+    );
+    for &len in &lengths_mm {
+        let line = extractor.extract(&WireGeometry::new(mm(len), um(width_um)));
+        for &drv in &drivers {
+            let cell = library.cell(drv)?.clone();
+            // The bus drives an identical receiver at the far end.
+            let c_load = cell.input_capacitance();
+            let case = AnalysisCase::new(&cell, &line, c_load, input_slew);
+            let model = modeler.model(&case)?;
+            let far = FarEndResponse::from_model(&model, &line, c_load, &far_opts)?;
+            println!(
+                "{:>8.1} {:>7.0}x {:>10.1} {:>12.1} {:>11.1} {:>13} {:>9.1}",
+                len,
+                drv,
+                model.delay() * 1e12,
+                model.slew() * 1e12,
+                far.delay_from_input * 1e12,
+                if model.is_two_ramp() { "two-ramp" } else { "one-ramp" },
+                model.ceff1.ceff * 1e15
+            );
+        }
+    }
+    println!();
+    println!("Two-ramp rows are the nets where ignoring inductance (a plain Ceff ramp)");
+    println!("would misreport the driver-output slew by tens of percent.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Far-end signoff: how much does the driver-output model matter for the
+//! timing seen by the receiving gate?
+//!
+//! The driver-output waveform is only an intermediate product — what a timing
+//! tool ultimately propagates is the waveform at the far end of the line.
+//! This example compares, for one inductive net, the far-end delay and slew
+//! obtained from three driver models (the classic single-Ceff ramp, the
+//! paper's two-ramp waveform, and the golden transistor-level simulation) so
+//! the error introduced by each abstraction is visible where it matters.
+//!
+//! Run with: `cargo run --release --example far_end_signoff`
+
+use rlc_ceff::far_end::{FarEndOptions, FarEndResponse};
+use rlc_ceff::prelude::*;
+use rlc_ceff::validation::GoldenOptions;
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's Figure 6 (right) case: 4 mm / 0.8 um line, 75X driver,
+    // 50 ps input transition.
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(0.8)));
+    let mut library = Library::new(CharacterizationGrid::default());
+    let cell = library.cell(75.0)?.clone();
+    let c_load = cell.input_capacitance();
+    let case = AnalysisCase::new(&cell, &line, c_load, ps(50.0));
+
+    let modeler = DriverOutputModeler::new(ModelingConfig::default());
+    let two_ramp = modeler.model_two_ramp(&case)?;
+    let one_ramp = modeler.model_single_ramp(&case)?;
+
+    let far_opts = FarEndOptions::default();
+    let far_two = FarEndResponse::from_model(&two_ramp, &line, c_load, &far_opts)?;
+    let far_one = FarEndResponse::from_model(&one_ramp, &line, c_load, &far_opts)?;
+
+    let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::default())?;
+    let sim_far_delay = golden.far_delay()?;
+    let sim_far_slew = golden.far_slew()?;
+
+    println!("net: {line}, 75X driver, 50 ps input slew, receiver load {:.1} fF", c_load * 1e15);
+    println!();
+    println!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12}",
+        "driver model", "far delay", "delay err", "far slew", "slew err"
+    );
+    let row = |name: &str, delay: f64, slew: f64| {
+        println!(
+            "{:<28} {:>9.1} ps {:>11.1}% {:>9.1} ps {:>11.1}%",
+            name,
+            delay * 1e12,
+            (delay - sim_far_delay) / sim_far_delay * 100.0,
+            slew * 1e12,
+            (slew - sim_far_slew) / sim_far_slew * 100.0
+        );
+    };
+    row("transistor-level (golden)", sim_far_delay, sim_far_slew);
+    row("two-ramp Ceff (paper)", far_two.delay_from_input, far_two.slew);
+    row("single-Ceff ramp (classic)", far_one.delay_from_input, far_one.slew);
+    println!();
+    println!(
+        "far-end overshoot: golden {:.2} V, two-ramp-driven {:.2} V, one-ramp-driven {:.2} V",
+        golden.far.overshoot(cell.vdd()),
+        far_two.overshoot,
+        far_one.overshoot
+    );
+    println!();
+    println!("The two-ramp driver model keeps the far-end timing close to the transistor-level");
+    println!("reference, while the classic single-Ceff ramp misses the reflection-dominated");
+    println!("shape and skews both the delay and the transition time handed to the next stage.");
+    Ok(())
+}

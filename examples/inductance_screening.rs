@@ -1,0 +1,61 @@
+//! Inductance screening: which nets in a design actually need RLC treatment?
+//!
+//! Static timing flows cannot afford the two-ramp machinery (or a full RLC
+//! reduced-order model) on every net, so the paper's Equation 9 criteria are
+//! used as a cheap screen. This example sweeps wire width and driver strength
+//! for a fixed 4 mm route and prints the full criteria report for each
+//! combination — reproducing the paper's observation that inductive effects
+//! matter for wires at least ~1.6 µm wide driven by 75X-or-larger buffers.
+//!
+//! Run with: `cargo run --release --example inductance_screening`
+
+use rlc_ceff::prelude::*;
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let widths_um = [0.8, 1.2, 1.6, 2.0, 2.5, 3.0];
+    let drivers = [25.0, 50.0, 75.0, 100.0, 125.0];
+    let length = mm(4.0);
+    let input_slew = ps(100.0);
+
+    let extractor = EmpiricalExtractor::cmos018();
+    let mut library = Library::new(CharacterizationGrid::default());
+    for &d in &drivers {
+        let _ = library.cell(d)?;
+    }
+    let modeler = DriverOutputModeler::new(ModelingConfig::default());
+
+    println!("4 mm route, 100 ps input slew; table entries: criteria verdict (f, Tr1/2tf)");
+    print!("{:>10}", "width\\drv");
+    for &d in &drivers {
+        print!("{:>16}", format!("{d:.0}X"));
+    }
+    println!();
+
+    for &w in &widths_um {
+        let line = extractor.extract(&WireGeometry::new(length, um(w)));
+        print!("{:>8}um", format!("{w:.1}"));
+        for &d in &drivers {
+            let cell = library.cell(d)?.clone();
+            let case = AnalysisCase::new(&cell, &line, cell.input_capacitance(), input_slew);
+            let model = modeler.model(&case)?;
+            let tr1_over_2tf = model.ceff1.ramp_time / (2.0 * line.time_of_flight());
+            let verdict = if model.criteria.inductance_significant() {
+                "RLC"
+            } else {
+                "rc"
+            };
+            print!(
+                "{:>16}",
+                format!("{verdict} ({:.2},{:.2})", model.breakpoint, tr1_over_2tf)
+            );
+        }
+        println!();
+    }
+    println!();
+    println!("RLC  = all four Equation-9 checks pass: use the two-ramp driver model");
+    println!("rc   = at least one check fails: a single effective capacitance suffices");
+    println!("(f = Z0/(Z0+Rs) breakpoint; Tr1/2tf = output rise time vs. round-trip flight time)");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: model the driver output of one on-chip RLC net.
+//!
+//! This walks the full paper flow on the flagship case (a 5 mm, 1.6 µm global
+//! wire driven by a 75X inverter): extract the parasitics, characterize the
+//! driver, fit the driving-point admittance, compute the two effective
+//! capacitances and print the resulting two-ramp waveform parameters, then
+//! cross-check delay and slew against the built-in transient simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rlc_ceff::prelude::*;
+use rlc_ceff::validation::GoldenOptions;
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Extract the line parasitics for a 5 mm x 1.6 um top-metal wire.
+    let geometry = WireGeometry::new(mm(5.0), um(1.6));
+    let line = EmpiricalExtractor::cmos018().extract(&geometry);
+    println!("wire {geometry}: {line}");
+    println!(
+        "  Z0 = {:.1} ohm, time of flight = {:.1} ps",
+        line.characteristic_impedance(),
+        line.time_of_flight() * 1e12
+    );
+
+    // 2. Characterize the 75X driver (a few dozen transient simulations).
+    println!("characterizing the 75X driver ...");
+    let mut library = Library::new(CharacterizationGrid::default());
+    let cell = library.cell(75.0)?.clone();
+    println!(
+        "  on-resistance Rs = {:.1} ohm, input capacitance = {:.1} fF",
+        cell.on_resistance(),
+        cell.input_capacitance() * 1e15
+    );
+
+    // 3. Run the effective-capacitance modelling flow.
+    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+    let modeler = DriverOutputModeler::new(ModelingConfig::default());
+    let model = modeler.model(&case)?;
+    println!("model: {}", model.describe());
+    println!("  inductance screening: {}", model.criteria.summary());
+    println!(
+        "  predicted driver-output delay = {:.1} ps, slew = {:.1} ps",
+        model.delay() * 1e12,
+        model.slew() * 1e12
+    );
+
+    // 4. Cross-check against the golden transient simulation.
+    let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::default())?;
+    println!(
+        "  simulated driver-output delay = {:.1} ps, slew = {:.1} ps",
+        golden.near_delay()? * 1e12,
+        golden.near_slew()? * 1e12
+    );
+
+    // 5. Propagate the modelled waveform to the far end of the line.
+    let far = FarEndResponse::from_model(&model, &line, ff(10.0), &Default::default())?;
+    println!(
+        "  far-end delay (model-driven) = {:.1} ps, far-end slew = {:.1} ps, overshoot = {:.2} V",
+        far.delay_from_input * 1e12,
+        far.slew * 1e12,
+        far.overshoot
+    );
+    Ok(())
+}

@@ -1,0 +1,39 @@
+//! # rlc-ceff-suite
+//!
+//! Umbrella crate for the reproduction of *"An Effective Capacitance Based
+//! Driver Output Model for On-Chip RLC Interconnects"* (Agarwal, Sylvester,
+//! Blaauw — DAC 2003).
+//!
+//! This crate re-exports the individual workspace crates so that the examples
+//! and cross-crate integration tests have a single dependency, and so that a
+//! downstream user can depend on one crate and reach the whole stack:
+//!
+//! * [`numeric`] — complex arithmetic, power series, dense LU, interpolation.
+//! * [`spice`] — the MNA transient simulator (the HSPICE stand-in).
+//! * [`interconnect`] — geometry, technology, parasitic extraction, lines.
+//! * [`moments`] — driving-point admittance moments and the rational fit.
+//! * [`charlib`] — NLDM-style cell characterization and driver resistance.
+//! * [`ceff`] — the paper's two-ramp effective-capacitance driver model.
+//!
+//! See the repository `README.md` for a tour and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![deny(missing_docs)]
+
+pub use rlc_ceff as ceff;
+pub use rlc_charlib as charlib;
+pub use rlc_interconnect as interconnect;
+pub use rlc_moments as moments;
+pub use rlc_numeric as numeric;
+pub use rlc_spice as spice;
+
+/// Version of the reproduction suite.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

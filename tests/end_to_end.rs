@@ -1,0 +1,156 @@
+//! Cross-crate integration tests: the complete flow from geometry extraction
+//! through characterization, modelling and golden-simulation validation.
+//!
+//! These run in debug mode as part of `cargo test --workspace`, so they use
+//! the coarse characterization grid and reduced simulation fidelity; the
+//! full-fidelity numbers are produced by the `rlc-bench` experiment binaries.
+
+use rlc_ceff::prelude::*;
+use rlc_ceff::validation::GoldenOptions;
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+
+fn coarse_cell(size: f64) -> DriverCell {
+    DriverCell::characterize(size, &CharacterizationGrid::coarse_for_tests())
+        .expect("characterization failed")
+}
+
+fn fast_modeler() -> DriverOutputModeler {
+    DriverOutputModeler::new(ModelingConfig {
+        extract_rs_per_case: false,
+        ..ModelingConfig::default()
+    })
+}
+
+/// The paper's flagship inductive case: the flow must pick the two-ramp model
+/// and land within loose error bands of the golden simulation even with the
+/// coarse test fidelity.
+#[test]
+fn inductive_case_end_to_end() {
+    let cell = coarse_cell(75.0);
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+    let cmp = CaseComparison::evaluate(&case, &fast_modeler(), &GoldenOptions::coarse_for_tests())
+        .expect("comparison failed");
+    assert!(cmp.used_two_ramp, "the 75X / 5 mm case must be inductive");
+    assert!(
+        cmp.delay_error.abs() < 0.30,
+        "delay error too large: {:.1}% (sim {:.1} ps, model {:.1} ps)",
+        cmp.delay_error * 100.0,
+        cmp.sim_delay * 1e12,
+        cmp.model_delay * 1e12
+    );
+    assert!(
+        cmp.slew_error.abs() < 0.45,
+        "slew error too large: {:.1}%",
+        cmp.slew_error * 100.0
+    );
+}
+
+/// A weak driver on the same wire is not inductive: the screening criteria
+/// must route it to the single-ramp model (the paper's Figure 6, left).
+#[test]
+fn weak_driver_case_uses_single_ramp() {
+    let cell = coarse_cell(25.0);
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+    let model = fast_modeler().model(&case).expect("modelling failed");
+    assert!(!model.is_two_ramp(), "{}", model.describe());
+    assert!(!model.criteria.driver_resistance_check.passes);
+}
+
+/// The core claim of the paper: for an inductive case the two-ramp model is
+/// substantially more accurate than the classic single-Ceff ramp, for both
+/// delay and slew.
+#[test]
+fn two_ramp_beats_one_ramp_on_inductive_case() {
+    let cell = coarse_cell(75.0);
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(50.0));
+    let modeler = fast_modeler();
+    let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::coarse_for_tests())
+        .expect("golden simulation failed");
+    let two = CaseComparison::against_golden(&golden, modeler.model_two_ramp(&case).unwrap())
+        .expect("two-ramp comparison failed");
+    let one = CaseComparison::against_golden(&golden, modeler.model_single_ramp(&case).unwrap())
+        .expect("one-ramp comparison failed");
+    assert!(
+        two.delay_error.abs() < 0.5 * one.delay_error.abs(),
+        "two-ramp delay error {:.1}% should be well under the one-ramp error {:.1}%",
+        two.delay_error * 100.0,
+        one.delay_error * 100.0
+    );
+    assert!(
+        two.slew_error.abs() < one.slew_error.abs(),
+        "two-ramp slew error {:.1}% should beat the one-ramp error {:.1}%",
+        two.slew_error * 100.0,
+        one.slew_error * 100.0
+    );
+    // The one-ramp baseline reproduces the published failure signature:
+    // it overestimates delay and underestimates slew.
+    assert!(one.delay_error > 0.2);
+    assert!(one.slew_error < -0.15);
+}
+
+/// The far end of the line, driven by the modelled waveform, must land near
+/// the golden far-end response (the paper's Figure 6, right).
+#[test]
+fn far_end_response_tracks_golden() {
+    let cell = coarse_cell(75.0);
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(0.8)));
+    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(50.0));
+    let modeler = fast_modeler();
+    let options = GoldenOptions::coarse_for_tests();
+    let golden = GoldenWaveforms::simulate(&case, &options).expect("golden simulation failed");
+    let cmp = CaseComparison::against_golden(&golden, modeler.model(&case).unwrap()).unwrap();
+    let far_opts = rlc_ceff::far_end::FarEndOptions {
+        segments: 14,
+        time_step: ps(1.0),
+        ..Default::default()
+    };
+    let far = cmp
+        .far_end(&golden, &line, ff(10.0), &far_opts)
+        .expect("far-end comparison failed");
+    assert!(
+        far.delay_error.abs() < 0.25,
+        "far-end delay error {:.1}%",
+        far.delay_error * 100.0
+    );
+    assert!(
+        far.slew_error.abs() < 0.45,
+        "far-end slew error {:.1}%",
+        far.slew_error * 100.0
+    );
+}
+
+/// Published parasitics, the extractor and the criteria have to agree on the
+/// classification of the paper's own figure cases.
+#[test]
+fn paper_figure_cases_are_classified_as_published() {
+    let cell75 = coarse_cell(75.0);
+    let cell25 = coarse_cell(25.0);
+    let modeler = fast_modeler();
+
+    // Figure 5 right-hand case (100X is approximated by 75X here for the
+    // coarse grid): 5 mm / 1.6 um must be inductive with a strong driver.
+    let fig5 = rlc_interconnect::paper_cases::figure5_right_case();
+    let line = RlcLine::new(
+        fig5.parasitics.r_ohms,
+        fig5.parasitics.l_nh * 1e-9,
+        fig5.parasitics.c_pf * 1e-12,
+        mm(fig5.parasitics.length_mm),
+    );
+    let case = AnalysisCase::new(&cell75, &line, ff(10.0), ps(fig5.input_slew_ps));
+    assert!(modeler.model(&case).unwrap().is_two_ramp());
+
+    // Figure 6 left-hand case: 25X driver is not inductive.
+    let fig6 = rlc_interconnect::paper_cases::figure6_left_case();
+    let line = RlcLine::new(
+        fig6.parasitics.r_ohms,
+        fig6.parasitics.l_nh * 1e-9,
+        fig6.parasitics.c_pf * 1e-12,
+        mm(fig6.parasitics.length_mm),
+    );
+    let case = AnalysisCase::new(&cell25, &line, ff(10.0), ps(fig6.input_slew_ps));
+    assert!(!modeler.model(&case).unwrap().is_two_ramp());
+}

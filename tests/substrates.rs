@@ -1,0 +1,118 @@
+//! Cross-crate consistency tests between the substrates: the admittance
+//! moments must describe the same load the simulator integrates, the
+//! extraction must reproduce the paper's published parasitics, and the
+//! characterized tables must behave like timing-library tables.
+
+use rlc_charlib::prelude::*;
+use rlc_interconnect::prelude::*;
+use rlc_moments::prelude::*;
+use rlc_spice::prelude::*;
+use rlc_spice::testbench::pwl_source_with_rlc_line;
+
+/// The first admittance moment is the total capacitance; charging the same
+/// line through an ideal slow ramp in the transient simulator must deliver
+/// exactly that charge (current integral) — moments and MNA agree about the
+/// load they describe.
+#[test]
+fn moment_m1_matches_simulated_charge() {
+    let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+    let c_load = ff(40.0);
+    let moments = distributed_admittance_moments(&line, c_load, 5);
+    let vdd = 1.8;
+
+    // Drive the line with a slow ramp so every capacitor ends fully charged.
+    let ramp = SourceWaveform::rising_ramp(vdd, 0.0, 2e-9);
+    let (ckt, _) = pwl_source_with_rlc_line(
+        ramp,
+        0.0,
+        line.resistance(),
+        line.inductance(),
+        line.capacitance(),
+        24,
+        c_load,
+    );
+    let result = TransientAnalysis::new(TransientOptions::new(ps(2.0), 6e-9))
+        .run(&ckt)
+        .unwrap();
+    // The source current (SPICE convention: into the + terminal) integrates
+    // to -Q where Q is the charge delivered to the line.
+    let i = result.vsource_current("VDRV").unwrap();
+    let delivered = -i.integral();
+    let expected = moments[0] * vdd;
+    assert!(
+        (delivered - expected).abs() / expected < 0.02,
+        "delivered {delivered:.3e} C vs m1*VDD {expected:.3e} C"
+    );
+}
+
+/// The empirical extractor reproduces every parasitic value published in the
+/// paper to within 6 %.
+#[test]
+fn extraction_matches_every_published_case() {
+    let extractor = EmpiricalExtractor::cmos018();
+    for case in paper_cases::all_published_parasitics() {
+        let line = extractor.extract(&WireGeometry::new(mm(case.length_mm), um(case.width_um)));
+        assert!((line.resistance() - case.r_ohms).abs() / case.r_ohms < 0.06, "{}", case.label);
+        assert!(
+            (line.inductance() - case.l_nh * 1e-9).abs() / (case.l_nh * 1e-9) < 0.06,
+            "{}",
+            case.label
+        );
+        assert!(
+            (line.capacitance() - case.c_pf * 1e-12).abs() / (case.c_pf * 1e-12) < 0.06,
+            "{}",
+            case.label
+        );
+    }
+}
+
+/// The pi-model baseline exists for RC-dominated loads but fails (by design)
+/// for the paper's inductive lines, while the rational fit handles both.
+#[test]
+fn pi_model_fails_exactly_where_the_paper_says() {
+    let rc_line = RlcLine::new(400.0, nh(0.2), pf(1.5), mm(6.0));
+    let rlc_line = RlcLine::new(43.5, nh(3.1), pf(0.66), mm(3.0)); // table 1 row 3
+
+    let rc_moments = distributed_admittance_moments(&rc_line, ff(10.0), 5);
+    let rlc_moments = distributed_admittance_moments(&rlc_line, ff(10.0), 5);
+
+    assert!(PiModel::from_moments(&rc_moments).is_ok());
+    assert!(PiModel::from_moments(&rlc_moments).is_err());
+    assert!(RationalAdmittance::from_moments(&rc_moments).is_ok());
+    assert!(RationalAdmittance::from_moments(&rlc_moments).is_ok());
+}
+
+/// A characterized table behaves like a timing-library table: delay and
+/// transition grow monotonically with load, and the interpolated values are
+/// bracketed by the characterized grid points.
+#[test]
+fn characterized_table_is_monotone_and_interpolates() {
+    let cell = DriverCell::characterize(50.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
+    let table = cell.table();
+    let slew = ps(100.0);
+    let loads = table.load_axis().to_vec();
+    let mut previous = 0.0;
+    for &load in &loads {
+        let d = table.delay(slew, load);
+        assert!(d > previous, "delay must grow with load");
+        previous = d;
+    }
+    // Interpolated point between two grid loads lies between their values.
+    let mid = 0.5 * (loads[0] + loads[1]);
+    let d_mid = table.delay(slew, mid);
+    assert!(d_mid > table.delay(slew, loads[0]) && d_mid < table.delay(slew, loads[1]));
+}
+
+/// Driver strength scaling: on-resistance falls roughly inversely with size,
+/// which is what makes wide wires inductive only for large drivers.
+#[test]
+fn driver_resistance_scales_with_size() {
+    let grid = CharacterizationGrid::coarse_for_tests();
+    let small = DriverCell::characterize(25.0, &grid).unwrap();
+    let large = DriverCell::characterize(100.0, &grid).unwrap();
+    let ratio = small.on_resistance() / large.on_resistance();
+    assert!(
+        ratio > 2.5 && ratio < 6.5,
+        "Rs(25X)/Rs(100X) = {ratio:.2} is outside the expected ~4x window"
+    );
+}
