@@ -1,28 +1,29 @@
 //! Benchmarks of the library-characterization substrate: one characterization
 //! point (a transient simulation of the inverter against a lumped load) and
 //! the driver on-resistance extraction.
+//!
+//! Run with: `cargo bench --bench characterization`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_bench::harness::Runner;
 use rlc_charlib::characterize::characterize_point;
 use rlc_charlib::driver_on_resistance;
 use rlc_numeric::units::{ff, pf, ps};
 use rlc_spice::testbench::{InverterSpec, OutputTransition};
 
-fn bench_characterization(c: &mut Criterion) {
+fn main() {
     let spec = InverterSpec::sized_018(75.0);
-    let mut group = c.benchmark_group("characterization");
-    group.sample_size(10);
-    group.bench_function("point_500fF_100ps", |b| {
-        b.iter(|| {
-            characterize_point(&spec, ps(100.0), ff(500.0), ps(0.5), OutputTransition::Rising)
-                .unwrap()
-        })
+    let mut runner = Runner::new("characterization").slow();
+    runner.bench("point_500fF_100ps", || {
+        characterize_point(
+            &spec,
+            ps(100.0),
+            ff(500.0),
+            ps(0.5),
+            OutputTransition::Rising,
+        )
+        .unwrap()
     });
-    group.bench_function("driver_on_resistance_1p1pF", |b| {
-        b.iter(|| driver_on_resistance(&spec, ps(100.0), pf(1.1), OutputTransition::Rising).unwrap())
+    runner.bench("driver_on_resistance_1p1pF", || {
+        driver_on_resistance(&spec, ps(100.0), pf(1.1), OutputTransition::Rising).unwrap()
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_characterization);
-criterion_main!(benches);

@@ -1,10 +1,12 @@
-//! Criterion benchmarks of the computational kernels of the modelling flow:
+//! Micro-benchmarks of the computational kernels of the modelling flow:
 //! admittance moments, rational fit, charge-matching Ceff evaluation and the
 //! full Ceff iteration. These are the operations a static timing analyzer
 //! would execute per net, so their cost is the paper's "computationally
 //! efficient" claim.
+//!
+//! Run with: `cargo bench --bench kernels`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_bench::harness::Runner;
 use rlc_ceff::charge::{ceff_first_ramp, ceff_second_ramp};
 use rlc_ceff::iteration::{iterate_ceff1, IterationSettings};
 use rlc_charlib::{DriverCell, TimingTable};
@@ -19,11 +21,21 @@ fn synthetic_cell() -> DriverCell {
     let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
     let transition: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                .collect()
+        })
         .collect();
     let delay: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                .collect()
+        })
         .collect();
     DriverCell::from_parts(
         InverterSpec::sized_018(75.0),
@@ -36,41 +48,39 @@ fn paper_line() -> RlcLine {
     RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
 }
 
-fn bench_moments(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("kernels");
     let line = paper_line();
-    c.bench_function("moments/distributed_5", |b| {
-        b.iter(|| distributed_admittance_moments(black_box(&line), ff(10.0), 5))
+    runner.bench("moments/distributed_5", || {
+        distributed_admittance_moments(black_box(&line), ff(10.0), 5)
     });
-    c.bench_function("moments/ladder_50seg_5", |b| {
-        b.iter(|| ladder_admittance_moments(black_box(&line), ff(10.0), 50, 5))
+    runner.bench("moments/ladder_50seg_5", || {
+        ladder_admittance_moments(black_box(&line), ff(10.0), 50, 5)
     });
-}
 
-fn bench_fit_and_ceff(c: &mut Criterion) {
-    let line = paper_line();
     let m = distributed_admittance_moments(&line, ff(10.0), 5);
-    c.bench_function("fit/rational_from_moments", |b| {
-        b.iter(|| RationalAdmittance::from_moments(black_box(&m)).unwrap())
+    runner.bench("fit/rational_from_moments", || {
+        RationalAdmittance::from_moments(black_box(&m)).unwrap()
     });
-    let fit = RationalAdmittance::from_moments(&m).unwrap();
-    c.bench_function("ceff/first_ramp_eval", |b| {
-        b.iter(|| ceff_first_ramp(black_box(&fit), ps(60.0), 0.48))
-    });
-    c.bench_function("ceff/second_ramp_eval", |b| {
-        b.iter(|| ceff_second_ramp(black_box(&fit), ps(60.0), ps(200.0), 0.48))
-    });
-}
 
-fn bench_iteration(c: &mut Criterion) {
-    let line = paper_line();
-    let m = distributed_admittance_moments(&line, ff(10.0), 5);
     let fit = RationalAdmittance::from_moments(&m).unwrap();
+    runner.bench("ceff/first_ramp_eval", || {
+        ceff_first_ramp(black_box(&fit), ps(60.0), 0.48)
+    });
+    runner.bench("ceff/second_ramp_eval", || {
+        ceff_second_ramp(black_box(&fit), ps(60.0), ps(200.0), 0.48)
+    });
+
     let cell = synthetic_cell();
     let settings = IterationSettings::default();
-    c.bench_function("ceff/full_ceff1_iteration", |b| {
-        b.iter(|| iterate_ceff1(black_box(&cell), black_box(&fit), ps(100.0), 0.48, &settings).unwrap())
+    runner.bench("ceff/full_ceff1_iteration", || {
+        iterate_ceff1(
+            black_box(&cell),
+            black_box(&fit),
+            ps(100.0),
+            0.48,
+            &settings,
+        )
+        .unwrap()
     });
 }
-
-criterion_group!(benches, bench_moments, bench_fit_and_ceff, bench_iteration);
-criterion_main!(benches);

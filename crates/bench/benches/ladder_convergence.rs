@@ -2,8 +2,10 @@
 //! of the number of ladder segments used to discretize the line. Paired with
 //! the accuracy data in EXPERIMENTS.md, this justifies the 40-segment /
 //! 0.5 ps reference fidelity and the 24-segment sweep fidelity.
+//!
+//! Run with: `cargo bench --bench ladder_convergence`
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rlc_bench::harness::Runner;
 use rlc_ceff::flow::AnalysisCase;
 use rlc_ceff::validation::{GoldenOptions, GoldenWaveforms};
 use rlc_charlib::{DriverCell, TimingTable};
@@ -16,11 +18,21 @@ fn synthetic_cell() -> DriverCell {
     let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
     let transition: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                .collect()
+        })
         .collect();
     let delay: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                .collect()
+        })
         .collect();
     DriverCell::from_parts(
         InverterSpec::sized_018(75.0),
@@ -29,26 +41,19 @@ fn synthetic_cell() -> DriverCell {
     )
 }
 
-fn bench_ladder_convergence(c: &mut Criterion) {
+fn main() {
+    let mut runner = Runner::new("ladder_segments").slow();
     let cell = synthetic_cell();
     let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
-    let mut group = c.benchmark_group("ladder_segments");
-    group.sample_size(10);
     for segments in [8usize, 16, 24, 40, 64] {
-        group.bench_with_input(BenchmarkId::from_parameter(segments), &segments, |b, &n| {
-            b.iter(|| {
-                let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
-                let opts = GoldenOptions {
-                    segments: n,
-                    time_step: ps(1.0),
-                    max_stop_time: 2.0e-9,
-                };
-                GoldenWaveforms::simulate(&case, &opts).unwrap()
-            })
+        runner.bench(&format!("golden_{segments}seg"), || {
+            let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+            let opts = GoldenOptions {
+                segments,
+                time_step: ps(1.0),
+                max_stop_time: 2.0e-9,
+            };
+            GoldenWaveforms::simulate(&case, &opts).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_ladder_convergence);
-criterion_main!(benches);

@@ -2,8 +2,10 @@
 //! (admittance fit + breakpoint + both Ceff iterations) versus a golden
 //! transient simulation of the same case. The paper's motivation for the
 //! effective-capacitance approach is exactly this gap.
+//!
+//! Run with: `cargo bench --bench model_vs_spice`
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rlc_bench::harness::Runner;
 use rlc_ceff::flow::{AnalysisCase, DriverOutputModeler, ModelingConfig};
 use rlc_ceff::validation::{GoldenOptions, GoldenWaveforms};
 use rlc_charlib::{DriverCell, TimingTable};
@@ -17,11 +19,21 @@ fn synthetic_cell() -> DriverCell {
     let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
     let transition: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                .collect()
+        })
         .collect();
     let delay: Vec<Vec<f64>> = slews
         .iter()
-        .map(|&s| loads.iter().map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0)).collect())
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                .collect()
+        })
         .collect();
     DriverCell::from_parts(
         InverterSpec::sized_018(75.0),
@@ -30,7 +42,7 @@ fn synthetic_cell() -> DriverCell {
     )
 }
 
-fn bench_model_vs_spice(c: &mut Criterion) {
+fn main() {
     let cell = synthetic_cell();
     let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
     let config = ModelingConfig {
@@ -39,31 +51,28 @@ fn bench_model_vs_spice(c: &mut Criterion) {
     };
     let modeler = DriverOutputModeler::new(config);
 
-    c.bench_function("flow/two_ramp_model", |b| {
-        b.iter(|| {
-            let case = AnalysisCase::new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0));
-            modeler.model(&case).unwrap()
-        })
+    let mut runner = Runner::new("model_vs_spice");
+    runner.bench("flow/two_ramp_model", || {
+        let case =
+            AnalysisCase::try_new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0)).unwrap();
+        modeler.model(&case).unwrap()
     });
 
-    let mut group = c.benchmark_group("golden_simulation");
-    group.sample_size(10);
-    for (label, segments, step) in [("24seg_1ps", 24usize, ps(1.0)), ("40seg_0p5ps", 40usize, ps(0.5))] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let case =
-                    AnalysisCase::new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0));
-                let opts = GoldenOptions {
-                    segments,
-                    time_step: step,
-                    max_stop_time: 2.0e-9,
-                };
-                GoldenWaveforms::simulate(&case, &opts).unwrap()
-            })
+    let mut runner = Runner::new("golden_simulation").slow();
+    for (label, segments, step) in [
+        ("24seg_1ps", 24usize, ps(1.0)),
+        ("40seg_0p5ps", 40usize, ps(0.5)),
+    ] {
+        runner.bench(label, || {
+            let case =
+                AnalysisCase::try_new(black_box(&cell), black_box(&line), ff(10.0), ps(100.0))
+                    .unwrap();
+            let opts = GoldenOptions {
+                segments,
+                time_step: step,
+                max_stop_time: 2.0e-9,
+            };
+            GoldenWaveforms::simulate(&case, &opts).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_model_vs_spice);
-criterion_main!(benches);

@@ -21,7 +21,10 @@ fn main() {
     let t40 = wave.crossing_fraction(0.4, vdd, true).unwrap_or(f64::NAN);
     let t90 = wave.crossing_fraction(0.9, vdd, true).unwrap_or(f64::NAN);
     println!("time to 40% of VDD : {:7.1} ps (initial step)", t40 * 1e12);
-    println!("time to 90% of VDD : {:7.1} ps (after reflection)", t90 * 1e12);
+    println!(
+        "time to 90% of VDD : {:7.1} ps (after reflection)",
+        t90 * 1e12
+    );
     println!(
         "plateau between them: {:7.1} ps (round-trip time of flight is ~150 ps)",
         (t90 - t40) * 1e12

@@ -11,10 +11,25 @@ fn main() {
     let paths = OutputPaths::default_dir();
     export_series(&paths, "fig4", &result.series);
 
-    println!("voltage breakpoint f            : {:7.3}", result.breakpoint);
-    println!("Tr1 (ramp 1, from Ceff1)        : {:7.1} ps", result.tr1 * 1e12);
-    println!("Tr2 (ramp 2, from Ceff2)        : {:7.1} ps", result.tr2 * 1e12);
-    println!("plateau duration 2tf - Tr1      : {:7.1} ps", result.plateau * 1e12);
-    println!("Tr2_new (plateau corrected)     : {:7.1} ps", result.tr2_new * 1e12);
+    println!(
+        "voltage breakpoint f            : {:7.3}",
+        result.breakpoint
+    );
+    println!(
+        "Tr1 (ramp 1, from Ceff1)        : {:7.1} ps",
+        result.tr1 * 1e12
+    );
+    println!(
+        "Tr2 (ramp 2, from Ceff2)        : {:7.1} ps",
+        result.tr2 * 1e12
+    );
+    println!(
+        "plateau duration 2tf - Tr1      : {:7.1} ps",
+        result.plateau * 1e12
+    );
+    println!(
+        "Tr2_new (plateau corrected)     : {:7.1} ps",
+        result.tr2_new * 1e12
+    );
     println!("waveform CSVs written to target/experiments/fig4_*.csv");
 }

@@ -16,7 +16,11 @@ fn main() {
     println!("-- left panel: 4 mm / 1.6 um line, 25X driver, 100 ps input slew --");
     println!(
         "screening selected the {} model (paper: single ramp is sufficient)",
-        if result.single_ramp_selected { "single-ramp" } else { "two-ramp" }
+        if result.single_ramp_selected {
+            "single-ramp"
+        } else {
+            "two-ramp"
+        }
     );
     println!(
         "driver-output delay : sim {:6.1} ps, model {:6.1} ps ({:+.1}%)",

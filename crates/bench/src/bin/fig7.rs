@@ -18,8 +18,8 @@ fn main() {
 
     println!("== Figure 7: model accuracy over the inductive sweep ==");
     let mut ctx = ExperimentContext::new();
-    let result = run_fig7(&mut ctx, SimFidelity::Sweep, threads, max_cases)
-        .expect("figure 7 sweep failed");
+    let result =
+        run_fig7(&mut ctx, SimFidelity::Sweep, threads, max_cases).expect("figure 7 sweep failed");
 
     let paths = OutputPaths::default_dir();
     let rows: Vec<Vec<f64>> = result
@@ -81,7 +81,13 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["metric", "avg |err|", "<5% cases", "<10% cases", "max |err|"],
+            &[
+                "metric",
+                "avg |err|",
+                "<5% cases",
+                "<10% cases",
+                "max |err|"
+            ],
             &stats_rows
         )
     );

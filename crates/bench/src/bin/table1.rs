@@ -22,11 +22,27 @@ fn main() {
             format!("{}/{}", p.parasitics.length_mm, p.parasitics.width_um),
             format!("{:.0}x/{:.0}ps", p.driver_size, p.input_slew_ps),
             format!("{:.1}", r.sim_delay * 1e12),
-            format!("{:.1} ({:+.1}%)", r.two_ramp_delay * 1e12, r.two_ramp_delay_error * 100.0),
-            format!("{:.1} ({:+.1}%)", r.one_ramp_delay * 1e12, r.one_ramp_delay_error * 100.0),
+            format!(
+                "{:.1} ({:+.1}%)",
+                r.two_ramp_delay * 1e12,
+                r.two_ramp_delay_error * 100.0
+            ),
+            format!(
+                "{:.1} ({:+.1}%)",
+                r.one_ramp_delay * 1e12,
+                r.one_ramp_delay_error * 100.0
+            ),
             format!("{:.1}", r.sim_slew * 1e12),
-            format!("{:.1} ({:+.1}%)", r.two_ramp_slew * 1e12, r.two_ramp_slew_error * 100.0),
-            format!("{:.1} ({:+.1}%)", r.one_ramp_slew * 1e12, r.one_ramp_slew_error * 100.0),
+            format!(
+                "{:.1} ({:+.1}%)",
+                r.two_ramp_slew * 1e12,
+                r.two_ramp_slew_error * 100.0
+            ),
+            format!(
+                "{:.1} ({:+.1}%)",
+                r.one_ramp_slew * 1e12,
+                r.one_ramp_slew_error * 100.0
+            ),
         ]);
         csv.push(vec![
             p.parasitics.length_mm,

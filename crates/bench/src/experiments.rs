@@ -80,7 +80,7 @@ fn figure_setup(ctx: &mut ExperimentContext, case: &FigureCase) -> (DriverCell, 
 pub fn run_fig1(ctx: &mut ExperimentContext) -> Result<Vec<WaveformSeries>, CeffError> {
     let case = paper_cases::figure1_case();
     let (cell, line) = figure_setup(ctx, &case);
-    let analysis = AnalysisCase::new(&cell, &line, receiver_load(), ps(case.input_slew_ps));
+    let analysis = AnalysisCase::try_new(&cell, &line, receiver_load(), ps(case.input_slew_ps))?;
     let golden = GoldenWaveforms::simulate(&analysis, &SimFidelity::Reference.golden())?;
     Ok(vec![
         WaveformSeries::from_waveform("input", &golden.input),
@@ -116,7 +116,7 @@ pub fn run_fig3(ctx: &mut ExperimentContext) -> Result<Fig3Result, CeffError> {
     let case = paper_cases::figure3_case();
     let (cell, line) = figure_setup(ctx, &case);
     let c_load = receiver_load();
-    let analysis = AnalysisCase::new(&cell, &line, c_load, ps(case.input_slew_ps));
+    let analysis = AnalysisCase::try_new(&cell, &line, c_load, ps(case.input_slew_ps))?;
     let golden = GoldenWaveforms::simulate(&analysis, &SimFidelity::Reference.golden())?;
 
     let moments = distributed_admittance_moments(&line, c_load, 5);
@@ -138,8 +138,18 @@ pub fn run_fig3(ctx: &mut ExperimentContext) -> Result<Fig3Result, CeffError> {
     Ok(Fig3Result {
         series: vec![
             WaveformSeries::from_waveform("actual_driver_output", &golden.near),
-            WaveformSeries::from_fn("ceff_charge_to_100pct", |t| ramp_full.value_at(t), t_stop, 1200),
-            WaveformSeries::from_fn("ceff_charge_to_50pct", |t| ramp_half.value_at(t), t_stop, 1200),
+            WaveformSeries::from_fn(
+                "ceff_charge_to_100pct",
+                |t| ramp_full.value_at(t),
+                t_stop,
+                1200,
+            ),
+            WaveformSeries::from_fn(
+                "ceff_charge_to_50pct",
+                |t| ramp_half.value_at(t),
+                t_stop,
+                1200,
+            ),
         ],
         ceff_full: full.ceff,
         ceff_to_50: half.ceff,
@@ -172,7 +182,7 @@ pub struct Fig4Result {
 pub fn run_fig4(ctx: &mut ExperimentContext) -> Result<Fig4Result, CeffError> {
     let case = paper_cases::figure4_case();
     let (cell, line) = figure_setup(ctx, &case);
-    let analysis = AnalysisCase::new(&cell, &line, receiver_load(), ps(case.input_slew_ps));
+    let analysis = AnalysisCase::try_new(&cell, &line, receiver_load(), ps(case.input_slew_ps))?;
     let golden = GoldenWaveforms::simulate(&analysis, &SimFidelity::Reference.golden())?;
     let modeler = DriverOutputModeler::new(ctx.config);
     let model = modeler.model_two_ramp(&analysis)?;
@@ -190,7 +200,12 @@ pub fn run_fig4(ctx: &mut ExperimentContext) -> Result<Fig4Result, CeffError> {
         series: vec![
             WaveformSeries::from_waveform("actual_waveform", &golden.near),
             WaveformSeries::from_fn("ramp1_ceff1", |t| ramp1_only.value_at(t), t_stop, 1200),
-            WaveformSeries::from_fn("ramp2_ceff2_uncorrected", |t| uncorrected.value_at(t), t_stop, 1200),
+            WaveformSeries::from_fn(
+                "ramp2_ceff2_uncorrected",
+                |t| uncorrected.value_at(t),
+                t_stop,
+                1200,
+            ),
             WaveformSeries::from_fn("proposed_two_ramp_model", |t| two.value_at(t), t_stop, 1200),
         ],
         breakpoint: model.breakpoint,
@@ -198,7 +213,7 @@ pub fn run_fig4(ctx: &mut ExperimentContext) -> Result<Fig4Result, CeffError> {
         tr2: tr2_raw,
         tr2_new: two.tr2,
         plateau: (2.0 * line.time_of_flight() - two.tr1).max(0.0),
-        })
+    })
 }
 
 /// One near-end waveform comparison (Figures 5 and 6-left).
@@ -220,13 +235,12 @@ fn compare_case(
     ctx: &ExperimentContext,
     fidelity: SimFidelity,
 ) -> Result<WaveformComparison, CeffError> {
-    let analysis = AnalysisCase::new(cell, line, receiver_load(), input_slew);
+    let analysis = AnalysisCase::try_new(cell, line, receiver_load(), input_slew)?;
     let golden = GoldenWaveforms::simulate(&analysis, &fidelity.golden())?;
     let modeler = DriverOutputModeler::new(ctx.config);
     let model = modeler.model(&analysis)?;
     let t_stop = golden.near.last_time();
-    let model_series =
-        WaveformSeries::from_fn("model", |t| model.value_at(t), t_stop, 1500);
+    let model_series = WaveformSeries::from_fn("model", |t| model.value_at(t), t_stop, 1500);
     let comparison = CaseComparison::against_golden(&golden, model)?;
     Ok(WaveformComparison {
         label: label.to_string(),
@@ -244,7 +258,10 @@ fn compare_case(
 /// # Errors
 /// Propagates simulation and fit errors.
 pub fn run_fig5(ctx: &mut ExperimentContext) -> Result<Vec<WaveformComparison>, CeffError> {
-    let cases = [paper_cases::figure5_left_case(), paper_cases::figure5_right_case()];
+    let cases = [
+        paper_cases::figure5_left_case(),
+        paper_cases::figure5_right_case(),
+    ];
     let mut out = Vec::new();
     for case in cases {
         let (cell, line) = figure_setup(ctx, &case);
@@ -295,7 +312,8 @@ pub fn run_fig6(ctx: &mut ExperimentContext) -> Result<Fig6Result, CeffError> {
     // Right: 4 mm / 0.8 um, 75X, 50 ps — near and far ends.
     let right = paper_cases::figure6_right_case();
     let (cell_r, line_r) = figure_setup(ctx, &right);
-    let analysis = AnalysisCase::new(&cell_r, &line_r, receiver_load(), ps(right.input_slew_ps));
+    let analysis =
+        AnalysisCase::try_new(&cell_r, &line_r, receiver_load(), ps(right.input_slew_ps))?;
     let golden = GoldenWaveforms::simulate(&analysis, &SimFidelity::Reference.golden())?;
     let modeler = DriverOutputModeler::new(ctx.config);
     let model = modeler.model(&analysis)?;
@@ -428,7 +446,7 @@ pub fn run_fig7(
     let mut screened_out = 0usize;
     for p in points {
         let cell = &cells[&((p.driver_size * 1000.0) as u64)];
-        let analysis = AnalysisCase::new(cell, &p.line, receiver_load(), ps(p.input_slew_ps));
+        let analysis = AnalysisCase::try_new(cell, &p.line, receiver_load(), ps(p.input_slew_ps))?;
         match modeler.model(&analysis) {
             Ok(model) if model.is_two_ramp() => inductive.push(p),
             Ok(_) => screened_out += 1,
@@ -453,8 +471,11 @@ pub fn run_fig7(
                 }
                 let p = &inductive[idx];
                 let cell = &cells[&((p.driver_size * 1000.0) as u64)];
-                let analysis =
-                    AnalysisCase::new(cell, &p.line, receiver_load(), ps(p.input_slew_ps));
+                let Ok(analysis) =
+                    AnalysisCase::try_new(cell, &p.line, receiver_load(), ps(p.input_slew_ps))
+                else {
+                    continue;
+                };
                 let modeler = DriverOutputModeler::new(config);
                 if let Ok(cmp) = CaseComparison::evaluate(&analysis, &modeler, &golden_opts) {
                     let case = SweepCase {
@@ -483,10 +504,12 @@ pub fn run_fig7(
 
     let delay_errors: Vec<f64> = cases.iter().map(|c| c.delay_error).collect();
     let slew_errors: Vec<f64> = cases.iter().map(|c| c.slew_error).collect();
-    let delay_stats = ErrorSummary::from_errors(&delay_errors)
-        .ok_or_else(|| CeffError::Measurement("figure 7 sweep produced no inductive cases".into()))?;
-    let slew_stats = ErrorSummary::from_errors(&slew_errors)
-        .ok_or_else(|| CeffError::Measurement("figure 7 sweep produced no inductive cases".into()))?;
+    let delay_stats = ErrorSummary::from_errors(&delay_errors).ok_or_else(|| {
+        CeffError::Measurement("figure 7 sweep produced no inductive cases".into())
+    })?;
+    let slew_stats = ErrorSummary::from_errors(&slew_errors).ok_or_else(|| {
+        CeffError::Measurement("figure 7 sweep produced no inductive cases".into())
+    })?;
     Ok(Fig7Result {
         cases,
         screened_out,
@@ -556,8 +579,11 @@ pub fn run_table1(
                 let row = rows[idx];
                 let cell = &cells[&((row.driver_size * 1000.0) as u64)];
                 let line = build_line(&row.parasitics);
-                let analysis =
-                    AnalysisCase::new(cell, &line, receiver_load(), ps(row.input_slew_ps));
+                let Ok(analysis) =
+                    AnalysisCase::try_new(cell, &line, receiver_load(), ps(row.input_slew_ps))
+                else {
+                    continue;
+                };
                 let modeler = DriverOutputModeler::new(config);
                 let outcome = (|| -> Result<Table1Result, CeffError> {
                     let golden = GoldenWaveforms::simulate(&analysis, &golden_opts)?;

@@ -12,6 +12,7 @@
 #![deny(missing_docs)]
 
 pub mod experiments;
+pub mod harness;
 pub mod output;
 pub mod setup;
 

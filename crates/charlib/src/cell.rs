@@ -104,10 +104,7 @@ impl DriverCell {
     /// # Errors
     /// Propagates simulation failures.
     pub fn on_resistance_for_load(&self, load: f64) -> Result<f64, CharlibError> {
-        Ok(
-            driver_on_resistance(&self.spec, ps(100.0), load, OutputTransition::Rising)?
-                .resistance,
-        )
+        Ok(driver_on_resistance(&self.spec, ps(100.0), load, OutputTransition::Rising)?.resistance)
     }
 
     /// 50 % delay from the table (seconds).
@@ -150,11 +147,21 @@ mod tests {
         let loads = vec![ff(100.0), ff(500.0), pf(1.0), pf(2.0)];
         let delay: Vec<Vec<f64>> = slews
             .iter()
-            .map(|&s| loads.iter().map(|&c| 0.1 * s + 60e-12 * (c / 1e-12)).collect())
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| 0.1 * s + 60e-12 * (c / 1e-12))
+                    .collect()
+            })
             .collect();
         let transition: Vec<Vec<f64>> = slews
             .iter()
-            .map(|_| loads.iter().map(|&c| ps(16.0) + 160e-12 * (c / 1e-12)).collect())
+            .map(|_| {
+                loads
+                    .iter()
+                    .map(|&c| ps(16.0) + 160e-12 * (c / 1e-12))
+                    .collect()
+            })
             .collect();
         DriverCell::from_parts(
             InverterSpec::sized_018(75.0),

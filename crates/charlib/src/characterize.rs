@@ -30,7 +30,15 @@ impl Default for CharacterizationGrid {
     /// Table 1 is 1.8 pF).
     fn default() -> Self {
         CharacterizationGrid {
-            slew_axis: vec![ps(25.0), ps(50.0), ps(75.0), ps(100.0), ps(150.0), ps(200.0), ps(300.0)],
+            slew_axis: vec![
+                ps(25.0),
+                ps(50.0),
+                ps(75.0),
+                ps(100.0),
+                ps(150.0),
+                ps(200.0),
+                ps(300.0),
+            ],
             load_axis: vec![
                 ff(10.0),
                 ff(50.0),
@@ -86,7 +94,9 @@ impl CharacterizationGrid {
             }
         }
         if self.time_step <= 0.0 {
-            return Err(CharlibError::InvalidGrid("time step must be positive".into()));
+            return Err(CharlibError::InvalidGrid(
+                "time step must be positive".into(),
+            ));
         }
         Ok(())
     }
@@ -130,20 +140,21 @@ pub fn characterize_point(
     let input = result.waveform(nodes.input);
     let rising = matches!(transition, OutputTransition::Rising);
 
-    let t50_in = input
-        .crossing_fraction(0.5, vdd, !rising)
-        .ok_or_else(|| CharlibError::Measurement {
-            what: "input 50% crossing".into(),
-            input_slew,
-            load,
-        })?;
-    let t50_out = out
-        .crossing_fraction(0.5, vdd, rising)
-        .ok_or_else(|| CharlibError::Measurement {
-            what: "output 50% crossing".into(),
-            input_slew,
-            load,
-        })?;
+    let t50_in =
+        input
+            .crossing_fraction(0.5, vdd, !rising)
+            .ok_or_else(|| CharlibError::Measurement {
+                what: "input 50% crossing".into(),
+                input_slew,
+                load,
+            })?;
+    let t50_out =
+        out.crossing_fraction(0.5, vdd, rising)
+            .ok_or_else(|| CharlibError::Measurement {
+                what: "output 50% crossing".into(),
+                input_slew,
+                load,
+            })?;
     let slew_out = out
         .slew_10_90(vdd, rising)
         .ok_or_else(|| CharlibError::Measurement {
@@ -212,11 +223,21 @@ mod tests {
     #[test]
     fn single_point_measures_sane_values() {
         let spec = InverterSpec::sized_018(75.0);
-        let p = characterize_point(&spec, ps(100.0), ff(500.0), ps(1.0), OutputTransition::Rising)
-            .unwrap();
+        let p = characterize_point(
+            &spec,
+            ps(100.0),
+            ff(500.0),
+            ps(1.0),
+            OutputTransition::Rising,
+        )
+        .unwrap();
         // A 75X inverter driving 500 fF: delay of tens of ps, transition
         // below a nanosecond.
-        assert!(p.delay > ps(5.0) && p.delay < ps(200.0), "delay {:.1e}", p.delay);
+        assert!(
+            p.delay > ps(5.0) && p.delay < ps(200.0),
+            "delay {:.1e}",
+            p.delay
+        );
         assert!(
             p.transition > ps(10.0) && p.transition < ps(600.0),
             "transition {:.1e}",
@@ -227,12 +248,22 @@ mod tests {
     #[test]
     fn delay_and_transition_grow_with_load() {
         let spec = InverterSpec::sized_018(50.0);
-        let small =
-            characterize_point(&spec, ps(100.0), ff(100.0), ps(1.0), OutputTransition::Rising)
-                .unwrap();
-        let large =
-            characterize_point(&spec, ps(100.0), ff(1000.0), ps(1.0), OutputTransition::Rising)
-                .unwrap();
+        let small = characterize_point(
+            &spec,
+            ps(100.0),
+            ff(100.0),
+            ps(1.0),
+            OutputTransition::Rising,
+        )
+        .unwrap();
+        let large = characterize_point(
+            &spec,
+            ps(100.0),
+            ff(1000.0),
+            ps(1.0),
+            OutputTransition::Rising,
+        )
+        .unwrap();
         assert!(large.delay > small.delay);
         assert!(large.transition > 2.0 * small.transition);
     }
@@ -242,12 +273,16 @@ mod tests {
         let small_drv = InverterSpec::sized_018(25.0);
         let big_drv = InverterSpec::sized_018(125.0);
         let load = ff(800.0);
-        let slow =
-            characterize_point(&small_drv, ps(100.0), load, ps(1.0), OutputTransition::Rising)
-                .unwrap();
-        let fast =
-            characterize_point(&big_drv, ps(100.0), load, ps(1.0), OutputTransition::Rising)
-                .unwrap();
+        let slow = characterize_point(
+            &small_drv,
+            ps(100.0),
+            load,
+            ps(1.0),
+            OutputTransition::Rising,
+        )
+        .unwrap();
+        let fast = characterize_point(&big_drv, ps(100.0), load, ps(1.0), OutputTransition::Rising)
+            .unwrap();
         assert!(fast.delay < slow.delay);
         assert!(fast.transition < slow.transition);
     }
@@ -255,7 +290,8 @@ mod tests {
     #[test]
     fn full_coarse_grid_characterization_is_monotone_in_load() {
         let spec = InverterSpec::sized_018(75.0);
-        let table = characterize_inverter(&spec, &CharacterizationGrid::coarse_for_tests()).unwrap();
+        let table =
+            characterize_inverter(&spec, &CharacterizationGrid::coarse_for_tests()).unwrap();
         let slew = ps(100.0);
         let mut prev = 0.0;
         for &load in table.load_axis() {

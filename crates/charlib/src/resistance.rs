@@ -51,8 +51,8 @@ pub fn driver_on_resistance(
     let window = input_delay + input_slew + 10.0 * r_estimate * load + ps(200.0);
     let time_step = ps(0.5);
     let steps = (window / time_step).ceil().max(50.0);
-    let result = TransientAnalysis::new(TransientOptions::new(time_step, steps * time_step))
-        .run(&ckt)?;
+    let result =
+        TransientAnalysis::new(TransientOptions::new(time_step, steps * time_step)).run(&ckt)?;
 
     let vdd = spec.vdd;
     let rising = matches!(transition, OutputTransition::Rising);

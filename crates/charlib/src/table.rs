@@ -61,7 +61,13 @@ impl TimingTable {
     /// 50 % propagation delay at the given input transition and load
     /// (bilinear interpolation, linear extrapolation outside the grid).
     pub fn delay(&self, input_slew: f64, load: f64) -> f64 {
-        interp2(&self.slew_axis, &self.load_axis, &self.delay, input_slew, load)
+        interp2(
+            &self.slew_axis,
+            &self.load_axis,
+            &self.delay,
+            input_slew,
+            load,
+        )
     }
 
     /// 10–90 % output transition time at the given input transition and load.
@@ -114,7 +120,12 @@ mod tests {
             .collect();
         let transition: Vec<Vec<f64>> = slews
             .iter()
-            .map(|_| loads.iter().map(|&c| 20e-12 + 200e-12 * (c / 1e-12)).collect())
+            .map(|_| {
+                loads
+                    .iter()
+                    .map(|&c| 20e-12 + 200e-12 * (c / 1e-12))
+                    .collect()
+            })
             .collect();
         TimingTable::new(slews, loads, delay, transition)
     }
@@ -123,7 +134,11 @@ mod tests {
     fn lookup_reproduces_bilinear_surface() {
         let t = synthetic_table();
         // On-grid point.
-        assert!(approx_eq(t.delay(100e-12, 500e-15), 10e-12 + 50e-12 + 20e-12, 1e-9));
+        assert!(approx_eq(
+            t.delay(100e-12, 500e-15),
+            10e-12 + 50e-12 + 20e-12,
+            1e-9
+        ));
         // Off-grid point (the synthetic surface is affine, so interpolation is exact).
         let d = t.delay(150e-12, 750e-15);
         assert!(approx_eq(d, 10e-12 + 75e-12 + 30e-12, 1e-9));

@@ -40,6 +40,63 @@ pub enum ChargeWindow {
     },
 }
 
+/// The ramp response of a fitted admittance, classified by pole count. The
+/// general fit of a distributed line has two poles; the facade's exact
+/// lumped-capacitor and RC-pi admittances have zero and one pole
+/// respectively, and their charge matching uses the same structure with
+/// fewer exponential modes.
+#[derive(Debug, Clone, Copy)]
+enum RampResponse {
+    /// `Y(s) = a1 s` (a lumped capacitor): the current of a ramp is
+    /// constant, nothing is shielded. `a2 = a3 = 0` is enforced by the fit
+    /// constructors for pole-free admittances.
+    Static,
+    /// One pole at `s1 = -1/b1` with real residue factor `h1`:
+    /// `I(t) = (VDD/Tr)(a1 + h1 e^{s1 t})`.
+    OnePole {
+        /// The single (real, negative for passive loads) pole.
+        s1: f64,
+        /// Residue factor of the exponential mode.
+        h1: f64,
+    },
+    /// The general two-pole case of the paper (real or complex pair).
+    TwoPole {
+        /// First pole.
+        s1: Complex,
+        /// Second pole.
+        s2: Complex,
+        /// Residue factor of the first mode.
+        h1: Complex,
+        /// Residue factor of the second mode.
+        h2: Complex,
+    },
+}
+
+fn ramp_response(fit: &RationalAdmittance) -> RampResponse {
+    match fit.pole_count() {
+        0 => RampResponse::Static,
+        1 => {
+            // Y(s) = (a1 s + a2 s²)/(1 + b1 s) driven by a unit-slope ramp:
+            // partial fractions give I(t)/(VDD/Tr) = a1 + H e^{-t/b1} with
+            // H = (a2 - a1 b1)/b1. (a3 = 0 is enforced by the fit
+            // constructors for single-pole admittances.)
+            RampResponse::OnePole {
+                s1: -1.0 / fit.b1,
+                h1: (fit.a2 - fit.a1 * fit.b1) / fit.b1,
+            }
+        }
+        _ => {
+            let (s1, s2, h1, h2) = residues(fit);
+            RampResponse::TwoPole { s1, s2, h1, h2 }
+        }
+    }
+}
+
+/// `(e^{s·t1} − e^{s·t0}) / s` for a real pole.
+fn real_exp_increment_over_s(s: f64, t0: f64, t1: f64) -> f64 {
+    ((s * t1).exp() - (s * t0).exp()) / s
+}
+
 /// Residue factors `H_i` of the ramp-response partial fraction expansion.
 fn residues(fit: &RationalAdmittance) -> (Complex, Complex, Complex, Complex) {
     let (s1, s2) = fit.poles().as_complex();
@@ -74,11 +131,19 @@ fn exp_increment_over_s(s: Complex, t0: f64, t1: f64) -> Complex {
 pub fn ceff_first_ramp(fit: &RationalAdmittance, tr1: f64, f: f64) -> f64 {
     assert!(tr1 > 0.0, "ramp duration must be positive");
     assert!(f > 0.0 && f <= 1.0, "breakpoint fraction must be in (0, 1]");
-    let (s1, s2, h1, h2) = residues(fit);
     let t_end = f * tr1;
     // Q / (f * VDD) with Q = (VDD/Tr1) [ a1 f Tr1 + Σ H_i (e^{s_i f Tr1} − 1)/s_i ].
-    let sum = h1 * exp_increment_over_s(s1, 0.0, t_end) + h2 * exp_increment_over_s(s2, 0.0, t_end);
-    fit.a1 + sum.re / (f * tr1)
+    match ramp_response(fit) {
+        RampResponse::Static => fit.a1,
+        RampResponse::OnePole { s1, h1 } => {
+            fit.a1 + h1 * real_exp_increment_over_s(s1, 0.0, t_end) / t_end
+        }
+        RampResponse::TwoPole { s1, s2, h1, h2 } => {
+            let sum = h1 * exp_increment_over_s(s1, 0.0, t_end)
+                + h2 * exp_increment_over_s(s2, 0.0, t_end);
+            fit.a1 + sum.re / t_end
+        }
+    }
 }
 
 /// Effective capacitance of the second ramp (the paper's `Ceff2`, Equations
@@ -91,16 +156,24 @@ pub fn ceff_first_ramp(fit: &RationalAdmittance, tr1: f64, f: f64) -> f64 {
 pub fn ceff_second_ramp(fit: &RationalAdmittance, tr1: f64, tr2: f64, f: f64) -> f64 {
     assert!(tr1 > 0.0 && tr2 > 0.0, "ramp durations must be positive");
     assert!(f > 0.0 && f < 1.0, "breakpoint fraction must be in (0, 1)");
-    let (s1, s2, h1, h2) = residues(fit);
     let k = 1.0 - tr1 / tr2;
     let t0 = f * tr1;
     let t1 = f * tr1 + (1.0 - f) * tr2;
     // I2(t) = (VDD/Tr2) a1 + Σ H_i (VDD/Tr2 + k f VDD s_i) e^{s_i t};
     // Ceff2 = Q2 / ((1 − f) VDD).
-    let weight = |s: Complex| Complex::real(1.0 / tr2) + s * (k * f);
-    let sum = h1 * weight(s1) * exp_increment_over_s(s1, t0, t1)
-        + h2 * weight(s2) * exp_increment_over_s(s2, t0, t1);
-    fit.a1 + sum.re / (1.0 - f)
+    match ramp_response(fit) {
+        RampResponse::Static => fit.a1,
+        RampResponse::OnePole { s1, h1 } => {
+            let weight = 1.0 / tr2 + s1 * k * f;
+            fit.a1 + h1 * weight * real_exp_increment_over_s(s1, t0, t1) / (1.0 - f)
+        }
+        RampResponse::TwoPole { s1, s2, h1, h2 } => {
+            let weight = |s: Complex| Complex::real(1.0 / tr2) + s * (k * f);
+            let sum = h1 * weight(s1) * exp_increment_over_s(s1, t0, t1)
+                + h2 * weight(s2) * exp_increment_over_s(s2, t0, t1);
+            fit.a1 + sum.re / (1.0 - f)
+        }
+    }
 }
 
 /// Effective capacitance for an arbitrary charge window (dispatch helper used
@@ -117,9 +190,14 @@ pub fn ceff_for_window(fit: &RationalAdmittance, window: ChargeWindow, tr: f64) 
 /// Used by diagnostics and by the closed-form-vs-quadrature tests.
 pub fn ramp_current(fit: &RationalAdmittance, vdd: f64, tr: f64, t: f64) -> f64 {
     assert!(tr > 0.0);
-    let (s1, s2, h1, h2) = residues(fit);
-    let val = Complex::real(fit.a1) + h1 * (s1 * t).exp() + h2 * (s2 * t).exp();
-    vdd / tr * val.re
+    match ramp_response(fit) {
+        RampResponse::Static => vdd / tr * fit.a1,
+        RampResponse::OnePole { s1, h1 } => vdd / tr * (fit.a1 + h1 * (s1 * t).exp()),
+        RampResponse::TwoPole { s1, s2, h1, h2 } => {
+            let val = Complex::real(fit.a1) + h1 * (s1 * t).exp() + h2 * (s2 * t).exp();
+            vdd / tr * val.re
+        }
+    }
 }
 
 /// The paper's explicit real-pole form of `Ceff1` (Equation 4), kept for
@@ -165,10 +243,8 @@ pub fn ceff_first_ramp_complex_poles(fit: &RationalAdmittance, tr1: f64, f: f64)
     // ∫ e^{at} cos(bt) dt and ∫ e^{at} sin(bt) dt closed forms.
     let d = alpha * alpha + beta * beta;
     let e = (alpha * t_end).exp();
-    let int_cos =
-        (e * (alpha * (beta * t_end).cos() + beta * (beta * t_end).sin()) - alpha) / d;
-    let int_sin =
-        (e * (alpha * (beta * t_end).sin() - beta * (beta * t_end).cos()) + beta) / d;
+    let int_cos = (e * (alpha * (beta * t_end).cos() + beta * (beta * t_end).sin()) - alpha) / d;
+    let int_sin = (e * (alpha * (beta * t_end).sin() - beta * (beta * t_end).cos()) + beta) / d;
     fit.a1 + (q * int_cos + r * int_sin) / (f * tr1)
 }
 
@@ -291,10 +367,17 @@ mod tests {
         assert!(approx_eq(a, ceff_first_ramp(&fit, ps(80.0), 0.5), 1e-15));
         let b = ceff_for_window(
             &fit,
-            ChargeWindow::SecondRamp { f: 0.5, tr1: ps(50.0) },
+            ChargeWindow::SecondRamp {
+                f: 0.5,
+                tr1: ps(50.0),
+            },
             ps(200.0),
         );
-        assert!(approx_eq(b, ceff_second_ramp(&fit, ps(50.0), ps(200.0), 0.5), 1e-15));
+        assert!(approx_eq(
+            b,
+            ceff_second_ramp(&fit, ps(50.0), ps(200.0), 0.5),
+            1e-15
+        ));
     }
 
     #[test]
@@ -307,6 +390,88 @@ mod tests {
         let to_50 = ceff_first_ramp(&fit, tr, 0.5);
         let to_100 = ceff_first_ramp(&fit, tr, 1.0);
         assert!(to_50 < to_100, "{to_50:.3e} vs {to_100:.3e}");
+    }
+
+    #[test]
+    fn lumped_capacitor_is_never_shielded() {
+        // Y(s) = C s: the effective capacitance is exactly C for any ramp.
+        let fit = RationalAdmittance::lumped(0.5e-12).unwrap();
+        for &tr in &[ps(10.0), ps(100.0), ps(1000.0)] {
+            assert!(approx_eq(ceff_first_ramp(&fit, tr, 1.0), 0.5e-12, 1e-12));
+            assert!(approx_eq(ceff_first_ramp(&fit, tr, 0.5), 0.5e-12, 1e-12));
+            assert!(approx_eq(
+                ceff_second_ramp(&fit, tr, 2.0 * tr, 0.5),
+                0.5e-12,
+                1e-12
+            ));
+            assert!(approx_eq(
+                ramp_current(&fit, 1.8, tr, 0.3 * tr),
+                1.8 / tr * 0.5e-12,
+                1e-12
+            ));
+        }
+    }
+
+    #[test]
+    fn single_pole_pi_load_matches_the_rc_closed_form() {
+        // An RC pi load through the generalized charge matching must agree
+        // with the classic Qian/Pillage shielding formula (full-transition
+        // charge equating, f = 1).
+        let pi = rlc_moments::PiModel {
+            c_near: 0.2e-12,
+            resistance: 120.0,
+            c_far: 0.9e-12,
+        };
+        let fit = pi.admittance();
+        assert_eq!(fit.pole_count(), 1);
+        let baseline = rlc_moments::RcCeffBaseline::new(pi);
+        for &tr in &[ps(20.0), ps(80.0), ps(300.0), ps(2000.0)] {
+            let general = ceff_first_ramp(&fit, tr, 1.0);
+            let closed = baseline.ceff_for_ramp(tr);
+            assert!(
+                approx_eq(general, closed, 1e-9),
+                "tr = {tr:.1e}: {general:.6e} vs {closed:.6e}"
+            );
+        }
+        // Fast ramps shield the far capacitance, slow ramps see everything.
+        assert!(ceff_first_ramp(&fit, ps(5.0), 1.0) < 0.35e-12);
+        assert!(ceff_first_ramp(&fit, ps(1e6), 1.0) > 1.05e-12);
+    }
+
+    #[test]
+    fn single_pole_ceff_matches_numerical_charge_integration() {
+        let pi = rlc_moments::PiModel {
+            c_near: 0.3e-12,
+            resistance: 90.0,
+            c_far: 0.8e-12,
+        };
+        let fit = pi.admittance();
+        let vdd = 1.8;
+        // First ramp, partial window.
+        for &(tr, f) in &[(ps(60.0), 0.5), (ps(150.0), 1.0)] {
+            let closed = ceff_first_ramp(&fit, tr, f);
+            let charge = adaptive_simpson(|t| ramp_current(&fit, vdd, tr, t), 0.0, f * tr, 1e-20);
+            let numeric = charge / (f * vdd);
+            assert!(
+                approx_eq(closed, numeric, 1e-6),
+                "closed {closed:.6e} vs numeric {numeric:.6e}"
+            );
+        }
+        // Second ramp against its own mode integral.
+        let (tr1, tr2, f) = (ps(50.0), ps(180.0), 0.48);
+        let closed = ceff_second_ramp(&fit, tr1, tr2, f);
+        let k = 1.0 - tr1 / tr2;
+        let s1 = -1.0 / fit.b1;
+        let h1 = (fit.a2 - fit.a1 * fit.b1) / fit.b1;
+        let current =
+            |t: f64| vdd * (fit.a1 / tr2 + h1 * (1.0 / tr2 + s1 * k * f) * (s1 * t).exp());
+        let t0 = f * tr1;
+        let t1 = t0 + (1.0 - f) * tr2;
+        let numeric = adaptive_simpson(current, t0, t1, 1e-20) / ((1.0 - f) * vdd);
+        assert!(
+            approx_eq(closed, numeric, 1e-6),
+            "closed {closed:.6e} vs numeric {numeric:.6e}"
+        );
     }
 
     #[test]

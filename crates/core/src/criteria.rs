@@ -77,6 +77,23 @@ pub struct CriteriaReport {
 }
 
 impl CriteriaReport {
+    /// The report for a load with no transmission line at all (a lumped
+    /// capacitor or an RC pi model): inductance is trivially insignificant,
+    /// expressed as every check failing against a zero limit.
+    pub fn without_line(c_load: f64) -> CriteriaReport {
+        let fail = |value: f64| CriterionCheck {
+            value,
+            limit: 0.0,
+            passes: false,
+        };
+        CriteriaReport {
+            load_check: fail(c_load),
+            line_resistance_check: fail(0.0),
+            driver_resistance_check: fail(0.0),
+            rise_time_check: fail(0.0),
+        }
+    }
+
     /// Whether inductive effects are significant (all four checks pass) and
     /// the two-ramp model should be used.
     pub fn inductance_significant(&self) -> bool {
@@ -91,9 +108,21 @@ impl CriteriaReport {
         format!(
             "CL {} | Rl {} | Rs {} | Tr1 {} -> {}",
             if self.load_check.passes { "ok" } else { "FAIL" },
-            if self.line_resistance_check.passes { "ok" } else { "FAIL" },
-            if self.driver_resistance_check.passes { "ok" } else { "FAIL" },
-            if self.rise_time_check.passes { "ok" } else { "FAIL" },
+            if self.line_resistance_check.passes {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if self.driver_resistance_check.passes {
+                "ok"
+            } else {
+                "FAIL"
+            },
+            if self.rise_time_check.passes {
+                "ok"
+            } else {
+                "FAIL"
+            },
             if self.inductance_significant() {
                 "inductance significant (two-ramp model)"
             } else {
@@ -117,22 +146,52 @@ impl InductanceCriteria {
         driver_resistance: f64,
         tr1: f64,
     ) -> CriteriaReport {
+        self.evaluate_raw(
+            line.characteristic_impedance(),
+            line.time_of_flight(),
+            line.resistance(),
+            line.capacitance(),
+            c_load,
+            driver_resistance,
+            tr1,
+        )
+    }
+
+    /// Evaluates the criteria from raw wave parameters instead of an
+    /// [`RlcLine`] — the entry point used by the timing-engine facade, whose
+    /// load models carry `(Z0, t_f, R, C)` without necessarily owning a line.
+    ///
+    /// # Panics
+    /// Panics if `tr1` or `driver_resistance` is not positive or `c_load` is
+    /// negative.
+    #[allow(clippy::too_many_arguments)]
+    pub fn evaluate_raw(
+        &self,
+        z0: f64,
+        time_of_flight: f64,
+        line_resistance: f64,
+        line_capacitance: f64,
+        c_load: f64,
+        driver_resistance: f64,
+        tr1: f64,
+    ) -> CriteriaReport {
         assert!(tr1 > 0.0, "tr1 must be positive");
-        assert!(driver_resistance > 0.0, "driver resistance must be positive");
+        assert!(
+            driver_resistance > 0.0,
+            "driver resistance must be positive"
+        );
         assert!(c_load >= 0.0, "load capacitance must be non-negative");
-        let z0 = line.characteristic_impedance();
-        let tf = line.time_of_flight();
         CriteriaReport {
-            load_check: CriterionCheck::new(c_load, self.load_fraction_limit * line.capacitance()),
+            load_check: CriterionCheck::new(c_load, self.load_fraction_limit * line_capacitance),
             line_resistance_check: CriterionCheck::new(
-                line.resistance(),
+                line_resistance,
                 self.line_resistance_factor * z0,
             ),
             driver_resistance_check: CriterionCheck::new(
                 driver_resistance,
                 self.driver_resistance_factor * z0,
             ),
-            rise_time_check: CriterionCheck::new(tr1, self.rise_time_factor * tf),
+            rise_time_check: CriterionCheck::new(tr1, self.rise_time_factor * time_of_flight),
         }
     }
 }
@@ -152,7 +211,7 @@ mod tests {
         let report = InductanceCriteria::default().evaluate(
             &inductive_line(),
             ff(10.0),
-            70.0,   // 75X-class driver
+            70.0,     // 75X-class driver
             ps(60.0), // fast initial ramp
         );
         assert!(report.inductance_significant(), "{}", report.summary());
@@ -203,6 +262,30 @@ mod tests {
         };
         let report = strict.evaluate(&inductive_line(), ff(10.0), 70.0, ps(60.0));
         assert!(!report.rise_time_check.passes);
+    }
+
+    #[test]
+    fn evaluate_raw_matches_evaluate() {
+        let line = inductive_line();
+        let via_line = InductanceCriteria::default().evaluate(&line, ff(10.0), 70.0, ps(60.0));
+        let raw = InductanceCriteria::default().evaluate_raw(
+            line.characteristic_impedance(),
+            line.time_of_flight(),
+            line.resistance(),
+            line.capacitance(),
+            ff(10.0),
+            70.0,
+            ps(60.0),
+        );
+        assert_eq!(via_line, raw);
+    }
+
+    #[test]
+    fn without_line_is_never_significant() {
+        let report = CriteriaReport::without_line(ff(10.0));
+        assert!(!report.inductance_significant());
+        assert!(report.summary().contains("single ramp"));
+        assert_eq!(report.load_check.value, ff(10.0));
     }
 
     #[test]

@@ -76,8 +76,8 @@ impl FarEndResponse {
             options.segments,
             c_load,
         );
-        let result = TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop))
-            .run(&ckt)?;
+        let result =
+            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
         let far = result.waveform(nodes.far_end);
         let near = result.waveform(nodes.output);
         let vdd = model.vdd;
@@ -137,7 +137,7 @@ mod tests {
     fn far_end_lags_near_end_and_completes() {
         let cell = synthetic_cell();
         let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
         let config = ModelingConfig {
             extract_rs_per_case: false,
             ..ModelingConfig::default()

@@ -44,20 +44,48 @@ pub struct AnalysisCase<'a> {
 }
 
 impl<'a> AnalysisCase<'a> {
-    /// Creates a case with the default 20 ps input delay.
+    /// Creates a case with the default 20 ps input delay, validating the
+    /// inputs.
     ///
-    /// # Panics
-    /// Panics if `input_slew <= 0` or `c_load < 0`.
-    pub fn new(cell: &'a DriverCell, line: &'a RlcLine, c_load: f64, input_slew: f64) -> Self {
-        assert!(input_slew > 0.0, "input slew must be positive");
-        assert!(c_load >= 0.0, "load capacitance must be non-negative");
-        AnalysisCase {
+    /// # Errors
+    /// Returns [`CeffError::InvalidCase`] if `input_slew` is not positive
+    /// and finite or `c_load` is negative or non-finite.
+    pub fn try_new(
+        cell: &'a DriverCell,
+        line: &'a RlcLine,
+        c_load: f64,
+        input_slew: f64,
+    ) -> Result<Self, CeffError> {
+        if !(input_slew > 0.0 && input_slew.is_finite()) {
+            return Err(CeffError::InvalidCase(format!(
+                "input slew must be positive and finite, got {input_slew:e}"
+            )));
+        }
+        if !(c_load >= 0.0 && c_load.is_finite()) {
+            return Err(CeffError::InvalidCase(format!(
+                "load capacitance must be non-negative and finite, got {c_load:e}"
+            )));
+        }
+        Ok(AnalysisCase {
             cell,
             line,
             c_load,
             input_slew,
             input_delay: ps(20.0),
-        }
+        })
+    }
+
+    /// Creates a case with the default 20 ps input delay.
+    ///
+    /// # Panics
+    /// Panics if `input_slew <= 0` or `c_load < 0`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use AnalysisCase::try_new (or the rlc-ceff-suite Stage builder), which \
+                returns a Result instead of panicking on bad inputs"
+    )]
+    pub fn new(cell: &'a DriverCell, line: &'a RlcLine, c_load: f64, input_slew: f64) -> Self {
+        Self::try_new(cell, line, c_load, input_slew).expect("invalid analysis case")
     }
 
     /// Sets the absolute start time of the input ramp (builder style).
@@ -74,6 +102,97 @@ impl<'a> AnalysisCase<'a> {
     /// Total capacitance of the load (line plus fan-out).
     pub fn total_capacitance(&self) -> f64 {
         self.line.capacitance() + self.c_load
+    }
+
+    /// Reduces this case's load (line + fan-out capacitance) to the fitted
+    /// rational admittance plus wave parameters.
+    ///
+    /// # Errors
+    /// Propagates moment-fit errors.
+    pub fn reduce_load(&self) -> Result<ReducedLoad, CeffError> {
+        ReducedLoad::from_line(self.line, self.c_load)
+    }
+}
+
+/// Wave-propagation parameters of a load that contains a transmission line —
+/// everything the voltage breakpoint (Equation 1) and the Equation 9
+/// screening need beyond the fitted admittance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaveParameters {
+    /// Lossless characteristic impedance `Z0 = sqrt(L/C)` (ohms).
+    pub characteristic_impedance: f64,
+    /// Time of flight `tf = sqrt(L_total C_total)` (seconds).
+    pub time_of_flight: f64,
+    /// Total series resistance of the line (ohms).
+    pub line_resistance: f64,
+    /// Total shunt capacitance of the line (farads).
+    pub line_capacitance: f64,
+}
+
+impl WaveParameters {
+    /// The wave parameters of an extracted RLC line.
+    pub fn of_line(line: &RlcLine) -> Self {
+        WaveParameters {
+            characteristic_impedance: line.characteristic_impedance(),
+            time_of_flight: line.time_of_flight(),
+            line_resistance: line.resistance(),
+            line_capacitance: line.capacitance(),
+        }
+    }
+}
+
+/// A reduced, driver-independent description of an arbitrary load: the
+/// rational driving-point admittance the charge matching runs against, the
+/// external (fan-out) capacitance beyond any line, and — when the load
+/// contains a transmission line — its wave parameters.
+///
+/// This is the seam the `rlc-ceff-suite` facade's `LoadModel` trait plugs
+/// into: a lumped capacitor or an RC pi model reduces to an exact admittance
+/// with `wave: None` (the flow then uses the classic single-ramp path), while
+/// a distributed RLC line reduces to the paper's five-moment fit with its
+/// wave parameters attached.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReducedLoad {
+    /// The rational admittance seen from the driving point.
+    pub fit: RationalAdmittance,
+    /// Fan-out capacitance beyond the line (the `C_L` of Equation 9); for
+    /// loads without a line this equals the total capacitance.
+    pub external_load: f64,
+    /// Wave parameters, present only when the load contains a line.
+    pub wave: Option<WaveParameters>,
+}
+
+impl ReducedLoad {
+    /// Reduces an RLC line terminated by `c_load`: fits the rational
+    /// admittance to five distributed moments and records the wave
+    /// parameters.
+    ///
+    /// # Errors
+    /// Propagates moment-fit errors.
+    pub fn from_line(line: &RlcLine, c_load: f64) -> Result<Self, CeffError> {
+        let moments = distributed_admittance_moments(line, c_load, 5);
+        Ok(ReducedLoad {
+            fit: RationalAdmittance::from_moments(&moments)?,
+            external_load: c_load,
+            wave: Some(WaveParameters::of_line(line)),
+        })
+    }
+
+    /// A lumped capacitive load `Y(s) = C s`.
+    ///
+    /// # Errors
+    /// Returns a moment-fit error if `c` is not positive.
+    pub fn lumped(c: f64) -> Result<Self, CeffError> {
+        Ok(ReducedLoad {
+            fit: RationalAdmittance::lumped(c)?,
+            external_load: c,
+            wave: None,
+        })
+    }
+
+    /// Total capacitance of the load (the first admittance moment).
+    pub fn total_capacitance(&self) -> f64 {
+        self.fit.total_capacitance()
     }
 }
 
@@ -219,24 +338,210 @@ impl DriverOutputModeler {
         &self.config
     }
 
-    fn fit_admittance(case: &AnalysisCase<'_>) -> Result<RationalAdmittance, CeffError> {
-        let moments = distributed_admittance_moments(case.line, case.c_load, 5);
-        Ok(RationalAdmittance::from_moments(&moments)?)
+    fn driver_resistance(
+        &self,
+        cell: &DriverCell,
+        total_capacitance: f64,
+    ) -> Result<f64, CeffError> {
+        if self.config.extract_rs_per_case {
+            Ok(cell.on_resistance_for_load(total_capacitance)?)
+        } else {
+            Ok(cell.on_resistance())
+        }
     }
 
-    fn driver_resistance(&self, case: &AnalysisCase<'_>) -> Result<f64, CeffError> {
-        if self.config.extract_rs_per_case {
-            Ok(case.cell.on_resistance_for_load(case.total_capacitance())?)
-        } else {
-            Ok(case.cell.on_resistance())
+    /// The voltage breakpoint for a reduced load: Equation 1 against the
+    /// line's characteristic impedance, or `1.0` (no breakpoint — the whole
+    /// transition is one ramp) for loads without a line.
+    fn breakpoint(load: &ReducedLoad, rs: f64) -> f64 {
+        match load.wave {
+            Some(wave) => voltage_breakpoint(wave.characteristic_impedance, rs).clamp(0.02, 0.98),
+            None => 1.0,
+        }
+    }
+
+    fn criteria_report(&self, load: &ReducedLoad, rs: f64, tr1: f64) -> CriteriaReport {
+        match load.wave {
+            Some(wave) => self.config.criteria.evaluate_raw(
+                wave.characteristic_impedance,
+                wave.time_of_flight,
+                wave.line_resistance,
+                wave.line_capacitance,
+                load.external_load,
+                rs,
+                tr1,
+            ),
+            None => CriteriaReport::without_line(load.external_load),
         }
     }
 
     /// Anchors a ramp whose table delay and duration are known: the table
     /// delay positions the (virtual) 50 % point of the Ceff ramp, so the
     /// transition starts half a ramp earlier.
-    fn start_time(case: &AnalysisCase<'_>, delay: f64, ramp_time: f64) -> f64 {
-        case.input_t50() + delay - 0.5 * ramp_time
+    fn start_time(input_t50: f64, delay: f64, ramp_time: f64) -> f64 {
+        input_t50 + delay - 0.5 * ramp_time
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn single_ramp_reduced(
+        &self,
+        cell: &DriverCell,
+        load: &ReducedLoad,
+        rs: f64,
+        f: f64,
+        input_slew: f64,
+        input_t50: f64,
+        report: Option<CriteriaReport>,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let single = iterate_ceff1(cell, &load.fit, input_slew, 1.0, &self.config.iteration)?;
+        let report = match report {
+            Some(r) => r,
+            None => self.criteria_report(load, rs, single.ramp_time),
+        };
+        let start = Self::start_time(input_t50, single.delay, single.ramp_time);
+        Ok(DriverOutputModel {
+            waveform: ModelWaveform::SingleRamp(SingleRampModel::new(
+                cell.vdd(),
+                single.ramp_time,
+                start,
+            )),
+            fit: load.fit,
+            driver_resistance: rs,
+            breakpoint: f,
+            ceff1: single,
+            ceff2: None,
+            tr2_uncorrected: None,
+            criteria: report,
+            input_t50,
+            vdd: cell.vdd(),
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn two_ramp_reduced(
+        &self,
+        cell: &DriverCell,
+        load: &ReducedLoad,
+        rs: f64,
+        f: f64,
+        ceff1: CeffIteration,
+        report: CriteriaReport,
+        input_slew: f64,
+        input_t50: f64,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let wave = load.wave.ok_or_else(|| {
+            CeffError::InvalidCase(
+                "the two-ramp model needs a transmission-line load (reflection plateau); \
+                 this load has no wave parameters"
+                    .to_string(),
+            )
+        })?;
+        let ceff2 = iterate_ceff2(
+            cell,
+            &load.fit,
+            input_slew,
+            f,
+            ceff1.ramp_time,
+            &self.config.iteration,
+        )?;
+        let tr2_new =
+            plateau_corrected_tr2(ceff2.ramp_time, ceff1.ramp_time, wave.time_of_flight, f);
+        let start = Self::start_time(input_t50, ceff1.delay, ceff1.ramp_time);
+        Ok(DriverOutputModel {
+            waveform: ModelWaveform::TwoRamp(TwoRampModel::new(
+                cell.vdd(),
+                f,
+                ceff1.ramp_time,
+                tr2_new,
+                start,
+            )),
+            fit: load.fit,
+            driver_resistance: rs,
+            breakpoint: f,
+            ceff1,
+            ceff2: Some(ceff2),
+            tr2_uncorrected: Some(ceff2.ramp_time),
+            criteria: report,
+            input_t50,
+            vdd: cell.vdd(),
+        })
+    }
+
+    /// Runs the full flow against an already reduced load: two-ramp when the
+    /// load has a line and the inductance criteria pass, single ramp
+    /// otherwise. This is the generalized entry point the `rlc-ceff-suite`
+    /// facade drives; `input_t50 = input_delay + input_slew / 2`.
+    ///
+    /// # Errors
+    /// Propagates iteration and characterization errors.
+    pub fn model_reduced(
+        &self,
+        cell: &DriverCell,
+        load: &ReducedLoad,
+        input_slew: f64,
+        input_delay: f64,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let rs = self.driver_resistance(cell, load.total_capacitance())?;
+        let f = Self::breakpoint(load, rs);
+        let input_t50 = input_delay + 0.5 * input_slew;
+        if load.wave.is_none() {
+            // No line, no reflection: the classic single effective
+            // capacitance is the whole story.
+            return self.single_ramp_reduced(cell, load, rs, f, input_slew, input_t50, None);
+        }
+
+        // Step 3: Ceff1 / Tr1.
+        let ceff1 = iterate_ceff1(cell, &load.fit, input_slew, f, &self.config.iteration)?;
+
+        // Step 4: inductance criteria using the *output* initial ramp.
+        let report = self.criteria_report(load, rs, ceff1.ramp_time);
+
+        if report.inductance_significant() {
+            // Step 5a: Ceff2, plateau correction, two-ramp waveform.
+            self.two_ramp_reduced(cell, load, rs, f, ceff1, report, input_slew, input_t50)
+        } else {
+            // Step 5b: classic single effective capacitance (f = 1).
+            self.single_ramp_reduced(cell, load, rs, f, input_slew, input_t50, Some(report))
+        }
+    }
+
+    /// The single-ramp (classic Ceff) model of a reduced load regardless of
+    /// the inductance criteria — the "1 ramp" baseline column of Table 1.
+    ///
+    /// # Errors
+    /// Propagates iteration and characterization errors.
+    pub fn model_reduced_single_ramp(
+        &self,
+        cell: &DriverCell,
+        load: &ReducedLoad,
+        input_slew: f64,
+        input_delay: f64,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let rs = self.driver_resistance(cell, load.total_capacitance())?;
+        let f = Self::breakpoint(load, rs);
+        let input_t50 = input_delay + 0.5 * input_slew;
+        self.single_ramp_reduced(cell, load, rs, f, input_slew, input_t50, None)
+    }
+
+    /// The two-ramp model of a reduced load regardless of the inductance
+    /// criteria (used for ablation studies and the figure binaries).
+    ///
+    /// # Errors
+    /// Propagates iteration and characterization errors, and returns
+    /// [`CeffError::InvalidCase`] for loads without a transmission line.
+    pub fn model_reduced_two_ramp(
+        &self,
+        cell: &DriverCell,
+        load: &ReducedLoad,
+        input_slew: f64,
+        input_delay: f64,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let rs = self.driver_resistance(cell, load.total_capacitance())?;
+        let f = Self::breakpoint(load, rs);
+        let input_t50 = input_delay + 0.5 * input_slew;
+        let ceff1 = iterate_ceff1(cell, &load.fit, input_slew, f, &self.config.iteration)?;
+        let report = self.criteria_report(load, rs, ceff1.ramp_time);
+        self.two_ramp_reduced(cell, load, rs, f, ceff1, report, input_slew, input_t50)
     }
 
     /// Runs the full flow: two-ramp when the inductance criteria pass, single
@@ -245,75 +550,8 @@ impl DriverOutputModeler {
     /// # Errors
     /// Propagates moment-fit, iteration and simulation errors.
     pub fn model(&self, case: &AnalysisCase<'_>) -> Result<DriverOutputModel, CeffError> {
-        let fit = Self::fit_admittance(case)?;
-        let rs = self.driver_resistance(case)?;
-        let z0 = case.line.characteristic_impedance();
-        let f = voltage_breakpoint(z0, rs).clamp(0.02, 0.98);
-
-        // Step 3: Ceff1 / Tr1.
-        let ceff1 = iterate_ceff1(case.cell, &fit, case.input_slew, f, &self.config.iteration)?;
-
-        // Step 4: inductance criteria using the *output* initial ramp.
-        let report = self
-            .config
-            .criteria
-            .evaluate(case.line, case.c_load, rs, ceff1.ramp_time);
-
-        if report.inductance_significant() {
-            // Step 5a: Ceff2, plateau correction, two-ramp waveform.
-            let ceff2 = iterate_ceff2(
-                case.cell,
-                &fit,
-                case.input_slew,
-                f,
-                ceff1.ramp_time,
-                &self.config.iteration,
-            )?;
-            let tr2_new = plateau_corrected_tr2(
-                ceff2.ramp_time,
-                ceff1.ramp_time,
-                case.line.time_of_flight(),
-                f,
-            );
-            let start = Self::start_time(case, ceff1.delay, ceff1.ramp_time);
-            let waveform = TwoRampModel::new(
-                case.cell.vdd(),
-                f,
-                ceff1.ramp_time,
-                tr2_new,
-                start,
-            );
-            Ok(DriverOutputModel {
-                waveform: ModelWaveform::TwoRamp(waveform),
-                fit,
-                driver_resistance: rs,
-                breakpoint: f,
-                ceff1,
-                ceff2: Some(ceff2),
-                tr2_uncorrected: Some(ceff2.ramp_time),
-                criteria: report,
-                input_t50: case.input_t50(),
-                vdd: case.cell.vdd(),
-            })
-        } else {
-            // Step 5b: classic single effective capacitance (f = 1).
-            let single =
-                iterate_ceff1(case.cell, &fit, case.input_slew, 1.0, &self.config.iteration)?;
-            let start = Self::start_time(case, single.delay, single.ramp_time);
-            let waveform = SingleRampModel::new(case.cell.vdd(), single.ramp_time, start);
-            Ok(DriverOutputModel {
-                waveform: ModelWaveform::SingleRamp(waveform),
-                fit,
-                driver_resistance: rs,
-                breakpoint: f,
-                ceff1: single,
-                ceff2: None,
-                tr2_uncorrected: None,
-                criteria: report,
-                input_t50: case.input_t50(),
-                vdd: case.cell.vdd(),
-            })
-        }
+        let load = case.reduce_load()?;
+        self.model_reduced(case.cell, &load, case.input_slew, case.input_delay)
     }
 
     /// Always produces the single-ramp (classic Ceff) model regardless of the
@@ -321,33 +559,12 @@ impl DriverOutputModeler {
     ///
     /// # Errors
     /// Propagates moment-fit, iteration and simulation errors.
-    pub fn model_single_ramp(&self, case: &AnalysisCase<'_>) -> Result<DriverOutputModel, CeffError> {
-        let fit = Self::fit_admittance(case)?;
-        let rs = self.driver_resistance(case)?;
-        let z0 = case.line.characteristic_impedance();
-        let f = voltage_breakpoint(z0, rs).clamp(0.02, 0.98);
-        let single = iterate_ceff1(case.cell, &fit, case.input_slew, 1.0, &self.config.iteration)?;
-        let report = self
-            .config
-            .criteria
-            .evaluate(case.line, case.c_load, rs, single.ramp_time);
-        let start = Self::start_time(case, single.delay, single.ramp_time);
-        Ok(DriverOutputModel {
-            waveform: ModelWaveform::SingleRamp(SingleRampModel::new(
-                case.cell.vdd(),
-                single.ramp_time,
-                start,
-            )),
-            fit,
-            driver_resistance: rs,
-            breakpoint: f,
-            ceff1: single,
-            ceff2: None,
-            tr2_uncorrected: None,
-            criteria: report,
-            input_t50: case.input_t50(),
-            vdd: case.cell.vdd(),
-        })
+    pub fn model_single_ramp(
+        &self,
+        case: &AnalysisCase<'_>,
+    ) -> Result<DriverOutputModel, CeffError> {
+        let load = case.reduce_load()?;
+        self.model_reduced_single_ramp(case.cell, &load, case.input_slew, case.input_delay)
     }
 
     /// Always produces the two-ramp model regardless of the inductance
@@ -356,48 +573,8 @@ impl DriverOutputModeler {
     /// # Errors
     /// Propagates moment-fit, iteration and simulation errors.
     pub fn model_two_ramp(&self, case: &AnalysisCase<'_>) -> Result<DriverOutputModel, CeffError> {
-        let fit = Self::fit_admittance(case)?;
-        let rs = self.driver_resistance(case)?;
-        let z0 = case.line.characteristic_impedance();
-        let f = voltage_breakpoint(z0, rs).clamp(0.02, 0.98);
-        let ceff1 = iterate_ceff1(case.cell, &fit, case.input_slew, f, &self.config.iteration)?;
-        let ceff2 = iterate_ceff2(
-            case.cell,
-            &fit,
-            case.input_slew,
-            f,
-            ceff1.ramp_time,
-            &self.config.iteration,
-        )?;
-        let report = self
-            .config
-            .criteria
-            .evaluate(case.line, case.c_load, rs, ceff1.ramp_time);
-        let tr2_new = plateau_corrected_tr2(
-            ceff2.ramp_time,
-            ceff1.ramp_time,
-            case.line.time_of_flight(),
-            f,
-        );
-        let start = Self::start_time(case, ceff1.delay, ceff1.ramp_time);
-        Ok(DriverOutputModel {
-            waveform: ModelWaveform::TwoRamp(TwoRampModel::new(
-                case.cell.vdd(),
-                f,
-                ceff1.ramp_time,
-                tr2_new,
-                start,
-            )),
-            fit,
-            driver_resistance: rs,
-            breakpoint: f,
-            ceff1,
-            ceff2: Some(ceff2),
-            tr2_uncorrected: Some(ceff2.ramp_time),
-            criteria: report,
-            input_t50: case.input_t50(),
-            vdd: case.cell.vdd(),
-        })
+        let load = case.reduce_load()?;
+        self.model_reduced_two_ramp(case.cell, &load, case.input_slew, case.input_delay)
     }
 }
 
@@ -454,8 +631,10 @@ mod tests {
     fn strong_driver_selects_two_ramp_model() {
         let cell = synthetic_cell(75.0, 70.0);
         let line = paper_line();
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
-        let model = DriverOutputModeler::new(fast_config()).model(&case).unwrap();
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let model = DriverOutputModeler::new(fast_config())
+            .model(&case)
+            .unwrap();
         assert!(model.is_two_ramp(), "{}", model.describe());
         assert!(model.criteria.inductance_significant());
         // The breakpoint for a ~70 ohm driver on a ~68 ohm line is near 0.5.
@@ -478,8 +657,10 @@ mod tests {
     fn weak_driver_selects_single_ramp_model() {
         let cell = synthetic_cell(25.0, 220.0);
         let line = paper_line();
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
-        let model = DriverOutputModeler::new(fast_config()).model(&case).unwrap();
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let model = DriverOutputModeler::new(fast_config())
+            .model(&case)
+            .unwrap();
         assert!(!model.is_two_ramp(), "{}", model.describe());
         assert!(model.ceff2.is_none());
         assert!(model.delay() > 0.0 && model.slew() > 0.0);
@@ -489,7 +670,7 @@ mod tests {
     fn forced_variants_produce_both_shapes() {
         let cell = synthetic_cell(75.0, 70.0);
         let line = paper_line();
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
         let modeler = DriverOutputModeler::new(fast_config());
         let one = modeler.model_single_ramp(&case).unwrap();
         let two = modeler.model_two_ramp(&case).unwrap();
@@ -506,8 +687,10 @@ mod tests {
     fn model_value_and_source_are_consistent() {
         let cell = synthetic_cell(75.0, 70.0);
         let line = paper_line();
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
-        let model = DriverOutputModeler::new(fast_config()).model(&case).unwrap();
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let model = DriverOutputModeler::new(fast_config())
+            .model(&case)
+            .unwrap();
         let src = model.to_source(2e-9);
         for &t in &[0.0, 50e-12, 150e-12, 300e-12, 600e-12, 1.5e-9] {
             assert!((src.value_at(t) - model.value_at(t)).abs() < 1e-9);
@@ -519,7 +702,9 @@ mod tests {
     fn case_accessors() {
         let cell = synthetic_cell(75.0, 70.0);
         let line = paper_line();
-        let case = AnalysisCase::new(&cell, &line, ff(20.0), ps(100.0)).with_input_delay(ps(40.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(20.0), ps(100.0))
+            .unwrap()
+            .with_input_delay(ps(40.0));
         assert!((case.input_t50() - ps(90.0)).abs() < 1e-15);
         assert!((case.total_capacitance() - (1.10e-12 + 20e-15)).abs() < 1e-18);
     }
@@ -533,10 +718,68 @@ mod tests {
     }
 
     #[test]
+    fn invalid_case_rejected_with_error() {
+        let cell = synthetic_cell(75.0, 70.0);
+        let line = paper_line();
+        assert!(matches!(
+            AnalysisCase::try_new(&cell, &line, ff(10.0), 0.0),
+            Err(CeffError::InvalidCase(_))
+        ));
+        assert!(matches!(
+            AnalysisCase::try_new(&cell, &line, -1.0e-15, ps(100.0)),
+            Err(CeffError::InvalidCase(_))
+        ));
+        assert!(matches!(
+            AnalysisCase::try_new(&cell, &line, f64::NAN, ps(100.0)),
+            Err(CeffError::InvalidCase(_))
+        ));
+    }
+
+    /// The deprecated constructor still works (and still panics) for old
+    /// callers.
+    #[test]
     #[should_panic(expected = "input slew must be positive")]
-    fn invalid_case_rejected() {
+    #[allow(deprecated)]
+    fn deprecated_constructor_panics_on_bad_input() {
         let cell = synthetic_cell(75.0, 70.0);
         let line = paper_line();
         let _ = AnalysisCase::new(&cell, &line, ff(10.0), 0.0);
+    }
+
+    #[test]
+    fn lumped_reduced_load_uses_single_ramp_and_full_capacitance() {
+        let cell = synthetic_cell(75.0, 70.0);
+        let load = ReducedLoad::lumped(pf(0.8)).unwrap();
+        let modeler = DriverOutputModeler::new(fast_config());
+        let model = modeler
+            .model_reduced(&cell, &load, ps(100.0), ps(20.0))
+            .unwrap();
+        assert!(!model.is_two_ramp());
+        // A lumped capacitor is never shielded: Ceff == C exactly.
+        assert!((model.ceff1.ceff - pf(0.8)).abs() < 1e-18 * 1e3);
+        assert_eq!(model.breakpoint, 1.0);
+        assert!(!model.criteria.inductance_significant());
+        assert!(model.delay() > 0.0 && model.slew() > 0.0);
+        // Forcing the two-ramp variant on a line-less load is an invalid case.
+        assert!(matches!(
+            modeler.model_reduced_two_ramp(&cell, &load, ps(100.0), ps(20.0)),
+            Err(CeffError::InvalidCase(_))
+        ));
+    }
+
+    #[test]
+    fn reduced_line_load_matches_case_path() {
+        let cell = synthetic_cell(75.0, 70.0);
+        let line = paper_line();
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let modeler = DriverOutputModeler::new(fast_config());
+        let via_case = modeler.model(&case).unwrap();
+        let load = case.reduce_load().unwrap();
+        let via_reduced = modeler
+            .model_reduced(&cell, &load, case.input_slew, case.input_delay)
+            .unwrap();
+        assert_eq!(via_case.waveform, via_reduced.waveform);
+        assert_eq!(via_case.ceff1, via_reduced.ceff1);
+        assert_eq!(via_case.ceff2, via_reduced.ceff2);
     }
 }

@@ -65,7 +65,10 @@ where
     G: FnMut(f64) -> f64,
 {
     assert!(input_slew > 0.0, "input slew must be positive");
-    assert!(total_capacitance > 0.0, "total capacitance must be positive");
+    assert!(
+        total_capacitance > 0.0,
+        "total capacitance must be positive"
+    );
     let floor = settings.min_fraction_of_total * total_capacitance;
     let ceiling = ceiling_fraction * total_capacitance;
     let mut ceff = total_capacitance;
@@ -198,13 +201,17 @@ mod tests {
     fn ceff1_iteration_converges_and_shields_the_line() {
         let cell = synthetic_cell(75.0);
         let fit = paper_fit();
-        let it = iterate_ceff1(&cell, &fit, ps(100.0), 0.48, &IterationSettings::default())
-            .unwrap();
+        let it =
+            iterate_ceff1(&cell, &fit, ps(100.0), 0.48, &IterationSettings::default()).unwrap();
         assert!(it.iterations < 50);
         assert!(it.ceff > 0.0 && it.ceff < fit.total_capacitance());
         // The first ramp sees a strongly shielded load (most of the line's
         // capacitance is beyond one time of flight).
-        assert!(it.ceff < 0.7 * fit.total_capacitance(), "ceff1 = {:.3e}", it.ceff);
+        assert!(
+            it.ceff < 0.7 * fit.total_capacitance(),
+            "ceff1 = {:.3e}",
+            it.ceff
+        );
         assert!(it.ramp_time > 0.0 && it.delay > 0.0);
     }
 
@@ -215,8 +222,7 @@ mod tests {
         let f = 0.48;
         let settings = IterationSettings::default();
         let first = iterate_ceff1(&cell, &fit, ps(100.0), f, &settings).unwrap();
-        let second =
-            iterate_ceff2(&cell, &fit, ps(100.0), f, first.ramp_time, &settings).unwrap();
+        let second = iterate_ceff2(&cell, &fit, ps(100.0), f, first.ramp_time, &settings).unwrap();
         assert!(
             second.ceff > first.ceff,
             "ceff2 ({:.3e}) must exceed ceff1 ({:.3e}): the reflection returns the shielded charge",
@@ -261,8 +267,8 @@ mod tests {
             ..IterationSettings::default()
         };
         let it = iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &settings).unwrap();
-        let plain = iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &IterationSettings::default())
-            .unwrap();
+        let plain =
+            iterate_ceff1(&cell, &fit, ps(100.0), 0.5, &IterationSettings::default()).unwrap();
         assert!((it.ceff - plain.ceff).abs() / plain.ceff < 1e-3);
     }
 
@@ -284,11 +290,10 @@ mod tests {
     #[test]
     fn iteration_with_real_characterized_cell() {
         // End-to-end sanity with an actual simulated table (coarse grid).
-        let cell = DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests())
-            .unwrap();
+        let cell =
+            DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
         let fit = paper_fit();
-        let it = iterate_ceff1(&cell, &fit, ps(100.0), 1.0, &IterationSettings::default())
-            .unwrap();
+        let it = iterate_ceff1(&cell, &fit, ps(100.0), 1.0, &IterationSettings::default()).unwrap();
         assert!(it.ceff > 0.1e-12 && it.ceff <= fit.total_capacitance());
     }
 }

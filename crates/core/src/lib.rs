@@ -38,7 +38,7 @@
 //! let cell = library.cell(75.0)?.clone();
 //! let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
 //!
-//! let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+//! let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0))?;
 //! let model = DriverOutputModeler::new(ModelingConfig::default()).model(&case)?;
 //! println!("driver output modelled as {}", model.describe());
 //! # Ok::<(), Box<dyn std::error::Error>>(())
@@ -61,7 +61,10 @@ pub use breakpoint::voltage_breakpoint;
 pub use charge::{ceff_first_ramp, ceff_second_ramp, ChargeWindow};
 pub use criteria::{CriteriaReport, InductanceCriteria};
 pub use far_end::FarEndResponse;
-pub use flow::{AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig};
+pub use flow::{
+    AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig, ReducedLoad,
+    WaveParameters,
+};
 pub use iteration::{CeffIteration, IterationSettings};
 pub use plateau::plateau_corrected_tr2;
 pub use single_ramp::SingleRampModel;
@@ -74,7 +77,10 @@ pub mod prelude {
     pub use crate::charge::{ceff_first_ramp, ceff_second_ramp, ChargeWindow};
     pub use crate::criteria::{CriteriaReport, InductanceCriteria};
     pub use crate::far_end::FarEndResponse;
-    pub use crate::flow::{AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig};
+    pub use crate::flow::{
+        AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig, ReducedLoad,
+        WaveParameters,
+    };
     pub use crate::iteration::{CeffIteration, IterationSettings};
     pub use crate::single_ramp::SingleRampModel;
     pub use crate::two_ramp::TwoRampModel;
@@ -85,6 +91,10 @@ pub mod prelude {
 /// Errors produced by the modelling flow.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CeffError {
+    /// The analysis case itself is invalid (non-positive input slew,
+    /// negative load capacitance, or a model variant that requires a
+    /// transmission line applied to a lumped load).
+    InvalidCase(String),
     /// The admittance moment fit failed (degenerate load).
     MomentFit(String),
     /// A Ceff iteration failed to converge.
@@ -103,9 +113,13 @@ pub enum CeffError {
 impl std::fmt::Display for CeffError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            CeffError::InvalidCase(msg) => write!(f, "invalid analysis case: {msg}"),
             CeffError::MomentFit(msg) => write!(f, "admittance fit failed: {msg}"),
             CeffError::IterationDiverged { which, iterations } => {
-                write!(f, "{which} iteration failed to converge after {iterations} steps")
+                write!(
+                    f,
+                    "{which} iteration failed to converge after {iterations} steps"
+                )
             }
             CeffError::Simulation(msg) => write!(f, "simulation failed: {msg}"),
             CeffError::Measurement(msg) => write!(f, "measurement failed: {msg}"),
@@ -153,5 +167,8 @@ mod tests {
         let e: CeffError = rlc_charlib::CharlibError::InvalidGrid("z".into()).into();
         assert!(matches!(e, CeffError::Simulation(_)));
         assert!(CeffError::Measurement("m".into()).to_string().contains('m'));
+        assert!(CeffError::InvalidCase("bad slew".into())
+            .to_string()
+            .contains("bad slew"));
     }
 }

@@ -66,7 +66,11 @@ mod tests {
 
     #[test]
     fn plateau_duration_matches_paper_expression() {
-        assert!(approx_eq(plateau_duration(ps(75.0), ps(60.0)), ps(90.0), 1e-12));
+        assert!(approx_eq(
+            plateau_duration(ps(75.0), ps(60.0)),
+            ps(90.0),
+            1e-12
+        ));
         assert_eq!(plateau_duration(0.0, 0.0), 0.0);
     }
 

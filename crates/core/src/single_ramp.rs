@@ -106,7 +106,11 @@ mod tests {
             assert!(approx_eq(src.value_at(t), m.value_at(t), 1e-9));
         }
         let w = m.to_waveform(ps(600.0), 600);
-        assert!(approx_eq(w.slew_10_90(1.8, true).unwrap(), m.slew_10_90(), 1e-2));
+        assert!(approx_eq(
+            w.slew_10_90(1.8, true).unwrap(),
+            m.slew_10_90(),
+            1e-2
+        ));
     }
 
     #[test]

@@ -96,10 +96,7 @@ impl TwoRampModel {
     /// simulation, padded with a flat tail up to `t_stop`.
     pub fn to_source(&self, t_stop: f64) -> SourceWaveform {
         let mut pts = vec![(0.0, 0.0), (self.start_time.max(0.0), 0.0)];
-        pts.push((
-            self.start_time + self.breakpoint_time(),
-            self.f * self.vdd,
-        ));
+        pts.push((self.start_time + self.breakpoint_time(), self.f * self.vdd));
         pts.push((self.start_time + self.end_time(), self.vdd));
         if t_stop > self.start_time + self.end_time() {
             pts.push((t_stop, self.vdd));
@@ -144,7 +141,11 @@ mod tests {
         let m = model();
         assert_eq!(m.value_at(ps(50.0)), 0.0);
         // Midway through the first ramp.
-        assert!(approx_eq(m.value_at(ps(100.0) + ps(15.0)), 1.8 * 15.0 / 60.0, 1e-12));
+        assert!(approx_eq(
+            m.value_at(ps(100.0) + ps(15.0)),
+            1.8 * 15.0 / 60.0,
+            1e-12
+        ));
         // At the breakpoint: f*vdd.
         assert!(approx_eq(m.value_at(ps(100.0) + ps(30.0)), 0.9, 1e-12));
         // End of the transition: vdd, then saturated.
@@ -200,7 +201,15 @@ mod tests {
     fn pwl_source_matches_the_analytic_waveform() {
         let m = model();
         let src = m.to_source(ps(1000.0));
-        for &t in &[0.0, ps(90.0), ps(115.0), ps(130.0), ps(200.0), ps(400.0), ps(900.0)] {
+        for &t in &[
+            0.0,
+            ps(90.0),
+            ps(115.0),
+            ps(130.0),
+            ps(200.0),
+            ps(400.0),
+            ps(900.0),
+        ] {
             assert!(
                 approx_eq(src.value_at(t), m.value_at(t), 1e-9),
                 "t = {t}: {} vs {}",

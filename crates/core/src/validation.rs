@@ -91,8 +91,8 @@ impl GoldenWaveforms {
             case.c_load,
             OutputTransition::Rising,
         );
-        let result = TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop))
-            .run(&ckt)?;
+        let result =
+            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
         let input = result.waveform(nodes.input);
         let near = result.waveform(nodes.output);
         let far = result.waveform(nodes.far_end);
@@ -278,7 +278,7 @@ mod tests {
         let cell =
             DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
         let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
         let modeler = DriverOutputModeler::new(ModelingConfig {
             extract_rs_per_case: false,
             ..ModelingConfig::default()
@@ -311,7 +311,7 @@ mod tests {
         let cell =
             DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests()).unwrap();
         let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
-        let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
         let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::coarse_for_tests()).unwrap();
         let vdd = golden.vdd;
         let t40 = golden.near.crossing_fraction(0.4, vdd, true).unwrap();

@@ -223,45 +223,50 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod sweep_tests {
     use super::*;
-    use proptest::prelude::*;
     use rlc_numeric::units::{mm, um};
 
-    proptest! {
-        /// Over the paper's sweep range the extracted line is always
-        /// physically sensible: positive parasitics, Z0 in the tens of ohms,
-        /// time of flight far below 1 ns.
-        #[test]
-        fn extracted_lines_are_physical(
-            length_mm in 1.0f64..7.0,
-            width_um in 0.8f64..3.5,
-        ) {
-            let line = EmpiricalExtractor::cmos018()
-                .extract(&WireGeometry::new(mm(length_mm), um(width_um)));
-            prop_assert!(line.resistance() > 0.0);
-            prop_assert!(line.characteristic_impedance() > 30.0);
-            prop_assert!(line.characteristic_impedance() < 120.0);
-            prop_assert!(line.time_of_flight() < 0.2e-9);
-        }
+    const LENGTHS_MM: [f64; 5] = [1.0, 2.5, 4.0, 5.5, 6.9];
+    const WIDTHS_UM: [f64; 5] = [0.8, 1.4, 2.0, 2.7, 3.4];
 
-        /// The two extraction back-ends never disagree by more than ~2x over
-        /// the calibrated range (they model the same physical stack).
-        #[test]
-        fn backends_stay_within_2x(
-            length_mm in 1.0f64..7.0,
-            width_um in 0.8f64..3.5,
-        ) {
-            let geom = WireGeometry::new(mm(length_mm), um(width_um));
-            let e = EmpiricalExtractor::cmos018().extract(&geom);
-            let p = PhysicalExtractor::cmos018().extract(&geom);
-            for (a, b) in [
-                (e.resistance(), p.resistance()),
-                (e.capacitance(), p.capacitance()),
-                (e.inductance(), p.inductance()),
-            ] {
-                let ratio = a / b;
-                prop_assert!(ratio > 0.5 && ratio < 2.0, "ratio {ratio}");
+    /// Over the paper's sweep range the extracted line is always
+    /// physically sensible: positive parasitics, Z0 in the tens of ohms,
+    /// time of flight far below 1 ns.
+    #[test]
+    fn extracted_lines_are_physical() {
+        for &length_mm in &LENGTHS_MM {
+            for &width_um in &WIDTHS_UM {
+                let line = EmpiricalExtractor::cmos018()
+                    .extract(&WireGeometry::new(mm(length_mm), um(width_um)));
+                assert!(line.resistance() > 0.0, "{length_mm} mm / {width_um} um");
+                assert!(line.characteristic_impedance() > 30.0);
+                assert!(line.characteristic_impedance() < 120.0);
+                assert!(line.time_of_flight() < 0.2e-9);
+            }
+        }
+    }
+
+    /// The two extraction back-ends never disagree by more than ~2x over
+    /// the calibrated range (they model the same physical stack).
+    #[test]
+    fn backends_stay_within_2x() {
+        for &length_mm in &LENGTHS_MM {
+            for &width_um in &WIDTHS_UM {
+                let geom = WireGeometry::new(mm(length_mm), um(width_um));
+                let e = EmpiricalExtractor::cmos018().extract(&geom);
+                let p = PhysicalExtractor::cmos018().extract(&geom);
+                for (a, b) in [
+                    (e.resistance(), p.resistance()),
+                    (e.capacitance(), p.capacitance()),
+                    (e.inductance(), p.inductance()),
+                ] {
+                    let ratio = a / b;
+                    assert!(
+                        ratio > 0.5 && ratio < 2.0,
+                        "{length_mm} mm / {width_um} um: ratio {ratio}"
+                    );
+                }
             }
         }
     }

@@ -187,8 +187,16 @@ mod tests {
     #[test]
     fn derived_quantities_match_hand_calculation() {
         let line = paper_5mm_line();
-        assert!(approx_eq(line.characteristic_impedance(), (5.14e-9f64 / 1.10e-12).sqrt(), 1e-12));
-        assert!(approx_eq(line.time_of_flight(), (5.14e-9f64 * 1.10e-12).sqrt(), 1e-12));
+        assert!(approx_eq(
+            line.characteristic_impedance(),
+            (5.14e-9f64 / 1.10e-12).sqrt(),
+            1e-12
+        ));
+        assert!(approx_eq(
+            line.time_of_flight(),
+            (5.14e-9f64 * 1.10e-12).sqrt(),
+            1e-12
+        ));
         assert!(approx_eq(line.r_per_length(), 72.44 / 5.0e-3, 1e-12));
         assert!(line.is_underdamped());
         assert!(line.attenuation() < 0.6);
@@ -213,7 +221,7 @@ mod tests {
     fn recommended_segments_has_sane_bounds() {
         let line = paper_5mm_line();
         let n = line.recommended_segments(ps(50.0));
-        assert!(n >= 10 && n <= 120);
+        assert!((10..=120).contains(&n));
         // Shorter feature times demand more segments.
         assert!(line.recommended_segments(ps(10.0)) >= n);
         // A very short line hits the lower bound.

@@ -164,38 +164,281 @@ pub fn figure6_right_case() -> FigureCase {
 }
 
 /// All 15 rows of Table 1.
+#[allow(clippy::type_complexity)] // one literal tuple row per published table row
 pub fn table1_rows() -> Vec<Table1Row> {
     // (label, len, wid, R, L, C, size, slew,
     //  hspice_d, 2r_d, 1r_d, hspice_s, 2r_s, 1r_s)
-    let raw: [(&'static str, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64, f64); 15] = [
-        ("table1: 3mm/0.8um", 3.0, 0.8, 81.8, 3.3, 0.52, 75.0, 50.0, 25.01, 24.2, 41.3, 124.1, 129.9, 61.5),
-        ("table1: 3mm/1.2um", 3.0, 1.2, 56.3, 3.2, 0.59, 75.0, 50.0, 26.44, 25.6, 56.3, 128.9, 141.1, 91.8),
-        ("table1: 3mm/1.6um", 3.0, 1.6, 43.5, 3.1, 0.66, 75.0, 50.0, 32.15, 29.9, 66.1, 135.4, 148.8, 112.1),
-        ("table1: 4mm/0.8um", 4.0, 0.8, 108.9, 4.4, 0.70, 75.0, 50.0, 25.02, 25.7, 39.1, 157.3, 163.1, 57.3),
-        ("table1: 4mm/1.2um", 4.0, 1.2, 75.0, 4.2, 0.80, 75.0, 50.0, 26.51, 27.7, 59.1, 164.4, 179.0, 97.6),
-        ("table1: 4mm/1.6um", 4.0, 1.6, 58.0, 4.1, 0.88, 75.0, 50.0, 32.69, 30.2, 74.9, 175.0, 196.0, 130.5),
-        ("table1: 5mm/1.2um", 5.0, 1.2, 93.7, 5.3, 1.00, 100.0, 100.0, 36.43, 35.6, 46.4, 192.8, 173.7, 60.0),
-        ("table1: 5mm/1.6um", 5.0, 1.6, 72.4, 5.1, 1.11, 100.0, 100.0, 39.56, 37.7, 53.0, 200.3, 204.0, 71.8),
-        ("table1: 5mm/2.0um", 5.0, 2.0, 59.7, 5.0, 1.22, 100.0, 100.0, 42.53, 39.5, 63.1, 207.6, 226.3, 90.9),
-        ("table1: 5mm/2.5um", 5.0, 2.5, 49.5, 4.8, 1.31, 100.0, 100.0, 45.26, 42.4, 78.2, 212.2, 231.8, 121.1),
-        ("table1: 6mm/1.2um", 6.0, 1.2, 112.4, 6.3, 1.19, 100.0, 100.0, 36.44, 37.0, 46.5, 222.7, 203.7, 60.1),
-        ("table1: 6mm/1.6um", 6.0, 1.6, 86.9, 6.2, 1.33, 100.0, 100.0, 39.58, 39.3, 52.4, 232.0, 235.5, 70.7),
-        ("table1: 6mm/2.0um", 6.0, 2.0, 71.6, 6.0, 1.46, 100.0, 100.0, 42.55, 41.4, 60.8, 240.9, 254.7, 86.4),
-        ("table1: 6mm/2.5um", 6.0, 2.5, 59.3, 5.8, 1.58, 100.0, 100.0, 45.29, 45.9, 75.1, 246.3, 276.9, 114.2),
-        ("table1: 6mm/3.0um", 6.0, 3.0, 51.2, 5.6, 1.80, 100.0, 100.0, 49.41, 47.8, 101.4, 261.7, 299.1, 168.4),
+    let raw: [(
+        &'static str,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+        f64,
+    ); 15] = [
+        (
+            "table1: 3mm/0.8um",
+            3.0,
+            0.8,
+            81.8,
+            3.3,
+            0.52,
+            75.0,
+            50.0,
+            25.01,
+            24.2,
+            41.3,
+            124.1,
+            129.9,
+            61.5,
+        ),
+        (
+            "table1: 3mm/1.2um",
+            3.0,
+            1.2,
+            56.3,
+            3.2,
+            0.59,
+            75.0,
+            50.0,
+            26.44,
+            25.6,
+            56.3,
+            128.9,
+            141.1,
+            91.8,
+        ),
+        (
+            "table1: 3mm/1.6um",
+            3.0,
+            1.6,
+            43.5,
+            3.1,
+            0.66,
+            75.0,
+            50.0,
+            32.15,
+            29.9,
+            66.1,
+            135.4,
+            148.8,
+            112.1,
+        ),
+        (
+            "table1: 4mm/0.8um",
+            4.0,
+            0.8,
+            108.9,
+            4.4,
+            0.70,
+            75.0,
+            50.0,
+            25.02,
+            25.7,
+            39.1,
+            157.3,
+            163.1,
+            57.3,
+        ),
+        (
+            "table1: 4mm/1.2um",
+            4.0,
+            1.2,
+            75.0,
+            4.2,
+            0.80,
+            75.0,
+            50.0,
+            26.51,
+            27.7,
+            59.1,
+            164.4,
+            179.0,
+            97.6,
+        ),
+        (
+            "table1: 4mm/1.6um",
+            4.0,
+            1.6,
+            58.0,
+            4.1,
+            0.88,
+            75.0,
+            50.0,
+            32.69,
+            30.2,
+            74.9,
+            175.0,
+            196.0,
+            130.5,
+        ),
+        (
+            "table1: 5mm/1.2um",
+            5.0,
+            1.2,
+            93.7,
+            5.3,
+            1.00,
+            100.0,
+            100.0,
+            36.43,
+            35.6,
+            46.4,
+            192.8,
+            173.7,
+            60.0,
+        ),
+        (
+            "table1: 5mm/1.6um",
+            5.0,
+            1.6,
+            72.4,
+            5.1,
+            1.11,
+            100.0,
+            100.0,
+            39.56,
+            37.7,
+            53.0,
+            200.3,
+            204.0,
+            71.8,
+        ),
+        (
+            "table1: 5mm/2.0um",
+            5.0,
+            2.0,
+            59.7,
+            5.0,
+            1.22,
+            100.0,
+            100.0,
+            42.53,
+            39.5,
+            63.1,
+            207.6,
+            226.3,
+            90.9,
+        ),
+        (
+            "table1: 5mm/2.5um",
+            5.0,
+            2.5,
+            49.5,
+            4.8,
+            1.31,
+            100.0,
+            100.0,
+            45.26,
+            42.4,
+            78.2,
+            212.2,
+            231.8,
+            121.1,
+        ),
+        (
+            "table1: 6mm/1.2um",
+            6.0,
+            1.2,
+            112.4,
+            6.3,
+            1.19,
+            100.0,
+            100.0,
+            36.44,
+            37.0,
+            46.5,
+            222.7,
+            203.7,
+            60.1,
+        ),
+        (
+            "table1: 6mm/1.6um",
+            6.0,
+            1.6,
+            86.9,
+            6.2,
+            1.33,
+            100.0,
+            100.0,
+            39.58,
+            39.3,
+            52.4,
+            232.0,
+            235.5,
+            70.7,
+        ),
+        (
+            "table1: 6mm/2.0um",
+            6.0,
+            2.0,
+            71.6,
+            6.0,
+            1.46,
+            100.0,
+            100.0,
+            42.55,
+            41.4,
+            60.8,
+            240.9,
+            254.7,
+            86.4,
+        ),
+        (
+            "table1: 6mm/2.5um",
+            6.0,
+            2.5,
+            59.3,
+            5.8,
+            1.58,
+            100.0,
+            100.0,
+            45.29,
+            45.9,
+            75.1,
+            246.3,
+            276.9,
+            114.2,
+        ),
+        (
+            "table1: 6mm/3.0um",
+            6.0,
+            3.0,
+            51.2,
+            5.6,
+            1.80,
+            100.0,
+            100.0,
+            49.41,
+            47.8,
+            101.4,
+            261.7,
+            299.1,
+            168.4,
+        ),
     ];
     raw.iter()
-        .map(|&(label, len, wid, r, l, c, size, slew, hd, d2, d1, hs, s2, s1)| Table1Row {
-            parasitics: parasitics!(label, len, wid, r, l, c),
-            driver_size: size,
-            input_slew_ps: slew,
-            hspice_delay_ps: hd,
-            two_ramp_delay_ps: d2,
-            one_ramp_delay_ps: d1,
-            hspice_slew_ps: hs,
-            two_ramp_slew_ps: s2,
-            one_ramp_slew_ps: s1,
-        })
+        .map(
+            |&(label, len, wid, r, l, c, size, slew, hd, d2, d1, hs, s2, s1)| Table1Row {
+                parasitics: parasitics!(label, len, wid, r, l, c),
+                driver_size: size,
+                input_slew_ps: slew,
+                hspice_delay_ps: hd,
+                two_ramp_delay_ps: d2,
+                one_ramp_delay_ps: d1,
+                hspice_slew_ps: hs,
+                two_ramp_slew_ps: s2,
+                one_ramp_slew_ps: s1,
+            },
+        )
         .collect()
 }
 
@@ -281,7 +524,10 @@ mod tests {
         assert_eq!(figure5_right_case().driver_size, 100.0);
         assert_eq!(figure6_left_case().driver_size, 25.0);
         assert_eq!(figure6_right_case().parasitics.width_um, 0.8);
-        assert_eq!(figure4_case().parasitics.label, figure3_case().parasitics.label);
+        assert_eq!(
+            figure4_case().parasitics.label,
+            figure3_case().parasitics.label
+        );
     }
 
     #[test]

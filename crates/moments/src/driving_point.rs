@@ -41,7 +41,10 @@ const TANH_SQRT_OVER_SQRT: [f64; 8] = [
 /// # Panics
 /// Panics if `n_moments` is 0 or larger than 8, or if `c_load < 0`.
 pub fn distributed_admittance_moments(line: &RlcLine, c_load: f64, n_moments: usize) -> Vec<f64> {
-    assert!(n_moments >= 1 && n_moments <= 8, "supported moment count is 1..=8");
+    assert!(
+        (1..=8).contains(&n_moments),
+        "supported moment count is 1..=8"
+    );
     assert!(c_load >= 0.0, "load capacitance must be non-negative");
     let n_terms = n_moments + 1; // series order includes s^0
 
@@ -115,7 +118,10 @@ pub fn ladder_admittance_moments(
     n_moments: usize,
 ) -> Vec<f64> {
     assert!(segments > 0, "need at least one segment");
-    assert!(n_moments >= 1 && n_moments <= 8, "supported moment count is 1..=8");
+    assert!(
+        (1..=8).contains(&n_moments),
+        "supported moment count is 1..=8"
+    );
     assert!(c_load >= 0.0, "load capacitance must be non-negative");
     let n_terms = n_moments + 1;
 
@@ -249,45 +255,53 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod sweep_tests {
     use super::*;
-    use proptest::prelude::*;
     use rlc_numeric::units::{mm, nh, pf};
 
-    proptest! {
-        /// The lumped-ladder and distributed computations agree for any line
-        /// in the paper's parameter range once the ladder is fine enough.
-        #[test]
-        fn ladder_and_distributed_agree(
-            r in 20.0f64..150.0,
-            l_nh in 1.0f64..8.0,
-            c_pf in 0.3f64..2.0,
-            cl_ff in 0.0f64..200.0,
-        ) {
-            let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(5.0));
-            let exact = distributed_admittance_moments(&line, cl_ff * 1e-15, 5);
-            let ladder = ladder_admittance_moments(&line, cl_ff * 1e-15, 200, 5);
-            for k in 0..5 {
-                let scale = exact[k].abs().max(1e-40);
-                prop_assert!(
-                    ((ladder[k] - exact[k]) / scale).abs() < 1e-2,
-                    "moment {} mismatch: {} vs {}", k, ladder[k], exact[k]
-                );
+    /// The lumped-ladder and distributed computations agree for any line
+    /// in the paper's parameter range once the ladder is fine enough.
+    #[test]
+    fn ladder_and_distributed_agree() {
+        for r in [20.0, 72.44, 149.0] {
+            for l_nh in [1.0, 5.14, 7.9] {
+                for c_pf in [0.3, 1.1, 1.9] {
+                    for cl_ff in [0.0, 60.0, 199.0] {
+                        let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(5.0));
+                        let exact = distributed_admittance_moments(&line, cl_ff * 1e-15, 5);
+                        let ladder = ladder_admittance_moments(&line, cl_ff * 1e-15, 200, 5);
+                        for k in 0..5 {
+                            let scale = exact[k].abs().max(1e-40);
+                            assert!(
+                                ((ladder[k] - exact[k]) / scale).abs() < 1e-2,
+                                "r={r} l={l_nh} c={c_pf} cl={cl_ff} moment {k}: {} vs {}",
+                                ladder[k],
+                                exact[k]
+                            );
+                        }
+                    }
+                }
             }
         }
+    }
 
-        /// m1 equals total capacitance for arbitrary loads.
-        #[test]
-        fn m1_is_total_capacitance(
-            r in 20.0f64..150.0,
-            l_nh in 1.0f64..8.0,
-            c_pf in 0.3f64..2.0,
-            cl_ff in 0.0f64..500.0,
-        ) {
-            let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(3.0));
-            let m = distributed_admittance_moments(&line, cl_ff * 1e-15, 2);
-            let total = c_pf * 1e-12 + cl_ff * 1e-15;
-            prop_assert!(((m[0] - total) / total).abs() < 1e-9);
+    /// m1 equals total capacitance for arbitrary loads.
+    #[test]
+    fn m1_is_total_capacitance() {
+        for r in [20.0, 85.0, 149.0] {
+            for l_nh in [1.0, 4.2, 7.9] {
+                for c_pf in [0.3, 1.1, 1.9] {
+                    for cl_ff in [1.0, 120.0, 499.0] {
+                        let line = RlcLine::new(r, nh(l_nh), pf(c_pf), mm(3.0));
+                        let m = distributed_admittance_moments(&line, cl_ff * 1e-15, 2);
+                        let total = c_pf * 1e-12 + cl_ff * 1e-15;
+                        assert!(
+                            ((m[0] - total) / total).abs() < 1e-9,
+                            "r={r} l={l_nh} c={c_pf} cl={cl_ff}"
+                        );
+                    }
+                }
+            }
         }
     }
 }

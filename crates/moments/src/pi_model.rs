@@ -68,6 +68,26 @@ impl PiModel {
         self.c_near + self.c_far
     }
 
+    /// The exact rational driving-point admittance of the pi network:
+    ///
+    /// ```text
+    /// Y(s) = s C_near + s C_far / (1 + s R C_far)
+    ///      = ((C_near + C_far) s + R C_near C_far s²) / (1 + R C_far s)
+    /// ```
+    ///
+    /// This lets a pi load enter the paper's charge-matching flow directly,
+    /// without a moment fit (which is degenerate for single-pole loads).
+    pub fn admittance(&self) -> crate::RationalAdmittance {
+        crate::RationalAdmittance::from_coefficients(
+            self.c_near + self.c_far,
+            self.resistance * self.c_near * self.c_far,
+            0.0,
+            self.resistance * self.c_far,
+            0.0,
+        )
+        .expect("a physical pi model always has a valid rational admittance")
+    }
+
     /// First three admittance moments of the pi model (for round-trip tests).
     pub fn moments(&self) -> [f64; 3] {
         let m1 = self.c_near + self.c_far;
@@ -205,8 +225,7 @@ mod tests {
         };
         let base = RcCeffBaseline::new(pi);
         // A simple "cell table": ramp time grows affinely with load.
-        let (ceff, ramp, iters) =
-            base.iterate(|c| ps(20.0) + c / 1e-12 * ps(120.0), 1e-9, 100);
+        let (ceff, ramp, iters) = base.iterate(|c| ps(20.0) + c / 1e-12 * ps(120.0), 1e-9, 100);
         assert!(iters < 100);
         assert!(ceff > pi.c_near && ceff < pi.total_capacitance());
         // Self-consistency: the returned ramp corresponds to the returned ceff.

@@ -179,6 +179,7 @@ impl Mul<Complex> for f64 {
 
 impl Div for Complex {
     type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via the reciprocal is the point
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }
@@ -231,7 +232,13 @@ mod tests {
 
     #[test]
     fn sqrt_roundtrips() {
-        for &(re, im) in &[(4.0, 0.0), (-4.0, 0.0), (3.0, 4.0), (-3.0, -4.0), (0.0, 2.0)] {
+        for &(re, im) in &[
+            (4.0, 0.0),
+            (-4.0, 0.0),
+            (3.0, 4.0),
+            (-3.0, -4.0),
+            (0.0, 2.0),
+        ] {
             let z = Complex::new(re, im);
             let r = z.sqrt();
             let back = r * r;

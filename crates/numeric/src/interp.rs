@@ -139,7 +139,11 @@ mod tests {
             .map(|&x| ya.iter().map(|&y| 2.0 * x + 3.0 * y).collect())
             .collect();
         for &(x, y) in &[(0.5, 0.5), (1.5, 0.25), (2.5, 1.5), (-0.5, 0.0)] {
-            assert!(approx_eq(interp2(&xa, &ya, &grid, x, y), 2.0 * x + 3.0 * y, 1e-12));
+            assert!(approx_eq(
+                interp2(&xa, &ya, &grid, x, y),
+                2.0 * x + 3.0 * y,
+                1e-12
+            ));
         }
     }
 

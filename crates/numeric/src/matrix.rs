@@ -127,9 +127,9 @@ impl DenseMatrix {
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![0.0; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+            *yi = row.iter().zip(x).map(|(a, b)| a * b).sum();
         }
         y
     }
@@ -217,6 +217,7 @@ impl LuFactors {
     ///
     /// # Panics
     /// Panics if `b.len()` does not match the factorized dimension.
+    #[allow(clippy::needless_range_loop)] // textbook triangular-solve indexing
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n);
         let n = self.n;
@@ -320,33 +321,42 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod sweep_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    proptest! {
-        /// Solving a random diagonally-dominant system and multiplying back
-        /// reproduces the right-hand side.
-        #[test]
-        fn solve_then_multiply_roundtrips(
-            n in 1usize..8,
-            seed in prop::collection::vec(-1.0f64..1.0, 64 + 8)
-        ) {
-            let mut a = DenseMatrix::zeros(n, n);
-            let mut idx = 0;
-            for i in 0..n {
-                for j in 0..n {
-                    a.set(i, j, seed[idx % seed.len()]);
-                    idx += 1;
+    /// Deterministic pseudo-random stream in `[-1, 1)`.
+    fn pseudo_random(seed: u64) -> impl FnMut() -> f64 {
+        let mut unit = crate::splitmix_stream(seed);
+        move || unit() * 2.0 - 1.0
+    }
+
+    /// Solving a pseudo-random diagonally-dominant system and multiplying
+    /// back reproduces the right-hand side, for every size in 1..8 and many
+    /// seeds.
+    #[test]
+    fn solve_then_multiply_roundtrips() {
+        for n in 1usize..8 {
+            for seed in 0..16u64 {
+                let mut next = pseudo_random(seed.wrapping_mul(0x5851_f42d) + n as u64);
+                let mut a = DenseMatrix::zeros(n, n);
+                for i in 0..n {
+                    for j in 0..n {
+                        a.set(i, j, next());
+                    }
+                    // make it diagonally dominant so it is well conditioned
+                    a.add_at(i, i, 10.0);
                 }
-                // make it diagonally dominant so it is well conditioned
-                a.add_at(i, i, 10.0);
-            }
-            let b: Vec<f64> = seed[..n].to_vec();
-            let x = a.solve(&b).unwrap();
-            let back = a.mul_vec(&x);
-            for i in 0..n {
-                prop_assert!((back[i] - b[i]).abs() < 1e-8);
+                let b: Vec<f64> = (0..n).map(|_| next()).collect();
+                let x = a.solve(&b).unwrap();
+                let back = a.mul_vec(&x);
+                for i in 0..n {
+                    assert!(
+                        (back[i] - b[i]).abs() < 1e-8,
+                        "n={n} seed={seed} row {i}: {} vs {}",
+                        back[i],
+                        b[i]
+                    );
+                }
             }
         }
     }

@@ -15,7 +15,10 @@
 /// assert!((v - 1.0 / 3.0).abs() < 1e-10);
 /// ```
 pub fn simpson<F: Fn(f64) -> f64>(f: F, a: f64, b: f64, n: usize) -> f64 {
-    assert!(n >= 2 && n % 2 == 0, "simpson needs an even, positive panel count");
+    assert!(
+        n >= 2 && n.is_multiple_of(2),
+        "simpson needs an even, positive panel count"
+    );
     assert!(b >= a, "integration bounds must be ordered");
     if a == b {
         return 0.0;
@@ -38,6 +41,7 @@ pub fn adaptive_simpson<F: Fn(f64) -> f64 + Copy>(f: F, a: f64, b: f64, tol: f64
     if a == b {
         return 0.0;
     }
+    #[allow(clippy::too_many_arguments)]
     fn recurse<F: Fn(f64) -> f64 + Copy>(
         f: F,
         a: f64,
@@ -132,7 +136,9 @@ mod tests {
         // closed form of \int e^{a t} cos(b t) dt
         let closed = {
             let d = alpha * alpha + beta * beta;
-            let f = |t: f64| (alpha * t).exp() * (alpha * (beta * t).cos() + beta * (beta * t).sin()) / d;
+            let f = |t: f64| {
+                (alpha * t).exp() * (alpha * (beta * t).cos() + beta * (beta * t).sin()) / d
+            };
             f(t_end) - f(0.0)
         };
         assert!(approx_eq(numeric, closed, 1e-7));

@@ -57,7 +57,13 @@ pub struct RootResult {
 ///
 /// # Panics
 /// Panics if `f(lo)` and `f(hi)` have the same sign.
-pub fn bisect<F: FnMut(f64) -> f64>(mut f: F, mut lo: f64, mut hi: f64, tol: f64, max_iter: usize) -> RootResult {
+pub fn bisect<F: FnMut(f64) -> f64>(
+    mut f: F,
+    mut lo: f64,
+    mut hi: f64,
+    tol: f64,
+    max_iter: usize,
+) -> RootResult {
     let mut flo = f(lo);
     let fhi = f(hi);
     assert!(

@@ -177,9 +177,7 @@ impl PowerSeries {
     pub fn mul_s(&self) -> Self {
         let n = self.coeffs.len();
         let mut coeffs = vec![0.0; n];
-        for k in 1..n {
-            coeffs[k] = self.coeffs[k - 1];
-        }
+        coeffs[1..n].copy_from_slice(&self.coeffs[..n - 1]);
         Self { coeffs }
     }
 
@@ -289,47 +287,68 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod sweep_tests {
     use super::*;
-    use proptest::prelude::*;
 
-    fn series_strategy(n: usize) -> impl Strategy<Value = PowerSeries> {
-        // keep the constant term away from zero so recip() is defined
-        (
-            prop::collection::vec(-5.0f64..5.0, n - 1),
-            prop_oneof![0.2f64..5.0, -5.0f64..-0.2],
-        )
-            .prop_map(|(mut tail, c0)| {
-                let mut v = vec![c0];
-                v.append(&mut tail);
-                PowerSeries::new(v)
-            })
+    /// Deterministic pseudo-random series with `n` coefficients in `[-5, 5)`
+    /// whose constant term is kept away from zero so `recip()` is defined —
+    /// a dependency-free stand-in for property-based generation.
+    fn pseudo_series(seed: u64, n: usize) -> PowerSeries {
+        let mut unit = crate::splitmix_stream(seed);
+        let mut next = move || unit() * 10.0 - 5.0;
+        let mut v: Vec<f64> = (0..n).map(|_| next()).collect();
+        // keep the constant term in ±[0.2, 5.0]
+        let c0 = v[0];
+        let magnitude = c0.abs().clamp(0.2, 5.0);
+        v[0] = if c0 < 0.0 { -magnitude } else { magnitude };
+        PowerSeries::new(v)
     }
 
-    proptest! {
-        #[test]
-        fn mul_is_commutative(a in series_strategy(6), b in series_strategy(6)) {
+    #[test]
+    fn mul_is_commutative() {
+        for seed in 0..32u64 {
+            let a = pseudo_series(seed * 2 + 1, 6);
+            let b = pseudo_series(seed * 2 + 2, 6);
             let ab = a.mul(&b);
             let ba = b.mul(&a);
             for k in 0..6 {
-                prop_assert!((ab.coeff(k) - ba.coeff(k)).abs() < 1e-9);
+                assert!(
+                    (ab.coeff(k) - ba.coeff(k)).abs() < 1e-9,
+                    "seed {seed} k {k}"
+                );
             }
         }
+    }
 
-        #[test]
-        fn recip_is_involutive(a in series_strategy(6)) {
+    #[test]
+    fn recip_is_involutive() {
+        for seed in 0..32u64 {
+            let a = pseudo_series(seed + 100, 6);
             let back = a.recip().recip();
             for k in 0..6 {
-                prop_assert!((back.coeff(k) - a.coeff(k)).abs() < 1e-6 * (1.0 + a.coeff(k).abs()));
+                assert!(
+                    (back.coeff(k) - a.coeff(k)).abs() < 1e-6 * (1.0 + a.coeff(k).abs()),
+                    "seed {seed} k {k}: {} vs {}",
+                    back.coeff(k),
+                    a.coeff(k)
+                );
             }
         }
+    }
 
-        #[test]
-        fn distributive_law(a in series_strategy(5), b in series_strategy(5), c in series_strategy(5)) {
+    #[test]
+    fn distributive_law() {
+        for seed in 0..32u64 {
+            let a = pseudo_series(seed * 3 + 1, 5);
+            let b = pseudo_series(seed * 3 + 2, 5);
+            let c = pseudo_series(seed * 3 + 3, 5);
             let lhs = a.mul(&b.add(&c));
             let rhs = a.mul(&b).add(&a.mul(&c));
             for k in 0..5 {
-                prop_assert!((lhs.coeff(k) - rhs.coeff(k)).abs() < 1e-8);
+                assert!(
+                    (lhs.coeff(k) - rhs.coeff(k)).abs() < 1e-8,
+                    "seed {seed} k {k}"
+                );
             }
         }
     }

@@ -121,7 +121,10 @@ impl Circuit {
     /// # Panics
     /// Panics if `farads <= 0`.
     pub fn add_capacitor(&mut self, name: &str, a: NodeId, b: NodeId, farads: f64) {
-        assert!(farads > 0.0, "capacitor {name} must have positive capacitance");
+        assert!(
+            farads > 0.0,
+            "capacitor {name} must have positive capacitance"
+        );
         self.elements.push(Element::Capacitor {
             name: name.to_string(),
             a,
@@ -135,7 +138,10 @@ impl Circuit {
     /// # Panics
     /// Panics if `henries <= 0`.
     pub fn add_inductor(&mut self, name: &str, a: NodeId, b: NodeId, henries: f64) {
-        assert!(henries > 0.0, "inductor {name} must have positive inductance");
+        assert!(
+            henries > 0.0,
+            "inductor {name} must have positive inductance"
+        );
         self.elements.push(Element::Inductor {
             name: name.to_string(),
             a,

@@ -95,9 +95,7 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcSol
         }
         // Branch currents follow the voltage solution directly once voltages
         // have settled; take them unclamped.
-        for k in n_voltages..n {
-            x_next[k] = x_new[k];
-        }
+        x_next[n_voltages..n].copy_from_slice(&x_new[n_voltages..n]);
 
         x = x_next;
         last_delta = max_delta;
@@ -137,7 +135,11 @@ mod tests {
         assert!(approx_eq(sol.voltage(b), 0.45, 1e-6));
         assert!(approx_eq(sol.voltage(a), 1.8, 1e-9));
         // delivered current = 1.8 / 4k = 0.45 mA, reported as -0.45 mA
-        assert!(approx_eq(sol.vsource_current("V1").unwrap(), -0.45e-3, 1e-6));
+        assert!(approx_eq(
+            sol.vsource_current("V1").unwrap(),
+            -0.45e-3,
+            1e-6
+        ));
     }
 
     #[test]
@@ -149,7 +151,14 @@ mod tests {
         ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(1.8));
         ckt.add_vsource("VIN", vin, Circuit::GROUND, SourceWaveform::dc(1.8));
         ckt.add_mosfet("MP", vout, vin, vdd, MosfetParams::pmos_018(), 54e-6);
-        ckt.add_mosfet("MN", vout, vin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_mosfet(
+            "MN",
+            vout,
+            vin,
+            Circuit::GROUND,
+            MosfetParams::nmos_018(),
+            27e-6,
+        );
         ckt.add_capacitor("CL", vout, Circuit::GROUND, 10e-15);
         let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
         assert!(sol.voltage(vout) < 0.05, "out = {}", sol.voltage(vout));
@@ -164,7 +173,14 @@ mod tests {
         ckt.add_vsource("VDD", vdd, Circuit::GROUND, SourceWaveform::dc(1.8));
         ckt.add_vsource("VIN", vin, Circuit::GROUND, SourceWaveform::dc(0.0));
         ckt.add_mosfet("MP", vout, vin, vdd, MosfetParams::pmos_018(), 54e-6);
-        ckt.add_mosfet("MN", vout, vin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_mosfet(
+            "MN",
+            vout,
+            vin,
+            Circuit::GROUND,
+            MosfetParams::nmos_018(),
+            27e-6,
+        );
         ckt.add_capacitor("CL", vout, Circuit::GROUND, 10e-15);
         let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
         assert!(sol.voltage(vout) > 1.75, "out = {}", sol.voltage(vout));

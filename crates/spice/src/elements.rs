@@ -110,7 +110,10 @@ impl Element {
             Element::VoltageSource { pos, neg, .. } => vec![*pos, *neg],
             Element::CurrentSource { from, to, .. } => vec![*from, *to],
             Element::Mosfet {
-                drain, gate, source, ..
+                drain,
+                gate,
+                source,
+                ..
             } => vec![*drain, *gate, *source],
         }
     }

@@ -379,7 +379,13 @@ impl MnaSystem {
 
     /// Stamps the `+1/-1` pattern shared by ideal voltage sources, DC
     /// inductor shorts and the voltage part of inductor branch equations.
-    fn stamp_branch_voltage_rows(&self, m: &mut DenseMatrix, pos: usize, neg: usize, branch: usize) {
+    fn stamp_branch_voltage_rows(
+        &self,
+        m: &mut DenseMatrix,
+        pos: usize,
+        neg: usize,
+        branch: usize,
+    ) {
         if pos != 0 {
             m.add_at(pos - 1, branch, 1.0);
             m.add_at(branch, pos - 1, 1.0);

@@ -155,7 +155,11 @@ pub fn eval_alpha_power(params: &MosfetParams, w: f64, vgs: f64, vds: f64) -> Mo
         // with dx/dVgs = -Vds/Vdsat^2 * dVdsat/dVgs.
         let dx_dvgs = -vds / (vdsat * vdsat) * dvdsat_dvgs;
         let gm = didsat_dvgs * shape + idsat * dshape_dx * dx_dvgs;
-        MosfetEval { id, gm: gm.max(0.0), gds }
+        MosfetEval {
+            id,
+            gm: gm.max(0.0),
+            gds,
+        }
     }
 }
 

@@ -45,21 +45,13 @@ impl SourceWaveform {
     /// A saturated rising ramp from 0 to `vdd`, starting at `delay` and taking
     /// `transition` seconds (0 % to 100 %).
     pub fn rising_ramp(vdd: f64, delay: f64, transition: f64) -> Self {
-        SourceWaveform::Pwl(vec![
-            (0.0, 0.0),
-            (delay, 0.0),
-            (delay + transition, vdd),
-        ])
+        SourceWaveform::Pwl(vec![(0.0, 0.0), (delay, 0.0), (delay + transition, vdd)])
     }
 
     /// A saturated falling ramp from `vdd` to 0, starting at `delay` and taking
     /// `transition` seconds (100 % to 0 %).
     pub fn falling_ramp(vdd: f64, delay: f64, transition: f64) -> Self {
-        SourceWaveform::Pwl(vec![
-            (0.0, vdd),
-            (delay, vdd),
-            (delay + transition, 0.0),
-        ])
+        SourceWaveform::Pwl(vec![(0.0, vdd), (delay, vdd), (delay + transition, 0.0)])
     }
 
     /// A piecewise-linear source from `(time, value)` points.

@@ -100,7 +100,12 @@ pub fn add_inverter_driver(
     let in_node = ckt.node("in");
     let out_node = ckt.node("out");
 
-    ckt.add_vsource("VDD", vdd_node, Circuit::GROUND, SourceWaveform::dc(spec.vdd));
+    ckt.add_vsource(
+        "VDD",
+        vdd_node,
+        Circuit::GROUND,
+        SourceWaveform::dc(spec.vdd),
+    );
     let input_wave = match transition {
         OutputTransition::Rising => {
             SourceWaveform::falling_ramp(spec.vdd, input_delay, input_transition_time)
@@ -110,8 +115,22 @@ pub fn add_inverter_driver(
         }
     };
     ckt.add_vsource("VIN", in_node, Circuit::GROUND, input_wave);
-    ckt.add_mosfet("MP", out_node, in_node, vdd_node, spec.pmos, spec.pmos_width);
-    ckt.add_mosfet("MN", out_node, in_node, Circuit::GROUND, spec.nmos, spec.nmos_width);
+    ckt.add_mosfet(
+        "MP",
+        out_node,
+        in_node,
+        vdd_node,
+        spec.pmos,
+        spec.pmos_width,
+    );
+    ckt.add_mosfet(
+        "MN",
+        out_node,
+        in_node,
+        Circuit::GROUND,
+        spec.nmos,
+        spec.nmos_width,
+    );
 
     let (vin0, vout0) = match transition {
         OutputTransition::Rising => (spec.vdd, 0.0),
@@ -137,6 +156,7 @@ pub fn add_inverter_driver(
 ///
 /// # Panics
 /// Panics if `segments == 0` or any parasitic is negative.
+#[allow(clippy::too_many_arguments)]
 pub fn add_rlc_ladder(
     ckt: &mut Circuit,
     near: NodeId,
@@ -156,7 +176,12 @@ pub fn add_rlc_ladder(
 
     // Near-end half capacitor.
     if cs > 0.0 {
-        ckt.add_capacitor(&format!("{name_prefix}_C0"), near, Circuit::GROUND, 0.5 * cs);
+        ckt.add_capacitor(
+            &format!("{name_prefix}_C0"),
+            near,
+            Circuit::GROUND,
+            0.5 * cs,
+        );
     }
     let mut prev = near;
     for k in 0..segments {
@@ -175,7 +200,12 @@ pub fn add_rlc_ladder(
         // Interior nodes carry a full section capacitance, the far end a half.
         let shunt = if k + 1 == segments { 0.5 * cs } else { cs };
         if shunt > 0.0 {
-            ckt.add_capacitor(&format!("{name_prefix}_C{}", k + 1), next, Circuit::GROUND, shunt);
+            ckt.add_capacitor(
+                &format!("{name_prefix}_C{}", k + 1),
+                next,
+                Circuit::GROUND,
+                shunt,
+            );
         }
         ckt.set_initial_condition(mid, v_initial);
         ckt.set_initial_condition(next, v_initial);
@@ -197,7 +227,13 @@ pub fn inverter_with_cap_load(
     transition: OutputTransition,
 ) -> (Circuit, DriverTestbenchNodes) {
     let mut ckt = Circuit::new();
-    let nodes = add_inverter_driver(&mut ckt, spec, input_transition_time, input_delay, transition);
+    let nodes = add_inverter_driver(
+        &mut ckt,
+        spec,
+        input_transition_time,
+        input_delay,
+        transition,
+    );
     if c_load > 0.0 {
         ckt.add_capacitor("CLOAD", nodes.output, Circuit::GROUND, c_load);
     }
@@ -219,13 +255,28 @@ pub fn inverter_with_rlc_line(
     transition: OutputTransition,
 ) -> (Circuit, DriverTestbenchNodes) {
     let mut ckt = Circuit::new();
-    let mut nodes =
-        add_inverter_driver(&mut ckt, spec, input_transition_time, input_delay, transition);
+    let mut nodes = add_inverter_driver(
+        &mut ckt,
+        spec,
+        input_transition_time,
+        input_delay,
+        transition,
+    );
     let v_init = match transition {
         OutputTransition::Rising => 0.0,
         OutputTransition::Falling => spec.vdd,
     };
-    let far = add_rlc_ladder(&mut ckt, nodes.output, r, l, c, segments, c_load, v_init, "line");
+    let far = add_rlc_ladder(
+        &mut ckt,
+        nodes.output,
+        r,
+        l,
+        c,
+        segments,
+        c_load,
+        v_init,
+        "line",
+    );
     nodes.far_end = far;
     (ckt, nodes)
 }
@@ -277,8 +328,13 @@ mod tests {
     #[test]
     fn cap_load_testbench_swings_rail_to_rail() {
         let spec = InverterSpec::sized_018(25.0);
-        let (ckt, nodes) =
-            inverter_with_cap_load(&spec, ps(100.0), ps(20.0), ff(200.0), OutputTransition::Rising);
+        let (ckt, nodes) = inverter_with_cap_load(
+            &spec,
+            ps(100.0),
+            ps(20.0),
+            ff(200.0),
+            OutputTransition::Rising,
+        );
         let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(800.0)))
             .run(&ckt)
             .unwrap();
@@ -290,8 +346,13 @@ mod tests {
     #[test]
     fn falling_transition_testbench_discharges_output() {
         let spec = InverterSpec::sized_018(25.0);
-        let (ckt, nodes) =
-            inverter_with_cap_load(&spec, ps(100.0), ps(20.0), ff(200.0), OutputTransition::Falling);
+        let (ckt, nodes) = inverter_with_cap_load(
+            &spec,
+            ps(100.0),
+            ps(20.0),
+            ff(200.0),
+            OutputTransition::Falling,
+        );
         let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(800.0)))
             .run(&ckt)
             .unwrap();
@@ -324,7 +385,10 @@ mod tests {
         assert!(far.last_value() > 0.95 * spec.vdd);
         let t_near = near.crossing_fraction(0.5, spec.vdd, true).unwrap();
         let t_far = far.crossing_fraction(0.5, spec.vdd, true).unwrap();
-        assert!(t_far > t_near, "far end must switch later than the near end");
+        assert!(
+            t_far > t_near,
+            "far end must switch later than the near end"
+        );
         // The far-end lag must be at least in the vicinity of the time of
         // flight sqrt(LC) ~ 75 ps.
         assert!(t_far - t_near > ps(40.0));

@@ -179,7 +179,9 @@ impl TransientAnalysis {
             }
             x0
         } else {
-            dc_operating_point(circuit, DcOptions::default())?.raw().to_vec()
+            dc_operating_point(circuit, DcOptions::default())?
+                .raw()
+                .to_vec()
         };
 
         let mut cap_currents = vec![0.0; system.num_capacitors()];
@@ -357,7 +359,14 @@ mod tests {
             SourceWaveform::falling_ramp(vdd, ps(20.0), ps(100.0)),
         );
         ckt.add_mosfet("MP", nout, nin, nvdd, MosfetParams::pmos_018(), 54e-6);
-        ckt.add_mosfet("MN", nout, nin, Circuit::GROUND, MosfetParams::nmos_018(), 27e-6);
+        ckt.add_mosfet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            MosfetParams::nmos_018(),
+            27e-6,
+        );
         ckt.add_capacitor("CL", nout, Circuit::GROUND, ff(500.0));
         ckt.set_initial_condition(nin, vdd);
         ckt.set_initial_condition(nout, 0.0);
@@ -398,7 +407,8 @@ mod tests {
         .unwrap()
         .waveform(b);
         let be = TransientAnalysis::new(
-            TransientOptions::new(ps(0.25), ps(600.0)).with_method(IntegrationMethod::BackwardEuler),
+            TransientOptions::new(ps(0.25), ps(600.0))
+                .with_method(IntegrationMethod::BackwardEuler),
         )
         .run(&ckt)
         .unwrap()
@@ -418,7 +428,14 @@ mod tests {
         ckt.add_vsource("VDD", nvdd, Circuit::GROUND, SourceWaveform::dc(vdd));
         ckt.add_vsource("VIN", nin, Circuit::GROUND, SourceWaveform::dc(0.0));
         ckt.add_mosfet("MP", nout, nin, nvdd, MosfetParams::pmos_018(), 10e-6);
-        ckt.add_mosfet("MN", nout, nin, Circuit::GROUND, MosfetParams::nmos_018(), 5e-6);
+        ckt.add_mosfet(
+            "MN",
+            nout,
+            nin,
+            Circuit::GROUND,
+            MosfetParams::nmos_018(),
+            5e-6,
+        );
         ckt.add_capacitor("CL", nout, Circuit::GROUND, ff(50.0));
         let res = TransientAnalysis::new(TransientOptions::new(ps(1.0), ps(50.0)))
             .run(&ckt)

@@ -1,19 +1,21 @@
-//! Bus timing sweep: size a global bus repeater against wire length.
+//! Bus timing sweep: size a global bus repeater against wire length, as one
+//! batched `TimingEngine::analyze_many` call.
 //!
 //! The motivating workload of the paper's introduction: long, wide global
-//! interconnect (clock spines, buses) driven by strong buffers. For a set of
-//! candidate wire lengths and driver strengths this example runs the
-//! effective-capacitance flow for every combination and prints the predicted
-//! driver-output delay, slew, the far-end delay, and whether inductance had
-//! to be modelled with two ramps — the information a designer needs to pick a
-//! repeater size and spacing.
+//! interconnect (clock spines, buses) driven by strong buffers. Every
+//! (length, driver) combination becomes one `Stage`; the engine fans the
+//! batch across worker threads and returns per-stage reports, from which the
+//! table prints the predicted driver-output delay, slew, the far-end delay,
+//! and whether inductance had to be modelled with two ramps — the
+//! information a designer needs to pick a repeater size and spacing.
 //!
 //! Run with: `cargo run --release --example bus_timing_sweep`
 
-use rlc_ceff::far_end::{FarEndOptions, FarEndResponse};
-use rlc_ceff::prelude::*;
-use rlc_charlib::prelude::*;
-use rlc_interconnect::prelude::*;
+use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+use rlc_ceff_suite::interconnect::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let lengths_mm = [2.0, 3.0, 4.0, 5.0, 6.0];
@@ -27,37 +29,62 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &d in &drivers {
         let _ = library.cell(d)?;
     }
-    let modeler = DriverOutputModeler::new(ModelingConfig::default());
-    let far_opts = FarEndOptions {
-        segments: 24,
-        time_step: ps(1.0),
-        ..FarEndOptions::default()
-    };
 
-    println!(
-        "{:>8} {:>8} {:>10} {:>12} {:>11} {:>13} {:>9}",
-        "len(mm)", "driver", "delay(ps)", "slew(ps)", "far(ps)", "model", "Ceff(fF)"
-    );
+    // One stage per (length, driver) combination.
+    let mut stages = Vec::new();
+    let mut loads = Vec::new();
     for &len in &lengths_mm {
         let line = extractor.extract(&WireGeometry::new(mm(len), um(width_um)));
         for &drv in &drivers {
             let cell = library.cell(drv)?.clone();
             // The bus drives an identical receiver at the far end.
-            let c_load = cell.input_capacitance();
-            let case = AnalysisCase::new(&cell, &line, c_load, input_slew);
-            let model = modeler.model(&case)?;
-            let far = FarEndResponse::from_model(&model, &line, c_load, &far_opts)?;
-            println!(
-                "{:>8.1} {:>7.0}x {:>10.1} {:>12.1} {:>11.1} {:>13} {:>9.1}",
-                len,
-                drv,
-                model.delay() * 1e12,
-                model.slew() * 1e12,
-                far.delay_from_input * 1e12,
-                if model.is_two_ramp() { "two-ramp" } else { "one-ramp" },
-                model.ceff1.ceff * 1e15
+            let load = DistributedRlcLoad::new(line, cell.input_capacitance())?;
+            loads.push(load);
+            stages.push(
+                Stage::builder(cell, load)
+                    .label(format!("{len:.1}mm/{drv:.0}X"))
+                    .input_slew(input_slew)
+                    .build()?,
             );
         }
+    }
+
+    let engine = TimingEngine::new(EngineConfig::default());
+    let batch = engine.analyze_many(&stages);
+    println!("batch: {}", batch.summary());
+    println!();
+
+    let far_opts = FarEndOptions {
+        segments: 24,
+        time_step: ps(1.0),
+        ..FarEndOptions::default()
+    };
+    println!(
+        "{:>8} {:>8} {:>10} {:>12} {:>11} {:>13} {:>9}",
+        "len(mm)", "driver", "delay(ps)", "slew(ps)", "far(ps)", "model", "Ceff(fF)"
+    );
+    for (index, report) in batch.succeeded() {
+        let far = report.far_end(&loads[index], &far_opts)?;
+        let ceff1 = report
+            .analytic
+            .as_ref()
+            .map(|d| d.ceff1.ceff)
+            .unwrap_or(f64::NAN);
+        let (len_part, drv_part) = report.label.split_once('/').unwrap_or(("?", "?"));
+        println!(
+            "{:>8} {:>8} {:>10.1} {:>12.1} {:>11.1} {:>13} {:>9.1}",
+            len_part.trim_end_matches("mm"),
+            drv_part,
+            report.delay * 1e12,
+            report.slew * 1e12,
+            far.delay_from_input * 1e12,
+            if report.used_two_ramp {
+                "two-ramp"
+            } else {
+                "one-ramp"
+            },
+            ceff1 * 1e15
+        );
     }
     println!();
     println!("Two-ramp rows are the nets where ignoring inductance (a plain Ceff ramp)");

@@ -3,18 +3,21 @@
 //!
 //! The driver-output waveform is only an intermediate product — what a timing
 //! tool ultimately propagates is the waveform at the far end of the line.
-//! This example compares, for one inductive net, the far-end delay and slew
-//! obtained from three driver models (the classic single-Ceff ramp, the
-//! paper's two-ramp waveform, and the golden transistor-level simulation) so
-//! the error introduced by each abstraction is visible where it matters.
+//! This example analyzes one inductive net three ways through the facade —
+//! the classic single-Ceff ramp, the paper's two-ramp waveform (both via the
+//! analytic backend's strategy knob), and the golden transistor-level
+//! simulation backend — so the error introduced by each abstraction is
+//! visible where it matters.
 //!
 //! Run with: `cargo run --release --example far_end_signoff`
 
-use rlc_ceff::far_end::{FarEndOptions, FarEndResponse};
-use rlc_ceff::prelude::*;
-use rlc_ceff::validation::GoldenOptions;
-use rlc_charlib::prelude::*;
-use rlc_interconnect::prelude::*;
+use rlc_ceff_suite::{
+    BackendChoice, CeffStrategy, DistributedRlcLoad, EngineConfig, Stage, TimingEngine,
+};
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+use rlc_ceff_suite::interconnect::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's Figure 6 (right) case: 4 mm / 0.8 um line, 75X driver,
@@ -23,21 +26,57 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut library = Library::new(CharacterizationGrid::default());
     let cell = library.cell(75.0)?.clone();
     let c_load = cell.input_capacitance();
-    let case = AnalysisCase::new(&cell, &line, c_load, ps(50.0));
+    let load = DistributedRlcLoad::new(line, c_load)?;
 
-    let modeler = DriverOutputModeler::new(ModelingConfig::default());
-    let two_ramp = modeler.model_two_ramp(&case)?;
-    let one_ramp = modeler.model_single_ramp(&case)?;
+    let stage = |label: &str, backend: Option<BackendChoice>| {
+        let mut builder = Stage::builder(cell.clone(), load)
+            .label(label)
+            .input_slew(ps(50.0));
+        if let Some(b) = backend {
+            builder = builder.backend(b);
+        }
+        builder.build()
+    };
+
+    let two_ramp_engine = TimingEngine::new(
+        EngineConfig::builder()
+            .strategy(CeffStrategy::ForceTwoRamp)
+            .build(),
+    );
+    let one_ramp_engine = TimingEngine::new(
+        EngineConfig::builder()
+            .strategy(CeffStrategy::ForceSingleRamp)
+            .build(),
+    );
+
+    let two_ramp = two_ramp_engine.analyze(&stage("two-ramp", None)?)?;
+    let one_ramp = one_ramp_engine.analyze(&stage("one-ramp", None)?)?;
+    let golden = two_ramp_engine.analyze(&stage("golden", Some(BackendChoice::Spice))?)?;
 
     let far_opts = FarEndOptions::default();
-    let far_two = FarEndResponse::from_model(&two_ramp, &line, c_load, &far_opts)?;
-    let far_one = FarEndResponse::from_model(&one_ramp, &line, c_load, &far_opts)?;
+    let far_two = two_ramp.far_end(&load, &far_opts)?;
+    let far_one = one_ramp.far_end(&load, &far_opts)?;
 
-    let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::default())?;
-    let sim_far_delay = golden.far_delay()?;
-    let sim_far_slew = golden.far_slew()?;
+    // The golden far end comes straight out of the transistor-level
+    // simulation the SPICE backend already ran.
+    let golden_far = golden
+        .simulated_far_end
+        .as_ref()
+        .expect("line load has a far end");
+    let sim_far_delay = golden_far
+        .waveform()
+        .crossing_fraction(0.5, golden.vdd, true)
+        .expect("golden far end crossed 50%")
+        - golden.input_t50;
+    let sim_far_slew = golden_far
+        .waveform()
+        .slew_10_90(golden.vdd, true)
+        .expect("golden far end completed");
 
-    println!("net: {line}, 75X driver, 50 ps input slew, receiver load {:.1} fF", c_load * 1e15);
+    println!(
+        "net: {line}, 75X driver, 50 ps input slew, receiver load {:.1} fF",
+        c_load * 1e15
+    );
     println!();
     println!(
         "{:<28} {:>12} {:>12} {:>12} {:>12}",
@@ -54,12 +93,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     };
     row("transistor-level (golden)", sim_far_delay, sim_far_slew);
-    row("two-ramp Ceff (paper)", far_two.delay_from_input, far_two.slew);
-    row("single-Ceff ramp (classic)", far_one.delay_from_input, far_one.slew);
+    row(
+        "two-ramp Ceff (paper)",
+        far_two.delay_from_input,
+        far_two.slew,
+    );
+    row(
+        "single-Ceff ramp (classic)",
+        far_one.delay_from_input,
+        far_one.slew,
+    );
     println!();
     println!(
         "far-end overshoot: golden {:.2} V, two-ramp-driven {:.2} V, one-ramp-driven {:.2} V",
-        golden.far.overshoot(cell.vdd()),
+        golden_far.waveform().overshoot(golden.vdd),
         far_two.overshoot,
         far_one.overshoot
     );

@@ -3,15 +3,18 @@
 //! Static timing flows cannot afford the two-ramp machinery (or a full RLC
 //! reduced-order model) on every net, so the paper's Equation 9 criteria are
 //! used as a cheap screen. This example sweeps wire width and driver strength
-//! for a fixed 4 mm route and prints the full criteria report for each
-//! combination — reproducing the paper's observation that inductive effects
-//! matter for wires at least ~1.6 µm wide driven by 75X-or-larger buffers.
+//! for a fixed 4 mm route — the whole sweep is one batched
+//! `TimingEngine::analyze_many` call — and prints the criteria verdict for
+//! each combination, reproducing the paper's observation that inductive
+//! effects matter for wires at least ~1.6 µm wide driven by 75X-or-larger
+//! buffers.
 //!
 //! Run with: `cargo run --release --example inductance_screening`
 
-use rlc_ceff::prelude::*;
-use rlc_charlib::prelude::*;
-use rlc_interconnect::prelude::*;
+use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+
+use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+use rlc_ceff_suite::interconnect::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let widths_um = [0.8, 1.2, 1.6, 2.0, 2.5, 3.0];
@@ -24,31 +27,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &d in &drivers {
         let _ = library.cell(d)?;
     }
-    let modeler = DriverOutputModeler::new(ModelingConfig::default());
 
+    // One stage per (width, driver) cell of the table.
+    let mut stages = Vec::new();
+    let mut flight_times = Vec::new();
+    for &w in &widths_um {
+        let line = extractor.extract(&WireGeometry::new(length, um(w)));
+        for &d in &drivers {
+            let cell = library.cell(d)?.clone();
+            let c_load = cell.input_capacitance();
+            flight_times.push(line.time_of_flight());
+            stages.push(
+                Stage::builder(cell, DistributedRlcLoad::new(line, c_load)?)
+                    .label(format!("{w:.1}um/{d:.0}X"))
+                    .input_slew(input_slew)
+                    .build()?,
+            );
+        }
+    }
+
+    let engine = TimingEngine::new(EngineConfig::default());
+    let batch = engine.analyze_many(&stages);
     println!("4 mm route, 100 ps input slew; table entries: criteria verdict (f, Tr1/2tf)");
+    println!("({})", batch.summary());
     print!("{:>10}", "width\\drv");
     for &d in &drivers {
         print!("{:>16}", format!("{d:.0}X"));
     }
     println!();
 
-    for &w in &widths_um {
-        let line = extractor.extract(&WireGeometry::new(length, um(w)));
+    for (wi, &w) in widths_um.iter().enumerate() {
         print!("{:>8}um", format!("{w:.1}"));
-        for &d in &drivers {
-            let cell = library.cell(d)?.clone();
-            let case = AnalysisCase::new(&cell, &line, cell.input_capacitance(), input_slew);
-            let model = modeler.model(&case)?;
-            let tr1_over_2tf = model.ceff1.ramp_time / (2.0 * line.time_of_flight());
-            let verdict = if model.criteria.inductance_significant() {
-                "RLC"
-            } else {
-                "rc"
+        for di in 0..drivers.len() {
+            let index = wi * drivers.len() + di;
+            let report = match &batch.outcomes[index] {
+                Ok(report) => report,
+                Err(e) => {
+                    print!("{:>16}", format!("error: {e}"));
+                    continue;
+                }
             };
+            let details = report.analytic.as_ref().expect("analytic backend");
+            let tr1_over_2tf = details.ceff1.ramp_time / (2.0 * flight_times[index]);
+            let verdict = if report.used_two_ramp { "RLC" } else { "rc" };
             print!(
                 "{:>16}",
-                format!("{verdict} ({:.2},{:.2})", model.breakpoint, tr1_over_2tf)
+                format!("{verdict} ({:.2},{:.2})", details.breakpoint, tr1_over_2tf)
             );
         }
         println!();

@@ -1,17 +1,20 @@
-//! Quickstart: model the driver output of one on-chip RLC net.
+//! Quickstart: model the driver output of one on-chip RLC net through the
+//! `TimingEngine` facade.
 //!
 //! This walks the full paper flow on the flagship case (a 5 mm, 1.6 µm global
 //! wire driven by a 75X inverter): extract the parasitics, characterize the
-//! driver, fit the driving-point admittance, compute the two effective
-//! capacitances and print the resulting two-ramp waveform parameters, then
-//! cross-check delay and slew against the built-in transient simulator.
+//! driver, describe the net as a `Stage`, analyze it with the analytic
+//! effective-capacitance backend, cross-check the same stage on the golden
+//! transient-simulation backend, and propagate the modelled waveform to the
+//! far end of the line.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use rlc_ceff::prelude::*;
-use rlc_ceff::validation::GoldenOptions;
-use rlc_charlib::prelude::*;
-use rlc_interconnect::prelude::*;
+use rlc_ceff_suite::{BackendChoice, DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+use rlc_ceff_suite::interconnect::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Extract the line parasitics for a 5 mm x 1.6 um top-metal wire.
@@ -34,28 +37,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cell.input_capacitance() * 1e15
     );
 
-    // 3. Run the effective-capacitance modelling flow.
-    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
-    let modeler = DriverOutputModeler::new(ModelingConfig::default());
-    let model = modeler.model(&case)?;
-    println!("model: {}", model.describe());
-    println!("  inductance screening: {}", model.criteria.summary());
+    // 3. Describe the net as a stage and run the analytic backend.
+    let load = DistributedRlcLoad::new(line, ff(10.0))?;
+    let stage = Stage::builder(cell.clone(), load)
+        .label("flagship")
+        .input_slew(ps(100.0))
+        .build()?;
+    let engine = TimingEngine::new(EngineConfig::default());
+    let report = engine.analyze(&stage)?;
+    println!("model: {}", report.waveform.describe());
+    if let Some(details) = &report.analytic {
+        println!("  inductance screening: {}", details.criteria.summary());
+    }
     println!(
         "  predicted driver-output delay = {:.1} ps, slew = {:.1} ps",
-        model.delay() * 1e12,
-        model.slew() * 1e12
+        report.delay * 1e12,
+        report.slew * 1e12
     );
 
-    // 4. Cross-check against the golden transient simulation.
-    let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::default())?;
+    // 4. Cross-check the same stage on the golden simulation backend.
+    let golden_stage = Stage::builder(cell, DistributedRlcLoad::new(line, ff(10.0))?)
+        .label("flagship-golden")
+        .input_slew(ps(100.0))
+        .backend(BackendChoice::Spice)
+        .build()?;
+    let golden = engine.analyze(&golden_stage)?;
     println!(
         "  simulated driver-output delay = {:.1} ps, slew = {:.1} ps",
-        golden.near_delay()? * 1e12,
-        golden.near_slew()? * 1e12
+        golden.delay * 1e12,
+        golden.slew * 1e12
     );
 
     // 5. Propagate the modelled waveform to the far end of the line.
-    let far = FarEndResponse::from_model(&model, &line, ff(10.0), &Default::default())?;
+    let far = report.far_end(
+        &DistributedRlcLoad::new(line, ff(10.0))?,
+        &FarEndOptions::default(),
+    )?;
     println!(
         "  far-end delay (model-driven) = {:.1} ps, far-end slew = {:.1} ps, overshoot = {:.2} V",
         far.delay_from_input * 1e12,

@@ -1,0 +1,383 @@
+//! The [`AnalysisBackend`] extension trait and the two built-in backends:
+//! the paper's analytic effective-capacitance flow ([`AnalyticBackend`]) and
+//! the golden transistor-level simulation ([`SpiceBackend`]), selectable per
+//! stage within one batch.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rlc_ceff::far_end::FarEndOptions;
+use rlc_ceff::flow::{DriverOutputModeler, ModelWaveform};
+use rlc_ceff::{CeffIteration, CriteriaReport};
+use rlc_moments::RationalAdmittance;
+use rlc_numeric::units::ps;
+use rlc_spice::circuit::Circuit;
+use rlc_spice::testbench::{add_inverter_driver, OutputTransition};
+use rlc_spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_spice::Waveform;
+
+use crate::config::{CeffStrategy, EngineConfig};
+use crate::driver::{DriverModel, SampledWaveform};
+use crate::error::EngineError;
+use crate::load::LoadModel;
+use crate::stage::Stage;
+
+/// An analysis backend: turns a [`Stage`] into a [`StageReport`].
+///
+/// The trait is object-safe; engines and stages hold backends as
+/// `Arc<dyn AnalysisBackend>`, so new backends (a faster reduced-order
+/// solver, a remote simulation farm) plug in without touching the engine.
+pub trait AnalysisBackend: std::fmt::Debug + Send + Sync {
+    /// A short stable identifier, recorded in each report.
+    fn name(&self) -> &'static str;
+
+    /// Analyzes one stage.
+    ///
+    /// # Errors
+    /// Any [`EngineError`]; batch analysis records the error for this stage
+    /// and continues with the rest.
+    fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError>;
+}
+
+/// Analytic-flow details recorded when the [`AnalyticBackend`] produced the
+/// report.
+#[derive(Debug, Clone)]
+pub struct AnalyticDetails {
+    /// The fitted (or exact) rational admittance of the load.
+    pub fit: RationalAdmittance,
+    /// Driver on-resistance used for the breakpoint (ohms).
+    pub driver_resistance: f64,
+    /// Voltage breakpoint fraction `f` (1.0 for loads without a line).
+    pub breakpoint: f64,
+    /// The converged first-ramp (or single-ramp) Ceff iteration.
+    pub ceff1: CeffIteration,
+    /// The converged second-ramp Ceff iteration (two-ramp models only).
+    pub ceff2: Option<CeffIteration>,
+    /// The Equation 9 evaluation.
+    pub criteria: CriteriaReport,
+}
+
+/// The result of analyzing one stage.
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Label of the analyzed stage.
+    pub label: String,
+    /// Name of the backend that produced the report.
+    pub backend: &'static str,
+    /// 50 % driver-output delay from the input's 50 % crossing (seconds).
+    pub delay: f64,
+    /// 10–90 % driver-output transition time (seconds).
+    pub slew: f64,
+    /// Absolute time of the input's 50 % crossing (seconds).
+    pub input_t50: f64,
+    /// Supply voltage (volts).
+    pub vdd: f64,
+    /// Whether the two-ramp waveform was selected.
+    pub used_two_ramp: bool,
+    /// The driver-output waveform, behind the [`DriverModel`] object.
+    pub waveform: Arc<dyn DriverModel>,
+    /// The simulated far-end waveform, when the backend simulated a load
+    /// with a distinct far end (SPICE backend on line or pi loads).
+    pub simulated_far_end: Option<SampledWaveform>,
+    /// Analytic-flow internals (None for simulated reports).
+    pub analytic: Option<AnalyticDetails>,
+    /// Wall-clock time the analysis took (seconds).
+    pub elapsed_seconds: f64,
+}
+
+impl StageReport {
+    /// One-line human-readable summary.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: [{}] delay = {:.1} ps, slew = {:.1} ps, {}",
+            self.label,
+            self.backend,
+            self.delay * 1e12,
+            self.slew * 1e12,
+            self.waveform.describe()
+        )
+    }
+
+    /// Propagates this report's driver-output waveform through a load's
+    /// netlist (an ideal PWL source driving the load — step 5 of the paper's
+    /// flow) and measures the far-end response.
+    ///
+    /// # Errors
+    /// Returns load/simulation errors, and a measurement error when the far
+    /// end never completes its transition within the simulated window.
+    pub fn far_end(
+        &self,
+        load: &dyn LoadModel,
+        options: &FarEndOptions,
+    ) -> Result<FarEndReport, EngineError> {
+        let tof = load.wave().map(|w| w.time_of_flight).unwrap_or(0.0);
+        let t_stop = self.waveform.end_time() + options.settle_time + 4.0 * tof;
+        let source = self.waveform.to_source(t_stop);
+
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("VDRV", near, Circuit::GROUND, source);
+        ckt.set_initial_condition(near, 0.0);
+        let far_node = load.attach(&mut ckt, near, 0.0, options.segments)?;
+
+        let result =
+            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
+        let far = result.waveform(far_node);
+        let t50 = far.crossing_fraction(0.5, self.vdd, true).ok_or_else(|| {
+            EngineError::unsupported("far end never crossed 50% within the window".to_string())
+        })?;
+        let slew = far.slew_10_90(self.vdd, true).ok_or_else(|| {
+            EngineError::unsupported("far end never completed 10-90% within the window".to_string())
+        })?;
+        Ok(FarEndReport {
+            delay_from_input: t50 - self.input_t50,
+            slew,
+            overshoot: far.overshoot(self.vdd),
+            waveform: far,
+        })
+    }
+}
+
+/// The far-end response obtained by driving a load with a modelled (or
+/// simulated) driver-output waveform.
+#[derive(Debug, Clone)]
+pub struct FarEndReport {
+    /// 50 % far-end delay from the input's 50 % crossing (seconds).
+    pub delay_from_input: f64,
+    /// 10–90 % far-end transition time (seconds).
+    pub slew: f64,
+    /// Far-end overshoot above the supply (volts).
+    pub overshoot: f64,
+    /// The far-end voltage waveform.
+    pub waveform: Waveform,
+}
+
+/// The paper's analytic effective-capacitance flow as a backend.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalyticBackend;
+
+impl AnalysisBackend for AnalyticBackend {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
+        let started = Instant::now();
+        let load = stage.load().reduce()?;
+        let input = stage.input();
+        let modeler = DriverOutputModeler::new(config.modeling_config());
+        let model = match config.strategy {
+            CeffStrategy::Auto => {
+                modeler.model_reduced(stage.driver(), &load, input.slew, input.delay)
+            }
+            CeffStrategy::ForceSingleRamp => {
+                modeler.model_reduced_single_ramp(stage.driver(), &load, input.slew, input.delay)
+            }
+            CeffStrategy::ForceTwoRamp => {
+                modeler.model_reduced_two_ramp(stage.driver(), &load, input.slew, input.delay)
+            }
+        }?;
+        let waveform: Arc<dyn DriverModel> = match model.waveform {
+            ModelWaveform::SingleRamp(m) => Arc::new(m),
+            ModelWaveform::TwoRamp(m) => Arc::new(m),
+        };
+        Ok(StageReport {
+            label: stage.label().to_string(),
+            backend: self.name(),
+            delay: model.delay(),
+            slew: model.slew(),
+            input_t50: model.input_t50,
+            vdd: model.vdd,
+            used_two_ramp: model.is_two_ramp(),
+            waveform,
+            simulated_far_end: None,
+            analytic: Some(AnalyticDetails {
+                fit: model.fit,
+                driver_resistance: model.driver_resistance,
+                breakpoint: model.breakpoint,
+                ceff1: model.ceff1,
+                ceff2: model.ceff2,
+                criteria: model.criteria,
+            }),
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+/// The golden transistor-level simulation as a backend: builds the inverter
+/// testbench, attaches the stage's load netlist, runs the transient analysis
+/// and measures the driver output.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SpiceBackend;
+
+impl AnalysisBackend for SpiceBackend {
+    fn name(&self) -> &'static str {
+        "rlc-spice"
+    }
+
+    fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
+        let started = Instant::now();
+        let input = stage.input();
+        let spec = stage.driver().spec();
+        let golden = &config.golden;
+
+        let mut ckt = Circuit::new();
+        let nodes = add_inverter_driver(
+            &mut ckt,
+            spec,
+            input.slew,
+            input.delay,
+            OutputTransition::Rising,
+        );
+        let far_node = stage
+            .load()
+            .attach(&mut ckt, nodes.output, 0.0, golden.segments)?;
+
+        // Simulation window: the input ramp, several round trips on any line,
+        // and the RC settling of the driver against the full load.
+        let (tof, line_r) = match stage.load().wave() {
+            Some(wave) => (wave.time_of_flight, wave.line_resistance),
+            None => (0.0, 0.0),
+        };
+        let rs_estimate = 3.0e-3 / spec.nmos_width;
+        let settle = 8.0 * (rs_estimate + line_r) * stage.load().total_capacitance();
+        let t_stop =
+            (input.delay + input.slew + 10.0 * tof + settle + ps(200.0)).min(golden.max_stop_time);
+
+        let result =
+            TransientAnalysis::new(TransientOptions::new(golden.time_step, t_stop)).run(&ckt)?;
+        let input_wave = result.waveform(nodes.input);
+        let near = result.waveform(nodes.output);
+        let vdd = spec.vdd;
+
+        let input_t50 = input_wave
+            .crossing_fraction(0.5, vdd, false)
+            .ok_or_else(|| {
+                EngineError::unsupported(
+                    "simulated input never crossed 50% of the supply".to_string(),
+                )
+            })?;
+        let t50 = near.crossing_fraction(0.5, vdd, true).ok_or_else(|| {
+            EngineError::unsupported(
+                "simulated driver output never crossed 50% within the window".to_string(),
+            )
+        })?;
+        let slew = near.slew_10_90(vdd, true).ok_or_else(|| {
+            EngineError::unsupported(
+                "simulated driver output never completed the 10-90% transition".to_string(),
+            )
+        })?;
+
+        let simulated_far_end = if far_node != nodes.output {
+            Some(SampledWaveform::new(result.waveform(far_node), vdd))
+        } else {
+            None
+        };
+        Ok(StageReport {
+            label: stage.label().to_string(),
+            backend: self.name(),
+            delay: t50 - input_t50,
+            slew,
+            input_t50,
+            vdd,
+            used_two_ramp: false,
+            waveform: Arc::new(SampledWaveform::new(near, vdd)),
+            simulated_far_end,
+            analytic: None,
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{DistributedRlcLoad, LumpedCapLoad};
+    use rlc_interconnect::RlcLine;
+    use rlc_numeric::units::{ff, mm, nh, pf};
+
+    fn fast_config() -> EngineConfig {
+        EngineConfig::fast_for_tests()
+    }
+
+    #[test]
+    fn analytic_backend_selects_two_ramp_for_the_flagship_case() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            DistributedRlcLoad::new(line, ff(10.0)).unwrap(),
+        )
+        .label("flagship")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let report = AnalyticBackend.analyze(&stage, &fast_config()).unwrap();
+        assert!(report.used_two_ramp);
+        assert_eq!(report.backend, "analytic");
+        let details = report.analytic.as_ref().unwrap();
+        assert!(details.ceff2.unwrap().ceff > details.ceff1.ceff);
+        assert!(details.breakpoint > 0.4 && details.breakpoint < 0.6);
+        assert!(report.delay > 0.0 && report.slew > report.delay);
+        assert!(report.describe().contains("flagship"));
+        assert!(report.elapsed_seconds >= 0.0);
+    }
+
+    #[test]
+    fn strategy_forces_the_waveform_shape() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            DistributedRlcLoad::new(line, ff(10.0)).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let single_cfg = EngineConfig {
+            strategy: CeffStrategy::ForceSingleRamp,
+            ..fast_config()
+        };
+        let one = AnalyticBackend.analyze(&stage, &single_cfg).unwrap();
+        assert!(!one.used_two_ramp);
+        let two_cfg = EngineConfig {
+            strategy: CeffStrategy::ForceTwoRamp,
+            ..fast_config()
+        };
+        let two = AnalyticBackend.analyze(&stage, &two_cfg).unwrap();
+        assert!(two.used_two_ramp);
+        assert!(one.slew < two.slew);
+    }
+
+    #[test]
+    fn analytic_backend_handles_lumped_loads() {
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            LumpedCapLoad::new(ff(400.0)).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let report = AnalyticBackend.analyze(&stage, &fast_config()).unwrap();
+        assert!(!report.used_two_ramp);
+        let details = report.analytic.as_ref().unwrap();
+        assert!((details.ceff1.ceff - ff(400.0)).abs() < 1e-21);
+        assert_eq!(details.breakpoint, 1.0);
+    }
+
+    #[test]
+    fn spice_backend_measures_a_real_transition() {
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            LumpedCapLoad::new(ff(300.0)).unwrap(),
+        )
+        .label("sim")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let report = SpiceBackend.analyze(&stage, &fast_config()).unwrap();
+        assert_eq!(report.backend, "rlc-spice");
+        assert!(report.analytic.is_none());
+        assert!(report.delay > 0.0 && report.slew > 0.0);
+        // The sampled waveform completes the transition.
+        assert!(report.waveform.v(report.waveform.end_time() + ps(200.0)) > 0.9 * report.vdd);
+    }
+}

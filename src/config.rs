@@ -1,0 +1,212 @@
+//! [`EngineConfig`]: one builder-style configuration object replacing the
+//! scattered `ModelingConfig` / `IterationSettings` / `InductanceCriteria` /
+//! `GoldenOptions` knobs of the layer crates.
+
+use rlc_ceff::validation::GoldenOptions;
+use rlc_ceff::{InductanceCriteria, IterationSettings, ModelingConfig};
+
+/// Which waveform shape the analytic backend produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CeffStrategy {
+    /// The paper's flow: screen with Equation 9, two-ramp when inductance is
+    /// significant, single ramp otherwise.
+    #[default]
+    Auto,
+    /// Always the classic single-Ceff ramp (the "1 ramp" baseline).
+    ForceSingleRamp,
+    /// Always the two-ramp waveform (requires a transmission-line load).
+    ForceTwoRamp,
+}
+
+/// Complete configuration of a [`crate::TimingEngine`].
+///
+/// Build one with [`EngineConfig::builder`]; the default configuration is
+/// the paper's prescription (per-case Rs extraction, Equation 9 defaults,
+/// reference simulation fidelity).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineConfig {
+    /// Convergence controls for the Ceff iterations.
+    pub iteration: IterationSettings,
+    /// Inductance-significance thresholds (Equation 9).
+    pub criteria: InductanceCriteria,
+    /// Re-extract the driver on-resistance against each stage's total load
+    /// capacitance (the paper's prescription) instead of reusing the value
+    /// cached at characterization time.
+    pub extract_rs_per_case: bool,
+    /// Waveform-shape strategy for the analytic backend.
+    pub strategy: CeffStrategy,
+    /// Fidelity of the golden simulation backend.
+    pub golden: GoldenOptions,
+    /// Worker threads for [`crate::TimingEngine::analyze_many`]; `0` means
+    /// one per available CPU.
+    pub threads: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            iteration: IterationSettings::default(),
+            criteria: InductanceCriteria::default(),
+            extract_rs_per_case: true,
+            strategy: CeffStrategy::Auto,
+            golden: GoldenOptions::default(),
+            threads: 0,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Starts a builder from the default configuration.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder {
+            config: EngineConfig::default(),
+        }
+    }
+
+    /// A cheap configuration for debug-build tests: cached on-resistance and
+    /// coarse simulation fidelity.
+    pub fn fast_for_tests() -> EngineConfig {
+        EngineConfig {
+            extract_rs_per_case: false,
+            golden: GoldenOptions::coarse_for_tests(),
+            ..EngineConfig::default()
+        }
+    }
+
+    /// The equivalent layer-crate modelling configuration.
+    pub fn modeling_config(&self) -> ModelingConfig {
+        ModelingConfig {
+            iteration: self.iteration,
+            criteria: self.criteria,
+            extract_rs_per_case: self.extract_rs_per_case,
+        }
+    }
+
+    /// The worker count [`crate::TimingEngine::analyze_many`] will use for a
+    /// batch of `stages` stages.
+    pub fn effective_threads(&self, stages: usize) -> usize {
+        let available = if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        };
+        available.min(stages).max(1)
+    }
+}
+
+/// Builder for [`EngineConfig`].
+#[derive(Debug, Clone)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Relative Ceff convergence tolerance (default `1e-4`).
+    pub fn ceff_tolerance(mut self, rel_tolerance: f64) -> Self {
+        self.config.iteration.rel_tolerance = rel_tolerance;
+        self
+    }
+
+    /// Maximum Ceff iterations before reporting divergence (default 100).
+    pub fn max_iterations(mut self, max_iterations: usize) -> Self {
+        self.config.iteration.max_iterations = max_iterations;
+        self
+    }
+
+    /// Fixed-point damping factor in `(0, 1]` (default 1, the paper's plain
+    /// update).
+    pub fn damping(mut self, damping: f64) -> Self {
+        self.config.iteration.damping = damping;
+        self
+    }
+
+    /// Whole iteration-settings block at once.
+    pub fn iteration(mut self, iteration: IterationSettings) -> Self {
+        self.config.iteration = iteration;
+        self
+    }
+
+    /// Whole Equation 9 threshold block at once.
+    pub fn inductance_criteria(mut self, criteria: InductanceCriteria) -> Self {
+        self.config.criteria = criteria;
+        self
+    }
+
+    /// Re-extract the driver on-resistance per stage (default `true`).
+    pub fn extract_rs_per_case(mut self, enabled: bool) -> Self {
+        self.config.extract_rs_per_case = enabled;
+        self
+    }
+
+    /// Waveform-shape strategy for the analytic backend (default
+    /// [`CeffStrategy::Auto`]).
+    pub fn strategy(mut self, strategy: CeffStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// Fidelity of the golden simulation backend (default: the reference
+    /// 40-segment / 0.5 ps fidelity).
+    pub fn golden_fidelity(mut self, golden: GoldenOptions) -> Self {
+        self.config.golden = golden;
+        self
+    }
+
+    /// Worker threads for batch analysis; `0` means one per CPU (default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> EngineConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_overrides_individual_knobs() {
+        let config = EngineConfig::builder()
+            .ceff_tolerance(1e-6)
+            .max_iterations(42)
+            .damping(0.5)
+            .extract_rs_per_case(false)
+            .strategy(CeffStrategy::ForceTwoRamp)
+            .threads(3)
+            .build();
+        assert_eq!(config.iteration.rel_tolerance, 1e-6);
+        assert_eq!(config.iteration.max_iterations, 42);
+        assert_eq!(config.iteration.damping, 0.5);
+        assert!(!config.extract_rs_per_case);
+        assert_eq!(config.strategy, CeffStrategy::ForceTwoRamp);
+        assert_eq!(config.threads, 3);
+        // Untouched knobs keep their defaults.
+        assert_eq!(config.criteria, InductanceCriteria::default());
+    }
+
+    #[test]
+    fn modeling_config_mirrors_the_engine_config() {
+        let config = EngineConfig::builder().extract_rs_per_case(false).build();
+        let mc = config.modeling_config();
+        assert!(!mc.extract_rs_per_case);
+        assert_eq!(mc.iteration, config.iteration);
+        assert_eq!(mc.criteria, config.criteria);
+    }
+
+    #[test]
+    fn effective_threads_clamps_to_batch_size() {
+        let config = EngineConfig::builder().threads(8).build();
+        assert_eq!(config.effective_threads(3), 3);
+        assert_eq!(config.effective_threads(100), 8);
+        assert_eq!(config.effective_threads(0), 1);
+        // threads = 0 resolves to at least one worker.
+        let auto = EngineConfig::default();
+        assert!(auto.effective_threads(4) >= 1);
+    }
+}

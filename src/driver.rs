@@ -1,0 +1,213 @@
+//! The [`DriverModel`] extension trait: one object-safe interface over every
+//! driver-output waveform the engine can produce — the paper's saturated
+//! single ramp, its two-ramp waveform, and sampled simulator waveforms.
+
+use rlc_ceff::{SingleRampModel, TwoRampModel};
+use rlc_spice::{SourceWaveform, Waveform};
+
+/// An abstract driver-output waveform: voltage as a function of time plus the
+/// timing metrics a signoff flow propagates.
+///
+/// The trait is object-safe; stage reports store waveforms as
+/// `Arc<dyn DriverModel>`.
+pub trait DriverModel: std::fmt::Debug + Send + Sync {
+    /// Voltage at absolute time `t` (volts).
+    fn v(&self, t: f64) -> f64;
+
+    /// 50 % delay relative to the input's 50 % crossing (seconds).
+    fn delay_from(&self, input_t50: f64) -> f64;
+
+    /// 10–90 % output transition time (seconds).
+    fn slew(&self) -> f64;
+
+    /// Time at which the transition is (effectively) complete (seconds).
+    fn end_time(&self) -> f64;
+
+    /// The waveform as a PWL source padded to `t_stop`, for driving far-end
+    /// simulations.
+    fn to_source(&self, t_stop: f64) -> SourceWaveform;
+
+    /// One-line human-readable description.
+    fn describe(&self) -> String;
+}
+
+impl DriverModel for SingleRampModel {
+    fn v(&self, t: f64) -> f64 {
+        self.value_at(t)
+    }
+
+    fn delay_from(&self, input_t50: f64) -> f64 {
+        SingleRampModel::delay_from(self, input_t50)
+    }
+
+    fn slew(&self) -> f64 {
+        self.slew_10_90()
+    }
+
+    fn end_time(&self) -> f64 {
+        self.start_time + self.tr
+    }
+
+    fn to_source(&self, t_stop: f64) -> SourceWaveform {
+        SingleRampModel::to_source(self, t_stop)
+    }
+
+    fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl DriverModel for TwoRampModel {
+    fn v(&self, t: f64) -> f64 {
+        self.value_at(t)
+    }
+
+    fn delay_from(&self, input_t50: f64) -> f64 {
+        TwoRampModel::delay_from(self, input_t50)
+    }
+
+    fn slew(&self) -> f64 {
+        self.slew_10_90()
+    }
+
+    fn end_time(&self) -> f64 {
+        self.start_time + TwoRampModel::end_time(self)
+    }
+
+    fn to_source(&self, t_stop: f64) -> SourceWaveform {
+        TwoRampModel::to_source(self, t_stop)
+    }
+
+    fn describe(&self) -> String {
+        self.to_string()
+    }
+}
+
+/// A sampled (simulated or measured) driver-output waveform presented behind
+/// the same [`DriverModel`] interface as the analytic ramps — this is what
+/// the SPICE backend returns.
+///
+/// Metric methods fall back to `NaN` when the sampled transition never
+/// crosses the required levels; the backend validates the crossings it needs
+/// before constructing the report.
+#[derive(Debug, Clone)]
+pub struct SampledWaveform {
+    waveform: Waveform,
+    vdd: f64,
+}
+
+impl SampledWaveform {
+    /// Wraps a sampled waveform with its supply voltage.
+    pub fn new(waveform: Waveform, vdd: f64) -> Self {
+        SampledWaveform { waveform, vdd }
+    }
+
+    /// The underlying samples.
+    pub fn waveform(&self) -> &Waveform {
+        &self.waveform
+    }
+
+    /// Supply voltage (volts).
+    pub fn vdd(&self) -> f64 {
+        self.vdd
+    }
+}
+
+impl DriverModel for SampledWaveform {
+    fn v(&self, t: f64) -> f64 {
+        self.waveform.value_at(t)
+    }
+
+    fn delay_from(&self, input_t50: f64) -> f64 {
+        self.waveform
+            .crossing_fraction(0.5, self.vdd, true)
+            .map(|t| t - input_t50)
+            .unwrap_or(f64::NAN)
+    }
+
+    fn slew(&self) -> f64 {
+        self.waveform.slew_10_90(self.vdd, true).unwrap_or(f64::NAN)
+    }
+
+    fn end_time(&self) -> f64 {
+        self.waveform
+            .crossing_fraction(0.95, self.vdd, true)
+            .unwrap_or_else(|| self.waveform.last_time())
+    }
+
+    fn to_source(&self, t_stop: f64) -> SourceWaveform {
+        let mut pts: Vec<(f64, f64)> = self
+            .waveform
+            .times()
+            .iter()
+            .zip(self.waveform.values())
+            .map(|(&t, &v)| (t, v))
+            .collect();
+        if let Some(&(last_t, _)) = pts.last() {
+            if t_stop > last_t {
+                pts.push((t_stop, self.waveform.last_value()));
+            }
+        }
+        SourceWaveform::pwl(pts)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "sampled waveform: {} points over {:.1} ps, vdd = {:.2} V",
+            self.waveform.len(),
+            self.waveform.last_time() * 1e12,
+            self.vdd
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::units::ps;
+
+    #[test]
+    fn ramps_behave_identically_through_the_trait_object() {
+        let single = SingleRampModel::new(1.8, ps(200.0), ps(50.0));
+        let two = TwoRampModel::new(1.8, 0.5, ps(60.0), ps(240.0), ps(50.0));
+        let models: Vec<Box<dyn DriverModel>> = vec![Box::new(single), Box::new(two)];
+        for m in &models {
+            assert_eq!(m.v(0.0), 0.0);
+            assert!((m.v(m.end_time() + ps(100.0)) - 1.8).abs() < 1e-9);
+            assert!(m.slew() > 0.0);
+            assert!(m.delay_from(ps(40.0)) > 0.0);
+            assert!(m.end_time() > ps(50.0));
+            assert!(!m.describe().is_empty());
+            let src = m.to_source(ps(1000.0));
+            for &t in &[0.0, ps(80.0), ps(150.0), ps(400.0), ps(900.0)] {
+                assert!((src.value_at(t) - m.v(t)).abs() < 1e-9);
+            }
+        }
+        // Through the object, trait metrics match the inherent ones.
+        assert!((models[0].slew() - single.slew_10_90()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn sampled_waveform_measures_like_its_source_ramp() {
+        let ramp = SingleRampModel::new(1.8, ps(200.0), ps(50.0));
+        let sampled = SampledWaveform::new(ramp.to_waveform(ps(600.0), 1200), 1.8);
+        assert!((sampled.slew() - ramp.slew_10_90()).abs() < ps(2.0));
+        assert!((sampled.delay_from(ps(40.0)) - ramp.delay_from(ps(40.0))).abs() < ps(2.0));
+        assert!((sampled.v(ps(150.0)) - ramp.value_at(ps(150.0))).abs() < 0.01);
+        assert!(sampled.end_time() > ps(200.0));
+        assert_eq!(sampled.vdd(), 1.8);
+        assert!(sampled.describe().contains("sampled"));
+        let src = sampled.to_source(ps(1000.0));
+        assert!((src.value_at(ps(900.0)) - 1.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sampled_waveform_reports_nan_for_incomplete_transitions() {
+        // A waveform that never reaches 50 %.
+        let flat = Waveform::from_fn(|_| 0.1, ps(500.0), 100);
+        let sampled = SampledWaveform::new(flat, 1.8);
+        assert!(sampled.delay_from(0.0).is_nan());
+        assert!(sampled.slew().is_nan());
+        assert!(!sampled.waveform().is_empty());
+    }
+}

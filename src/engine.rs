@@ -1,0 +1,342 @@
+//! [`TimingEngine`]: the facade — one entry point that routes stages to
+//! backends, fans batches across threads, and recovers per stage.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::backend::{AnalysisBackend, AnalyticBackend, SpiceBackend, StageReport};
+use crate::config::EngineConfig;
+use crate::error::EngineError;
+use crate::stage::{BackendChoice, Stage};
+
+/// The unified timing engine.
+///
+/// ```no_run
+/// use rlc_ceff_suite::{
+///     DistributedRlcLoad, EngineConfig, Stage, TimingEngine,
+/// };
+/// use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+/// use rlc_ceff_suite::interconnect::prelude::*;
+///
+/// let mut library = Library::new(CharacterizationGrid::default());
+/// let cell = library.cell(75.0)?.clone();
+/// let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
+///
+/// let stage = Stage::builder(cell, DistributedRlcLoad::new(line, ff(10.0))?)
+///     .label("flagship")
+///     .input_slew(ps(100.0))
+///     .build()?;
+/// let engine = TimingEngine::new(EngineConfig::default());
+/// let report = engine.analyze(&stage)?;
+/// println!("{}", report.describe());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingEngine {
+    config: EngineConfig,
+    analytic: Arc<AnalyticBackend>,
+    spice: Arc<SpiceBackend>,
+}
+
+impl Default for TimingEngine {
+    fn default() -> Self {
+        TimingEngine::new(EngineConfig::default())
+    }
+}
+
+impl TimingEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        TimingEngine {
+            config,
+            analytic: Arc::new(AnalyticBackend),
+            spice: Arc::new(SpiceBackend),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Resolves the backend a stage runs on: its override, or the engine's
+    /// default (the analytic flow).
+    fn backend_for(&self, stage: &Stage) -> Arc<dyn AnalysisBackend> {
+        match stage.backend() {
+            None | Some(BackendChoice::Analytic) => self.analytic.clone(),
+            Some(BackendChoice::Spice) => self.spice.clone(),
+            Some(BackendChoice::Custom(backend)) => backend.clone(),
+        }
+    }
+
+    /// Analyzes one stage on its backend. Panics inside the analysis are
+    /// caught and reported as [`EngineError::StagePanicked`].
+    ///
+    /// # Errors
+    /// Any [`EngineError`] from validation, reduction, modelling or
+    /// simulation.
+    pub fn analyze(&self, stage: &Stage) -> Result<StageReport, EngineError> {
+        let backend = self.backend_for(stage);
+        match catch_unwind(AssertUnwindSafe(|| backend.analyze(stage, &self.config))) {
+            Ok(result) => result,
+            Err(payload) => Err(EngineError::StagePanicked {
+                label: stage.label().to_string(),
+                detail: panic_message(payload.as_ref()),
+            }),
+        }
+    }
+
+    /// Analyzes a batch of heterogeneous stages, fanning them across worker
+    /// threads ([`EngineConfig::threads`]; one per CPU by default). Outcomes
+    /// come back in input order; a failing or even panicking stage yields an
+    /// `Err` in its slot without aborting the rest of the batch.
+    pub fn analyze_many(&self, stages: &[Stage]) -> BatchReport {
+        let started = Instant::now();
+        let workers = self.config.effective_threads(stages.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<StageReport, EngineError>>>> =
+            stages.iter().map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= stages.len() {
+                        break;
+                    }
+                    let outcome = self.analyze(&stages[index]);
+                    *slots[index].lock().expect("result slot poisoned") = Some(outcome);
+                });
+            }
+        });
+
+        BatchReport {
+            outcomes: slots
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("result slot poisoned")
+                        .expect("every stage index was visited by a worker")
+                })
+                .collect(),
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// The outcome of [`TimingEngine::analyze_many`]: one result per stage, in
+/// input order.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-stage outcomes, in the order the stages were submitted.
+    pub outcomes: Vec<Result<StageReport, EngineError>>,
+    /// Wall-clock time of the whole batch (seconds).
+    pub elapsed_seconds: f64,
+}
+
+impl BatchReport {
+    /// Number of stages in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterates the successful reports with their stage indices.
+    pub fn succeeded(&self) -> impl Iterator<Item = (usize, &StageReport)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|report| (i, report)))
+    }
+
+    /// Iterates the failed stages with their indices and errors.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &EngineError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Number of successful stages.
+    pub fn ok_count(&self) -> usize {
+        self.succeeded().count()
+    }
+
+    /// Number of failed stages.
+    pub fn err_count(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// Whether every stage succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.err_count() == 0
+    }
+
+    /// One-line summary of the batch.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} stages: {} ok, {} failed in {:.1} ms",
+            self.len(),
+            self.ok_count(),
+            self.err_count(),
+            self.elapsed_seconds * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::{DistributedRlcLoad, LumpedCapLoad, MomentsLoad};
+    use rlc_interconnect::RlcLine;
+    use rlc_numeric::units::{ff, mm, nh, pf, ps};
+
+    fn fast_engine() -> TimingEngine {
+        TimingEngine::new(EngineConfig::fast_for_tests())
+    }
+
+    #[test]
+    fn analyze_runs_the_default_analytic_backend() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            DistributedRlcLoad::new(line, ff(10.0)).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let report = fast_engine().analyze(&stage).unwrap();
+        assert_eq!(report.backend, "analytic");
+        assert!(report.used_two_ramp);
+    }
+
+    #[test]
+    fn degenerate_stage_fails_cleanly_without_aborting() {
+        let engine = fast_engine();
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let good = Stage::builder_shared(
+            cell.clone(),
+            Arc::new(LumpedCapLoad::new(ff(300.0)).unwrap()),
+        )
+        .label("good")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let degenerate = Stage::builder_shared(
+            cell,
+            Arc::new(MomentsLoad::new(vec![1e-12, 0.0, 0.0, 0.0, 0.0]).unwrap()),
+        )
+        .label("degenerate")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+
+        let batch = engine.analyze_many(&[good, degenerate]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.ok_count(), 1);
+        assert_eq!(batch.err_count(), 1);
+        assert!(!batch.all_ok());
+        let (failed_index, error) = batch.failures().next().unwrap();
+        assert_eq!(failed_index, 1);
+        assert!(matches!(error, EngineError::Load { .. }));
+        assert!(batch.summary().contains("1 failed"));
+    }
+
+    #[test]
+    fn panicking_custom_backend_is_contained_per_stage() {
+        #[derive(Debug)]
+        struct PanickingBackend;
+        impl AnalysisBackend for PanickingBackend {
+            fn name(&self) -> &'static str {
+                "panics"
+            }
+            fn analyze(
+                &self,
+                _stage: &Stage,
+                _config: &EngineConfig,
+            ) -> Result<StageReport, EngineError> {
+                panic!("deliberate test panic");
+            }
+        }
+
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let bomb = Stage::builder_shared(
+            cell.clone(),
+            Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()),
+        )
+        .label("bomb")
+        .input_slew(ps(100.0))
+        .backend(BackendChoice::Custom(Arc::new(PanickingBackend)))
+        .build()
+        .unwrap();
+        let fine = Stage::builder_shared(cell, Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()))
+            .label("fine")
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap();
+
+        let batch = fast_engine().analyze_many(&[bomb, fine]);
+        assert_eq!(batch.ok_count(), 1);
+        match &batch.outcomes[0] {
+            Err(EngineError::StagePanicked { label, detail }) => {
+                assert_eq!(label, "bomb");
+                assert!(detail.contains("deliberate"));
+            }
+            other => panic!("expected a contained panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let stages: Vec<Stage> = (0..12)
+            .map(|i| {
+                Stage::builder_shared(
+                    cell.clone(),
+                    Arc::new(LumpedCapLoad::new(ff(100.0 + 50.0 * i as f64)).unwrap()),
+                )
+                .label(format!("s{i}"))
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap()
+            })
+            .collect();
+        let engine = TimingEngine::new(
+            EngineConfig::builder()
+                .extract_rs_per_case(false)
+                .threads(4)
+                .build(),
+        );
+        let batch = engine.analyze_many(&stages);
+        assert!(batch.all_ok());
+        for (i, report) in batch.succeeded() {
+            assert_eq!(report.label, format!("s{i}"));
+        }
+        // Bigger lumped loads mean slower transitions, in order.
+        let slews: Vec<f64> = batch.succeeded().map(|(_, r)| r.slew).collect();
+        assert!(slews.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = fast_engine().analyze_many(&[]);
+        assert!(batch.is_empty());
+        assert!(batch.all_ok());
+    }
+}

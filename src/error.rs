@@ -1,0 +1,175 @@
+//! The unified error type of the timing-engine facade.
+//!
+//! Every sub-crate keeps its own focused error enum (`MomentError`,
+//! `SpiceError`, `CharlibError`, `CeffError`); the facade wraps them in one
+//! [`EngineError`] whose [`std::error::Error::source`] chain preserves the
+//! underlying error, so callers can both match on the facade category and
+//! drill into the layer that actually failed.
+
+use rlc_ceff::CeffError;
+use rlc_charlib::CharlibError;
+use rlc_moments::MomentError;
+use rlc_spice::SpiceError;
+
+/// Any error produced by [`crate::TimingEngine`] and the stage/load builders.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A stage or load description failed validation before any analysis ran
+    /// (non-positive slew, negative capacitance, missing required field).
+    InvalidStage {
+        /// What was wrong with the description.
+        what: String,
+    },
+    /// A load model could not be reduced to a usable admittance (degenerate
+    /// moments, non-physical coefficients).
+    Load {
+        /// The underlying moment/fit error.
+        source: MomentError,
+    },
+    /// The analytic effective-capacitance flow failed.
+    Model {
+        /// The underlying modelling-flow error.
+        source: CeffError,
+    },
+    /// The golden transient simulation failed.
+    Simulation {
+        /// The underlying simulator error.
+        source: SpiceError,
+    },
+    /// Cell characterization or table lookup failed.
+    Characterization {
+        /// The underlying characterization error.
+        source: CharlibError,
+    },
+    /// The requested operation is not supported by the chosen combination of
+    /// load model and backend (e.g. simulating a moment-space load that has
+    /// no netlist).
+    Unsupported {
+        /// What was requested.
+        what: String,
+    },
+    /// A stage analysis panicked; the batch caught the panic and carried on
+    /// with the remaining stages.
+    StagePanicked {
+        /// Label of the stage whose analysis panicked.
+        label: String,
+        /// The panic payload, if it was a string.
+        detail: String,
+    },
+}
+
+impl EngineError {
+    /// Convenience constructor for validation failures.
+    pub fn invalid(what: impl Into<String>) -> Self {
+        EngineError::InvalidStage { what: what.into() }
+    }
+
+    /// Convenience constructor for unsupported operations.
+    pub fn unsupported(what: impl Into<String>) -> Self {
+        EngineError::Unsupported { what: what.into() }
+    }
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::InvalidStage { what } => write!(f, "invalid stage: {what}"),
+            EngineError::Load { source } => write!(f, "load reduction failed: {source}"),
+            EngineError::Model { source } => write!(f, "analytic model failed: {source}"),
+            EngineError::Simulation { source } => write!(f, "simulation failed: {source}"),
+            EngineError::Characterization { source } => {
+                write!(f, "characterization failed: {source}")
+            }
+            EngineError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
+            EngineError::StagePanicked { label, detail } => {
+                write!(f, "stage '{label}' panicked during analysis: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Load { source } => Some(source),
+            EngineError::Model { source } => Some(source),
+            EngineError::Simulation { source } => Some(source),
+            EngineError::Characterization { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<MomentError> for EngineError {
+    fn from(source: MomentError) -> Self {
+        EngineError::Load { source }
+    }
+}
+
+impl From<CeffError> for EngineError {
+    fn from(source: CeffError) -> Self {
+        // An invalid case surfaced by the flow is a stage-description
+        // problem, not a numerical one; keep the category honest.
+        match source {
+            CeffError::InvalidCase(what) => EngineError::InvalidStage { what },
+            other => EngineError::Model { source: other },
+        }
+    }
+}
+
+impl From<SpiceError> for EngineError {
+    fn from(source: SpiceError) -> Self {
+        EngineError::Simulation { source }
+    }
+}
+
+impl From<CharlibError> for EngineError {
+    fn from(source: CharlibError) -> Self {
+        EngineError::Characterization { source }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn source_chain_reaches_the_underlying_error() {
+        let e: EngineError = MomentError::DegenerateLoad("pure cap".into()).into();
+        let source = e.source().expect("load errors must chain");
+        assert!(source.to_string().contains("pure cap"));
+        assert!(e.to_string().contains("load reduction failed"));
+
+        let e: EngineError = SpiceError::InvalidCircuit("no ground".into()).into();
+        assert!(e.source().unwrap().to_string().contains("no ground"));
+
+        let e: EngineError = CharlibError::InvalidGrid("empty".into()).into();
+        assert!(e.source().unwrap().to_string().contains("empty"));
+
+        let e: EngineError = CeffError::MomentFit("x".into()).into();
+        assert!(matches!(e, EngineError::Model { .. }));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn invalid_case_maps_to_invalid_stage() {
+        let e: EngineError = CeffError::InvalidCase("bad slew".into()).into();
+        assert!(matches!(e, EngineError::InvalidStage { .. }));
+        assert!(e.to_string().contains("bad slew"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn constructors_and_display() {
+        let e = EngineError::invalid("no input slew");
+        assert!(e.to_string().contains("no input slew"));
+        let e = EngineError::unsupported("moment load has no netlist");
+        assert!(e.to_string().contains("no netlist"));
+        let e = EngineError::StagePanicked {
+            label: "s3".into(),
+            detail: "boom".into(),
+        };
+        assert!(e.to_string().contains("s3") && e.to_string().contains("boom"));
+    }
+}

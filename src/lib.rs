@@ -2,11 +2,59 @@
 //!
 //! Umbrella crate for the reproduction of *"An Effective Capacitance Based
 //! Driver Output Model for On-Chip RLC Interconnects"* (Agarwal, Sylvester,
-//! Blaauw — DAC 2003).
+//! Blaauw — DAC 2003), and home of the [`TimingEngine`] facade: one coherent
+//! entry point over the whole stack.
 //!
-//! This crate re-exports the individual workspace crates so that the examples
-//! and cross-crate integration tests have a single dependency, and so that a
-//! downstream user can depend on one crate and reach the whole stack:
+//! ## The facade
+//!
+//! A [`Stage`] describes one unit of work — a characterized driver, the load
+//! it drives (any [`LoadModel`]: lumped capacitor, RC pi, distributed RLC
+//! line, raw admittance moments) and the input event. A [`TimingEngine`]
+//! analyzes stages on a selectable [`AnalysisBackend`] (the paper's analytic
+//! effective-capacitance flow, or the golden `rlc-spice` transistor-level
+//! simulation) and returns [`StageReport`]s whose waveforms live behind the
+//! object-safe [`DriverModel`] trait:
+//!
+//! ```no_run
+//! use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+//! use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+//! use rlc_ceff_suite::interconnect::prelude::*;
+//!
+//! let mut library = Library::new(CharacterizationGrid::default());
+//! let cell = library.cell(75.0)?.clone();
+//! let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
+//!
+//! let stage = Stage::builder(cell, DistributedRlcLoad::new(line, ff(10.0))?)
+//!     .label("flagship")
+//!     .input_slew(ps(100.0))
+//!     .build()?;
+//!
+//! let engine = TimingEngine::new(EngineConfig::default());
+//! let report = engine.analyze(&stage)?;
+//! println!("{}", report.describe());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Batches fan out across threads with per-stage error recovery — one
+//! degenerate stage yields an `Err` in its slot instead of aborting the run:
+//!
+//! ```no_run
+//! # use rlc_ceff_suite::{Stage, TimingEngine};
+//! # fn demo(engine: &TimingEngine, stages: &[Stage]) {
+//! let batch = engine.analyze_many(stages);
+//! for (index, report) in batch.succeeded() {
+//!     println!("stage {index}: {}", report.describe());
+//! }
+//! for (index, error) in batch.failures() {
+//!     eprintln!("stage {index} failed: {error}");
+//! }
+//! # }
+//! ```
+//!
+//! ## The layer crates
+//!
+//! The facade re-exports the individual workspace crates, so one dependency
+//! reaches the whole stack:
 //!
 //! * [`numeric`] — complex arithmetic, power series, dense LU, interpolation.
 //! * [`spice`] — the MNA transient simulator (the HSPICE stand-in).
@@ -15,8 +63,8 @@
 //! * [`charlib`] — NLDM-style cell characterization and driver resistance.
 //! * [`ceff`] — the paper's two-ramp effective-capacitance driver model.
 //!
-//! See the repository `README.md` for a tour and `DESIGN.md` /
-//! `EXPERIMENTS.md` for the reproduction methodology and results.
+//! See the repository `README.md` for a tour, the crate map and migration
+//! notes from the pre-facade API.
 
 #![deny(missing_docs)]
 
@@ -27,8 +75,77 @@ pub use rlc_moments as moments;
 pub use rlc_numeric as numeric;
 pub use rlc_spice as spice;
 
+mod backend;
+mod config;
+mod driver;
+mod engine;
+mod error;
+mod load;
+mod stage;
+
+pub use backend::{
+    AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SpiceBackend, StageReport,
+};
+pub use config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
+pub use driver::{DriverModel, SampledWaveform};
+pub use engine::{BatchReport, TimingEngine};
+pub use error::EngineError;
+pub use load::{DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad, PiModelLoad};
+pub use stage::{BackendChoice, InputEvent, Stage, StageBuilder};
+
+/// Convenient glob import of the facade types.
+pub mod prelude {
+    pub use crate::backend::{
+        AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SpiceBackend, StageReport,
+    };
+    pub use crate::config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
+    pub use crate::driver::{DriverModel, SampledWaveform};
+    pub use crate::engine::{BatchReport, TimingEngine};
+    pub use crate::error::EngineError;
+    pub use crate::load::{DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad, PiModelLoad};
+    pub use crate::stage::{BackendChoice, InputEvent, Stage, StageBuilder};
+}
+
 /// Version of the reproduction suite.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    use rlc_charlib::{DriverCell, TimingTable};
+    use rlc_numeric::units::{ff, pf, ps};
+    use rlc_spice::testbench::InverterSpec;
+
+    /// A synthetic affine cell table shared by the facade's unit tests:
+    /// fast and deterministic, no characterization simulations. The inverter
+    /// spec is real (75X), so the SPICE backend can still simulate it.
+    pub(crate) fn synthetic_cell_75x() -> DriverCell {
+        let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+        let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+        let transition: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                    .collect()
+            })
+            .collect();
+        let delay: Vec<Vec<f64>> = slews
+            .iter()
+            .map(|&s| {
+                loads
+                    .iter()
+                    .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                    .collect()
+            })
+            .collect();
+        DriverCell::from_parts(
+            InverterSpec::sized_018(75.0),
+            TimingTable::new(slews, loads, delay, transition),
+            70.0,
+        )
+    }
+}
 
 #[cfg(test)]
 mod tests {

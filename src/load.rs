@@ -1,0 +1,433 @@
+//! The [`LoadModel`] extension trait and the built-in load models.
+//!
+//! A load model answers two questions for the engine:
+//!
+//! 1. *What does the driver see analytically?* — [`LoadModel::reduce`]
+//!    produces the [`ReducedLoad`] (rational admittance + optional wave
+//!    parameters) the paper's charge-matching flow runs against.
+//! 2. *What is the physical netlist?* — [`LoadModel::attach`] appends the
+//!    load to a simulator circuit so the SPICE backend can run the golden
+//!    testbench against exactly the same load.
+//!
+//! Three loads ship with the facade — [`LumpedCapLoad`], [`PiModelLoad`] and
+//! [`DistributedRlcLoad`] — plus [`MomentsLoad`] for loads known only through
+//! extracted admittance moments. Downstream users implement the trait for
+//! anything else (coupled buses, tree nets, …).
+
+use crate::error::EngineError;
+use rlc_ceff::flow::{ReducedLoad, WaveParameters};
+use rlc_interconnect::RlcLine;
+use rlc_moments::{PiModel, RationalAdmittance};
+use rlc_spice::circuit::{Circuit, NodeId};
+use rlc_spice::testbench::add_rlc_ladder;
+
+/// An abstract load seen by a driver: anything that can be reduced to a
+/// rational driving-point admittance and (optionally) realized as a netlist.
+///
+/// The trait is object-safe; stages store loads as `Arc<dyn LoadModel>`.
+pub trait LoadModel: std::fmt::Debug + Send + Sync {
+    /// Reduces the load for the analytic flow.
+    ///
+    /// # Errors
+    /// Returns a load error when no usable admittance exists (for example
+    /// degenerate moments).
+    fn reduce(&self) -> Result<ReducedLoad, EngineError>;
+
+    /// Total capacitance of the load (used for driver on-resistance
+    /// extraction and simulation-window estimates).
+    fn total_capacitance(&self) -> f64;
+
+    /// Wave parameters when the load contains a transmission line.
+    fn wave(&self) -> Option<WaveParameters> {
+        None
+    }
+
+    /// Appends the load's netlist to `ckt` at the driving-point node `near`,
+    /// returning the node the far-end response should be measured at.
+    /// `segments` controls discretization for distributed loads and
+    /// `v_initial` the initial condition of created nodes.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Unsupported`] for loads with no physical
+    /// realization.
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError>;
+
+    /// One-line human-readable description.
+    fn describe(&self) -> String;
+}
+
+/// A lumped capacitive load `Y(s) = C s` — the classic NLDM table load.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LumpedCapLoad {
+    c: f64,
+}
+
+impl LumpedCapLoad {
+    /// Creates a lumped capacitor load.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] unless `c` is positive and
+    /// finite.
+    pub fn new(c: f64) -> Result<Self, EngineError> {
+        if !(c > 0.0 && c.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "lumped load capacitance must be positive and finite, got {c:e}"
+            )));
+        }
+        Ok(LumpedCapLoad { c })
+    }
+
+    /// The capacitance (farads).
+    pub fn capacitance(&self) -> f64 {
+        self.c
+    }
+}
+
+impl LoadModel for LumpedCapLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        ReducedLoad::lumped(self.c).map_err(EngineError::from)
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.c
+    }
+
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        _v_initial: f64,
+        _segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        ckt.add_capacitor("CLOAD", near, Circuit::GROUND, self.c);
+        Ok(near)
+    }
+
+    fn describe(&self) -> String {
+        format!("lumped C = {:.1} fF", self.c * 1e15)
+    }
+}
+
+/// An O'Brien–Savarino RC pi load: `c_near` at the driving point, series
+/// resistance, `c_far` behind it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PiModelLoad {
+    pi: PiModel,
+}
+
+impl PiModelLoad {
+    /// Wraps an already synthesized pi model.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] for non-physical element values.
+    pub fn new(pi: PiModel) -> Result<Self, EngineError> {
+        let physical = pi.c_near >= 0.0
+            && pi.c_far > 0.0
+            && pi.resistance > 0.0
+            && [pi.c_near, pi.c_far, pi.resistance]
+                .iter()
+                .all(|v| v.is_finite());
+        if !physical {
+            return Err(EngineError::invalid(format!(
+                "pi model elements must be physical (c_near = {:.3e}, R = {:.3e}, c_far = {:.3e})",
+                pi.c_near, pi.resistance, pi.c_far
+            )));
+        }
+        Ok(PiModelLoad { pi })
+    }
+
+    /// Synthesizes the pi load from the first three admittance moments.
+    ///
+    /// # Errors
+    /// Returns a load error when the moments are not RC-realizable (which is
+    /// exactly what happens for inductance-dominated nets — use
+    /// [`DistributedRlcLoad`] there).
+    pub fn from_moments(moments: &[f64]) -> Result<Self, EngineError> {
+        Ok(PiModelLoad {
+            pi: PiModel::from_moments(moments)?,
+        })
+    }
+
+    /// The underlying pi model.
+    pub fn pi(&self) -> &PiModel {
+        &self.pi
+    }
+}
+
+impl LoadModel for PiModelLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        Ok(ReducedLoad {
+            fit: self.pi.admittance(),
+            external_load: self.pi.total_capacitance(),
+            wave: None,
+        })
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.pi.total_capacitance()
+    }
+
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        _segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        if self.pi.c_near > 0.0 {
+            ckt.add_capacitor("CNEAR", near, Circuit::GROUND, self.pi.c_near);
+        }
+        let far = ckt.node("pi_far");
+        ckt.add_resistor("RPI", near, far, self.pi.resistance.max(1e-6));
+        ckt.add_capacitor("CFAR", far, Circuit::GROUND, self.pi.c_far);
+        ckt.set_initial_condition(far, v_initial);
+        Ok(far)
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "pi load: Cn = {:.1} fF, R = {:.1} ohm, Cf = {:.1} fF",
+            self.pi.c_near * 1e15,
+            self.pi.resistance,
+            self.pi.c_far * 1e15
+        )
+    }
+}
+
+/// The paper's load: a distributed RLC line terminated by a fan-out
+/// capacitance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributedRlcLoad {
+    line: RlcLine,
+    c_load: f64,
+}
+
+impl DistributedRlcLoad {
+    /// Creates the load from an extracted line and the far-end capacitance.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] if `c_load` is negative or
+    /// non-finite.
+    pub fn new(line: RlcLine, c_load: f64) -> Result<Self, EngineError> {
+        if !(c_load >= 0.0 && c_load.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "far-end load capacitance must be non-negative and finite, got {c_load:e}"
+            )));
+        }
+        Ok(DistributedRlcLoad { line, c_load })
+    }
+
+    /// The line.
+    pub fn line(&self) -> &RlcLine {
+        &self.line
+    }
+
+    /// The fan-out capacitance at the far end (farads).
+    pub fn fanout_capacitance(&self) -> f64 {
+        self.c_load
+    }
+}
+
+impl LoadModel for DistributedRlcLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        ReducedLoad::from_line(&self.line, self.c_load).map_err(EngineError::from)
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.line.capacitance() + self.c_load
+    }
+
+    fn wave(&self) -> Option<WaveParameters> {
+        Some(WaveParameters::of_line(&self.line))
+    }
+
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        Ok(add_rlc_ladder(
+            ckt,
+            near,
+            self.line.resistance(),
+            self.line.inductance(),
+            self.line.capacitance(),
+            segments,
+            self.c_load,
+            v_initial,
+            "line",
+        ))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "RLC line ({}) + CL = {:.1} fF",
+            self.line,
+            self.c_load * 1e15
+        )
+    }
+}
+
+/// A load known only through its driving-point admittance moments (for
+/// example handed over from a parasitic reducer). Analytic-backend only: it
+/// has no netlist, and the rational fit happens at analysis time — so a
+/// degenerate moment set fails *per stage*, which is exactly what the batch
+/// error-recovery path is for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentsLoad {
+    moments: Vec<f64>,
+}
+
+impl MomentsLoad {
+    /// Creates the load from admittance moments (`moments[k]` is the
+    /// coefficient of `s^(k+1)`; the first is the total capacitance).
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] when the moments are empty, not
+    /// finite, or the total capacitance is not positive. Note that a
+    /// *degenerate but well-formed* moment set (e.g. a pure capacitor given
+    /// five moments) passes construction and fails later, at
+    /// [`LoadModel::reduce`] time.
+    pub fn new(moments: Vec<f64>) -> Result<Self, EngineError> {
+        if moments.is_empty() || !moments.iter().all(|m| m.is_finite()) {
+            return Err(EngineError::invalid(
+                "admittance moments must be a non-empty list of finite values",
+            ));
+        }
+        if moments[0] <= 0.0 {
+            return Err(EngineError::invalid(format!(
+                "the first admittance moment (total capacitance) must be positive, got {:e}",
+                moments[0]
+            )));
+        }
+        Ok(MomentsLoad { moments })
+    }
+
+    /// The stored moments.
+    pub fn moments(&self) -> &[f64] {
+        &self.moments
+    }
+}
+
+impl LoadModel for MomentsLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        let fit = RationalAdmittance::from_moments(&self.moments)?;
+        Ok(ReducedLoad {
+            fit,
+            external_load: self.moments[0],
+            wave: None,
+        })
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.moments[0]
+    }
+
+    fn attach(
+        &self,
+        _ckt: &mut Circuit,
+        _near: NodeId,
+        _v_initial: f64,
+        _segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        Err(EngineError::unsupported(
+            "a moment-space load has no netlist; use the analytic backend or a physical load model",
+        ))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "moment-space load: {} moments, Ctotal = {:.1} fF",
+            self.moments.len(),
+            self.moments[0] * 1e15
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_moments::distributed_admittance_moments;
+    use rlc_numeric::units::{ff, mm, nh, pf};
+
+    #[test]
+    fn lumped_load_reduces_exactly() {
+        let load = LumpedCapLoad::new(ff(250.0)).unwrap();
+        let reduced = load.reduce().unwrap();
+        assert_eq!(reduced.fit.pole_count(), 0);
+        assert!((reduced.total_capacitance() - 250e-15).abs() < 1e-24);
+        assert!(reduced.wave.is_none());
+        assert!(load.describe().contains("250.0 fF"));
+        assert!(LumpedCapLoad::new(-1.0).is_err());
+        assert!(LumpedCapLoad::new(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn pi_load_reduces_to_one_pole() {
+        let pi = PiModel {
+            c_near: 0.2e-12,
+            resistance: 120.0,
+            c_far: 0.9e-12,
+        };
+        let load = PiModelLoad::new(pi).unwrap();
+        let reduced = load.reduce().unwrap();
+        assert_eq!(reduced.fit.pole_count(), 1);
+        assert!((load.total_capacitance() - 1.1e-12).abs() < 1e-24);
+        assert!(PiModelLoad::new(PiModel {
+            c_near: -1e-12,
+            resistance: 120.0,
+            c_far: 0.9e-12,
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn rlc_load_reduces_to_the_paper_fit() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let load = DistributedRlcLoad::new(line, ff(10.0)).unwrap();
+        let reduced = load.reduce().unwrap();
+        assert_eq!(reduced.fit.pole_count(), 2);
+        assert!(reduced.wave.is_some());
+        assert!((reduced.total_capacitance() - (1.10e-12 + 10e-15)).abs() < 1e-18);
+        assert!(load.wave().is_some());
+        assert!(DistributedRlcLoad::new(line, -1.0).is_err());
+    }
+
+    #[test]
+    fn moments_load_defers_degeneracy_to_reduce_time() {
+        // A pure capacitor expressed as five moments: construction succeeds,
+        // reduction fails — the per-stage error the batch path must survive.
+        let degenerate = MomentsLoad::new(vec![1e-12, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        assert!(matches!(degenerate.reduce(), Err(EngineError::Load { .. })));
+
+        // A healthy moment set reduces fine.
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let healthy = MomentsLoad::new(distributed_admittance_moments(&line, ff(10.0), 5)).unwrap();
+        assert!(healthy.reduce().is_ok());
+        assert!(healthy.moments().len() == 5);
+
+        assert!(MomentsLoad::new(vec![]).is_err());
+        assert!(MomentsLoad::new(vec![-1e-12, 0.0]).is_err());
+    }
+
+    #[test]
+    fn loads_are_object_safe() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let loads: Vec<Box<dyn LoadModel>> = vec![
+            Box::new(LumpedCapLoad::new(ff(100.0)).unwrap()),
+            Box::new(DistributedRlcLoad::new(line, ff(10.0)).unwrap()),
+        ];
+        for load in &loads {
+            assert!(load.total_capacitance() > 0.0);
+            assert!(!load.describe().is_empty());
+        }
+    }
+}

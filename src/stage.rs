@@ -1,0 +1,249 @@
+//! [`Stage`]: one validated unit of timing analysis — a driver, the load it
+//! drives, the input event, and (optionally) a per-stage backend override.
+
+use std::sync::Arc;
+
+use rlc_charlib::DriverCell;
+
+use crate::backend::AnalysisBackend;
+use crate::error::EngineError;
+use crate::load::LoadModel;
+
+/// The input event applied to the driver: a saturated ramp described by its
+/// 0–100 % transition time, starting at an absolute delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InputEvent {
+    /// Input transition time (seconds, 0–100 %).
+    pub slew: f64,
+    /// Absolute time at which the input ramp starts (seconds).
+    pub delay: f64,
+}
+
+impl InputEvent {
+    /// Absolute time of the input's 50 % crossing.
+    pub fn t50(&self) -> f64 {
+        self.delay + 0.5 * self.slew
+    }
+}
+
+/// Which backend analyzes a stage.
+#[derive(Clone)]
+pub enum BackendChoice {
+    /// The paper's analytic effective-capacitance flow.
+    Analytic,
+    /// The golden `rlc-spice` transient simulation.
+    Spice,
+    /// A user-supplied backend.
+    Custom(Arc<dyn AnalysisBackend>),
+}
+
+impl std::fmt::Debug for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendChoice::Analytic => write!(f, "Analytic"),
+            BackendChoice::Spice => write!(f, "Spice"),
+            BackendChoice::Custom(b) => write!(f, "Custom({})", b.name()),
+        }
+    }
+}
+
+/// One validated timing-analysis stage. Build with [`Stage::builder`]; the
+/// builder — unlike the deprecated panicking `AnalysisCase::new` — returns
+/// `Err` for bad descriptions, so a malformed stage in a batch is a per-stage
+/// report instead of a crash.
+#[derive(Debug, Clone)]
+pub struct Stage {
+    label: String,
+    driver: Arc<DriverCell>,
+    load: Arc<dyn LoadModel>,
+    input: InputEvent,
+    backend: Option<BackendChoice>,
+}
+
+impl Stage {
+    /// Starts building a stage from a driver and a load model.
+    pub fn builder<L: LoadModel + 'static>(
+        driver: impl Into<Arc<DriverCell>>,
+        load: L,
+    ) -> StageBuilder {
+        Self::builder_shared(driver.into(), Arc::new(load))
+    }
+
+    /// Starts building a stage from shared driver/load handles (lets many
+    /// stages of a batch share one characterized cell and one load).
+    pub fn builder_shared(driver: Arc<DriverCell>, load: Arc<dyn LoadModel>) -> StageBuilder {
+        StageBuilder {
+            label: None,
+            driver,
+            load,
+            slew: None,
+            delay: rlc_numeric::units::ps(20.0),
+            backend: None,
+        }
+    }
+
+    /// The stage label (used in reports and error messages).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The characterized driver.
+    pub fn driver(&self) -> &DriverCell {
+        &self.driver
+    }
+
+    /// The load model.
+    pub fn load(&self) -> &dyn LoadModel {
+        self.load.as_ref()
+    }
+
+    /// The input event.
+    pub fn input(&self) -> InputEvent {
+        self.input
+    }
+
+    /// The per-stage backend override, if any.
+    pub fn backend(&self) -> Option<&BackendChoice> {
+        self.backend.as_ref()
+    }
+}
+
+/// Builder for [`Stage`].
+#[derive(Debug, Clone)]
+pub struct StageBuilder {
+    label: Option<String>,
+    driver: Arc<DriverCell>,
+    load: Arc<dyn LoadModel>,
+    slew: Option<f64>,
+    delay: f64,
+    backend: Option<BackendChoice>,
+}
+
+impl StageBuilder {
+    /// Names the stage (defaults to `"stage"`).
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = Some(label.into());
+        self
+    }
+
+    /// Sets the input transition time (seconds, 0–100 %). Required.
+    pub fn input_slew(mut self, slew: f64) -> Self {
+        self.slew = Some(slew);
+        self
+    }
+
+    /// Sets the absolute start time of the input ramp (default 20 ps).
+    pub fn input_delay(mut self, delay: f64) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Overrides the engine's default backend for this stage.
+    pub fn backend(mut self, backend: BackendChoice) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Validates and finishes the stage.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] when the input slew is missing,
+    /// non-positive or non-finite, or the input delay is negative or
+    /// non-finite.
+    pub fn build(self) -> Result<Stage, EngineError> {
+        let slew = self
+            .slew
+            .ok_or_else(|| EngineError::invalid("input slew is required: call input_slew(..)"))?;
+        if !(slew > 0.0 && slew.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "input slew must be positive and finite, got {slew:e}"
+            )));
+        }
+        if !(self.delay >= 0.0 && self.delay.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "input delay must be non-negative and finite, got {:e}",
+                self.delay
+            )));
+        }
+        Ok(Stage {
+            label: self.label.unwrap_or_else(|| "stage".to_string()),
+            driver: self.driver,
+            load: self.load,
+            input: InputEvent {
+                slew,
+                delay: self.delay,
+            },
+            backend: self.backend,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::load::LumpedCapLoad;
+    use rlc_numeric::units::{ff, ps};
+
+    #[test]
+    fn builder_produces_a_labelled_stage() {
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            LumpedCapLoad::new(ff(200.0)).unwrap(),
+        )
+        .label("net42")
+        .input_slew(ps(100.0))
+        .input_delay(ps(40.0))
+        .backend(BackendChoice::Analytic)
+        .build()
+        .unwrap();
+        assert_eq!(stage.label(), "net42");
+        assert_eq!(stage.input().slew, ps(100.0));
+        assert!((stage.input().t50() - ps(90.0)).abs() < 1e-18);
+        assert!(matches!(stage.backend(), Some(BackendChoice::Analytic)));
+        assert!(stage.driver().vdd() > 0.0);
+        assert!(stage.load().total_capacitance() > 0.0);
+        assert!(format!("{:?}", stage.backend().unwrap()).contains("Analytic"));
+    }
+
+    #[test]
+    fn builder_rejects_bad_descriptions_without_panicking() {
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let load: Arc<dyn crate::load::LoadModel> =
+            Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap());
+
+        // Missing slew.
+        let err = Stage::builder_shared(cell.clone(), load.clone())
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::InvalidStage { .. }));
+
+        // Non-positive slew.
+        let err = Stage::builder_shared(cell.clone(), load.clone())
+            .input_slew(0.0)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("slew"));
+
+        // Negative delay.
+        let err = Stage::builder_shared(cell, load)
+            .input_slew(ps(100.0))
+            .input_delay(-1e-12)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("delay"));
+    }
+
+    #[test]
+    fn default_label_and_delay_apply() {
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            LumpedCapLoad::new(ff(200.0)).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        assert_eq!(stage.label(), "stage");
+        assert_eq!(stage.input().delay, ps(20.0));
+        assert!(stage.backend().is_none());
+    }
+}

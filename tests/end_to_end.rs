@@ -29,7 +29,7 @@ fn fast_modeler() -> DriverOutputModeler {
 fn inductive_case_end_to_end() {
     let cell = coarse_cell(75.0);
     let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
-    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+    let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).expect("valid case");
     let cmp = CaseComparison::evaluate(&case, &fast_modeler(), &GoldenOptions::coarse_for_tests())
         .expect("comparison failed");
     assert!(cmp.used_two_ramp, "the 75X / 5 mm case must be inductive");
@@ -53,7 +53,7 @@ fn inductive_case_end_to_end() {
 fn weak_driver_case_uses_single_ramp() {
     let cell = coarse_cell(25.0);
     let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(1.6)));
-    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(100.0));
+    let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).expect("valid case");
     let model = fast_modeler().model(&case).expect("modelling failed");
     assert!(!model.is_two_ramp(), "{}", model.describe());
     assert!(!model.criteria.driver_resistance_check.passes);
@@ -66,7 +66,7 @@ fn weak_driver_case_uses_single_ramp() {
 fn two_ramp_beats_one_ramp_on_inductive_case() {
     let cell = coarse_cell(75.0);
     let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(1.6)));
-    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(50.0));
+    let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(50.0)).expect("valid case");
     let modeler = fast_modeler();
     let golden = GoldenWaveforms::simulate(&case, &GoldenOptions::coarse_for_tests())
         .expect("golden simulation failed");
@@ -98,7 +98,7 @@ fn two_ramp_beats_one_ramp_on_inductive_case() {
 fn far_end_response_tracks_golden() {
     let cell = coarse_cell(75.0);
     let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(0.8)));
-    let case = AnalysisCase::new(&cell, &line, ff(10.0), ps(50.0));
+    let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(50.0)).expect("valid case");
     let modeler = fast_modeler();
     let options = GoldenOptions::coarse_for_tests();
     let golden = GoldenWaveforms::simulate(&case, &options).expect("golden simulation failed");
@@ -140,7 +140,8 @@ fn paper_figure_cases_are_classified_as_published() {
         fig5.parasitics.c_pf * 1e-12,
         mm(fig5.parasitics.length_mm),
     );
-    let case = AnalysisCase::new(&cell75, &line, ff(10.0), ps(fig5.input_slew_ps));
+    let case = AnalysisCase::try_new(&cell75, &line, ff(10.0), ps(fig5.input_slew_ps))
+        .expect("valid case");
     assert!(modeler.model(&case).unwrap().is_two_ramp());
 
     // Figure 6 left-hand case: 25X driver is not inductive.
@@ -151,6 +152,7 @@ fn paper_figure_cases_are_classified_as_published() {
         fig6.parasitics.c_pf * 1e-12,
         mm(fig6.parasitics.length_mm),
     );
-    let case = AnalysisCase::new(&cell25, &line, ff(10.0), ps(fig6.input_slew_ps));
+    let case = AnalysisCase::try_new(&cell25, &line, ff(10.0), ps(fig6.input_slew_ps))
+        .expect("valid case");
     assert!(!modeler.model(&case).unwrap().is_two_ramp());
 }

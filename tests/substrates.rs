@@ -52,7 +52,11 @@ fn extraction_matches_every_published_case() {
     let extractor = EmpiricalExtractor::cmos018();
     for case in paper_cases::all_published_parasitics() {
         let line = extractor.extract(&WireGeometry::new(mm(case.length_mm), um(case.width_um)));
-        assert!((line.resistance() - case.r_ohms).abs() / case.r_ohms < 0.06, "{}", case.label);
+        assert!(
+            (line.resistance() - case.r_ohms).abs() / case.r_ohms < 0.06,
+            "{}",
+            case.label
+        );
         assert!(
             (line.inductance() - case.l_nh * 1e-9).abs() / (case.l_nh * 1e-9) < 0.06,
             "{}",
