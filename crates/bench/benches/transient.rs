@@ -1,0 +1,182 @@
+//! Before/after benchmarks of the transient simulation kernels: the legacy
+//! full-reassembly kernel versus the factor-once LTI fast path and the
+//! split-stamp Newton loop, on the fig4-style RLC-ladder transient and a
+//! characterization-style grid of inverter runs. Results are written to
+//! `BENCH_transient.json` so the perf trajectory of the hot path is recorded.
+//!
+//! Run with: `cargo bench --bench transient`
+//! Smoke mode (CI): `RLC_BENCH_SMOKE=1 cargo bench --bench transient`
+
+use rlc_bench::harness::Runner;
+use rlc_bench::{write_bench_json, BenchComparison, OutputPaths};
+use rlc_numeric::units::{ff, nh, pf, ps};
+use rlc_spice::circuit::Circuit;
+use rlc_spice::source::SourceWaveform;
+use rlc_spice::testbench::{
+    inverter_with_cap_load, inverter_with_rlc_line, pwl_source_with_rlc_line, InverterSpec,
+    OutputTransition,
+};
+use rlc_spice::transient::{
+    KernelStrategy, TransientAnalysis, TransientOptions, TransientWorkspace,
+};
+use std::hint::black_box;
+
+fn options(time_step: f64, stop: f64, strategy: KernelStrategy) -> TransientOptions {
+    TransientOptions::try_new(time_step, stop)
+        .unwrap()
+        .with_strategy(strategy)
+}
+
+/// Benchmarks one circuit under the legacy and the automatic (fast) kernel,
+/// reusing one workspace on the fast side the way `charlib` and the spice
+/// backend do.
+fn compare(
+    runner: &mut Runner,
+    name: &str,
+    ckt: &Circuit,
+    time_step: f64,
+    stop: f64,
+) -> BenchComparison {
+    let legacy = TransientAnalysis::new(options(time_step, stop, KernelStrategy::LegacyFull));
+    let baseline = runner.bench(&format!("{name}/legacy"), || {
+        legacy.run(black_box(ckt)).unwrap()
+    });
+    let fast = TransientAnalysis::new(options(time_step, stop, KernelStrategy::Auto));
+    let mut ws = TransientWorkspace::new();
+    let optimized = runner.bench(&format!("{name}/fast"), || {
+        fast.run_with(black_box(ckt), &mut ws).unwrap()
+    });
+    BenchComparison {
+        name: name.to_string(),
+        baseline_ns: baseline.as_nanos(),
+        optimized_ns: optimized.as_nanos(),
+    }
+}
+
+fn main() {
+    let smoke = std::env::var("RLC_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let mut runner = Runner::new("transient").slow();
+    let mut results = Vec::new();
+
+    // Fig4-style line: the paper's 5 mm / 1.6 um case (R = 72.44 ohm,
+    // L = 5.14 nH, C = 1.10 pF) terminated by 10 fF.
+    let (r, l, c) = (72.44, nh(5.14), pf(1.10));
+    let (segments, stop) = if smoke {
+        (10, ps(200.0))
+    } else {
+        (40, ps(1200.0))
+    };
+
+    // LTI ladder: an ideal ramp driving the segmented line (the far-end
+    // propagation circuit used by `StageReport::far_end`) — the factor-once
+    // fast path.
+    let (ladder, _) = pwl_source_with_rlc_line(
+        SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0)),
+        0.0,
+        r,
+        l,
+        c,
+        segments,
+        ff(10.0),
+    );
+    results.push(compare(
+        &mut runner,
+        &format!("ladder_lti_{segments}seg"),
+        &ladder,
+        ps(0.5),
+        stop,
+    ));
+
+    // Nonlinear driver stage: a 75X inverter driving the same line — the
+    // split-stamp Newton kernel.
+    let spec = InverterSpec::sized_018(75.0);
+    let driver_segments = if smoke { 8 } else { 24 };
+    let (stage, _) = inverter_with_rlc_line(
+        &spec,
+        ps(100.0),
+        ps(20.0),
+        r,
+        l,
+        c,
+        driver_segments,
+        ff(10.0),
+        OutputTransition::Rising,
+    );
+    results.push(compare(
+        &mut runner,
+        &format!("driver_stage_{driver_segments}seg"),
+        &stage,
+        ps(0.5),
+        stop,
+    ));
+
+    // Characterization-style grid: the sweep of inverter-plus-cap transients
+    // that `charlib` runs per cell, legacy per-run allocation versus one
+    // reused workspace.
+    let slews: &[f64] = if smoke {
+        &[ps(100.0)]
+    } else {
+        &[ps(50.0), ps(100.0), ps(200.0)]
+    };
+    let loads: &[f64] = if smoke {
+        &[ff(200.0), pf(2.0)]
+    } else {
+        &[ff(50.0), ff(200.0), ff(800.0), pf(2.0)]
+    };
+    let grid_name = format!("char_grid_{}x{}", slews.len(), loads.len());
+    let run_grid = |strategy: KernelStrategy, ws: Option<&mut TransientWorkspace>| {
+        let mut fresh = TransientWorkspace::new();
+        let ws = ws.unwrap_or(&mut fresh);
+        for &slew in slews {
+            for &load in loads {
+                let (ckt, _) =
+                    inverter_with_cap_load(&spec, slew, ps(20.0), load, OutputTransition::Rising);
+                // Same simulation-window heuristic as charlib's
+                // `characterize_point` (which cannot be called here directly
+                // because the legacy baseline needs an explicit strategy).
+                let window = ps(20.0) + slew + 8.0 * (3.0e-3 / spec.nmos_width) * load + ps(200.0);
+                let steps = (window / ps(1.0)).ceil().max(50.0);
+                let o = options(ps(1.0), steps * ps(1.0), strategy);
+                black_box(TransientAnalysis::new(o).run_with(&ckt, ws).unwrap());
+            }
+        }
+    };
+    let baseline = runner.bench(&format!("{grid_name}/legacy"), || {
+        run_grid(KernelStrategy::LegacyFull, None)
+    });
+    let mut grid_ws = TransientWorkspace::new();
+    let optimized = runner.bench(&format!("{grid_name}/fast"), || {
+        run_grid(KernelStrategy::Auto, Some(&mut grid_ws))
+    });
+    results.push(BenchComparison {
+        name: grid_name,
+        baseline_ns: baseline.as_nanos(),
+        optimized_ns: optimized.as_nanos(),
+    });
+
+    for r in &results {
+        println!(
+            "  {}: {:.2}x speedup ({:.3} ms -> {:.3} ms)",
+            r.name,
+            r.speedup(),
+            r.baseline_ns as f64 / 1e6,
+            r.optimized_ns as f64 / 1e6,
+        );
+    }
+
+    // Full runs record the trajectory next to the sources (benches run with
+    // the package directory as CWD, so anchor on the workspace root); smoke
+    // runs (CI) only check that the harness executes, and park the report in
+    // target/.
+    let workspace_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let (mode, path) = if smoke {
+        (
+            "smoke",
+            OutputPaths::at(workspace_root.join("target/experiments")).file("BENCH_transient.json"),
+        )
+    } else {
+        ("full", workspace_root.join("BENCH_transient.json"))
+    };
+    write_bench_json(&path, "transient", mode, &results);
+    println!("wrote {}", path.display());
+}

@@ -1,5 +1,6 @@
 //! Runners for every table and figure in the paper's evaluation section.
 
+use std::sync::Arc;
 use std::thread;
 
 use rlc_ceff::flow::{AnalysisCase, DriverOutputModeler};
@@ -68,7 +69,7 @@ pub fn receiver_load() -> f64 {
     ff(10.0)
 }
 
-fn figure_setup(ctx: &mut ExperimentContext, case: &FigureCase) -> (DriverCell, RlcLine) {
+fn figure_setup(ctx: &mut ExperimentContext, case: &FigureCase) -> (Arc<DriverCell>, RlcLine) {
     (ctx.cell(case.driver_size), build_line(&case.parasitics))
 }
 

@@ -57,6 +57,65 @@ pub fn write_text(path: &Path, content: &str) {
     fs::write(path, content).expect("failed to write text report");
 }
 
+/// One before/after measurement of an optimized kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchComparison {
+    /// Benchmark case name.
+    pub name: String,
+    /// Median wall-clock time of the baseline (legacy) kernel, nanoseconds.
+    pub baseline_ns: u128,
+    /// Median wall-clock time of the optimized kernel, nanoseconds.
+    pub optimized_ns: u128,
+}
+
+impl BenchComparison {
+    /// Baseline-over-optimized speedup factor.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.optimized_ns.max(1) as f64
+    }
+}
+
+/// Writes before/after kernel measurements as a small JSON report (e.g.
+/// `BENCH_transient.json`), so the perf trajectory of the hot paths is
+/// recorded alongside the code. The format is hand-rolled because the
+/// workspace is dependency-free.
+///
+/// # Panics
+/// Panics on I/O errors.
+pub fn write_bench_json(path: &Path, target: &str, mode: &str, results: &[BenchComparison]) {
+    // Minimal string escaping so arbitrary case names cannot corrupt the
+    // report (quotes, backslashes, control characters).
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str(&format!("  \"target\": \"{}\",\n", escape(target)));
+    body.push_str(&format!("  \"mode\": \"{}\",\n", escape(mode)));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"baseline_ns\": {}, \"optimized_ns\": {}, \"speedup\": {:.2}}}{}\n",
+            escape(&r.name),
+            r.baseline_ns,
+            r.optimized_ns,
+            r.speedup(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    fs::write(path, body).expect("failed to write bench JSON report");
+}
+
 /// Formats a table of rows (already stringified) with aligned columns.
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let n_cols = header.len();
@@ -120,6 +179,33 @@ mod tests {
         let txt = paths.file("test.txt");
         write_text(&txt, "hello");
         assert_eq!(std::fs::read_to_string(&txt).unwrap(), "hello");
+    }
+
+    #[test]
+    fn bench_json_roundtrips() {
+        let dir = std::env::temp_dir().join("rlc_bench_output_test3");
+        let paths = OutputPaths::at(&dir);
+        let path = paths.file("BENCH_test.json");
+        let results = vec![
+            BenchComparison {
+                name: "ladder".into(),
+                baseline_ns: 10_000,
+                optimized_ns: 1_000,
+            },
+            BenchComparison {
+                name: "grid".into(),
+                baseline_ns: 500,
+                optimized_ns: 100,
+            },
+        ];
+        assert!((results[0].speedup() - 10.0).abs() < 1e-12);
+        write_bench_json(&path, "transient", "full", &results);
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"target\": \"transient\""));
+        assert!(content.contains("\"speedup\": 10.00"));
+        assert!(content.contains("\"baseline_ns\": 500,"));
+        // Exactly one trailing comma between the two records.
+        assert_eq!(content.matches("},").count(), 1);
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! simulation fidelity presets.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use rlc_ceff::validation::GoldenOptions;
 use rlc_ceff::{far_end::FarEndOptions, IterationSettings, ModelingConfig};
@@ -89,22 +90,21 @@ impl ExperimentContext {
         }
     }
 
-    /// Returns (characterizing on first use) the cell of a given drive
-    /// strength.
+    /// Returns (characterizing on first use) a shared handle to the cell of
+    /// a given drive strength.
     ///
     /// # Panics
     /// Panics if characterization fails — the experiment binaries cannot
     /// proceed without the library.
-    pub fn cell(&mut self, size: f64) -> DriverCell {
+    pub fn cell(&mut self, size: f64) -> Arc<DriverCell> {
         self.library
-            .cell(size)
+            .cell_shared(size)
             .unwrap_or_else(|e| panic!("characterization of the {size}X driver failed: {e}"))
-            .clone()
     }
 
-    /// Pre-characterizes a set of sizes and returns them keyed by size
-    /// (in thousandths, to keep a total order on f64 sizes).
-    pub fn cells(&mut self, sizes: &[f64]) -> BTreeMap<u64, DriverCell> {
+    /// Pre-characterizes a set of sizes and returns shared handles keyed by
+    /// size (in thousandths, to keep a total order on f64 sizes).
+    pub fn cells(&mut self, sizes: &[f64]) -> BTreeMap<u64, Arc<DriverCell>> {
         sizes
             .iter()
             .map(|&s| ((s * 1000.0).round() as u64, self.cell(s)))

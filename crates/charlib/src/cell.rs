@@ -3,9 +3,10 @@
 
 use rlc_numeric::units::ps;
 use rlc_spice::testbench::{InverterSpec, OutputTransition};
+use rlc_spice::transient::TransientWorkspace;
 
-use crate::characterize::{characterize_inverter, CharacterizationGrid};
-use crate::resistance::driver_on_resistance;
+use crate::characterize::{characterize_inverter_with, CharacterizationGrid};
+use crate::resistance::{driver_on_resistance, driver_on_resistance_with};
 use crate::table::TimingTable;
 use crate::CharlibError;
 
@@ -43,10 +44,19 @@ impl DriverCell {
         spec: InverterSpec,
         grid: &CharacterizationGrid,
     ) -> Result<Self, CharlibError> {
-        let table = characterize_inverter(&spec, grid)?;
+        // One workspace serves every transient run of the characterization:
+        // the grid sweep plus the resistance extraction.
+        let mut workspace = TransientWorkspace::new();
+        let table = characterize_inverter_with(&spec, grid, &mut workspace)?;
         let resistance_load = table.max_load();
-        let on_resistance =
-            driver_on_resistance(&spec, ps(100.0), resistance_load, grid.transition)?.resistance;
+        let on_resistance = driver_on_resistance_with(
+            &spec,
+            ps(100.0),
+            resistance_load,
+            grid.transition,
+            &mut workspace,
+        )?
+        .resistance;
         Ok(DriverCell {
             spec,
             table,

@@ -4,7 +4,7 @@
 
 use rlc_numeric::units::{ff, pf, ps};
 use rlc_spice::testbench::{inverter_with_cap_load, InverterSpec, OutputTransition};
-use rlc_spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_spice::transient::{TransientAnalysis, TransientOptions, TransientWorkspace};
 
 use crate::table::TimingTable;
 use crate::CharlibError;
@@ -123,6 +123,31 @@ pub fn characterize_point(
     time_step: f64,
     transition: OutputTransition,
 ) -> Result<CharacterizedPoint, CharlibError> {
+    let mut workspace = TransientWorkspace::new();
+    characterize_point_with(
+        spec,
+        input_slew,
+        load,
+        time_step,
+        transition,
+        &mut workspace,
+    )
+}
+
+/// [`characterize_point`] reusing a caller-owned simulation workspace, so a
+/// grid of points shares one set of kernel buffers instead of reallocating
+/// them per simulation.
+///
+/// # Errors
+/// Propagates simulation failures and reports missing waveform crossings.
+pub fn characterize_point_with(
+    spec: &InverterSpec,
+    input_slew: f64,
+    load: f64,
+    time_step: f64,
+    transition: OutputTransition,
+    workspace: &mut TransientWorkspace,
+) -> Result<CharacterizedPoint, CharlibError> {
     let input_delay = ps(20.0);
     let (ckt, nodes) = inverter_with_cap_load(spec, input_slew, input_delay, load, transition);
 
@@ -132,8 +157,8 @@ pub fn characterize_point(
     let r_estimate = 3.0e-3 / spec.nmos_width; // ohms
     let window = input_delay + input_slew + 8.0 * r_estimate * load + ps(200.0);
     let steps = (window / time_step).ceil().max(50.0);
-    let opts = TransientOptions::new(time_step, steps * time_step);
-    let result = TransientAnalysis::new(opts).run(&ckt)?;
+    let opts = TransientOptions::try_new(time_step, steps * time_step)?;
+    let result = TransientAnalysis::new(opts).run_with(&ckt, workspace)?;
 
     let vdd = spec.vdd;
     let out = result.waveform(nodes.output);
@@ -177,6 +202,21 @@ pub fn characterize_inverter(
     spec: &InverterSpec,
     grid: &CharacterizationGrid,
 ) -> Result<TimingTable, CharlibError> {
+    let mut workspace = TransientWorkspace::new();
+    characterize_inverter_with(spec, grid, &mut workspace)
+}
+
+/// [`characterize_inverter`] reusing a caller-owned simulation workspace:
+/// every grid point (tens of transient runs per cell) shares one set of
+/// kernel buffers.
+///
+/// # Errors
+/// Fails if the grid is invalid or any point fails to simulate or measure.
+pub fn characterize_inverter_with(
+    spec: &InverterSpec,
+    grid: &CharacterizationGrid,
+    workspace: &mut TransientWorkspace,
+) -> Result<TimingTable, CharlibError> {
     grid.validate()?;
     let mut delay = Vec::with_capacity(grid.slew_axis.len());
     let mut transition = Vec::with_capacity(grid.slew_axis.len());
@@ -184,7 +224,14 @@ pub fn characterize_inverter(
         let mut drow = Vec::with_capacity(grid.load_axis.len());
         let mut trow = Vec::with_capacity(grid.load_axis.len());
         for &load in &grid.load_axis {
-            let point = characterize_point(spec, slew, load, grid.time_step, grid.transition)?;
+            let point = characterize_point_with(
+                spec,
+                slew,
+                load,
+                grid.time_step,
+                grid.transition,
+                workspace,
+            )?;
             drow.push(point.delay);
             trow.push(point.transition);
         }

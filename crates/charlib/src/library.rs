@@ -1,6 +1,7 @@
 //! A lazily characterized cell library with caching.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use crate::cell::DriverCell;
 use crate::characterize::CharacterizationGrid;
@@ -10,11 +11,13 @@ use crate::CharlibError;
 ///
 /// The paper sweeps driver strengths 25X–125X; characterizing each one costs
 /// tens of transient simulations, so the library characterizes lazily and
-/// caches the result for the rest of the run.
+/// caches the result for the rest of the run. Cells are stored behind `Arc`
+/// so batch analyses hand out shared handles ([`Library::cell_shared`])
+/// instead of cloning whole timing tables per stage.
 #[derive(Debug, Clone)]
 pub struct Library {
     grid: CharacterizationGrid,
-    cells: BTreeMap<u64, DriverCell>,
+    cells: BTreeMap<u64, Arc<DriverCell>>,
 }
 
 impl Library {
@@ -64,11 +67,29 @@ impl Library {
     /// # Panics
     /// Panics if `size` is not positive.
     pub fn cell(&mut self, size: f64) -> Result<&DriverCell, CharlibError> {
+        Ok(self.cell_entry(size)?.as_ref())
+    }
+
+    /// Returns a shared handle to the characterized cell for `size`,
+    /// characterizing it on first use. Batch stages should prefer this over
+    /// [`Library::cell`] + clone: every stage then references the one cached
+    /// cell instead of copying its timing tables.
+    ///
+    /// # Errors
+    /// Propagates characterization failures.
+    ///
+    /// # Panics
+    /// Panics if `size` is not positive.
+    pub fn cell_shared(&mut self, size: f64) -> Result<Arc<DriverCell>, CharlibError> {
+        Ok(Arc::clone(self.cell_entry(size)?))
+    }
+
+    fn cell_entry(&mut self, size: f64) -> Result<&Arc<DriverCell>, CharlibError> {
         assert!(size > 0.0, "driver size must be positive");
         let key = Self::key(size);
         if !self.cells.contains_key(&key) {
             let cell = DriverCell::characterize(size, &self.grid)?;
-            self.cells.insert(key, cell);
+            self.cells.insert(key, Arc::new(cell));
         }
         Ok(self.cells.get(&key).expect("cell was just inserted"))
     }
@@ -76,13 +97,24 @@ impl Library {
     /// Inserts a pre-built cell (used by tests and for loading persisted
     /// libraries).
     pub fn insert(&mut self, cell: DriverCell) {
+        self.insert_shared(Arc::new(cell));
+    }
+
+    /// Inserts an already shared cell handle without cloning its tables.
+    pub fn insert_shared(&mut self, cell: Arc<DriverCell>) {
         self.cells.insert(Self::key(cell.size()), cell);
     }
 
     /// Looks up an already characterized cell without triggering
     /// characterization.
     pub fn get(&self, size: f64) -> Option<&DriverCell> {
-        self.cells.get(&Self::key(size))
+        self.cells.get(&Self::key(size)).map(Arc::as_ref)
+    }
+
+    /// Looks up a shared handle to an already characterized cell without
+    /// triggering characterization.
+    pub fn get_shared(&self, size: f64) -> Option<Arc<DriverCell>> {
+        self.cells.get(&Self::key(size)).map(Arc::clone)
     }
 }
 
@@ -133,6 +165,22 @@ mod tests {
         let cell = lib.cell(50.0).unwrap();
         assert_eq!(cell.size(), 50.0);
         assert_eq!(lib.len(), before);
+    }
+
+    #[test]
+    fn cell_shared_hands_out_the_same_allocation() {
+        let mut lib = Library::new(CharacterizationGrid::coarse_for_tests());
+        lib.insert(dummy_cell(60.0));
+        let a = lib.cell_shared(60.0).unwrap();
+        let b = lib.cell_shared(60.0).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &b), "no per-caller cell clones");
+        let c = lib.get_shared(60.0).unwrap();
+        assert!(std::sync::Arc::ptr_eq(&a, &c));
+        assert!(lib.get_shared(61.0).is_none());
+        // insert_shared keeps the caller's allocation.
+        let pre = std::sync::Arc::new(dummy_cell(70.0));
+        lib.insert_shared(pre.clone());
+        assert!(std::sync::Arc::ptr_eq(&pre, &lib.get_shared(70.0).unwrap()));
     }
 
     #[test]

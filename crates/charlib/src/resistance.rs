@@ -15,7 +15,7 @@
 
 use rlc_numeric::units::ps;
 use rlc_spice::testbench::{inverter_with_cap_load, InverterSpec, OutputTransition};
-use rlc_spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_spice::transient::{TransientAnalysis, TransientOptions, TransientWorkspace};
 
 use crate::CharlibError;
 
@@ -43,6 +43,22 @@ pub fn driver_on_resistance(
     load: f64,
     transition: OutputTransition,
 ) -> Result<DriverResistance, CharlibError> {
+    let mut workspace = TransientWorkspace::new();
+    driver_on_resistance_with(spec, input_slew, load, transition, &mut workspace)
+}
+
+/// [`driver_on_resistance`] reusing a caller-owned simulation workspace.
+///
+/// # Errors
+/// Propagates simulation errors; fails with a measurement error if the output
+/// never reaches 90 % of the supply in the simulated window.
+pub fn driver_on_resistance_with(
+    spec: &InverterSpec,
+    input_slew: f64,
+    load: f64,
+    transition: OutputTransition,
+    workspace: &mut TransientWorkspace,
+) -> Result<DriverResistance, CharlibError> {
     assert!(load > 0.0, "load capacitance must be positive");
     let input_delay = ps(20.0);
     let (ckt, nodes) = inverter_with_cap_load(spec, input_slew, input_delay, load, transition);
@@ -51,8 +67,8 @@ pub fn driver_on_resistance(
     let window = input_delay + input_slew + 10.0 * r_estimate * load + ps(200.0);
     let time_step = ps(0.5);
     let steps = (window / time_step).ceil().max(50.0);
-    let result =
-        TransientAnalysis::new(TransientOptions::new(time_step, steps * time_step)).run(&ckt)?;
+    let result = TransientAnalysis::new(TransientOptions::try_new(time_step, steps * time_step)?)
+        .run_with(&ckt, workspace)?;
 
     let vdd = spec.vdd;
     let rising = matches!(transition, OutputTransition::Rising);

@@ -76,8 +76,8 @@ impl FarEndResponse {
             options.segments,
             c_load,
         );
-        let result =
-            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
+        let result = TransientAnalysis::new(TransientOptions::try_new(options.time_step, t_stop)?)
+            .run(&ckt)?;
         let far = result.waveform(nodes.far_end);
         let near = result.waveform(nodes.output);
         let vdd = model.vdd;

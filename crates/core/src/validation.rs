@@ -91,8 +91,8 @@ impl GoldenWaveforms {
             case.c_load,
             OutputTransition::Rising,
         );
-        let result =
-            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
+        let result = TransientAnalysis::new(TransientOptions::try_new(options.time_step, t_stop)?)
+            .run(&ckt)?;
         let input = result.waveform(nodes.input);
         let near = result.waveform(nodes.output);
         let far = result.waveform(nodes.far_end);

@@ -35,7 +35,7 @@ pub mod stats;
 pub mod units;
 
 pub use complex::Complex;
-pub use matrix::DenseMatrix;
+pub use matrix::{DenseMatrix, LuFactors};
 pub use polynomial::Polynomial;
 pub use series::PowerSeries;
 

@@ -1,4 +1,12 @@
 //! DC operating-point analysis (Newton–Raphson with gmin and step limiting).
+//!
+//! The Newton loop uses the split-stamp scheme: the state-independent stamps
+//! (gmin, resistors, sources, inductor shorts) are assembled once into a
+//! cached matrix/RHS pair, and each iteration copies the cache and adds only
+//! the MOSFET linearizations before refactorizing — the inner loop performs
+//! no allocation.
+
+use rlc_numeric::{DenseMatrix, LuFactors};
 
 use crate::circuit::Circuit;
 use crate::mna::MnaSystem;
@@ -64,6 +72,22 @@ impl DcSolution {
 pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcSolution, SpiceError> {
     circuit.validate()?;
     let system = MnaSystem::compile(circuit);
+    let (x, iterations) = dc_solve_compiled(&system, circuit, options)?;
+    Ok(DcSolution {
+        system,
+        x,
+        iterations,
+    })
+}
+
+/// Runs the DC Newton loop on an already compiled system (so transient
+/// analysis can reuse its compilation). Returns the solution vector and the
+/// iteration count.
+pub(crate) fn dc_solve_compiled(
+    system: &MnaSystem,
+    circuit: &Circuit,
+    options: DcOptions,
+) -> Result<(Vec<f64>, usize), SpiceError> {
     let n = system.num_unknowns();
     let n_voltages = system.num_nodes() - 1;
 
@@ -76,35 +100,37 @@ pub fn dc_operating_point(circuit: &Circuit, options: DcOptions) -> Result<DcSol
         }
     }
 
+    // Split-stamp cache: everything except the MOSFET linearizations.
+    let mut static_matrix = DenseMatrix::zeros(n, n);
+    let mut static_rhs = vec![0.0; n];
+    system.stamp_dc_static(&mut static_matrix, &mut static_rhs);
+    let mut m = DenseMatrix::zeros(n, n);
+    let mut rhs = vec![0.0; n];
+    let mut lu = LuFactors::empty();
+    let mut x_new = vec![0.0; n];
+
     let mut last_delta = f64::INFINITY;
     for it in 0..options.max_iterations {
-        let (m, rhs) = system.assemble_dc(&x);
-        let x_new = m
-            .solve(&rhs)
+        m.copy_from(&static_matrix);
+        rhs.copy_from_slice(&static_rhs);
+        system.stamp_mosfets(&mut m, &mut rhs, &x);
+        m.factor_into(&mut lu)
             .map_err(|_| SpiceError::SingularMatrix { time: None })?;
+        lu.solve_into(&rhs, &mut x_new);
 
         let mut max_delta: f64 = 0.0;
-        let mut x_next = x.clone();
-        for k in 0..n {
-            let mut delta = x_new[k] - x[k];
-            if k < n_voltages {
-                delta = delta.clamp(-options.step_limit, options.step_limit);
-                max_delta = max_delta.max(delta.abs());
-            }
-            x_next[k] = x[k] + delta;
+        for k in 0..n_voltages {
+            let delta = (x_new[k] - x[k]).clamp(-options.step_limit, options.step_limit);
+            max_delta = max_delta.max(delta.abs());
+            x[k] += delta;
         }
         // Branch currents follow the voltage solution directly once voltages
         // have settled; take them unclamped.
-        x_next[n_voltages..n].copy_from_slice(&x_new[n_voltages..n]);
+        x[n_voltages..n].copy_from_slice(&x_new[n_voltages..n]);
 
-        x = x_next;
         last_delta = max_delta;
         if max_delta < options.voltage_tolerance {
-            return Ok(DcSolution {
-                system,
-                x,
-                iterations: it + 1,
-            });
+            return Ok((x, it + 1));
         }
     }
 

@@ -27,7 +27,7 @@
 //! ckt.add_resistor("R1", vin, vout, 1e3);
 //! ckt.add_capacitor("C1", vout, Circuit::GROUND, 1e-12);
 //!
-//! let opts = TransientOptions::new(10e-12, 10e-9);
+//! let opts = TransientOptions::try_new(10e-12, 10e-9)?;
 //! let result = TransientAnalysis::new(opts).run(&ckt)?;
 //! let wave = result.waveform(vout);
 //! // After 10 time constants the capacitor is fully charged.
@@ -52,7 +52,10 @@ pub use dc::{dc_operating_point, DcOptions};
 pub use elements::Element;
 pub use mosfet::{MosfetParams, MosfetType};
 pub use source::SourceWaveform;
-pub use transient::{IntegrationMethod, TransientAnalysis, TransientOptions, TransientResult};
+pub use transient::{
+    IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
+    TransientWorkspace,
+};
 pub use waveform::Waveform;
 
 /// Convenient glob import for users of the simulator.
@@ -62,7 +65,8 @@ pub mod prelude {
     pub use crate::mosfet::{MosfetParams, MosfetType};
     pub use crate::source::SourceWaveform;
     pub use crate::transient::{
-        IntegrationMethod, TransientAnalysis, TransientOptions, TransientResult,
+        IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
+        TransientWorkspace,
     };
     pub use crate::waveform::Waveform;
     pub use crate::SpiceError;
@@ -88,6 +92,9 @@ pub enum SpiceError {
     },
     /// The circuit failed a sanity check before analysis.
     InvalidCircuit(String),
+    /// Analysis options failed validation (non-positive times, a stop time
+    /// shorter than one step, or an impossible kernel strategy).
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for SpiceError {
@@ -112,6 +119,7 @@ impl std::fmt::Display for SpiceError {
                 None => write!(f, "singular MNA matrix in DC analysis"),
             },
             SpiceError::InvalidCircuit(msg) => write!(f, "invalid circuit: {msg}"),
+            SpiceError::InvalidOptions(msg) => write!(f, "invalid analysis options: {msg}"),
         }
     }
 }

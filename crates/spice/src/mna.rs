@@ -10,7 +10,9 @@ use rlc_numeric::DenseMatrix;
 
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::Element;
-use crate::mosfet::{eval_alpha_power, MosfetParams, MosfetType};
+use crate::mosfet::{
+    eval_alpha_power, eval_alpha_power_cached, MosfetEvalCache, MosfetParams, MosfetType,
+};
 use crate::source::SourceWaveform;
 
 /// Minimum conductance added from every node to ground for numerical
@@ -272,6 +274,112 @@ impl MnaSystem {
         }
     }
 
+    /// Whether the circuit is linear and time-invariant under a fixed step:
+    /// only R, L, C and independent sources (no MOSFETs). LTI systems get the
+    /// factor-once transient fast path.
+    pub fn is_linear(&self) -> bool {
+        self.mosfets.is_empty()
+    }
+
+    /// Stamps the state-independent part of the DC system: gmin, resistors,
+    /// inductor shorts, voltage-source constraints and current-source
+    /// injections. Everything except the MOSFET linearizations, which are the
+    /// only stamps that change across Newton iterations.
+    pub(crate) fn stamp_dc_static(&self, m: &mut DenseMatrix, rhs: &mut [f64]) {
+        for k in 0..(self.num_nodes - 1) {
+            m.add_at(k, k, GMIN);
+        }
+        for r in &self.resistors {
+            self.stamp_conductance(m, r.a, r.b, r.conductance);
+        }
+        for l in &self.inductors {
+            // Branch row: Va - Vb = 0; KCL: branch current leaves a, enters b.
+            self.stamp_branch_voltage_rows(m, l.a, l.b, l.branch);
+        }
+        for v in &self.vsources {
+            self.stamp_branch_voltage_rows(m, v.pos, v.neg, v.branch);
+            rhs[v.branch] = v.waveform.initial_value();
+        }
+        for i in &self.isources {
+            self.stamp_current_injection(rhs, i.to, i.from, i.waveform.initial_value());
+        }
+    }
+
+    /// Stamps every MOSFET linearized about `x_guess` — the per-iteration
+    /// stamps of the split-stamp Newton scheme.
+    pub(crate) fn stamp_mosfets(&self, m: &mut DenseMatrix, rhs: &mut [f64], x_guess: &[f64]) {
+        for f in &self.mosfets {
+            self.stamp_mosfet_core(
+                f,
+                x_guess,
+                None,
+                &mut |i, j, v| m.add_at(i, j, v),
+                &mut |i, v| rhs[i] += v,
+            );
+        }
+    }
+
+    /// [`MnaSystem::stamp_mosfets`] with persistent per-device overdrive
+    /// caches (one entry per compiled MOSFET), so repeated stamps at an
+    /// unchanged gate voltage skip the `powf` evaluations.
+    pub(crate) fn stamp_mosfets_cached(
+        &self,
+        m: &mut DenseMatrix,
+        rhs: &mut [f64],
+        x_guess: &[f64],
+        caches: &mut [MosfetEvalCache],
+    ) {
+        for (f, cache) in self.mosfets.iter().zip(caches) {
+            self.stamp_mosfet_core(
+                f,
+                x_guess,
+                Some(cache),
+                &mut |i, j, v| m.add_at(i, j, v),
+                &mut |i, v| rhs[i] += v,
+            );
+        }
+    }
+
+    /// Stamps every MOSFET as a *low-rank row update*: matrix entries land in
+    /// `delta` (one row per entry of [`MnaSystem::mosfet_rows`], addressed
+    /// through `row_map`) and RHS entries in `delta_rhs`. This is the `V`/`Δb`
+    /// of the Sherman–Morrison–Woodbury solve in the transient fast path.
+    pub(crate) fn stamp_mosfets_delta(
+        &self,
+        delta: &mut DenseMatrix,
+        delta_rhs: &mut [f64],
+        x_guess: &[f64],
+        row_map: &[usize],
+        caches: &mut [MosfetEvalCache],
+    ) {
+        for (f, cache) in self.mosfets.iter().zip(caches) {
+            self.stamp_mosfet_core(
+                f,
+                x_guess,
+                Some(cache),
+                &mut |i, j, v| delta.add_at(row_map[i], j, v),
+                &mut |i, v| delta_rhs[row_map[i]] += v,
+            );
+        }
+    }
+
+    /// The matrix rows a MOSFET stamp can touch: the voltage unknowns of
+    /// every non-ground drain/source terminal (gates only contribute
+    /// columns). Sorted and deduplicated; its length is the rank of the
+    /// per-iteration update in the Woodbury transient kernel.
+    pub(crate) fn mosfet_rows(&self) -> Vec<usize> {
+        let mut rows: Vec<usize> = self
+            .mosfets
+            .iter()
+            .flat_map(|f| [f.drain, f.source])
+            .filter(|&node| node != 0)
+            .map(|node| node - 1)
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
     /// Assembles the DC operating-point system linearized about `x_guess`.
     ///
     /// Capacitors are open circuits; inductors become 0 V constraints through
@@ -280,27 +388,8 @@ impl MnaSystem {
         let n = self.num_unknowns;
         let mut m = DenseMatrix::zeros(n, n);
         let mut rhs = vec![0.0; n];
-
-        for k in 0..(self.num_nodes - 1) {
-            m.add_at(k, k, GMIN);
-        }
-        for r in &self.resistors {
-            self.stamp_conductance(&mut m, r.a, r.b, r.conductance);
-        }
-        for l in &self.inductors {
-            // Branch row: Va - Vb = 0; KCL: branch current leaves a, enters b.
-            self.stamp_branch_voltage_rows(&mut m, l.a, l.b, l.branch);
-        }
-        for v in &self.vsources {
-            self.stamp_branch_voltage_rows(&mut m, v.pos, v.neg, v.branch);
-            rhs[v.branch] = v.waveform.initial_value();
-        }
-        for i in &self.isources {
-            self.stamp_current_injection(&mut rhs, i.to, i.from, i.waveform.initial_value());
-        }
-        for f in &self.mosfets {
-            self.stamp_mosfet(&mut m, &mut rhs, f, x_guess);
-        }
+        self.stamp_dc_static(&mut m, &mut rhs);
+        self.stamp_mosfets(&mut m, &mut rhs, x_guess);
         (m, rhs)
     }
 
@@ -321,60 +410,163 @@ impl MnaSystem {
         let n = self.num_unknowns;
         let mut m = DenseMatrix::zeros(n, n);
         let mut rhs = vec![0.0; n];
+        self.stamp_transient_static(&mut m, h, method);
+        self.transient_rhs_into(t, h, method, prev_x, prev_cap_currents, &mut rhs);
+        self.stamp_mosfets(&mut m, &mut rhs, x_guess);
+        (m, rhs)
+    }
 
+    /// Stamps the time-invariant part of the transient matrix for a fixed
+    /// step `h`: gmin, resistors, the capacitor/inductor companion
+    /// conductances and the source/inductor branch constraint rows. Under a
+    /// fixed step this matrix never changes, so LTI circuits factor it once
+    /// per run and nonlinear circuits cache it and add only the MOSFET
+    /// stamps per Newton iteration.
+    pub(crate) fn stamp_transient_static(
+        &self,
+        m: &mut DenseMatrix,
+        h: f64,
+        method: CompanionMethod,
+    ) {
         for k in 0..(self.num_nodes - 1) {
             m.add_at(k, k, GMIN);
         }
         for r in &self.resistors {
-            self.stamp_conductance(&mut m, r.a, r.b, r.conductance);
+            self.stamp_conductance(m, r.a, r.b, r.conductance);
         }
+        for c in &self.capacitors {
+            let g = match method {
+                CompanionMethod::BackwardEuler => c.farads / h,
+                CompanionMethod::Trapezoidal => 2.0 * c.farads / h,
+            };
+            self.stamp_conductance(m, c.a, c.b, g);
+        }
+        for l in &self.inductors {
+            let z = match method {
+                CompanionMethod::BackwardEuler => l.henries / h,
+                CompanionMethod::Trapezoidal => 2.0 * l.henries / h,
+            };
+            // KCL columns and branch voltage row.
+            self.stamp_branch_voltage_rows(m, l.a, l.b, l.branch);
+            // Branch equation: Va - Vb - z * i = rhs_val.
+            m.add_at(l.branch, l.branch, -z);
+        }
+        for v in &self.vsources {
+            self.stamp_branch_voltage_rows(m, v.pos, v.neg, v.branch);
+        }
+    }
+
+    /// Fills `rhs` with the transient right-hand side at time `t`: source
+    /// waveform values and the capacitor/inductor companion history terms.
+    /// This is the only part of an LTI system that changes per time step, and
+    /// it is identical across the Newton iterations of a nonlinear step.
+    pub(crate) fn transient_rhs_into(
+        &self,
+        t: f64,
+        h: f64,
+        method: CompanionMethod,
+        prev_x: &[f64],
+        prev_cap_currents: &[f64],
+        rhs: &mut [f64],
+    ) {
+        rhs.iter_mut().for_each(|v| *v = 0.0);
         for (idx, c) in self.capacitors.iter().enumerate() {
             let v_prev = self.node_voltage(prev_x, c.a) - self.node_voltage(prev_x, c.b);
-            let (g, ieq) = match method {
-                CompanionMethod::BackwardEuler => {
-                    let g = c.farads / h;
-                    (g, g * v_prev)
-                }
+            let ieq = match method {
+                CompanionMethod::BackwardEuler => c.farads / h * v_prev,
                 CompanionMethod::Trapezoidal => {
-                    let g = 2.0 * c.farads / h;
-                    (g, g * v_prev + prev_cap_currents[idx])
+                    2.0 * c.farads / h * v_prev + prev_cap_currents[idx]
                 }
             };
-            self.stamp_conductance(&mut m, c.a, c.b, g);
             // Companion current source injects ieq into node a (out of b):
             // i_cap = g * v - ieq, so the "-ieq" term is a current entering a.
-            self.stamp_current_injection(&mut rhs, c.a, c.b, ieq);
+            self.stamp_current_injection(rhs, c.a, c.b, ieq);
         }
+        self.rhs_sources_and_inductors(t, h, method, prev_x, rhs);
+    }
+
+    /// Initializes the per-capacitor companion-source state for the fused RHS
+    /// pass: `ieq_0 = g·v_0` (the capacitor starts current-free, so the step-1
+    /// trapezoidal source `g·v_0 + i_0` reduces to the same value).
+    pub(crate) fn init_cap_ieq(
+        &self,
+        h: f64,
+        method: CompanionMethod,
+        x0: &[f64],
+        cap_ieq: &mut [f64],
+    ) {
+        for (state, c) in cap_ieq.iter_mut().zip(&self.capacitors) {
+            let g = match method {
+                CompanionMethod::BackwardEuler => c.farads / h,
+                CompanionMethod::Trapezoidal => 2.0 * c.farads / h,
+            };
+            let v0 = self.node_voltage(x0, c.a) - self.node_voltage(x0, c.b);
+            *state = g * v0;
+        }
+    }
+
+    /// Fused variant of [`MnaSystem::transient_rhs_into`] used by the fast
+    /// kernels: folds the post-step capacitor-current update into the RHS
+    /// pass by keeping the companion source itself as state. For the
+    /// trapezoidal rule, `ieq_{k+1} = g·v_k + i_k` with
+    /// `i_k = g·v_k − ieq_k` gives the one-multiply recurrence
+    /// `ieq_{k+1} = 2·g·v_k − ieq_k`; backward Euler has no current memory.
+    /// One pass per step instead of two (assemble + update).
+    pub(crate) fn transient_rhs_fused(
+        &self,
+        t: f64,
+        h: f64,
+        method: CompanionMethod,
+        prev_x: &[f64],
+        cap_ieq: &mut [f64],
+        rhs: &mut [f64],
+    ) {
+        rhs.iter_mut().for_each(|v| *v = 0.0);
+        match method {
+            CompanionMethod::BackwardEuler => {
+                for c in &self.capacitors {
+                    let v_prev = self.node_voltage(prev_x, c.a) - self.node_voltage(prev_x, c.b);
+                    let ieq = c.farads / h * v_prev;
+                    self.stamp_current_injection(rhs, c.a, c.b, ieq);
+                }
+            }
+            CompanionMethod::Trapezoidal => {
+                for (state, c) in cap_ieq.iter_mut().zip(&self.capacitors) {
+                    let g2 = 2.0 * (2.0 * c.farads / h);
+                    let v_prev = self.node_voltage(prev_x, c.a) - self.node_voltage(prev_x, c.b);
+                    let ieq = g2 * v_prev - *state;
+                    *state = ieq;
+                    self.stamp_current_injection(rhs, c.a, c.b, ieq);
+                }
+            }
+        }
+        self.rhs_sources_and_inductors(t, h, method, prev_x, rhs);
+    }
+
+    /// Inductor companion terms and source values of the transient RHS
+    /// (shared by the plain and fused assembly passes).
+    fn rhs_sources_and_inductors(
+        &self,
+        t: f64,
+        h: f64,
+        method: CompanionMethod,
+        prev_x: &[f64],
+        rhs: &mut [f64],
+    ) {
         for l in &self.inductors {
             let i_prev = prev_x[l.branch];
             let v_prev = self.node_voltage(prev_x, l.a) - self.node_voltage(prev_x, l.b);
-            let (z, rhs_val) = match method {
-                CompanionMethod::BackwardEuler => {
-                    let z = l.henries / h;
-                    (z, -z * i_prev)
-                }
-                CompanionMethod::Trapezoidal => {
-                    let z = 2.0 * l.henries / h;
-                    (z, -z * i_prev - v_prev)
-                }
+            rhs[l.branch] = match method {
+                CompanionMethod::BackwardEuler => -(l.henries / h) * i_prev,
+                CompanionMethod::Trapezoidal => -(2.0 * l.henries / h) * i_prev - v_prev,
             };
-            // KCL columns and branch voltage row.
-            self.stamp_branch_voltage_rows(&mut m, l.a, l.b, l.branch);
-            // Branch equation: Va - Vb - z * i = rhs_val.
-            m.add_at(l.branch, l.branch, -z);
-            rhs[l.branch] = rhs_val;
         }
         for v in &self.vsources {
-            self.stamp_branch_voltage_rows(&mut m, v.pos, v.neg, v.branch);
             rhs[v.branch] = v.waveform.value_at(t);
         }
         for i in &self.isources {
-            self.stamp_current_injection(&mut rhs, i.to, i.from, i.waveform.value_at(t));
+            self.stamp_current_injection(rhs, i.to, i.from, i.waveform.value_at(t));
         }
-        for f in &self.mosfets {
-            self.stamp_mosfet(&mut m, &mut rhs, f, x_guess);
-        }
-        (m, rhs)
     }
 
     /// Stamps the `+1/-1` pattern shared by ideal voltage sources, DC
@@ -396,13 +588,17 @@ impl MnaSystem {
         }
     }
 
-    /// Stamps a MOSFET linearized about the guess voltages.
-    fn stamp_mosfet(
+    /// Stamps a MOSFET linearized about the guess voltages. The matrix and
+    /// RHS sinks receive *unknown indices* (ground already skipped), so the
+    /// same stamping logic serves the dense matrices of the full-assembly
+    /// kernels and the low-rank delta rows of the Woodbury kernel.
+    fn stamp_mosfet_core<AM: FnMut(usize, usize, f64), AR: FnMut(usize, f64)>(
         &self,
-        m: &mut DenseMatrix,
-        rhs: &mut [f64],
         f: &CompiledMosfet,
         x_guess: &[f64],
+        cache: Option<&mut MosfetEvalCache>,
+        add_m: &mut AM,
+        add_rhs: &mut AR,
     ) {
         let vd = self.node_voltage(x_guess, f.drain);
         let vg = self.node_voltage(x_guess, f.gate);
@@ -434,66 +630,39 @@ impl MnaSystem {
                 // Device frame: drain = hi, source = lo.
                 let vgs = vg - v_lo;
                 let vds = v_hi - v_lo;
-                let e = eval_alpha_power(&f.params, f.width, vgs, vds);
+                let e = match cache {
+                    Some(c) => eval_alpha_power_cached(&f.params, f.width, vgs, vds, c),
+                    None => eval_alpha_power(&f.params, f.width, vgs, vds),
+                };
                 // Current leaves hi (drain) node, enters lo (source) node:
                 // I = id0 + gm*(Vg - Vlo - vgs) + gds*(Vhi - Vlo - vds)
                 let const_term = e.id - e.gm * vgs - e.gds * vds;
-                self.stamp_vccs(m, hi_node, lo_node, f.gate, lo_node, e.gm);
-                self.stamp_conductance_directed(m, hi_node, lo_node, hi_node, lo_node, e.gds);
-                self.stamp_current_injection(rhs, lo_node, hi_node, const_term);
+                stamp_vccs_with(add_m, hi_node, lo_node, f.gate, lo_node, e.gm);
+                stamp_vccs_with(add_m, hi_node, lo_node, hi_node, lo_node, e.gds);
+                stamp_injection_with(add_rhs, lo_node, hi_node, const_term);
             }
             MosfetType::Pmos => {
                 // Device frame: source = hi, drain = lo.
                 let vsg = v_hi - vg;
                 let vsd = v_hi - v_lo;
-                let e = eval_alpha_power(&f.params, f.width, vsg, vsd);
+                let e = match cache {
+                    Some(c) => eval_alpha_power_cached(&f.params, f.width, vsg, vsd, c),
+                    None => eval_alpha_power(&f.params, f.width, vsg, vsd),
+                };
                 // Current leaves hi (source) node, enters lo (drain) node:
                 // I = id0 + gm*(Vhi - Vg - vsg) + gds*(Vhi - Vlo - vsd)
                 let const_term = e.id - e.gm * vsg - e.gds * vsd;
-                self.stamp_vccs(m, hi_node, lo_node, hi_node, f.gate, e.gm);
-                self.stamp_conductance_directed(m, hi_node, lo_node, hi_node, lo_node, e.gds);
-                self.stamp_current_injection(rhs, lo_node, hi_node, const_term);
+                stamp_vccs_with(add_m, hi_node, lo_node, hi_node, f.gate, e.gm);
+                stamp_vccs_with(add_m, hi_node, lo_node, hi_node, lo_node, e.gds);
+                stamp_injection_with(add_rhs, lo_node, hi_node, const_term);
             }
         }
     }
 
-    /// Stamps a voltage-controlled current source: a current `g * (V_cp - V_cn)`
-    /// leaves node `out_of` and enters node `into`.
-    fn stamp_vccs(
-        &self,
-        m: &mut DenseMatrix,
-        out_of: usize,
-        into: usize,
-        cp: usize,
-        cn: usize,
-        g: f64,
-    ) {
-        for (node, sign) in [(out_of, 1.0), (into, -1.0)] {
-            if node == 0 {
-                continue;
-            }
-            if cp != 0 {
-                m.add_at(node - 1, cp - 1, sign * g);
-            }
-            if cn != 0 {
-                m.add_at(node - 1, cn - 1, -sign * g);
-            }
-        }
-    }
-
-    /// Stamps a conductance whose current `g * (V_cp - V_cn)` leaves `out_of`
-    /// and enters `into` (used for the MOSFET output conductance where the
-    /// controlling and conducting node pairs coincide).
-    fn stamp_conductance_directed(
-        &self,
-        m: &mut DenseMatrix,
-        out_of: usize,
-        into: usize,
-        cp: usize,
-        cn: usize,
-        g: f64,
-    ) {
-        self.stamp_vccs(m, out_of, into, cp, cn, g);
+    /// Number of compiled MOSFETs (the length expected of the eval-cache
+    /// slice handed to the cached stamp paths).
+    pub(crate) fn num_mosfets(&self) -> usize {
+        self.mosfets.len()
     }
 
     /// Updates the per-capacitor branch currents after a converged transient
@@ -516,6 +685,48 @@ impl MnaSystem {
                 }
             };
         }
+    }
+}
+
+/// Stamps a voltage-controlled current source into an arbitrary matrix sink:
+/// a current `g * (V_cp - V_cn)` leaves node `out_of` and enters node `into`.
+/// Node arguments are circuit node indices (0 = ground, skipped); the sink
+/// receives unknown indices. Also serves the MOSFET output conductance,
+/// where the controlling and conducting node pairs coincide.
+fn stamp_vccs_with<AM: FnMut(usize, usize, f64)>(
+    add_m: &mut AM,
+    out_of: usize,
+    into: usize,
+    cp: usize,
+    cn: usize,
+    g: f64,
+) {
+    for (node, sign) in [(out_of, 1.0), (into, -1.0)] {
+        if node == 0 {
+            continue;
+        }
+        if cp != 0 {
+            add_m(node - 1, cp - 1, sign * g);
+        }
+        if cn != 0 {
+            add_m(node - 1, cn - 1, -sign * g);
+        }
+    }
+}
+
+/// Stamps a current injection of `amps` into node `into` (out of `out_of`)
+/// into an arbitrary RHS sink; ground rows are skipped.
+fn stamp_injection_with<AR: FnMut(usize, f64)>(
+    add_rhs: &mut AR,
+    into: usize,
+    out_of: usize,
+    amps: f64,
+) {
+    if into != 0 {
+        add_rhs(into - 1, amps);
+    }
+    if out_of != 0 {
+        add_rhs(out_of - 1, -amps);
     }
 }
 

@@ -113,6 +113,35 @@ pub struct MosfetEval {
     pub gds: f64,
 }
 
+/// Cached gate-overdrive-dependent quantities of the alpha-power model.
+///
+/// The four `powf` evaluations behind `Idsat`, `Vdsat` and their `Vgs`
+/// derivatives depend only on the gate overdrive, which in a transient run
+/// is bit-identical from step to step whenever the gate waveform is flat
+/// (DC supplies, finished ramps — i.e. most of every simulation window).
+/// Keying the cache on the exact `vgst` bits therefore skips the `powf`
+/// calls on the hot path while reproducing the uncached results exactly.
+#[derive(Debug, Clone, Copy)]
+pub struct MosfetEvalCache {
+    vgst: f64,
+    idsat: f64,
+    vdsat: f64,
+    didsat_dvgs: f64,
+    dvdsat_dvgs: f64,
+}
+
+impl Default for MosfetEvalCache {
+    fn default() -> Self {
+        MosfetEvalCache {
+            vgst: f64::NAN,
+            idsat: 0.0,
+            vdsat: 0.0,
+            didsat_dvgs: 0.0,
+            dvdsat_dvgs: 0.0,
+        }
+    }
+}
+
 /// Evaluates the alpha-power-law equations for a device of width `w` (m) at
 /// the given device-frame bias. Handles cutoff, the "linear" (triode) region
 /// and saturation with channel-length modulation; the current and its first
@@ -136,7 +165,67 @@ pub fn eval_alpha_power(params: &MosfetParams, w: f64, vgs: f64, vds: f64) -> Mo
     let vdsat = params.vdsat(vgst);
     let didsat_dvgs = params.alpha * params.k_sat * w * vgst.powf(params.alpha - 1.0);
     let dvdsat_dvgs = 0.5 * params.alpha * params.k_v * vgst.powf(params.alpha / 2.0 - 1.0);
+    eval_regions(params, vds, idsat, vdsat, didsat_dvgs, dvdsat_dvgs)
+}
 
+/// [`eval_alpha_power`] with a caller-held overdrive cache for the hot
+/// simulation loops. On a cache miss the overdrive terms are computed with a
+/// single `powf` (`vgst^(α/2) = √(vgst^α)`, derivatives as ratios
+/// `α·Idsat/vgst` and `½α·Vdsat/vgst`); hits skip even that. The results
+/// agree with [`eval_alpha_power`] to floating-point reassociation accuracy
+/// (≈1 ulp), which only perturbs the Newton trajectory — the converged
+/// operating point satisfies the same device equations.
+pub fn eval_alpha_power_cached(
+    params: &MosfetParams,
+    w: f64,
+    vgs: f64,
+    vds: f64,
+    cache: &mut MosfetEvalCache,
+) -> MosfetEval {
+    debug_assert!(vds >= 0.0, "device-frame vds must be non-negative");
+    let vgst = vgs - params.vth;
+    if vgst <= 0.0 {
+        // Cutoff: tiny leakage conductance keeps the Jacobian non-singular.
+        let gleak = 1e-12;
+        return MosfetEval {
+            id: gleak * vds,
+            gm: 0.0,
+            gds: gleak,
+        };
+    }
+    if cache.vgst.to_bits() != vgst.to_bits() {
+        let pow_alpha = vgst.powf(params.alpha);
+        let idsat = params.k_sat * w * pow_alpha;
+        let vdsat = params.k_v * pow_alpha.sqrt();
+        *cache = MosfetEvalCache {
+            vgst,
+            idsat,
+            vdsat,
+            didsat_dvgs: params.alpha * idsat / vgst,
+            dvdsat_dvgs: 0.5 * params.alpha * vdsat / vgst,
+        };
+    }
+    eval_regions(
+        params,
+        vds,
+        cache.idsat,
+        cache.vdsat,
+        cache.didsat_dvgs,
+        cache.dvdsat_dvgs,
+    )
+}
+
+/// Region logic shared by the exact and cached evaluations: saturation with
+/// channel-length modulation above `Vdsat`, the quadratic triode shape below.
+#[inline]
+fn eval_regions(
+    params: &MosfetParams,
+    vds: f64,
+    idsat: f64,
+    vdsat: f64,
+    didsat_dvgs: f64,
+    dvdsat_dvgs: f64,
+) -> MosfetEval {
     if vds >= vdsat {
         // Saturation with channel-length modulation.
         let clm = 1.0 + params.lambda * (vds - vdsat);
@@ -258,5 +347,39 @@ mod tests {
         let p = nmos();
         assert_eq!(p.idsat(1e-6, -0.1), 0.0);
         assert_eq!(p.vdsat(-0.1), 0.0);
+    }
+
+    #[test]
+    fn cached_eval_matches_uncached_to_rounding() {
+        let close = |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(1e-30);
+        for p in [nmos(), MosfetParams::pmos_018()] {
+            let w = 27e-6;
+            let mut cache = MosfetEvalCache::default();
+            // Sweep vgs and vds including repeats (cache hits) and cutoff.
+            for &vgs in &[1.8, 1.8, 0.9, 0.9, 0.2, 1.234567, 1.234567] {
+                for &vds in &[0.0, 0.05, 0.4, 1.0, 1.8] {
+                    let plain = eval_alpha_power(&p, w, vgs, vds);
+                    let cached = eval_alpha_power_cached(&p, w, vgs, vds, &mut cache);
+                    assert!(
+                        close(plain.id, cached.id),
+                        "id {} vs {}",
+                        plain.id,
+                        cached.id
+                    );
+                    assert!(
+                        close(plain.gm, cached.gm),
+                        "gm {} vs {}",
+                        plain.gm,
+                        cached.gm
+                    );
+                    assert!(
+                        close(plain.gds, cached.gds),
+                        "gds {} vs {}",
+                        plain.gds,
+                        cached.gds
+                    );
+                }
+            }
+        }
     }
 }

@@ -335,7 +335,7 @@ mod tests {
             ff(200.0),
             OutputTransition::Rising,
         );
-        let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(800.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(0.5), ps(800.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let out = res.waveform(nodes.output);
@@ -353,7 +353,7 @@ mod tests {
             ff(200.0),
             OutputTransition::Falling,
         );
-        let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(800.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(0.5), ps(800.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let out = res.waveform(nodes.output);
@@ -376,7 +376,7 @@ mod tests {
             ff(10.0),
             OutputTransition::Rising,
         );
-        let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(1200.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(0.5), ps(1200.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let near = res.waveform(nodes.output);
@@ -410,7 +410,7 @@ mod tests {
         let src = SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0));
         let (ckt, nodes) =
             pwl_source_with_rlc_line(src, 0.0, 72.44, nh(5.14), pf(1.10), 16, ff(10.0));
-        let res = TransientAnalysis::new(TransientOptions::new(ps(0.5), ps(1000.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(0.5), ps(1000.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let far = res.waveform(nodes.far_end);

@@ -1,10 +1,27 @@
 //! Fixed-step transient analysis with Newton–Raphson at every time point.
+//!
+//! # Kernel strategies
+//!
+//! Under a fixed step the companion-model MNA matrix of a linear (no-MOSFET)
+//! circuit is time-invariant, so the default kernel LU-factorizes it **once
+//! per run** and per time step only rebuilds the right-hand side from the
+//! source waveforms and the capacitor/inductor history before
+//! back-substituting — O(n³) + O(n²)·steps instead of the legacy
+//! O(n³)·steps. Nonlinear circuits use a split-stamp Newton loop: the static
+//! (R/L/C/source) stamps are cached once and each iteration copies the cache
+//! and adds only the MOSFET linearizations. Both kernels run out of a
+//! reusable [`TransientWorkspace`], so the inner loop performs no heap
+//! allocation; the legacy full-reassembly kernel is kept as
+//! [`KernelStrategy::LegacyFull`] for cross-checking and benchmarking.
 
 use std::collections::HashMap;
 
+use rlc_numeric::{DenseMatrix, LuFactors};
+
 use crate::circuit::{Circuit, NodeId};
-use crate::dc::{dc_operating_point, DcOptions};
+use crate::dc::{dc_solve_compiled, DcOptions};
 use crate::mna::{CompanionMethod, MnaSystem};
+use crate::mosfet::MosfetEvalCache;
 use crate::waveform::Waveform;
 use crate::SpiceError;
 
@@ -42,6 +59,27 @@ pub enum InitialState {
     UseInitialConditions,
 }
 
+/// Which simulation kernel executes the time loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelStrategy {
+    /// Pick automatically: [`KernelStrategy::FactorOnce`] for linear
+    /// circuits, [`KernelStrategy::SplitStamp`] otherwise. The default.
+    #[default]
+    Auto,
+    /// Factor-once LTI fast path: assemble and LU-factorize the companion
+    /// matrix once, then only rebuild the RHS and back-substitute per step.
+    /// Requires a linear circuit (no MOSFETs).
+    FactorOnce,
+    /// Split-stamp Newton: cache the static (R/L/C/source) stamps once, and
+    /// per Newton iteration copy the cache and stamp only the MOSFET
+    /// linearizations. Allocation-free; valid for any circuit.
+    SplitStamp,
+    /// The legacy kernel: rebuild and factorize the full matrix from scratch
+    /// at every Newton iteration of every time point. Kept as the reference
+    /// for parity tests and before/after benchmarking.
+    LegacyFull,
+}
+
 /// Options for a transient run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TransientOptions {
@@ -53,6 +91,8 @@ pub struct TransientOptions {
     pub method: IntegrationMethod,
     /// Starting-state policy.
     pub initial_state: InitialState,
+    /// Simulation kernel selection.
+    pub strategy: KernelStrategy,
     /// Maximum Newton iterations per time point.
     pub max_newton_iterations: usize,
     /// Convergence tolerance on voltage updates (volts).
@@ -65,20 +105,43 @@ impl TransientOptions {
     /// Creates options with the given step and stop time and default
     /// tolerances.
     ///
-    /// # Panics
-    /// Panics if `time_step <= 0`, `stop_time <= 0`, or
-    /// `stop_time < time_step`.
-    pub fn new(time_step: f64, stop_time: f64) -> Self {
-        assert!(time_step > 0.0 && stop_time > 0.0, "times must be positive");
-        assert!(stop_time >= time_step, "stop time shorter than one step");
-        TransientOptions {
+    /// # Errors
+    /// Returns [`SpiceError::InvalidOptions`] if `time_step <= 0`,
+    /// `stop_time <= 0` (including NaN), or `stop_time < time_step`.
+    pub fn try_new(time_step: f64, stop_time: f64) -> Result<Self, SpiceError> {
+        if !(time_step > 0.0 && stop_time > 0.0) {
+            return Err(SpiceError::InvalidOptions(format!(
+                "times must be positive: time_step = {time_step:e}, stop_time = {stop_time:e}"
+            )));
+        }
+        if stop_time < time_step {
+            return Err(SpiceError::InvalidOptions(format!(
+                "stop time shorter than one step: stop_time = {stop_time:e}, time_step = {time_step:e}"
+            )));
+        }
+        Ok(TransientOptions {
             time_step,
             stop_time,
             method: IntegrationMethod::default(),
             initial_state: InitialState::default(),
+            strategy: KernelStrategy::default(),
             max_newton_iterations: 100,
             voltage_tolerance: 1e-6,
             step_limit: 1.0,
+        })
+    }
+
+    /// Creates options with the given step and stop time and default
+    /// tolerances.
+    ///
+    /// # Panics
+    /// Panics if `time_step <= 0`, `stop_time <= 0`, or
+    /// `stop_time < time_step`.
+    #[deprecated(since = "0.2.0", note = "use `TransientOptions::try_new` instead")]
+    pub fn new(time_step: f64, stop_time: f64) -> Self {
+        match Self::try_new(time_step, stop_time) {
+            Ok(options) => options,
+            Err(e) => panic!("{e}"),
         }
     }
 
@@ -93,6 +156,109 @@ impl TransientOptions {
         self.initial_state = initial_state;
         self
     }
+
+    /// Sets the kernel strategy (builder style).
+    pub fn with_strategy(mut self, strategy: KernelStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+}
+
+/// Reusable buffers for the transient kernels: the work and cached-static
+/// matrices, the stored LU factorization, the RHS/solution/history vectors.
+///
+/// Creating a workspace is cheap; its value is reuse. Repeated runs — a
+/// characterization grid, the batches issued by an analysis backend — hand
+/// the same workspace to [`TransientAnalysis::run_with`] so every run after
+/// the first performs no kernel allocation at all.
+#[derive(Debug, Clone, Default)]
+pub struct TransientWorkspace {
+    matrix: DenseMatrix,
+    static_matrix: DenseMatrix,
+    lu: LuFactors,
+    rhs: Vec<f64>,
+    rhs_base: Vec<f64>,
+    x_new: Vec<f64>,
+    prev_x: Vec<f64>,
+    prev2_x: Vec<f64>,
+    guess: Vec<f64>,
+    cap_currents: Vec<f64>,
+    cap_ieq: Vec<f64>,
+    // Per-device overdrive caches for the MOSFET evaluations.
+    eval_caches: Vec<MosfetEvalCache>,
+    // Woodbury rank-update state: W = A0^{-1} U (one row per update row),
+    // the per-iteration update rows V / Δb, the unknown→update-row map and
+    // the small capacitance-equation system S = I + V W^T.
+    w_rows: DenseMatrix,
+    y_base: Vec<f64>,
+    delta: DenseMatrix,
+    delta_rhs: Vec<f64>,
+    row_map: Vec<usize>,
+    s: DenseMatrix,
+    s_lu: LuFactors,
+    s_rhs: Vec<f64>,
+    s_sol: Vec<f64>,
+}
+
+impl TransientWorkspace {
+    /// Creates an empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn prepare(&mut self, n: usize, num_capacitors: usize, num_mosfets: usize) {
+        self.matrix.resize_zeroed(n, n);
+        self.static_matrix.resize_zeroed(n, n);
+        self.rhs.clear();
+        self.rhs.resize(n, 0.0);
+        self.rhs_base.clear();
+        self.rhs_base.resize(n, 0.0);
+        self.x_new.clear();
+        self.x_new.resize(n, 0.0);
+        self.prev_x.clear();
+        self.prev_x.resize(n, 0.0);
+        self.prev2_x.clear();
+        self.prev2_x.resize(n, 0.0);
+        self.guess.clear();
+        self.guess.resize(n, 0.0);
+        self.cap_currents.clear();
+        self.cap_currents.resize(num_capacitors, 0.0);
+        self.cap_ieq.clear();
+        self.cap_ieq.resize(num_capacitors, 0.0);
+        self.eval_caches.clear();
+        self.eval_caches
+            .resize_with(num_mosfets, MosfetEvalCache::default);
+    }
+
+    fn prepare_rank_update(&mut self, n: usize, rows: &[usize]) {
+        let r = rows.len();
+        self.w_rows.resize_zeroed(r, n);
+        self.y_base.clear();
+        self.y_base.resize(n, 0.0);
+        self.delta.resize_zeroed(r, n);
+        self.delta_rhs.clear();
+        self.delta_rhs.resize(r, 0.0);
+        self.row_map.clear();
+        self.row_map.resize(n, usize::MAX);
+        for (j, &row) in rows.iter().enumerate() {
+            self.row_map[row] = j;
+        }
+        self.s.resize_zeroed(r, r);
+        self.s_rhs.clear();
+        self.s_rhs.resize(r, 0.0);
+        self.s_sol.clear();
+        self.s_sol.resize(r, 0.0);
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
 }
 
 /// A transient analysis runner.
@@ -101,11 +267,13 @@ pub struct TransientAnalysis {
     options: TransientOptions,
 }
 
-/// Result of a transient run: the full solution history.
+/// Result of a transient run: the full solution history (stored as one flat
+/// row-major block, one row of `num_unknowns` values per time point).
 #[derive(Debug, Clone)]
 pub struct TransientResult {
     times: Vec<f64>,
-    solutions: Vec<Vec<f64>>,
+    solutions: Vec<f64>,
+    stride: usize,
     system: MnaSystem,
     node_names: HashMap<String, NodeId>,
 }
@@ -121,11 +289,14 @@ impl TransientResult {
         self.times.len()
     }
 
+    fn rows(&self) -> impl Iterator<Item = &[f64]> {
+        self.solutions.chunks_exact(self.stride)
+    }
+
     /// Waveform of a node voltage.
     pub fn waveform(&self, node: NodeId) -> Waveform {
         let values = self
-            .solutions
-            .iter()
+            .rows()
             .map(|x| self.system.node_voltage(x, node.index()))
             .collect();
         Waveform::new(self.times.clone(), values)
@@ -141,7 +312,7 @@ impl TransientResult {
     /// current into the positive terminal). Returns `None` for unknown names.
     pub fn vsource_current(&self, name: &str) -> Option<Waveform> {
         let branch = self.system.vsource_branch(name)?;
-        let values = self.solutions.iter().map(|x| x[branch]).collect();
+        let values = self.rows().map(|x| x[branch]).collect();
         Some(Waveform::new(self.times.clone(), values))
     }
 }
@@ -152,17 +323,51 @@ impl TransientAnalysis {
         TransientAnalysis { options }
     }
 
-    /// Runs the analysis on a circuit.
+    /// Runs the analysis on a circuit with a throwaway workspace.
     ///
     /// # Errors
     /// Returns a [`SpiceError`] if the circuit is invalid, the Newton loop
     /// fails to converge at some time point, or the MNA matrix is singular.
     pub fn run(&self, circuit: &Circuit) -> Result<TransientResult, SpiceError> {
+        let mut workspace = TransientWorkspace::new();
+        self.run_with(circuit, &mut workspace)
+    }
+
+    /// Runs the analysis reusing a caller-owned [`TransientWorkspace`], so
+    /// repeated runs (characterization grids, backend batches) perform no
+    /// kernel allocation after the first run.
+    ///
+    /// # Errors
+    /// Returns a [`SpiceError`] if the circuit is invalid, the requested
+    /// kernel cannot run it (`FactorOnce` on a nonlinear circuit), the
+    /// Newton loop fails to converge, or the MNA matrix is singular.
+    pub fn run_with(
+        &self,
+        circuit: &Circuit,
+        ws: &mut TransientWorkspace,
+    ) -> Result<TransientResult, SpiceError> {
         circuit.validate()?;
         let system = MnaSystem::compile(circuit);
         let n = system.num_unknowns();
-        let n_voltages = system.num_nodes() - 1;
         let opts = &self.options;
+
+        let strategy = match opts.strategy {
+            KernelStrategy::Auto => {
+                if system.is_linear() {
+                    KernelStrategy::FactorOnce
+                } else {
+                    KernelStrategy::SplitStamp
+                }
+            }
+            KernelStrategy::FactorOnce if !system.is_linear() => {
+                return Err(SpiceError::InvalidOptions(
+                    "the factor-once fast path requires a linear circuit (no MOSFETs); \
+                     use Auto or SplitStamp"
+                        .to_string(),
+                ));
+            }
+            explicit => explicit,
+        };
 
         // Starting state.
         let use_ics = match opts.initial_state {
@@ -170,7 +375,7 @@ impl TransientAnalysis {
             InitialState::DcOperatingPoint => false,
             InitialState::UseInitialConditions => true,
         };
-        let mut x = if use_ics {
+        let x0 = if use_ics {
             let mut x0 = vec![0.0; n];
             for (&node, &v) in circuit.initial_conditions() {
                 if let Some(idx) = system.voltage_unknown(node) {
@@ -179,25 +384,359 @@ impl TransientAnalysis {
             }
             x0
         } else {
-            dc_operating_point(circuit, DcOptions::default())?
-                .raw()
-                .to_vec()
+            dc_solve_compiled(&system, circuit, DcOptions::default())?.0
         };
 
-        let mut cap_currents = vec![0.0; system.num_capacitors()];
+        ws.prepare(n, system.num_capacitors(), system.num_mosfets());
+        ws.prev_x.copy_from_slice(&x0);
+
         let n_steps = (opts.stop_time / opts.time_step).round() as usize;
         let mut times = Vec::with_capacity(n_steps + 1);
-        let mut solutions = Vec::with_capacity(n_steps + 1);
+        let mut solutions = Vec::with_capacity((n_steps + 1) * n);
         times.push(0.0);
-        solutions.push(x.clone());
+        solutions.extend_from_slice(&x0);
 
+        match strategy {
+            KernelStrategy::FactorOnce => {
+                self.run_factor_once(&system, ws, n_steps, &mut times, &mut solutions)?
+            }
+            KernelStrategy::SplitStamp => {
+                self.run_split_stamp(&system, ws, n_steps, &mut times, &mut solutions)?
+            }
+            KernelStrategy::LegacyFull => {
+                self.run_legacy(&system, ws, n_steps, &mut times, &mut solutions)?
+            }
+            KernelStrategy::Auto => unreachable!("Auto was resolved above"),
+        }
+
+        let node_names = (0..circuit.num_nodes())
+            .map(|k| {
+                let id = if k == 0 {
+                    Circuit::GROUND
+                } else {
+                    // Reconstruct NodeId; indices are stable.
+                    NodeId(k)
+                };
+                (circuit.node_name(id).to_string(), id)
+            })
+            .collect();
+
+        Ok(TransientResult {
+            times,
+            solutions,
+            stride: n,
+            system,
+            node_names,
+        })
+    }
+
+    /// The LTI fast path: one factorization, then per step a RHS rebuild and
+    /// a back-substitution. Linear circuits need no Newton iteration — the
+    /// first solve is exact.
+    fn run_factor_once(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let opts = &self.options;
         let method = opts.method.companion();
         let h = opts.time_step;
+
+        system.stamp_transient_static(&mut ws.static_matrix, h, method);
+        ws.static_matrix
+            .factor_into(&mut ws.lu)
+            .map_err(|_| SpiceError::SingularMatrix { time: Some(h) })?;
+        system.init_cap_ieq(h, method, &ws.prev_x, &mut ws.cap_ieq);
+
+        for step in 1..=n_steps {
+            let t = step as f64 * h;
+            system.transient_rhs_fused(t, h, method, &ws.prev_x, &mut ws.cap_ieq, &mut ws.rhs);
+            ws.lu.solve_into(&ws.rhs, &mut ws.x_new);
+            ws.prev_x.copy_from_slice(&ws.x_new);
+            times.push(t);
+            solutions.extend_from_slice(&ws.x_new);
+        }
+        Ok(())
+    }
+
+    /// The nonlinear fast kernel. Static (R/L/C/source) stamps are cached
+    /// once; per Newton iteration only the MOSFET linearizations change.
+    /// When the static matrix is well conditioned and the MOSFETs touch few
+    /// rows, the solve uses the Sherman–Morrison–Woodbury identity against
+    /// the *once-factorized* static matrix — no per-iteration factorization
+    /// at all. Otherwise it copies the cached stamps and refactorizes, which
+    /// is still allocation-free.
+    fn run_split_stamp(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let opts = &self.options;
+        let method = opts.method.companion();
+        let h = opts.time_step;
+        let n = system.num_unknowns();
+
+        system.stamp_transient_static(&mut ws.static_matrix, h, method);
+
+        // The Woodbury path pays O(r·n²) once and O(r·n) per iteration, but
+        // multiplies by the inverse of the static factors, so it is gated on
+        // the update being genuinely low-rank and on the static pivots being
+        // far from the gmin floor (a mosfet-only node would make A0⁻¹ huge
+        // and the update numerically useless).
+        let rows = system.mosfet_rows();
+        let use_rank_update = !rows.is_empty()
+            && 2 * rows.len() <= n
+            && ws.static_matrix.factor_into(&mut ws.lu).is_ok()
+            && ws.lu.pivot_extremes().0 >= 1e-9 * ws.static_matrix.max_abs();
+        if use_rank_update {
+            self.run_rank_update(system, ws, &rows, n_steps, times, solutions)
+        } else {
+            self.run_split_refactor(system, ws, n_steps, times, solutions)
+        }
+    }
+
+    /// Woodbury variant of the split-stamp kernel: with `A = A0 + U V`
+    /// (`U` selecting the MOSFET rows), each iteration solves
+    /// `x = y − Wᵀ (I + V Wᵀ)⁻¹ V y` with `y = A0⁻¹ b` assembled from the
+    /// once-per-step base solve plus the low-rank RHS correction, and
+    /// `Wᵀ = A0⁻¹ U` computed once per run.
+    fn run_rank_update(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        rows: &[usize],
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let opts = &self.options;
+        let method = opts.method.companion();
+        let h = opts.time_step;
+        let n = system.num_unknowns();
+        let n_voltages = system.num_nodes() - 1;
+        let r = rows.len();
+
+        ws.prepare_rank_update(n, rows);
+        // W rows: A0⁻¹ e_i for every MOSFET row i.
+        for (j, &row) in rows.iter().enumerate() {
+            ws.rhs.iter_mut().for_each(|v| *v = 0.0);
+            ws.rhs[row] = 1.0;
+            ws.lu.solve_into(&ws.rhs, &mut ws.x_new);
+            ws.w_rows.row_mut(j).copy_from_slice(&ws.x_new);
+        }
+        system.init_cap_ieq(h, method, &ws.prev_x, &mut ws.cap_ieq);
+        ws.prev2_x.copy_from_slice(&ws.prev_x);
+
+        for step in 1..=n_steps {
+            let t = step as f64 * h;
+            // Companion/source RHS and its static solve are shared by every
+            // Newton iteration of this step.
+            system.transient_rhs_fused(t, h, method, &ws.prev_x, &mut ws.cap_ieq, &mut ws.rhs_base);
+            ws.lu.solve_into(&ws.rhs_base, &mut ws.y_base);
+            // Predictor: start Newton from the linear extrapolation of the
+            // two previous solutions, which lands within the convergence
+            // tolerance on smooth stretches and saves the confirmation
+            // iteration that a previous-solution start needs.
+            for ((g, &p), &p2) in ws.guess.iter_mut().zip(&ws.prev_x).zip(&ws.prev2_x) {
+                *g = 2.0 * p - p2;
+            }
+            let mut converged = false;
+            let mut last_delta = f64::INFINITY;
+            for _ in 0..opts.max_newton_iterations {
+                ws.delta.clear();
+                ws.delta_rhs.iter_mut().for_each(|v| *v = 0.0);
+                system.stamp_mosfets_delta(
+                    &mut ws.delta,
+                    &mut ws.delta_rhs,
+                    &ws.guess,
+                    &ws.row_map,
+                    &mut ws.eval_caches,
+                );
+                // S = I + V Wᵀ, and the projected RHS c = V y folded from
+                // c = V·(y_base + Σ b_j W_j) = V y_base + (S − I) b.
+                for j in 0..r {
+                    let dj = ws.delta.row(j);
+                    let mut c_j = dot(dj, &ws.y_base);
+                    for k in 0..r {
+                        let v = dot(dj, ws.w_rows.row(k));
+                        ws.s.set(j, k, if j == k { 1.0 + v } else { v });
+                        c_j += v * ws.delta_rhs[k];
+                    }
+                    ws.s_rhs[j] = c_j;
+                }
+                // det(A) = det(A0)·det(S): a singular S is a genuinely
+                // singular iteration matrix, exactly as in the dense kernels.
+                // The r ≤ 2 systems of single-gate stages are solved closed
+                // form; larger panels go through the general factorization.
+                match r {
+                    1 => {
+                        let s00 = ws.s.get(0, 0);
+                        if s00.abs() < 1e-300 {
+                            return Err(SpiceError::SingularMatrix { time: Some(t) });
+                        }
+                        ws.s_sol[0] = ws.s_rhs[0] / s00;
+                    }
+                    2 => {
+                        let (a, b) = (ws.s.get(0, 0), ws.s.get(0, 1));
+                        let (c, d) = (ws.s.get(1, 0), ws.s.get(1, 1));
+                        let det = a * d - b * c;
+                        if det.abs() < 1e-300 {
+                            return Err(SpiceError::SingularMatrix { time: Some(t) });
+                        }
+                        ws.s_sol[0] = (d * ws.s_rhs[0] - b * ws.s_rhs[1]) / det;
+                        ws.s_sol[1] = (a * ws.s_rhs[1] - c * ws.s_rhs[0]) / det;
+                    }
+                    _ => {
+                        ws.s.factor_into(&mut ws.s_lu)
+                            .map_err(|_| SpiceError::SingularMatrix { time: Some(t) })?;
+                        ws.s_lu.solve_into(&ws.s_rhs, &mut ws.s_sol);
+                    }
+                }
+                // x = y − W z = y_base + Σ (b_j − z_j) W_j.
+                ws.x_new.copy_from_slice(&ws.y_base);
+                for j in 0..r {
+                    let w = ws.delta_rhs[j] - ws.s_sol[j];
+                    if w != 0.0 {
+                        axpy(w, ws.w_rows.row(j), &mut ws.x_new);
+                    }
+                }
+                let mut max_delta: f64 = 0.0;
+                for k in 0..n {
+                    let mut delta = ws.x_new[k] - ws.guess[k];
+                    if k < n_voltages {
+                        delta = delta.clamp(-opts.step_limit, opts.step_limit);
+                        max_delta = max_delta.max(delta.abs());
+                        ws.guess[k] += delta;
+                    } else {
+                        ws.guess[k] = ws.x_new[k];
+                    }
+                }
+                last_delta = max_delta;
+                if max_delta < opts.voltage_tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::NonConvergence {
+                    time: Some(t),
+                    iterations: opts.max_newton_iterations,
+                    max_delta: last_delta,
+                });
+            }
+            ws.prev2_x.copy_from_slice(&ws.prev_x);
+            ws.prev_x.copy_from_slice(&ws.guess);
+            times.push(t);
+            solutions.extend_from_slice(&ws.guess);
+        }
+        Ok(())
+    }
+
+    /// Refactorizing variant of the split-stamp kernel: copy the cached
+    /// static stamps, add the MOSFET linearizations and refactorize — no
+    /// allocation, no re-stamping of the linear elements.
+    fn run_split_refactor(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let opts = &self.options;
+        let method = opts.method.companion();
+        let h = opts.time_step;
+        let n = system.num_unknowns();
+        let n_voltages = system.num_nodes() - 1;
+
+        system.init_cap_ieq(h, method, &ws.prev_x, &mut ws.cap_ieq);
+        ws.prev2_x.copy_from_slice(&ws.prev_x);
+
+        for step in 1..=n_steps {
+            let t = step as f64 * h;
+            // The RHS companion/source terms are shared by every Newton
+            // iteration of this step.
+            system.transient_rhs_fused(t, h, method, &ws.prev_x, &mut ws.cap_ieq, &mut ws.rhs_base);
+            // Predictor start, as in the rank-update kernel.
+            for ((g, &p), &p2) in ws.guess.iter_mut().zip(&ws.prev_x).zip(&ws.prev2_x) {
+                *g = 2.0 * p - p2;
+            }
+            let mut converged = false;
+            let mut last_delta = f64::INFINITY;
+            for _ in 0..opts.max_newton_iterations {
+                ws.matrix.copy_from(&ws.static_matrix);
+                ws.rhs.copy_from_slice(&ws.rhs_base);
+                system.stamp_mosfets_cached(
+                    &mut ws.matrix,
+                    &mut ws.rhs,
+                    &ws.guess,
+                    &mut ws.eval_caches,
+                );
+                ws.matrix
+                    .factor_into(&mut ws.lu)
+                    .map_err(|_| SpiceError::SingularMatrix { time: Some(t) })?;
+                ws.lu.solve_into(&ws.rhs, &mut ws.x_new);
+                let mut max_delta: f64 = 0.0;
+                for k in 0..n {
+                    let mut delta = ws.x_new[k] - ws.guess[k];
+                    if k < n_voltages {
+                        delta = delta.clamp(-opts.step_limit, opts.step_limit);
+                        max_delta = max_delta.max(delta.abs());
+                        ws.guess[k] += delta;
+                    } else {
+                        ws.guess[k] = ws.x_new[k];
+                    }
+                }
+                last_delta = max_delta;
+                if max_delta < opts.voltage_tolerance {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                return Err(SpiceError::NonConvergence {
+                    time: Some(t),
+                    iterations: opts.max_newton_iterations,
+                    max_delta: last_delta,
+                });
+            }
+            ws.prev2_x.copy_from_slice(&ws.prev_x);
+            ws.prev_x.copy_from_slice(&ws.guess);
+            times.push(t);
+            solutions.extend_from_slice(&ws.guess);
+        }
+        Ok(())
+    }
+
+    /// The pre-fast-path kernel: full matrix reassembly and factorization at
+    /// every Newton iteration, with per-iteration allocation. Retained so the
+    /// optimized kernels can be cross-checked and benchmarked against it.
+    fn run_legacy(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<(), SpiceError> {
+        let opts = &self.options;
+        let method = opts.method.companion();
+        let h = opts.time_step;
+        let n = system.num_unknowns();
+        let n_voltages = system.num_nodes() - 1;
+
+        let mut x = ws.prev_x.clone();
+        let mut cap_currents = vec![0.0; system.num_capacitors()];
 
         for step in 1..=n_steps {
             let t = step as f64 * h;
             let prev_x = x.clone();
-            // Newton iterations about the previous solution as initial guess.
             let mut guess = prev_x.clone();
             let mut converged = false;
             let mut last_delta = f64::INFINITY;
@@ -234,27 +773,9 @@ impl TransientAnalysis {
             system.update_capacitor_currents(h, method, &guess, &prev_x, &mut cap_currents);
             x = guess;
             times.push(t);
-            solutions.push(x.clone());
+            solutions.extend_from_slice(&x);
         }
-
-        let node_names = (0..circuit.num_nodes())
-            .map(|k| {
-                let id = if k == 0 {
-                    Circuit::GROUND
-                } else {
-                    // Reconstruct NodeId; indices are stable.
-                    NodeId(k)
-                };
-                (circuit.node_name(id).to_string(), id)
-            })
-            .collect();
-
-        Ok(TransientResult {
-            times,
-            solutions,
-            system,
-            node_names,
-        })
+        Ok(())
     }
 }
 
@@ -282,7 +803,7 @@ mod tests {
         ckt.set_initial_condition(b, 0.0);
         ckt.set_initial_condition(a, 1.0);
 
-        let opts = TransientOptions::new(tau / 200.0, 6.0 * tau);
+        let opts = TransientOptions::try_new(tau / 200.0, 6.0 * tau).unwrap();
         let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
         let w = res.waveform(b);
         for &t in &[0.5 * tau, tau, 2.0 * tau, 4.0 * tau] {
@@ -312,7 +833,8 @@ mod tests {
         ckt.add_capacitor("C1", b, Circuit::GROUND, c);
         ckt.set_initial_condition(a, 1.0);
 
-        let opts = TransientOptions::new(ps(0.2), ps(1500.0))
+        let opts = TransientOptions::try_new(ps(0.2), ps(1500.0))
+            .unwrap()
             .with_initial_state(InitialState::UseInitialConditions);
         let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
         let w = res.waveform(b);
@@ -372,7 +894,7 @@ mod tests {
         ckt.set_initial_condition(nout, 0.0);
         ckt.set_initial_condition(nvdd, vdd);
 
-        let opts = TransientOptions::new(ps(0.5), ps(1000.0));
+        let opts = TransientOptions::try_new(ps(0.5), ps(1000.0)).unwrap();
         let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
         let out = res.waveform(nout);
         assert!(out.last_value() > 0.98 * vdd, "output must reach VDD");
@@ -401,13 +923,16 @@ mod tests {
         ckt.set_initial_condition(a, 0.0);
 
         let trap = TransientAnalysis::new(
-            TransientOptions::new(ps(0.25), ps(600.0)).with_method(IntegrationMethod::Trapezoidal),
+            TransientOptions::try_new(ps(0.25), ps(600.0))
+                .unwrap()
+                .with_method(IntegrationMethod::Trapezoidal),
         )
         .run(&ckt)
         .unwrap()
         .waveform(b);
         let be = TransientAnalysis::new(
-            TransientOptions::new(ps(0.25), ps(600.0))
+            TransientOptions::try_new(ps(0.25), ps(600.0))
+                .unwrap()
                 .with_method(IntegrationMethod::BackwardEuler),
         )
         .run(&ckt)
@@ -437,7 +962,7 @@ mod tests {
             5e-6,
         );
         ckt.add_capacitor("CL", nout, Circuit::GROUND, ff(50.0));
-        let res = TransientAnalysis::new(TransientOptions::new(ps(1.0), ps(50.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(1.0), ps(50.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let out = res.waveform(nout);
@@ -451,7 +976,7 @@ mod tests {
         let a = ckt.node("a");
         ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
         ckt.add_resistor("R1", a, Circuit::GROUND, 100.0);
-        let res = TransientAnalysis::new(TransientOptions::new(ps(1.0), ps(10.0)))
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(1.0), ps(10.0)).unwrap())
             .run(&ckt)
             .unwrap();
         let i = res.vsource_current("V1").unwrap();
@@ -465,6 +990,71 @@ mod tests {
     #[test]
     #[should_panic(expected = "stop time shorter")]
     fn options_validate_stop_time() {
+        #[allow(deprecated)]
         let _ = TransientOptions::new(ps(10.0), ps(1.0));
+    }
+
+    #[test]
+    fn try_new_rejects_bad_times_without_panicking() {
+        assert!(matches!(
+            TransientOptions::try_new(-1.0, 1.0),
+            Err(SpiceError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            TransientOptions::try_new(1e-12, f64::NAN),
+            Err(SpiceError::InvalidOptions(_))
+        ));
+        assert!(matches!(
+            TransientOptions::try_new(1e-9, 1e-12),
+            Err(SpiceError::InvalidOptions(_))
+        ));
+        let ok = TransientOptions::try_new(1e-12, 1e-9).unwrap();
+        assert_eq!(ok.strategy, KernelStrategy::Auto);
+    }
+
+    #[test]
+    fn factor_once_rejects_nonlinear_circuits() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_vsource("V1", d, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_vsource("VG", g, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosfetParams::nmos_018(), 1e-6);
+        let opts = TransientOptions::try_new(ps(1.0), ps(10.0))
+            .unwrap()
+            .with_strategy(KernelStrategy::FactorOnce);
+        match TransientAnalysis::new(opts).run(&ckt) {
+            Err(SpiceError::InvalidOptions(msg)) => assert!(msg.contains("linear")),
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_runs_is_identical() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::rising_ramp(1.0, 0.0, ps(50.0)),
+        );
+        ckt.add_resistor("R1", a, b, 500.0);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, ff(200.0));
+        ckt.set_initial_condition(a, 0.0);
+
+        let analysis =
+            TransientAnalysis::new(TransientOptions::try_new(ps(0.5), ps(300.0)).unwrap());
+        let fresh = analysis.run(&ckt).unwrap().waveform(b);
+        let mut ws = TransientWorkspace::new();
+        // Dirty the workspace with a different circuit first.
+        let mut other = Circuit::new();
+        let p = other.node("p");
+        other.add_vsource("V1", p, Circuit::GROUND, SourceWaveform::dc(1.0));
+        other.add_resistor("R1", p, Circuit::GROUND, 50.0);
+        let _ = analysis.run_with(&other, &mut ws).unwrap();
+        let reused = analysis.run_with(&ckt, &mut ws).unwrap().waveform(b);
+        assert_eq!(fresh.values(), reused.values());
     }
 }

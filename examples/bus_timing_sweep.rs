@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &len in &lengths_mm {
         let line = extractor.extract(&WireGeometry::new(mm(len), um(width_um)));
         for &drv in &drivers {
-            let cell = library.cell(drv)?.clone();
+            let cell = library.cell_shared(drv)?;
             // The bus drives an identical receiver at the far end.
             let load = DistributedRlcLoad::new(line, cell.input_capacitance())?;
             loads.push(load);

@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 50 ps input transition.
     let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(4.0), um(0.8)));
     let mut library = Library::new(CharacterizationGrid::default());
-    let cell = library.cell(75.0)?.clone();
+    let cell = library.cell_shared(75.0)?;
     let c_load = cell.input_capacitance();
     let load = DistributedRlcLoad::new(line, c_load)?;
 

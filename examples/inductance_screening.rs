@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for &w in &widths_um {
         let line = extractor.extract(&WireGeometry::new(length, um(w)));
         for &d in &drivers {
-            let cell = library.cell(d)?.clone();
+            let cell = library.cell_shared(d)?;
             let c_load = cell.input_capacitance();
             flight_times.push(line.time_of_flight());
             stages.push(

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Characterize the 75X driver (a few dozen transient simulations).
     println!("characterizing the 75X driver ...");
     let mut library = Library::new(CharacterizationGrid::default());
-    let cell = library.cell(75.0)?.clone();
+    let cell = library.cell_shared(75.0)?;
     println!(
         "  on-resistance Rs = {:.1} ohm, input capacitance = {:.1} fF",
         cell.on_resistance(),

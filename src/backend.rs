@@ -3,6 +3,7 @@
 //! the golden transistor-level simulation ([`SpiceBackend`]), selectable per
 //! stage within one batch.
 
+use std::cell::RefCell;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -13,14 +14,28 @@ use rlc_moments::RationalAdmittance;
 use rlc_numeric::units::ps;
 use rlc_spice::circuit::Circuit;
 use rlc_spice::testbench::{add_inverter_driver, OutputTransition};
-use rlc_spice::transient::{TransientAnalysis, TransientOptions};
-use rlc_spice::Waveform;
+use rlc_spice::transient::{
+    TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
+};
+use rlc_spice::{SpiceError, Waveform};
 
 use crate::config::{CeffStrategy, EngineConfig};
 use crate::driver::{DriverModel, SampledWaveform};
 use crate::error::EngineError;
 use crate::load::LoadModel;
 use crate::stage::Stage;
+
+thread_local! {
+    /// Per-worker-thread simulation workspace: `analyze_many` fans stages
+    /// across threads, and every golden simulation a thread runs (driver
+    /// stages, far-end propagation) reuses one set of kernel buffers.
+    static SIM_WORKSPACE: RefCell<TransientWorkspace> = RefCell::new(TransientWorkspace::new());
+}
+
+/// Runs a transient analysis through this thread's cached workspace.
+fn run_transient(options: TransientOptions, ckt: &Circuit) -> Result<TransientResult, SpiceError> {
+    SIM_WORKSPACE.with(|ws| TransientAnalysis::new(options).run_with(ckt, &mut ws.borrow_mut()))
+}
 
 /// An analysis backend: turns a [`Stage`] into a [`StageReport`].
 ///
@@ -120,8 +135,7 @@ impl StageReport {
         ckt.set_initial_condition(near, 0.0);
         let far_node = load.attach(&mut ckt, near, 0.0, options.segments)?;
 
-        let result =
-            TransientAnalysis::new(TransientOptions::new(options.time_step, t_stop)).run(&ckt)?;
+        let result = run_transient(TransientOptions::try_new(options.time_step, t_stop)?, &ckt)?;
         let far = result.waveform(far_node);
         let t50 = far.crossing_fraction(0.5, self.vdd, true).ok_or_else(|| {
             EngineError::unsupported("far end never crossed 50% within the window".to_string())
@@ -244,8 +258,7 @@ impl AnalysisBackend for SpiceBackend {
         let t_stop =
             (input.delay + input.slew + 10.0 * tof + settle + ps(200.0)).min(golden.max_stop_time);
 
-        let result =
-            TransientAnalysis::new(TransientOptions::new(golden.time_step, t_stop)).run(&ckt)?;
+        let result = run_transient(TransientOptions::try_new(golden.time_step, t_stop)?, &ckt)?;
         let input_wave = result.waveform(nodes.input);
         let near = result.waveform(nodes.output);
         let vdd = spec.vdd;

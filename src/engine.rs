@@ -21,7 +21,7 @@ use crate::stage::{BackendChoice, Stage};
 /// use rlc_ceff_suite::interconnect::prelude::*;
 ///
 /// let mut library = Library::new(CharacterizationGrid::default());
-/// let cell = library.cell(75.0)?.clone();
+/// let cell = library.cell_shared(75.0)?;
 /// let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
 ///
 /// let stage = Stage::builder(cell, DistributedRlcLoad::new(line, ff(10.0))?)

@@ -31,7 +31,7 @@ fn moment_m1_matches_simulated_charge() {
         24,
         c_load,
     );
-    let result = TransientAnalysis::new(TransientOptions::new(ps(2.0), 6e-9))
+    let result = TransientAnalysis::new(TransientOptions::try_new(ps(2.0), 6e-9).unwrap())
         .run(&ckt)
         .unwrap();
     // The source current (SPICE convention: into the + terminal) integrates
