@@ -9,7 +9,8 @@
 
 use rlc_bench::harness::Runner;
 use rlc_bench::{write_bench_json, BenchComparison, OutputPaths};
-use rlc_numeric::units::{ff, nh, pf, ps};
+use rlc_interconnect::{CoupledBus, RlcLine, RlcTree};
+use rlc_numeric::units::{ff, mm, nh, pf, ps};
 use rlc_spice::circuit::Circuit;
 use rlc_spice::source::SourceWaveform;
 use rlc_spice::testbench::{
@@ -86,6 +87,61 @@ fn main() {
         ps(0.5),
         stop,
     ));
+
+    // Coupled two-line bus: victim and aggressor ladders with distributed
+    // coupling caps and per-segment mutual inductances — the widest LTI
+    // system in the suite (twice the nodes, twice the inductor branches).
+    let bus_segments = if smoke { 10 } else { 40 };
+    let line = RlcLine::new(r, l, c, mm(5.0));
+    let bus = CoupledBus::symmetric(line, 0.3 * c, 0.2 * l, ff(10.0));
+    let mut bus_ckt = Circuit::new();
+    let v_in = bus_ckt.node("v_in");
+    let a_in = bus_ckt.node("a_in");
+    bus_ckt.add_vsource(
+        "VV",
+        v_in,
+        Circuit::GROUND,
+        SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0)),
+    );
+    bus_ckt.add_vsource(
+        "VA",
+        a_in,
+        Circuit::GROUND,
+        SourceWaveform::falling_ramp(1.8, 0.0, ps(100.0)),
+    );
+    bus_ckt.set_initial_condition(v_in, 0.0);
+    bus_ckt.set_initial_condition(a_in, 1.8);
+    let _ = bus.add_to_circuit(&mut bus_ckt, v_in, a_in, bus_segments, 0.0, 1.8, "bus");
+    results.push(compare(
+        &mut runner,
+        &format!("bus_coupled_{bus_segments}seg"),
+        &bus_ckt,
+        ps(0.5),
+        stop,
+    ));
+
+    // Three-sink RLC tree: a trunk forking into three receiver branches —
+    // the branching-topology load behind `RlcTreeLoad`.
+    let tree_segments = if smoke { 6 } else { 20 };
+    let trunk = RlcLine::new(30.0, nh(2.0), pf(0.5), mm(2.0));
+    let stub = RlcLine::new(20.0, nh(1.2), pf(0.35), mm(1.5));
+    let mut tree = RlcTree::new();
+    let t = tree.add_branch(None, trunk);
+    for (i, load_ff) in [10.0, 25.0, 40.0].iter().enumerate() {
+        let b = tree.add_branch(Some(t), stub);
+        tree.set_sink(b, &format!("rx{i}"), ff(*load_ff));
+    }
+    let mut tree_ckt = Circuit::new();
+    let tree_in = tree_ckt.node("out");
+    tree_ckt.add_vsource(
+        "VDRV",
+        tree_in,
+        Circuit::GROUND,
+        SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0)),
+    );
+    tree_ckt.set_initial_condition(tree_in, 0.0);
+    let _ = tree.add_to_circuit(&mut tree_ckt, tree_in, tree_segments, 0.0, "net");
+    results.push(compare(&mut runner, "tree_3sink", &tree_ckt, ps(0.5), stop));
 
     // Nonlinear driver stage: a 75X inverter driving the same line — the
     // split-stamp Newton kernel.

@@ -3,12 +3,16 @@
 //! Step 5 of the paper's flow: "Replace the driver with a voltage source
 //! consisting of two ramps and compute the far-end response of the
 //! interconnect." The modelled waveform becomes an ideal PWL source driving
-//! the same segmented RLC line, and the far-end delay and slew are measured
-//! from that (purely linear, fast) simulation.
+//! the same segmented net, and the far-end delay and slew are measured from
+//! that (purely linear, fast) simulation.
+//!
+//! The propagation is topology-generic: [`TreeFarEndResponse`] measures
+//! **every named sink** of an [`RlcTree`], and the classic single-line
+//! [`FarEndResponse`] is the one-branch special case of that path.
 
-use rlc_interconnect::RlcLine;
+use rlc_interconnect::{RlcLine, RlcTree};
 use rlc_numeric::units::ps;
-use rlc_spice::testbench::pwl_source_with_rlc_line;
+use rlc_spice::circuit::Circuit;
 use rlc_spice::transient::{TransientAnalysis, TransientOptions};
 use rlc_spice::Waveform;
 
@@ -55,7 +59,8 @@ pub struct FarEndResponse {
 
 impl FarEndResponse {
     /// Simulates the far-end response of `line` (terminated by `c_load`)
-    /// driven by the modelled waveform.
+    /// driven by the modelled waveform — the one-branch special case of
+    /// [`TreeFarEndResponse::from_model`].
     ///
     /// # Errors
     /// Propagates simulation errors and reports missing waveform crossings.
@@ -65,35 +70,108 @@ impl FarEndResponse {
         c_load: f64,
         options: &FarEndOptions,
     ) -> Result<Self, CeffError> {
-        let t_stop = model.end_time() + options.settle_time + 4.0 * line.time_of_flight();
+        let tree = RlcTree::single_line(*line, c_load);
+        let mut response = TreeFarEndResponse::from_model(model, &tree, options)?;
+        let sink = response.sinks.pop().expect("single-line tree has one sink");
+        Ok(FarEndResponse {
+            delay_from_input: sink.delay_from_input,
+            slew: sink.slew,
+            overshoot: sink.overshoot,
+            far_waveform: sink.waveform,
+            near_waveform: response.near_waveform,
+        })
+    }
+}
+
+/// The measured response at one named sink of a tree net.
+#[derive(Debug, Clone)]
+pub struct SinkResponse {
+    /// The sink (pin) name.
+    pub sink: String,
+    /// Voltage waveform at the sink.
+    pub waveform: Waveform,
+    /// 50 % delay of the sink measured from the input's 50 % crossing (s).
+    pub delay_from_input: f64,
+    /// 10–90 % sink transition time (s).
+    pub slew: f64,
+    /// Sink overshoot above the supply (V).
+    pub overshoot: f64,
+}
+
+/// Per-sink far-end responses of an [`RlcTree`] driven by a modelled driver
+/// waveform — the topology-generic form of [`FarEndResponse`].
+#[derive(Debug, Clone)]
+pub struct TreeFarEndResponse {
+    /// Near-end (source) waveform actually applied.
+    pub near_waveform: Waveform,
+    /// One response per declared sink, in branch order.
+    pub sinks: Vec<SinkResponse>,
+}
+
+impl TreeFarEndResponse {
+    /// Simulates the modelled waveform driving `tree` and measures every
+    /// declared sink.
+    ///
+    /// # Errors
+    /// Returns [`CeffError::InvalidCase`] for a tree without sinks, and
+    /// propagates simulation errors and missing waveform crossings.
+    pub fn from_model(
+        model: &DriverOutputModel,
+        tree: &RlcTree,
+        options: &FarEndOptions,
+    ) -> Result<Self, CeffError> {
+        if tree.num_sinks() == 0 {
+            return Err(CeffError::InvalidCase(
+                "far-end propagation needs a tree with at least one named sink".into(),
+            ));
+        }
+        let t_stop = model.end_time() + options.settle_time + 4.0 * tree.total_time_of_flight();
         let source = model.to_source(t_stop);
-        let (ckt, nodes) = pwl_source_with_rlc_line(
-            source,
-            0.0,
-            line.resistance(),
-            line.inductance(),
-            line.capacitance(),
-            options.segments,
-            c_load,
-        );
+
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("VDRV", near, Circuit::GROUND, source);
+        ckt.set_initial_condition(near, 0.0);
+        let sink_nodes = tree.add_to_circuit(&mut ckt, near, options.segments, 0.0, "net");
+
         let result = TransientAnalysis::new(TransientOptions::try_new(options.time_step, t_stop)?)
             .run(&ckt)?;
-        let far = result.waveform(nodes.far_end);
-        let near = result.waveform(nodes.output);
         let vdd = model.vdd;
-        let t50 = far
-            .crossing_fraction(0.5, vdd, true)
-            .ok_or_else(|| CeffError::Measurement("far end never crossed 50%".into()))?;
-        let slew = far
-            .slew_10_90(vdd, true)
-            .ok_or_else(|| CeffError::Measurement("far end never completed 10-90%".into()))?;
-        Ok(FarEndResponse {
-            overshoot: far.overshoot(vdd),
-            delay_from_input: t50 - model.input_t50,
-            slew,
-            far_waveform: far,
-            near_waveform: near,
+        let mut sinks = Vec::with_capacity(sink_nodes.len());
+        for sink in sink_nodes {
+            let waveform = result.waveform(sink.node);
+            let t50 = waveform.crossing_fraction(0.5, vdd, true).ok_or_else(|| {
+                CeffError::Measurement(format!("sink {} never crossed 50%", sink.name))
+            })?;
+            let slew = waveform.slew_10_90(vdd, true).ok_or_else(|| {
+                CeffError::Measurement(format!("sink {} never completed 10-90%", sink.name))
+            })?;
+            sinks.push(SinkResponse {
+                overshoot: waveform.overshoot(vdd),
+                delay_from_input: t50 - model.input_t50,
+                slew,
+                waveform,
+                sink: sink.name,
+            });
+        }
+        Ok(TreeFarEndResponse {
+            near_waveform: result.waveform(near),
+            sinks,
         })
+    }
+
+    /// The response of a named sink.
+    pub fn sink(&self, name: &str) -> Option<&SinkResponse> {
+        self.sinks.iter().find(|s| s.sink == name)
+    }
+
+    /// The slowest sink (largest 50 % delay) — the path a signoff flow would
+    /// report.
+    pub fn critical_sink(&self) -> &SinkResponse {
+        self.sinks
+            .iter()
+            .max_by(|a, b| a.delay_from_input.total_cmp(&b.delay_from_input))
+            .expect("construction guarantees at least one sink")
     }
 }
 
@@ -156,5 +234,67 @@ mod tests {
         // Ramp drive of a low-loss line overshoots at the open far end.
         assert!(far.overshoot >= 0.0);
         assert!(far.near_waveform.last_value() > 0.95 * model.vdd);
+    }
+
+    #[test]
+    fn tree_far_end_measures_every_sink() {
+        // RC-dominated branches so the Elmore ordering of the two sinks is
+        // unambiguous (inductive stubs can ring their 50% crossings closer).
+        let cell = synthetic_cell();
+        let trunk = RlcLine::new(150.0, nh(0.2), pf(0.6), mm(2.5));
+        let near_stub = RlcLine::new(40.0, nh(0.05), pf(0.1), mm(0.5));
+        let far_stub = RlcLine::new(400.0, nh(0.15), pf(0.6), mm(1.5));
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let a = tree.add_branch(Some(t), near_stub);
+        let b = tree.add_branch(Some(t), far_stub);
+        tree.set_sink(a, "rx_near", ff(10.0));
+        tree.set_sink(b, "rx_far", ff(40.0));
+
+        // Reuse the single-line flow for the driver model (the tree reduces
+        // through the moments crate in the facade; here any model works).
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let config = ModelingConfig {
+            extract_rs_per_case: false,
+            ..ModelingConfig::default()
+        };
+        let model = DriverOutputModeler::new(config).model(&case).unwrap();
+        let options = FarEndOptions {
+            segments: 10,
+            time_step: ps(1.0),
+            ..FarEndOptions::default()
+        };
+        let response = TreeFarEndResponse::from_model(&model, &tree, &options).unwrap();
+        assert_eq!(response.sinks.len(), 2);
+        assert!(response.sink("rx_near").is_some());
+        assert!(response.sink("nope").is_none());
+        // Both sinks complete; the longer path is the critical one.
+        for sink in &response.sinks {
+            assert!(sink.waveform.last_value() > 0.95 * model.vdd);
+            assert!(sink.delay_from_input > 0.0 && sink.slew > 0.0);
+        }
+        let near_delay = response.sink("rx_near").unwrap().delay_from_input;
+        let far_delay = response.sink("rx_far").unwrap().delay_from_input;
+        assert!(far_delay > near_delay);
+        assert_eq!(response.critical_sink().sink, "rx_far");
+    }
+
+    #[test]
+    fn sinkless_tree_is_an_invalid_case() {
+        let cell = synthetic_cell();
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let case = AnalysisCase::try_new(&cell, &line, ff(10.0), ps(100.0)).unwrap();
+        let config = ModelingConfig {
+            extract_rs_per_case: false,
+            ..ModelingConfig::default()
+        };
+        let model = DriverOutputModeler::new(config).model(&case).unwrap();
+        let mut tree = rlc_interconnect::RlcTree::new();
+        tree.add_branch(None, line);
+        assert!(matches!(
+            TreeFarEndResponse::from_model(&model, &tree, &FarEndOptions::default()),
+            Err(crate::CeffError::InvalidCase(_))
+        ));
     }
 }

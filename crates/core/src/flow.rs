@@ -735,17 +735,6 @@ mod tests {
         ));
     }
 
-    /// The deprecated constructor still works (and still panics) for old
-    /// callers.
-    #[test]
-    #[should_panic(expected = "input slew must be positive")]
-    #[allow(deprecated)]
-    fn deprecated_constructor_panics_on_bad_input() {
-        let cell = synthetic_cell(75.0, 70.0);
-        let line = paper_line();
-        let _ = AnalysisCase::new(&cell, &line, ff(10.0), 0.0);
-    }
-
     #[test]
     fn lumped_reduced_load_uses_single_ramp_and_full_capacitance() {
         let cell = synthetic_cell(75.0, 70.0);

@@ -60,7 +60,7 @@ pub mod validation;
 pub use breakpoint::voltage_breakpoint;
 pub use charge::{ceff_first_ramp, ceff_second_ramp, ChargeWindow};
 pub use criteria::{CriteriaReport, InductanceCriteria};
-pub use far_end::FarEndResponse;
+pub use far_end::{FarEndResponse, SinkResponse, TreeFarEndResponse};
 pub use flow::{
     AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig, ReducedLoad,
     WaveParameters,
@@ -76,7 +76,7 @@ pub mod prelude {
     pub use crate::breakpoint::voltage_breakpoint;
     pub use crate::charge::{ceff_first_ramp, ceff_second_ramp, ChargeWindow};
     pub use crate::criteria::{CriteriaReport, InductanceCriteria};
-    pub use crate::far_end::FarEndResponse;
+    pub use crate::far_end::{FarEndResponse, SinkResponse, TreeFarEndResponse};
     pub use crate::flow::{
         AnalysisCase, DriverOutputModel, DriverOutputModeler, ModelingConfig, ReducedLoad,
         WaveParameters,

@@ -34,11 +34,13 @@ pub mod geometry;
 pub mod line;
 pub mod paper_cases;
 pub mod technology;
+pub mod topology;
 
 pub use extraction::{EmpiricalExtractor, Extractor, PhysicalExtractor};
 pub use geometry::WireGeometry;
 pub use line::RlcLine;
 pub use technology::Technology;
+pub use topology::{BranchId, CoupledBus, NetTopology, RlcTree, Sink, SinkNode, TreeBranch};
 
 /// Convenient glob import.
 pub mod prelude {
@@ -47,5 +49,8 @@ pub mod prelude {
     pub use crate::line::RlcLine;
     pub use crate::paper_cases;
     pub use crate::technology::Technology;
+    pub use crate::topology::{
+        BranchId, CoupledBus, NetTopology, RlcTree, Sink, SinkNode, TreeBranch,
+    };
     pub use rlc_numeric::units::{ff, mm, nh, pf, ps, um};
 }

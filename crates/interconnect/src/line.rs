@@ -3,7 +3,8 @@
 //! ladder segmentation handed to the circuit simulator.
 
 use rlc_spice::circuit::{Circuit, NodeId};
-use rlc_spice::testbench::add_rlc_ladder;
+
+use crate::topology::RlcTree;
 
 /// A uniform on-chip RLC line described by its **total** series resistance,
 /// series inductance and shunt capacitance.
@@ -135,8 +136,16 @@ impl RlcLine {
         by_feature.clamp(10, 120)
     }
 
-    /// Appends this line as a segmented ladder to an existing circuit (see
-    /// [`rlc_spice::testbench::add_rlc_ladder`]); returns the far-end node.
+    /// The equivalent one-branch [`RlcTree`] (single sink `"far"` carrying
+    /// `c_load`) — the point-to-point line as a degenerate net topology.
+    pub fn to_tree(&self, c_load: f64) -> RlcTree {
+        RlcTree::single_line(*self, c_load)
+    }
+
+    /// Appends this line as a segmented ladder to an existing circuit;
+    /// returns the far-end node. A thin wrapper over the one-branch
+    /// [`RlcTree`] synthesis, so every topology flows through the same
+    /// circuit-construction path.
     #[allow(clippy::too_many_arguments)]
     pub fn add_to_circuit(
         &self,
@@ -147,17 +156,11 @@ impl RlcLine {
         v_initial: f64,
         name_prefix: &str,
     ) -> NodeId {
-        add_rlc_ladder(
-            ckt,
-            near,
-            self.resistance,
-            self.inductance,
-            self.capacitance,
-            segments,
-            c_load,
-            v_initial,
-            name_prefix,
-        )
+        self.to_tree(c_load)
+            .add_to_circuit(ckt, near, segments, v_initial, name_prefix)
+            .pop()
+            .expect("a single-line tree always has its far sink")
+            .node
     }
 }
 

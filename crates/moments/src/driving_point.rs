@@ -14,7 +14,7 @@
 //!    `Yin = (Y_L + Y_c tanh θ) / (1 + Y_L Z0 tanh θ)`, as a power series
 //!    using `tanh(x)/x` in the analytic variable `u = (R + sL)(sC)`.
 
-use rlc_interconnect::RlcLine;
+use rlc_interconnect::{RlcLine, RlcTree};
 use rlc_numeric::PowerSeries;
 
 /// Coefficients of `tanh(sqrt(u)) / sqrt(u)` as a power series in `u`:
@@ -48,6 +48,27 @@ pub fn distributed_admittance_moments(line: &RlcLine, c_load: f64, n_moments: us
     assert!(c_load >= 0.0, "load capacitance must be non-negative");
     let n_terms = n_moments + 1; // series order includes s^0
 
+    // Y_L = s * C_load.
+    let yl = PowerSeries::linear(c_load, n_terms);
+    let yin = propagate_through_line(line, &yl);
+
+    debug_assert!(yin.coeff(0).abs() < 1e-30, "DC admittance must vanish");
+    (1..=n_moments).map(|k| yin.coeff(k)).collect()
+}
+
+/// Propagates a far-end admittance series through a uniform distributed RLC
+/// `line`:
+///
+/// ```text
+/// Yin = (Y_far + Y_c tanh θ) / (1 + Y_far Z0 tanh θ)
+/// ```
+///
+/// evaluated as truncated power series in `s` via `tanh(sqrt(u))/sqrt(u)` in
+/// the analytic variable `u = (R + sL)(sC)`. This is the single propagation
+/// step shared by the point-to-point expansion and the bottom-up tree
+/// traversal.
+fn propagate_through_line(line: &RlcLine, y_far: &PowerSeries) -> PowerSeries {
+    let n_terms = y_far.n_terms();
     let r = line.resistance();
     let l = line.inductance();
     let c = line.capacitance();
@@ -71,16 +92,59 @@ pub fn distributed_admittance_moments(line: &RlcLine, c_load: f64, n_moments: us
     let yc_tanh = sc.mul(&t_of_u);
     let z0_tanh = series_r_sl.mul(&t_of_u);
 
-    // Y_L = s * C_load.
-    let yl = PowerSeries::linear(c_load, n_terms);
+    let numerator = y_far.add(&yc_tanh);
+    let denominator = PowerSeries::constant(1.0, n_terms).add(&y_far.mul(&z0_tanh));
+    numerator.div(&denominator)
+}
 
-    // Yin = (Y_L + Yc tanh) / (1 + Y_L * Z0 tanh).
-    let numerator = yl.add(&yc_tanh);
-    let denominator = PowerSeries::constant(1.0, n_terms).add(&yl.mul(&z0_tanh));
-    let yin = numerator.div(&denominator);
+/// Moments of the driving-point admittance of an RLC tree, by the standard
+/// bottom-up traversal: every branch propagates the admittance of its sink
+/// load plus its children's subtrees through its own distributed line, and
+/// the root admittance is the sum over the branches attached to the driving
+/// point.
+///
+/// For a one-branch tree this reduces to — and produces bit-identical
+/// results with — [`distributed_admittance_moments`], so the single-line
+/// analysis path is a special case of the tree path rather than a parallel
+/// implementation.
+///
+/// # Panics
+/// Panics if the tree has no branches or `n_moments` is 0 or larger than 8.
+pub fn tree_admittance_moments(tree: &RlcTree, n_moments: usize) -> Vec<f64> {
+    assert!(
+        (1..=8).contains(&n_moments),
+        "supported moment count is 1..=8"
+    );
+    assert!(
+        tree.num_branches() > 0,
+        "tree must have at least one branch"
+    );
+    let n_terms = n_moments + 1;
 
-    debug_assert!(yin.coeff(0).abs() < 1e-30, "DC admittance must vanish");
-    (1..=n_moments).map(|k| yin.coeff(k)).collect()
+    // Admittance looking into each branch from its near end. Children always
+    // have larger indices than their parents, so one reverse pass visits
+    // every subtree bottom-up.
+    let mut y_near: Vec<Option<PowerSeries>> = vec![None; tree.num_branches()];
+    for (id, branch) in tree.branches().collect::<Vec<_>>().into_iter().rev() {
+        let c_sink = branch.sink().map_or(0.0, |s| s.c_load);
+        let mut y_far = PowerSeries::linear(c_sink, n_terms);
+        for child in tree.children(id) {
+            y_far = y_far.add(
+                y_near[child.index()]
+                    .as_ref()
+                    .expect("children are processed before their parents"),
+            );
+        }
+        y_near[id.index()] = Some(propagate_through_line(branch.line(), &y_far));
+    }
+
+    let mut total = PowerSeries::zero(n_terms);
+    for (id, branch) in tree.branches() {
+        if branch.parent().is_none() {
+            total = total.add(y_near[id.index()].as_ref().expect("all branches computed"));
+        }
+    }
+    (1..=n_moments).map(|k| total.coeff(k)).collect()
 }
 
 /// Composes a power series in `u` (given by `outer_coeffs[k]` for `u^k`) with
@@ -239,6 +303,97 @@ mod tests {
         let line = RlcLine::new(100.0, 1e-15, pf(1.0), mm(5.0));
         let m = distributed_admittance_moments(&line, 0.0, 5);
         assert!(m[0] > 0.0 && m[1] < 0.0 && m[2] > 0.0 && m[3] < 0.0 && m[4] > 0.0);
+    }
+
+    #[test]
+    fn one_branch_tree_matches_distributed_exactly() {
+        let line = paper_line();
+        let cl = ff(20.0);
+        let tree = rlc_interconnect::RlcTree::single_line(line, cl);
+        let from_tree = tree_admittance_moments(&tree, 5);
+        let from_line = distributed_admittance_moments(&line, cl, 5);
+        // Bit-identical: both go through the same propagation step.
+        assert_eq!(from_tree, from_line);
+    }
+
+    #[test]
+    fn chained_uniform_branches_match_the_unsplit_line() {
+        // A uniform line split into two half-length branches is the same
+        // physical net; the moments must agree to rounding.
+        let line = paper_line();
+        let half = line.with_length(line.length() / 2.0);
+        let cl = ff(30.0);
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let first = tree.add_branch(None, half);
+        let second = tree.add_branch(Some(first), half);
+        tree.set_sink(second, "far", cl);
+
+        let split = tree_admittance_moments(&tree, 5);
+        let whole = distributed_admittance_moments(&line, cl, 5);
+        for k in 0..5 {
+            assert!(
+                approx_eq(split[k], whole[k], 1e-9 * whole[k].abs().max(1e-40)),
+                "moment {k}: {} vs {}",
+                split[k],
+                whole[k]
+            );
+        }
+    }
+
+    #[test]
+    fn branching_tree_first_moment_is_total_capacitance() {
+        let trunk = RlcLine::new(30.0, nh(2.0), pf(0.5), mm(2.0));
+        let stub = RlcLine::new(20.0, nh(1.0), pf(0.3), mm(1.0));
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let l = tree.add_branch(Some(t), stub);
+        let r = tree.add_branch(Some(t), stub);
+        tree.set_sink(l, "rx0", ff(15.0));
+        tree.set_sink(r, "rx1", ff(25.0));
+
+        let m = tree_admittance_moments(&tree, 3);
+        assert!(
+            approx_eq(
+                m[0],
+                tree.total_capacitance(),
+                1e-9 * tree.total_capacitance()
+            ),
+            "m1 = {} vs {}",
+            m[0],
+            tree.total_capacitance()
+        );
+        // Resistive shielding makes the second moment negative, as for lines.
+        assert!(m[1] < 0.0);
+    }
+
+    #[test]
+    fn rc_tree_moments_synthesize_a_pi_model() {
+        // The O'Brien–Savarino pi synthesis must accept the moments of an
+        // RC-dominated tree (the moments generalization the facade's
+        // PiModelLoad::from_moments relies on).
+        let trunk = RlcLine::new(300.0, nh(0.03), pf(0.8), mm(3.0));
+        let stub = RlcLine::new(200.0, nh(0.02), pf(0.5), mm(2.0));
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let l = tree.add_branch(Some(t), stub);
+        let r = tree.add_branch(Some(t), stub);
+        tree.set_sink(l, "rx0", ff(20.0));
+        tree.set_sink(r, "rx1", ff(20.0));
+
+        let m = tree_admittance_moments(&tree, 3);
+        let pi = crate::PiModel::from_moments(&m).unwrap();
+        assert!(pi.c_near > 0.0 && pi.c_far > 0.0 && pi.resistance > 0.0);
+        assert!(approx_eq(
+            pi.total_capacitance(),
+            tree.total_capacitance(),
+            1e-9 * tree.total_capacitance()
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one branch")]
+    fn empty_tree_rejected() {
+        let _ = tree_admittance_moments(&rlc_interconnect::RlcTree::new(), 3);
     }
 
     #[test]

@@ -35,13 +35,17 @@ pub mod driving_point;
 pub mod pi_model;
 pub mod rational;
 
-pub use driving_point::{distributed_admittance_moments, ladder_admittance_moments};
+pub use driving_point::{
+    distributed_admittance_moments, ladder_admittance_moments, tree_admittance_moments,
+};
 pub use pi_model::{PiModel, RcCeffBaseline};
 pub use rational::{PolePair, RationalAdmittance};
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::driving_point::{distributed_admittance_moments, ladder_admittance_moments};
+    pub use crate::driving_point::{
+        distributed_admittance_moments, ladder_admittance_moments, tree_admittance_moments,
+    };
     pub use crate::pi_model::{PiModel, RcCeffBaseline};
     pub use crate::rational::{PolePair, RationalAdmittance};
 }

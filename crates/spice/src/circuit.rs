@@ -150,6 +150,32 @@ impl Circuit {
         });
     }
 
+    /// Adds a mutual inductance `M` coupling two inductors already (or later)
+    /// added by name. Validated by [`Circuit::validate`]: both inductors must
+    /// exist, be distinct, and satisfy `M^2 < L_a * L_b` (coupling
+    /// coefficient below 1).
+    ///
+    /// # Panics
+    /// Panics if `henries` is zero or not finite.
+    pub fn add_mutual_inductance(
+        &mut self,
+        name: &str,
+        inductor_a: &str,
+        inductor_b: &str,
+        henries: f64,
+    ) {
+        assert!(
+            henries != 0.0 && henries.is_finite(),
+            "mutual inductance {name} must be non-zero and finite"
+        );
+        self.elements.push(Element::MutualInductance {
+            name: name.to_string(),
+            inductor_a: inductor_a.to_string(),
+            inductor_b: inductor_b.to_string(),
+            henries,
+        });
+    }
+
     /// Adds an independent voltage source (positive terminal `pos`).
     pub fn add_vsource(&mut self, name: &str, pos: NodeId, neg: NodeId, waveform: SourceWaveform) {
         self.elements.push(Element::VoltageSource {
@@ -206,12 +232,21 @@ impl Circuit {
         &self.initial_conditions
     }
 
+    /// Inductance of the named inductor element, if present.
+    fn inductance_of(&self, inductor: &str) -> Option<f64> {
+        self.elements.iter().find_map(|e| match e {
+            Element::Inductor { name, henries, .. } if name == inductor => Some(*henries),
+            _ => None,
+        })
+    }
+
     /// Basic sanity checks run before any analysis.
     ///
     /// # Errors
     /// Returns [`SpiceError::InvalidCircuit`] when the circuit is empty, has
-    /// no element connected to ground, or an element references a node that
-    /// does not exist.
+    /// no element connected to ground, an element references a node that
+    /// does not exist, or a mutual inductance names a missing/duplicate
+    /// inductor or exceeds the unity coupling coefficient.
     pub fn validate(&self) -> Result<(), SpiceError> {
         if self.elements.is_empty() {
             return Err(SpiceError::InvalidCircuit("circuit has no elements".into()));
@@ -228,6 +263,37 @@ impl Circuit {
                 }
                 if n.is_ground() {
                     touches_ground = true;
+                }
+            }
+            if let Element::MutualInductance {
+                name,
+                inductor_a,
+                inductor_b,
+                henries,
+            } = e
+            {
+                if inductor_a == inductor_b {
+                    return Err(SpiceError::InvalidCircuit(format!(
+                        "mutual inductance {name} couples inductor {inductor_a} to itself"
+                    )));
+                }
+                let (la, lb) = match (
+                    self.inductance_of(inductor_a),
+                    self.inductance_of(inductor_b),
+                ) {
+                    (Some(la), Some(lb)) => (la, lb),
+                    _ => {
+                        return Err(SpiceError::InvalidCircuit(format!(
+                            "mutual inductance {name} references unknown inductor \
+                             ({inductor_a} and/or {inductor_b})"
+                        )));
+                    }
+                };
+                if henries * henries >= la * lb {
+                    return Err(SpiceError::InvalidCircuit(format!(
+                        "mutual inductance {name}: M = {henries:e} implies a coupling \
+                         coefficient >= 1 for L = {la:e} and {lb:e}"
+                    )));
                 }
             }
         }
@@ -281,6 +347,41 @@ mod tests {
         let mut ckt = Circuit::new();
         let a = ckt.node("a");
         ckt.add_resistor("R1", a, Circuit::GROUND, -1.0);
+    }
+
+    #[test]
+    fn validate_checks_mutual_inductances() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_inductor("L1", a, Circuit::GROUND, 1e-9);
+        ckt.add_inductor("L2", b, Circuit::GROUND, 4e-9);
+
+        // Unknown partner inductor.
+        let mut bad = ckt.clone();
+        bad.add_mutual_inductance("K1", "L1", "Lmissing", 0.5e-9);
+        assert!(matches!(bad.validate(), Err(SpiceError::InvalidCircuit(_))));
+
+        // Self-coupling.
+        let mut bad = ckt.clone();
+        bad.add_mutual_inductance("K1", "L1", "L1", 0.5e-9);
+        assert!(matches!(bad.validate(), Err(SpiceError::InvalidCircuit(_))));
+
+        // Coupling coefficient >= 1: sqrt(1n * 4n) = 2n.
+        let mut bad = ckt.clone();
+        bad.add_mutual_inductance("K1", "L1", "L2", 2e-9);
+        assert!(matches!(bad.validate(), Err(SpiceError::InvalidCircuit(_))));
+
+        // A physical coupling (negative M allowed) passes.
+        ckt.add_mutual_inductance("K1", "L1", "L2", -1.9e-9);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero and finite")]
+    fn zero_mutual_inductance_panics() {
+        let mut ckt = Circuit::new();
+        ckt.add_mutual_inductance("K1", "L1", "L2", 0.0);
     }
 
     #[test]

@@ -70,6 +70,24 @@ pub enum Element {
         /// Source value over time (amperes).
         waveform: SourceWaveform,
     },
+    /// Mutual inductive coupling between two named [`Element::Inductor`]s (a
+    /// SPICE `K` element expressed directly as the mutual inductance `M`
+    /// rather than the coupling coefficient). The coupled branch equations
+    /// become `V_a = L_a dI_a/dt + M dI_b/dt` (and symmetrically for `b`), so
+    /// the element touches no circuit nodes of its own — it only couples the
+    /// two existing inductor branch currents.
+    MutualInductance {
+        /// Instance name.
+        name: String,
+        /// Instance name of the first coupled inductor.
+        inductor_a: String,
+        /// Instance name of the second coupled inductor.
+        inductor_b: String,
+        /// Mutual inductance in henries. May be negative (anti-series
+        /// coupling); `M^2` must stay below `L_a * L_b` so the inductance
+        /// matrix remains positive definite.
+        henries: f64,
+    },
     /// Alpha-power-law MOSFET. Drain/gate/source terminals; the bulk is
     /// implicitly tied to the source (body effect is not modelled).
     Mosfet {
@@ -97,6 +115,7 @@ impl Element {
             | Element::Inductor { name, .. }
             | Element::VoltageSource { name, .. }
             | Element::CurrentSource { name, .. }
+            | Element::MutualInductance { name, .. }
             | Element::Mosfet { name, .. } => name,
         }
     }
@@ -109,6 +128,9 @@ impl Element {
             | Element::Inductor { a, b, .. } => vec![*a, *b],
             Element::VoltageSource { pos, neg, .. } => vec![*pos, *neg],
             Element::CurrentSource { from, to, .. } => vec![*from, *to],
+            // A mutual inductance couples two inductor *branches*; it has no
+            // terminals of its own.
+            Element::MutualInductance { .. } => vec![],
             Element::Mosfet {
                 drain,
                 gate,
@@ -169,6 +191,17 @@ mod tests {
             waveform: SourceWaveform::dc(1.0),
         };
         assert!(v.needs_branch_current());
+
+        let k = Element::MutualInductance {
+            name: "K1".into(),
+            inductor_a: "L1".into(),
+            inductor_b: "L2".into(),
+            henries: 0.5e-9,
+        };
+        assert_eq!(k.name(), "K1");
+        assert!(k.nodes().is_empty());
+        assert!(!k.needs_branch_current());
+        assert!(!k.is_nonlinear());
 
         let m = Element::Mosfet {
             name: "M1".into(),

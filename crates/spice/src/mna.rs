@@ -54,6 +54,14 @@ pub(crate) struct CompiledInductor {
     pub branch: usize,
 }
 
+/// A compiled mutual inductance coupling two inductor branch currents.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CompiledMutual {
+    pub branch_a: usize,
+    pub branch_b: usize,
+    pub henries: f64,
+}
+
 /// A compiled voltage source with its branch-current unknown.
 #[derive(Debug, Clone)]
 pub(crate) struct CompiledVsource {
@@ -93,6 +101,7 @@ pub struct MnaSystem {
     pub(crate) resistors: Vec<CompiledResistor>,
     pub(crate) capacitors: Vec<CompiledCapacitor>,
     pub(crate) inductors: Vec<CompiledInductor>,
+    pub(crate) mutuals: Vec<CompiledMutual>,
     pub(crate) vsources: Vec<CompiledVsource>,
     pub(crate) isources: Vec<CompiledIsource>,
     pub(crate) mosfets: Vec<CompiledMosfet>,
@@ -106,6 +115,8 @@ impl MnaSystem {
         let mut resistors = Vec::new();
         let mut capacitors = Vec::new();
         let mut inductors = Vec::new();
+        let mut inductor_names: Vec<&str> = Vec::new();
+        let mut mutual_elements: Vec<(&str, &str, &str, f64)> = Vec::new();
         let mut vsources = Vec::new();
         let mut isources = Vec::new();
         let mut mosfets = Vec::new();
@@ -122,7 +133,14 @@ impl MnaSystem {
                     b: b.index(),
                     farads: *farads,
                 }),
-                Element::Inductor { a, b, henries, .. } => {
+                Element::Inductor {
+                    name,
+                    a,
+                    b,
+                    henries,
+                    ..
+                } => {
+                    inductor_names.push(name);
                     inductors.push(CompiledInductor {
                         a: a.index(),
                         b: b.index(),
@@ -131,6 +149,12 @@ impl MnaSystem {
                     });
                     next_branch += 1;
                 }
+                Element::MutualInductance {
+                    name,
+                    inductor_a,
+                    inductor_b,
+                    henries,
+                } => mutual_elements.push((name, inductor_a, inductor_b, *henries)),
                 Element::VoltageSource {
                     name,
                     pos,
@@ -197,12 +221,36 @@ impl MnaSystem {
             }
         }
 
+        // Mutual inductances are resolved after the element pass so they may
+        // be declared in any order relative to the inductors they couple;
+        // `Circuit::validate` reports missing names as a proper error first.
+        let mutuals = mutual_elements
+            .into_iter()
+            .map(|(name, la, lb, henries)| {
+                let branch_of = |wanted: &str| {
+                    inductor_names
+                        .iter()
+                        .position(|n| *n == wanted)
+                        .map(|i| inductors[i].branch)
+                        .unwrap_or_else(|| {
+                            panic!("mutual inductance {name} references unknown inductor {wanted}")
+                        })
+                };
+                CompiledMutual {
+                    branch_a: branch_of(la),
+                    branch_b: branch_of(lb),
+                    henries,
+                }
+            })
+            .collect();
+
         MnaSystem {
             num_nodes,
             num_unknowns: next_branch,
             resistors,
             capacitors,
             inductors,
+            mutuals,
             vsources,
             isources,
             mosfets,
@@ -284,7 +332,9 @@ impl MnaSystem {
     /// Stamps the state-independent part of the DC system: gmin, resistors,
     /// inductor shorts, voltage-source constraints and current-source
     /// injections. Everything except the MOSFET linearizations, which are the
-    /// only stamps that change across Newton iterations.
+    /// only stamps that change across Newton iterations. Mutual inductances
+    /// contribute nothing at DC (`di/dt = 0`; the coupled inductors are
+    /// already shorts).
     pub(crate) fn stamp_dc_static(&self, m: &mut DenseMatrix, rhs: &mut [f64]) {
         for k in 0..(self.num_nodes - 1) {
             m.add_at(k, k, GMIN);
@@ -451,6 +501,16 @@ impl MnaSystem {
             // Branch equation: Va - Vb - z * i = rhs_val.
             m.add_at(l.branch, l.branch, -z);
         }
+        for k in &self.mutuals {
+            // Coupled branch equations gain the off-diagonal companion
+            // impedance: Va - Vb - z*i - z_m*i_other = rhs_val.
+            let z_m = match method {
+                CompanionMethod::BackwardEuler => k.henries / h,
+                CompanionMethod::Trapezoidal => 2.0 * k.henries / h,
+            };
+            m.add_at(k.branch_a, k.branch_b, -z_m);
+            m.add_at(k.branch_b, k.branch_a, -z_m);
+        }
         for v in &self.vsources {
             self.stamp_branch_voltage_rows(m, v.pos, v.neg, v.branch);
         }
@@ -560,6 +620,16 @@ impl MnaSystem {
                 CompanionMethod::BackwardEuler => -(l.henries / h) * i_prev,
                 CompanionMethod::Trapezoidal => -(2.0 * l.henries / h) * i_prev - v_prev,
             };
+        }
+        for k in &self.mutuals {
+            // History of the coupled branch current (the v_prev part of the
+            // trapezoidal companion is already carried by the self terms).
+            let z_m = match method {
+                CompanionMethod::BackwardEuler => k.henries / h,
+                CompanionMethod::Trapezoidal => 2.0 * k.henries / h,
+            };
+            rhs[k.branch_a] -= z_m * prev_x[k.branch_b];
+            rhs[k.branch_b] -= z_m * prev_x[k.branch_a];
         }
         for v in &self.vsources {
             rhs[v.branch] = v.waveform.value_at(t);

@@ -987,11 +987,103 @@ mod tests {
         assert_eq!(res.num_points(), 11);
     }
 
+    /// Two series-aiding coupled inductors behave as `L1 + L2 + 2M`; with a
+    /// negative mutual inductance the coupling opposes and the effective
+    /// inductance drops to `L1 + L2 - 2|M|`. The RL step current
+    /// `i(t) = (V/R)(1 - e^{-tR/L_eff})` pins both cases analytically.
     #[test]
-    #[should_panic(expected = "stop time shorter")]
-    fn options_validate_stop_time() {
-        #[allow(deprecated)]
-        let _ = TransientOptions::new(ps(10.0), ps(1.0));
+    fn coupled_inductors_in_series_match_effective_inductance() {
+        // Trapezoidal is second order, so a coarser step suffices; backward
+        // Euler needs a finer one to meet the same tolerance — and running
+        // both pins the method-specific mutual companion stamps against the
+        // analytic solution, not just against each other.
+        for (method, steps_per_tau) in [
+            (IntegrationMethod::Trapezoidal, 300.0),
+            (IntegrationMethod::BackwardEuler, 2000.0),
+        ] {
+            for (m, l_eff) in [(0.5e-9, 3.0e-9), (-0.5e-9, 1.0e-9)] {
+                let r = 100.0;
+                let mut ckt = Circuit::new();
+                let s = ckt.node("s");
+                let n1 = ckt.node("n1");
+                let n2 = ckt.node("n2");
+                ckt.add_vsource("V1", s, Circuit::GROUND, SourceWaveform::dc(1.0));
+                ckt.add_resistor("R1", s, n1, r);
+                ckt.add_inductor("L1", n1, n2, 1e-9);
+                ckt.add_inductor("L2", n2, Circuit::GROUND, 1e-9);
+                ckt.add_mutual_inductance("K1", "L1", "L2", m);
+                ckt.set_initial_condition(s, 1.0);
+                ckt.set_initial_condition(n1, 1.0);
+                ckt.set_initial_condition(n2, 1.0);
+
+                let tau = l_eff / r;
+                let opts = TransientOptions::try_new(tau / steps_per_tau, 6.0 * tau)
+                    .unwrap()
+                    .with_method(method)
+                    .with_initial_state(InitialState::UseInitialConditions);
+                let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
+                let i = res.vsource_current("V1").unwrap();
+                for &t in &[0.5 * tau, tau, 2.0 * tau, 4.0 * tau] {
+                    // SPICE convention: current into the + terminal, so the
+                    // delivered current shows up negated.
+                    let expected = -(1.0 / r) * (1.0 - (-t / tau).exp());
+                    assert!(
+                        (i.value_at(t) - expected).abs() < 2e-3 / r,
+                        "{method:?}, M = {m:e}, t = {t:e}: {} vs {expected}",
+                        i.value_at(t)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The mutually-coupled companion stamps must agree across every kernel,
+    /// for both integration methods (BE and trapezoidal use different
+    /// companion impedances and history terms).
+    #[test]
+    fn coupled_inductor_kernels_agree_with_legacy() {
+        let mut ckt = Circuit::new();
+        let s = ckt.node("s");
+        let v1 = ckt.node("v1");
+        let a1 = ckt.node("a1");
+        ckt.add_vsource(
+            "V1",
+            s,
+            Circuit::GROUND,
+            SourceWaveform::rising_ramp(1.0, 0.0, ps(50.0)),
+        );
+        ckt.add_resistor("Rv", s, v1, 50.0);
+        ckt.add_inductor("Lv", v1, Circuit::GROUND, nh(2.0));
+        ckt.add_resistor("Ra", s, a1, 75.0);
+        ckt.add_inductor("La", a1, Circuit::GROUND, nh(3.0));
+        ckt.add_mutual_inductance("K1", "Lv", "La", nh(1.2));
+        ckt.set_initial_condition(s, 0.0);
+
+        for method in [
+            IntegrationMethod::Trapezoidal,
+            IntegrationMethod::BackwardEuler,
+        ] {
+            let legacy = TransientAnalysis::new(
+                TransientOptions::try_new(ps(0.5), ps(400.0))
+                    .unwrap()
+                    .with_method(method)
+                    .with_strategy(KernelStrategy::LegacyFull),
+            )
+            .run(&ckt)
+            .unwrap()
+            .waveform(v1);
+            let fast = TransientAnalysis::new(
+                TransientOptions::try_new(ps(0.5), ps(400.0))
+                    .unwrap()
+                    .with_method(method),
+            )
+            .run(&ckt)
+            .unwrap()
+            .waveform(v1);
+            for (a, b) in legacy.values().iter().zip(fast.values()) {
+                assert!((a - b).abs() < 1e-9, "{method:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,93 @@
+//! Crosstalk on a coupled two-line bus: how much does the aggressor's
+//! switching direction move the victim's far-end timing?
+//!
+//! Two copies of the paper's 5 mm line run side by side, coupled by a
+//! distributed coupling capacitance and a mutual inductance. The victim is
+//! driven by a characterized 75X inverter through the `TimingEngine`; the
+//! aggressor is an ideal ramp whose direction is swept — same direction as
+//! the victim, quiet, and opposite. The victim delay push-out between the
+//! best and worst case is the crosstalk window a signoff flow must margin
+//! for, and the quiet-aggressor run shows the coupled noise instead.
+//!
+//! Run with: `cargo run --release --example crosstalk_bus`
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::{
+    AggressorSpec, AggressorSwitching, CoupledBusLoad, EngineConfig, Stage, TimingEngine,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's 5 mm / 1.6 um line, twice, with ~30% capacitive coupling
+    // and a mutual inductance at k ~ 0.2 — a plausible neighbouring-track
+    // geometry.
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let coupling_c = 0.3 * line.capacitance();
+    let mutual_l = 0.2 * line.inductance();
+    let bus = CoupledBus::symmetric(line, coupling_c, mutual_l, ff(10.0));
+
+    let mut library = Library::new(CharacterizationGrid::default());
+    let cell = library.cell_shared(75.0)?;
+    let engine = TimingEngine::new(EngineConfig::default());
+    let far_opts = FarEndOptions::default();
+
+    println!("{bus}");
+    println!("victim: 75X driver, 100 ps input slew; aggressor: ideal 100 ps ramp");
+    println!();
+    println!(
+        "{:<22} {:>14} {:>14} {:>14} {:>16}",
+        "aggressor", "victim delay", "victim slew", "agg delay", "agg peak noise"
+    );
+
+    let mut victim_delays = Vec::new();
+    for (name, switching) in [
+        ("same direction", AggressorSwitching::SameDirection),
+        ("quiet", AggressorSwitching::Quiet),
+        ("opposite", AggressorSwitching::OppositeDirection),
+    ] {
+        let load = CoupledBusLoad::new(
+            bus,
+            AggressorSpec::new(switching, ps(100.0), ps(20.0), 1.8)?,
+        )?;
+        let stage = Stage::builder(cell.clone(), load.clone())
+            .label(name)
+            .input_slew(ps(100.0))
+            .build()?;
+        let report = engine.analyze(&stage)?;
+        let sinks = report.far_end_sinks(&load, &far_opts)?;
+        let victim = sinks
+            .iter()
+            .find(|s| s.sink == "victim")
+            .expect("bus exposes the victim sink");
+        let aggressor = sinks
+            .iter()
+            .find(|s| s.sink == "aggressor")
+            .expect("bus exposes the aggressor sink");
+
+        let fmt_ps = |v: Option<f64>| match v {
+            Some(t) => format!("{:.1} ps", t * 1e12),
+            None => "—".to_string(),
+        };
+        println!(
+            "{:<22} {:>14} {:>14} {:>14} {:>13.0} mV",
+            name,
+            fmt_ps(victim.delay_from_input),
+            fmt_ps(victim.slew),
+            fmt_ps(aggressor.delay_from_input),
+            aggressor.peak_noise * 1e3
+        );
+        victim_delays.push(victim.delay_from_input.expect("victim always switches"));
+    }
+
+    let push_out = victim_delays[2] - victim_delays[0];
+    println!();
+    println!(
+        "crosstalk window: {:.1} ps victim push-out between same-direction and \
+         opposite-direction aggressor switching",
+        push_out * 1e12
+    );
+    println!("A quiet aggressor leaves the victim between the two extremes and instead");
+    println!("picks up the coupled noise bump shown in the last column.");
+    Ok(())
+}

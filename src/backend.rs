@@ -113,9 +113,31 @@ impl StageReport {
         )
     }
 
+    /// Replaces the driver with an ideal PWL source of this report's output
+    /// waveform, attaches the load's netlist and runs the (linear, fast)
+    /// propagation simulation. Shared by [`StageReport::far_end`] and
+    /// [`StageReport::far_end_sinks`].
+    fn propagate_through(
+        &self,
+        load: &dyn LoadModel,
+        options: &FarEndOptions,
+    ) -> Result<(TransientResult, crate::load::AttachedNet), EngineError> {
+        let t_stop = self.waveform.end_time() + options.settle_time + load.settle_horizon();
+        let source = self.waveform.to_source(t_stop);
+
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("VDRV", near, Circuit::GROUND, source);
+        ckt.set_initial_condition(near, 0.0);
+        let net = load.attach_net(&mut ckt, near, 0.0, options.segments)?;
+
+        let result = run_transient(TransientOptions::try_new(options.time_step, t_stop)?, &ckt)?;
+        Ok((result, net))
+    }
+
     /// Propagates this report's driver-output waveform through a load's
     /// netlist (an ideal PWL source driving the load — step 5 of the paper's
-    /// flow) and measures the far-end response.
+    /// flow) and measures the far-end response at the load's primary sink.
     ///
     /// # Errors
     /// Returns load/simulation errors, and a measurement error when the far
@@ -125,18 +147,8 @@ impl StageReport {
         load: &dyn LoadModel,
         options: &FarEndOptions,
     ) -> Result<FarEndReport, EngineError> {
-        let tof = load.wave().map(|w| w.time_of_flight).unwrap_or(0.0);
-        let t_stop = self.waveform.end_time() + options.settle_time + 4.0 * tof;
-        let source = self.waveform.to_source(t_stop);
-
-        let mut ckt = Circuit::new();
-        let near = ckt.node("out");
-        ckt.add_vsource("VDRV", near, Circuit::GROUND, source);
-        ckt.set_initial_condition(near, 0.0);
-        let far_node = load.attach(&mut ckt, near, 0.0, options.segments)?;
-
-        let result = run_transient(TransientOptions::try_new(options.time_step, t_stop)?, &ckt)?;
-        let far = result.waveform(far_node);
+        let (result, net) = self.propagate_through(load, options)?;
+        let far = result.waveform(net.primary);
         let t50 = far.crossing_fraction(0.5, self.vdd, true).ok_or_else(|| {
             EngineError::unsupported("far end never crossed 50% within the window".to_string())
         })?;
@@ -150,6 +162,81 @@ impl StageReport {
             waveform: far,
         })
     }
+
+    /// Like [`StageReport::far_end`], but measures **every** named sink the
+    /// load exposes ([`crate::LoadModel::attach_net`]): tree receiver pins,
+    /// or the victim and aggressor far ends of a coupled bus.
+    ///
+    /// A sink that completes a transition reports its delay and slew; a sink
+    /// that stays near its initial level (a quiet bus neighbour) reports
+    /// `None` for both and carries the coupled disturbance in
+    /// [`SinkFarEnd::peak_noise`].
+    ///
+    /// # Errors
+    /// Returns load and simulation errors.
+    pub fn far_end_sinks(
+        &self,
+        load: &dyn LoadModel,
+        options: &FarEndOptions,
+    ) -> Result<Vec<SinkFarEnd>, EngineError> {
+        let (result, net) = self.propagate_through(load, options)?;
+        Ok(net
+            .sinks
+            .into_iter()
+            .map(|(name, node)| {
+                let waveform = result.waveform(node);
+                let v0 = waveform.values().first().copied().unwrap_or(0.0);
+                let rising = waveform.last_value() > v0;
+                // Measure each sink against its *own* settled swing, so an
+                // aggressor driven below the victim supply still gets its 50%
+                // and 10–90% crossings right; anything below half the supply
+                // is treated as coupled noise, not a transition.
+                let swing = (waveform.last_value() - v0).abs();
+                let transitioned = swing > 0.5 * self.vdd;
+                let delay_from_input = transitioned
+                    .then(|| waveform.crossing_fraction(0.5, swing, rising))
+                    .flatten()
+                    .map(|t50| t50 - self.input_t50);
+                let slew = transitioned
+                    .then(|| waveform.slew_10_90(swing, rising))
+                    .flatten();
+                let peak_noise = waveform
+                    .values()
+                    .iter()
+                    .map(|v| (v - v0).abs())
+                    .fold(0.0, f64::max);
+                SinkFarEnd {
+                    sink: name,
+                    delay_from_input,
+                    slew,
+                    overshoot: waveform.overshoot(self.vdd),
+                    peak_noise,
+                    waveform,
+                }
+            })
+            .collect())
+    }
+}
+
+/// The far-end measurement of one named sink
+/// ([`StageReport::far_end_sinks`]).
+#[derive(Debug, Clone)]
+pub struct SinkFarEnd {
+    /// The sink name (`"far"` for single-sink loads, tree pin names, or
+    /// `"victim"` / `"aggressor"` for a coupled bus).
+    pub sink: String,
+    /// 50 % delay from the input's 50 % crossing (seconds); `None` when the
+    /// sink never completed a transition (for example a quiet aggressor).
+    pub delay_from_input: Option<f64>,
+    /// 10–90 % transition time (seconds); `None` without a transition.
+    pub slew: Option<f64>,
+    /// Overshoot above the supply (volts).
+    pub overshoot: f64,
+    /// Largest excursion from the sink's initial level (volts) — the coupled
+    /// noise for sinks that are not supposed to switch.
+    pub peak_noise: f64,
+    /// The sink voltage waveform.
+    pub waveform: Waveform,
 }
 
 /// The far-end response obtained by driving a load with a modelled (or
@@ -247,16 +334,20 @@ impl AnalysisBackend for SpiceBackend {
             .load()
             .attach(&mut ckt, nodes.output, 0.0, golden.segments)?;
 
-        // Simulation window: the input ramp, several round trips on any line,
+        // Simulation window: the input ramp, several round trips on any net
+        // (2.5 × the load's settle horizon = 10 × the time of flight for a
+        // single line, and covers branch sums and late aggressor events),
         // and the RC settling of the driver against the full load.
-        let (tof, line_r) = match stage.load().wave() {
-            Some(wave) => (wave.time_of_flight, wave.line_resistance),
-            None => (0.0, 0.0),
-        };
+        let line_r = stage
+            .load()
+            .wave()
+            .map(|w| w.line_resistance)
+            .unwrap_or(0.0);
         let rs_estimate = 3.0e-3 / spec.nmos_width;
         let settle = 8.0 * (rs_estimate + line_r) * stage.load().total_capacitance();
         let t_stop =
-            (input.delay + input.slew + 10.0 * tof + settle + ps(200.0)).min(golden.max_stop_time);
+            (input.delay + input.slew + 2.5 * stage.load().settle_horizon() + settle + ps(200.0))
+                .min(golden.max_stop_time);
 
         let result = run_transient(TransientOptions::try_new(golden.time_step, t_stop)?, &ckt)?;
         let input_wave = result.waveform(nodes.input);

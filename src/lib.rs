@@ -84,26 +84,38 @@ mod load;
 mod stage;
 
 pub use backend::{
-    AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SpiceBackend, StageReport,
+    AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SinkFarEnd, SpiceBackend,
+    StageReport,
 };
 pub use config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
 pub use driver::{DriverModel, SampledWaveform};
 pub use engine::{BatchReport, TimingEngine};
 pub use error::EngineError;
-pub use load::{DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad, PiModelLoad};
-pub use stage::{BackendChoice, InputEvent, Stage, StageBuilder};
+pub use load::{
+    AttachedNet, CoupledBusLoad, DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad,
+    PiModelLoad, RlcTreeLoad,
+};
+pub use stage::{
+    AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
+};
 
 /// Convenient glob import of the facade types.
 pub mod prelude {
     pub use crate::backend::{
-        AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SpiceBackend, StageReport,
+        AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SinkFarEnd, SpiceBackend,
+        StageReport,
     };
     pub use crate::config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
     pub use crate::driver::{DriverModel, SampledWaveform};
     pub use crate::engine::{BatchReport, TimingEngine};
     pub use crate::error::EngineError;
-    pub use crate::load::{DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad, PiModelLoad};
-    pub use crate::stage::{BackendChoice, InputEvent, Stage, StageBuilder};
+    pub use crate::load::{
+        AttachedNet, CoupledBusLoad, DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad,
+        PiModelLoad, RlcTreeLoad,
+    };
+    pub use crate::stage::{
+        AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
+    };
 }
 
 /// Version of the reproduction suite.

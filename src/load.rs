@@ -9,17 +9,23 @@
 //!    load to a simulator circuit so the SPICE backend can run the golden
 //!    testbench against exactly the same load.
 //!
-//! Three loads ship with the facade — [`LumpedCapLoad`], [`PiModelLoad`] and
-//! [`DistributedRlcLoad`] — plus [`MomentsLoad`] for loads known only through
-//! extracted admittance moments. Downstream users implement the trait for
-//! anything else (coupled buses, tree nets, …).
+//! Five physical loads ship with the facade — [`LumpedCapLoad`],
+//! [`PiModelLoad`], [`DistributedRlcLoad`], the multi-sink [`RlcTreeLoad`]
+//! and the crosstalk [`CoupledBusLoad`] — plus [`MomentsLoad`] for loads
+//! known only through extracted admittance moments. Downstream users
+//! implement the trait for anything else.
+//!
+//! Loads with more than one observation point (tree sinks, the aggressor far
+//! end of a bus) also implement [`LoadModel::attach_net`], which returns an
+//! [`AttachedNet`] naming every sink node.
 
 use crate::error::EngineError;
+use crate::stage::{AggressorSpec, AggressorSwitching};
 use rlc_ceff::flow::{ReducedLoad, WaveParameters};
-use rlc_interconnect::RlcLine;
-use rlc_moments::{PiModel, RationalAdmittance};
+use rlc_interconnect::{CoupledBus, RlcLine, RlcTree};
+use rlc_moments::{tree_admittance_moments, PiModel, RationalAdmittance};
 use rlc_spice::circuit::{Circuit, NodeId};
-use rlc_spice::testbench::add_rlc_ladder;
+use rlc_spice::SourceWaveform;
 
 /// An abstract load seen by a driver: anything that can be reduced to a
 /// rational driving-point admittance and (optionally) realized as a netlist.
@@ -42,6 +48,16 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// A conservative estimate of how much simulation time the load needs
+    /// *beyond* the driver transition and the configured settle time: wave
+    /// round trips, multi-branch flight times, late aggressor events.
+    /// Defaults to four times the wave parameters' time of flight; loads
+    /// whose propagation is not captured by a single line (trees, buses)
+    /// override it.
+    fn settle_horizon(&self) -> f64 {
+        self.wave().map(|w| 4.0 * w.time_of_flight).unwrap_or(0.0)
+    }
+
     /// Appends the load's netlist to `ckt` at the driving-point node `near`,
     /// returning the node the far-end response should be measured at.
     /// `segments` controls discretization for distributed loads and
@@ -58,8 +74,40 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
         segments: usize,
     ) -> Result<NodeId, EngineError>;
 
+    /// Appends the load's netlist like [`LoadModel::attach`], additionally
+    /// reporting **every** named sink node. The default implementation wraps
+    /// [`LoadModel::attach`] as a single sink named `"far"`; multi-sink loads
+    /// (trees, buses) override it.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Unsupported`] for loads with no physical
+    /// realization.
+    fn attach_net(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<AttachedNet, EngineError> {
+        let primary = self.attach(ckt, near, v_initial, segments)?;
+        Ok(AttachedNet {
+            primary,
+            sinks: vec![("far".to_string(), primary)],
+        })
+    }
+
     /// One-line human-readable description.
     fn describe(&self) -> String;
+}
+
+/// The measurement points a load's netlist exposes after
+/// [`LoadModel::attach_net`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttachedNet {
+    /// The primary far-end node (what [`LoadModel::attach`] returns).
+    pub primary: NodeId,
+    /// Every named sink with its circuit node, in declaration order.
+    pub sinks: Vec<(String, NodeId)>,
 }
 
 /// A lumped capacitive load `Y(s) = C s` — the classic NLDM table load.
@@ -254,17 +302,11 @@ impl LoadModel for DistributedRlcLoad {
         v_initial: f64,
         segments: usize,
     ) -> Result<NodeId, EngineError> {
-        Ok(add_rlc_ladder(
-            ckt,
-            near,
-            self.line.resistance(),
-            self.line.inductance(),
-            self.line.capacitance(),
-            segments,
-            self.c_load,
-            v_initial,
-            "line",
-        ))
+        // The single-line type is a thin wrapper over the one-branch tree;
+        // the topology synthesizer is the only ladder-construction path.
+        Ok(self
+            .line
+            .add_to_circuit(ckt, near, segments, self.c_load, v_initial, "line"))
     }
 
     fn describe(&self) -> String {
@@ -272,6 +314,266 @@ impl LoadModel for DistributedRlcLoad {
             "RLC line ({}) + CL = {:.1} fF",
             self.line,
             self.c_load * 1e15
+        )
+    }
+}
+
+/// A multi-sink RLC tree load: the [`RlcTree`] IR behind the [`LoadModel`]
+/// seam.
+///
+/// The analytic reduction computes the tree's driving-point admittance
+/// moments by the bottom-up traversal
+/// ([`rlc_moments::tree_admittance_moments`]) and fits the paper's rational
+/// admittance to them. A one-branch tree reduces *identically* to
+/// [`DistributedRlcLoad`] (wave parameters included, so the two-ramp model
+/// still applies); branching trees carry no single characteristic impedance
+/// and run the classic single-ramp flow against the fitted admittance, while
+/// simulation backends and [`crate::StageReport::far_end_sinks`] see the full
+/// per-sink netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RlcTreeLoad {
+    tree: RlcTree,
+}
+
+impl RlcTreeLoad {
+    /// Wraps a tree, validating that it has at least one branch and one
+    /// named sink.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] for empty or sinkless trees.
+    pub fn new(tree: RlcTree) -> Result<Self, EngineError> {
+        if tree.num_branches() == 0 {
+            return Err(EngineError::invalid(
+                "a tree load needs at least one branch",
+            ));
+        }
+        if tree.num_sinks() == 0 {
+            return Err(EngineError::invalid(
+                "a tree load needs at least one named sink",
+            ));
+        }
+        Ok(RlcTreeLoad { tree })
+    }
+
+    /// The underlying tree.
+    pub fn tree(&self) -> &RlcTree {
+        &self.tree
+    }
+}
+
+impl LoadModel for RlcTreeLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        let moments = tree_admittance_moments(&self.tree, 5);
+        let fit = RationalAdmittance::from_moments(&moments)?;
+        let (external_load, wave) = match self.tree.as_single_line() {
+            Some((line, c_load)) => (c_load, Some(WaveParameters::of_line(line))),
+            None => (self.tree.sink_capacitance(), None),
+        };
+        Ok(ReducedLoad {
+            fit,
+            external_load,
+            wave,
+        })
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.tree.total_capacitance()
+    }
+
+    fn wave(&self) -> Option<WaveParameters> {
+        self.tree
+            .as_single_line()
+            .map(|(line, _)| WaveParameters::of_line(line))
+    }
+
+    fn settle_horizon(&self) -> f64 {
+        4.0 * self.tree.total_time_of_flight()
+    }
+
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        Ok(self.attach_net(ckt, near, v_initial, segments)?.primary)
+    }
+
+    fn attach_net(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<AttachedNet, EngineError> {
+        let sinks: Vec<(String, NodeId)> = self
+            .tree
+            .add_to_circuit(ckt, near, segments, v_initial, "net")
+            .into_iter()
+            .map(|s| (s.name, s.node))
+            .collect();
+        let primary = sinks
+            .first()
+            .expect("construction guarantees at least one sink")
+            .1;
+        Ok(AttachedNet { primary, sinks })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "RLC tree: {} branches, {} sinks, Ctotal = {:.1} fF",
+            self.tree.num_branches(),
+            self.tree.num_sinks(),
+            self.tree.total_capacitance() * 1e15
+        )
+    }
+}
+
+/// A victim/aggressor coupled-bus load: the crosstalk scenario behind the
+/// [`LoadModel`] seam.
+///
+/// The **victim** line is driven by the stage's driver; the **aggressor** is
+/// driven by an ideal ramp described by the [`AggressorSpec`] (direction,
+/// slew, delay, amplitude), which the load itself wires into the netlist at
+/// attach time. For the analytic flow the bus reduces to the victim line
+/// with the coupling capacitance folded in at the scenario's Miller factor
+/// (quiet ×1, same-direction ×0, opposite ×2) — the classic decoupled
+/// approximation — while simulation backends solve the fully coupled system
+/// (coupling caps plus per-segment mutual inductances).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledBusLoad {
+    bus: CoupledBus,
+    aggressor: AggressorSpec,
+}
+
+impl CoupledBusLoad {
+    /// Creates the load from the bus geometry and the aggressor's drive.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] when the aggressor description
+    /// is invalid ([`AggressorSpec::new`] already validates fresh specs).
+    pub fn new(bus: CoupledBus, aggressor: AggressorSpec) -> Result<Self, EngineError> {
+        // Re-validate so a hand-rolled struct literal cannot smuggle NaNs in.
+        let aggressor = AggressorSpec::new(
+            aggressor.switching,
+            aggressor.slew,
+            aggressor.delay,
+            aggressor.amplitude,
+        )?;
+        Ok(CoupledBusLoad { bus, aggressor })
+    }
+
+    /// The bus geometry.
+    pub fn bus(&self) -> &CoupledBus {
+        &self.bus
+    }
+
+    /// The aggressor drive description.
+    pub fn aggressor(&self) -> &AggressorSpec {
+        &self.aggressor
+    }
+
+    /// The victim line with the Miller-scaled coupling capacitance folded
+    /// into its shunt capacitance — what the analytic single-line flow sees.
+    pub fn effective_victim_line(&self) -> RlcLine {
+        let victim = self.bus.victim();
+        RlcLine::new(
+            victim.resistance(),
+            victim.inductance(),
+            victim.capacitance()
+                + self.aggressor.switching.miller_factor() * self.bus.coupling_capacitance(),
+            victim.length(),
+        )
+    }
+
+    /// The aggressor's source waveform and initial level for the victim's
+    /// rising transition.
+    fn aggressor_drive(&self) -> (SourceWaveform, f64) {
+        let a = &self.aggressor;
+        match a.switching {
+            AggressorSwitching::Quiet => (SourceWaveform::dc(0.0), 0.0),
+            AggressorSwitching::SameDirection => (
+                SourceWaveform::rising_ramp(a.amplitude, a.delay, a.slew),
+                0.0,
+            ),
+            AggressorSwitching::OppositeDirection => (
+                SourceWaveform::falling_ramp(a.amplitude, a.delay, a.slew),
+                a.amplitude,
+            ),
+        }
+    }
+}
+
+impl LoadModel for CoupledBusLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        ReducedLoad::from_line(&self.effective_victim_line(), self.bus.victim_load())
+            .map_err(EngineError::from)
+    }
+
+    fn total_capacitance(&self) -> f64 {
+        self.effective_victim_line().capacitance() + self.bus.victim_load()
+    }
+
+    fn wave(&self) -> Option<WaveParameters> {
+        Some(WaveParameters::of_line(&self.effective_victim_line()))
+    }
+
+    fn settle_horizon(&self) -> f64 {
+        // Both wires must settle, and the aggressor event itself may end
+        // after the victim transition — cover it in full.
+        let tof = self
+            .effective_victim_line()
+            .time_of_flight()
+            .max(self.bus.aggressor().time_of_flight());
+        4.0 * tof + self.aggressor.delay + self.aggressor.slew
+    }
+
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        Ok(self.attach_net(ckt, near, v_initial, segments)?.primary)
+    }
+
+    fn attach_net(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<AttachedNet, EngineError> {
+        let (waveform, v_aggressor) = self.aggressor_drive();
+        let aggressor_near = ckt.node("agg_in");
+        ckt.add_vsource("VAGG", aggressor_near, Circuit::GROUND, waveform);
+        ckt.set_initial_condition(aggressor_near, v_aggressor);
+        let (victim_far, aggressor_far) = self.bus.add_to_circuit(
+            ckt,
+            near,
+            aggressor_near,
+            segments,
+            v_initial,
+            v_aggressor,
+            "bus",
+        );
+        Ok(AttachedNet {
+            primary: victim_far,
+            sinks: vec![
+                ("victim".to_string(), victim_far),
+                ("aggressor".to_string(), aggressor_far),
+            ],
+        })
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{} | aggressor {:?} (slew {:.0} ps)",
+            self.bus,
+            self.aggressor.switching,
+            self.aggressor.slew * 1e12
         )
     }
 }
@@ -419,11 +721,133 @@ mod tests {
     }
 
     #[test]
+    fn one_branch_tree_load_reduces_identically_to_the_line_load() {
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let line_load = DistributedRlcLoad::new(line, ff(10.0)).unwrap();
+        let tree_load = RlcTreeLoad::new(RlcTree::single_line(line, ff(10.0))).unwrap();
+        let a = line_load.reduce().unwrap();
+        let b = tree_load.reduce().unwrap();
+        assert_eq!(a.fit, b.fit);
+        assert_eq!(a.external_load, b.external_load);
+        assert_eq!(a.wave, b.wave);
+        assert_eq!(line_load.wave(), tree_load.wave());
+        assert_eq!(line_load.total_capacitance(), tree_load.total_capacitance());
+    }
+
+    #[test]
+    fn branching_tree_load_reduces_without_wave_parameters() {
+        let trunk = RlcLine::new(40.0, nh(2.0), pf(0.5), mm(2.0));
+        let stub = RlcLine::new(20.0, nh(1.0), pf(0.3), mm(1.0));
+        let mut tree = RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let l = tree.add_branch(Some(t), stub);
+        let r = tree.add_branch(Some(t), stub);
+        tree.set_sink(l, "rx0", ff(15.0));
+        tree.set_sink(r, "rx1", ff(25.0));
+        let load = RlcTreeLoad::new(tree).unwrap();
+        let reduced = load.reduce().unwrap();
+        assert!(reduced.wave.is_none());
+        assert!(load.wave().is_none());
+        assert!((reduced.external_load - 40e-15).abs() < 1e-24);
+        assert!((reduced.total_capacitance() - load.total_capacitance()).abs() < 1e-18);
+        assert!(load.describe().contains("3 branches"));
+
+        // attach_net exposes both sinks; attach returns the first.
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("V1", near, Circuit::GROUND, SourceWaveform::dc(0.0));
+        let net = load.attach_net(&mut ckt, near, 0.0, 6).unwrap();
+        assert_eq!(net.sinks.len(), 2);
+        assert_eq!(net.sinks[0].0, "rx0");
+        assert_eq!(net.primary, net.sinks[0].1);
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn tree_load_rejects_empty_and_sinkless_trees() {
+        assert!(RlcTreeLoad::new(RlcTree::new()).is_err());
+        let mut tree = RlcTree::new();
+        tree.add_branch(None, RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0)));
+        assert!(RlcTreeLoad::new(tree).is_err());
+    }
+
+    #[test]
+    fn coupled_bus_miller_reduction_orders_the_scenarios() {
+        use crate::stage::{AggressorSpec, AggressorSwitching};
+        use rlc_interconnect::CoupledBus;
+        use rlc_numeric::units::ps;
+
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let bus = CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0));
+        let load_for = |switching| {
+            CoupledBusLoad::new(
+                bus,
+                AggressorSpec::new(switching, ps(100.0), ps(20.0), 1.8).unwrap(),
+            )
+            .unwrap()
+        };
+        let same = load_for(AggressorSwitching::SameDirection);
+        let quiet = load_for(AggressorSwitching::Quiet);
+        let opposite = load_for(AggressorSwitching::OppositeDirection);
+        // Effective victim capacitance: same < quiet < opposite.
+        assert!(same.total_capacitance() < quiet.total_capacitance());
+        assert!(quiet.total_capacitance() < opposite.total_capacitance());
+        // Same-direction switching cancels the coupling entirely: identical
+        // to the uncoupled victim line.
+        let solo = DistributedRlcLoad::new(line, ff(10.0)).unwrap();
+        assert_eq!(same.reduce().unwrap().fit, solo.reduce().unwrap().fit);
+        assert!(opposite.describe().contains("aggressor"));
+    }
+
+    #[test]
+    fn coupled_bus_attach_wires_the_aggressor_source() {
+        use crate::stage::{AggressorSpec, AggressorSwitching};
+        use rlc_interconnect::CoupledBus;
+        use rlc_numeric::units::ps;
+
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let bus = CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0));
+        let load = CoupledBusLoad::new(
+            bus,
+            AggressorSpec::new(
+                AggressorSwitching::OppositeDirection,
+                ps(100.0),
+                ps(20.0),
+                1.8,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("V1", near, Circuit::GROUND, SourceWaveform::dc(0.0));
+        let net = load.attach_net(&mut ckt, near, 0.0, 8).unwrap();
+        assert_eq!(net.sinks.len(), 2);
+        assert_eq!(net.sinks[0].0, "victim");
+        assert_eq!(net.sinks[1].0, "aggressor");
+        assert_eq!(net.primary, net.sinks[0].1);
+        // The aggressor source was added by the load.
+        assert!(ckt.find_node("agg_in").is_some());
+        assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
     fn loads_are_object_safe() {
+        use crate::stage::AggressorSpec;
+        use rlc_interconnect::CoupledBus;
+
         let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
         let loads: Vec<Box<dyn LoadModel>> = vec![
             Box::new(LumpedCapLoad::new(ff(100.0)).unwrap()),
             Box::new(DistributedRlcLoad::new(line, ff(10.0)).unwrap()),
+            Box::new(RlcTreeLoad::new(RlcTree::single_line(line, ff(10.0))).unwrap()),
+            Box::new(
+                CoupledBusLoad::new(
+                    CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0)),
+                    AggressorSpec::quiet(1.8).unwrap(),
+                )
+                .unwrap(),
+            ),
         ];
         for load in &loads {
             assert!(load.total_capacitance() > 0.0);

@@ -26,6 +26,99 @@ impl InputEvent {
     }
 }
 
+/// How the aggressor of a coupled bus switches relative to the victim's
+/// rising transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AggressorSwitching {
+    /// The aggressor holds its initial level (0 V); the victim sees the full
+    /// coupling capacitance to a quiet neighbour (Miller factor 1).
+    Quiet,
+    /// The aggressor switches in the same direction as the victim, which
+    /// cancels the displacement current through the coupling capacitance
+    /// (Miller factor 0) and speeds the victim up.
+    #[default]
+    SameDirection,
+    /// The aggressor switches opposite to the victim — the worst-case
+    /// push-out, doubling the effective coupling capacitance (Miller
+    /// factor 2).
+    OppositeDirection,
+}
+
+impl AggressorSwitching {
+    /// The classic Miller factor the switching scenario applies to the
+    /// coupling capacitance when the bus is reduced to a single victim line
+    /// for the analytic flow.
+    pub fn miller_factor(self) -> f64 {
+        match self {
+            AggressorSwitching::Quiet => 1.0,
+            AggressorSwitching::SameDirection => 0.0,
+            AggressorSwitching::OppositeDirection => 2.0,
+        }
+    }
+}
+
+/// The aggressor's drive on a coupled bus: its switching direction plus the
+/// ideal-ramp event applied to the aggressor's near end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AggressorSpec {
+    /// Switching direction relative to the victim.
+    pub switching: AggressorSwitching,
+    /// Aggressor ramp transition time (seconds, 0–100 %).
+    pub slew: f64,
+    /// Absolute time at which the aggressor ramp starts (seconds).
+    pub delay: f64,
+    /// Aggressor swing (volts), typically the supply voltage.
+    pub amplitude: f64,
+}
+
+impl AggressorSpec {
+    /// Creates and validates an aggressor description.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::InvalidStage`] when the slew is not positive
+    /// and finite, the delay is negative or non-finite, or the amplitude is
+    /// not positive and finite.
+    pub fn new(
+        switching: AggressorSwitching,
+        slew: f64,
+        delay: f64,
+        amplitude: f64,
+    ) -> Result<Self, EngineError> {
+        if !(slew > 0.0 && slew.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "aggressor slew must be positive and finite, got {slew:e}"
+            )));
+        }
+        if !(delay >= 0.0 && delay.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "aggressor delay must be non-negative and finite, got {delay:e}"
+            )));
+        }
+        if !(amplitude > 0.0 && amplitude.is_finite()) {
+            return Err(EngineError::invalid(format!(
+                "aggressor amplitude must be positive and finite, got {amplitude:e}"
+            )));
+        }
+        Ok(AggressorSpec {
+            switching,
+            slew,
+            delay,
+            amplitude,
+        })
+    }
+
+    /// A quiet aggressor held at 0 V (the ramp parameters are unused but
+    /// kept valid).
+    pub fn quiet(amplitude: f64) -> Result<Self, EngineError> {
+        AggressorSpec::new(
+            AggressorSwitching::Quiet,
+            rlc_numeric::units::ps(100.0),
+            0.0,
+            amplitude,
+        )
+    }
+}
+
 /// Which backend analyzes a stage.
 #[derive(Clone)]
 pub enum BackendChoice {
@@ -231,6 +324,24 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(err.to_string().contains("delay"));
+    }
+
+    #[test]
+    fn aggressor_spec_validates_and_reports_miller_factors() {
+        let spec = AggressorSpec::new(
+            AggressorSwitching::OppositeDirection,
+            ps(80.0),
+            ps(10.0),
+            1.8,
+        )
+        .unwrap();
+        assert_eq!(spec.switching.miller_factor(), 2.0);
+        assert_eq!(AggressorSwitching::Quiet.miller_factor(), 1.0);
+        assert_eq!(AggressorSwitching::SameDirection.miller_factor(), 0.0);
+        assert!(AggressorSpec::quiet(1.8).is_ok());
+        assert!(AggressorSpec::new(AggressorSwitching::Quiet, 0.0, 0.0, 1.8).is_err());
+        assert!(AggressorSpec::new(AggressorSwitching::Quiet, ps(80.0), -1.0, 1.8).is_err());
+        assert!(AggressorSpec::new(AggressorSwitching::Quiet, ps(80.0), 0.0, f64::NAN).is_err());
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Degenerate-parity tests of the net-topology generalization, in the style
+//! of `crates/spice/tests/kernel_parity.rs`:
+//!
+//! * a one-branch `RlcTreeLoad` must reproduce `DistributedRlcLoad` — and
+//!   the pre-refactor `add_rlc_ladder` testbench path — within 1e-9 V;
+//! * a zero-coupling `CoupledBusLoad` must reproduce two fully independent
+//!   lines within 1e-9 V;
+//! * a genuinely coupled bus must report a *nonzero* victim crosstalk delta
+//!   through the `TimingEngine` facade.
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::charlib::{DriverCell, TimingTable};
+use rlc_ceff_suite::interconnect::{CoupledBus, RlcLine, RlcTree};
+use rlc_ceff_suite::numeric::units::{ff, mm, nh, pf, ps};
+use rlc_ceff_suite::spice::circuit::Circuit;
+use rlc_ceff_suite::spice::testbench::{pwl_source_with_rlc_line, InverterSpec};
+use rlc_ceff_suite::spice::transient::{TransientAnalysis, TransientOptions};
+use rlc_ceff_suite::spice::{SourceWaveform, Waveform};
+use rlc_ceff_suite::{
+    AggressorSpec, AggressorSwitching, CoupledBusLoad, DistributedRlcLoad, EngineConfig, LoadModel,
+    RlcTreeLoad, Stage, TimingEngine,
+};
+
+const PARITY_TOLERANCE_V: f64 = 1e-9;
+
+fn paper_line() -> RlcLine {
+    RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+}
+
+fn victim_source() -> SourceWaveform {
+    SourceWaveform::rising_ramp(1.8, ps(20.0), ps(100.0))
+}
+
+fn run(ckt: &Circuit) -> rlc_ceff_suite::spice::transient::TransientResult {
+    TransientAnalysis::new(TransientOptions::try_new(ps(1.0), ps(1000.0)).unwrap())
+        .run(ckt)
+        .unwrap()
+}
+
+fn assert_waveforms_match(label: &str, a: &Waveform, b: &Waveform) {
+    assert_eq!(a.len(), b.len(), "{label}: time grids differ");
+    let mut max_dev: f64 = 0.0;
+    for (x, y) in a.values().iter().zip(b.values()) {
+        max_dev = max_dev.max((x - y).abs());
+    }
+    assert!(
+        max_dev < PARITY_TOLERANCE_V,
+        "{label}: waveforms deviate by {max_dev:.3e} V"
+    );
+}
+
+/// Builds a circuit of the victim PWL source plus an attached load, runs it
+/// and returns the primary far-end waveform.
+fn far_waveform_of(load: &dyn LoadModel, segments: usize) -> Waveform {
+    let mut ckt = Circuit::new();
+    let near = ckt.node("out");
+    ckt.add_vsource("VDRV", near, Circuit::GROUND, victim_source());
+    ckt.set_initial_condition(near, 0.0);
+    let far = load.attach(&mut ckt, near, 0.0, segments).unwrap();
+    run(&ckt).waveform(far)
+}
+
+/// A one-branch tree, the single-line load and the pre-refactor
+/// `add_rlc_ladder` testbench must produce the same far-end voltage.
+#[test]
+fn one_branch_tree_matches_distributed_line() {
+    let line = paper_line();
+    let c_load = ff(10.0);
+    let segments = 16;
+
+    // Pre-refactor reference path: the testbench ladder builder.
+    let (ref_ckt, ref_nodes) = pwl_source_with_rlc_line(
+        victim_source(),
+        0.0,
+        line.resistance(),
+        line.inductance(),
+        line.capacitance(),
+        segments,
+        c_load,
+    );
+    let reference = run(&ref_ckt).waveform(ref_nodes.far_end);
+
+    let via_line = far_waveform_of(&DistributedRlcLoad::new(line, c_load).unwrap(), segments);
+    let via_tree = far_waveform_of(
+        &RlcTreeLoad::new(RlcTree::single_line(line, c_load)).unwrap(),
+        segments,
+    );
+
+    assert_waveforms_match("line vs ladder reference", &via_line, &reference);
+    assert_waveforms_match("one-branch tree vs ladder reference", &via_tree, &reference);
+    assert_waveforms_match("one-branch tree vs line load", &via_tree, &via_line);
+}
+
+/// With zero coupling capacitance and zero mutual inductance, the bus is two
+/// electrically independent lines: the victim must match the lone victim
+/// line and the aggressor must match a standalone falling-ramp line.
+#[test]
+fn zero_coupling_bus_matches_independent_lines() {
+    let line = paper_line();
+    let c_load = ff(10.0);
+    let segments = 16;
+    let aggressor = AggressorSpec::new(
+        AggressorSwitching::OppositeDirection,
+        ps(100.0),
+        ps(20.0),
+        1.8,
+    )
+    .unwrap();
+    let bus_load =
+        CoupledBusLoad::new(CoupledBus::symmetric(line, 0.0, 0.0, c_load), aggressor).unwrap();
+
+    // The coupled (but zero-coupling) system.
+    let mut ckt = Circuit::new();
+    let near = ckt.node("out");
+    ckt.add_vsource("VDRV", near, Circuit::GROUND, victim_source());
+    ckt.set_initial_condition(near, 0.0);
+    let net = bus_load.attach_net(&mut ckt, near, 0.0, segments).unwrap();
+    let result = run(&ckt);
+    let victim = result.waveform(net.sinks[0].1);
+    let aggressor_far = result.waveform(net.sinks[1].1);
+
+    // Independent victim reference.
+    let via_line = far_waveform_of(&DistributedRlcLoad::new(line, c_load).unwrap(), segments);
+    assert_waveforms_match(
+        "zero-coupling victim vs independent line",
+        &victim,
+        &via_line,
+    );
+
+    // Independent aggressor reference: a falling ramp into its own line.
+    let (agg_ckt, agg_nodes) = pwl_source_with_rlc_line(
+        SourceWaveform::falling_ramp(1.8, ps(20.0), ps(100.0)),
+        1.8,
+        line.resistance(),
+        line.inductance(),
+        line.capacitance(),
+        segments,
+        c_load,
+    );
+    let agg_reference = run(&agg_ckt).waveform(agg_nodes.far_end);
+    assert_waveforms_match(
+        "zero-coupling aggressor vs independent line",
+        &aggressor_far,
+        &agg_reference,
+    );
+}
+
+fn synthetic_cell_75x() -> DriverCell {
+    let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+    let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
+    let transition: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                .collect()
+        })
+        .collect();
+    let delay: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| {
+            loads
+                .iter()
+                .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                .collect()
+        })
+        .collect();
+    DriverCell::from_parts(
+        InverterSpec::sized_018(75.0),
+        TimingTable::new(slews, loads, delay, transition),
+        70.0,
+    )
+}
+
+/// The analytic stage reports of the degenerate topologies must agree with
+/// the single-line load exactly (same reduction, same flow).
+#[test]
+fn degenerate_topologies_report_identical_analytic_timing() {
+    let line = paper_line();
+    let c_load = ff(10.0);
+    let engine = TimingEngine::new(EngineConfig::fast_for_tests());
+
+    let line_report = engine
+        .analyze(
+            &Stage::builder(
+                synthetic_cell_75x(),
+                DistributedRlcLoad::new(line, c_load).unwrap(),
+            )
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+    let tree_report = engine
+        .analyze(
+            &Stage::builder(
+                synthetic_cell_75x(),
+                RlcTreeLoad::new(RlcTree::single_line(line, c_load)).unwrap(),
+            )
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+    let bus_report = engine
+        .analyze(
+            &Stage::builder(
+                synthetic_cell_75x(),
+                CoupledBusLoad::new(
+                    CoupledBus::symmetric(line, 0.0, 0.0, c_load),
+                    AggressorSpec::new(AggressorSwitching::SameDirection, ps(100.0), ps(20.0), 1.8)
+                        .unwrap(),
+                )
+                .unwrap(),
+            )
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+
+    assert_eq!(line_report.delay, tree_report.delay);
+    assert_eq!(line_report.slew, tree_report.slew);
+    assert_eq!(line_report.delay, bus_report.delay);
+    assert_eq!(line_report.slew, bus_report.slew);
+    assert_eq!(line_report.used_two_ramp, tree_report.used_two_ramp);
+}
+
+/// A genuinely coupled bus must show the aggressor in the victim's far-end
+/// timing through the facade: opposite-direction switching pushes the victim
+/// out relative to same-direction switching, and a quiet aggressor couples
+/// visible noise.
+#[test]
+fn coupled_bus_reports_nonzero_crosstalk_delta() {
+    let line = paper_line();
+    let c_load = ff(10.0);
+    let bus = CoupledBus::symmetric(line, pf(0.5), nh(1.0), c_load);
+    let engine = TimingEngine::new(EngineConfig::fast_for_tests());
+    let far_opts = FarEndOptions {
+        segments: 12,
+        time_step: ps(1.0),
+        ..FarEndOptions::default()
+    };
+
+    let analyze = |switching| {
+        let load = CoupledBusLoad::new(
+            bus,
+            AggressorSpec::new(switching, ps(100.0), ps(20.0), 1.8).unwrap(),
+        )
+        .unwrap();
+        let report = engine
+            .analyze(
+                &Stage::builder(synthetic_cell_75x(), load.clone())
+                    .input_slew(ps(100.0))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        (report, load)
+    };
+
+    let (same_report, same_load) = analyze(AggressorSwitching::SameDirection);
+    let (opp_report, opp_load) = analyze(AggressorSwitching::OppositeDirection);
+
+    // Analytic Miller reduction already separates the scenarios...
+    assert!(opp_report.delay > same_report.delay);
+
+    // ...and the fully coupled far-end simulation shows a real victim delta.
+    let same_far = same_report.far_end(&same_load, &far_opts).unwrap();
+    let opp_far = opp_report.far_end(&opp_load, &far_opts).unwrap();
+    let delta = opp_far.delay_from_input - same_far.delay_from_input;
+    assert!(
+        delta > ps(5.0),
+        "victim push-out {:.1} ps should exceed 5 ps",
+        delta * 1e12
+    );
+
+    // A quiet aggressor does not switch but picks up coupled noise.
+    let (quiet_report, quiet_load) = analyze(AggressorSwitching::Quiet);
+    let sinks = quiet_report.far_end_sinks(&quiet_load, &far_opts).unwrap();
+    let victim = sinks.iter().find(|s| s.sink == "victim").unwrap();
+    let aggressor = sinks.iter().find(|s| s.sink == "aggressor").unwrap();
+    assert!(victim.delay_from_input.is_some());
+    assert!(aggressor.delay_from_input.is_none());
+    assert!(aggressor.peak_noise > 0.01);
+}
+
+/// The propagation window must cover the load's own horizon: a late,
+/// below-supply aggressor event still gets simulated and measured (against
+/// its own swing), and a deep tree's summed flight time is not dropped just
+/// because a branching tree has no single wave parameter.
+#[test]
+fn far_end_window_covers_late_aggressors_and_deep_trees() {
+    let engine = TimingEngine::new(EngineConfig::fast_for_tests());
+    let far_opts = FarEndOptions {
+        segments: 10,
+        time_step: ps(1.0),
+        ..FarEndOptions::default()
+    };
+
+    // Aggressor fires 1.2 ns after t = 0 with a 1.2 V swing (below the
+    // 1.8 V supply): it must still be captured and report its own 50% / 10-90%.
+    let line = paper_line();
+    let bus = CoupledBus::symmetric(line, pf(0.5), nh(1.0), ff(10.0));
+    let load = CoupledBusLoad::new(
+        bus,
+        AggressorSpec::new(
+            AggressorSwitching::OppositeDirection,
+            ps(100.0),
+            ps(1200.0),
+            1.2,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let report = engine
+        .analyze(
+            &Stage::builder(synthetic_cell_75x(), load.clone())
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let sinks = report.far_end_sinks(&load, &far_opts).unwrap();
+    let aggressor = sinks.iter().find(|s| s.sink == "aggressor").unwrap();
+    let agg_delay = aggressor
+        .delay_from_input
+        .expect("late aggressor transition must be inside the window");
+    assert!(agg_delay > ps(1000.0), "aggressor switches late");
+    assert!(aggressor.slew.is_some());
+    // The late opposite-direction event kicks the settled victim around.
+    let victim = sinks.iter().find(|s| s.sink == "victim").unwrap();
+    assert!(victim.delay_from_input.is_some());
+
+    // A chain of three line segments: wave() is None (branching trees have
+    // no single Z0), but the summed flight time must still size the window.
+    let mut tree = RlcTree::new();
+    let a = tree.add_branch(None, line);
+    let b = tree.add_branch(Some(a), line);
+    let c = tree.add_branch(Some(b), line);
+    tree.set_sink(c, "rx", ff(10.0));
+    let tree_load = RlcTreeLoad::new(tree).unwrap();
+    let tree_report = engine
+        .analyze(
+            &Stage::builder(synthetic_cell_75x(), tree_load.clone())
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let rx = &tree_report.far_end_sinks(&tree_load, &far_opts).unwrap()[0];
+    assert!(
+        rx.delay_from_input.is_some(),
+        "deep tree sink must complete"
+    );
+}
