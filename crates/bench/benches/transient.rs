@@ -9,6 +9,7 @@
 
 use rlc_bench::harness::Runner;
 use rlc_bench::{write_bench_json, BenchComparison, OutputPaths};
+use rlc_charlib::{CharacterizationGrid, Library};
 use rlc_interconnect::{CoupledBus, RlcLine, RlcTree};
 use rlc_numeric::units::{ff, mm, nh, pf, ps};
 use rlc_spice::circuit::Circuit;
@@ -58,6 +59,9 @@ fn main() {
     let smoke = std::env::var("RLC_BENCH_SMOKE").is_ok_and(|v| v != "0");
     let mut runner = Runner::new("transient").slow();
     let mut results = Vec::new();
+    // Benches run with the package directory as CWD; anchor all artifacts on
+    // the workspace root.
+    let workspace_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
 
     // Fig4-style line: the paper's 5 mm / 1.6 um case (R = 72.44 ohm,
     // L = 5.14 nH, C = 1.10 pF) terminated by 10 fF.
@@ -210,6 +214,43 @@ fn main() {
         optimized_ns: optimized.as_nanos(),
     });
 
+    // Characterization cache: a cold start (empty cache, full grid of
+    // characterization transients, result persisted) versus a warm start
+    // (the same request served entirely from the on-disk store). This is the
+    // per-process cost the persistent cache removes.
+    let cache_grid = if smoke {
+        CharacterizationGrid::coarse_for_tests()
+    } else {
+        CharacterizationGrid::default()
+    };
+    let cache_dir = workspace_root.join("target/experiments/char-cache-bench");
+    let cold = runner.bench("char_cache_75x/cold", || {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut lib = Library::open_cached_with_grid(&cache_dir, cache_grid.clone()).unwrap();
+        black_box(lib.get_or_characterize(75.0).unwrap())
+    });
+    // Re-populate once, then measure pure warm loads against it.
+    {
+        let _ = std::fs::remove_dir_all(&cache_dir);
+        let mut lib = Library::open_cached_with_grid(&cache_dir, cache_grid.clone()).unwrap();
+        lib.get_or_characterize(75.0).unwrap();
+    }
+    let warm = runner.bench("char_cache_75x/warm", || {
+        let mut lib = Library::open_cached_with_grid(&cache_dir, cache_grid.clone()).unwrap();
+        let cell = lib.get_or_characterize(75.0).unwrap();
+        assert_eq!(
+            lib.characterizations_run(),
+            0,
+            "a warm start must be characterization-free"
+        );
+        black_box(cell)
+    });
+    results.push(BenchComparison {
+        name: "char_cache_75x_cold_vs_warm".to_string(),
+        baseline_ns: cold.as_nanos(),
+        optimized_ns: warm.as_nanos(),
+    });
+
     for r in &results {
         println!(
             "  {}: {:.2}x speedup ({:.3} ms -> {:.3} ms)",
@@ -220,11 +261,8 @@ fn main() {
         );
     }
 
-    // Full runs record the trajectory next to the sources (benches run with
-    // the package directory as CWD, so anchor on the workspace root); smoke
-    // runs (CI) only check that the harness executes, and park the report in
-    // target/.
-    let workspace_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    // Full runs record the trajectory next to the sources; smoke runs (CI)
+    // only check that the harness executes, and park the report in target/.
     let (mode, path) = if smoke {
         (
             "smoke",

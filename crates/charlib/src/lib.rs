@@ -25,12 +25,14 @@
 
 #![deny(missing_docs)]
 
+pub mod cache;
 pub mod cell;
 pub mod characterize;
 pub mod library;
 pub mod resistance;
 pub mod table;
 
+pub use cache::CharCache;
 pub use cell::DriverCell;
 pub use characterize::CharacterizationGrid;
 pub use library::Library;
@@ -39,6 +41,7 @@ pub use table::TimingTable;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::cache::CharCache;
     pub use crate::cell::DriverCell;
     pub use crate::characterize::CharacterizationGrid;
     pub use crate::library::Library;
@@ -64,6 +67,10 @@ pub enum CharlibError {
     },
     /// The characterization grid is malformed.
     InvalidGrid(String),
+    /// The persistent characterization cache could not be opened or written.
+    /// Read problems never produce this error — an unreadable or corrupt
+    /// entry silently falls back to re-characterization.
+    Cache(String),
 }
 
 impl std::fmt::Display for CharlibError {
@@ -81,6 +88,7 @@ impl std::fmt::Display for CharlibError {
                 load * 1e15
             ),
             CharlibError::InvalidGrid(msg) => write!(f, "invalid characterization grid: {msg}"),
+            CharlibError::Cache(msg) => write!(f, "characterization cache error: {msg}"),
         }
     }
 }
@@ -111,5 +119,8 @@ mod tests {
         assert!(CharlibError::InvalidGrid("empty".into())
             .to_string()
             .contains("empty"));
+        assert!(CharlibError::Cache("disk full".into())
+            .to_string()
+            .contains("disk full"));
     }
 }

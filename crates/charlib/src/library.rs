@@ -1,8 +1,12 @@
-//! A lazily characterized cell library with caching.
+//! A lazily characterized cell library with in-memory and on-disk caching.
 
 use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 
+use rlc_spice::testbench::InverterSpec;
+
+use crate::cache::CharCache;
 use crate::cell::DriverCell;
 use crate::characterize::CharacterizationGrid;
 use crate::CharlibError;
@@ -14,24 +18,79 @@ use crate::CharlibError;
 /// caches the result for the rest of the run. Cells are stored behind `Arc`
 /// so batch analyses hand out shared handles ([`Library::cell_shared`])
 /// instead of cloning whole timing tables per stage.
+///
+/// A library opened with [`Library::open_cached`] additionally consults a
+/// persistent on-disk store ([`CharCache`]) before running any transient
+/// characterization, and persists every miss — so the expensive cold start is
+/// paid once per (cell, grid) across *all* processes sharing the cache
+/// directory, not once per process.
 #[derive(Debug, Clone)]
 pub struct Library {
     grid: CharacterizationGrid,
     cells: BTreeMap<u64, Arc<DriverCell>>,
+    cache: Option<CharCache>,
+    characterizations: usize,
+    disk_hits: usize,
 }
 
 impl Library {
-    /// Creates an empty library that characterizes on the given grid.
+    /// Creates an empty in-memory library that characterizes on the given
+    /// grid.
     pub fn new(grid: CharacterizationGrid) -> Self {
         Library {
             grid,
             cells: BTreeMap::new(),
+            cache: None,
+            characterizations: 0,
+            disk_hits: 0,
         }
     }
 
     /// Creates a library on the default (full-resolution) grid.
     pub fn with_default_grid() -> Self {
         Self::new(CharacterizationGrid::default())
+    }
+
+    /// Opens a library backed by a persistent characterization cache at
+    /// `dir` (created if missing), on the default grid.
+    ///
+    /// # Errors
+    /// Returns [`CharlibError::Cache`] when the directory cannot be created.
+    pub fn open_cached(dir: impl AsRef<Path>) -> Result<Self, CharlibError> {
+        Self::open_cached_with_grid(dir, CharacterizationGrid::default())
+    }
+
+    /// Opens a cache-backed library that characterizes on a specific grid.
+    /// Entries are keyed by cell *and* grid, so libraries on different grids
+    /// can safely share one cache directory.
+    ///
+    /// # Errors
+    /// Returns [`CharlibError::Cache`] when the directory cannot be created.
+    pub fn open_cached_with_grid(
+        dir: impl AsRef<Path>,
+        grid: CharacterizationGrid,
+    ) -> Result<Self, CharlibError> {
+        let mut lib = Self::new(grid);
+        lib.cache = Some(CharCache::open(dir)?);
+        Ok(lib)
+    }
+
+    /// The persistent store backing this library, if one was opened.
+    pub fn cache(&self) -> Option<&CharCache> {
+        self.cache.as_ref()
+    }
+
+    /// Number of transient characterizations this library actually ran —
+    /// i.e. queries served by neither the in-memory map nor the disk cache.
+    /// A warm-started library answering only cached cells reports zero.
+    pub fn characterizations_run(&self) -> usize {
+        self.characterizations
+    }
+
+    /// Number of cells served from the persistent store instead of being
+    /// re-characterized.
+    pub fn disk_cache_hits(&self) -> usize {
+        self.disk_hits
     }
 
     /// The characterization grid used for new cells.
@@ -84,11 +143,49 @@ impl Library {
         Ok(Arc::clone(self.cell_entry(size)?))
     }
 
+    /// Returns the cell for `size`, resolving it in cost order: the in-memory
+    /// map, then the persistent store (for cache-backed libraries), and only
+    /// then by running the transient characterization — whose result is
+    /// persisted so every later process warm-starts.
+    ///
+    /// This is the same resolution path [`Library::cell`] and
+    /// [`Library::cell_shared`] use; it exists as a named entry point for
+    /// flows that want to make the cache interaction explicit.
+    ///
+    /// # Errors
+    /// Propagates characterization failures. Cache *read* problems (missing,
+    /// truncated or stale entries) are never errors — they fall back to
+    /// re-characterization; cache write failures are ignored (the cache is an
+    /// optimization, not a correctness requirement).
+    ///
+    /// # Panics
+    /// Panics if `size` is not positive.
+    pub fn get_or_characterize(&mut self, size: f64) -> Result<Arc<DriverCell>, CharlibError> {
+        self.cell_shared(size)
+    }
+
     fn cell_entry(&mut self, size: f64) -> Result<&Arc<DriverCell>, CharlibError> {
         assert!(size > 0.0, "driver size must be positive");
         let key = Self::key(size);
         if !self.cells.contains_key(&key) {
-            let cell = DriverCell::characterize(size, &self.grid)?;
+            let spec = InverterSpec::sized_018(size);
+            let cached = self.cache.as_ref().and_then(|c| c.load(&spec, &self.grid));
+            let cell = match cached {
+                Some(cell) => {
+                    self.disk_hits += 1;
+                    cell
+                }
+                None => {
+                    let cell = DriverCell::characterize_spec(spec, &self.grid)?;
+                    self.characterizations += 1;
+                    if let Some(cache) = &self.cache {
+                        // Best-effort persistence: a full disk must not fail
+                        // the analysis that needed the cell.
+                        let _ = cache.store(&cell, &self.grid);
+                    }
+                    cell
+                }
+            };
             self.cells.insert(key, Arc::new(cell));
         }
         Ok(self.cells.get(&key).expect("cell was just inserted"))

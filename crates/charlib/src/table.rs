@@ -58,27 +58,55 @@ impl TimingTable {
         &self.load_axis
     }
 
+    /// Raw delay grid rows (one per slew-axis point), e.g. for persistence.
+    pub fn delay_rows(&self) -> &[Vec<f64>] {
+        &self.delay
+    }
+
+    /// Raw output-transition grid rows (one per slew-axis point).
+    pub fn transition_rows(&self) -> &[Vec<f64>] {
+        &self.transition
+    }
+
+    /// Clamps an interpolated table value to the physical (non-negative)
+    /// range. `f64::max` alone would also turn a NaN (from a NaN query
+    /// coordinate) into a plausible-looking 0.0; NaN must keep propagating so
+    /// the caller's comparisons fail detectably instead.
+    fn clamp_physical(value: f64) -> f64 {
+        if value.is_nan() {
+            value
+        } else {
+            value.max(0.0)
+        }
+    }
+
     /// 50 % propagation delay at the given input transition and load
     /// (bilinear interpolation, linear extrapolation outside the grid).
+    ///
+    /// The result is clamped to be non-negative: unbounded linear
+    /// extrapolation far off the characterized grid can otherwise produce a
+    /// negative delay, which is non-physical and silently corrupts downstream
+    /// comparisons.
     pub fn delay(&self, input_slew: f64, load: f64) -> f64 {
-        interp2(
+        Self::clamp_physical(interp2(
             &self.slew_axis,
             &self.load_axis,
             &self.delay,
             input_slew,
             load,
-        )
+        ))
     }
 
-    /// 10–90 % output transition time at the given input transition and load.
+    /// 10–90 % output transition time at the given input transition and load,
+    /// clamped to a non-negative (physical) value like [`TimingTable::delay`].
     pub fn transition(&self, input_slew: f64, load: f64) -> f64 {
-        interp2(
+        Self::clamp_physical(interp2(
             &self.slew_axis,
             &self.load_axis,
             &self.transition,
             input_slew,
             load,
-        )
+        ))
     }
 
     /// Both the delay and the output transition at the given point.
@@ -154,6 +182,27 @@ mod tests {
         assert!(approx_eq(d, 10e-12 + 400e-12 + 20e-12, 1e-9));
         assert!(approx_eq(t.min_load(), 100e-15, 1e-18));
         assert!(approx_eq(t.max_load(), 2000e-15, 1e-18));
+    }
+
+    #[test]
+    fn far_corner_extrapolation_is_clamped_to_physical_values() {
+        let t = synthetic_table();
+        // Far below the characterized grid the linear extrapolation of the
+        // raw surface goes negative (delay at slew=50ps, load=100fF is 30 ps
+        // with a 100 ps/pF load slope, so a "load" of -1 pF would read
+        // -70 ps); the lookup must clamp, not report time travel.
+        let d = t.delay(50e-12, -1000e-15);
+        assert_eq!(d, 0.0);
+        let tr = t.transition(50e-12, -1000e-15);
+        assert_eq!(tr, 0.0);
+        let (d2, t2) = t.lookup(50e-12, -1000e-15);
+        assert!(d2 >= 0.0 && t2 >= 0.0);
+        // In-grid and mildly extrapolated lookups are unaffected.
+        assert!(t.delay(100e-12, 500e-15) > 0.0);
+        assert!(t.delay(100e-12, 4000e-15) > 0.0);
+        // A NaN query must keep propagating as NaN, not become a clean 0.0.
+        assert!(t.delay(f64::NAN, 500e-15).is_nan());
+        assert!(t.transition(100e-12, f64::NAN).is_nan());
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Integration tests of the persistent characterization cache through the
+//! `Library` front: warm starts must be bit-identical and characterization-
+//! free, damaged stores must silently fall back to re-characterization, and
+//! concurrent writers must never leave a torn file behind.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use rlc_charlib::cache::CharCache;
+use rlc_charlib::{CharacterizationGrid, DriverCell, Library, TimingTable};
+use rlc_numeric::units::{ff, pf, ps};
+use rlc_spice::testbench::InverterSpec;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlc-libcache-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A synthetic cell (no simulations) for tests that exercise only the store.
+fn dummy_cell(size: f64) -> DriverCell {
+    let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
+    let loads = vec![ff(50.0), ff(200.0), ff(800.0), pf(2.0)];
+    let grid: Vec<Vec<f64>> = slews
+        .iter()
+        .map(|&s| loads.iter().map(|&c| 0.1 * s + 50.0 * c).collect())
+        .collect();
+    DriverCell::from_parts(
+        InverterSpec::sized_018(size),
+        TimingTable::new(slews, loads, grid.clone(), grid),
+        42.5,
+    )
+}
+
+#[test]
+fn warm_start_is_characterization_free_and_bit_identical() {
+    let dir = tmp_dir("warm");
+    let grid = CharacterizationGrid::coarse_for_tests();
+
+    // Cold process: one real characterization, persisted on the way out.
+    let mut cold = Library::open_cached_with_grid(&dir, grid.clone()).unwrap();
+    let first = cold.get_or_characterize(75.0).unwrap();
+    assert_eq!(cold.characterizations_run(), 1);
+    assert_eq!(cold.disk_cache_hits(), 0);
+    // The same query again is served from memory, not by re-characterizing.
+    let again = cold.get_or_characterize(75.0).unwrap();
+    assert!(Arc::ptr_eq(&first, &again));
+    assert_eq!(cold.characterizations_run(), 1);
+    drop(cold);
+
+    // Warm process: zero characterizations, tables bit-identical.
+    let mut warm = Library::open_cached_with_grid(&dir, grid).unwrap();
+    let cached = warm.get_or_characterize(75.0).unwrap();
+    assert_eq!(
+        warm.characterizations_run(),
+        0,
+        "warm start must not simulate"
+    );
+    assert_eq!(warm.disk_cache_hits(), 1);
+    assert_eq!(*cached, *first);
+    let (a, b) = (cached.table(), first.table());
+    for (ra, rb) in a.delay_rows().iter().zip(b.delay_rows()) {
+        for (va, vb) in ra.iter().zip(rb) {
+            assert_eq!(
+                va.to_bits(),
+                vb.to_bits(),
+                "delay tables must be bit-identical"
+            );
+        }
+    }
+    for (ra, rb) in a.transition_rows().iter().zip(b.transition_rows()) {
+        for (va, vb) in ra.iter().zip(rb) {
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+    assert_eq!(
+        cached.on_resistance().to_bits(),
+        first.on_resistance().to_bits()
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn grid_change_invalidates_the_key() {
+    let dir = tmp_dir("invalidate");
+    let grid = CharacterizationGrid::coarse_for_tests();
+    let cache = CharCache::open(&dir).unwrap();
+    let cell = dummy_cell(75.0);
+    cache.store(&cell, &grid).unwrap();
+    assert!(cache.load(cell.spec(), &grid).is_some());
+
+    // A different tolerance (time step) or grid must miss — through the
+    // Library this triggers re-characterization rather than a wrong-grid hit.
+    let mut finer = grid.clone();
+    finer.time_step /= 2.0;
+    assert!(cache.load(cell.spec(), &finer).is_none());
+    let mut wider = grid.clone();
+    wider.load_axis.push(pf(5.0));
+    assert!(cache.load(cell.spec(), &wider).is_none());
+    // And so must a different cell under the same grid.
+    assert!(cache.load(&InverterSpec::sized_018(100.0), &grid).is_none());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_store_falls_back_to_recharacterization() {
+    let dir = tmp_dir("damaged");
+    let grid = CharacterizationGrid::coarse_for_tests();
+
+    let mut lib = Library::open_cached_with_grid(&dir, grid.clone()).unwrap();
+    let original = lib.get_or_characterize(75.0).unwrap();
+    assert_eq!(lib.characterizations_run(), 1);
+    let entry = lib
+        .cache()
+        .unwrap()
+        .entry_path(CharCache::key(&InverterSpec::sized_018(75.0), &grid));
+    let good = fs::read(&entry).unwrap();
+
+    // Truncated entry: a fresh library silently re-characterizes (no panic,
+    // no wrong data) and heals the store by persisting the new result.
+    fs::write(&entry, &good[..good.len() / 3]).unwrap();
+    let mut healed = Library::open_cached_with_grid(&dir, grid.clone()).unwrap();
+    let re = healed.get_or_characterize(75.0).unwrap();
+    assert_eq!(healed.characterizations_run(), 1);
+    assert_eq!(healed.disk_cache_hits(), 0);
+    assert_eq!(*re, *original);
+    let repaired = fs::read(&entry).unwrap();
+    assert_eq!(repaired, good, "healed entry must match the original bytes");
+
+    // Stale format version: same silent fallback.
+    let mut stale = good.clone();
+    stale[8] ^= 0xff; // first byte of the little-endian format version
+    fs::write(&entry, &stale).unwrap();
+    let mut lib = Library::open_cached_with_grid(&dir, grid.clone()).unwrap();
+    lib.get_or_characterize(75.0).unwrap();
+    assert_eq!(lib.characterizations_run(), 1);
+
+    // Entry parked under the wrong key (e.g. a renamed file): never a
+    // wrong-cell hit.
+    fs::write(&entry, &good).unwrap();
+    let foreign = lib
+        .cache()
+        .unwrap()
+        .entry_path(CharCache::key(&InverterSpec::sized_018(25.0), &grid));
+    fs::rename(&entry, &foreign).unwrap();
+    let mut lib = Library::open_cached_with_grid(&dir, grid).unwrap();
+    let cell = lib.get_or_characterize(25.0).unwrap();
+    assert_eq!(cell.size(), 25.0);
+    assert_eq!(
+        lib.characterizations_run(),
+        1,
+        "foreign-key entry must be ignored, not returned"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_round_trip_cleanly() {
+    let dir = tmp_dir("concurrent");
+    let grid = CharacterizationGrid::coarse_for_tests();
+    let cell = dummy_cell(60.0);
+
+    // Two writers hammer the same key while a reader polls it: the atomic
+    // write-rename protocol means every successful load parses to exactly
+    // the written cell — a torn or half-renamed file would either fail the
+    // decode (load = None, acceptable) or produce a different cell (never
+    // acceptable).
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let dir = &dir;
+            let grid = &grid;
+            let cell = &cell;
+            scope.spawn(move || {
+                let cache = CharCache::open(dir).unwrap();
+                for _ in 0..50 {
+                    cache.store(cell, grid).unwrap();
+                }
+            });
+        }
+        let dir = &dir;
+        let grid = &grid;
+        let cell = &cell;
+        scope.spawn(move || {
+            let cache = CharCache::open(dir).unwrap();
+            let mut hits = 0;
+            for _ in 0..200 {
+                if let Some(loaded) = cache.load(cell.spec(), grid) {
+                    assert_eq!(&loaded, cell, "a load must never observe a torn entry");
+                    hits += 1;
+                }
+            }
+            hits
+        });
+    });
+
+    // After the dust settles the entry is complete and correct, and no
+    // temporary files leak.
+    let cache = CharCache::open(&dir).unwrap();
+    assert_eq!(cache.load(cell.spec(), &grid).unwrap(), cell);
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temporary files must not leak: {leftovers:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn shared_cache_dir_serves_multiple_grids_and_cells() {
+    let dir = tmp_dir("multigrid");
+    let coarse = CharacterizationGrid::coarse_for_tests();
+    let mut finer = coarse.clone();
+    finer.time_step /= 2.0;
+
+    let cache = CharCache::open(&dir).unwrap();
+    let small = dummy_cell(25.0);
+    let large = dummy_cell(125.0);
+    cache.store(&small, &coarse).unwrap();
+    cache.store(&large, &coarse).unwrap();
+    cache.store(&small, &finer).unwrap();
+
+    assert_eq!(cache.load(small.spec(), &coarse).unwrap(), small);
+    assert_eq!(cache.load(large.spec(), &coarse).unwrap(), large);
+    assert_eq!(cache.load(small.spec(), &finer).unwrap(), small);
+    assert!(cache.load(large.spec(), &finer).is_none());
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -69,12 +69,37 @@ pub fn interp2(x_axis: &[f64], y_axis: &[f64], values: &[Vec<f64>], x: f64, y: f
 
 /// Interpolates the abscissa at which a monotonically sampled trace crosses
 /// `target`. `xs` must be increasing; `ys` need not be monotonic — the first
-/// crossing (in increasing `xs`) is returned. Returns `None` if the trace
-/// never reaches the target.
+/// crossing (in increasing `xs`) is returned. A trace sampled exactly on the
+/// target counts as crossing at that sample when it arrives from the search
+/// direction's side, and a trace that *starts* exactly on the target crosses
+/// at its first sample. Returns `None` if the trace never crosses.
 pub fn first_crossing(xs: &[f64], ys: &[f64], target: f64, rising: bool) -> Option<f64> {
     assert_eq!(xs.len(), ys.len());
+    // A trace beginning exactly at the threshold has reached it at its first
+    // sample — there is no earlier history to cross from — provided it then
+    // proceeds on the search direction's side; a trace that immediately
+    // leaves against the direction has not crossed (it may still cross
+    // properly later, which the scan below finds).
+    if ys.len() >= 2 && ys[0] == target {
+        let toward = if rising {
+            ys[1] >= target
+        } else {
+            ys[1] <= target
+        };
+        if toward {
+            return Some(xs[0]);
+        }
+    }
     for k in 1..xs.len() {
         let (y0, y1) = (ys[k - 1], ys[k]);
+        // Half-open comparison: the segment owns its upper sample, so a
+        // trace sampled exactly on the threshold reports the crossing at
+        // that sample instead of dropping or delaying it (the old strict
+        // `y1 > target` missed exact landings). Approaches from the wrong
+        // side — a dip that merely brushes the target during a
+        // rising-direction search — deliberately do not count: the `y0`
+        // comparison stays strict, so the trace must arrive from the side
+        // the search direction implies.
         let crossed = if rising {
             y0 < target && y1 >= target
         } else {
@@ -157,6 +182,64 @@ mod tests {
         let x = first_crossing(&xs, &falling, 0.5, false).unwrap();
         assert!(approx_eq(x, 1.4, 1e-12));
         assert!(first_crossing(&xs, &rising, 2.0, true).is_none());
+    }
+
+    #[test]
+    fn first_crossing_exact_hit_at_first_sample() {
+        // The trace starts exactly on the threshold: the crossing is at the
+        // first sample, not dropped (the old strict `y0 < target` comparison
+        // never matched a segment starting on the target).
+        let xs = [0.0, 1.0, 2.0];
+        let rising = [0.5, 0.9, 1.3];
+        assert_eq!(first_crossing(&xs, &rising, 0.5, true), Some(0.0));
+        let falling = [0.5, 0.2, 0.0];
+        assert_eq!(first_crossing(&xs, &falling, 0.5, false), Some(0.0));
+        // Starting at the threshold but moving against the search direction
+        // is not a crossing: a purely falling trace has no rising crossing.
+        assert_eq!(first_crossing(&xs, &falling, 0.5, true), None);
+        assert_eq!(first_crossing(&xs, &rising, 0.5, false), None);
+        // … unless the trace comes back and crosses properly later.
+        let dip_then_rise = [0.5, 0.2, 0.9];
+        let x = first_crossing(&xs, &dip_then_rise, 0.5, true).unwrap();
+        assert!(approx_eq(x, 1.0 + 3.0 / 7.0, 1e-12));
+    }
+
+    #[test]
+    fn first_crossing_exact_hit_mid_trace() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        // Sampled exactly on the threshold while rising: interpolation
+        // degenerates to the sample itself.
+        let ys = [0.0, 0.5, 1.0, 1.5];
+        assert_eq!(first_crossing(&xs, &ys, 0.5, true), Some(1.0));
+        // Plateau exactly at the threshold entered from below: the first
+        // plateau sample wins.
+        let plateau = [0.0, 0.5, 0.5, 1.0];
+        assert_eq!(first_crossing(&xs, &plateau, 0.5, true), Some(1.0));
+    }
+
+    #[test]
+    fn first_crossing_ignores_wrong_direction_touches() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        // A bump that rises to the target exactly and falls back is not a
+        // falling crossing — reporting it would fabricate a falling edge
+        // (e.g. a bogus 90 % crossing in a falling slew measurement).
+        let bump = [0.3, 0.5, 0.3, 0.3];
+        assert_eq!(first_crossing(&xs, &bump, 0.5, false), None);
+        // Symmetrically, a dip that descends to the target exactly and rises
+        // again is not a rising crossing: the trace never arrived from below.
+        let dip = [1.0, 0.5, 0.8, 1.2];
+        assert_eq!(first_crossing(&xs, &dip, 0.5, true), None);
+        // The bump *is* the rising crossing, at its exact sample.
+        assert_eq!(first_crossing(&xs, &bump, 0.5, true), Some(1.0));
+    }
+
+    #[test]
+    fn first_crossing_exact_hit_at_last_sample() {
+        let xs = [0.0, 1.0, 2.0];
+        let ys = [0.0, 0.2, 0.5];
+        assert_eq!(first_crossing(&xs, &ys, 0.5, true), Some(2.0));
+        // Below the target everywhere else and no exact hit: still none.
+        assert!(first_crossing(&xs, &ys, 0.6, true).is_none());
     }
 
     #[test]

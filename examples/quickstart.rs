@@ -9,11 +9,14 @@
 //! far end of the line.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Set `RLC_CACHE_DIR=target/char-cache` to persist the driver
+//! characterization: the second run then reports zero characterizations and
+//! starts warm from the on-disk cache.
 
 use rlc_ceff_suite::{BackendChoice, DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
 
 use rlc_ceff_suite::ceff::far_end::FarEndOptions;
-use rlc_ceff_suite::charlib::{CharacterizationGrid, Library};
 use rlc_ceff_suite::interconnect::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,23 +30,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         line.time_of_flight() * 1e12
     );
 
-    // 2. Characterize the 75X driver (a few dozen transient simulations).
+    // 2. Configure the engine. Setting RLC_CACHE_DIR opts into the
+    //    persistent characterization cache: the first run pays the
+    //    characterization transients, every later run (in any process
+    //    sharing the directory) warm-starts from disk.
+    let mut config = EngineConfig::builder();
+    if let Ok(dir) = std::env::var("RLC_CACHE_DIR") {
+        println!("using characterization cache at {dir}");
+        config = config.cache_dir(dir);
+    }
+    let engine = TimingEngine::new(config.build());
+
+    // 3. Characterize the 75X driver (a few dozen transient simulations on a
+    //    cold start; zero with a warm cache).
     println!("characterizing the 75X driver ...");
-    let mut library = Library::new(CharacterizationGrid::default());
-    let cell = library.cell_shared(75.0)?;
+    let mut library = engine.open_library()?;
+    let cell = library.get_or_characterize(75.0)?;
     println!(
         "  on-resistance Rs = {:.1} ohm, input capacitance = {:.1} fF",
         cell.on_resistance(),
         cell.input_capacitance() * 1e15
     );
+    println!(
+        "  characterizations run: {} (disk cache hits: {})",
+        library.characterizations_run(),
+        library.disk_cache_hits()
+    );
 
-    // 3. Describe the net as a stage and run the analytic backend.
+    // 4. Describe the net as a stage and run the analytic backend.
     let load = DistributedRlcLoad::new(line, ff(10.0))?;
     let stage = Stage::builder(cell.clone(), load)
         .label("flagship")
         .input_slew(ps(100.0))
         .build()?;
-    let engine = TimingEngine::new(EngineConfig::default());
     let report = engine.analyze(&stage)?;
     println!("model: {}", report.waveform.describe());
     if let Some(details) = &report.analytic {
@@ -55,7 +74,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.slew * 1e12
     );
 
-    // 4. Cross-check the same stage on the golden simulation backend.
+    // 5. Cross-check the same stage on the golden simulation backend.
     let golden_stage = Stage::builder(cell, DistributedRlcLoad::new(line, ff(10.0))?)
         .label("flagship-golden")
         .input_slew(ps(100.0))
@@ -68,7 +87,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         golden.slew * 1e12
     );
 
-    // 5. Propagate the modelled waveform to the far end of the line.
+    // 6. Propagate the modelled waveform to the far end of the line.
     let far = report.far_end(
         &DistributedRlcLoad::new(line, ff(10.0))?,
         &FarEndOptions::default(),

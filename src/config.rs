@@ -2,6 +2,8 @@
 //! scattered `ModelingConfig` / `IterationSettings` / `InductanceCriteria` /
 //! `GoldenOptions` knobs of the layer crates.
 
+use std::path::PathBuf;
+
 use rlc_ceff::validation::GoldenOptions;
 use rlc_ceff::{InductanceCriteria, IterationSettings, ModelingConfig};
 
@@ -23,7 +25,7 @@ pub enum CeffStrategy {
 /// Build one with [`EngineConfig::builder`]; the default configuration is
 /// the paper's prescription (per-case Rs extraction, Equation 9 defaults,
 /// reference simulation fidelity).
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Convergence controls for the Ceff iterations.
     pub iteration: IterationSettings,
@@ -40,6 +42,12 @@ pub struct EngineConfig {
     /// Worker threads for [`crate::TimingEngine::analyze_many`]; `0` means
     /// one per available CPU.
     pub threads: usize,
+    /// Directory of the persistent characterization cache. When set,
+    /// libraries opened through [`crate::TimingEngine::open_library`] consult
+    /// the on-disk store before running any characterization transients and
+    /// persist every miss, so only the first process ever pays the cold
+    /// start. `None` (the default) keeps characterization in-memory only.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +59,7 @@ impl Default for EngineConfig {
             strategy: CeffStrategy::Auto,
             golden: GoldenOptions::default(),
             threads: 0,
+            cache_dir: None,
         }
     }
 }
@@ -160,6 +169,15 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Persistent characterization-cache directory (created on first use).
+    /// Libraries opened through [`crate::TimingEngine::open_library`] then
+    /// warm-start from disk instead of re-running characterization
+    /// transients. Off by default.
+    pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.cache_dir = Some(dir.into());
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> EngineConfig {
         self.config
@@ -179,6 +197,7 @@ mod tests {
             .extract_rs_per_case(false)
             .strategy(CeffStrategy::ForceTwoRamp)
             .threads(3)
+            .cache_dir("target/test-char-cache")
             .build();
         assert_eq!(config.iteration.rel_tolerance, 1e-6);
         assert_eq!(config.iteration.max_iterations, 42);
@@ -186,8 +205,14 @@ mod tests {
         assert!(!config.extract_rs_per_case);
         assert_eq!(config.strategy, CeffStrategy::ForceTwoRamp);
         assert_eq!(config.threads, 3);
+        assert_eq!(
+            config.cache_dir.as_deref(),
+            Some(std::path::Path::new("target/test-char-cache"))
+        );
         // Untouched knobs keep their defaults.
         assert_eq!(config.criteria, InductanceCriteria::default());
+        // The cache is opt-in.
+        assert_eq!(EngineConfig::default().cache_dir, None);
     }
 
     #[test]

@@ -15,10 +15,35 @@ pub trait DriverModel: std::fmt::Debug + Send + Sync {
     fn v(&self, t: f64) -> f64;
 
     /// 50 % delay relative to the input's 50 % crossing (seconds).
+    ///
+    /// Always well defined for the analytic ramps; for sampled waveforms
+    /// prefer [`DriverModel::try_delay_from`], which reports a non-settling
+    /// transition as `None` instead of `NaN`.
     fn delay_from(&self, input_t50: f64) -> f64;
 
     /// 10–90 % output transition time (seconds).
+    ///
+    /// Always well defined for the analytic ramps; for sampled waveforms
+    /// prefer [`DriverModel::try_slew`], which reports a non-settling
+    /// transition as `None` instead of `NaN`.
     fn slew(&self) -> f64;
+
+    /// Checked 50 % delay: `None` when the waveform never completes the
+    /// crossing (a sampled transition that does not settle in its window).
+    ///
+    /// `NaN` must never escape this method — comparisons against `NaN` are
+    /// silently false, which poisons signoff comparisons downstream.
+    fn try_delay_from(&self, input_t50: f64) -> Option<f64> {
+        let delay = self.delay_from(input_t50);
+        (!delay.is_nan()).then_some(delay)
+    }
+
+    /// Checked 10–90 % transition time: `None` when the waveform never
+    /// completes the transition.
+    fn try_slew(&self) -> Option<f64> {
+        let slew = self.slew();
+        (!slew.is_nan()).then_some(slew)
+    }
 
     /// Time at which the transition is (effectively) complete (seconds).
     fn end_time(&self) -> f64;
@@ -87,9 +112,12 @@ impl DriverModel for TwoRampModel {
 /// the same [`DriverModel`] interface as the analytic ramps — this is what
 /// the SPICE backend returns.
 ///
-/// Metric methods fall back to `NaN` when the sampled transition never
-/// crosses the required levels; the backend validates the crossings it needs
-/// before constructing the report.
+/// The checked metrics ([`DriverModel::try_delay_from`],
+/// [`DriverModel::try_slew`]) report a transition that never settles as
+/// `None`; the unchecked `f64` metrics delegate to them and fall back to
+/// `NaN` only for callers that insist on the plain-number interface. The
+/// SPICE backend validates the crossings it needs before constructing a
+/// [`crate::StageReport`], so reports never carry `NaN` delays or slews.
 #[derive(Debug, Clone)]
 pub struct SampledWaveform {
     waveform: Waveform,
@@ -119,14 +147,21 @@ impl DriverModel for SampledWaveform {
     }
 
     fn delay_from(&self, input_t50: f64) -> f64 {
-        self.waveform
-            .crossing_fraction(0.5, self.vdd, true)
-            .map(|t| t - input_t50)
-            .unwrap_or(f64::NAN)
+        self.try_delay_from(input_t50).unwrap_or(f64::NAN)
     }
 
     fn slew(&self) -> f64 {
-        self.waveform.slew_10_90(self.vdd, true).unwrap_or(f64::NAN)
+        self.try_slew().unwrap_or(f64::NAN)
+    }
+
+    fn try_delay_from(&self, input_t50: f64) -> Option<f64> {
+        self.waveform
+            .crossing_fraction(0.5, self.vdd, true)
+            .map(|t| t - input_t50)
+    }
+
+    fn try_slew(&self) -> Option<f64> {
+        self.waveform.slew_10_90(self.vdd, true)
     }
 
     fn end_time(&self) -> f64 {
@@ -202,12 +237,35 @@ mod tests {
     }
 
     #[test]
-    fn sampled_waveform_reports_nan_for_incomplete_transitions() {
+    fn incomplete_transitions_surface_as_none_not_nan() {
         // A waveform that never reaches 50 %.
         let flat = Waveform::from_fn(|_| 0.1, ps(500.0), 100);
         let sampled = SampledWaveform::new(flat, 1.8);
+        // The checked metrics say "no transition" explicitly …
+        assert_eq!(sampled.try_delay_from(0.0), None);
+        assert_eq!(sampled.try_slew(), None);
+        // … and through the trait object as well.
+        let model: &dyn DriverModel = &sampled;
+        assert_eq!(model.try_delay_from(0.0), None);
+        assert_eq!(model.try_slew(), None);
+        // The legacy f64 interface keeps its NaN sentinel for callers that
+        // bypass the checked API.
         assert!(sampled.delay_from(0.0).is_nan());
         assert!(sampled.slew().is_nan());
         assert!(!sampled.waveform().is_empty());
+    }
+
+    #[test]
+    fn complete_transitions_report_some_through_the_checked_api() {
+        let ramp = SingleRampModel::new(1.8, ps(200.0), ps(50.0));
+        let sampled = SampledWaveform::new(ramp.to_waveform(ps(600.0), 1200), 1.8);
+        let delay = sampled.try_delay_from(ps(40.0)).unwrap();
+        assert!((delay - sampled.delay_from(ps(40.0))).abs() < 1e-18);
+        let slew = sampled.try_slew().unwrap();
+        assert!((slew - sampled.slew()).abs() < 1e-18);
+        // Analytic ramps are always complete: the default impls wrap them.
+        let model: &dyn DriverModel = &ramp;
+        assert!(model.try_delay_from(ps(40.0)).is_some());
+        assert!(model.try_slew().is_some());
     }
 }

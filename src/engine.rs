@@ -6,6 +6,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use rlc_charlib::{CharacterizationGrid, Library};
+
 use crate::backend::{AnalysisBackend, AnalyticBackend, SpiceBackend, StageReport};
 use crate::config::EngineConfig;
 use crate::error::EngineError;
@@ -59,6 +61,35 @@ impl TimingEngine {
     /// The active configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.config
+    }
+
+    /// Opens the cell library this engine's stages should draw from, on the
+    /// default characterization grid: backed by the persistent on-disk cache
+    /// when [`EngineConfig::cache_dir`] is set (so repeated processes skip
+    /// characterization entirely), plain in-memory otherwise.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Cache`] when the cache directory cannot be
+    /// created.
+    pub fn open_library(&self) -> Result<Library, EngineError> {
+        self.open_library_with_grid(CharacterizationGrid::default())
+    }
+
+    /// [`TimingEngine::open_library`] on a specific characterization grid.
+    /// Cache entries are keyed by cell *and* grid, so different grids can
+    /// share one cache directory without collisions.
+    ///
+    /// # Errors
+    /// Returns [`EngineError::Cache`] when the cache directory cannot be
+    /// created.
+    pub fn open_library_with_grid(
+        &self,
+        grid: CharacterizationGrid,
+    ) -> Result<Library, EngineError> {
+        match &self.config.cache_dir {
+            Some(dir) => Ok(Library::open_cached_with_grid(dir, grid)?),
+            None => Ok(Library::new(grid)),
+        }
     }
 
     /// Resolves the backend a stage runs on: its override, or the engine's
@@ -331,6 +362,24 @@ mod tests {
         // Bigger lumped loads mean slower transitions, in order.
         let slews: Vec<f64> = batch.succeeded().map(|(_, r)| r.slew).collect();
         assert!(slews.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn open_library_honours_the_cache_dir_option() {
+        // No cache_dir: a plain in-memory library.
+        let plain = fast_engine().open_library().unwrap();
+        assert!(plain.cache().is_none());
+
+        // cache_dir set: the library is backed by the persistent store in
+        // exactly that directory (created on demand).
+        let dir = std::env::temp_dir().join(format!("rlc-engine-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let engine = TimingEngine::new(EngineConfig::builder().cache_dir(&dir).build());
+        let lib = engine.open_library().unwrap();
+        assert_eq!(lib.cache().unwrap().dir(), dir.as_path());
+        assert!(dir.is_dir());
+        assert_eq!(lib.characterizations_run(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

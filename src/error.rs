@@ -41,6 +41,13 @@ pub enum EngineError {
         /// The underlying characterization error.
         source: CharlibError,
     },
+    /// The persistent characterization cache could not be opened or written.
+    /// Only setup/write problems surface here; unreadable or corrupt cache
+    /// entries silently fall back to re-characterization instead.
+    Cache {
+        /// What went wrong with the cache.
+        what: String,
+    },
     /// The requested operation is not supported by the chosen combination of
     /// load model and backend (e.g. simulating a moment-space load that has
     /// no netlist).
@@ -80,6 +87,7 @@ impl std::fmt::Display for EngineError {
             EngineError::Characterization { source } => {
                 write!(f, "characterization failed: {source}")
             }
+            EngineError::Cache { what } => write!(f, "characterization cache failed: {what}"),
             EngineError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
             EngineError::StagePanicked { label, detail } => {
                 write!(f, "stage '{label}' panicked during analysis: {detail}")
@@ -125,7 +133,12 @@ impl From<SpiceError> for EngineError {
 
 impl From<CharlibError> for EngineError {
     fn from(source: CharlibError) -> Self {
-        EngineError::Characterization { source }
+        match source {
+            // Cache problems are an infrastructure category of their own —
+            // callers retry without the cache rather than re-characterizing.
+            CharlibError::Cache(what) => EngineError::Cache { what },
+            other => EngineError::Characterization { source: other },
+        }
     }
 }
 
@@ -146,6 +159,11 @@ mod tests {
 
         let e: EngineError = CharlibError::InvalidGrid("empty".into()).into();
         assert!(e.source().unwrap().to_string().contains("empty"));
+
+        let e: EngineError = CharlibError::Cache("read-only filesystem".into()).into();
+        assert!(matches!(e, EngineError::Cache { .. }));
+        assert!(e.to_string().contains("read-only filesystem"));
+        assert!(e.source().is_none());
 
         let e: EngineError = CeffError::MomentFit("x".into()).into();
         assert!(matches!(e, EngineError::Model { .. }));
