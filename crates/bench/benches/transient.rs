@@ -1,8 +1,12 @@
 //! Before/after benchmarks of the transient simulation kernels: the legacy
 //! full-reassembly kernel versus the factor-once LTI fast path and the
 //! split-stamp Newton loop, on the fig4-style RLC-ladder transient and a
-//! characterization-style grid of inverter runs. Results are written to
-//! `BENCH_transient.json` so the perf trajectory of the hot path is recorded.
+//! characterization-style grid of inverter runs — plus the `AnalysisSession`
+//! scheduling benches (`path_chain_4stage`, `session_wide_batch_16`), which
+//! assert the session's overhead stays within budget against hand-rolled
+//! sequential propagation and the deprecated `analyze_many` fan-out.
+//! Results are written to `BENCH_transient.json` so the perf trajectory of
+//! the hot path is recorded.
 //!
 //! Run with: `cargo bench --bench transient`
 //! Smoke mode (CI): `RLC_BENCH_SMOKE=1 cargo bench --bench transient`
@@ -27,6 +31,14 @@ fn options(time_step: f64, stop: f64, strategy: KernelStrategy) -> TransientOpti
     TransientOptions::try_new(time_step, stop)
         .unwrap()
         .with_strategy(strategy)
+}
+
+/// The workspace's canonical synthetic 75X cell
+/// ([`rlc_ceff_suite::fixtures`]): deterministic and characterization-free,
+/// so the session benches measure scheduling and propagation, not cell
+/// characterization.
+fn session_bench_cell() -> rlc_charlib::DriverCell {
+    rlc_ceff_suite::fixtures::synthetic_cell_75x()
 }
 
 /// Benchmarks one circuit under the legacy and the automatic (fast) kernel,
@@ -250,6 +262,150 @@ fn main() {
         baseline_ns: cold.as_nanos(),
         optimized_ns: warm.as_nanos(),
     });
+
+    // ---- AnalysisSession scheduling overhead ------------------------------
+    // A 4-stage dependent chain through the session versus hand-rolled
+    // sequential analyze + far_end propagation. Both sides run the same
+    // analytic flow and the same propagation fidelity, so the difference is
+    // pure scheduling (worker threads, queueing, handoff bookkeeping).
+    {
+        use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+        use rlc_ceff_suite::{
+            DistributedRlcLoad, EngineConfig, InputEvent, LoadModel, SessionOptions, Stage,
+            TimingEngine,
+        };
+        use std::sync::Arc;
+
+        let cell = Arc::new(session_bench_cell());
+        let engine = TimingEngine::new(
+            EngineConfig::builder()
+                .extract_rs_per_case(false)
+                .threads(2)
+                .build(),
+        );
+        let far_opts = FarEndOptions {
+            segments: if smoke { 8 } else { 20 },
+            time_step: ps(1.0),
+            ..FarEndOptions::default()
+        };
+        let chain_line = RlcLine::new(r, l, c, mm(5.0));
+        let loads: Vec<Arc<dyn LoadModel>> = (0..4)
+            .map(|i| {
+                Arc::new(DistributedRlcLoad::new(chain_line, ff(10.0 + 5.0 * i as f64)).unwrap())
+                    as Arc<dyn LoadModel>
+            })
+            .collect();
+
+        // The session cases gate CI on a ratio of two timings, so measure
+        // them at the default fidelity (9 samples) instead of the kernel
+        // benches' 3-sample slow mode — a 4-stage chain is ~10 ms, cheap
+        // enough to sample properly.
+        let mut session_runner = Runner::new("transient/session");
+        let manual = session_runner.bench("path_chain_4stage/manual", || {
+            let mut event = InputEvent {
+                slew: ps(100.0),
+                delay: ps(20.0),
+            };
+            let mut last_delay = 0.0;
+            for (i, load) in loads.iter().enumerate() {
+                let stage = Stage::builder_shared(cell.clone(), load.clone())
+                    .label("manual")
+                    .input_slew(event.slew)
+                    .input_delay(event.delay)
+                    .build()
+                    .unwrap();
+                let report = engine.analyze(&stage).unwrap();
+                last_delay = report.delay;
+                if i + 1 < loads.len() {
+                    let far = report.far_end(load.as_ref(), &far_opts).unwrap();
+                    event = InputEvent::from_measured(
+                        report.input_t50 + far.delay_from_input,
+                        far.slew,
+                    );
+                }
+            }
+            black_box(last_delay)
+        });
+        // A dependency chain has no parallelism to exploit: one worker.
+        let session_opts = SessionOptions::default()
+            .with_far_end(far_opts)
+            .with_max_in_flight(1);
+        let chained = session_runner.bench("path_chain_4stage/session", || {
+            let mut session = engine.session_with(session_opts);
+            let mut prev = None;
+            for load in &loads {
+                let mut builder =
+                    Stage::builder_shared(cell.clone(), load.clone()).label("chained");
+                builder = match prev {
+                    None => builder.input_slew(ps(100.0)),
+                    Some(handle) => builder.input_from(handle),
+                };
+                prev = Some(session.submit(builder.build().unwrap()).unwrap());
+            }
+            let results = session.wait_all();
+            black_box(results.last().unwrap().1.as_ref().unwrap().delay)
+        });
+        results.push(BenchComparison {
+            name: "path_chain_4stage".to_string(),
+            baseline_ns: manual.as_nanos(),
+            optimized_ns: chained.as_nanos(),
+        });
+
+        // A wide independent batch: the session must keep the deprecated
+        // analyze_many's parallel throughput.
+        let wide: Vec<Stage> = (0..16)
+            .map(|i| {
+                Stage::builder_shared(
+                    cell.clone(),
+                    Arc::new(DistributedRlcLoad::new(chain_line, ff(10.0 + i as f64)).unwrap()),
+                )
+                .label("wide")
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap()
+            })
+            .collect();
+        let wide_engine = TimingEngine::new(
+            EngineConfig::builder()
+                .extract_rs_per_case(false)
+                .threads(4)
+                .build(),
+        );
+        #[allow(deprecated)] // benchmarking the shim against the session
+        let flat = session_runner.bench("session_wide_batch_16/analyze_many", || {
+            let batch = wide_engine.analyze_many(black_box(&wide));
+            assert!(batch.all_ok());
+            black_box(batch.len())
+        });
+        let via_session = session_runner.bench("session_wide_batch_16/session", || {
+            let mut session = wide_engine.session();
+            session.submit_all(wide.iter().cloned()).unwrap();
+            let results = session.wait_all();
+            assert!(results.iter().all(|(_, r)| r.is_ok()));
+            black_box(results.len())
+        });
+        results.push(BenchComparison {
+            name: "session_wide_batch_16".to_string(),
+            baseline_ns: flat.as_nanos(),
+            optimized_ns: via_session.as_nanos(),
+        });
+
+        // Budget check (the CI smoke step relies on this assert). Both sides
+        // are wall-clock medians, so the budgets guard against pathological
+        // scheduling regressions rather than restating the measurement: the
+        // committed full-mode JSON is what documents the real overhead
+        // (~4%, inside the < 5% target), and re-runs on other machines must
+        // not flake on a point measurement's jitter.
+        let budget = if smoke { 1.50 } else { 1.15 };
+        for name in ["path_chain_4stage", "session_wide_batch_16"] {
+            let case = results.iter().find(|r| r.name == name).unwrap();
+            let ratio = case.optimized_ns as f64 / case.baseline_ns as f64;
+            assert!(
+                ratio <= budget,
+                "{name}: session overhead ratio {ratio:.3} exceeds budget {budget:.2}"
+            );
+        }
+    }
 
     for r in &results {
         println!(

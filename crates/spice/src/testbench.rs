@@ -96,6 +96,27 @@ pub fn add_inverter_driver(
     input_delay: f64,
     transition: OutputTransition,
 ) -> DriverTestbenchNodes {
+    let input_wave = match transition {
+        OutputTransition::Rising => {
+            SourceWaveform::falling_ramp(spec.vdd, input_delay, input_transition_time)
+        }
+        OutputTransition::Falling => {
+            SourceWaveform::rising_ramp(spec.vdd, input_delay, input_transition_time)
+        }
+    };
+    add_inverter_driver_with_input(ckt, spec, input_wave, transition)
+}
+
+/// Like [`add_inverter_driver`], but drives the inverter input with an
+/// arbitrary source waveform (e.g. a measured upstream far-end waveform
+/// mirrored for the inverting stage) instead of an ideal saturated ramp.
+/// The input node's initial condition is taken from the waveform at `t = 0`.
+pub fn add_inverter_driver_with_input(
+    ckt: &mut Circuit,
+    spec: &InverterSpec,
+    input: SourceWaveform,
+    transition: OutputTransition,
+) -> DriverTestbenchNodes {
     let vdd_node = ckt.node("vdd");
     let in_node = ckt.node("in");
     let out_node = ckt.node("out");
@@ -106,15 +127,8 @@ pub fn add_inverter_driver(
         Circuit::GROUND,
         SourceWaveform::dc(spec.vdd),
     );
-    let input_wave = match transition {
-        OutputTransition::Rising => {
-            SourceWaveform::falling_ramp(spec.vdd, input_delay, input_transition_time)
-        }
-        OutputTransition::Falling => {
-            SourceWaveform::rising_ramp(spec.vdd, input_delay, input_transition_time)
-        }
-    };
-    ckt.add_vsource("VIN", in_node, Circuit::GROUND, input_wave);
+    let vin0 = input.value_at(0.0);
+    ckt.add_vsource("VIN", in_node, Circuit::GROUND, input);
     ckt.add_mosfet(
         "MP",
         out_node,
@@ -132,9 +146,9 @@ pub fn add_inverter_driver(
         spec.nmos_width,
     );
 
-    let (vin0, vout0) = match transition {
-        OutputTransition::Rising => (spec.vdd, 0.0),
-        OutputTransition::Falling => (0.0, spec.vdd),
+    let vout0 = match transition {
+        OutputTransition::Rising => 0.0,
+        OutputTransition::Falling => spec.vdd,
     };
     ckt.set_initial_condition(vdd_node, spec.vdd);
     ckt.set_initial_condition(in_node, vin0);

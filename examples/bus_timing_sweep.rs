@@ -1,10 +1,11 @@
 //! Bus timing sweep: size a global bus repeater against wire length, as one
-//! batched `TimingEngine::analyze_many` call.
+//! `AnalysisSession` of independent stages.
 //!
 //! The motivating workload of the paper's introduction: long, wide global
 //! interconnect (clock spines, buses) driven by strong buffers. Every
-//! (length, driver) combination becomes one `Stage`; the engine fans the
-//! batch across worker threads and returns per-stage reports, from which the
+//! (length, driver) combination becomes one `Stage` submitted to a session;
+//! the scheduler fans the independent stages across worker threads and
+//! `wait_all` returns per-stage reports in submission order, from which the
 //! table prints the predicted driver-output delay, slew, the far-end delay,
 //! and whether inductance had to be modelled with two ramps — the
 //! information a designer needs to pick a repeater size and spacing.
@@ -50,8 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let engine = TimingEngine::new(EngineConfig::default());
-    let batch = engine.analyze_many(&stages);
-    println!("batch: {}", batch.summary());
+    let mut session = engine.session();
+    session.submit_all(stages)?;
+    let results = session.wait_all();
+    let ok = results.iter().filter(|(_, r)| r.is_ok()).count();
+    println!("session: {} stages analyzed, {ok} ok", results.len());
     println!();
 
     let far_opts = FarEndOptions {
@@ -63,7 +67,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:>8} {:>8} {:>10} {:>12} {:>11} {:>13} {:>9}",
         "len(mm)", "driver", "delay(ps)", "slew(ps)", "far(ps)", "model", "Ceff(fF)"
     );
-    for (index, report) in batch.succeeded() {
+    for (handle, outcome) in &results {
+        let report = match outcome {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("stage {} failed: {error}", handle.index());
+                continue;
+            }
+        };
+        let index = handle.index();
         let far = report.far_end(&loads[index], &far_opts)?;
         let ceff1 = report
             .analytic

@@ -5,9 +5,11 @@
 //! distributed coupling capacitance and a mutual inductance. The victim is
 //! driven by a characterized 75X inverter through the `TimingEngine`; the
 //! aggressor is an ideal ramp whose direction is swept — same direction as
-//! the victim, quiet, and opposite. The victim delay push-out between the
-//! best and worst case is the crosstalk window a signoff flow must margin
-//! for, and the quiet-aggressor run shows the coupled noise instead.
+//! the victim, quiet, and opposite — by overriding the shared bus load's
+//! aggressor per stage with `StageBuilder::aggressor`. The victim delay
+//! push-out between the best and worst case is the crosstalk window a
+//! signoff flow must margin for, and the quiet-aggressor run shows the
+//! coupled noise instead.
 //!
 //! Run with: `cargo run --release --example crosstalk_bus`
 
@@ -40,22 +42,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "aggressor", "victim delay", "victim slew", "agg delay", "agg peak noise"
     );
 
+    // One shared bus load; each stage swaps in its own aggressor scenario
+    // through the builder (validated to only apply to coupled loads).
+    let base_load = CoupledBusLoad::new(bus, AggressorSpec::quiet(1.8)?)?;
+
     let mut victim_delays = Vec::new();
     for (name, switching) in [
         ("same direction", AggressorSwitching::SameDirection),
         ("quiet", AggressorSwitching::Quiet),
         ("opposite", AggressorSwitching::OppositeDirection),
     ] {
-        let load = CoupledBusLoad::new(
-            bus,
-            AggressorSpec::new(switching, ps(100.0), ps(20.0), 1.8)?,
-        )?;
-        let stage = Stage::builder(cell.clone(), load.clone())
+        let stage = Stage::builder(cell.clone(), base_load.clone())
             .label(name)
             .input_slew(ps(100.0))
+            .aggressor(AggressorSpec::new(switching, ps(100.0), ps(20.0), 1.8)?)
             .build()?;
         let report = engine.analyze(&stage)?;
-        let sinks = report.far_end_sinks(&load, &far_opts)?;
+        let sinks = report.far_end_sinks(stage.load(), &far_opts)?;
         let victim = sinks
             .iter()
             .find(|s| s.sink == "victim")

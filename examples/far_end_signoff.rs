@@ -130,11 +130,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tree.set_sink(far_rx, "rx_far", c_load);
     let tree_load = RlcTreeLoad::new(tree)?;
 
-    let tree_stage = Stage::builder(cell, tree_load.clone())
+    let engine = TimingEngine::new(EngineConfig::default());
+    let tree_stage = Stage::builder(cell.clone(), tree_load.clone())
         .label("forked net")
         .input_slew(ps(50.0))
         .build()?;
-    let tree_report = TimingEngine::new(EngineConfig::default()).analyze(&tree_stage)?;
+    let tree_report = engine.analyze(&tree_stage)?;
     println!();
     println!("forked net ({}):", tree_load.describe());
     for sink in tree_report.far_end_sinks(&tree_load, &far_opts)? {
@@ -147,5 +148,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("Per-sink far ends come from one simulation of the whole tree; the longer");
     println!("branch is the critical pin a signoff flow would propagate.");
+
+    // Propagate it: a session chains a repeater off the critical sink
+    // (`rx_far`), so the measured sink waveform becomes the next driver's
+    // input event without any manual slew bookkeeping.
+    let mut session = engine.session();
+    let forked = session.submit(tree_stage)?;
+    session.submit(
+        Stage::builder(cell, DistributedRlcLoad::new(line, c_load)?)
+            .label("repeater after rx_far")
+            .input_from_sink(forked, "rx_far")
+            .build()?,
+    )?;
+    println!();
+    for (_, outcome) in session.reports() {
+        let report = outcome?;
+        println!(
+            "  chained stage '{}': delay {:>7.1} ps, slew {:>7.1} ps (input t50 {:.1} ps)",
+            report.label,
+            report.delay * 1e12,
+            report.slew * 1e12,
+            report.input_t50 * 1e12
+        );
+    }
     Ok(())
 }

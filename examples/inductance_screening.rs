@@ -3,11 +3,10 @@
 //! Static timing flows cannot afford the two-ramp machinery (or a full RLC
 //! reduced-order model) on every net, so the paper's Equation 9 criteria are
 //! used as a cheap screen. This example sweeps wire width and driver strength
-//! for a fixed 4 mm route — the whole sweep is one batched
-//! `TimingEngine::analyze_many` call — and prints the criteria verdict for
-//! each combination, reproducing the paper's observation that inductive
-//! effects matter for wires at least ~1.6 µm wide driven by 75X-or-larger
-//! buffers.
+//! for a fixed 4 mm route — the whole sweep is one `AnalysisSession` of
+//! independent stages — and prints the criteria verdict for each
+//! combination, reproducing the paper's observation that inductive effects
+//! matter for wires at least ~1.6 µm wide driven by 75X-or-larger buffers.
 //!
 //! Run with: `cargo run --release --example inductance_screening`
 
@@ -47,9 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let engine = TimingEngine::new(EngineConfig::default());
-    let batch = engine.analyze_many(&stages);
+    let mut session = engine.session();
+    session.submit_all(stages)?;
+    let outcomes = session.wait_all();
     println!("4 mm route, 100 ps input slew; table entries: criteria verdict (f, Tr1/2tf)");
-    println!("({})", batch.summary());
+    println!(
+        "({} stages, {} ok)",
+        outcomes.len(),
+        outcomes.iter().filter(|(_, r)| r.is_ok()).count()
+    );
     print!("{:>10}", "width\\drv");
     for &d in &drivers {
         print!("{:>16}", format!("{d:.0}X"));
@@ -60,7 +65,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         print!("{:>8}um", format!("{w:.1}"));
         for di in 0..drivers.len() {
             let index = wi * drivers.len() + di;
-            let report = match &batch.outcomes[index] {
+            // wait_all returns results in submission order: the handle at
+            // `index` is the (width, driver) cell of the table.
+            let report = match &outcomes[index].1 {
                 Ok(report) => report,
                 Err(e) => {
                     print!("{:>16}", format!("error: {e}"));

@@ -1,0 +1,157 @@
+//! Path timing: chain a 4-stage inverter path through an `AnalysisSession`.
+//!
+//! The paper models one driver/interconnect stage; timing a *path* composes
+//! stages — the waveform measured at one stage's far end is the input event
+//! of the next driver. This example builds a 4-stage repeater path whose
+//! nets exercise the whole topology IR:
+//!
+//! 1. `launch`  — 75X driver on the paper's 5 mm RLC line,
+//! 2. `fork`    — 75X driver on a branching RLC tree (handoff continues
+//!    from the *critical* sink `rx_far`),
+//! 3. `bus`     — 100X driver on a coupled two-line bus with an
+//!    opposite-switching aggressor (handoff from the victim far end),
+//! 4. `capture` — 50X driver on a lumped receiver load.
+//!
+//! Each dependent stage declares its input as `input_from` /
+//! `input_from_sink`; the session schedules the chain topologically, runs
+//! the far-end propagation for every handoff, and streams per-stage reports
+//! as they complete. The table prints per-stage delay/slew plus the
+//! cumulative path delay (the running input-t50 offset from the primary
+//! input), which is what a signoff flow would compare against a clock
+//! period.
+//!
+//! Run with: `cargo run --release --example path_timing`
+
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::interconnect::{CoupledBus, RlcTree};
+use rlc_ceff_suite::{
+    AggressorSpec, AggressorSwitching, CoupledBusLoad, DistributedRlcLoad, EngineConfig,
+    LumpedCapLoad, RlcTreeLoad, Stage, TimingEngine,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let extractor = EmpiricalExtractor::cmos018();
+
+    // Characterize the three repeater sizes (warm-started from disk when
+    // RLC_CACHE_DIR is set, like the quickstart).
+    let mut config = EngineConfig::builder();
+    if let Ok(dir) = std::env::var("RLC_CACHE_DIR") {
+        config = config.cache_dir(dir);
+    }
+    let engine = TimingEngine::new(config.build());
+    let mut library = engine.open_library()?;
+    let strong = library.get_or_characterize(75.0)?;
+    let wide = library.get_or_characterize(100.0)?;
+    let receiver = library.get_or_characterize(50.0)?;
+
+    // Net 1: the paper's flagship 5 mm / 1.6 um line.
+    let line = extractor.extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let launch_load = DistributedRlcLoad::new(line, ff(10.0))?;
+
+    // Net 2: a forked tree — 2 mm trunk into a 1 mm and a 3 mm branch.
+    let trunk = extractor.extract(&WireGeometry::new(mm(2.0), um(0.8)));
+    let short_branch = extractor.extract(&WireGeometry::new(mm(1.0), um(0.8)));
+    let long_branch = extractor.extract(&WireGeometry::new(mm(3.0), um(0.8)));
+    let mut tree = RlcTree::new();
+    let t = tree.add_branch(None, trunk);
+    let near = tree.add_branch(Some(t), short_branch);
+    let far = tree.add_branch(Some(t), long_branch);
+    tree.set_sink(near, "rx_near", ff(15.0));
+    tree.set_sink(far, "rx_far", ff(15.0));
+    let fork_load = RlcTreeLoad::new(tree)?;
+
+    // Net 3: a coupled two-line bus (4 mm), worst-case aggressor.
+    let bus_line = extractor.extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let bus = CoupledBus::symmetric(
+        bus_line,
+        0.3 * bus_line.capacitance(),
+        0.2 * bus_line.inductance(),
+        ff(10.0),
+    );
+    let bus_load = CoupledBusLoad::new(
+        bus,
+        AggressorSpec::new(
+            AggressorSwitching::OppositeDirection,
+            ps(100.0),
+            ps(50.0),
+            1.8,
+        )?,
+    )?;
+
+    // Net 4: the captured receiver pin.
+    let capture_load = LumpedCapLoad::new(ff(200.0))?;
+
+    // Wire the path: each stage's input is the previous stage's measured
+    // far end; the session runs the chain topologically and streams results.
+    let mut session = engine.session();
+    let launch = session.submit(
+        Stage::builder(strong.clone(), launch_load)
+            .label("launch")
+            .input_slew(ps(100.0))
+            .build()?,
+    )?;
+    let fork = session.submit(
+        Stage::builder(strong, fork_load)
+            .label("fork")
+            .input_from(launch)
+            .build()?,
+    )?;
+    let bus_stage = session.submit(
+        Stage::builder(wide, bus_load)
+            .label("bus")
+            .input_from_sink(fork, "rx_far")
+            .build()?,
+    )?;
+    let capture = session.submit(
+        Stage::builder(receiver, capture_load)
+            .label("capture")
+            .input_from_sink(bus_stage, "victim")
+            .build()?,
+    )?;
+    let _ = capture;
+
+    println!("4-stage path through an AnalysisSession:");
+    println!();
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>16}",
+        "stage", "delay(ps)", "slew(ps)", "input t50(ps)", "cumulative(ps)"
+    );
+
+    let results = session.wait_all();
+    let launch_t50 = results[launch.index()]
+        .1
+        .as_ref()
+        .map(|r| r.input_t50)
+        .unwrap_or(0.0);
+    let mut path_delay = 0.0;
+    for (handle, outcome) in &results {
+        let report = match outcome {
+            Ok(report) => report,
+            Err(error) => {
+                eprintln!("stage #{} failed: {error}", handle.index());
+                continue;
+            }
+        };
+        // Cumulative path delay: from the primary input's 50% crossing to
+        // this stage's driver-output 50% crossing.
+        let cumulative = (report.input_t50 - launch_t50) + report.delay;
+        path_delay = cumulative;
+        println!(
+            "{:<10} {:>12.1} {:>12.1} {:>14.1} {:>16.1}",
+            report.label,
+            report.delay * 1e12,
+            report.slew * 1e12,
+            report.input_t50 * 1e12,
+            cumulative * 1e12
+        );
+    }
+    println!();
+    println!(
+        "path delay (launch input 50% -> capture driver output 50%): {:.1} ps",
+        path_delay * 1e12
+    );
+    println!("Each handoff converts the measured far-end waveform into the next driver's");
+    println!("input event (slew-referenced ramp, or the sampled waveform itself for");
+    println!("backends that negotiate BackendCaps::sampled_input).");
+    Ok(())
+}

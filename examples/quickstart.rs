@@ -98,5 +98,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         far.slew * 1e12,
         far.overshoot
     );
+
+    // 7. Chain a second stage off that far end with an `AnalysisSession`:
+    //    the receiver's driver sees the measured far-end waveform as its
+    //    input event — no manual slew bookkeeping.
+    let mut session = engine.session();
+    let first = session.submit(stage)?;
+    let second = session.submit(
+        Stage::builder(
+            library.get_or_characterize(75.0)?,
+            DistributedRlcLoad::new(line, ff(10.0))?,
+        )
+        .label("repeater")
+        .input_from(first)
+        .build()?,
+    )?;
+    for (handle, outcome) in session.reports() {
+        let chained = outcome?;
+        println!(
+            "  session stage '{}' (#{}) delay = {:.1} ps, slew = {:.1} ps",
+            chained.label,
+            handle.index(),
+            chained.delay * 1e12,
+            chained.slew * 1e12
+        );
+    }
+    let _ = second;
     Ok(())
 }

@@ -13,11 +13,11 @@ use rlc_ceff::{CeffIteration, CriteriaReport};
 use rlc_moments::RationalAdmittance;
 use rlc_numeric::units::ps;
 use rlc_spice::circuit::Circuit;
-use rlc_spice::testbench::{add_inverter_driver, OutputTransition};
+use rlc_spice::testbench::{add_inverter_driver, add_inverter_driver_with_input, OutputTransition};
 use rlc_spice::transient::{
     TransientAnalysis, TransientOptions, TransientResult, TransientWorkspace,
 };
-use rlc_spice::{SpiceError, Waveform};
+use rlc_spice::{SourceWaveform, SpiceError, Waveform};
 
 use crate::config::{CeffStrategy, EngineConfig};
 use crate::driver::{DriverModel, SampledWaveform};
@@ -37,6 +37,24 @@ fn run_transient(options: TransientOptions, ckt: &Circuit) -> Result<TransientRe
     SIM_WORKSPACE.with(|ws| TransientAnalysis::new(options).run_with(ckt, &mut ws.borrow_mut()))
 }
 
+/// What a backend can consume and produce, reported through
+/// [`AnalysisBackend::caps`] so loads, sessions and backends negotiate
+/// instead of panicking on unsupported combinations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BackendCaps {
+    /// The backend can drive the stage with an arbitrary **sampled input
+    /// waveform** ([`Stage::input_waveform`]) instead of the ideal ramp of
+    /// the input event. Sessions hand a producer's measured far-end waveform
+    /// straight through to such backends; everyone else gets the
+    /// slew-referenced ramp conversion.
+    pub sampled_input: bool,
+    /// Reports for physical loads with a distinct far end carry the
+    /// simulated far-end waveform ([`StageReport::simulated_far_end`]), so a
+    /// session can reuse it for the primary-far-end handoff without an extra
+    /// propagation simulation.
+    pub simulates_far_end: bool,
+}
+
 /// An analysis backend: turns a [`Stage`] into a [`StageReport`].
 ///
 /// The trait is object-safe; engines and stages hold backends as
@@ -45,6 +63,13 @@ fn run_transient(options: TransientOptions, ckt: &Circuit) -> Result<TransientRe
 pub trait AnalysisBackend: std::fmt::Debug + Send + Sync {
     /// A short stable identifier, recorded in each report.
     fn name(&self) -> &'static str;
+
+    /// The backend's capability report. The conservative default (no sampled
+    /// input, no simulated far end) keeps custom backends working unchanged:
+    /// a session then always applies the ramp conversion on handoff.
+    fn caps(&self) -> BackendCaps {
+        BackendCaps::default()
+    }
 
     /// Analyzes one stage.
     ///
@@ -316,6 +341,13 @@ impl AnalysisBackend for SpiceBackend {
         "rlc-spice"
     }
 
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            sampled_input: true,
+            simulates_far_end: true,
+        }
+    }
+
     fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
         let started = Instant::now();
         let input = stage.input();
@@ -323,13 +355,40 @@ impl AnalysisBackend for SpiceBackend {
         let golden = &config.golden;
 
         let mut ckt = Circuit::new();
-        let nodes = add_inverter_driver(
-            &mut ckt,
-            spec,
-            input.slew,
-            input.delay,
-            OutputTransition::Rising,
-        );
+        let nodes = match stage.input_waveform() {
+            // Sampled handoff: drive the inverter gate with the measured
+            // upstream waveform, mirrored around the supply because the
+            // rising upstream transition is the *falling* gate input of this
+            // (inverting) stage's rising output. Only well-defined when both
+            // stages share a supply rail — a cross-rail chain (the mirror
+            // would not reach ground) falls back to the slew-referenced ramp
+            // the session always resolves alongside the waveform.
+            Some(sampled) if (sampled.vdd() - spec.vdd).abs() <= 1e-6 * spec.vdd => {
+                let mut pts: Vec<(f64, f64)> = sampled
+                    .waveform()
+                    .times()
+                    .iter()
+                    .zip(sampled.waveform().values())
+                    .map(|(&t, &v)| (t, spec.vdd - v))
+                    .collect();
+                if let Some(&(last_t, last_v)) = pts.last() {
+                    pts.push((last_t.max(golden.max_stop_time) + ps(1.0), last_v));
+                }
+                add_inverter_driver_with_input(
+                    &mut ckt,
+                    spec,
+                    SourceWaveform::pwl(pts),
+                    OutputTransition::Rising,
+                )
+            }
+            _ => add_inverter_driver(
+                &mut ckt,
+                spec,
+                input.slew,
+                input.delay,
+                OutputTransition::Rising,
+            ),
+        };
         let far_node = stage
             .load()
             .attach(&mut ckt, nodes.output, 0.0, golden.segments)?;
@@ -345,9 +404,13 @@ impl AnalysisBackend for SpiceBackend {
             .unwrap_or(0.0);
         let rs_estimate = 3.0e-3 / spec.nmos_width;
         let settle = 8.0 * (rs_estimate + line_r) * stage.load().total_capacitance();
+        // The runaway cap bounds the simulated window *after* the input
+        // event, not absolute time: chained session stages carry absolute
+        // delays that grow along the path, and capping at an absolute
+        // max_stop_time would truncate a late stage's window to nothing.
         let t_stop =
             (input.delay + input.slew + 2.5 * stage.load().settle_horizon() + settle + ps(200.0))
-                .min(golden.max_stop_time);
+                .min(input.delay + golden.max_stop_time);
 
         let result = run_transient(TransientOptions::try_new(golden.time_step, t_stop)?, &ckt)?;
         let input_wave = result.waveform(nodes.input);

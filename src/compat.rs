@@ -1,0 +1,254 @@
+//! Deprecated flat-batch shims, kept so every pre-session caller compiles
+//! and behaves identically.
+//!
+//! [`TimingEngine::analyze_many`] and [`BatchReport`] predate
+//! [`crate::AnalysisSession`]; both now forward to a session (submit all,
+//! wait all, preserve input ordering), so the per-stage results are produced
+//! by exactly the same code path as session submissions. This module is the
+//! allow-listed exception to the workspace's `-D deprecated` policy: the
+//! shims themselves may mention each other, while any *new* use elsewhere in
+//! the workspace still fails the build.
+#![allow(deprecated)]
+
+use std::time::Instant;
+
+use crate::backend::StageReport;
+use crate::engine::TimingEngine;
+use crate::error::EngineError;
+use crate::stage::Stage;
+
+impl TimingEngine {
+    /// Analyzes a batch of independent stages, fanning them across worker
+    /// threads ([`crate::EngineConfig::threads`]; one per CPU by default).
+    /// Outcomes come back in input order; a failing or even panicking stage
+    /// yields an `Err` in its slot without aborting the rest of the batch.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use TimingEngine::session(): submit stages (chained through \
+                InputSource where needed) and stream or wait_all the results"
+    )]
+    pub fn analyze_many(&self, stages: &[Stage]) -> BatchReport {
+        let started = Instant::now();
+        let mut session = self.session();
+        let mut handles: Vec<Option<usize>> = Vec::with_capacity(stages.len());
+        let mut outcomes: Vec<Option<Result<StageReport, EngineError>>> =
+            stages.iter().map(|_| None).collect();
+        for (i, stage) in stages.iter().enumerate() {
+            match session.submit(stage.clone()) {
+                Ok(handle) => handles.push(Some(handle.index())),
+                Err(error) => {
+                    handles.push(None);
+                    outcomes[i] = Some(Err(error));
+                }
+            }
+        }
+        let mut by_index: Vec<Option<Result<StageReport, EngineError>>> =
+            stages.iter().map(|_| None).collect();
+        for (handle, result) in session.wait_all() {
+            if handle.index() < by_index.len() {
+                by_index[handle.index()] = Some(result);
+            }
+        }
+        for (i, handle) in handles.into_iter().enumerate() {
+            if let Some(index) = handle {
+                outcomes[i] = by_index[index].take();
+            }
+        }
+        BatchReport {
+            outcomes: outcomes
+                .into_iter()
+                .map(|o| {
+                    o.unwrap_or_else(|| {
+                        Err(EngineError::InvalidDependency {
+                            what: "the session produced no result for this stage".to_string(),
+                        })
+                    })
+                })
+                .collect(),
+            elapsed_seconds: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// The outcome of [`TimingEngine::analyze_many`]: one result per stage, in
+/// input order.
+#[deprecated(
+    since = "0.2.0",
+    note = "use AnalysisSession::wait_all(), which returns \
+            (StageHandle, Result<StageReport, EngineError>) in submission order"
+)]
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-stage outcomes, in the order the stages were submitted.
+    pub outcomes: Vec<Result<StageReport, EngineError>>,
+    /// Wall-clock time of the whole batch (seconds).
+    pub elapsed_seconds: f64,
+}
+
+impl BatchReport {
+    /// Number of stages in the batch.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the batch was empty.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Iterates the successful reports with their stage indices.
+    pub fn succeeded(&self) -> impl Iterator<Item = (usize, &StageReport)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().ok().map(|report| (i, report)))
+    }
+
+    /// Iterates the failed stages with their indices and errors.
+    pub fn failures(&self) -> impl Iterator<Item = (usize, &EngineError)> {
+        self.outcomes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
+    }
+
+    /// Number of successful stages.
+    pub fn ok_count(&self) -> usize {
+        self.succeeded().count()
+    }
+
+    /// Number of failed stages.
+    pub fn err_count(&self) -> usize {
+        self.failures().count()
+    }
+
+    /// Whether every stage succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.err_count() == 0
+    }
+
+    /// One-line summary of the batch.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} stages: {} ok, {} failed in {:.1} ms",
+            self.len(),
+            self.ok_count(),
+            self.err_count(),
+            self.elapsed_seconds * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use crate::config::EngineConfig;
+    use crate::engine::TimingEngine;
+    use crate::error::EngineError;
+    use crate::load::{LumpedCapLoad, MomentsLoad};
+    use crate::stage::Stage;
+    use rlc_numeric::units::{ff, ps};
+
+    fn fast_engine() -> TimingEngine {
+        TimingEngine::new(EngineConfig::fast_for_tests())
+    }
+
+    #[test]
+    fn degenerate_stage_fails_cleanly_without_aborting() {
+        let engine = fast_engine();
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let good = Stage::builder_shared(
+            cell.clone(),
+            Arc::new(LumpedCapLoad::new(ff(300.0)).unwrap()),
+        )
+        .label("good")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let degenerate = Stage::builder_shared(
+            cell,
+            Arc::new(MomentsLoad::new(vec![1e-12, 0.0, 0.0, 0.0, 0.0]).unwrap()),
+        )
+        .label("degenerate")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+
+        let batch = engine.analyze_many(&[good, degenerate]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.ok_count(), 1);
+        assert_eq!(batch.err_count(), 1);
+        assert!(!batch.all_ok());
+        let (failed_index, error) = batch.failures().next().unwrap();
+        assert_eq!(failed_index, 1);
+        assert!(matches!(error, EngineError::Load { .. }));
+        assert!(batch.summary().contains("1 failed"));
+    }
+
+    #[test]
+    fn batch_results_come_back_in_input_order() {
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let stages: Vec<Stage> = (0..12)
+            .map(|i| {
+                Stage::builder_shared(
+                    cell.clone(),
+                    Arc::new(LumpedCapLoad::new(ff(100.0 + 50.0 * i as f64)).unwrap()),
+                )
+                .label(format!("s{i}"))
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap()
+            })
+            .collect();
+        let engine = TimingEngine::new(
+            EngineConfig::builder()
+                .extract_rs_per_case(false)
+                .threads(4)
+                .build(),
+        );
+        let batch = engine.analyze_many(&stages);
+        assert!(batch.all_ok());
+        for (i, report) in batch.succeeded() {
+            assert_eq!(report.label, format!("s{i}"));
+        }
+        // Bigger lumped loads mean slower transitions, in order.
+        let slews: Vec<f64> = batch.succeeded().map(|(_, r)| r.slew).collect();
+        assert!(slews.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn shim_results_match_direct_analysis_exactly() {
+        // The shim must forward to the same per-stage code path: results are
+        // bit-identical to calling analyze() on each stage.
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let engine = fast_engine();
+        let stages: Vec<Stage> = (0..4)
+            .map(|i| {
+                Stage::builder_shared(
+                    cell.clone(),
+                    Arc::new(LumpedCapLoad::new(ff(150.0 + 100.0 * i as f64)).unwrap()),
+                )
+                .label(format!("b{i}"))
+                .input_slew(ps(80.0))
+                .build()
+                .unwrap()
+            })
+            .collect();
+        let batch = engine.analyze_many(&stages);
+        assert!(batch.all_ok());
+        for (i, report) in batch.succeeded() {
+            let direct = engine.analyze(&stages[i]).unwrap();
+            assert_eq!(report.delay.to_bits(), direct.delay.to_bits());
+            assert_eq!(report.slew.to_bits(), direct.slew.to_bits());
+            assert_eq!(report.input_t50.to_bits(), direct.input_t50.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let batch = fast_engine().analyze_many(&[]);
+        assert!(batch.is_empty());
+        assert!(batch.all_ok());
+    }
+}

@@ -3,7 +3,9 @@
 //! `GoldenOptions` knobs of the layer crates.
 
 use std::path::PathBuf;
+use std::time::Duration;
 
+use rlc_ceff::far_end::FarEndOptions;
 use rlc_ceff::validation::GoldenOptions;
 use rlc_ceff::{InductanceCriteria, IterationSettings, ModelingConfig};
 
@@ -91,17 +93,86 @@ impl EngineConfig {
         }
     }
 
-    /// The worker count [`crate::TimingEngine::analyze_many`] will use for a
-    /// batch of `stages` stages.
-    pub fn effective_threads(&self, stages: usize) -> usize {
-        let available = if self.threads > 0 {
+    /// The configured worker-thread count: [`EngineConfig::threads`], or one
+    /// per available CPU when it is `0`. This is the pool ceiling an
+    /// [`crate::AnalysisSession`] grows towards (it spawns lazily, one
+    /// worker per submission, and [`SessionOptions::max_in_flight`] can cap
+    /// it further).
+    pub fn base_threads(&self) -> usize {
+        if self.threads > 0 {
             self.threads
         } else {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
-        };
-        available.min(stages).max(1)
+        }
+    }
+
+    /// [`EngineConfig::base_threads`] clamped to a known batch size — the
+    /// worker count a flat batch of `stages` independent stages warrants.
+    pub fn effective_threads(&self, stages: usize) -> usize {
+        self.base_threads().min(stages).max(1)
+    }
+}
+
+/// Options of one [`crate::AnalysisSession`]
+/// ([`crate::TimingEngine::session_with`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SessionOptions {
+    /// Wall-clock budget measured from session creation. Stages that have
+    /// not *started* when it expires fail with
+    /// [`crate::EngineError::DeadlineExceeded`]; stages already running
+    /// finish and report normally. `None` (the default) never expires.
+    pub deadline: Option<Duration>,
+    /// Upper bound on concurrently running stages. `0` (the default) means
+    /// one per worker thread ([`EngineConfig::threads`]).
+    pub max_in_flight: usize,
+    /// Fidelity of the far-end propagation simulation used to resolve
+    /// cross-stage handoffs ([`crate::InputSource::FromFarEnd`] /
+    /// [`crate::InputSource::FromSink`]) when the producer's report does not
+    /// already carry a simulated far-end waveform.
+    pub far_end: FarEndOptions,
+    /// Hand the producer's full sampled waveform to backends that report
+    /// [`crate::BackendCaps::sampled_input`] (default `true`). When `false`
+    /// every handoff uses the slew-referenced ramp conversion, which is what
+    /// manually chained `analyze` + `far_end` calls compute.
+    pub sampled_handoff: bool,
+}
+
+impl Default for SessionOptions {
+    fn default() -> Self {
+        SessionOptions {
+            deadline: None,
+            max_in_flight: 0,
+            far_end: FarEndOptions::default(),
+            sampled_handoff: true,
+        }
+    }
+}
+
+impl SessionOptions {
+    /// Sets the session deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the number of concurrently running stages.
+    pub fn with_max_in_flight(mut self, max_in_flight: usize) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Sets the handoff-propagation fidelity.
+    pub fn with_far_end(mut self, far_end: FarEndOptions) -> Self {
+        self.far_end = far_end;
+        self
+    }
+
+    /// Enables or disables sampled-waveform handoff to capable backends.
+    pub fn with_sampled_handoff(mut self, enabled: bool) -> Self {
+        self.sampled_handoff = enabled;
+        self
     }
 }
 

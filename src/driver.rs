@@ -5,6 +5,8 @@
 use rlc_ceff::{SingleRampModel, TwoRampModel};
 use rlc_spice::{SourceWaveform, Waveform};
 
+use crate::stage::InputEvent;
+
 /// An abstract driver-output waveform: voltage as a function of time plus the
 /// timing metrics a signoff flow propagates.
 ///
@@ -138,6 +140,19 @@ impl SampledWaveform {
     /// Supply voltage (volts).
     pub fn vdd(&self) -> f64 {
         self.vdd
+    }
+
+    /// The slew-referenced input event an ideal downstream driver would see
+    /// from this measured waveform ([`InputEvent::from_measured`]): `None`
+    /// when the waveform never completes its 50 % crossing or 10–90 %
+    /// transition. This is the default cross-stage handoff of
+    /// [`crate::AnalysisSession`]; backends reporting
+    /// [`crate::BackendCaps::sampled_input`] receive the full waveform
+    /// instead.
+    pub fn ramp_event(&self) -> Option<InputEvent> {
+        let t50 = self.waveform.crossing_fraction(0.5, self.vdd, true)?;
+        let slew = self.waveform.slew_10_90(self.vdd, true)?;
+        Some(InputEvent::from_measured(t50, slew))
     }
 }
 

@@ -1,16 +1,16 @@
 //! [`TimingEngine`]: the facade — one entry point that routes stages to
-//! backends, fans batches across threads, and recovers per stage.
+//! backends, opens dependency-aware [`AnalysisSession`]s, and recovers per
+//! stage.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::sync::Arc;
 
 use rlc_charlib::{CharacterizationGrid, Library};
 
 use crate::backend::{AnalysisBackend, AnalyticBackend, SpiceBackend, StageReport};
-use crate::config::EngineConfig;
+use crate::config::{EngineConfig, SessionOptions};
 use crate::error::EngineError;
+use crate::session::AnalysisSession;
 use crate::stage::{BackendChoice, Stage};
 
 /// The unified timing engine.
@@ -94,7 +94,7 @@ impl TimingEngine {
 
     /// Resolves the backend a stage runs on: its override, or the engine's
     /// default (the analytic flow).
-    fn backend_for(&self, stage: &Stage) -> Arc<dyn AnalysisBackend> {
+    pub(crate) fn backend_for(&self, stage: &Stage) -> Arc<dyn AnalysisBackend> {
         match stage.backend() {
             None | Some(BackendChoice::Analytic) => self.analytic.clone(),
             Some(BackendChoice::Spice) => self.spice.clone(),
@@ -107,8 +107,20 @@ impl TimingEngine {
     ///
     /// # Errors
     /// Any [`EngineError`] from validation, reduction, modelling or
-    /// simulation.
+    /// simulation; [`EngineError::InvalidDependency`] for a dependent stage
+    /// ([`crate::StageBuilder::input_from`]), which only a session can
+    /// resolve.
     pub fn analyze(&self, stage: &Stage) -> Result<StageReport, EngineError> {
+        if stage.is_dependent() {
+            return Err(EngineError::InvalidDependency {
+                what: format!(
+                    "stage '{}' declares a dependent input ({:?}); submit it to an \
+                     AnalysisSession instead of analyzing it directly",
+                    stage.label(),
+                    stage.input_source()
+                ),
+            });
+        }
         let backend = self.backend_for(stage);
         match catch_unwind(AssertUnwindSafe(|| backend.analyze(stage, &self.config))) {
             Ok(result) => result,
@@ -119,45 +131,23 @@ impl TimingEngine {
         }
     }
 
-    /// Analyzes a batch of heterogeneous stages, fanning them across worker
-    /// threads ([`EngineConfig::threads`]; one per CPU by default). Outcomes
-    /// come back in input order; a failing or even panicking stage yields an
-    /// `Err` in its slot without aborting the rest of the batch.
-    pub fn analyze_many(&self, stages: &[Stage]) -> BatchReport {
-        let started = Instant::now();
-        let workers = self.config.effective_threads(stages.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Result<StageReport, EngineError>>>> =
-            stages.iter().map(|_| Mutex::new(None)).collect();
+    /// Opens a dependency-aware [`AnalysisSession`] with default
+    /// [`SessionOptions`]: stages submit individually or in bulk, dependent
+    /// stages chain through measured far-end waveforms, and results stream
+    /// back in completion order. This supersedes the deprecated flat
+    /// `analyze_many`.
+    pub fn session(&self) -> AnalysisSession {
+        self.session_with(SessionOptions::default())
+    }
 
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    if index >= stages.len() {
-                        break;
-                    }
-                    let outcome = self.analyze(&stages[index]);
-                    *slots[index].lock().expect("result slot poisoned") = Some(outcome);
-                });
-            }
-        });
-
-        BatchReport {
-            outcomes: slots
-                .into_iter()
-                .map(|slot| {
-                    slot.into_inner()
-                        .expect("result slot poisoned")
-                        .expect("every stage index was visited by a worker")
-                })
-                .collect(),
-            elapsed_seconds: started.elapsed().as_secs_f64(),
-        }
+    /// [`TimingEngine::session`] with explicit options (deadline, in-flight
+    /// cap, handoff fidelity).
+    pub fn session_with(&self, options: SessionOptions) -> AnalysisSession {
+        AnalysisSession::new(self.clone(), options)
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -167,74 +157,10 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// The outcome of [`TimingEngine::analyze_many`]: one result per stage, in
-/// input order.
-#[derive(Debug)]
-pub struct BatchReport {
-    /// Per-stage outcomes, in the order the stages were submitted.
-    pub outcomes: Vec<Result<StageReport, EngineError>>,
-    /// Wall-clock time of the whole batch (seconds).
-    pub elapsed_seconds: f64,
-}
-
-impl BatchReport {
-    /// Number of stages in the batch.
-    pub fn len(&self) -> usize {
-        self.outcomes.len()
-    }
-
-    /// Whether the batch was empty.
-    pub fn is_empty(&self) -> bool {
-        self.outcomes.is_empty()
-    }
-
-    /// Iterates the successful reports with their stage indices.
-    pub fn succeeded(&self) -> impl Iterator<Item = (usize, &StageReport)> {
-        self.outcomes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().ok().map(|report| (i, report)))
-    }
-
-    /// Iterates the failed stages with their indices and errors.
-    pub fn failures(&self) -> impl Iterator<Item = (usize, &EngineError)> {
-        self.outcomes
-            .iter()
-            .enumerate()
-            .filter_map(|(i, r)| r.as_ref().err().map(|e| (i, e)))
-    }
-
-    /// Number of successful stages.
-    pub fn ok_count(&self) -> usize {
-        self.succeeded().count()
-    }
-
-    /// Number of failed stages.
-    pub fn err_count(&self) -> usize {
-        self.failures().count()
-    }
-
-    /// Whether every stage succeeded.
-    pub fn all_ok(&self) -> bool {
-        self.err_count() == 0
-    }
-
-    /// One-line summary of the batch.
-    pub fn summary(&self) -> String {
-        format!(
-            "{} stages: {} ok, {} failed in {:.1} ms",
-            self.len(),
-            self.ok_count(),
-            self.err_count(),
-            self.elapsed_seconds * 1e3
-        )
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::load::{DistributedRlcLoad, LumpedCapLoad, MomentsLoad};
+    use crate::load::{DistributedRlcLoad, LumpedCapLoad};
     use rlc_interconnect::RlcLine;
     use rlc_numeric::units::{ff, mm, nh, pf, ps};
 
@@ -258,39 +184,7 @@ mod tests {
     }
 
     #[test]
-    fn degenerate_stage_fails_cleanly_without_aborting() {
-        let engine = fast_engine();
-        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
-        let good = Stage::builder_shared(
-            cell.clone(),
-            Arc::new(LumpedCapLoad::new(ff(300.0)).unwrap()),
-        )
-        .label("good")
-        .input_slew(ps(100.0))
-        .build()
-        .unwrap();
-        let degenerate = Stage::builder_shared(
-            cell,
-            Arc::new(MomentsLoad::new(vec![1e-12, 0.0, 0.0, 0.0, 0.0]).unwrap()),
-        )
-        .label("degenerate")
-        .input_slew(ps(100.0))
-        .build()
-        .unwrap();
-
-        let batch = engine.analyze_many(&[good, degenerate]);
-        assert_eq!(batch.len(), 2);
-        assert_eq!(batch.ok_count(), 1);
-        assert_eq!(batch.err_count(), 1);
-        assert!(!batch.all_ok());
-        let (failed_index, error) = batch.failures().next().unwrap();
-        assert_eq!(failed_index, 1);
-        assert!(matches!(error, EngineError::Load { .. }));
-        assert!(batch.summary().contains("1 failed"));
-    }
-
-    #[test]
-    fn panicking_custom_backend_is_contained_per_stage() {
+    fn panicking_custom_backend_is_contained() {
         #[derive(Debug)]
         struct PanickingBackend;
         impl AnalysisBackend for PanickingBackend {
@@ -307,24 +201,13 @@ mod tests {
         }
 
         let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
-        let bomb = Stage::builder_shared(
-            cell.clone(),
-            Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()),
-        )
-        .label("bomb")
-        .input_slew(ps(100.0))
-        .backend(BackendChoice::Custom(Arc::new(PanickingBackend)))
-        .build()
-        .unwrap();
-        let fine = Stage::builder_shared(cell, Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()))
-            .label("fine")
+        let bomb = Stage::builder_shared(cell, Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()))
+            .label("bomb")
             .input_slew(ps(100.0))
+            .backend(BackendChoice::Custom(Arc::new(PanickingBackend)))
             .build()
             .unwrap();
-
-        let batch = fast_engine().analyze_many(&[bomb, fine]);
-        assert_eq!(batch.ok_count(), 1);
-        match &batch.outcomes[0] {
+        match fast_engine().analyze(&bomb) {
             Err(EngineError::StagePanicked { label, detail }) => {
                 assert_eq!(label, "bomb");
                 assert!(detail.contains("deliberate"));
@@ -334,34 +217,22 @@ mod tests {
     }
 
     #[test]
-    fn batch_results_come_back_in_input_order() {
+    fn dependent_stages_are_rejected_outside_a_session() {
+        let engine = fast_engine();
+        let mut session = engine.session();
+        let producer = session.reserve();
         let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
-        let stages: Vec<Stage> = (0..12)
-            .map(|i| {
-                Stage::builder_shared(
-                    cell.clone(),
-                    Arc::new(LumpedCapLoad::new(ff(100.0 + 50.0 * i as f64)).unwrap()),
-                )
-                .label(format!("s{i}"))
-                .input_slew(ps(100.0))
+        let dependent =
+            Stage::builder_shared(cell, Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()))
+                .label("chained")
+                .input_from(producer)
                 .build()
-                .unwrap()
-            })
-            .collect();
-        let engine = TimingEngine::new(
-            EngineConfig::builder()
-                .extract_rs_per_case(false)
-                .threads(4)
-                .build(),
-        );
-        let batch = engine.analyze_many(&stages);
-        assert!(batch.all_ok());
-        for (i, report) in batch.succeeded() {
-            assert_eq!(report.label, format!("s{i}"));
-        }
-        // Bigger lumped loads mean slower transitions, in order.
-        let slews: Vec<f64> = batch.succeeded().map(|(_, r)| r.slew).collect();
-        assert!(slews.windows(2).all(|w| w[0] < w[1]));
+                .unwrap();
+        assert!(dependent.is_dependent());
+        assert!(dependent.try_input().is_none());
+        let err = engine.analyze(&dependent).unwrap_err();
+        assert!(matches!(err, EngineError::InvalidDependency { .. }));
+        assert!(err.to_string().contains("chained"));
     }
 
     #[test]
@@ -380,12 +251,5 @@ mod tests {
         assert!(dir.is_dir());
         assert_eq!(lib.characterizations_run(), 0);
         let _ = std::fs::remove_dir_all(&dir);
-    }
-
-    #[test]
-    fn empty_batch_is_fine() {
-        let batch = fast_engine().analyze_many(&[]);
-        assert!(batch.is_empty());
-        assert!(batch.all_ok());
     }
 }

@@ -63,6 +63,51 @@ pub enum EngineError {
         /// The panic payload, if it was a string.
         detail: String,
     },
+    /// A dependent stage referenced a handle an
+    /// [`crate::AnalysisSession`] cannot resolve: a handle from another
+    /// session, a reservation that was never submitted, or a dependent stage
+    /// handed to [`crate::TimingEngine::analyze`] directly (which has no
+    /// producer reports to resolve it against).
+    InvalidDependency {
+        /// What was wrong with the dependency.
+        what: String,
+    },
+    /// Submitting the stage would close a dependency cycle: following its
+    /// producer links leads back to the stage itself.
+    DependencyCycle {
+        /// Label of the stage whose submission would close the cycle.
+        label: String,
+    },
+    /// A [`crate::InputSource::FromSink`] referenced a sink name the
+    /// producer's load does not expose.
+    UnknownSink {
+        /// Label of the producer stage.
+        label: String,
+        /// The sink name that was requested.
+        sink: String,
+        /// The sink names the producer's load actually exposes.
+        available: Vec<String>,
+    },
+    /// The stage's producer failed, so its input event could never be
+    /// resolved. Only the dependents of a failing stage are poisoned; the
+    /// rest of the session continues.
+    UpstreamFailed {
+        /// Label of the poisoned dependent stage.
+        label: String,
+        /// Label of the producer that failed.
+        upstream: String,
+    },
+    /// The session was cancelled before the stage ran.
+    Cancelled {
+        /// Label of the stage that never ran.
+        label: String,
+    },
+    /// The session deadline passed before the stage ran. Stages that were
+    /// already running when the deadline fired finish and report normally.
+    DeadlineExceeded {
+        /// Label of the stage that never ran.
+        label: String,
+    },
 }
 
 impl EngineError {
@@ -91,6 +136,45 @@ impl std::fmt::Display for EngineError {
             EngineError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
             EngineError::StagePanicked { label, detail } => {
                 write!(f, "stage '{label}' panicked during analysis: {detail}")
+            }
+            EngineError::InvalidDependency { what } => {
+                write!(f, "invalid stage dependency: {what}")
+            }
+            EngineError::DependencyCycle { label } => {
+                write!(
+                    f,
+                    "submitting stage '{label}' would close a dependency cycle"
+                )
+            }
+            EngineError::UnknownSink {
+                label,
+                sink,
+                available,
+            } => {
+                write!(
+                    f,
+                    "stage '{label}' exposes no sink named '{sink}' (available: {})",
+                    if available.is_empty() {
+                        "none".to_string()
+                    } else {
+                        available.join(", ")
+                    }
+                )
+            }
+            EngineError::UpstreamFailed { label, upstream } => {
+                write!(
+                    f,
+                    "stage '{label}' was poisoned: its producer '{upstream}' failed"
+                )
+            }
+            EngineError::Cancelled { label } => {
+                write!(f, "stage '{label}' was cancelled before it ran")
+            }
+            EngineError::DeadlineExceeded { label } => {
+                write!(
+                    f,
+                    "stage '{label}' missed the session deadline before it ran"
+                )
             }
         }
     }
@@ -176,6 +260,38 @@ mod tests {
         assert!(matches!(e, EngineError::InvalidStage { .. }));
         assert!(e.to_string().contains("bad slew"));
         assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn session_variants_display_their_context() {
+        let e = EngineError::UnknownSink {
+            label: "tree".into(),
+            sink: "rx9".into(),
+            available: vec!["rx0".into(), "rx1".into()],
+        };
+        assert!(e.to_string().contains("rx9") && e.to_string().contains("rx0, rx1"));
+        let e = EngineError::UnknownSink {
+            label: "moments".into(),
+            sink: "far".into(),
+            available: vec![],
+        };
+        assert!(e.to_string().contains("none"));
+        let e = EngineError::UpstreamFailed {
+            label: "s2".into(),
+            upstream: "s1".into(),
+        };
+        assert!(e.to_string().contains("s2") && e.to_string().contains("s1"));
+        assert!(e.source().is_none());
+        let e = EngineError::DependencyCycle { label: "a".into() };
+        assert!(e.to_string().contains("cycle"));
+        let e = EngineError::Cancelled { label: "x".into() };
+        assert!(e.to_string().contains("cancelled"));
+        let e = EngineError::DeadlineExceeded { label: "x".into() };
+        assert!(e.to_string().contains("deadline"));
+        let e = EngineError::InvalidDependency {
+            what: "foreign handle".into(),
+        };
+        assert!(e.to_string().contains("foreign handle"));
     }
 
     #[test]

@@ -76,25 +76,30 @@ pub use rlc_numeric as numeric;
 pub use rlc_spice as spice;
 
 mod backend;
+mod compat;
 mod config;
 mod driver;
 mod engine;
 mod error;
 mod load;
+mod session;
 mod stage;
 
 pub use backend::{
-    AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SinkFarEnd, SpiceBackend,
-    StageReport,
+    AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport, SinkFarEnd,
+    SpiceBackend, StageReport,
 };
-pub use config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
+#[allow(deprecated)]
+pub use compat::BatchReport;
+pub use config::{CeffStrategy, EngineConfig, EngineConfigBuilder, SessionOptions};
 pub use driver::{DriverModel, SampledWaveform};
-pub use engine::{BatchReport, TimingEngine};
+pub use engine::TimingEngine;
 pub use error::EngineError;
 pub use load::{
     AttachedNet, CoupledBusLoad, DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad,
     PiModelLoad, RlcTreeLoad,
 };
+pub use session::{AnalysisSession, InputSource, SessionReports, StageHandle, StageOutcome};
 pub use stage::{
     AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
 };
@@ -102,16 +107,21 @@ pub use stage::{
 /// Convenient glob import of the facade types.
 pub mod prelude {
     pub use crate::backend::{
-        AnalysisBackend, AnalyticBackend, AnalyticDetails, FarEndReport, SinkFarEnd, SpiceBackend,
-        StageReport,
+        AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport, SinkFarEnd,
+        SpiceBackend, StageReport,
     };
-    pub use crate::config::{CeffStrategy, EngineConfig, EngineConfigBuilder};
+    #[allow(deprecated)]
+    pub use crate::compat::BatchReport;
+    pub use crate::config::{CeffStrategy, EngineConfig, EngineConfigBuilder, SessionOptions};
     pub use crate::driver::{DriverModel, SampledWaveform};
-    pub use crate::engine::{BatchReport, TimingEngine};
+    pub use crate::engine::TimingEngine;
     pub use crate::error::EngineError;
     pub use crate::load::{
         AttachedNet, CoupledBusLoad, DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad,
         PiModelLoad, RlcTreeLoad,
+    };
+    pub use crate::session::{
+        AnalysisSession, InputSource, SessionReports, StageHandle, StageOutcome,
     };
     pub use crate::stage::{
         AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
@@ -121,16 +131,20 @@ pub mod prelude {
 /// Version of the reproduction suite.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
 
-#[cfg(test)]
-pub(crate) mod test_fixtures {
+/// Deterministic synthetic fixtures shared by this workspace's own unit
+/// tests, integration tests and benches, so they cannot silently diverge.
+/// Hidden from the documented API surface: downstream users should
+/// characterize real cells instead.
+#[doc(hidden)]
+pub mod fixtures {
     use rlc_charlib::{DriverCell, TimingTable};
     use rlc_numeric::units::{ff, pf, ps};
     use rlc_spice::testbench::InverterSpec;
 
-    /// A synthetic affine cell table shared by the facade's unit tests:
-    /// fast and deterministic, no characterization simulations. The inverter
-    /// spec is real (75X), so the SPICE backend can still simulate it.
-    pub(crate) fn synthetic_cell_75x() -> DriverCell {
+    /// A synthetic affine cell table scaled by drive strength: fast and
+    /// deterministic, no characterization simulations. The inverter spec is
+    /// real, so the SPICE backend can still simulate it.
+    pub fn synthetic_cell(size: f64, on_resistance: f64) -> DriverCell {
         let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
         let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
         let transition: Vec<Vec<f64>> = slews
@@ -138,7 +152,7 @@ pub(crate) mod test_fixtures {
             .map(|&s| {
                 loads
                     .iter()
-                    .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(160.0))
+                    .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(12000.0) / size)
                     .collect()
             })
             .collect();
@@ -147,16 +161,26 @@ pub(crate) mod test_fixtures {
             .map(|&s| {
                 loads
                     .iter()
-                    .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(53.0))
+                    .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(4000.0) / size)
                     .collect()
             })
             .collect();
         DriverCell::from_parts(
-            InverterSpec::sized_018(75.0),
+            InverterSpec::sized_018(size),
             TimingTable::new(slews, loads, delay, transition),
-            70.0,
+            on_resistance,
         )
     }
+
+    /// The canonical 75X instance of [`synthetic_cell`].
+    pub fn synthetic_cell_75x() -> DriverCell {
+        synthetic_cell(75.0, 70.0)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_fixtures {
+    pub(crate) use crate::fixtures::synthetic_cell_75x;
 }
 
 #[cfg(test)]

@@ -19,6 +19,8 @@
 //! end of a bus) also implement [`LoadModel::attach_net`], which returns an
 //! [`AttachedNet`] naming every sink node.
 
+use std::sync::Arc;
+
 use crate::error::EngineError;
 use crate::stage::{AggressorSpec, AggressorSwitching};
 use rlc_ceff::flow::{ReducedLoad, WaveParameters};
@@ -94,6 +96,23 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
             primary,
             sinks: vec![("far".to_string(), primary)],
         })
+    }
+
+    /// The sink names [`LoadModel::attach_net`] would expose, **without**
+    /// building the netlist. Sessions use this to validate
+    /// [`crate::InputSource::FromSink`] references at submit time. The
+    /// default matches the default `attach_net` (one sink named `"far"`);
+    /// loads with no physical realization return an empty list.
+    fn sink_names(&self) -> Vec<String> {
+        vec!["far".to_string()]
+    }
+
+    /// A copy of this load with its aggressor drive replaced, for loads that
+    /// model one (a coupled bus). Returns `None` for loads without an
+    /// aggressor — [`crate::StageBuilder::aggressor`] turns that into a
+    /// typed validation error instead of a backend panic.
+    fn with_aggressor(&self, _spec: AggressorSpec) -> Option<Arc<dyn LoadModel>> {
+        None
     }
 
     /// One-line human-readable description.
@@ -420,6 +439,13 @@ impl LoadModel for RlcTreeLoad {
         Ok(AttachedNet { primary, sinks })
     }
 
+    fn sink_names(&self) -> Vec<String> {
+        self.tree
+            .sinks()
+            .map(|(_, sink)| sink.name.clone())
+            .collect()
+    }
+
     fn describe(&self) -> String {
         format!(
             "RLC tree: {} branches, {} sinks, Ctotal = {:.1} fF",
@@ -568,6 +594,17 @@ impl LoadModel for CoupledBusLoad {
         })
     }
 
+    fn sink_names(&self) -> Vec<String> {
+        vec!["victim".to_string(), "aggressor".to_string()]
+    }
+
+    fn with_aggressor(&self, spec: AggressorSpec) -> Option<Arc<dyn LoadModel>> {
+        Some(Arc::new(CoupledBusLoad {
+            bus: self.bus,
+            aggressor: spec,
+        }))
+    }
+
     fn describe(&self) -> String {
         format!(
             "{} | aggressor {:?} (slew {:.0} ps)",
@@ -643,6 +680,12 @@ impl LoadModel for MomentsLoad {
         Err(EngineError::unsupported(
             "a moment-space load has no netlist; use the analytic backend or a physical load model",
         ))
+    }
+
+    fn sink_names(&self) -> Vec<String> {
+        // No netlist, no observable sinks: sessions reject dependent stages
+        // that try to chain off a moment-space producer at submit time.
+        Vec::new()
     }
 
     fn describe(&self) -> String {
@@ -829,6 +872,83 @@ mod tests {
         // The aggressor source was added by the load.
         assert!(ckt.find_node("agg_in").is_some());
         assert!(ckt.validate().is_ok());
+    }
+
+    #[test]
+    fn sink_names_match_attach_net_without_building_a_circuit() {
+        use crate::stage::AggressorSpec;
+        use rlc_interconnect::CoupledBus;
+
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        // Single-sink loads expose the default "far".
+        assert_eq!(
+            DistributedRlcLoad::new(line, ff(10.0))
+                .unwrap()
+                .sink_names(),
+            vec!["far".to_string()]
+        );
+        assert_eq!(
+            LumpedCapLoad::new(ff(100.0)).unwrap().sink_names(),
+            vec!["far".to_string()]
+        );
+        // Moment-space loads have no netlist, hence no sinks.
+        assert!(MomentsLoad::new(vec![1e-12, -1e-23])
+            .unwrap()
+            .sink_names()
+            .is_empty());
+        // Buses name both far ends.
+        let bus_load = CoupledBusLoad::new(
+            CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0)),
+            AggressorSpec::quiet(1.8).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(bus_load.sink_names(), vec!["victim", "aggressor"]);
+
+        // Tree sinks, in the same order attach_net reports them.
+        let trunk = RlcLine::new(40.0, nh(2.0), pf(0.5), mm(2.0));
+        let stub = RlcLine::new(20.0, nh(1.0), pf(0.3), mm(1.0));
+        let mut tree = RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let l = tree.add_branch(Some(t), stub);
+        let r = tree.add_branch(Some(t), stub);
+        tree.set_sink(l, "rx0", ff(15.0));
+        tree.set_sink(r, "rx1", ff(25.0));
+        let load = RlcTreeLoad::new(tree).unwrap();
+        let mut ckt = Circuit::new();
+        let near = ckt.node("out");
+        ckt.add_vsource("V1", near, Circuit::GROUND, SourceWaveform::dc(0.0));
+        let net = load.attach_net(&mut ckt, near, 0.0, 4).unwrap();
+        let attached: Vec<String> = net.sinks.into_iter().map(|(n, _)| n).collect();
+        assert_eq!(load.sink_names(), attached);
+    }
+
+    #[test]
+    fn with_aggressor_swaps_the_drive_on_buses_only() {
+        use crate::stage::{AggressorSpec, AggressorSwitching};
+        use rlc_interconnect::CoupledBus;
+        use rlc_numeric::units::ps;
+
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let opposite =
+            AggressorSpec::new(AggressorSwitching::OppositeDirection, ps(80.0), 0.0, 1.8).unwrap();
+        // Non-coupled loads refuse.
+        assert!(LumpedCapLoad::new(ff(100.0))
+            .unwrap()
+            .with_aggressor(opposite)
+            .is_none());
+        assert!(DistributedRlcLoad::new(line, ff(10.0))
+            .unwrap()
+            .with_aggressor(opposite)
+            .is_none());
+        // The bus swaps its spec (and keeps its geometry).
+        let quiet = CoupledBusLoad::new(
+            CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0)),
+            AggressorSpec::quiet(1.8).unwrap(),
+        )
+        .unwrap();
+        let swapped = quiet.with_aggressor(opposite).unwrap();
+        assert!(swapped.total_capacitance() > quiet.total_capacitance());
+        assert_eq!(swapped.sink_names(), quiet.sink_names());
     }
 
     #[test]

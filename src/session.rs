@@ -1,0 +1,987 @@
+//! [`AnalysisSession`]: dependency-aware, streaming stage analysis.
+//!
+//! The flat batch API (`analyze_many`) treats every stage as independent;
+//! real paths are not. The waveform measured at one stage's far end *is* the
+//! input event of the next driver, and a signoff flow wants per-stage
+//! results as they land, not one big synchronized collect. A session models
+//! exactly that:
+//!
+//! * Stages are submitted individually or in bulk and return typed
+//!   [`StageHandle`]s.
+//! * A stage may declare its input as [`InputSource::FromFarEnd`] or
+//!   [`InputSource::FromSink`] instead of a fixed
+//!   [`crate::InputEvent`]; the session resolves the producer's measured
+//!   far-end waveform into the dependent driver's input — a slew-referenced
+//!   ramp by default ([`crate::InputEvent::from_measured`]), or the full
+//!   sampled waveform when the backend reports
+//!   [`crate::BackendCaps::sampled_input`].
+//! * Scheduling is topological over a work queue on the engine's thread
+//!   pool: independent stages run in parallel, dependents unblock the moment
+//!   their producer completes, cycles and unknown sink names are rejected at
+//!   submit time, and a failing producer poisons **only** its dependents
+//!   ([`EngineError::UpstreamFailed`]).
+//! * Results stream out via [`AnalysisSession::next_report`] (or the
+//!   [`AnalysisSession::reports`] iterator) in completion order;
+//!   [`AnalysisSession::wait_all`] blocks for everything and returns results
+//!   in submission order. [`crate::SessionOptions`] adds a deadline and an
+//!   in-flight cap; [`AnalysisSession::cancel`] aborts everything that has
+//!   not started yet.
+//!
+//! ```no_run
+//! use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+//! # fn demo(cell: std::sync::Arc<rlc_ceff_suite::charlib::DriverCell>,
+//! #        load: DistributedRlcLoad) -> Result<(), rlc_ceff_suite::EngineError> {
+//! let engine = TimingEngine::new(EngineConfig::default());
+//! let mut session = engine.session();
+//! let first = session.submit(
+//!     Stage::builder_shared(cell.clone(), std::sync::Arc::new(load))
+//!         .label("driver-0")
+//!         .input_slew(100e-12)
+//!         .build()?,
+//! )?;
+//! let second = session.submit(
+//!     Stage::builder_shared(cell, std::sync::Arc::new(load))
+//!         .label("driver-1")
+//!         .input_from(first) // input = measured far end of driver-0
+//!         .build()?,
+//! )?;
+//! for (handle, outcome) in session.reports() {
+//!     println!("stage {} finished: {:?}", handle.index(), outcome.map(|r| r.delay));
+//! }
+//! # let _ = second;
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crate::backend::StageReport;
+use crate::config::SessionOptions;
+use crate::driver::SampledWaveform;
+use crate::engine::TimingEngine;
+use crate::error::EngineError;
+use crate::stage::{InputEvent, Stage};
+
+/// Session identifiers are process-global so a handle can never resolve
+/// against the wrong session.
+static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A typed reference to a stage submitted to (or reserved in) one
+/// [`AnalysisSession`]. Handles are cheap, copyable, hashable, and only
+/// valid within the session that issued them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageHandle {
+    session: u64,
+    index: usize,
+}
+
+impl StageHandle {
+    /// The stage's position in submission order (reservations count).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    pub(crate) fn session(&self) -> u64 {
+        self.session
+    }
+}
+
+impl std::fmt::Display for StageHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stage #{}", self.index)
+    }
+}
+
+/// Where a stage's input event comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InputSource {
+    /// A fixed input event ([`crate::StageBuilder::input_slew`]).
+    Event(InputEvent),
+    /// The measured waveform at the producer's **primary far end**
+    /// ([`crate::StageBuilder::input_from`]).
+    FromFarEnd {
+        /// The producer stage.
+        stage: StageHandle,
+    },
+    /// The measured waveform at a **named sink** of the producer's load
+    /// ([`crate::StageBuilder::input_from_sink`]): a tree receiver pin, or
+    /// the `"victim"` / `"aggressor"` far end of a coupled bus.
+    FromSink {
+        /// The producer stage.
+        stage: StageHandle,
+        /// The sink name the producer's load must expose
+        /// ([`crate::LoadModel::sink_names`]).
+        sink: String,
+    },
+}
+
+impl InputSource {
+    /// The producer handle, for dependent sources.
+    pub fn producer(&self) -> Option<StageHandle> {
+        match self {
+            InputSource::Event(_) => None,
+            InputSource::FromFarEnd { stage } => Some(*stage),
+            InputSource::FromSink { stage, .. } => Some(*stage),
+        }
+    }
+}
+
+/// One streamed session outcome.
+pub type StageOutcome = (StageHandle, Result<StageReport, EngineError>);
+
+// A handful of slots per session; per-variant size is irrelevant next to
+// keeping the state machine readable.
+#[allow(clippy::large_enum_variant)]
+enum Phase {
+    /// Reserved via [`AnalysisSession::reserve`], not yet submitted.
+    Reserved,
+    /// Submitted, waiting on `unmet` dependencies.
+    Waiting { stage: Stage, unmet: usize },
+    /// All dependencies met; parked in the ready queue.
+    Queued { stage: Stage },
+    /// A worker is analyzing it.
+    Running,
+    /// Finished (or failed / was poisoned / cancelled). The stage is kept so
+    /// dependents can propagate through its load.
+    Done {
+        stage: Option<Stage>,
+        result: Result<StageReport, EngineError>,
+    },
+}
+
+struct SlotData {
+    label: String,
+    /// Sink names of the load, recorded at submit time so consumers can be
+    /// validated regardless of the slot's phase. `None` while reserved.
+    sink_names: Option<Vec<String>>,
+    /// Permanent dependency edges (producer + ordering deps), for cycle
+    /// detection.
+    deps: Vec<usize>,
+    /// Dependent slots to unblock (or poison) when this one completes.
+    waiters: Vec<usize>,
+    /// Cached handoff propagations of a completed producer (primary far end
+    /// / named sinks), so N dependents fanning out of one producer run its
+    /// ms-scale propagation simulation once, not N times.
+    far_cache: Option<Arc<crate::backend::FarEndReport>>,
+    sinks_cache: Option<Arc<Vec<crate::backend::SinkFarEnd>>>,
+    /// Serializes the *computation* of the caches above: when N dependents
+    /// resolve simultaneously, one holds the gate and simulates while the
+    /// rest block on it and then read the cache, instead of all N racing
+    /// into redundant simulations. Per-slot, so distinct producers still
+    /// resolve in parallel; never held together with the state lock.
+    handoff_gate: Arc<Mutex<()>>,
+    phase: Phase,
+}
+
+impl SlotData {
+    fn reserved(index: usize) -> SlotData {
+        SlotData {
+            label: format!("reserved #{index}"),
+            sink_names: None,
+            deps: Vec::new(),
+            waiters: Vec::new(),
+            far_cache: None,
+            sinks_cache: None,
+            handoff_gate: Arc::new(Mutex::new(())),
+            phase: Phase::Reserved,
+        }
+    }
+}
+
+struct State {
+    slots: Vec<SlotData>,
+    ready: VecDeque<usize>,
+    cancelled: bool,
+    deadline_fired: bool,
+    shutdown: bool,
+    /// Number of results that will eventually be sent on `tx`.
+    expected: usize,
+    tx: Sender<StageOutcome>,
+}
+
+struct Shared {
+    id: u64,
+    state: Mutex<State>,
+    work: Condvar,
+    deadline: Option<Instant>,
+    options: SessionOptions,
+    engine: TimingEngine,
+}
+
+impl Shared {
+    fn deadline_is_past(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+}
+
+/// A dependency-aware analysis session. Create one with
+/// [`TimingEngine::session`] / [`TimingEngine::session_with`]; see the
+/// [module docs](self) for the full model.
+pub struct AnalysisSession {
+    shared: Arc<Shared>,
+    rx: Receiver<StageOutcome>,
+    workers: Vec<JoinHandle<()>>,
+    /// Upper bound on worker threads; they are spawned lazily, one per
+    /// submission, so small sessions never build a full CPU-wide pool.
+    worker_target: usize,
+    reported: usize,
+}
+
+impl std::fmt::Debug for AnalysisSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnalysisSession")
+            .field("id", &self.shared.id)
+            .field("workers", &self.workers.len())
+            .field("reported", &self.reported)
+            .finish()
+    }
+}
+
+impl AnalysisSession {
+    pub(crate) fn new(engine: TimingEngine, options: SessionOptions) -> AnalysisSession {
+        let id = NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        let worker_target = {
+            let base = engine.config().base_threads();
+            match options.max_in_flight {
+                0 => base,
+                cap => base.min(cap),
+            }
+            .max(1)
+        };
+        let shared = Arc::new(Shared {
+            id,
+            state: Mutex::new(State {
+                slots: Vec::new(),
+                ready: VecDeque::new(),
+                cancelled: false,
+                deadline_fired: false,
+                shutdown: false,
+                expected: 0,
+                tx,
+            }),
+            work: Condvar::new(),
+            deadline: options.deadline.map(|d| Instant::now() + d),
+            options,
+            engine,
+        });
+        AnalysisSession {
+            shared,
+            rx,
+            workers: Vec::new(),
+            worker_target,
+            reported: 0,
+        }
+    }
+
+    /// Spawns one more worker thread unless the pool already reached its
+    /// target. Called per submission, so a 2-stage session on a 64-core
+    /// host runs on 2 threads, not 64 parked ones.
+    fn ensure_worker(&mut self) {
+        if self.workers.len() < self.worker_target {
+            let shared = self.shared.clone();
+            self.workers
+                .push(std::thread::spawn(move || worker_loop(&shared)));
+        }
+    }
+
+    /// Number of handles issued so far (submissions plus reservations).
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().expect("session state").slots.len()
+    }
+
+    /// Whether nothing has been submitted or reserved yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn handle(&self, index: usize) -> StageHandle {
+        StageHandle {
+            session: self.shared.id,
+            index,
+        }
+    }
+
+    /// Reserves a handle whose stage will be supplied later with
+    /// [`AnalysisSession::submit_reserved`]. This is how mutually-referencing
+    /// graphs are wired up front — and why cycle rejection exists: with
+    /// reservations, a forward reference can point back at an earlier stage.
+    ///
+    /// A reservation that is never submitted fails (and poisons its
+    /// dependents) when [`AnalysisSession::wait_all`] is called.
+    pub fn reserve(&mut self) -> StageHandle {
+        let mut st = self.shared.state.lock().expect("session state");
+        let index = st.slots.len();
+        st.slots.push(SlotData::reserved(index));
+        drop(st);
+        self.handle(index)
+    }
+
+    /// Submits a stage and returns its handle. Dependencies
+    /// ([`crate::StageBuilder::input_from`],
+    /// [`crate::StageBuilder::input_from_sink`],
+    /// [`crate::StageBuilder::after`]) are validated here: handles must
+    /// belong to this session, must not close a cycle, and `FromSink` names
+    /// must exist on the producer's load.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidDependency`], [`EngineError::DependencyCycle`]
+    /// or [`EngineError::UnknownSink`]; the stage is not enqueued on error.
+    pub fn submit(&mut self, stage: Stage) -> Result<StageHandle, EngineError> {
+        let index = {
+            let mut st = self.shared.state.lock().expect("session state");
+            let index = st.slots.len();
+            let deps = validate(&st, self.shared.id, index, &stage)?;
+            st.slots.push(SlotData::reserved(index));
+            fill(&mut st, &self.shared, index, stage, deps);
+            index
+        };
+        self.ensure_worker();
+        Ok(self.handle(index))
+    }
+
+    /// Fills a reservation made with [`AnalysisSession::reserve`].
+    ///
+    /// # Errors
+    /// Like [`AnalysisSession::submit`], plus
+    /// [`EngineError::InvalidDependency`] when the handle belongs to another
+    /// session or was already submitted. The reservation stays open on
+    /// validation errors.
+    pub fn submit_reserved(
+        &mut self,
+        handle: StageHandle,
+        stage: Stage,
+    ) -> Result<(), EngineError> {
+        let mut st = self.shared.state.lock().expect("session state");
+        if handle.session != self.shared.id || handle.index >= st.slots.len() {
+            return Err(EngineError::InvalidDependency {
+                what: format!(
+                    "stage '{}' cannot fill a reservation from another session",
+                    stage.label()
+                ),
+            });
+        }
+        if !matches!(st.slots[handle.index].phase, Phase::Reserved) {
+            // `sink_names` is only recorded when a stage is actually filled,
+            // so it distinguishes a genuinely-submitted slot from a
+            // reservation that wait_all() already expired as a failure.
+            let what = if st.slots[handle.index].sink_names.is_some() {
+                format!("{handle} was already submitted")
+            } else {
+                format!(
+                    "{handle} was an unfilled reservation that wait_all() already \
+                     resolved as failed; reserve a new handle"
+                )
+            };
+            return Err(EngineError::InvalidDependency { what });
+        }
+        let deps = validate(&st, self.shared.id, handle.index, &stage)?;
+        fill(&mut st, &self.shared, handle.index, stage, deps);
+        drop(st);
+        self.ensure_worker();
+        Ok(())
+    }
+
+    /// Submits a batch of stages, failing fast on the first invalid one
+    /// (stages submitted before the failure stay submitted).
+    ///
+    /// # Errors
+    /// See [`AnalysisSession::submit`].
+    pub fn submit_all<I>(&mut self, stages: I) -> Result<Vec<StageHandle>, EngineError>
+    where
+        I: IntoIterator<Item = Stage>,
+    {
+        stages.into_iter().map(|s| self.submit(s)).collect()
+    }
+
+    /// Blocks for the next completed stage, in completion order. Returns
+    /// `None` once every stage submitted *so far* has been reported (more
+    /// can be submitted afterwards, which re-arms the stream).
+    ///
+    /// Unfilled reservations produce no result until
+    /// [`AnalysisSession::wait_all`] resolves them as failures — a dependent
+    /// blocked on one makes this call block too.
+    pub fn next_report(&mut self) -> Option<StageOutcome> {
+        let expected = self.shared.state.lock().expect("session state").expected;
+        if self.reported >= expected {
+            return None;
+        }
+        match self.rx.recv() {
+            Ok(outcome) => {
+                self.reported += 1;
+                Some(outcome)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Streaming iterator over completions: yields `(handle, outcome)` in
+    /// completion order until everything submitted so far has been reported.
+    pub fn reports(&mut self) -> SessionReports<'_> {
+        SessionReports { session: self }
+    }
+
+    /// Blocks until every submitted stage has completed and returns all
+    /// outcomes **in submission order** (including any that were already
+    /// streamed). Reservations that were never filled fail here with
+    /// [`EngineError::InvalidDependency`] and poison their dependents.
+    pub fn wait_all(&mut self) -> Vec<StageOutcome> {
+        {
+            let mut st = self.shared.state.lock().expect("session state");
+            for i in 0..st.slots.len() {
+                if matches!(st.slots[i].phase, Phase::Reserved) {
+                    let label = st.slots[i].label.clone();
+                    st.expected += 1;
+                    complete(
+                        &mut st,
+                        &self.shared.work,
+                        self.shared.id,
+                        i,
+                        Err(EngineError::InvalidDependency {
+                            what: format!("{label} was never submitted"),
+                        }),
+                        None,
+                    );
+                }
+            }
+        }
+        while self.next_report().is_some() {}
+        let st = self.shared.state.lock().expect("session state");
+        st.slots
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                let result = match &slot.phase {
+                    Phase::Done { result, .. } => result.clone(),
+                    _ => Err(EngineError::InvalidDependency {
+                        what: format!("stage '{}' never completed", slot.label),
+                    }),
+                };
+                (
+                    StageHandle {
+                        session: self.shared.id,
+                        index: i,
+                    },
+                    result,
+                )
+            })
+            .collect()
+    }
+
+    /// Cancels everything that has not started running: queued and waiting
+    /// stages complete with [`EngineError::Cancelled`], stages already on a
+    /// worker finish and report normally, and later submissions fail
+    /// immediately. Idempotent.
+    pub fn cancel(&self) {
+        let mut st = self.shared.state.lock().expect("session state");
+        if st.cancelled {
+            return;
+        }
+        st.cancelled = true;
+        st.ready.clear();
+        abort_pending(&mut st, self.shared.id, |label| EngineError::Cancelled {
+            label,
+        });
+        self.shared.work.notify_all();
+    }
+}
+
+/// Streaming iterator over an [`AnalysisSession`]'s completions
+/// ([`AnalysisSession::reports`]).
+#[derive(Debug)]
+pub struct SessionReports<'a> {
+    session: &'a mut AnalysisSession,
+}
+
+impl Iterator for SessionReports<'_> {
+    type Item = StageOutcome;
+
+    fn next(&mut self) -> Option<StageOutcome> {
+        self.session.next_report()
+    }
+}
+
+impl Drop for AnalysisSession {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("session state");
+            st.shutdown = true;
+        }
+        self.shared.work.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Validates a stage's dependencies against the current session state and
+/// returns the dependency slot indices. `index` is the slot the stage is
+/// about to occupy.
+fn validate(
+    st: &State,
+    session: u64,
+    index: usize,
+    stage: &Stage,
+) -> Result<Vec<usize>, EngineError> {
+    let mut deps = Vec::new();
+    let producer = stage.input_source().producer();
+    for handle in producer.iter().chain(stage.after_handles()) {
+        if handle.session() != session {
+            return Err(EngineError::InvalidDependency {
+                what: format!(
+                    "stage '{}' references a handle from another session",
+                    stage.label()
+                ),
+            });
+        }
+        if handle.index() == index {
+            return Err(EngineError::DependencyCycle {
+                label: stage.label().to_string(),
+            });
+        }
+        if handle.index() >= st.slots.len() {
+            return Err(EngineError::InvalidDependency {
+                what: format!(
+                    "stage '{}' references {handle}, which does not exist in this session",
+                    stage.label()
+                ),
+            });
+        }
+        deps.push(handle.index());
+    }
+    // One edge per producer: a duplicate (e.g. `.input_from(a).after(a)`)
+    // would register the stage as a waiter twice and double-count `unmet`,
+    // which the completion walk must never see.
+    deps.sort_unstable();
+    deps.dedup();
+
+    // Cycle check: walk the recorded dependency edges from every direct
+    // dependency; reaching `index` means this submission would close a loop.
+    let mut stack = deps.clone();
+    let mut seen = vec![false; st.slots.len()];
+    while let Some(d) = stack.pop() {
+        if d == index {
+            return Err(EngineError::DependencyCycle {
+                label: stage.label().to_string(),
+            });
+        }
+        if seen[d] {
+            continue;
+        }
+        seen[d] = true;
+        stack.extend(st.slots[d].deps.iter().copied());
+    }
+
+    // Sink negotiation: a producer whose load is already known must expose
+    // the requested measurement point. (Producers still in reservation are
+    // re-checked at resolution time.)
+    match stage.input_source() {
+        InputSource::Event(_) => {}
+        InputSource::FromFarEnd { stage: p } => {
+            if let Some(names) = &st.slots[p.index()].sink_names {
+                if names.is_empty() {
+                    return Err(EngineError::InvalidDependency {
+                        what: format!(
+                            "stage '{}' depends on the far end of '{}', whose load has no \
+                             physical netlist to measure",
+                            stage.label(),
+                            st.slots[p.index()].label
+                        ),
+                    });
+                }
+            }
+        }
+        InputSource::FromSink { stage: p, sink } => {
+            if let Some(names) = &st.slots[p.index()].sink_names {
+                if !names.iter().any(|n| n == sink) {
+                    return Err(EngineError::UnknownSink {
+                        label: st.slots[p.index()].label.clone(),
+                        sink: sink.clone(),
+                        available: names.clone(),
+                    });
+                }
+            }
+        }
+    }
+    Ok(deps)
+}
+
+/// Fills slot `index` with a validated stage: registers its edges, and
+/// either queues it, parks it on its dependencies, or fails it immediately
+/// (cancelled session, expired deadline, already-failed producer).
+fn fill(st: &mut State, shared: &Shared, index: usize, stage: Stage, deps: Vec<usize>) {
+    st.slots[index].label = stage.label().to_string();
+    st.slots[index].sink_names = Some(stage.load().sink_names());
+    st.slots[index].deps = deps.clone();
+    st.expected += 1;
+
+    let label = stage.label().to_string();
+    if st.cancelled {
+        complete(
+            st,
+            &shared.work,
+            shared.id,
+            index,
+            Err(EngineError::Cancelled { label }),
+            None,
+        );
+        return;
+    }
+    if st.deadline_fired || shared.deadline_is_past() {
+        if !st.deadline_fired {
+            // First observer of the expired deadline: abort everything
+            // pending too, not just this submission — otherwise queued
+            // stages would still run after the deadline whenever a
+            // post-deadline submit raced the workers to the flag.
+            fire_deadline(st, shared.id);
+        }
+        complete(
+            st,
+            &shared.work,
+            shared.id,
+            index,
+            Err(EngineError::DeadlineExceeded { label }),
+            None,
+        );
+        return;
+    }
+
+    let mut unmet = 0;
+    for &d in &deps {
+        match &st.slots[d].phase {
+            Phase::Done { result: Ok(_), .. } => {}
+            Phase::Done { result: Err(_), .. } => {
+                let upstream = st.slots[d].label.clone();
+                complete(
+                    st,
+                    &shared.work,
+                    shared.id,
+                    index,
+                    Err(EngineError::UpstreamFailed { label, upstream }),
+                    None,
+                );
+                return;
+            }
+            _ => {
+                st.slots[d].waiters.push(index);
+                unmet += 1;
+            }
+        }
+    }
+    if unmet == 0 {
+        st.slots[index].phase = Phase::Queued { stage };
+        st.ready.push_back(index);
+        shared.work.notify_one();
+    } else {
+        st.slots[index].phase = Phase::Waiting { stage, unmet };
+    }
+}
+
+/// Marks slot `index` done with `result`, streams the outcome, and walks the
+/// waiter graph: dependents of a success are unblocked (queued when their
+/// last dependency clears), dependents of a failure are poisoned with
+/// [`EngineError::UpstreamFailed`] — transitively, but nothing else.
+fn complete(
+    st: &mut State,
+    work: &Condvar,
+    session: u64,
+    index: usize,
+    result: Result<StageReport, EngineError>,
+    stage: Option<Stage>,
+) {
+    let mut worklist = vec![(index, result, stage)];
+    while let Some((i, result, stage)) = worklist.pop() {
+        let failed = result.is_err();
+        let upstream_label = st.slots[i].label.clone();
+        st.slots[i].phase = Phase::Done {
+            stage,
+            result: result.clone(),
+        };
+        let _ = st.tx.send((StageHandle { session, index: i }, result));
+        for w in std::mem::take(&mut st.slots[i].waiters) {
+            match &mut st.slots[w].phase {
+                Phase::Waiting { unmet, .. } if failed => {
+                    let _ = unmet;
+                    let label = st.slots[w].label.clone();
+                    worklist.push((
+                        w,
+                        Err(EngineError::UpstreamFailed {
+                            label,
+                            upstream: upstream_label.clone(),
+                        }),
+                        None,
+                    ));
+                }
+                Phase::Waiting { unmet, .. } => {
+                    *unmet -= 1;
+                    if *unmet == 0 {
+                        if let Phase::Waiting { stage, .. } =
+                            std::mem::replace(&mut st.slots[w].phase, Phase::Running)
+                        {
+                            st.slots[w].phase = Phase::Queued { stage };
+                            st.ready.push_back(w);
+                            work.notify_one();
+                        }
+                    }
+                }
+                // Already done (cancelled / deadline / poisoned earlier).
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Fails every waiting or queued slot with `err(label)`. Safe without waiter
+/// propagation: every waiter of an aborted slot is itself waiting (a running
+/// stage never waits), so this sweep reaches it directly.
+fn abort_pending(st: &mut State, session: u64, err: impl Fn(String) -> EngineError) {
+    for i in 0..st.slots.len() {
+        if matches!(
+            st.slots[i].phase,
+            Phase::Waiting { .. } | Phase::Queued { .. }
+        ) {
+            let label = st.slots[i].label.clone();
+            st.slots[i].phase = Phase::Done {
+                stage: None,
+                result: Err(err(label.clone())),
+            };
+            st.slots[i].waiters.clear();
+            let _ = st
+                .tx
+                .send((StageHandle { session, index: i }, Err(err(label))));
+        }
+    }
+}
+
+fn fire_deadline(st: &mut State, session: u64) {
+    st.deadline_fired = true;
+    st.ready.clear();
+    abort_pending(st, session, |label| EngineError::DeadlineExceeded { label });
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (index, stage) = {
+            let mut st = shared.state.lock().expect("session state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if !st.deadline_fired && shared.deadline_is_past() {
+                    fire_deadline(&mut st, shared.id);
+                }
+                if let Some(i) = st.ready.pop_front() {
+                    match std::mem::replace(&mut st.slots[i].phase, Phase::Running) {
+                        Phase::Queued { stage } => break (i, stage),
+                        other => {
+                            st.slots[i].phase = other;
+                            continue;
+                        }
+                    }
+                }
+                st = wait_for_work(shared, st);
+            }
+        };
+        // The handoff propagation in resolve_input runs the same simulation
+        // code the engine defends with catch_unwind; contain panics here the
+        // same way, or a panicking handoff would kill the worker with the
+        // slot stuck in Running and wait_all blocked forever.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            resolve_input(shared, &stage).and_then(|s| shared.engine.analyze(&s))
+        }))
+        .unwrap_or_else(|payload| {
+            Err(EngineError::StagePanicked {
+                label: stage.label().to_string(),
+                detail: crate::engine::panic_message(payload.as_ref()),
+            })
+        });
+        let mut st = shared.state.lock().expect("session state");
+        complete(&mut st, &shared.work, shared.id, index, result, Some(stage));
+    }
+}
+
+fn wait_for_work<'a>(shared: &'a Shared, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+    match shared.deadline {
+        // Once the deadline fired there is nothing left to time out on.
+        Some(deadline) if !st.deadline_fired => {
+            let timeout = deadline
+                .saturating_duration_since(Instant::now())
+                .max(Duration::from_millis(1));
+            shared
+                .work
+                .wait_timeout(st, timeout)
+                .expect("session state")
+                .0
+        }
+        _ => shared.work.wait(st).expect("session state"),
+    }
+}
+
+/// Resolves a dependent stage's input from its producer's completed report:
+/// measures the handoff waveform (reusing the producer's simulated far end
+/// when present, otherwise running the far-end propagation), converts it to
+/// a slew-referenced ramp event, and attaches the sampled waveform when the
+/// consumer's backend negotiates [`crate::BackendCaps::sampled_input`].
+fn resolve_input(shared: &Shared, stage: &Stage) -> Result<Stage, EngineError> {
+    let (producer_index, sink) = match stage.input_source() {
+        InputSource::Event(_) => return Ok(stage.clone()),
+        InputSource::FromFarEnd { stage: p } => (p.index(), None),
+        InputSource::FromSink { stage: p, sink } => (p.index(), Some(sink.clone())),
+    };
+    let (producer_stage, report) = {
+        let st = shared.state.lock().expect("session state");
+        match &st.slots[producer_index].phase {
+            Phase::Done {
+                stage: Some(ps),
+                result: Ok(r),
+            } => (ps.clone(), r.clone()),
+            _ => {
+                return Err(EngineError::InvalidDependency {
+                    what: format!(
+                        "producer of stage '{}' has no completed report (scheduler invariant)",
+                        stage.label()
+                    ),
+                })
+            }
+        }
+    };
+
+    let producer_label = producer_stage.label().to_string();
+    // Reusing the producer's already-simulated far end is negotiated: the
+    // report must carry the waveform *and* the producer's backend must
+    // declare [`crate::BackendCaps::simulates_far_end`].
+    let reuse_simulated = shared
+        .engine
+        .backend_for(&producer_stage)
+        .caps()
+        .simulates_far_end;
+    let (waveform, vdd, t50, slew) = match sink {
+        None => match (&report.simulated_far_end, reuse_simulated) {
+            (Some(sim), true) => {
+                let measured = sim.ramp_event().ok_or_else(|| {
+                    EngineError::unsupported(format!(
+                        "the simulated far end of stage '{producer_label}' never completed a \
+                         transition; it cannot drive a dependent stage"
+                    ))
+                })?;
+                (
+                    sim.waveform().clone(),
+                    sim.vdd(),
+                    measured.t50(),
+                    0.8 * measured.slew,
+                )
+            }
+            _ => {
+                let far = cached_far_end(shared, producer_index, &producer_stage, &report)?;
+                (
+                    far.waveform.clone(),
+                    report.vdd,
+                    report.input_t50 + far.delay_from_input,
+                    far.slew,
+                )
+            }
+        },
+        Some(name) => {
+            let sinks = cached_far_end_sinks(shared, producer_index, &producer_stage, &report)?;
+            let sink_report = sinks
+                .iter()
+                .find(|s| s.sink == name)
+                .cloned()
+                .ok_or_else(|| EngineError::UnknownSink {
+                    label: producer_label.clone(),
+                    sink: name.clone(),
+                    available: sinks.iter().map(|s| s.sink.clone()).collect(),
+                })?;
+            let incomplete = || {
+                EngineError::unsupported(format!(
+                    "sink '{name}' of stage '{producer_label}' never completed a transition \
+                     (a quiet neighbour only carries noise); it cannot drive a dependent stage"
+                ))
+            };
+            let delay = sink_report.delay_from_input.ok_or_else(incomplete)?;
+            let slew = sink_report.slew.ok_or_else(incomplete)?;
+            // The engine models rising driver outputs only (the paper's
+            // convention); a sink that completed a *falling* transition — an
+            // opposite-switching bus aggressor — would silently hand off the
+            // wrong edge polarity. Reject it instead.
+            let v0 = sink_report
+                .waveform
+                .values()
+                .first()
+                .copied()
+                .unwrap_or(0.0);
+            if sink_report.waveform.last_value() < v0 {
+                return Err(EngineError::unsupported(format!(
+                    "sink '{name}' of stage '{producer_label}' completes a falling transition; \
+                     the rising-edge stage convention cannot chain it — chain from a rising \
+                     sink instead"
+                )));
+            }
+            (
+                sink_report.waveform,
+                report.vdd,
+                report.input_t50 + delay,
+                slew,
+            )
+        }
+    };
+
+    let event = InputEvent::from_measured(t50, slew);
+    let caps = shared.engine.backend_for(stage).caps();
+    let sampled = (shared.options.sampled_handoff && caps.sampled_input)
+        .then(|| SampledWaveform::new(waveform, vdd));
+    Ok(stage.resolve_input(event, sampled))
+}
+
+/// The producer's primary-far-end propagation, computed at most once per
+/// producer slot no matter how many dependents fan out of it: the slot's
+/// handoff gate serializes simultaneous resolvers, so one simulates while
+/// the rest wait and read the cache.
+fn cached_far_end(
+    shared: &Shared,
+    index: usize,
+    producer_stage: &Stage,
+    report: &StageReport,
+) -> Result<Arc<crate::backend::FarEndReport>, EngineError> {
+    let gate = shared.state.lock().expect("session state").slots[index]
+        .handoff_gate
+        .clone();
+    let _serialized = gate.lock().expect("handoff gate");
+    if let Some(cached) = shared.state.lock().expect("session state").slots[index]
+        .far_cache
+        .clone()
+    {
+        return Ok(cached);
+    }
+    let computed = Arc::new(report.far_end(producer_stage.load(), &shared.options.far_end)?);
+    let mut st = shared.state.lock().expect("session state");
+    Ok(st.slots[index].far_cache.get_or_insert(computed).clone())
+}
+
+/// The producer's per-sink propagation, computed at most once per producer
+/// slot ([`cached_far_end`]'s multi-sink sibling).
+fn cached_far_end_sinks(
+    shared: &Shared,
+    index: usize,
+    producer_stage: &Stage,
+    report: &StageReport,
+) -> Result<Arc<Vec<crate::backend::SinkFarEnd>>, EngineError> {
+    let gate = shared.state.lock().expect("session state").slots[index]
+        .handoff_gate
+        .clone();
+    let _serialized = gate.lock().expect("handoff gate");
+    if let Some(cached) = shared.state.lock().expect("session state").slots[index]
+        .sinks_cache
+        .clone()
+    {
+        return Ok(cached);
+    }
+    let computed = Arc::new(report.far_end_sinks(producer_stage.load(), &shared.options.far_end)?);
+    let mut st = shared.state.lock().expect("session state");
+    Ok(st.slots[index].sinks_cache.get_or_insert(computed).clone())
+}

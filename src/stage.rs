@@ -6,8 +6,10 @@ use std::sync::Arc;
 use rlc_charlib::DriverCell;
 
 use crate::backend::AnalysisBackend;
+use crate::driver::SampledWaveform;
 use crate::error::EngineError;
 use crate::load::LoadModel;
+use crate::session::{InputSource, StageHandle};
 
 /// The input event applied to the driver: a saturated ramp described by its
 /// 0–100 % transition time, starting at an absolute delay.
@@ -23,6 +25,24 @@ impl InputEvent {
     /// Absolute time of the input's 50 % crossing.
     pub fn t50(&self) -> f64 {
         self.delay + 0.5 * self.slew
+    }
+
+    /// The slew-referenced ramp event equivalent to a measured waveform: a
+    /// saturated 0–100 % ramp whose 10–90 % transition time matches the
+    /// measured one (`slew_10_90 / 0.8`), positioned so its 50 % crossing
+    /// lands on the measured absolute crossing time `t50`. This is the
+    /// default cross-stage handoff an [`crate::AnalysisSession`] applies when
+    /// a producer's far-end waveform becomes a dependent driver's input.
+    ///
+    /// The ramp start is clamped at `t = 0` (simulations start there), which
+    /// only matters for transitions measured within half a slew of the time
+    /// origin.
+    pub fn from_measured(t50: f64, slew_10_90: f64) -> InputEvent {
+        let slew = slew_10_90 / 0.8;
+        InputEvent {
+            slew,
+            delay: (t50 - 0.5 * slew).max(0.0),
+        }
     }
 }
 
@@ -144,12 +164,23 @@ impl std::fmt::Debug for BackendChoice {
 /// builder — unlike the deprecated panicking `AnalysisCase::new` — returns
 /// `Err` for bad descriptions, so a malformed stage in a batch is a per-stage
 /// report instead of a crash.
+///
+/// A stage's input is either a fixed [`InputEvent`]
+/// ([`StageBuilder::input_slew`]) or a *dependent* [`InputSource`] declaring
+/// that the input is the measured far-end waveform of another stage
+/// ([`StageBuilder::input_from`], [`StageBuilder::input_from_sink`]).
+/// Dependent stages can only be analyzed through an
+/// [`crate::AnalysisSession`], which resolves the producer's waveform into a
+/// concrete input event before dispatching to a backend.
 #[derive(Debug, Clone)]
 pub struct Stage {
     label: String,
     driver: Arc<DriverCell>,
     load: Arc<dyn LoadModel>,
-    input: InputEvent,
+    source: InputSource,
+    resolved: Option<InputEvent>,
+    input_waveform: Option<SampledWaveform>,
+    after: Vec<StageHandle>,
     backend: Option<BackendChoice>,
 }
 
@@ -170,7 +201,10 @@ impl Stage {
             driver,
             load,
             slew: None,
-            delay: rlc_numeric::units::ps(20.0),
+            delay: None,
+            from: None,
+            after: Vec::new(),
+            aggressor: None,
             backend: None,
         }
     }
@@ -190,14 +224,71 @@ impl Stage {
         self.load.as_ref()
     }
 
+    /// The load model as a shareable handle.
+    pub fn load_shared(&self) -> Arc<dyn LoadModel> {
+        self.load.clone()
+    }
+
     /// The input event.
+    ///
+    /// # Panics
+    /// Panics for a dependent stage whose input has not been resolved by a
+    /// session yet; use [`Stage::try_input`] or [`Stage::input_source`] when
+    /// the stage may be dependent.
     pub fn input(&self) -> InputEvent {
-        self.input
+        self.resolved.expect(
+            "the input of a dependent stage is only resolved once its producer completes; \
+             submit it to an AnalysisSession (or inspect input_source())",
+        )
+    }
+
+    /// The input event, when it is known: always `Some` for fixed-input
+    /// stages and for stages a session already resolved, `None` for a
+    /// dependent stage still waiting on its producer.
+    pub fn try_input(&self) -> Option<InputEvent> {
+        self.resolved
+    }
+
+    /// Where the stage's input comes from.
+    pub fn input_source(&self) -> &InputSource {
+        &self.source
+    }
+
+    /// Whether the input is still unresolved (a dependent stage that has not
+    /// been run through a session).
+    pub fn is_dependent(&self) -> bool {
+        self.resolved.is_none()
+    }
+
+    /// The sampled input waveform a session attached for backends that
+    /// support full-waveform handoff ([`crate::BackendCaps::sampled_input`]).
+    /// `None` for fixed-input stages and ramp-converted handoffs.
+    pub fn input_waveform(&self) -> Option<&SampledWaveform> {
+        self.input_waveform.as_ref()
+    }
+
+    /// Extra scheduling-only dependencies ([`StageBuilder::after`]).
+    pub fn after_handles(&self) -> &[StageHandle] {
+        &self.after
     }
 
     /// The per-stage backend override, if any.
     pub fn backend(&self) -> Option<&BackendChoice> {
         self.backend.as_ref()
+    }
+
+    /// A copy of this stage with its dependent input resolved to a concrete
+    /// event (and optionally the full sampled waveform for capable
+    /// backends). Used by the session scheduler just before dispatch.
+    pub(crate) fn resolve_input(
+        &self,
+        event: InputEvent,
+        waveform: Option<SampledWaveform>,
+    ) -> Stage {
+        let mut resolved = self.clone();
+        resolved.resolved = Some(event);
+        resolved.input_waveform = waveform;
+        resolved
     }
 }
 
@@ -208,7 +299,10 @@ pub struct StageBuilder {
     driver: Arc<DriverCell>,
     load: Arc<dyn LoadModel>,
     slew: Option<f64>,
-    delay: f64,
+    delay: Option<f64>,
+    from: Option<(StageHandle, Option<String>)>,
+    after: Vec<StageHandle>,
+    aggressor: Option<AggressorSpec>,
     backend: Option<BackendChoice>,
 }
 
@@ -219,7 +313,8 @@ impl StageBuilder {
         self
     }
 
-    /// Sets the input transition time (seconds, 0–100 %). Required.
+    /// Sets the input transition time (seconds, 0–100 %). Required unless
+    /// the input comes from another stage ([`StageBuilder::input_from`]).
     pub fn input_slew(mut self, slew: f64) -> Self {
         self.slew = Some(slew);
         self
@@ -227,7 +322,46 @@ impl StageBuilder {
 
     /// Sets the absolute start time of the input ramp (default 20 ps).
     pub fn input_delay(mut self, delay: f64) -> Self {
-        self.delay = delay;
+        self.delay = Some(delay);
+        self
+    }
+
+    /// Declares the input as the measured **primary far-end** waveform of an
+    /// already-submitted (or reserved) stage of the same
+    /// [`crate::AnalysisSession`]. The session resolves the waveform into a
+    /// slew-referenced ramp (or hands the sampled waveform through, when the
+    /// backend reports [`crate::BackendCaps::sampled_input`]) once the
+    /// producer completes. Mutually exclusive with
+    /// [`StageBuilder::input_slew`].
+    pub fn input_from(mut self, stage: StageHandle) -> Self {
+        self.from = Some((stage, None));
+        self
+    }
+
+    /// Declares the input as the measured waveform at a **named sink** of
+    /// another stage's load (a tree receiver pin, the `"victim"` far end of
+    /// a coupled bus). See [`StageBuilder::input_from`].
+    pub fn input_from_sink(mut self, stage: StageHandle, sink: impl Into<String>) -> Self {
+        self.from = Some((stage, Some(sink.into())));
+        self
+    }
+
+    /// Adds a scheduling-only dependency: the stage will not start before
+    /// `stage` completed, even though no waveform flows between them. A
+    /// failing ordering dependency poisons this stage like a failing
+    /// producer would.
+    pub fn after(mut self, stage: StageHandle) -> Self {
+        self.after.push(stage);
+        self
+    }
+
+    /// Replaces the aggressor drive of a coupled load. Only loads that model
+    /// an aggressor (e.g. [`crate::CoupledBusLoad`]) accept this; on any
+    /// other load [`StageBuilder::build`] returns a typed
+    /// [`EngineError::InvalidStage`] instead of letting the mismatch surface
+    /// as a backend panic.
+    pub fn aggressor(mut self, spec: AggressorSpec) -> Self {
+        self.aggressor = Some(spec);
         self
     }
 
@@ -241,31 +375,68 @@ impl StageBuilder {
     ///
     /// # Errors
     /// Returns [`EngineError::InvalidStage`] when the input slew is missing,
-    /// non-positive or non-finite, or the input delay is negative or
-    /// non-finite.
+    /// non-positive or non-finite, the input delay is negative or
+    /// non-finite, a fixed input event is combined with a dependent input
+    /// source, or an aggressor override targets a load without an aggressor.
     pub fn build(self) -> Result<Stage, EngineError> {
-        let slew = self
-            .slew
-            .ok_or_else(|| EngineError::invalid("input slew is required: call input_slew(..)"))?;
-        if !(slew > 0.0 && slew.is_finite()) {
-            return Err(EngineError::invalid(format!(
-                "input slew must be positive and finite, got {slew:e}"
-            )));
-        }
-        if !(self.delay >= 0.0 && self.delay.is_finite()) {
-            return Err(EngineError::invalid(format!(
-                "input delay must be non-negative and finite, got {:e}",
-                self.delay
-            )));
-        }
+        let load = match self.aggressor {
+            None => self.load,
+            Some(spec) => self.load.with_aggressor(spec).ok_or_else(|| {
+                EngineError::invalid(format!(
+                    "an AggressorSpec only applies to coupled loads \
+                     (e.g. CoupledBusLoad); this load has no aggressor: {}",
+                    self.load.describe()
+                ))
+            })?,
+        };
+        let (source, resolved) = match self.from {
+            Some((stage, sink)) => {
+                if self.slew.is_some() || self.delay.is_some() {
+                    return Err(EngineError::invalid(
+                        "a dependent stage derives its input event from its producer; \
+                         remove input_slew(..)/input_delay(..)",
+                    ));
+                }
+                let source = match sink {
+                    None => InputSource::FromFarEnd { stage },
+                    Some(sink) => {
+                        if sink.is_empty() {
+                            return Err(EngineError::invalid("the sink name must not be empty"));
+                        }
+                        InputSource::FromSink { stage, sink }
+                    }
+                };
+                (source, None)
+            }
+            None => {
+                let slew = self.slew.ok_or_else(|| {
+                    EngineError::invalid(
+                        "input slew is required: call input_slew(..) or input_from(..)",
+                    )
+                })?;
+                if !(slew > 0.0 && slew.is_finite()) {
+                    return Err(EngineError::invalid(format!(
+                        "input slew must be positive and finite, got {slew:e}"
+                    )));
+                }
+                let delay = self.delay.unwrap_or(rlc_numeric::units::ps(20.0));
+                if !(delay >= 0.0 && delay.is_finite()) {
+                    return Err(EngineError::invalid(format!(
+                        "input delay must be non-negative and finite, got {delay:e}"
+                    )));
+                }
+                let event = InputEvent { slew, delay };
+                (InputSource::Event(event), Some(event))
+            }
+        };
         Ok(Stage {
             label: self.label.unwrap_or_else(|| "stage".to_string()),
             driver: self.driver,
-            load: self.load,
-            input: InputEvent {
-                slew,
-                delay: self.delay,
-            },
+            load,
+            source,
+            resolved,
+            input_waveform: None,
+            after: self.after,
             backend: self.backend,
         })
     }
@@ -342,6 +513,92 @@ mod tests {
         assert!(AggressorSpec::new(AggressorSwitching::Quiet, 0.0, 0.0, 1.8).is_err());
         assert!(AggressorSpec::new(AggressorSwitching::Quiet, ps(80.0), -1.0, 1.8).is_err());
         assert!(AggressorSpec::new(AggressorSwitching::Quiet, ps(80.0), 0.0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn from_measured_positions_the_ramp_on_the_crossing() {
+        let event = InputEvent::from_measured(ps(300.0), ps(80.0));
+        // 0-100% slew = 10-90% / 0.8.
+        assert!((event.slew - ps(100.0)).abs() < 1e-18);
+        assert!((event.t50() - ps(300.0)).abs() < 1e-18);
+        // Clamped at t = 0 when the crossing is too early.
+        let early = InputEvent::from_measured(ps(10.0), ps(80.0));
+        assert_eq!(early.delay, 0.0);
+    }
+
+    #[test]
+    fn aggressor_override_requires_a_coupled_load() {
+        use crate::load::CoupledBusLoad;
+        use rlc_interconnect::{CoupledBus, RlcLine};
+        use rlc_numeric::units::{mm, nh, pf};
+
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let spec =
+            AggressorSpec::new(AggressorSwitching::OppositeDirection, ps(80.0), 0.0, 1.8).unwrap();
+
+        // On a lumped load: a typed validation error, not a backend panic.
+        let err = Stage::builder_shared(
+            cell.clone(),
+            Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap()),
+        )
+        .input_slew(ps(100.0))
+        .aggressor(spec)
+        .build()
+        .unwrap_err();
+        assert!(matches!(err, crate::EngineError::InvalidStage { .. }));
+        assert!(err.to_string().contains("aggressor"));
+
+        // On a coupled bus: the stage's load carries the replacement spec.
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let bus = CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0));
+        let quiet = CoupledBusLoad::new(bus, AggressorSpec::quiet(1.8).unwrap()).unwrap();
+        let quiet_cap = crate::load::LoadModel::total_capacitance(&quiet);
+        let stage = Stage::builder(cell, quiet.clone())
+            .input_slew(ps(100.0))
+            .aggressor(spec)
+            .build()
+            .unwrap();
+        // Opposite-direction switching doubles the coupling: more capacitance
+        // than the quiet spec the load was built with.
+        assert!(stage.load().total_capacitance() > quiet_cap);
+    }
+
+    #[test]
+    fn dependent_builder_rejects_conflicting_inputs() {
+        let cell = Arc::new(crate::test_fixtures::synthetic_cell_75x());
+        let load: Arc<dyn crate::load::LoadModel> =
+            Arc::new(LumpedCapLoad::new(ff(200.0)).unwrap());
+        // A handle is only obtainable from a session; fabricate one through
+        // the engine to exercise the builder paths.
+        let engine = crate::TimingEngine::new(crate::EngineConfig::fast_for_tests());
+        let mut session = engine.session();
+        let handle = session.reserve();
+
+        // Slew + dependent source conflict.
+        let err = Stage::builder_shared(cell.clone(), load.clone())
+            .input_slew(ps(100.0))
+            .input_from(handle)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("dependent"));
+
+        // Empty sink names are rejected.
+        let err = Stage::builder_shared(cell.clone(), load.clone())
+            .input_from_sink(handle, "")
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("sink name"));
+
+        // A well-formed dependent stage records its source and ordering deps.
+        let other = session.reserve();
+        let stage = Stage::builder_shared(cell, load)
+            .input_from_sink(handle, "rx0")
+            .after(other)
+            .build()
+            .unwrap();
+        assert!(stage.is_dependent());
+        assert_eq!(stage.after_handles(), &[other]);
+        assert_eq!(stage.input_source().producer(), Some(handle));
     }
 
     #[test]

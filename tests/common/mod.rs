@@ -1,0 +1,21 @@
+//! Fixtures shared by the facade integration tests (`tests/facade.rs`,
+//! `tests/session.rs`), delegating to the crate's canonical doc(hidden)
+//! fixture module so every suite exercises the same synthetic cell.
+
+// Each integration-test binary compiles this module independently and uses a
+// different subset of it.
+#![allow(dead_code)]
+
+use rlc_ceff_suite::charlib::DriverCell;
+use rlc_ceff_suite::interconnect::RlcLine;
+use rlc_ceff_suite::numeric::units::{mm, nh, pf};
+
+/// The workspace's synthetic affine cell ([`rlc_ceff_suite::fixtures`]).
+pub fn synthetic_cell(size: f64, on_resistance: f64) -> DriverCell {
+    rlc_ceff_suite::fixtures::synthetic_cell(size, on_resistance)
+}
+
+/// The paper's flagship 5 mm / 1.6 µm line.
+pub fn paper_line() -> RlcLine {
+    RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
+}

@@ -4,50 +4,17 @@
 
 use std::sync::Arc;
 
-use rlc_ceff_suite::charlib::{CharacterizationGrid, DriverCell, TimingTable};
+use rlc_ceff_suite::charlib::{CharacterizationGrid, DriverCell};
 use rlc_ceff_suite::interconnect::RlcLine;
 use rlc_ceff_suite::moments::PiModel;
 use rlc_ceff_suite::numeric::units::{ff, mm, nh, pf, ps};
-use rlc_ceff_suite::spice::testbench::InverterSpec;
 use rlc_ceff_suite::{
     AnalysisBackend, BackendChoice, DistributedRlcLoad, DriverModel, EngineConfig, EngineError,
     LoadModel, LumpedCapLoad, MomentsLoad, PiModelLoad, Stage, TimingEngine,
 };
 
-/// A synthetic affine cell table: fast, deterministic, no simulations needed
-/// for the analytic backend (the SPICE backend only uses the inverter spec,
-/// which is real).
-fn synthetic_cell(size: f64, on_resistance: f64) -> DriverCell {
-    let slews = vec![ps(50.0), ps(100.0), ps(200.0)];
-    let loads = vec![ff(50.0), ff(200.0), ff(500.0), pf(1.0), pf(2.0)];
-    let transition: Vec<Vec<f64>> = slews
-        .iter()
-        .map(|&s| {
-            loads
-                .iter()
-                .map(|&c| ps(10.0) + 0.1 * s + (c / 1e-12) * ps(12000.0) / size)
-                .collect()
-        })
-        .collect();
-    let delay: Vec<Vec<f64>> = slews
-        .iter()
-        .map(|&s| {
-            loads
-                .iter()
-                .map(|&c| ps(5.0) + 0.2 * s + (c / 1e-12) * ps(4000.0) / size)
-                .collect()
-        })
-        .collect();
-    DriverCell::from_parts(
-        InverterSpec::sized_018(size),
-        TimingTable::new(slews, loads, delay, transition),
-        on_resistance,
-    )
-}
-
-fn paper_line() -> RlcLine {
-    RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0))
-}
+mod common;
+use common::{paper_line, synthetic_cell};
 
 fn fast_engine() -> TimingEngine {
     TimingEngine::new(EngineConfig::fast_for_tests())
@@ -56,7 +23,10 @@ fn fast_engine() -> TimingEngine {
 /// The acceptance-criteria batch: ≥ 8 heterogeneous stages mixing all four
 /// load models and both backends, with one deliberately degenerate stage —
 /// every stage gets a report slot and the degenerate one fails alone.
+/// Deliberately exercises the deprecated `analyze_many` shim, which must
+/// keep behaving exactly like the pre-session batch API.
 #[test]
+#[allow(deprecated)]
 fn heterogeneous_batch_recovers_per_stage() {
     let strong = Arc::new(synthetic_cell(75.0, 70.0));
     let weak = Arc::new(synthetic_cell(25.0, 220.0));
@@ -195,6 +165,7 @@ fn heterogeneous_batch_recovers_per_stage() {
 /// the golden simulation (the same bands the pre-facade end-to-end test
 /// used).
 #[test]
+#[allow(deprecated)] // pins the analyze_many shim's behaviour
 fn analytic_and_spice_backends_agree_on_the_flagship_stage() {
     let cell = Arc::new(
         DriverCell::characterize(75.0, &CharacterizationGrid::coarse_for_tests())
@@ -308,6 +279,7 @@ fn extension_traits_are_object_safe() {
 /// The builder path returns errors (not panics) for malformed stages, and
 /// the resulting error messages say what was wrong.
 #[test]
+#[allow(deprecated)] // pins the analyze_many shim's behaviour
 fn malformed_stages_error_instead_of_panicking() {
     let cell = synthetic_cell(75.0, 70.0);
     let err = Stage::builder(cell.clone(), LumpedCapLoad::new(ff(100.0)).unwrap())
