@@ -1,0 +1,198 @@
+//! `service_wide_batch`: multi-process throughput of the sharded timing
+//! service on a wide synthetic netlist.
+//!
+//! A client on localhost submits a many-stage batch (independent nets plus
+//! a sprinkling of dependent chains) three ways — through an in-process
+//! `AnalysisSession`, through a 1-shard service, and through an N-shard
+//! service — and records wall-clock throughput for each to
+//! `BENCH_service.json` at the workspace root. Stages use the canonical
+//! synthetic cell and the analytic backend, so the numbers measure
+//! scheduling, wire-protocol and multi-process overheads rather than cell
+//! characterization or golden simulation.
+//!
+//! Run with: `cargo bench --bench service`
+//! Smoke mode (CI): `RLC_BENCH_SMOKE=1 cargo bench --bench service`
+//!
+//! The self-check asserts every stage of every run succeeds and that the
+//! in-process and remote results on the probe chain agree bit-for-bit.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use rlc_bench::{write_service_bench_json, ServiceThroughput};
+use rlc_ceff_suite::{fixtures, BackendChoice, EngineConfig, LumpedCapLoad, Stage, TimingEngine};
+use rlc_interconnect::RlcLine;
+use rlc_numeric::units::{ff, mm, nh, pf, ps};
+use rlc_service::{
+    maybe_run_worker_from_env, RemoteCell, RemoteLoad, RemoteStage, ServiceClient, ShardServer,
+};
+
+/// The synthetic netlist: mostly independent stages with varying loads
+/// (hash-routed across shards), with every 8th stage chained onto its
+/// predecessor's far end to exercise dependency-affinity routing too.
+struct Netlist {
+    stages: usize,
+}
+
+impl Netlist {
+    fn load_cap(&self, i: usize) -> f64 {
+        ff(20.0) + ff(5.0) * (i % 40) as f64
+    }
+
+    fn is_chained(&self, i: usize) -> bool {
+        i % 8 == 7
+    }
+}
+
+fn line_for(i: usize) -> RlcLine {
+    RlcLine::new(
+        60.0 + (i % 7) as f64,
+        nh(4.0),
+        pf(1.0),
+        mm(4.0 + 0.1 * (i % 5) as f64),
+    )
+}
+
+fn run_in_process(netlist: &Netlist) -> (u128, f64) {
+    let engine = TimingEngine::new(EngineConfig::default());
+    let cell = Arc::new(fixtures::synthetic_cell_75x());
+    let start = Instant::now();
+    let mut session = engine.session();
+    let mut previous = None;
+    for i in 0..netlist.stages {
+        let builder = if netlist.is_chained(i) {
+            Stage::builder(
+                cell.clone(),
+                LumpedCapLoad::new(netlist.load_cap(i)).unwrap(),
+            )
+            .input_from(previous.unwrap())
+        } else {
+            Stage::builder(
+                cell.clone(),
+                rlc_ceff_suite::DistributedRlcLoad::new(line_for(i), netlist.load_cap(i)).unwrap(),
+            )
+            .input_slew(ps(100.0))
+        };
+        previous = Some(
+            session
+                .submit(
+                    builder
+                        .label(format!("net-{i}"))
+                        .backend(BackendChoice::Analytic)
+                        .build()
+                        .unwrap(),
+                )
+                .unwrap(),
+        );
+    }
+    let results = session.wait_all();
+    let elapsed = start.elapsed().as_nanos();
+    let mut probe = 0.0;
+    for (handle, outcome) in results {
+        let report = outcome.unwrap_or_else(|e| panic!("stage #{} failed: {e}", handle.index()));
+        probe += report.delay;
+    }
+    (elapsed, probe)
+}
+
+fn run_remote(netlist: &Netlist, shards: usize) -> (u128, f64) {
+    let exe = std::env::current_exe().expect("own executable");
+    let fleet = ShardServer::spawn("127.0.0.1:0", shards, None, &exe).expect("spawn worker fleet");
+    let (addr, _pool) = fleet.serve_in_background();
+    let cell = RemoteCell::synthetic(75.0, 70.0);
+    let start = Instant::now();
+    let mut client = ServiceClient::connect(addr).expect("connect to fleet");
+    let mut previous = None;
+    for i in 0..netlist.stages {
+        let builder = if netlist.is_chained(i) {
+            RemoteStage::builder(cell, RemoteLoad::lumped(netlist.load_cap(i)))
+                .input_from(previous.unwrap())
+        } else {
+            RemoteStage::builder(cell, RemoteLoad::line(&line_for(i), netlist.load_cap(i)))
+                .input_slew(ps(100.0))
+        };
+        previous = Some(
+            client
+                .submit(builder.label(format!("net-{i}")).analytic().build())
+                .unwrap(),
+        );
+    }
+    let results = client.wait_all().expect("drain fleet");
+    let elapsed = start.elapsed().as_nanos();
+    let mut probe = 0.0;
+    for (i, outcome) in results.into_iter().enumerate() {
+        let report = outcome.unwrap_or_else(|e| panic!("remote stage #{i} failed: {e}"));
+        probe += report.delay;
+    }
+    client.close().expect("clean close");
+    (elapsed, probe)
+}
+
+fn main() {
+    // Shard workers are re-invocations of this very bench executable.
+    if maybe_run_worker_from_env() {
+        return;
+    }
+    let smoke = std::env::var("RLC_BENCH_SMOKE").is_ok_and(|v| v != "0");
+    let (stages, wide_shards) = if smoke { (192, 2) } else { (3840, 4) };
+    let netlist = Netlist { stages };
+    let workspace_root = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+
+    println!("service_wide_batch: {stages} stages, in-process vs 1-shard vs {wide_shards}-shard");
+
+    let (inproc_ns, inproc_probe) = run_in_process(&netlist);
+    let (single_ns, single_probe) = run_remote(&netlist, 1);
+    let (wide_ns, wide_probe) = run_remote(&netlist, wide_shards);
+
+    // The remote flows must compute exactly what the in-process session
+    // computes — the probe is the sum of every stage delay.
+    assert_eq!(
+        inproc_probe.to_bits(),
+        single_probe.to_bits(),
+        "1-shard service diverged from the in-process session"
+    );
+    assert_eq!(
+        inproc_probe.to_bits(),
+        wide_probe.to_bits(),
+        "{wide_shards}-shard service diverged from the in-process session"
+    );
+
+    let results = vec![
+        ServiceThroughput {
+            name: "in_process".into(),
+            shards: 0,
+            stages,
+            elapsed_ns: inproc_ns,
+        },
+        ServiceThroughput {
+            name: "remote_1shard".into(),
+            shards: 1,
+            stages,
+            elapsed_ns: single_ns,
+        },
+        ServiceThroughput {
+            name: format!("remote_{wide_shards}shard"),
+            shards: wide_shards,
+            stages,
+            elapsed_ns: wide_ns,
+        },
+    ];
+    for r in &results {
+        println!(
+            "  {:<16} {:>3} shards  {:>9.1} ms  {:>10.0} stages/s",
+            r.name,
+            r.shards,
+            r.elapsed_ns as f64 / 1e6,
+            r.stages_per_sec()
+        );
+    }
+    write_service_bench_json(
+        &workspace_root.join("BENCH_service.json"),
+        if smoke { "smoke" } else { "full" },
+        &results,
+    );
+    println!(
+        "wrote {}",
+        workspace_root.join("BENCH_service.json").display()
+    );
+}

@@ -17,5 +17,8 @@ pub mod output;
 pub mod setup;
 
 pub use experiments::*;
-pub use output::{write_bench_json, write_csv, write_text, BenchComparison, OutputPaths};
+pub use output::{
+    write_bench_json, write_csv, write_service_bench_json, write_text, BenchComparison,
+    OutputPaths, ServiceThroughput,
+};
 pub use setup::{build_line, cell_for, ExperimentContext, SimFidelity};

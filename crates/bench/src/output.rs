@@ -116,6 +116,60 @@ pub fn write_bench_json(path: &Path, target: &str, mode: &str, results: &[BenchC
     fs::write(path, body).expect("failed to write bench JSON report");
 }
 
+/// One throughput measurement of the timing service (or its in-process
+/// baseline) on a wide stage batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceThroughput {
+    /// Configuration name, e.g. `remote_4shard`.
+    pub name: String,
+    /// Worker processes behind the measurement (0 = in-process session).
+    pub shards: usize,
+    /// Stages analyzed.
+    pub stages: usize,
+    /// Wall-clock time for submit + drain of the whole batch, nanoseconds.
+    pub elapsed_ns: u128,
+}
+
+impl ServiceThroughput {
+    /// Completed stages per wall-clock second.
+    pub fn stages_per_sec(&self) -> f64 {
+        self.stages as f64 / (self.elapsed_ns.max(1) as f64 / 1e9)
+    }
+}
+
+/// Writes service throughput measurements as a small JSON report
+/// (`BENCH_service.json`), recording the multi-process scaling of the
+/// sharded timing server alongside the in-process baseline. Hand-rolled
+/// like [`write_bench_json`] — the workspace is dependency-free.
+///
+/// # Panics
+/// Panics on I/O errors.
+pub fn write_service_bench_json(path: &Path, mode: &str, results: &[ServiceThroughput]) {
+    let mut body = String::new();
+    body.push_str("{\n");
+    body.push_str("  \"target\": \"service\",\n");
+    body.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    body.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        assert!(
+            !r.name.contains(['"', '\\']),
+            "configuration names are identifiers"
+        );
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"shards\": {}, \"stages\": {}, \"elapsed_ns\": {}, \
+             \"stages_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.shards,
+            r.stages,
+            r.elapsed_ns,
+            r.stages_per_sec(),
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    fs::write(path, body).expect("failed to write service bench JSON report");
+}
+
 /// Formats a table of rows (already stringified) with aligned columns.
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let n_cols = header.len();

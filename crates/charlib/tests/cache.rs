@@ -211,6 +211,56 @@ fn concurrent_writers_round_trip_cleanly() {
 }
 
 #[test]
+fn two_worker_processes_share_one_cache_dir() {
+    const CHILD_ENV: &str = "RLC_CACHE_TEST_CHILD_DIR";
+    if let Ok(dir) = std::env::var(CHILD_ENV) {
+        // Child mode: a second *process* (the shard-worker scenario) opens
+        // the same cache directory and must warm-start without running a
+        // single characterization.
+        let mut lib =
+            Library::open_cached_with_grid(dir, CharacterizationGrid::coarse_for_tests()).unwrap();
+        let cell = lib.get_or_characterize(75.0).unwrap();
+        assert_eq!(cell.size(), 75.0);
+        println!("CHILD_CHARS_RUN={}", lib.characterizations_run());
+        println!("CHILD_DISK_HITS={}", lib.disk_cache_hits());
+        return;
+    }
+
+    let dir = tmp_dir("two-process");
+    let grid = CharacterizationGrid::coarse_for_tests();
+    let mut cold = Library::open_cached_with_grid(&dir, grid).unwrap();
+    cold.get_or_characterize(75.0).unwrap();
+    assert_eq!(cold.characterizations_run(), 1);
+    drop(cold);
+
+    // Re-run only this test in a child process, pointed at the same dir.
+    let output = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "--exact",
+            "two_worker_processes_share_one_cache_dir",
+            "--nocapture",
+        ])
+        .env(CHILD_ENV, &dir)
+        .output()
+        .unwrap();
+    assert!(
+        output.status.success(),
+        "child process failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(
+        stdout.contains("CHILD_CHARS_RUN=0"),
+        "the second process must not re-characterize:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("CHILD_DISK_HITS=1"),
+        "the second process must hit the shared disk cache:\n{stdout}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn shared_cache_dir_serves_multiple_grids_and_cells() {
     let dir = tmp_dir("multigrid");
     let coarse = CharacterizationGrid::coarse_for_tests();

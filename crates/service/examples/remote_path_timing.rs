@@ -1,0 +1,205 @@
+//! Remote path timing: the `path_timing` example, ported to the timing
+//! service.
+//!
+//! This runs the same 4-stage repeater path twice — once through an
+//! in-process `AnalysisSession`, once through a [`ServiceClient`] talking
+//! to a sharded server fleet — and checks the per-stage results agree to
+//! better than a nanosecond (they are in fact bit-identical: the wire
+//! format round-trips `f64` bit patterns and the workers run the same
+//! engine code).
+//!
+//! By default the example spawns its own 2-shard fleet from its own
+//! executable. Point `RLC_SERVICE_ADDR` at a running `rlc-serviced` to use
+//! an external server instead (that is how CI exercises the daemon binary
+//! end-to-end). `RLC_CACHE_DIR` warm-starts characterization as usual —
+//! and is shared with the self-spawned workers, so the three repeater
+//! cells are characterized exactly once per cache lifetime.
+//!
+//! Run with: `cargo run --release -p rlc-service --example remote_path_timing`
+
+use std::path::PathBuf;
+
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::interconnect::{CoupledBus, RlcTree};
+use rlc_ceff_suite::{
+    AggressorSpec, AggressorSwitching, CoupledBusLoad, DistributedRlcLoad, EngineConfig,
+    LumpedCapLoad, RlcTreeLoad, Stage, TimingEngine,
+};
+use rlc_service::{
+    maybe_run_worker_from_env, RemoteCell, RemoteLoad, RemoteStage, ServiceClient, ShardServer,
+};
+
+const PARITY_TOLERANCE: f64 = 1e-9;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // When the coordinator re-invokes this executable as a shard worker,
+    // serve and never reach the example body.
+    if maybe_run_worker_from_env() {
+        return Ok(());
+    }
+
+    let cache_dir: Option<PathBuf> = std::env::var_os("RLC_CACHE_DIR").map(PathBuf::from);
+
+    // The same nets as examples/path_timing.rs.
+    let extractor = EmpiricalExtractor::cmos018();
+    let line = extractor.extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let trunk = extractor.extract(&WireGeometry::new(mm(2.0), um(0.8)));
+    let short_branch = extractor.extract(&WireGeometry::new(mm(1.0), um(0.8)));
+    let long_branch = extractor.extract(&WireGeometry::new(mm(3.0), um(0.8)));
+    let mut tree = RlcTree::new();
+    let t = tree.add_branch(None, trunk);
+    let near = tree.add_branch(Some(t), short_branch);
+    let far = tree.add_branch(Some(t), long_branch);
+    tree.set_sink(near, "rx_near", ff(15.0));
+    tree.set_sink(far, "rx_far", ff(15.0));
+    let bus_line = extractor.extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let bus = CoupledBus::symmetric(
+        bus_line,
+        0.3 * bus_line.capacitance(),
+        0.2 * bus_line.inductance(),
+        ff(10.0),
+    );
+    let aggressor = AggressorSpec::new(
+        AggressorSwitching::OppositeDirection,
+        ps(100.0),
+        ps(50.0),
+        1.8,
+    )?;
+
+    // ---- In-process reference ------------------------------------------
+    let mut config = EngineConfig::builder();
+    if let Some(dir) = &cache_dir {
+        config = config.cache_dir(dir);
+    }
+    let engine = TimingEngine::new(config.build());
+    let mut library = engine.open_library()?;
+    let strong = library.get_or_characterize(75.0)?;
+    let wide = library.get_or_characterize(100.0)?;
+    let receiver = library.get_or_characterize(50.0)?;
+
+    let mut session = engine.session();
+    let launch = session.submit(
+        Stage::builder(strong.clone(), DistributedRlcLoad::new(line, ff(10.0))?)
+            .label("launch")
+            .input_slew(ps(100.0))
+            .build()?,
+    )?;
+    let fork = session.submit(
+        Stage::builder(strong, RlcTreeLoad::new(tree.clone())?)
+            .label("fork")
+            .input_from(launch)
+            .build()?,
+    )?;
+    let bus_stage = session.submit(
+        Stage::builder(wide, CoupledBusLoad::new(bus, aggressor)?)
+            .label("bus")
+            .input_from_sink(fork, "rx_far")
+            .build()?,
+    )?;
+    session.submit(
+        Stage::builder(receiver, LumpedCapLoad::new(ff(200.0))?)
+            .label("capture")
+            .input_from_sink(bus_stage, "victim")
+            .build()?,
+    )?;
+    let mut local = Vec::new();
+    for (handle, outcome) in session.wait_all() {
+        local.push(
+            outcome.map_err(|e| format!("in-process stage #{} failed: {e}", handle.index()))?,
+        );
+    }
+
+    // ---- Remote run ----------------------------------------------------
+    // An external daemon (CI) or a self-spawned 2-shard fleet.
+    let external = std::env::var("RLC_SERVICE_ADDR").ok();
+    let fleet;
+    let addr = match &external {
+        Some(addr) => {
+            println!("using external timing service at {addr}");
+            addr.clone()
+        }
+        None => {
+            let spawned = ShardServer::spawn(
+                "127.0.0.1:0",
+                2,
+                cache_dir.as_deref(),
+                &std::env::current_exe()?,
+            )?;
+            let (addr, pool) = spawned.serve_in_background();
+            fleet = pool; // keep the workers alive for the whole run
+            let _ = &fleet;
+            println!("spawned a 2-shard fleet on {addr}");
+            addr.to_string()
+        }
+    };
+
+    let mut client = ServiceClient::connect(&*addr)?;
+    let strong = RemoteCell::characterized(75.0);
+    let launch = client.submit(
+        RemoteStage::builder(strong, RemoteLoad::line(&line, ff(10.0)))
+            .label("launch")
+            .input_slew(ps(100.0))
+            .build(),
+    )?;
+    let fork = client.submit(
+        RemoteStage::builder(strong, RemoteLoad::from_tree(&tree))
+            .label("fork")
+            .input_from(launch)
+            .build(),
+    )?;
+    let bus_stage = client.submit(
+        RemoteStage::builder(
+            RemoteCell::characterized(100.0),
+            RemoteLoad::bus(&bus, aggressor),
+        )
+        .label("bus")
+        .input_from_sink(fork, "rx_far")
+        .build(),
+    )?;
+    client.submit(
+        RemoteStage::builder(
+            RemoteCell::characterized(50.0),
+            RemoteLoad::lumped(ff(200.0)),
+        )
+        .label("capture")
+        .input_from_sink(bus_stage, "victim")
+        .build(),
+    )?;
+    let mut remote = Vec::new();
+    for (i, outcome) in client.wait_all()?.into_iter().enumerate() {
+        remote.push(outcome.map_err(|e| format!("remote stage #{i} failed: {e}"))?);
+    }
+    client.close()?;
+
+    // ---- Parity --------------------------------------------------------
+    println!();
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}  {:>14} {:>14} {:>12}",
+        "stage", "delay(ps)", "rmt delay(ps)", "|diff|(s)", "slew(ps)", "rmt slew(ps)", "|diff|(s)"
+    );
+    let mut worst: f64 = 0.0;
+    for (l, r) in local.iter().zip(&remote) {
+        let d_delay = (l.delay - r.delay).abs();
+        let d_slew = (l.slew - r.slew).abs();
+        let d_t50 = (l.input_t50 - r.input_t50).abs();
+        worst = worst.max(d_delay).max(d_slew).max(d_t50);
+        println!(
+            "{:<10} {:>14.3} {:>14.3} {:>12.1e}  {:>14.3} {:>14.3} {:>12.1e}",
+            l.label,
+            l.delay * 1e12,
+            r.delay * 1e12,
+            d_delay,
+            l.slew * 1e12,
+            r.slew * 1e12,
+            d_slew
+        );
+    }
+    println!();
+    println!("worst per-stage divergence: {worst:.3e} s (tolerance {PARITY_TOLERANCE:.0e} s)");
+    assert!(
+        worst <= PARITY_TOLERANCE,
+        "remote path timing diverged from the in-process session by {worst:e} s"
+    );
+    println!("remote and in-process path timing agree.");
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! The timing-service daemon.
+//!
+//! ```text
+//! rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]
+//! ```
+//!
+//! With `--shards 1` (the default) the process serves clients directly;
+//! with more shards it spawns N copies of itself as worker processes (all
+//! sharing `--cache-dir`) and coordinates them behind one listener.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rlc_service::{maybe_run_worker_from_env, Server, ShardServer};
+
+const DEFAULT_LISTEN: &str = "127.0.0.1:4525";
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]");
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    if maybe_run_worker_from_env() {
+        return ExitCode::SUCCESS;
+    }
+
+    let mut listen = DEFAULT_LISTEN.to_string();
+    let mut shards: usize = 1;
+    let mut cache_dir: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--listen" => match args.next() {
+                Some(value) => listen = value,
+                None => return usage(),
+            },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(value) => shards = value,
+                None => return usage(),
+            },
+            "--cache-dir" => match args.next() {
+                Some(value) => cache_dir = Some(PathBuf::from(value)),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                println!("usage: rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]");
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if shards <= 1 {
+        match Server::bind(&listen, cache_dir.as_deref()) {
+            Ok(server) => {
+                eprintln!("rlc-serviced: serving on {}", server.local_addr());
+                server.serve();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rlc-serviced: failed to start: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let exe = match std::env::current_exe() {
+            Ok(exe) => exe,
+            Err(e) => {
+                eprintln!("rlc-serviced: cannot locate own executable: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match ShardServer::spawn(&listen, shards, cache_dir.as_deref(), &exe) {
+            Ok(server) => {
+                eprintln!(
+                    "rlc-serviced: coordinating {shards} shards on {}",
+                    server.local_addr()
+                );
+                server.serve();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rlc-serviced: failed to start shard fleet: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Stable response codes and the client-facing [`ServiceError`] type.
+//!
+//! Every facade `EngineError` variant maps to one fixed `u16` code, so a
+//! client can match on failure categories without parsing display strings —
+//! and so the codes stay stable across releases even if error messages
+//! change. Codes below 100 mirror engine errors one-to-one (plus the
+//! service-only `SHARD_LOST`); codes from 100 up are protocol-layer
+//! failures.
+
+use rlc_ceff_suite::EngineError;
+
+use crate::wire::WireError;
+
+/// The stable response codes of the service protocol.
+pub mod code {
+    /// A stage or load description failed validation.
+    pub const INVALID_STAGE: u16 = 1;
+    /// A load could not be reduced to a usable admittance.
+    pub const LOAD: u16 = 2;
+    /// The analytic effective-capacitance flow failed.
+    pub const MODEL: u16 = 3;
+    /// The golden transient simulation failed.
+    pub const SIMULATION: u16 = 4;
+    /// Cell characterization or table lookup failed.
+    pub const CHARACTERIZATION: u16 = 5;
+    /// The persistent characterization cache failed.
+    pub const CACHE: u16 = 6;
+    /// The requested load/backend combination is unsupported.
+    pub const UNSUPPORTED: u16 = 7;
+    /// A stage analysis panicked server-side.
+    pub const STAGE_PANICKED: u16 = 8;
+    /// A dependency handle could not be resolved.
+    pub const INVALID_DEPENDENCY: u16 = 9;
+    /// The submission would close a dependency cycle.
+    pub const DEPENDENCY_CYCLE: u16 = 10;
+    /// A named sink does not exist on the producer's load.
+    pub const UNKNOWN_SINK: u16 = 11;
+    /// The stage was poisoned by a failing producer.
+    pub const UPSTREAM_FAILED: u16 = 12;
+    /// The session was cancelled before the stage ran.
+    pub const CANCELLED: u16 = 13;
+    /// The session deadline passed before the stage ran.
+    pub const DEADLINE_EXCEEDED: u16 = 14;
+    /// The shard that owned the stage died and the stage could not be
+    /// transparently resubmitted (it had dependencies, or no shard
+    /// survived).
+    pub const SHARD_LOST: u16 = 15;
+
+    /// A malformed or out-of-order message (e.g. `Submit` before `Hello`).
+    pub const PROTOCOL: u16 = 100;
+    /// A frame failed its payload checksum.
+    pub const CHECKSUM: u16 = 101;
+    /// A frame carried a stale protocol version.
+    pub const STALE_PROTOCOL: u16 = 102;
+    /// A frame declared an oversized payload.
+    pub const OVERSIZED: u16 = 103;
+}
+
+/// The stable code of an engine error.
+pub fn engine_code(error: &EngineError) -> u16 {
+    match error {
+        EngineError::InvalidStage { .. } => code::INVALID_STAGE,
+        EngineError::Load { .. } => code::LOAD,
+        EngineError::Model { .. } => code::MODEL,
+        EngineError::Simulation { .. } => code::SIMULATION,
+        EngineError::Characterization { .. } => code::CHARACTERIZATION,
+        EngineError::Cache { .. } => code::CACHE,
+        EngineError::Unsupported { .. } => code::UNSUPPORTED,
+        EngineError::StagePanicked { .. } => code::STAGE_PANICKED,
+        EngineError::InvalidDependency { .. } => code::INVALID_DEPENDENCY,
+        EngineError::DependencyCycle { .. } => code::DEPENDENCY_CYCLE,
+        EngineError::UnknownSink { .. } => code::UNKNOWN_SINK,
+        EngineError::UpstreamFailed { .. } => code::UPSTREAM_FAILED,
+        EngineError::Cancelled { .. } => code::CANCELLED,
+        EngineError::DeadlineExceeded { .. } => code::DEADLINE_EXCEEDED,
+    }
+}
+
+/// The stable code of a recoverable frame-layer error the server answers
+/// with a typed [`crate::protocol::Response::Error`].
+pub fn wire_code(error: &WireError) -> u16 {
+    match error {
+        WireError::BadChecksum => code::CHECKSUM,
+        WireError::StaleVersion { .. } => code::STALE_PROTOCOL,
+        WireError::Oversized { .. } => code::OVERSIZED,
+        _ => code::PROTOCOL,
+    }
+}
+
+/// A short, stable name for a response code (for logs and error displays).
+pub fn code_name(code: u16) -> &'static str {
+    match code {
+        code::INVALID_STAGE => "invalid-stage",
+        code::LOAD => "load",
+        code::MODEL => "model",
+        code::SIMULATION => "simulation",
+        code::CHARACTERIZATION => "characterization",
+        code::CACHE => "cache",
+        code::UNSUPPORTED => "unsupported",
+        code::STAGE_PANICKED => "stage-panicked",
+        code::INVALID_DEPENDENCY => "invalid-dependency",
+        code::DEPENDENCY_CYCLE => "dependency-cycle",
+        code::UNKNOWN_SINK => "unknown-sink",
+        code::UPSTREAM_FAILED => "upstream-failed",
+        code::CANCELLED => "cancelled",
+        code::DEADLINE_EXCEEDED => "deadline-exceeded",
+        code::SHARD_LOST => "shard-lost",
+        code::PROTOCOL => "protocol",
+        code::CHECKSUM => "checksum",
+        code::STALE_PROTOCOL => "stale-protocol",
+        code::OVERSIZED => "oversized",
+        _ => "unknown",
+    }
+}
+
+/// Any error surfaced by the [`crate::client::ServiceClient`] — either a
+/// transport problem on this end, or a typed failure the server reported.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// A frame-layer failure (socket error, truncated frame, bad checksum).
+    Wire(WireError),
+    /// The server (or the shard coordinator) reported a typed failure.
+    Remote {
+        /// The stable response code (see [`code`]).
+        code: u16,
+        /// The server's human-readable detail.
+        message: String,
+    },
+    /// The server answered with a response the protocol does not allow at
+    /// this point in the conversation.
+    Unexpected {
+        /// What arrived instead of the expected response.
+        what: String,
+    },
+}
+
+impl ServiceError {
+    /// The stable response code, for remote failures.
+    pub fn code(&self) -> Option<u16> {
+        match self {
+            ServiceError::Remote { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    /// A remote failure with the given code.
+    pub(crate) fn remote(code: u16, message: impl Into<String>) -> ServiceError {
+        ServiceError::Remote {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Wire(e) => write!(f, "transport failed: {e}"),
+            ServiceError::Remote { code, message } => {
+                write!(f, "remote error [{} {}]: {message}", code, code_name(*code))
+            }
+            ServiceError::Unexpected { what } => {
+                write!(f, "unexpected response: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<WireError> for ServiceError {
+    fn from(e: WireError) -> Self {
+        ServiceError::Wire(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn engine_codes_are_stable_and_distinct() {
+        let errors: Vec<EngineError> = vec![
+            EngineError::invalid("x"),
+            EngineError::unsupported("x"),
+            EngineError::Cache { what: "x".into() },
+            EngineError::StagePanicked {
+                label: "a".into(),
+                detail: "b".into(),
+            },
+            EngineError::InvalidDependency { what: "x".into() },
+            EngineError::DependencyCycle { label: "a".into() },
+            EngineError::UnknownSink {
+                label: "a".into(),
+                sink: "s".into(),
+                available: vec![],
+            },
+            EngineError::UpstreamFailed {
+                label: "a".into(),
+                upstream: "b".into(),
+            },
+            EngineError::Cancelled { label: "a".into() },
+            EngineError::DeadlineExceeded { label: "a".into() },
+        ];
+        let mut codes: Vec<u16> = errors.iter().map(engine_code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), errors.len(), "codes must be distinct");
+        // Spot-check the documented values — these are wire-stable.
+        assert_eq!(engine_code(&EngineError::invalid("x")), 1);
+        assert_eq!(
+            engine_code(&EngineError::DeadlineExceeded { label: "a".into() }),
+            14
+        );
+        assert_eq!(
+            engine_code(&EngineError::DependencyCycle { label: "a".into() }),
+            10
+        );
+    }
+
+    #[test]
+    fn wire_codes_cover_the_recoverable_failures() {
+        assert_eq!(wire_code(&WireError::BadChecksum), code::CHECKSUM);
+        assert_eq!(
+            wire_code(&WireError::StaleVersion { got: 2 }),
+            code::STALE_PROTOCOL
+        );
+        assert_eq!(
+            wire_code(&WireError::Oversized { declared: 1 }),
+            code::OVERSIZED
+        );
+        assert_eq!(
+            wire_code(&WireError::Malformed { what: "x".into() }),
+            code::PROTOCOL
+        );
+    }
+
+    #[test]
+    fn service_error_displays_code_names() {
+        let e = ServiceError::remote(code::SHARD_LOST, "worker 1 died");
+        assert_eq!(e.code(), Some(code::SHARD_LOST));
+        assert!(e.to_string().contains("shard-lost"));
+        assert!(e.to_string().contains("worker 1 died"));
+        let e: ServiceError = WireError::BadChecksum.into();
+        assert!(e.code().is_none());
+        assert!(e.to_string().contains("checksum"));
+        let e = ServiceError::Unexpected {
+            what: "Pong".into(),
+        };
+        assert!(e.to_string().contains("Pong"));
+        assert_eq!(code_name(9999), "unknown");
+    }
+}

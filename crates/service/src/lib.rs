@@ -1,0 +1,49 @@
+//! `rlc-service`: a sharded timing-analysis server over the
+//! `AnalysisSession`.
+//!
+//! This crate turns the in-process [`rlc_ceff_suite::TimingEngine`] facade
+//! into a network service with zero external dependencies:
+//!
+//! * [`wire`] — a hand-rolled, length-prefixed binary frame format
+//!   (magic, protocol version, FNV-1a payload checksum) with typed,
+//!   recoverable decode errors;
+//! * [`protocol`] — the request/response messages riding in those frames:
+//!   stage submissions carry the full load topology, driver-cell reference
+//!   and input event (or a dependency handle), responses stream completed
+//!   stage reports back in completion order;
+//! * [`error`] — stable `u16` response codes for every engine and
+//!   protocol failure, plus the client-facing [`ServiceError`];
+//! * [`server`] — a single-process [`Server`]: one TCP listener, one
+//!   `AnalysisSession` per client connection, a shared characterization
+//!   library;
+//! * [`shard`] — the [`ShardServer`] coordinator: N worker *processes*
+//!   sharing one on-disk characterization cache, stages routed by
+//!   dependency affinity and topology hash, worker death handled by
+//!   transparent resubmission (independent stages) or typed `ShardLost`
+//!   outcomes (dependent stages);
+//! * [`client`] — the [`ServiceClient`] library mirroring the facade's
+//!   `StageBuilder` / `StageHandle` API, so an in-process analysis ports
+//!   to remote mode with a handful of renames.
+//!
+//! Because the wire format round-trips every `f64` through its exact bit
+//! pattern and the workers run the very same `AnalysisSession` code, a
+//! remote analysis is bit-identical to the in-process one.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod error;
+pub mod protocol;
+pub mod server;
+pub mod shard;
+pub mod wire;
+
+pub use client::{
+    RemoteCell, RemoteHandle, RemoteLoad, RemoteReport, RemoteStage, RemoteStageBuilder,
+    ServiceClient,
+};
+pub use error::{code, code_name, ServiceError};
+pub use server::Server;
+pub use shard::{maybe_run_worker_from_env, ShardServer, WorkerPool};
+pub use wire::{WireError, PROTOCOL_VERSION};

@@ -1,0 +1,466 @@
+//! Frame layer of the service protocol: length-prefixed, versioned,
+//! checksummed binary frames over any `Read`/`Write` pair.
+//!
+//! The workspace is dependency-free by policy, so the framing is hand-rolled
+//! the same way [`rlc_charlib::cache::CharCache`]'s on-disk format is:
+//!
+//! ```text
+//! magic            8 bytes   b"RLCWIRE\0"
+//! protocol version 4 bytes   u32 LE (PROTOCOL_VERSION)
+//! payload length   8 bytes   u64 LE
+//! payload          N bytes   message bytes (see `protocol`)
+//! checksum         8 bytes   u64 LE, FNV-1a over the payload
+//! ```
+//!
+//! Every field after the magic is fixed-position, so a reader that rejects a
+//! frame for a *stale version* or a *bad checksum* still knows where the
+//! frame ends and can keep the stream synchronized — those two conditions
+//! are recoverable. A wrong magic means the stream is desynchronized and the
+//! connection must close; an oversized length prefix is either corruption or
+//! abuse and closes too (after the typed error is reported).
+
+use std::io::{Read, Write};
+
+/// Magic bytes opening every frame.
+pub const MAGIC: &[u8; 8] = b"RLCWIRE\0";
+
+/// Protocol version carried in every frame. Bump on any message-layout
+/// change; both ends reject mismatched frames with a typed
+/// [`WireError::StaleVersion`] instead of misparsing them.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a frame payload (16 MiB). Large enough for any stage
+/// submission or report, small enough that a corrupt or hostile length
+/// prefix cannot make the receiver allocate unbounded memory.
+pub const MAX_PAYLOAD: u64 = 16 * 1024 * 1024;
+
+/// Typed failures of the frame layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The stream ended mid-frame (or before one started, when `eof_ok` was
+    /// not requested): the peer went away or the frame was truncated.
+    Truncated,
+    /// The frame did not start with [`MAGIC`]: the stream is desynchronized.
+    BadMagic,
+    /// The frame carried a different protocol version. The offending frame
+    /// was consumed in full, so the connection remains usable.
+    StaleVersion {
+        /// The version the peer sent.
+        got: u32,
+    },
+    /// The payload length exceeded [`MAX_PAYLOAD`].
+    Oversized {
+        /// The length the prefix declared.
+        declared: u64,
+    },
+    /// The payload checksum did not match. The frame was consumed in full,
+    /// so the connection remains usable.
+    BadChecksum,
+    /// The payload decoded to no valid message (unknown tag, short buffer,
+    /// trailing bytes).
+    Malformed {
+        /// What failed to decode.
+        what: String,
+    },
+    /// An underlying socket/stream error.
+    Io {
+        /// The I/O error, stringified (keeps the type `Clone` + `PartialEq`).
+        what: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated frame (peer closed mid-message)"),
+            WireError::BadMagic => write!(f, "bad frame magic (stream desynchronized)"),
+            WireError::StaleVersion { got } => write!(
+                f,
+                "stale protocol version {got} (this end speaks {PROTOCOL_VERSION})"
+            ),
+            WireError::Oversized { declared } => write!(
+                f,
+                "oversized frame payload ({declared} bytes, limit {MAX_PAYLOAD})"
+            ),
+            WireError::BadChecksum => write!(f, "frame payload checksum mismatch"),
+            WireError::Malformed { what } => write!(f, "malformed message payload: {what}"),
+            WireError::Io { what } => write!(f, "stream error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::UnexpectedEof => WireError::Truncated,
+            _ => WireError::Io {
+                what: e.to_string(),
+            },
+        }
+    }
+}
+
+/// 64-bit FNV-1a, byte-for-byte the same function `CharCache` uses — small,
+/// dependency-free, stable across platforms.
+pub fn fnv(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Writes one frame around `payload`.
+///
+/// # Errors
+/// [`WireError::Oversized`] when the payload exceeds [`MAX_PAYLOAD`];
+/// [`WireError::Io`]/[`WireError::Truncated`] on stream failures.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), WireError> {
+    if payload.len() as u64 > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            declared: payload.len() as u64,
+        });
+    }
+    let mut frame = Vec::with_capacity(payload.len() + 28);
+    frame.extend_from_slice(MAGIC);
+    frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame.extend_from_slice(&fnv(payload).to_le_bytes());
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one frame and returns its payload. `None` when the stream is
+/// cleanly at end-of-file *before* any frame byte arrived (the peer closed
+/// between messages — the normal way a conversation ends).
+///
+/// # Errors
+/// Every [`WireError`] variant; see the module docs for which ones leave the
+/// stream re-usable (`StaleVersion`, `BadChecksum`) and which mean the
+/// connection is lost (`Truncated`, `BadMagic`, `Oversized`, `Io`).
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, WireError> {
+    let mut magic = [0u8; 8];
+    // Distinguish "closed between frames" (Ok(None)) from "closed inside a
+    // frame" (Truncated): only a zero-byte first read is a clean close.
+    let first = r.read(&mut magic).map_err(WireError::from)?;
+    if first == 0 {
+        return Ok(None);
+    }
+    r.read_exact(&mut magic[first..])?;
+    if &magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let mut version = [0u8; 4];
+    r.read_exact(&mut version)?;
+    let version = u32::from_le_bytes(version);
+    let mut len = [0u8; 8];
+    r.read_exact(&mut len)?;
+    let len = u64::from_le_bytes(len);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { declared: len });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let mut checksum = [0u8; 8];
+    r.read_exact(&mut checksum)?;
+    // Version and checksum are checked only after the whole frame has been
+    // consumed, so rejecting the frame leaves the stream on a frame boundary.
+    if version != PROTOCOL_VERSION {
+        return Err(WireError::StaleVersion { got: version });
+    }
+    if u64::from_le_bytes(checksum) != fnv(&payload) {
+        return Err(WireError::BadChecksum);
+    }
+    Ok(Some(payload))
+}
+
+/// Whether the connection can keep serving after this frame-layer error
+/// (the offending frame was fully consumed and the stream is still on a
+/// frame boundary).
+pub fn is_recoverable(error: &WireError) -> bool {
+    matches!(
+        error,
+        WireError::StaleVersion { .. } | WireError::BadChecksum | WireError::Malformed { .. }
+    )
+}
+
+// --- payload primitives ---------------------------------------------------
+
+/// Append-only payload encoder (little-endian, length-prefixed strings and
+/// slices; `f64` as IEEE-754 bit patterns so round trips are bit-identical).
+#[derive(Debug, Default)]
+pub struct Encoder(pub Vec<u8>);
+
+impl Encoder {
+    /// A fresh, empty encoder.
+    pub fn new() -> Self {
+        Encoder(Vec::new())
+    }
+
+    /// Appends one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+
+    /// Appends a bool as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Appends a `u16`.
+    pub fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.u64(v.len() as u64);
+        self.0.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends a length-prefixed `u64` slice.
+    pub fn u64_slice(&mut self, vs: &[u64]) {
+        self.u64(vs.len() as u64);
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+}
+
+/// Cursor-style payload decoder; every accessor returns `None` past the end,
+/// which the message layer turns into [`WireError::Malformed`].
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Starts decoding at the beginning of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Decoder { bytes, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.bytes.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    /// Reads a bool (strictly 0 or 1, anything else is malformed).
+    pub fn bool(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Reads an `f64` bit pattern.
+    pub fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length-prefixed UTF-8 string (length validated against the
+    /// remaining bytes before any allocation).
+    pub fn string(&mut self) -> Option<String> {
+        let n = self.u64()? as usize;
+        if n > self.bytes.len() - self.pos {
+            return None;
+        }
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    /// Reads a length-prefixed `u64` vector.
+    pub fn u64_vec(&mut self) -> Option<Vec<u64>> {
+        let n = self.u64()? as usize;
+        if n.checked_mul(8)? > self.bytes.len() - self.pos {
+            return None;
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    /// Whether every byte has been consumed (messages must decode exactly).
+    pub fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello frames").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello frames");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        // Clean EOF between frames.
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frames_are_typed() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"payload bytes").unwrap();
+        for cut in [1, 7, 12, 20, buf.len() - 1] {
+            let mut r = Cursor::new(&buf[..cut]);
+            assert_eq!(read_frame(&mut r).unwrap_err(), WireError::Truncated);
+        }
+    }
+
+    #[test]
+    fn bad_magic_stale_version_and_checksum_are_typed() {
+        let mut good = Vec::new();
+        write_frame(&mut good, b"abc").unwrap();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] ^= 0xff;
+        assert_eq!(
+            read_frame(&mut Cursor::new(bad_magic)).unwrap_err(),
+            WireError::BadMagic
+        );
+
+        let mut stale = good.clone();
+        stale[8] = (PROTOCOL_VERSION + 1) as u8;
+        let mut r = Cursor::new(&stale);
+        assert_eq!(
+            read_frame(&mut r).unwrap_err(),
+            WireError::StaleVersion {
+                got: PROTOCOL_VERSION + 1
+            }
+        );
+        // The stale frame was consumed in full: the cursor sits at EOF, the
+        // stream boundary is intact.
+        assert!(read_frame(&mut r).unwrap().is_none());
+
+        let mut flipped = good.clone();
+        flipped[20] ^= 0x01; // first payload byte
+        let mut r = Cursor::new(&flipped);
+        assert_eq!(read_frame(&mut r).unwrap_err(), WireError::BadChecksum);
+        assert!(read_frame(&mut r).unwrap().is_none());
+    }
+
+    #[test]
+    fn oversized_payloads_are_rejected_on_both_sides() {
+        // Writer side refuses before touching the stream.
+        struct NoWrite;
+        impl Write for NoWrite {
+            fn write(&mut self, _b: &[u8]) -> std::io::Result<usize> {
+                panic!("oversized payload must not reach the stream");
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let huge = vec![0u8; MAX_PAYLOAD as usize + 1];
+        assert!(matches!(
+            write_frame(&mut NoWrite, &huge).unwrap_err(),
+            WireError::Oversized { .. }
+        ));
+
+        // Reader side rejects the length prefix before allocating.
+        let mut frame = Vec::new();
+        frame.extend_from_slice(MAGIC);
+        frame.extend_from_slice(&PROTOCOL_VERSION.to_le_bytes());
+        frame.extend_from_slice(&u64::MAX.to_le_bytes());
+        assert_eq!(
+            read_frame(&mut Cursor::new(frame)).unwrap_err(),
+            WireError::Oversized { declared: u64::MAX }
+        );
+    }
+
+    #[test]
+    fn recoverability_classification() {
+        assert!(is_recoverable(&WireError::BadChecksum));
+        assert!(is_recoverable(&WireError::StaleVersion { got: 9 }));
+        assert!(is_recoverable(&WireError::Malformed { what: "x".into() }));
+        assert!(!is_recoverable(&WireError::Truncated));
+        assert!(!is_recoverable(&WireError::BadMagic));
+        assert!(!is_recoverable(&WireError::Oversized { declared: 0 }));
+        assert!(!is_recoverable(&WireError::Io { what: "x".into() }));
+    }
+
+    #[test]
+    fn primitives_round_trip_bit_identically() {
+        let mut e = Encoder::new();
+        e.u8(7);
+        e.bool(true);
+        e.u16(65535);
+        e.u32(123456);
+        e.u64(u64::MAX - 1);
+        e.f64(-0.0);
+        e.f64(1.625e-13);
+        e.string("driver/stage #3 — μm");
+        e.u64_slice(&[1, 2, 3]);
+        let bytes = e.0;
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.u8(), Some(7));
+        assert_eq!(d.bool(), Some(true));
+        assert_eq!(d.u16(), Some(65535));
+        assert_eq!(d.u32(), Some(123456));
+        assert_eq!(d.u64(), Some(u64::MAX - 1));
+        assert_eq!(d.f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        assert_eq!(d.f64(), Some(1.625e-13));
+        assert_eq!(d.string().as_deref(), Some("driver/stage #3 — μm"));
+        assert_eq!(d.u64_vec(), Some(vec![1, 2, 3]));
+        assert!(d.done());
+        // Short buffers: typed None, never a panic or over-read.
+        let mut d = Decoder::new(&bytes[..3]);
+        let _ = d.u8();
+        let _ = d.bool();
+        assert_eq!(d.u16(), None);
+        // A corrupt string length larger than the buffer is caught before
+        // allocation.
+        let mut e = Encoder::new();
+        e.u64(u64::MAX);
+        let bytes = e.0;
+        assert_eq!(Decoder::new(&bytes).string(), None);
+        assert_eq!(Decoder::new(&bytes).u64_vec(), None);
+    }
+}

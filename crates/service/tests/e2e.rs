@@ -1,0 +1,396 @@
+//! End-to-end: a real `ServiceClient` against a real multi-process shard
+//! fleet (spawned from the `rlc-serviced` binary), checked bit-for-bit
+//! against the in-process `AnalysisSession` on the same netlist.
+
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::interconnect::{CoupledBus, RlcTree};
+use rlc_ceff_suite::{
+    fixtures, AggressorSpec, AggressorSwitching, CoupledBusLoad, DistributedRlcLoad, EngineConfig,
+    LumpedCapLoad, RlcTreeLoad, SessionOptions, Stage, TimingEngine,
+};
+use rlc_service::protocol::{Request, Response, WireSessionOptions};
+use rlc_service::wire::{read_frame, write_frame};
+use rlc_service::{code, RemoteCell, RemoteLoad, RemoteStage, Server, ServiceClient, ShardServer};
+
+fn serviced_exe() -> &'static Path {
+    Path::new(env!("CARGO_BIN_EXE_rlc-serviced"))
+}
+
+/// The 4-net path topology shared by the in-process and remote runs
+/// (synthetic cells keep it characterization-free and fast).
+struct PathNets {
+    line: RlcLine,
+    tree: RlcTree,
+    bus: CoupledBus,
+    aggressor: AggressorSpec,
+    capture_c: f64,
+}
+
+fn path_nets() -> PathNets {
+    let extractor = EmpiricalExtractor::cmos018();
+    let line = extractor.extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let trunk = extractor.extract(&WireGeometry::new(mm(2.0), um(0.8)));
+    let short_branch = extractor.extract(&WireGeometry::new(mm(1.0), um(0.8)));
+    let long_branch = extractor.extract(&WireGeometry::new(mm(3.0), um(0.8)));
+    let mut tree = RlcTree::new();
+    let t = tree.add_branch(None, trunk);
+    let near = tree.add_branch(Some(t), short_branch);
+    let far = tree.add_branch(Some(t), long_branch);
+    tree.set_sink(near, "rx_near", ff(15.0));
+    tree.set_sink(far, "rx_far", ff(15.0));
+    let bus_line = extractor.extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let bus = CoupledBus::symmetric(
+        bus_line,
+        0.3 * bus_line.capacitance(),
+        0.2 * bus_line.inductance(),
+        ff(10.0),
+    );
+    let aggressor = AggressorSpec::new(
+        AggressorSwitching::OppositeDirection,
+        ps(100.0),
+        ps(50.0),
+        1.8,
+    )
+    .unwrap();
+    PathNets {
+        line,
+        tree,
+        bus,
+        aggressor,
+        capture_c: ff(200.0),
+    }
+}
+
+const STRONG: (f64, f64) = (75.0, 70.0);
+const WIDE: (f64, f64) = (100.0, 55.0);
+const RECEIVER: (f64, f64) = (50.0, 105.0);
+
+#[test]
+fn four_stage_dependent_path_is_bit_identical_across_two_shards() {
+    let nets = path_nets();
+
+    // In-process reference.
+    let engine = TimingEngine::new(EngineConfig::default());
+    let strong = Arc::new(fixtures::synthetic_cell(STRONG.0, STRONG.1));
+    let wide = Arc::new(fixtures::synthetic_cell(WIDE.0, WIDE.1));
+    let receiver = Arc::new(fixtures::synthetic_cell(RECEIVER.0, RECEIVER.1));
+    let mut session = engine.session();
+    let launch = session
+        .submit(
+            Stage::builder(
+                strong.clone(),
+                DistributedRlcLoad::new(nets.line, ff(10.0)).unwrap(),
+            )
+            .label("launch")
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+    let fork = session
+        .submit(
+            Stage::builder(strong, RlcTreeLoad::new(nets.tree.clone()).unwrap())
+                .label("fork")
+                .input_from(launch)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let bus_stage = session
+        .submit(
+            Stage::builder(wide, CoupledBusLoad::new(nets.bus, nets.aggressor).unwrap())
+                .label("bus")
+                .input_from_sink(fork, "rx_far")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    session
+        .submit(
+            Stage::builder(receiver, LumpedCapLoad::new(nets.capture_c).unwrap())
+                .label("capture")
+                .input_from_sink(bus_stage, "victim")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let local: Vec<_> = session
+        .wait_all()
+        .into_iter()
+        .map(|(_, outcome)| outcome.expect("in-process stage succeeded"))
+        .collect();
+
+    // Remote run against two real worker processes.
+    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let (addr, _pool) = fleet.serve_in_background();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let strong = RemoteCell::synthetic(STRONG.0, STRONG.1);
+    let launch = client
+        .submit(
+            RemoteStage::builder(strong, RemoteLoad::line(&nets.line, ff(10.0)))
+                .label("launch")
+                .input_slew(ps(100.0))
+                .build(),
+        )
+        .unwrap();
+    let fork = client
+        .submit(
+            RemoteStage::builder(strong, RemoteLoad::from_tree(&nets.tree))
+                .label("fork")
+                .input_from(launch)
+                .build(),
+        )
+        .unwrap();
+    let bus_stage = client
+        .submit(
+            RemoteStage::builder(
+                RemoteCell::synthetic(WIDE.0, WIDE.1),
+                RemoteLoad::bus(&nets.bus, nets.aggressor),
+            )
+            .label("bus")
+            .input_from_sink(fork, "rx_far")
+            .build(),
+        )
+        .unwrap();
+    client
+        .submit(
+            RemoteStage::builder(
+                RemoteCell::synthetic(RECEIVER.0, RECEIVER.1),
+                RemoteLoad::lumped(nets.capture_c),
+            )
+            .label("capture")
+            .input_from_sink(bus_stage, "victim")
+            .build(),
+        )
+        .unwrap();
+    let remote: Vec<_> = client
+        .wait_all()
+        .expect("remote wait_all")
+        .into_iter()
+        .map(|outcome| outcome.expect("remote stage succeeded"))
+        .collect();
+
+    assert_eq!(local.len(), 4);
+    assert_eq!(remote.len(), 4);
+    for (l, r) in local.iter().zip(&remote) {
+        assert_eq!(l.label, r.label);
+        assert_eq!(l.backend, r.backend);
+        // The wire format round-trips f64 bit patterns and the worker runs
+        // the identical engine code, so the remote path is bit-identical —
+        // far tighter than the 1e-9 the service contract promises.
+        assert_eq!(
+            l.delay.to_bits(),
+            r.delay.to_bits(),
+            "delay diverged on '{}': {} vs {}",
+            l.label,
+            l.delay,
+            r.delay
+        );
+        assert_eq!(
+            l.slew.to_bits(),
+            r.slew.to_bits(),
+            "slew diverged on '{}': {} vs {}",
+            l.label,
+            l.slew,
+            r.slew
+        );
+        assert_eq!(
+            l.input_t50.to_bits(),
+            r.input_t50.to_bits(),
+            "input t50 diverged on '{}': {} vs {}",
+            l.label,
+            l.input_t50,
+            r.input_t50
+        );
+        assert_eq!(l.vdd.to_bits(), r.vdd.to_bits());
+        assert_eq!(l.used_two_ramp, r.used_two_ramp);
+    }
+    client.close().unwrap();
+}
+
+#[test]
+fn independent_stages_survive_a_shard_death() {
+    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let (addr, pool) = fleet.serve_in_background();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let cell = RemoteCell::synthetic(75.0, 70.0);
+    let nets = path_nets();
+
+    let mut independents = Vec::new();
+    for i in 0..6 {
+        let handle = client
+            .submit(
+                RemoteStage::builder(cell, RemoteLoad::line(&nets.line, ff(10.0 + i as f64)))
+                    .label(format!("independent-{i}"))
+                    .input_slew(ps(100.0))
+                    .build(),
+            )
+            .unwrap();
+        independents.push(handle);
+    }
+    let producer = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::from_tree(&nets.tree))
+                .label("producer")
+                .input_slew(ps(100.0))
+                .build(),
+        )
+        .unwrap();
+    let dependent = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::lumped(ff(50.0)))
+                .label("dependent")
+                .input_from_sink(producer, "rx_far")
+                .build(),
+        )
+        .unwrap();
+
+    // Kill one worker while the batch is (likely) in flight. Independent
+    // stages must still all succeed — the coordinator resubmits them to the
+    // survivor. The dependent chain either finished on the surviving shard
+    // or reports a typed shard-lost failure.
+    pool.lock().unwrap().kill(0);
+    let results = client.wait_all().expect("wait_all survives a dead shard");
+    assert_eq!(results.len(), 8);
+    for handle in independents {
+        assert!(
+            results[handle.index() as usize].is_ok(),
+            "independent stage {} must be transparently resubmitted, got {:?}",
+            handle.index(),
+            results[handle.index() as usize]
+        );
+    }
+    for handle in [producer, dependent] {
+        match &results[handle.index() as usize] {
+            Ok(_) => {}
+            Err(e) => assert!(
+                e.code() == Some(code::SHARD_LOST) || e.code() == Some(code::UPSTREAM_FAILED),
+                "dependent chain failures must be typed, got {e}"
+            ),
+        }
+    }
+    client.close().unwrap();
+}
+
+#[test]
+fn typed_errors_cross_the_wire() {
+    let addr = Server::bind("127.0.0.1:0", None)
+        .expect("bind")
+        .serve_in_background();
+
+    // Unknown sink: the producer's line load only exposes "far".
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let cell = RemoteCell::synthetic(75.0, 70.0);
+    let nets = path_nets();
+    let producer = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::line(&nets.line, ff(10.0)))
+                .label("producer")
+                .input_slew(ps(100.0))
+                .build(),
+        )
+        .unwrap();
+    let err = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::lumped(ff(50.0)))
+                .label("consumer")
+                .input_from_sink(producer, "definitely-not-a-sink")
+                .build(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(code::UNKNOWN_SINK));
+    // The rejected submission allocated no handle: the next submit reuses
+    // its index, and the session still completes.
+    let ok = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::lumped(ff(50.0)))
+                .label("consumer")
+                .input_from(producer)
+                .build(),
+        )
+        .unwrap();
+    assert_eq!(ok.index(), producer.index() + 1);
+    assert!(client.wait_all().unwrap().iter().all(Result::is_ok));
+
+    // Non-physical loads are typed rejections, not server panics.
+    let err = client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::lumped(-1.0))
+                .label("negative-cap")
+                .input_slew(ps(100.0))
+                .build(),
+        )
+        .unwrap_err();
+    assert_eq!(err.code(), Some(code::INVALID_STAGE));
+    client.close().unwrap();
+
+    // A zero timeout deadline-fails every stage with the typed code.
+    let mut client =
+        ServiceClient::connect_with(addr, &SessionOptions::timeout(Duration::ZERO)).unwrap();
+    client
+        .submit(
+            RemoteStage::builder(cell, RemoteLoad::lumped(ff(50.0)))
+                .label("too-late")
+                .input_slew(ps(100.0))
+                .build(),
+        )
+        .unwrap();
+    let results = client.wait_all().unwrap();
+    assert_eq!(results.len(), 1);
+    assert_eq!(
+        results[0].as_ref().unwrap_err().code(),
+        Some(code::DEADLINE_EXCEEDED)
+    );
+    client.close().unwrap();
+}
+
+#[test]
+fn dangling_dependency_handles_are_rejected_by_the_coordinator() {
+    // The client API cannot forge handles, so drive the sharded server with
+    // raw protocol frames: a submission naming a handle that was never
+    // allocated must come back as a typed invalid-dependency error on both
+    // the coordinator and the single-process server.
+    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let (shard_addr, _pool) = fleet.serve_in_background();
+    let single_addr = Server::bind("127.0.0.1:0", None)
+        .expect("bind")
+        .serve_in_background();
+
+    for addr in [shard_addr, single_addr] {
+        let mut conn = BufReader::new(TcpStream::connect(addr).unwrap());
+        let send = |request: &Request, conn: &mut BufReader<TcpStream>| {
+            write_frame(conn.get_mut(), &request.encode()).unwrap();
+            conn.get_mut().flush().unwrap();
+            let payload = read_frame(conn).unwrap().expect("response");
+            Response::decode(&payload).unwrap()
+        };
+        assert_eq!(
+            send(
+                &Request::Hello {
+                    options: WireSessionOptions::defaults()
+                },
+                &mut conn
+            ),
+            Response::HelloAck
+        );
+        let stage = RemoteStage::builder(
+            RemoteCell::synthetic(75.0, 70.0),
+            RemoteLoad::lumped(50e-15),
+        )
+        .label("dangling")
+        .input_slew(100e-12)
+        .build();
+        let mut wire = stage.into_wire();
+        wire.after = vec![42];
+        match send(&Request::Submit(Box::new(wire)), &mut conn) {
+            Response::Error { code: got, .. } => assert_eq!(got, code::INVALID_DEPENDENCY),
+            other => panic!("expected a typed rejection, got {other:?}"),
+        }
+    }
+}

@@ -151,6 +151,18 @@ impl Default for SessionOptions {
 }
 
 impl SessionOptions {
+    /// Default options with a duration-based deadline: the session fails
+    /// every stage that has not started `timeout` after session creation.
+    ///
+    /// Because the budget is a `Duration` measured from session creation —
+    /// not an absolute `Instant` of this process's monotonic clock — it is
+    /// exactly expressible by a remote client: the timing service's wire
+    /// protocol carries it as a nanosecond count, and the server-side
+    /// session starts the clock when the connection's session opens.
+    pub fn timeout(timeout: Duration) -> Self {
+        SessionOptions::default().with_deadline(timeout)
+    }
+
     /// Sets the session deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
@@ -293,6 +305,39 @@ mod tests {
         assert!(!mc.extract_rs_per_case);
         assert_eq!(mc.iteration, config.iteration);
         assert_eq!(mc.criteria, config.criteria);
+    }
+
+    #[test]
+    fn timeout_is_a_duration_based_deadline() {
+        use std::time::Duration;
+
+        let options = SessionOptions::timeout(Duration::from_millis(250));
+        assert_eq!(options.deadline, Some(Duration::from_millis(250)));
+        // Everything else stays at the defaults a remote client expects.
+        let defaults = SessionOptions::default();
+        assert_eq!(options.max_in_flight, defaults.max_in_flight);
+        assert_eq!(options.sampled_handoff, defaults.sampled_handoff);
+
+        // A session opened with an already-expired budget rejects new work
+        // with the typed deadline error — the behaviour the wire protocol
+        // maps to a stable response code.
+        let engine =
+            crate::TimingEngine::new(EngineConfig::builder().extract_rs_per_case(false).build());
+        let mut session = engine.session_with(SessionOptions::timeout(Duration::ZERO));
+        let stage = crate::Stage::builder(
+            crate::fixtures::synthetic_cell_75x(),
+            crate::LumpedCapLoad::new(200e-15).unwrap(),
+        )
+        .input_slew(100e-12)
+        .build()
+        .unwrap();
+        let handle = session.submit(stage).unwrap();
+        let (reported, outcome) = session.next_report().expect("one outcome");
+        assert_eq!(reported, handle);
+        assert!(matches!(
+            outcome,
+            Err(crate::EngineError::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

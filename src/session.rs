@@ -420,6 +420,35 @@ impl AnalysisSession {
         }
     }
 
+    /// Non-blocking sibling of [`AnalysisSession::next_report`]: returns the
+    /// next completed stage if one is already available, `None` when nothing
+    /// has completed yet **or** everything submitted so far has been
+    /// reported. Disambiguate the two `None` cases with
+    /// [`AnalysisSession::outstanding`] — this is what lets a service front
+    /// end poll many sessions (one per shard) without parking a thread on
+    /// each.
+    pub fn try_next_report(&mut self) -> Option<StageOutcome> {
+        let expected = self.shared.state.lock().expect("session state").expected;
+        if self.reported >= expected {
+            return None;
+        }
+        match self.rx.try_recv() {
+            Ok(outcome) => {
+                self.reported += 1;
+                Some(outcome)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Number of submitted stages whose outcomes have not been streamed yet
+    /// (zero means [`AnalysisSession::try_next_report`]'s `None` is "all
+    /// reported", not "still running").
+    pub fn outstanding(&self) -> usize {
+        let expected = self.shared.state.lock().expect("session state").expected;
+        expected.saturating_sub(self.reported)
+    }
+
     /// Streaming iterator over completions: yields `(handle, outcome)` in
     /// completion order until everything submitted so far has been reported.
     pub fn reports(&mut self) -> SessionReports<'_> {
