@@ -41,6 +41,27 @@ fn session_bench_cell() -> rlc_charlib::DriverCell {
     rlc_ceff_suite::fixtures::synthetic_cell_75x()
 }
 
+/// A balanced 8-sink clock-tree-like net: root, two level-1 arms, four
+/// mid-level branches, eight sink stubs. Mirrors the reduced-order backend's
+/// showcase fixture (stable 2-pole transfer fit at every sink).
+fn balanced_8sink_tree() -> RlcTree {
+    let mut tree = RlcTree::new();
+    let root = tree.add_branch(None, RlcLine::new(100.0, nh(0.4), pf(0.5), mm(2.0)));
+    let l1a = tree.add_branch(Some(root), RlcLine::new(120.0, nh(0.3), pf(0.4), mm(1.5)));
+    let l1b = tree.add_branch(Some(root), RlcLine::new(120.0, nh(0.3), pf(0.4), mm(1.5)));
+    for (i, &parent) in [l1a, l1a, l1b, l1b].iter().enumerate() {
+        let mid = tree.add_branch(
+            Some(parent),
+            RlcLine::new(150.0, nh(0.2), pf(0.25), mm(1.0)),
+        );
+        let s1 = tree.add_branch(Some(mid), RlcLine::new(180.0, nh(0.1), pf(0.15), mm(0.6)));
+        let s2 = tree.add_branch(Some(mid), RlcLine::new(180.0, nh(0.1), pf(0.15), mm(0.6)));
+        tree.set_sink(s1, &format!("rx{}", 2 * i), ff(12.0));
+        tree.set_sink(s2, &format!("rx{}", 2 * i + 1), ff(18.0));
+    }
+    tree
+}
+
 /// Benchmarks one circuit under the legacy and the automatic (fast) kernel,
 /// reusing one workspace on the fast side the way `charlib` and the spice
 /// backend do.
@@ -158,6 +179,122 @@ fn main() {
     tree_ckt.set_initial_condition(tree_in, 0.0);
     let _ = tree.add_to_circuit(&mut tree_ckt, tree_in, tree_segments, 0.0, "net");
     results.push(compare(&mut runner, "tree_3sink", &tree_ckt, ps(0.5), stop));
+
+    // ---- Sparse kernel: past the dense-matrix ceiling --------------------
+    // The flagship line at 400 segments (~1200 MNA unknowns): dense
+    // factor-once versus the min-degree sparse LU. This is the circuit size
+    // the sparse kernel exists for; the full-mode JSON records the measured
+    // win, and the smoke run doubles as a CI wall-clock gate.
+    let sparse_stop = if smoke { ps(200.0) } else { ps(1200.0) };
+    let (sparse_ladder, _) = pwl_source_with_rlc_line(
+        SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0)),
+        0.0,
+        r,
+        l,
+        c,
+        400,
+        ff(10.0),
+    );
+    let dense_400 =
+        TransientAnalysis::new(options(ps(0.5), sparse_stop, KernelStrategy::FactorOnce));
+    let baseline = runner.bench("ladder_400seg/dense", || {
+        dense_400.run(black_box(&sparse_ladder)).unwrap()
+    });
+    let sparse_400 = TransientAnalysis::new(options(ps(0.5), sparse_stop, KernelStrategy::Sparse));
+    let mut sparse_ws = TransientWorkspace::new();
+    let optimized = runner.bench("ladder_400seg/sparse", || {
+        let res = sparse_400
+            .run_with(black_box(&sparse_ladder), &mut sparse_ws)
+            .unwrap();
+        assert_eq!(res.strategy(), KernelStrategy::Sparse);
+        res
+    });
+    // CI gate: one 400-segment sparse transient must stay interactive even
+    // on a loaded shared runner.
+    assert!(
+        optimized < std::time::Duration::from_secs(2),
+        "ladder_400seg sparse transient took {optimized:?}, over the 2 s wall-clock budget"
+    );
+    results.push(BenchComparison {
+        name: "ladder_400seg".to_string(),
+        baseline_ns: baseline.as_nanos(),
+        optimized_ns: optimized.as_nanos(),
+    });
+
+    // The balanced 8-sink clock-tree-like net (the reduced-order showcase
+    // fixture) at sparse scale: 15 branches of segmented ladders, a matrix
+    // with genuine branching sparsity rather than a banded chain.
+    let eight_sink = balanced_8sink_tree();
+    let eight_segments = if smoke { 4 } else { 12 };
+    let mut eight_ckt = Circuit::new();
+    let eight_in = eight_ckt.node("out");
+    eight_ckt.add_vsource(
+        "VDRV",
+        eight_in,
+        Circuit::GROUND,
+        SourceWaveform::rising_ramp(1.8, 0.0, ps(100.0)),
+    );
+    eight_ckt.set_initial_condition(eight_in, 0.0);
+    let _ = eight_sink.add_to_circuit(&mut eight_ckt, eight_in, eight_segments, 0.0, "net");
+    let dense_tree =
+        TransientAnalysis::new(options(ps(0.5), sparse_stop, KernelStrategy::FactorOnce));
+    let baseline = runner.bench("tree_8sink_sparse/dense", || {
+        dense_tree.run(black_box(&eight_ckt)).unwrap()
+    });
+    let sparse_tree = TransientAnalysis::new(options(ps(0.5), sparse_stop, KernelStrategy::Sparse));
+    let mut tree_ws = TransientWorkspace::new();
+    let optimized = runner.bench("tree_8sink_sparse/sparse", || {
+        let res = sparse_tree
+            .run_with(black_box(&eight_ckt), &mut tree_ws)
+            .unwrap();
+        assert_eq!(res.strategy(), KernelStrategy::Sparse);
+        res
+    });
+    results.push(BenchComparison {
+        name: "tree_8sink_sparse".to_string(),
+        baseline_ns: baseline.as_nanos(),
+        optimized_ns: optimized.as_nanos(),
+    });
+
+    // ---- Reduced-order model versus transient simulation -----------------
+    // The same 8-sink net analyzed as a timing stage: the golden
+    // transistor-level simulation (driver netlist + stamped tree) versus the
+    // moment-matched closed-form ROM answering the far end with no transient
+    // at all.
+    {
+        use rlc_ceff_suite::{
+            AnalysisBackend, EngineConfig, ReducedOrderBackend, RlcTreeLoad, SpiceBackend, Stage,
+        };
+
+        let rom_stage = Stage::builder(
+            session_bench_cell(),
+            RlcTreeLoad::new(eight_sink.clone()).unwrap(),
+        )
+        .label("rom-vs-spice")
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let rom_config = if smoke {
+            EngineConfig::fast_for_tests()
+        } else {
+            EngineConfig::builder().extract_rs_per_case(false).build()
+        };
+        let spice = SpiceBackend;
+        let baseline = runner.bench("rom_vs_spice/spice", || {
+            spice.analyze(black_box(&rom_stage), &rom_config).unwrap()
+        });
+        let rom = ReducedOrderBackend::new();
+        let optimized = runner.bench("rom_vs_spice/rom", || {
+            let report = rom.analyze(black_box(&rom_stage), &rom_config).unwrap();
+            assert_eq!(report.backend, "reduced-order", "ROM silently fell back");
+            report
+        });
+        results.push(BenchComparison {
+            name: "rom_vs_spice".to_string(),
+            baseline_ns: baseline.as_nanos(),
+            optimized_ns: optimized.as_nanos(),
+        });
+    }
 
     // Nonlinear driver stage: a 75X inverter driving the same line — the
     // split-stamp Newton kernel.

@@ -30,6 +30,31 @@ const TANH_SQRT_OVER_SQRT: [f64; 8] = [
     -929_569.0 / 638_512_875.0,
 ];
 
+/// Coefficients of `cosh(sqrt(u))` as a power series in `u`: `1/(2k)!`.
+const COSH_SQRT: [f64; 8] = [
+    1.0,
+    1.0 / 2.0,
+    1.0 / 24.0,
+    1.0 / 720.0,
+    1.0 / 40_320.0,
+    1.0 / 3_628_800.0,
+    1.0 / 479_001_600.0,
+    1.0 / 87_178_291_200.0,
+];
+
+/// Coefficients of `sinh(sqrt(u)) / sqrt(u)` as a power series in `u`:
+/// `1/(2k+1)!`.
+const SINH_SQRT_OVER_SQRT: [f64; 8] = [
+    1.0,
+    1.0 / 6.0,
+    1.0 / 120.0,
+    1.0 / 5_040.0,
+    1.0 / 362_880.0,
+    1.0 / 39_916_800.0,
+    1.0 / 6_227_020_800.0,
+    1.0 / 1_307_674_368_000.0,
+];
+
 /// Moments (`m1..=m_{n_moments}`) of the driving-point admittance of a
 /// uniform RLC `line` terminated by `c_load`, computed from the distributed
 /// (exact transmission-line) expression.
@@ -69,20 +94,8 @@ pub fn distributed_admittance_moments(line: &RlcLine, c_load: f64, n_moments: us
 /// traversal.
 fn propagate_through_line(line: &RlcLine, y_far: &PowerSeries) -> PowerSeries {
     let n_terms = y_far.n_terms();
-    let r = line.resistance();
-    let l = line.inductance();
     let c = line.capacitance();
-
-    // u(s) = (R + sL) * (sC): zero constant term, analytic in s.
-    let series_r_sl = {
-        let mut coeffs = vec![0.0; n_terms];
-        coeffs[0] = r;
-        if n_terms > 1 {
-            coeffs[1] = l;
-        }
-        PowerSeries::new(coeffs)
-    };
-    let u = series_r_sl.mul(&PowerSeries::linear(c, n_terms));
+    let (series_r_sl, u) = line_series_impedance_and_u(line, n_terms);
 
     // T(u) = tanh(sqrt(u))/sqrt(u) composed with the series u (u(0) = 0).
     let t_of_u = compose_in_zero_constant_series(&TANH_SQRT_OVER_SQRT, &u);
@@ -95,6 +108,39 @@ fn propagate_through_line(line: &RlcLine, y_far: &PowerSeries) -> PowerSeries {
     let numerator = y_far.add(&yc_tanh);
     let denominator = PowerSeries::constant(1.0, n_terms).add(&y_far.mul(&z0_tanh));
     numerator.div(&denominator)
+}
+
+/// Total series impedance `R + sL` of a line and the analytic variable
+/// `u(s) = (R + sL)(sC)` as truncated power series, shared by the admittance
+/// and voltage-transfer propagation steps.
+fn line_series_impedance_and_u(line: &RlcLine, n_terms: usize) -> (PowerSeries, PowerSeries) {
+    let mut coeffs = vec![0.0; n_terms];
+    coeffs[0] = line.resistance();
+    if n_terms > 1 {
+        coeffs[1] = line.inductance();
+    }
+    let series_r_sl = PowerSeries::new(coeffs);
+    let u = series_r_sl.mul(&PowerSeries::linear(line.capacitance(), n_terms));
+    (series_r_sl, u)
+}
+
+/// Denominator of the far-end/near-end voltage transfer across one
+/// distributed line section terminated by the admittance `y_far`:
+///
+/// ```text
+/// V_far / V_near = 1 / (cosh θ + Z0 sinh θ · Y_far)
+/// ```
+///
+/// from the ABCD relation `V_near = cosh θ · V_far + Z0 sinh θ · I_far` with
+/// `I_far = Y_far · V_far`. Both hyperbolic factors are analytic in
+/// `u = (R + sL)(sC)`: `cosh θ = cosh(√u)` and
+/// `Z0 sinh θ = (R + sL) · sinh(√u)/√u`.
+fn line_transfer_denominator(line: &RlcLine, y_far: &PowerSeries) -> PowerSeries {
+    let n_terms = y_far.n_terms();
+    let (series_r_sl, u) = line_series_impedance_and_u(line, n_terms);
+    let cosh = compose_in_zero_constant_series(&COSH_SQRT, &u);
+    let z0_sinh = series_r_sl.mul(&compose_in_zero_constant_series(&SINH_SQRT_OVER_SQRT, &u));
+    cosh.add(&z0_sinh.mul(y_far))
 }
 
 /// Moments of the driving-point admittance of an RLC tree, by the standard
@@ -120,31 +166,91 @@ pub fn tree_admittance_moments(tree: &RlcTree, n_moments: usize) -> Vec<f64> {
         "tree must have at least one branch"
     );
     let n_terms = n_moments + 1;
-
-    // Admittance looking into each branch from its near end. Children always
-    // have larger indices than their parents, so one reverse pass visits
-    // every subtree bottom-up.
-    let mut y_near: Vec<Option<PowerSeries>> = vec![None; tree.num_branches()];
-    for (id, branch) in tree.branches().collect::<Vec<_>>().into_iter().rev() {
-        let c_sink = branch.sink().map_or(0.0, |s| s.c_load);
-        let mut y_far = PowerSeries::linear(c_sink, n_terms);
-        for child in tree.children(id) {
-            y_far = y_far.add(
-                y_near[child.index()]
-                    .as_ref()
-                    .expect("children are processed before their parents"),
-            );
-        }
-        y_near[id.index()] = Some(propagate_through_line(branch.line(), &y_far));
-    }
+    let (_, y_near) = tree_upward_pass(tree, n_terms);
 
     let mut total = PowerSeries::zero(n_terms);
     for (id, branch) in tree.branches() {
         if branch.parent().is_none() {
-            total = total.add(y_near[id.index()].as_ref().expect("all branches computed"));
+            total = total.add(&y_near[id.index()]);
         }
     }
     (1..=n_moments).map(|k| total.coeff(k)).collect()
+}
+
+/// Bottom-up admittance pass over every branch of a tree. Returns, per
+/// branch, the far-end termination admittance (sink capacitance plus the
+/// input admittances of the child subtrees) and the near-end input
+/// admittance after propagation through the branch's own line. Children
+/// always have larger indices than their parents, so one reverse pass visits
+/// every subtree bottom-up.
+fn tree_upward_pass(tree: &RlcTree, n_terms: usize) -> (Vec<PowerSeries>, Vec<PowerSeries>) {
+    let n = tree.num_branches();
+    let mut y_far_all = vec![PowerSeries::zero(n_terms); n];
+    let mut y_near = vec![PowerSeries::zero(n_terms); n];
+    for (id, branch) in tree.branches().collect::<Vec<_>>().into_iter().rev() {
+        let c_sink = branch.sink().map_or(0.0, |s| s.c_load);
+        let mut y_far = PowerSeries::linear(c_sink, n_terms);
+        for child in tree.children(id) {
+            // Children are processed before their parents by the reverse pass.
+            y_far = y_far.add(&y_near[child.index()]);
+        }
+        y_near[id.index()] = propagate_through_line(branch.line(), &y_far);
+        y_far_all[id.index()] = y_far;
+    }
+    (y_far_all, y_near)
+}
+
+/// Moments of the voltage transfer function `H(s) = V_sink(s) / V_root(s)`
+/// from the tree's driving point to the named sink.
+///
+/// Along the root→sink path every branch contributes a factor
+/// `1 / (cosh θ + Z0 sinh θ · Y_far)` where `Y_far` is the full admittance
+/// terminating that branch (its sink load plus all child subtrees, computed
+/// by the same bottom-up pass as [`tree_admittance_moments`]). Side branches
+/// off the path enter only through those termination admittances.
+///
+/// Returns `None` if no sink with the given name exists. The returned vector
+/// has length `n_moments + 1`; `result[k]` is the coefficient of `s^k` in
+/// `H(s)`. `result[0]` is always `1.0` — at DC the capacitively loaded tree
+/// draws no current, so the sink sits at the driving-point voltage — and
+/// `-result[1]` is the Elmore delay of the sink.
+///
+/// # Panics
+/// Panics if the tree has no branches or `n_moments` is 0 or larger than 7.
+pub fn tree_transfer_moments(tree: &RlcTree, sink: &str, n_moments: usize) -> Option<Vec<f64>> {
+    assert!(
+        (1..=7).contains(&n_moments),
+        "supported transfer moment count is 1..=7"
+    );
+    assert!(
+        tree.num_branches() > 0,
+        "tree must have at least one branch"
+    );
+    let n_terms = n_moments + 1;
+
+    let target = tree.sinks().find(|(_, s)| s.name == sink)?.0;
+
+    let (y_far_all, _) = tree_upward_pass(tree, n_terms);
+
+    // H(s) = Π 1/D over the root→sink path; series products commute so the
+    // walk order (sink→root via parent pointers) does not matter.
+    let mut denominator = PowerSeries::constant(1.0, n_terms);
+    let mut cursor = Some(target);
+    while let Some(id) = cursor {
+        let branch = tree.branch(id);
+        denominator = denominator.mul(&line_transfer_denominator(
+            branch.line(),
+            &y_far_all[id.index()],
+        ));
+        cursor = branch.parent();
+    }
+    let h = PowerSeries::constant(1.0, n_terms).div(&denominator);
+
+    debug_assert!(
+        (h.coeff(0) - 1.0).abs() < 1e-12,
+        "DC transfer gain must be unity"
+    );
+    Some((0..=n_moments).map(|k| h.coeff(k)).collect())
 }
 
 /// Composes a power series in `u` (given by `outer_coeffs[k]` for `u^k`) with
@@ -388,6 +494,88 @@ mod tests {
             tree.total_capacitance(),
             1e-9 * tree.total_capacitance()
         ));
+    }
+
+    #[test]
+    fn open_rc_line_transfer_matches_sech_series() {
+        // For an open-ended uniform RC line H(s) = 1/cosh(sqrt(sRC)) =
+        // 1 - sRC/2 + 5(sRC)^2/24 - 61(sRC)^3/720 + ...
+        let line = RlcLine::new(100.0, 1e-18, pf(1.0), mm(5.0));
+        let tree = rlc_interconnect::RlcTree::single_line(line, 0.0);
+        let rc = line.resistance() * line.capacitance();
+        let h = tree_transfer_moments(&tree, "far", 3).unwrap();
+        assert!(approx_eq(h[0], 1.0, 1e-12));
+        assert!(approx_eq(h[1], -rc / 2.0, 1e-9), "h1 = {}", h[1]);
+        assert!(approx_eq(h[2], 5.0 * rc * rc / 24.0, 1e-9), "h2 = {}", h[2]);
+        assert!(
+            approx_eq(h[3], -61.0 * rc * rc * rc / 720.0, 1e-9),
+            "h3 = {}",
+            h[3]
+        );
+    }
+
+    #[test]
+    fn split_line_transfer_matches_unsplit_line() {
+        // Splitting a uniform line into two half-length cascaded branches is
+        // the same physical net; the transfer moments must agree.
+        let line = paper_line();
+        let half = line.with_length(line.length() / 2.0);
+        let cl = ff(30.0);
+        let whole_tree = rlc_interconnect::RlcTree::single_line(line, cl);
+        let mut split_tree = rlc_interconnect::RlcTree::new();
+        let first = split_tree.add_branch(None, half);
+        let second = split_tree.add_branch(Some(first), half);
+        split_tree.set_sink(second, "far", cl);
+
+        let whole = tree_transfer_moments(&whole_tree, "far", 4).unwrap();
+        let split = tree_transfer_moments(&split_tree, "far", 4).unwrap();
+        for k in 0..=4 {
+            assert!(
+                approx_eq(split[k], whole[k], 1e-9),
+                "moment {k}: {} vs {}",
+                split[k],
+                whole[k]
+            );
+        }
+    }
+
+    #[test]
+    fn transfer_first_moment_is_minus_elmore_delay() {
+        // For an RC tree -h1 is the Elmore delay: sum over path resistances
+        // times downstream capacitance. Check a two-sink RC tree by hand.
+        let trunk = RlcLine::new(200.0, 1e-18, pf(0.4), mm(2.0));
+        let stub = RlcLine::new(100.0, 1e-18, pf(0.2), mm(1.0));
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let a = tree.add_branch(Some(t), stub);
+        let b = tree.add_branch(Some(t), stub);
+        tree.set_sink(a, "rx0", ff(10.0));
+        tree.set_sink(b, "rx1", ff(20.0));
+
+        // Elmore to rx0: R_trunk (shared with everything downstream, with
+        // the trunk's own distributed capacitance contributing C/2) plus
+        // R_stub against its own downstream capacitance.
+        let r_t = trunk.resistance();
+        let c_t = trunk.capacitance();
+        let r_s = stub.resistance();
+        let c_s = stub.capacitance();
+        let downstream_of_trunk = c_t / 2.0 + 2.0 * c_s + ff(10.0) + ff(20.0);
+        let elmore = r_t * downstream_of_trunk + r_s * (c_s / 2.0 + ff(10.0));
+
+        let h = tree_transfer_moments(&tree, "rx0", 2).unwrap();
+        assert!(
+            approx_eq(-h[1], elmore, 1e-9),
+            "-h1 = {} vs Elmore {}",
+            -h[1],
+            elmore
+        );
+    }
+
+    #[test]
+    fn transfer_moments_unknown_sink_is_none() {
+        let tree = rlc_interconnect::RlcTree::single_line(paper_line(), ff(10.0));
+        assert!(tree_transfer_moments(&tree, "nope", 3).is_none());
+        assert!(tree_transfer_moments(&tree, "far", 3).is_some());
     }
 
     #[test]

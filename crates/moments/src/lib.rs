@@ -34,20 +34,25 @@
 pub mod driving_point;
 pub mod pi_model;
 pub mod rational;
+pub mod transfer;
 
 pub use driving_point::{
     distributed_admittance_moments, ladder_admittance_moments, tree_admittance_moments,
+    tree_transfer_moments,
 };
 pub use pi_model::{PiModel, RcCeffBaseline};
 pub use rational::{PolePair, RationalAdmittance};
+pub use transfer::TransferModel;
 
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::driving_point::{
         distributed_admittance_moments, ladder_admittance_moments, tree_admittance_moments,
+        tree_transfer_moments,
     };
     pub use crate::pi_model::{PiModel, RcCeffBaseline};
     pub use crate::rational::{PolePair, RationalAdmittance};
+    pub use crate::transfer::TransferModel;
 }
 
 /// Errors produced while fitting reduced-order load models.

@@ -1,0 +1,339 @@
+//! Moment-matched reduced-order voltage-transfer model.
+//!
+//! [`TransferModel`] fits the first transfer moments `h0..h3` of a
+//! driving-point→sink voltage transfer (from
+//! [`crate::tree_transfer_moments`]) to a low-order rational response
+//!
+//! ```text
+//! H(s) = (a0 + a1 s) / (1 + b1 s + b2 s^2)
+//! ```
+//!
+//! by the classic AWE/Padé construction, and evaluates the closed-form
+//! response to a unit voltage ramp in constant time. Superposing shifted
+//! ramp responses (any piecewise-linear drive is a sum of ramps) yields the
+//! full far-end waveform in microseconds — no time stepping — which is what
+//! the reduced-order analysis backend is built on.
+//!
+//! Moment matching is not passivity-preserving: a fit can produce a
+//! right-half-plane pole for strongly inductive loads. The constructor
+//! detects that (and degenerate/repeated-pole fits) and reports a typed
+//! [`MomentError`] so callers can fall back to full simulation.
+
+use rlc_numeric::roots::quadratic_roots;
+use rlc_numeric::Complex;
+
+use crate::MomentError;
+
+/// Relative threshold below which the Padé 2×2 system is treated as
+/// singular and the fit falls back to a single pole.
+const DET_REL_TOL: f64 = 1e-12;
+
+/// A reduced-order rational transfer function with its pole-residue
+/// decomposition of the unit-ramp response precomputed.
+#[derive(Debug, Clone)]
+pub struct TransferModel {
+    /// Numerator constant coefficient — the DC gain (`h0`, unity for a
+    /// capacitively loaded tree).
+    pub a0: f64,
+    /// Numerator coefficient of `s`.
+    pub a1: f64,
+    /// Denominator coefficient of `s`.
+    pub b1: f64,
+    /// Denominator coefficient of `s^2` (zero for a one-pole fit).
+    pub b2: f64,
+    /// First transfer moment `h1` (its negative is the Elmore delay).
+    h1: f64,
+    /// Poles of the fit (1 or 2, conjugate pair stored explicitly).
+    poles: Vec<Complex>,
+    /// Ramp-response residues, aligned with `poles`.
+    residues: Vec<Complex>,
+}
+
+impl TransferModel {
+    /// Fits the model to transfer moments `h[k]` = coefficient of `s^k` in
+    /// `H(s)` (as returned by [`crate::tree_transfer_moments`]); at least
+    /// `h0..h3` are required.
+    ///
+    /// The two-pole Padé solves `[h1 h0; h2 h1]·[b1; b2] = [-h2; -h3]`; when
+    /// that system is singular (a transfer dominated by one time constant)
+    /// the fit degrades to a single pole matching `h0`, `h1` and the decay
+    /// ratio `h2/h1`.
+    ///
+    /// # Errors
+    /// [`MomentError::NotEnoughMoments`] with fewer than four moments;
+    /// [`MomentError::DegenerateLoad`] when the transfer has no observable
+    /// dynamics, the fit has a (numerically) repeated pole, or a pole lands
+    /// in the right half plane — the AWE instability that moment matching
+    /// cannot rule out, in which case callers should fall back to full
+    /// simulation.
+    pub fn from_moments(h: &[f64]) -> Result<Self, MomentError> {
+        if h.len() < 4 {
+            return Err(MomentError::NotEnoughMoments {
+                required: 4,
+                supplied: h.len(),
+            });
+        }
+        let (h0, h1, h2, h3) = (h[0], h[1], h[2], h[3]);
+
+        // Two-pole Padé: [h1 h0; h2 h1] [b1; b2] = [-h2; -h3].
+        let det = h1 * h1 - h0 * h2;
+        let scale = (h1 * h1).abs().max((h0 * h2).abs()).max(1e-300);
+        let (b1, b2) = if det.abs() < DET_REL_TOL * scale {
+            Self::one_pole_denominator(h0, h1, h2)?
+        } else {
+            let b1 = (h0 * h3 - h1 * h2) / det;
+            let b2 = (h2 * h2 - h1 * h3) / det;
+            // A vanishing s^2 coefficient means the second pole escaped to
+            // infinity; fit the single observable pole instead.
+            if b2.abs() < DET_REL_TOL * b1 * b1 {
+                Self::one_pole_denominator(h0, h1, h2)?
+            } else {
+                (b1, b2)
+            }
+        };
+
+        let a0 = h0;
+        let a1 = h1 + b1 * h0;
+
+        let poles = if b2 == 0.0 {
+            vec![Complex::real(-1.0 / b1)]
+        } else {
+            let (p1, p2) = quadratic_roots(b2, b1, 1.0);
+            if (p1 - p2).abs() < 1e-9 * p1.abs().max(p2.abs()) {
+                return Err(MomentError::DegenerateLoad(
+                    "transfer fit has a repeated pole; pole-residue ramp response is undefined"
+                        .to_string(),
+                ));
+            }
+            vec![p1, p2]
+        };
+        if poles.iter().any(|p| p.re >= 0.0) {
+            return Err(MomentError::DegenerateLoad(format!(
+                "moment matching produced an unstable pole ({}); \
+                 fall back to full simulation",
+                poles.iter().find(|p| p.re >= 0.0).unwrap()
+            )));
+        }
+
+        // Residues of H(s)/s^2 at each pole: c = N(p) / (p^2 D'(p)) with
+        // D'(s) = b1 + 2 b2 s.
+        let residues = poles
+            .iter()
+            .map(|&p| {
+                let n = Complex::real(a0) + Complex::real(a1) * p;
+                n / (p * p * (Complex::real(b1) + Complex::real(2.0 * b2) * p))
+            })
+            .collect();
+
+        Ok(TransferModel {
+            a0,
+            a1,
+            b1,
+            b2,
+            h1,
+            poles,
+            residues,
+        })
+    }
+
+    /// Single-pole denominator matching the decay ratio `h2/h1` (or, for a
+    /// transfer with no second-order content, `h1/h0`).
+    fn one_pole_denominator(h0: f64, h1: f64, h2: f64) -> Result<(f64, f64), MomentError> {
+        if h1 == 0.0 {
+            return Err(MomentError::DegenerateLoad(
+                "transfer has no first-order dynamics to fit (h1 = 0)".to_string(),
+            ));
+        }
+        let b1 = if h2 != 0.0 { -h2 / h1 } else { -h1 / h0 };
+        if !(b1 > 0.0 && b1.is_finite()) {
+            return Err(MomentError::DegenerateLoad(format!(
+                "single-pole fit is unstable (b1 = {b1:.3e})"
+            )));
+        }
+        Ok((b1, 0.0))
+    }
+
+    /// Number of poles in the fit (1 or 2).
+    pub fn order(&self) -> usize {
+        self.poles.len()
+    }
+
+    /// DC gain `H(0)`.
+    pub fn dc_gain(&self) -> f64 {
+        self.a0
+    }
+
+    /// Elmore delay of the modeled transfer, `-h1`.
+    pub fn elmore_delay(&self) -> f64 {
+        -self.h1
+    }
+
+    /// The poles of the fit (a conjugate pair is stored as both members).
+    pub fn poles(&self) -> &[Complex] {
+        &self.poles
+    }
+
+    /// Slowest time constant of the fit, `max 1/|Re p|` — the scale on which
+    /// the ramp response settles to its asymptote.
+    pub fn max_time_constant(&self) -> f64 {
+        self.poles
+            .iter()
+            .map(|p| 1.0 / p.re.abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Response at time `t` to a unit voltage ramp `v_in(t) = t·u(t)`,
+    /// in closed form:
+    ///
+    /// ```text
+    /// y(t) = a0·t + h1 + Σ_i Re(c_i · exp(p_i t))
+    /// ```
+    ///
+    /// where `c_i = N(p_i) / (p_i^2 D'(p_i))`. The asymptote is the input
+    /// delayed by the Elmore delay (`a0·t + h1` with `a0 = 1`), and
+    /// `y(0) = 0` because the residues cancel `h1` exactly.
+    pub fn unit_ramp_response(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let mut y = self.a0 * t + self.h1;
+        for (p, c) in self.poles.iter().zip(&self.residues) {
+            y += (*c * (*p * t).exp()).re;
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rlc_numeric::approx_eq;
+
+    /// Exact moments of H = 1/(1 + s·tau): h_k = (-tau)^k.
+    fn single_pole_moments(tau: f64) -> Vec<f64> {
+        (0..4).map(|k| (-tau).powi(k)).collect()
+    }
+
+    /// Moments of the open RC line transfer sech(sqrt(s·rc)).
+    fn sech_moments(rc: f64) -> Vec<f64> {
+        vec![
+            1.0,
+            -rc / 2.0,
+            5.0 * rc * rc / 24.0,
+            -61.0 * rc * rc * rc / 720.0,
+        ]
+    }
+
+    #[test]
+    fn single_pole_rc_is_recovered_exactly() {
+        let tau = 5e-12;
+        let model = TransferModel::from_moments(&single_pole_moments(tau)).unwrap();
+        assert_eq!(model.order(), 1);
+        assert!(approx_eq(model.b1, tau, 1e-9));
+        assert!(approx_eq(model.a0, 1.0, 1e-12));
+        assert!(model.a1.abs() < 1e-9 * tau, "a1 = {}", model.a1);
+        // y(t) = t - tau + tau e^{-t/tau} for the RC ramp response.
+        for t_over_tau in [0.1, 0.5, 1.0, 3.0, 10.0] {
+            let t = t_over_tau * tau;
+            let expected = t - tau + tau * (-t / tau).exp();
+            assert!(
+                approx_eq(model.unit_ramp_response(t), expected, 1e-6),
+                "t/tau = {t_over_tau}: {} vs {expected}",
+                model.unit_ramp_response(t)
+            );
+        }
+    }
+
+    #[test]
+    fn fitted_model_reproduces_its_input_moments() {
+        // Expanding the fitted H(s) back into a power series must return the
+        // moments it was built from (that is what Padé matching means).
+        let h = sech_moments(80.0e-12);
+        let model = TransferModel::from_moments(&h).unwrap();
+        assert_eq!(model.order(), 2);
+        // Series of (a0 + a1 s)/(1 + b1 s + b2 s^2): g0 = a0,
+        // g1 = a1 - b1 g0, g_k = -b1 g_{k-1} - b2 g_{k-2}.
+        let mut g = vec![model.a0, model.a1 - model.b1 * model.a0];
+        for k in 2..4 {
+            g.push(-model.b1 * g[k - 1] - model.b2 * g[k - 2]);
+        }
+        for k in 0..4 {
+            assert!(
+                approx_eq(g[k], h[k], 1e-9),
+                "moment {k}: {} vs {}",
+                g[k],
+                h[k]
+            );
+        }
+    }
+
+    #[test]
+    fn ramp_response_starts_at_zero_and_tracks_the_delayed_ramp() {
+        let rc = 100.0e-12;
+        let model = TransferModel::from_moments(&sech_moments(rc)).unwrap();
+        assert!(model.unit_ramp_response(0.0).abs() < 1e-20);
+        // The residues cancel h1 at t = 0+.
+        assert!(model.unit_ramp_response(1e-18).abs() < 1e-15);
+        // Far past the slowest time constant the output is the input delayed
+        // by the Elmore delay rc/2.
+        let t = 20.0 * model.max_time_constant();
+        assert!(approx_eq(model.unit_ramp_response(t), t - rc / 2.0, 1e-9));
+        assert!(approx_eq(model.elmore_delay(), rc / 2.0, 1e-12));
+    }
+
+    #[test]
+    fn ramp_response_undershoot_is_small_and_tail_is_monotone() {
+        // The 2-pole Padé of sech has a1 < 0, so the ramp response dips
+        // slightly negative before rising (the well-known AWE precursor).
+        // The dip must stay tiny relative to the Elmore delay and the
+        // response must be monotone once past the fast pole.
+        let model = TransferModel::from_moments(&sech_moments(50.0e-12)).unwrap();
+        let tau = model.max_time_constant();
+        let mut min_y: f64 = 0.0;
+        let mut prev = f64::NEG_INFINITY;
+        for k in 0..400 {
+            let t = k as f64 * tau / 20.0;
+            let y = model.unit_ramp_response(t);
+            min_y = min_y.min(y);
+            if t >= tau {
+                assert!(y >= prev - 1e-18, "non-monotone tail at step {k}");
+                prev = y;
+            }
+        }
+        assert!(
+            min_y >= -0.1 * model.elmore_delay(),
+            "undershoot {min_y} too large"
+        );
+    }
+
+    #[test]
+    fn unstable_fit_is_reported() {
+        // Moments of 1/(1 - s·tau): pole at +1/tau.
+        let tau: f64 = 1e-12;
+        let h: Vec<f64> = (0..4).map(|k| tau.powi(k)).collect();
+        match TransferModel::from_moments(&h) {
+            Err(MomentError::DegenerateLoad(msg)) => {
+                assert!(msg.contains("unstable"), "message: {msg}")
+            }
+            other => panic!("expected unstable-pole error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn too_few_moments_is_reported() {
+        match TransferModel::from_moments(&[1.0, -1e-12, 1e-24]) {
+            Err(MomentError::NotEnoughMoments { required, supplied }) => {
+                assert_eq!((required, supplied), (4, 3));
+            }
+            other => panic!("expected NotEnoughMoments, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pure_gain_transfer_is_degenerate() {
+        match TransferModel::from_moments(&[1.0, 0.0, 0.0, 0.0]) {
+            Err(MomentError::DegenerateLoad(_)) => {}
+            other => panic!("expected DegenerateLoad, got {other:?}"),
+        }
+    }
+}

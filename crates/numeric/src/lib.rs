@@ -31,6 +31,7 @@ pub mod polynomial;
 pub mod quadrature;
 pub mod roots;
 pub mod series;
+pub mod sparse;
 pub mod stats;
 pub mod units;
 
@@ -38,6 +39,7 @@ pub use complex::Complex;
 pub use matrix::{DenseMatrix, LuFactors};
 pub use polynomial::Polynomial;
 pub use series::PowerSeries;
+pub use sparse::{CscMatrix, SparseLu};
 
 /// Default absolute tolerance used across the workspace when comparing
 /// floating point quantities that are expected to be "equal".

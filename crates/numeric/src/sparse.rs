@@ -1,0 +1,733 @@
+//! Sparse compressed-sparse-column matrices and LU factorization.
+//!
+//! The MNA matrices this workspace stamps are overwhelmingly sparse — a
+//! ladder node row touches at most four neighbours, a branch row couples two
+//! nodes and (through mutual inductance) a handful of other branches — yet
+//! [`crate::DenseMatrix`] pays O(n²) storage and O(n³) factor cost
+//! regardless. This module provides the sparse counterpart used by the
+//! transient fast path on large circuits:
+//!
+//! * [`CscMatrix`] — compressed-sparse-column storage assembled from
+//!   (row, column, value) triplets, with duplicate entries summed exactly as
+//!   repeated `add_at` stamps would be.
+//! * [`SparseLu`] — a left-looking (Gilbert–Peierls) LU factorization with
+//!   partial pivoting, preceded by a greedy minimum-degree column ordering on
+//!   the symmetrized pattern (the Markowitz-style fill reduction for
+//!   unsymmetric MNA stamps). The symbolic structure — elimination order,
+//!   pivot sequence and the L/U patterns — is computed once by
+//!   [`SparseLu::factor`] and reused: [`SparseLu::solve_into`] performs the
+//!   allocation-free triangular solves of the factor-once transient kernel,
+//!   and [`SparseLu::refactor`] replays the numeric pass on new values with
+//!   the same pattern (a repeated run of an unchanged topology) without
+//!   re-running the ordering or the reachability search.
+//!
+//! Pivot health is observable through [`SparseLu::pivot_extremes`], mirroring
+//! [`crate::LuFactors::pivot_extremes`], so callers can gate the sparse path
+//! the same way the dense kernels gate the Sherman–Morrison–Woodbury update
+//! and degrade to dense LU on near-singular stamps.
+
+use crate::matrix::SolveError;
+
+/// Pivots smaller than this in absolute value are treated as singular — the
+/// same floor the dense factorization uses.
+const PIVOT_FLOOR: f64 = 1e-300;
+
+/// Relative threshold for preferring the diagonal entry over the largest
+/// off-diagonal candidate during partial pivoting. Keeping the pivot on the
+/// diagonal when it is within this factor of the maximum preserves the
+/// fill-reducing column ordering; genuinely small diagonals (a voltage-source
+/// branch row has a structural zero there) still pivot away.
+const DIAGONAL_PREFERENCE: f64 = 0.1;
+
+/// A sentinel for "row not yet chosen as a pivot".
+const UNPIVOTED: usize = usize::MAX;
+
+/// A square sparse matrix in compressed-sparse-column form.
+///
+/// Built from stamping triplets; duplicate (row, column) entries are summed,
+/// so the assembly semantics match repeated dense `add_at` calls.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Assembles an `n x n` matrix from (row, column, value) triplets,
+    /// summing duplicates. Row indices within each column end up sorted.
+    ///
+    /// # Panics
+    /// Panics if any triplet index is out of bounds.
+    pub fn from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> CscMatrix {
+        let mut count = vec![0usize; n + 1];
+        for &(r, c, _) in triplets {
+            assert!(
+                r < n && c < n,
+                "triplet ({r}, {c}) out of bounds for n = {n}"
+            );
+            count[c + 1] += 1;
+        }
+        for k in 0..n {
+            count[k + 1] += count[k];
+        }
+        // Scatter triplets into per-column runs, then sort and merge each run.
+        let mut cursor = count.clone();
+        let mut rows = vec![0usize; triplets.len()];
+        let mut vals = vec![0.0; triplets.len()];
+        for &(r, c, v) in triplets {
+            let p = cursor[c];
+            rows[p] = r;
+            vals[p] = v;
+            cursor[c] += 1;
+        }
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::with_capacity(triplets.len());
+        let mut values = Vec::with_capacity(triplets.len());
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        col_ptr.push(0);
+        for c in 0..n {
+            scratch.clear();
+            scratch.extend(
+                rows[count[c]..count[c + 1]]
+                    .iter()
+                    .copied()
+                    .zip(vals[count[c]..count[c + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in scratch.iter() {
+                if row_idx.len() > col_ptr[c] && *row_idx.last().unwrap() == r {
+                    *values.last_mut().unwrap() += v;
+                } else {
+                    row_idx.push(r);
+                    values.push(v);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        CscMatrix {
+            n,
+            col_ptr,
+            row_idx,
+            values,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored (structural) nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Entry at (`row`, `col`); zero when not stored.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let range = self.col_ptr[col]..self.col_ptr[col + 1];
+        match self.row_idx[range.clone()].binary_search(&row) {
+            Ok(p) => self.values[range.start + p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Largest absolute entry (0 for an empty matrix) — the scale reference
+    /// for pivot-health checks.
+    pub fn max_abs(&self) -> f64 {
+        self.values.iter().fold(0.0, |acc, v| acc.max(v.abs()))
+    }
+
+    /// Whether `other` has the identical sparsity pattern (dimension, column
+    /// pointers and row indices). When true, a stored factorization of `self`
+    /// can be numerically refreshed for `other` via [`SparseLu::refactor`].
+    pub fn same_pattern(&self, other: &CscMatrix) -> bool {
+        self.n == other.n && self.col_ptr == other.col_ptr && self.row_idx == other.row_idx
+    }
+
+    /// Dense matrix-vector product `y = A x` (test and cross-check helper).
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim()`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.n);
+        let mut y = vec![0.0; self.n];
+        for (c, &xc) in x.iter().enumerate() {
+            if xc == 0.0 {
+                continue;
+            }
+            for p in self.col_ptr[c]..self.col_ptr[c + 1] {
+                y[self.row_idx[p]] += self.values[p] * xc;
+            }
+        }
+        y
+    }
+}
+
+/// A sparse LU factorization `P A Q = L U` with partial pivoting (`P`) and a
+/// fill-reducing minimum-degree column ordering (`Q`).
+///
+/// [`SparseLu::factor`] performs the symbolic analysis (ordering, per-column
+/// reachability, pivot selection) and the numeric factorization together;
+/// the resulting structure is retained so that [`SparseLu::solve_into`] is
+/// allocation-free and [`SparseLu::refactor`] can refresh the numeric values
+/// for a same-pattern matrix without repeating the symbolic work.
+#[derive(Debug, Clone, Default)]
+pub struct SparseLu {
+    n: usize,
+    /// Fill-reducing column order: `col_order[k]` is the original column
+    /// eliminated at step `k`.
+    col_order: Vec<usize>,
+    /// Row permutation from partial pivoting: `pinv[original_row]` is the
+    /// pivotal position of that row.
+    pinv: Vec<usize>,
+    /// `pivot_row[k]` is the original row chosen as pivot at step `k`.
+    pivot_row: Vec<usize>,
+    // L stored by pivotal column with ORIGINAL row indices, strictly below
+    // the (implicit unit) diagonal.
+    l_colptr: Vec<usize>,
+    l_rows: Vec<usize>,
+    l_vals: Vec<f64>,
+    // U stored by pivotal column with PIVOTAL row indices sorted ascending;
+    // the diagonal entry is last in each column.
+    u_colptr: Vec<usize>,
+    u_rows: Vec<usize>,
+    u_vals: Vec<f64>,
+    // Reusable solve/factor scratch.
+    work: Vec<f64>,
+}
+
+impl SparseLu {
+    /// Creates an empty factorization; populated by [`SparseLu::factor`].
+    pub fn empty() -> SparseLu {
+        SparseLu::default()
+    }
+
+    /// Dimension of the factored matrix (0 while empty).
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Structural nonzeros of the computed factors (L strictly-lower plus U
+    /// including diagonals) — the per-solve work measure.
+    pub fn factor_nnz(&self) -> usize {
+        self.l_rows.len() + self.u_rows.len()
+    }
+
+    /// Factorizes `a`, replacing any previous contents and reusing the
+    /// allocations of this factorization object.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Singular`] when no acceptable pivot exists for
+    /// some column (reported as the *original* column index).
+    pub fn factor(&mut self, a: &CscMatrix) -> Result<(), SolveError> {
+        let n = a.dim();
+        self.n = n;
+        self.col_order = min_degree_order(a);
+        self.pinv.clear();
+        self.pinv.resize(n, UNPIVOTED);
+        self.pivot_row.clear();
+        self.pivot_row.resize(n, UNPIVOTED);
+        self.l_colptr.clear();
+        self.l_colptr.push(0);
+        self.l_rows.clear();
+        self.l_vals.clear();
+        self.u_colptr.clear();
+        self.u_colptr.push(0);
+        self.u_rows.clear();
+        self.u_vals.clear();
+        self.work.clear();
+        self.work.resize(n, 0.0);
+
+        // flag[i] == k marks original row i as visited while processing
+        // column k; topo collects the reach in DFS postorder.
+        let mut flag = vec![UNPIVOTED; n];
+        let mut topo: Vec<usize> = Vec::with_capacity(n);
+        let mut stack: Vec<(usize, usize)> = Vec::with_capacity(n);
+        let mut u_entries: Vec<(usize, f64)> = Vec::new();
+
+        for k in 0..n {
+            let col = self.col_order[k];
+            // Symbolic step: reach of A(:, col) through the graph of L.
+            topo.clear();
+            for p in a.col_ptr[col]..a.col_ptr[col + 1] {
+                let start = a.row_idx[p];
+                if flag[start] == k {
+                    continue;
+                }
+                flag[start] = k;
+                stack.push((start, 0));
+                while let Some(&mut (node, ref mut cursor)) = stack.last_mut() {
+                    let j = self.pinv[node];
+                    let (lo, hi) = if j == UNPIVOTED {
+                        (0, 0)
+                    } else {
+                        (self.l_colptr[j], self.l_colptr[j + 1])
+                    };
+                    let mut advanced = false;
+                    while lo + *cursor < hi {
+                        let child = self.l_rows[lo + *cursor];
+                        *cursor += 1;
+                        if flag[child] != k {
+                            flag[child] = k;
+                            stack.push((child, 0));
+                            advanced = true;
+                            break;
+                        }
+                    }
+                    if !advanced {
+                        stack.pop();
+                        topo.push(node);
+                    }
+                }
+            }
+            // Numeric step: scatter A(:, col) and eliminate in topological
+            // (reverse-postorder) order.
+            for p in a.col_ptr[col]..a.col_ptr[col + 1] {
+                self.work[a.row_idx[p]] = a.values[p];
+            }
+            for &i in topo.iter().rev() {
+                let j = self.pinv[i];
+                if j == UNPIVOTED {
+                    continue;
+                }
+                let xi = self.work[i];
+                if xi != 0.0 {
+                    for p in self.l_colptr[j]..self.l_colptr[j + 1] {
+                        self.work[self.l_rows[p]] -= self.l_vals[p] * xi;
+                    }
+                }
+            }
+            // Pivot selection: largest unpivoted magnitude, with a relative
+            // preference for the structural diagonal to limit fill.
+            let mut best = UNPIVOTED;
+            let mut best_abs = 0.0;
+            for &i in topo.iter() {
+                if self.pinv[i] == UNPIVOTED {
+                    let v = self.work[i].abs();
+                    if v > best_abs {
+                        best_abs = v;
+                        best = i;
+                    }
+                }
+            }
+            if self.pinv[col] == UNPIVOTED
+                && flag[col] == k
+                && self.work[col].abs() >= DIAGONAL_PREFERENCE * best_abs
+            {
+                best = col;
+                best_abs = self.work[col].abs();
+            }
+            if best == UNPIVOTED || best_abs < PIVOT_FLOOR {
+                // Leave the scratch clean before bailing out.
+                for &i in topo.iter() {
+                    self.work[i] = 0.0;
+                }
+                return Err(SolveError::Singular { column: col });
+            }
+            let pivot = self.work[best];
+            self.pinv[best] = k;
+            self.pivot_row[k] = best;
+
+            // Split the column: pivoted rows feed U, the rest feed L.
+            u_entries.clear();
+            for &i in topo.iter() {
+                let j = self.pinv[i];
+                if i == best {
+                    continue;
+                }
+                if j != UNPIVOTED && j < k {
+                    u_entries.push((j, self.work[i]));
+                } else {
+                    let v = self.work[i] / pivot;
+                    if v != 0.0 {
+                        self.l_rows.push(i);
+                        self.l_vals.push(v);
+                    }
+                }
+                self.work[i] = 0.0;
+            }
+            self.work[best] = 0.0;
+            self.l_colptr.push(self.l_rows.len());
+            u_entries.sort_unstable_by_key(|&(r, _)| r);
+            for &(r, v) in u_entries.iter() {
+                self.u_rows.push(r);
+                self.u_vals.push(v);
+            }
+            self.u_rows.push(k);
+            self.u_vals.push(pivot);
+            self.u_colptr.push(self.u_rows.len());
+        }
+        Ok(())
+    }
+
+    /// Refreshes the numeric values for a matrix with the **same sparsity
+    /// pattern** as the one last passed to [`SparseLu::factor`], replaying
+    /// the elimination with the stored ordering, pivot sequence and fill
+    /// patterns — no symbolic work.
+    ///
+    /// The caller is responsible for the pattern actually matching (see
+    /// [`CscMatrix::same_pattern`]); reusing the old pivot sequence on very
+    /// different values can degrade accuracy, which
+    /// [`SparseLu::pivot_extremes`] makes observable.
+    ///
+    /// # Errors
+    /// Returns [`SolveError::Singular`] when a reused pivot position becomes
+    /// numerically zero, and [`SolveError::DimensionMismatch`] when called
+    /// before a successful [`SparseLu::factor`] or with a different
+    /// dimension.
+    pub fn refactor(&mut self, a: &CscMatrix) -> Result<(), SolveError> {
+        if self.n == 0 || a.dim() != self.n || self.pivot_row.len() != self.n {
+            return Err(SolveError::DimensionMismatch);
+        }
+        let n = self.n;
+        self.work.clear();
+        self.work.resize(n, 0.0);
+        for k in 0..n {
+            let col = self.col_order[k];
+            for p in a.col_ptr[col]..a.col_ptr[col + 1] {
+                self.work[a.row_idx[p]] = a.values[p];
+            }
+            // Left-looking update in ascending pivotal order (topologically
+            // valid for the stored pattern), refreshing U as we go.
+            let (u_lo, u_hi) = (self.u_colptr[k], self.u_colptr[k + 1]);
+            for p in u_lo..u_hi - 1 {
+                let j = self.u_rows[p];
+                let orig = self.pivot_row[j];
+                let xj = self.work[orig];
+                self.u_vals[p] = xj;
+                self.work[orig] = 0.0;
+                if xj != 0.0 {
+                    for q in self.l_colptr[j]..self.l_colptr[j + 1] {
+                        self.work[self.l_rows[q]] -= self.l_vals[q] * xj;
+                    }
+                }
+            }
+            let best = self.pivot_row[k];
+            let pivot = self.work[best];
+            self.work[best] = 0.0;
+            if pivot.abs() < PIVOT_FLOOR {
+                for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    self.work[self.l_rows[p]] = 0.0;
+                }
+                return Err(SolveError::Singular { column: col });
+            }
+            self.u_vals[u_hi - 1] = pivot;
+            for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                let i = self.l_rows[p];
+                self.l_vals[p] = self.work[i] / pivot;
+                self.work[i] = 0.0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` using the stored factors; allocation-free.
+    ///
+    /// # Panics
+    /// Panics if `b` or `x` do not match the factored dimension, or if called
+    /// before a successful [`SparseLu::factor`].
+    pub fn solve_into(&mut self, b: &[f64], x: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n, "rhs dimension mismatch");
+        assert_eq!(x.len(), n, "solution dimension mismatch");
+        // Forward solve L y = P b, working in original row coordinates.
+        self.work.copy_from_slice(b);
+        for k in 0..n {
+            let yk = self.work[self.pivot_row[k]];
+            if yk != 0.0 {
+                for p in self.l_colptr[k]..self.l_colptr[k + 1] {
+                    self.work[self.l_rows[p]] -= self.l_vals[p] * yk;
+                }
+            }
+        }
+        // Gather into pivotal order, then backward solve U z = y.
+        for (xk, &row) in x.iter_mut().zip(&self.pivot_row) {
+            *xk = self.work[row];
+        }
+        for k in (0..n).rev() {
+            let (lo, hi) = (self.u_colptr[k], self.u_colptr[k + 1]);
+            let zk = x[k] / self.u_vals[hi - 1];
+            x[k] = zk;
+            if zk != 0.0 {
+                for p in lo..hi - 1 {
+                    x[self.u_rows[p]] -= self.u_vals[p] * zk;
+                }
+            }
+        }
+        // Undo the column permutation: solution[q[k]] = z[k].
+        for (&xk, &col) in x.iter().zip(&self.col_order) {
+            self.work[col] = xk;
+        }
+        x.copy_from_slice(&self.work);
+        self.work.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Smallest and largest absolute pivot of the stored factorization —
+    /// the sparse counterpart of [`crate::LuFactors::pivot_extremes`], used
+    /// to gate the sparse kernel and fall back to dense LU on near-singular
+    /// stamps. Returns `(0.0, 0.0)` while empty.
+    pub fn pivot_extremes(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = 0.0f64;
+        for k in 0..self.n {
+            let d = self.u_vals[self.u_colptr[k + 1] - 1].abs();
+            min = min.min(d);
+            max = max.max(d);
+        }
+        if self.n == 0 {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+}
+
+/// Greedy minimum-degree ordering on the symmetrized pattern of `a`
+/// (Markowitz-style fill reduction for unsymmetric stamps): repeatedly
+/// eliminate the node of smallest current degree, connecting its neighbours
+/// into a clique. Exact elimination-graph updates — quadratic in the worst
+/// case but linear-ish on the bounded-degree node/branch graphs MNA produces.
+fn min_degree_order(a: &CscMatrix) -> Vec<usize> {
+    let n = a.dim();
+    let mut adj: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); n];
+    for c in 0..n {
+        for p in a.col_ptr[c]..a.col_ptr[c + 1] {
+            let r = a.row_idx[p];
+            if r != c {
+                adj[r].insert(c);
+                adj[c].insert(r);
+            }
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut neighbours: Vec<usize> = Vec::new();
+    for _ in 0..n {
+        let v = (0..n)
+            .filter(|&v| !eliminated[v])
+            .min_by_key(|&v| adj[v].len())
+            .expect("one live node remains per step");
+        eliminated[v] = true;
+        order.push(v);
+        neighbours.clear();
+        neighbours.extend(adj[v].iter().copied());
+        for &w in neighbours.iter() {
+            adj[w].remove(&v);
+        }
+        for (i, &w1) in neighbours.iter().enumerate() {
+            for &w2 in neighbours.iter().skip(i + 1) {
+                adj[w1].insert(w2);
+                adj[w2].insert(w1);
+            }
+        }
+        adj[v].clear();
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseMatrix;
+
+    /// A pseudo-random sparse system with a dense-solver cross-check.
+    fn random_system(
+        n: usize,
+        extra_per_col: usize,
+        seed: u64,
+    ) -> (Vec<(usize, usize, f64)>, CscMatrix) {
+        let mut unit = crate::splitmix_stream(seed);
+        let mut triplets = Vec::new();
+        for c in 0..n {
+            // Guaranteed nonzero diagonal keeps the dense reference factorable.
+            triplets.push((c, c, 2.0 + unit()));
+            for _ in 0..extra_per_col {
+                let r = (unit() * n as f64) as usize % n;
+                triplets.push((r, c, unit() - 0.5));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &triplets);
+        (triplets, a)
+    }
+
+    fn dense_from_triplets(n: usize, triplets: &[(usize, usize, f64)]) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for &(r, c, v) in triplets {
+            m.add_at(r, c, v);
+        }
+        m
+    }
+
+    #[test]
+    fn assembly_sums_duplicates_and_sorts_rows() {
+        let a = CscMatrix::from_triplets(
+            3,
+            &[
+                (2, 0, 1.0),
+                (0, 0, 4.0),
+                (2, 0, 0.5),
+                (1, 2, -2.0),
+                (1, 1, 3.0),
+            ],
+        );
+        assert_eq!(a.dim(), 3);
+        assert_eq!(a.nnz(), 4);
+        assert_eq!(a.get(0, 0), 4.0);
+        assert_eq!(a.get(2, 0), 1.5);
+        assert_eq!(a.get(1, 1), 3.0);
+        assert_eq!(a.get(1, 2), -2.0);
+        assert_eq!(a.get(0, 1), 0.0);
+        assert!((a.max_abs() - 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn solve_matches_dense_on_random_systems() {
+        for (n, extra, seed) in [(5, 2, 1u64), (40, 3, 2), (120, 4, 3)] {
+            let (triplets, a) = random_system(n, extra, seed);
+            let dense = dense_from_triplets(n, &triplets);
+            let b: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).sin()).collect();
+            let expected = dense.solve(&b).unwrap();
+            let mut lu = SparseLu::empty();
+            lu.factor(&a).unwrap();
+            let mut x = vec![0.0; n];
+            lu.solve_into(&b, &mut x);
+            for k in 0..n {
+                assert!(
+                    (x[k] - expected[k]).abs() < 1e-9 * expected[k].abs().max(1.0),
+                    "n={n} seed={seed} x[{k}] = {} vs {}",
+                    x[k],
+                    expected[k]
+                );
+            }
+            // Residual check straight against the assembled matrix.
+            let ax = a.mul_vec(&x);
+            for k in 0..n {
+                assert!((ax[k] - b[k]).abs() < 1e-9, "residual at {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn handles_structural_zero_diagonals_like_mna_branch_rows() {
+        // A voltage-source-style block: node row [g, 1; 1, 0] — the branch
+        // row has a structural zero diagonal, so factorization must pivot.
+        let triplets = [
+            (0, 0, 1e-3),
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (2, 2, 0.5),
+            (2, 1, 0.2),
+            (1, 2, -0.4),
+        ];
+        let a = CscMatrix::from_triplets(3, &triplets);
+        let dense = dense_from_triplets(3, &triplets);
+        let b = [1.0, -2.0, 0.5];
+        let expected = dense.solve(&b).unwrap();
+        let mut lu = SparseLu::empty();
+        lu.factor(&a).unwrap();
+        let mut x = vec![0.0; 3];
+        lu.solve_into(&b, &mut x);
+        for k in 0..3 {
+            assert!((x[k] - expected[k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refactor_reuses_pattern_and_matches_full_factor() {
+        let (triplets, a) = random_system(60, 3, 7);
+        let mut lu = SparseLu::empty();
+        lu.factor(&a).unwrap();
+        // Same pattern, scaled values.
+        let scaled: Vec<(usize, usize, f64)> =
+            triplets.iter().map(|&(r, c, v)| (r, c, 1.7 * v)).collect();
+        let a2 = CscMatrix::from_triplets(60, &scaled);
+        assert!(a.same_pattern(&a2));
+        lu.refactor(&a2).unwrap();
+        let b: Vec<f64> = (0..60).map(|k| (k as f64 * 0.11).cos()).collect();
+        let mut x = vec![0.0; 60];
+        lu.solve_into(&b, &mut x);
+        let ax = a2.mul_vec(&x);
+        for k in 0..60 {
+            assert!(
+                (ax[k] - b[k]).abs() < 1e-9,
+                "residual at {k}: {}",
+                ax[k] - b[k]
+            );
+        }
+    }
+
+    #[test]
+    fn refactor_before_factor_is_a_dimension_error() {
+        let a = CscMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 1, 1.0)]);
+        let mut lu = SparseLu::empty();
+        assert_eq!(lu.refactor(&a), Err(SolveError::DimensionMismatch));
+    }
+
+    #[test]
+    fn singular_matrix_is_reported() {
+        // Column 1 is structurally empty.
+        let a = CscMatrix::from_triplets(3, &[(0, 0, 1.0), (2, 2, 1.0), (0, 2, 0.5)]);
+        let mut lu = SparseLu::empty();
+        assert!(matches!(lu.factor(&a), Err(SolveError::Singular { .. })));
+        // Numerically singular: two proportional columns.
+        let b = CscMatrix::from_triplets(2, &[(0, 0, 1.0), (1, 0, 2.0), (0, 1, 2.0), (1, 1, 4.0)]);
+        assert!(matches!(lu.factor(&b), Err(SolveError::Singular { .. })));
+    }
+
+    #[test]
+    fn pivot_extremes_track_the_scale() {
+        let a = CscMatrix::from_triplets(3, &[(0, 0, 100.0), (1, 1, 1.0), (2, 2, 1e-6)]);
+        let mut lu = SparseLu::empty();
+        lu.factor(&a).unwrap();
+        let (min, max) = lu.pivot_extremes();
+        assert!((min - 1e-6).abs() < 1e-18);
+        assert!((max - 100.0).abs() < 1e-9);
+        assert_eq!(SparseLu::empty().pivot_extremes(), (0.0, 0.0));
+    }
+
+    #[test]
+    fn min_degree_keeps_tridiagonal_fill_free() {
+        // A 1-D ladder (tridiagonal) has a perfect elimination order; the
+        // factor nonzeros must stay within the band (no fill blow-up).
+        let n = 200;
+        let mut triplets = Vec::new();
+        for k in 0..n {
+            triplets.push((k, k, 4.0));
+            if k + 1 < n {
+                triplets.push((k, k + 1, -1.0));
+                triplets.push((k + 1, k, -1.0));
+            }
+        }
+        let a = CscMatrix::from_triplets(n, &triplets);
+        let mut lu = SparseLu::empty();
+        lu.factor(&a).unwrap();
+        // Tridiagonal LU has at most n-1 off-diagonal entries per factor.
+        assert!(
+            lu.factor_nnz() <= 3 * n,
+            "fill blow-up: {} stored factor entries for a tridiagonal system",
+            lu.factor_nnz()
+        );
+        let b: Vec<f64> = (0..n).map(|k| if k % 7 == 0 { 1.0 } else { 0.0 }).collect();
+        let mut x = vec![0.0; n];
+        lu.solve_into(&b, &mut x);
+        let ax = a.mul_vec(&x);
+        for k in 0..n {
+            assert!((ax[k] - b[k]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn repeated_solves_are_consistent() {
+        let (_, a) = random_system(30, 2, 11);
+        let mut lu = SparseLu::empty();
+        lu.factor(&a).unwrap();
+        let b: Vec<f64> = (0..30).map(|k| k as f64).collect();
+        let mut x1 = vec![0.0; 30];
+        let mut x2 = vec![0.0; 30];
+        lu.solve_into(&b, &mut x1);
+        lu.solve_into(&b, &mut x2);
+        assert_eq!(x1, x2);
+    }
+}

@@ -92,6 +92,25 @@ impl Circuit {
         self.node_names.len()
     }
 
+    /// Number of non-ground nodes — the node-voltage unknown count of the
+    /// MNA system (branch currents add on top; see
+    /// [`crate::MnaSystem::num_unknowns`]). This is the size measure the
+    /// transient kernel's Auto strategy compares against its sparse
+    /// threshold.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len() - 1
+    }
+
+    /// Number of *unique* matrix positions the transient MNA stamp touches —
+    /// the structural nonzero count of the system matrix. Together with
+    /// [`Circuit::node_count`] this makes sparsity observable:
+    /// `stamp_nnz() / n²` is the fill fraction that decides whether the
+    /// sparse kernel pays off. Compiles the circuit; intended for
+    /// diagnostics, not hot loops.
+    pub fn stamp_nnz(&self) -> usize {
+        crate::mna::MnaSystem::compile(self).stamp_nnz()
+    }
+
     /// All elements in insertion order.
     pub fn elements(&self) -> &[Element] {
         &self.elements

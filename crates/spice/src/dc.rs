@@ -6,10 +6,11 @@
 //! the MOSFET linearizations before refactorizing — the inner loop performs
 //! no allocation.
 
-use rlc_numeric::{DenseMatrix, LuFactors};
+use rlc_numeric::{CscMatrix, DenseMatrix, LuFactors, SparseLu};
 
 use crate::circuit::Circuit;
 use crate::mna::MnaSystem;
+use crate::transient::SPARSE_AUTO_THRESHOLD;
 use crate::SpiceError;
 
 /// Options controlling the DC Newton loop.
@@ -97,6 +98,23 @@ pub(crate) fn dc_solve_compiled(
     for (&node, &v) in circuit.initial_conditions() {
         if let Some(idx) = system.voltage_unknown(node) {
             x[idx] = v;
+        }
+    }
+
+    // Linear circuits have no Newton iteration to run — the first solve is
+    // exact — and large ones (the DC start of a big transient run) use the
+    // sparse factorization; an unhealthy sparse factorization falls through
+    // to the dense Newton loop below.
+    if system.is_linear() && n >= SPARSE_AUTO_THRESHOLD {
+        let mut triplets = Vec::new();
+        system.dc_triplets(&mut triplets);
+        let csc = CscMatrix::from_triplets(n, &triplets);
+        let mut sparse = SparseLu::empty();
+        if sparse.factor(&csc).is_ok() && sparse.pivot_extremes().0 >= 1e-9 * csc.max_abs() {
+            let mut rhs = vec![0.0; n];
+            system.stamp_dc_rhs(&mut rhs);
+            sparse.solve_into(&rhs, &mut x);
+            return Ok((x, 1));
         }
     }
 
@@ -216,5 +234,44 @@ mod tests {
     fn invalid_circuit_is_rejected() {
         let ckt = Circuit::new();
         assert!(dc_operating_point(&ckt, DcOptions::default()).is_err());
+    }
+
+    #[test]
+    fn large_linear_dc_uses_sparse_path_and_matches_analytic() {
+        // A chain of 151 equal resistors is a uniform divider: the voltage
+        // after k resistors is V * (151 - k) / 151. The system has 152
+        // unknowns, above the sparse threshold, so this exercises the
+        // sparse linear DC solve (one factor + solve, no Newton loop).
+        let n_res = 151usize;
+        let v = 1.8;
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        ckt.add_vsource("V1", src, Circuit::GROUND, SourceWaveform::dc(v));
+        let mut prev = src;
+        let mut nodes = Vec::new();
+        for k in 0..n_res - 1 {
+            let n = ckt.node(&format!("n{k}"));
+            ckt.add_resistor(&format!("R{k}"), prev, n, 10.0);
+            nodes.push(n);
+            prev = n;
+        }
+        ckt.add_resistor("Rend", prev, Circuit::GROUND, 10.0);
+        let sol = dc_operating_point(&ckt, DcOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 1);
+        for (k, &node) in nodes.iter().enumerate() {
+            // The gmin stamps load every node with 1e-12 S, shifting the
+            // ideal divider by a few nV across 150 nodes.
+            let expected = v * (n_res - 1 - k) as f64 / n_res as f64;
+            assert!(
+                (sol.voltage(node) - expected).abs() < 1e-6,
+                "node {k}: {} vs {expected}",
+                sol.voltage(node)
+            );
+        }
+        assert!(approx_eq(
+            sol.vsource_current("V1").unwrap(),
+            -v / (10.0 * n_res as f64),
+            1e-6
+        ));
     }
 }

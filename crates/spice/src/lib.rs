@@ -54,7 +54,7 @@ pub use mosfet::{MosfetParams, MosfetType};
 pub use source::SourceWaveform;
 pub use transient::{
     IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
-    TransientWorkspace,
+    TransientWorkspace, SPARSE_AUTO_THRESHOLD,
 };
 pub use waveform::Waveform;
 
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use crate::source::SourceWaveform;
     pub use crate::transient::{
         IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
-        TransientWorkspace,
+        TransientWorkspace, SPARSE_AUTO_THRESHOLD,
     };
     pub use crate::waveform::Waveform;
     pub use crate::SpiceError;

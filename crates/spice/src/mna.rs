@@ -300,16 +300,22 @@ impl MnaSystem {
         }
     }
 
-    fn stamp_conductance(&self, m: &mut DenseMatrix, a: usize, b: usize, g: f64) {
+    fn stamp_conductance_with<AM: FnMut(usize, usize, f64)>(
+        &self,
+        add_m: &mut AM,
+        a: usize,
+        b: usize,
+        g: f64,
+    ) {
         if a != 0 {
-            m.add_at(a - 1, a - 1, g);
+            add_m(a - 1, a - 1, g);
         }
         if b != 0 {
-            m.add_at(b - 1, b - 1, g);
+            add_m(b - 1, b - 1, g);
         }
         if a != 0 && b != 0 {
-            m.add_at(a - 1, b - 1, -g);
-            m.add_at(b - 1, a - 1, -g);
+            add_m(a - 1, b - 1, -g);
+            add_m(b - 1, a - 1, -g);
         }
     }
 
@@ -336,18 +342,32 @@ impl MnaSystem {
     /// contribute nothing at DC (`di/dt = 0`; the coupled inductors are
     /// already shorts).
     pub(crate) fn stamp_dc_static(&self, m: &mut DenseMatrix, rhs: &mut [f64]) {
+        self.stamp_dc_matrix_core(&mut |i, j, v| m.add_at(i, j, v));
+        self.stamp_dc_rhs(rhs);
+    }
+
+    /// The matrix half of [`MnaSystem::stamp_dc_static`], generic over the
+    /// stamp sink so the same element walk fills dense matrices and sparse
+    /// triplet buffers.
+    pub(crate) fn stamp_dc_matrix_core<AM: FnMut(usize, usize, f64)>(&self, add_m: &mut AM) {
         for k in 0..(self.num_nodes - 1) {
-            m.add_at(k, k, GMIN);
+            add_m(k, k, GMIN);
         }
         for r in &self.resistors {
-            self.stamp_conductance(m, r.a, r.b, r.conductance);
+            self.stamp_conductance_with(add_m, r.a, r.b, r.conductance);
         }
         for l in &self.inductors {
             // Branch row: Va - Vb = 0; KCL: branch current leaves a, enters b.
-            self.stamp_branch_voltage_rows(m, l.a, l.b, l.branch);
+            self.stamp_branch_voltage_rows_with(add_m, l.a, l.b, l.branch);
         }
         for v in &self.vsources {
-            self.stamp_branch_voltage_rows(m, v.pos, v.neg, v.branch);
+            self.stamp_branch_voltage_rows_with(add_m, v.pos, v.neg, v.branch);
+        }
+    }
+
+    /// The RHS half of [`MnaSystem::stamp_dc_static`]: source `t = 0` values.
+    pub(crate) fn stamp_dc_rhs(&self, rhs: &mut [f64]) {
+        for v in &self.vsources {
             rhs[v.branch] = v.waveform.initial_value();
         }
         for i in &self.isources {
@@ -478,18 +498,31 @@ impl MnaSystem {
         h: f64,
         method: CompanionMethod,
     ) {
+        self.stamp_transient_matrix_core(h, method, &mut |i, j, v| m.add_at(i, j, v));
+    }
+
+    /// The element walk behind [`MnaSystem::stamp_transient_static`], generic
+    /// over the stamp sink: the dense kernels pass `DenseMatrix::add_at`, the
+    /// sparse kernel collects (row, col, value) triplets for
+    /// [`rlc_numeric::CscMatrix::from_triplets`].
+    pub(crate) fn stamp_transient_matrix_core<AM: FnMut(usize, usize, f64)>(
+        &self,
+        h: f64,
+        method: CompanionMethod,
+        add_m: &mut AM,
+    ) {
         for k in 0..(self.num_nodes - 1) {
-            m.add_at(k, k, GMIN);
+            add_m(k, k, GMIN);
         }
         for r in &self.resistors {
-            self.stamp_conductance(m, r.a, r.b, r.conductance);
+            self.stamp_conductance_with(add_m, r.a, r.b, r.conductance);
         }
         for c in &self.capacitors {
             let g = match method {
                 CompanionMethod::BackwardEuler => c.farads / h,
                 CompanionMethod::Trapezoidal => 2.0 * c.farads / h,
             };
-            self.stamp_conductance(m, c.a, c.b, g);
+            self.stamp_conductance_with(add_m, c.a, c.b, g);
         }
         for l in &self.inductors {
             let z = match method {
@@ -497,9 +530,9 @@ impl MnaSystem {
                 CompanionMethod::Trapezoidal => 2.0 * l.henries / h,
             };
             // KCL columns and branch voltage row.
-            self.stamp_branch_voltage_rows(m, l.a, l.b, l.branch);
+            self.stamp_branch_voltage_rows_with(add_m, l.a, l.b, l.branch);
             // Branch equation: Va - Vb - z * i = rhs_val.
-            m.add_at(l.branch, l.branch, -z);
+            add_m(l.branch, l.branch, -z);
         }
         for k in &self.mutuals {
             // Coupled branch equations gain the off-diagonal companion
@@ -508,12 +541,47 @@ impl MnaSystem {
                 CompanionMethod::BackwardEuler => k.henries / h,
                 CompanionMethod::Trapezoidal => 2.0 * k.henries / h,
             };
-            m.add_at(k.branch_a, k.branch_b, -z_m);
-            m.add_at(k.branch_b, k.branch_a, -z_m);
+            add_m(k.branch_a, k.branch_b, -z_m);
+            add_m(k.branch_b, k.branch_a, -z_m);
         }
         for v in &self.vsources {
-            self.stamp_branch_voltage_rows(m, v.pos, v.neg, v.branch);
+            self.stamp_branch_voltage_rows_with(add_m, v.pos, v.neg, v.branch);
         }
+    }
+
+    /// Collects the transient static stamps as (row, col, value) triplets
+    /// into `out` (cleared first) — the sparse kernel's assembly input.
+    pub(crate) fn transient_triplets(
+        &self,
+        h: f64,
+        method: CompanionMethod,
+        out: &mut Vec<(usize, usize, f64)>,
+    ) {
+        out.clear();
+        self.stamp_transient_matrix_core(h, method, &mut |i, j, v| out.push((i, j, v)));
+    }
+
+    /// Collects the DC static matrix stamps as triplets into `out` (cleared
+    /// first) — the sparse linear DC path's assembly input.
+    pub(crate) fn dc_triplets(&self, out: &mut Vec<(usize, usize, f64)>) {
+        out.clear();
+        self.stamp_dc_matrix_core(&mut |i, j, v| out.push((i, j, v)));
+    }
+
+    /// Number of *unique* matrix positions the transient static stamp
+    /// touches — the structural nonzero count of the MNA matrix. A sizing
+    /// diagnostic: compare against `num_unknowns²` to see how sparse a
+    /// circuit's system really is (and why the sparse kernel wins on large
+    /// nets). Independent of step size and integration method.
+    pub fn stamp_nnz(&self) -> usize {
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        // h = 1.0 is arbitrary: only the stamp *pattern* matters here.
+        self.stamp_transient_matrix_core(1.0, CompanionMethod::BackwardEuler, &mut |i, j, _| {
+            positions.push((i, j))
+        });
+        positions.sort_unstable();
+        positions.dedup();
+        positions.len()
     }
 
     /// Fills `rhs` with the transient right-hand side at time `t`: source
@@ -641,20 +709,20 @@ impl MnaSystem {
 
     /// Stamps the `+1/-1` pattern shared by ideal voltage sources, DC
     /// inductor shorts and the voltage part of inductor branch equations.
-    fn stamp_branch_voltage_rows(
+    fn stamp_branch_voltage_rows_with<AM: FnMut(usize, usize, f64)>(
         &self,
-        m: &mut DenseMatrix,
+        add_m: &mut AM,
         pos: usize,
         neg: usize,
         branch: usize,
     ) {
         if pos != 0 {
-            m.add_at(pos - 1, branch, 1.0);
-            m.add_at(branch, pos - 1, 1.0);
+            add_m(pos - 1, branch, 1.0);
+            add_m(branch, pos - 1, 1.0);
         }
         if neg != 0 {
-            m.add_at(neg - 1, branch, -1.0);
-            m.add_at(branch, neg - 1, -1.0);
+            add_m(neg - 1, branch, -1.0);
+            add_m(branch, neg - 1, -1.0);
         }
     }
 
@@ -822,6 +890,64 @@ mod tests {
         // Branch unknowns are assigned in element order: V1 was added first.
         assert_eq!(sys.vsource_branch("V1"), Some(2));
         assert_eq!(sys.vsource_branch("nope"), None);
+    }
+
+    #[test]
+    fn stamp_nnz_counts_unique_positions() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.add_vsource("V1", a, Circuit::GROUND, SourceWaveform::dc(1.0));
+        ckt.add_resistor("R1", a, b, 10.0);
+        ckt.add_capacitor("C1", b, Circuit::GROUND, 1e-12);
+        let sys = MnaSystem::compile(&ckt);
+        // Unknowns: va, vb, iV1. Positions: gmin+R+C diagonals (a,a) (b,b),
+        // R off-diagonals (a,b) (b,a), vsource rows (a,branch) (branch,a).
+        assert_eq!(sys.stamp_nnz(), 6);
+        assert_eq!(ckt.node_count(), 2);
+        assert_eq!(ckt.stamp_nnz(), 6);
+        // Triplets cover the same positions (with duplicates pre-merge).
+        let mut triplets = Vec::new();
+        sys.transient_triplets(1e-12, CompanionMethod::Trapezoidal, &mut triplets);
+        let mut positions: Vec<(usize, usize)> = triplets.iter().map(|&(i, j, _)| (i, j)).collect();
+        positions.sort_unstable();
+        positions.dedup();
+        assert_eq!(positions.len(), 6);
+    }
+
+    #[test]
+    fn triplet_assembly_matches_dense_stamp() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let c = ckt.node("c");
+        ckt.add_vsource(
+            "V1",
+            a,
+            Circuit::GROUND,
+            SourceWaveform::rising_ramp(0.0, 1e-10, 1.0),
+        );
+        ckt.add_resistor("R1", a, b, 10.0);
+        ckt.add_inductor("L1", b, c, 1e-9);
+        ckt.add_capacitor("C1", c, Circuit::GROUND, 1e-12);
+        let sys = MnaSystem::compile(&ckt);
+        let n = sys.num_unknowns();
+        for method in [CompanionMethod::BackwardEuler, CompanionMethod::Trapezoidal] {
+            let h = 5e-13;
+            let mut dense = DenseMatrix::zeros(n, n);
+            sys.stamp_transient_static(&mut dense, h, method);
+            let mut triplets = Vec::new();
+            sys.transient_triplets(h, method, &mut triplets);
+            let csc = rlc_numeric::CscMatrix::from_triplets(n, &triplets);
+            for i in 0..n {
+                for j in 0..n {
+                    assert!(
+                        (dense.get(i, j) - csc.get(i, j)).abs() < 1e-15,
+                        "mismatch at ({i}, {j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use std::collections::HashMap;
 
-use rlc_numeric::{DenseMatrix, LuFactors};
+use rlc_numeric::{CscMatrix, DenseMatrix, LuFactors, SparseLu};
 
 use crate::circuit::{Circuit, NodeId};
 use crate::dc::{dc_solve_compiled, DcOptions};
@@ -59,17 +59,35 @@ pub enum InitialState {
     UseInitialConditions,
 }
 
+/// MNA unknown count at and above which [`KernelStrategy::Auto`] switches a
+/// linear circuit from the dense factor-once kernel to the sparse one. Below
+/// this size the dense factorization fits in cache and its tighter inner
+/// loop wins; above it the O(n³) dense factor and O(n²) back-substitution
+/// lose to the near-linear sparse path (a ladder row touches ≤ 4 neighbours,
+/// so factor fill stays banded).
+pub const SPARSE_AUTO_THRESHOLD: usize = 128;
+
 /// Which simulation kernel executes the time loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelStrategy {
-    /// Pick automatically: [`KernelStrategy::FactorOnce`] for linear
-    /// circuits, [`KernelStrategy::SplitStamp`] otherwise. The default.
+    /// Pick automatically: [`KernelStrategy::Sparse`] for linear circuits
+    /// with at least [`SPARSE_AUTO_THRESHOLD`] unknowns,
+    /// [`KernelStrategy::FactorOnce`] for smaller linear circuits,
+    /// [`KernelStrategy::SplitStamp`] otherwise. The default.
     #[default]
     Auto,
     /// Factor-once LTI fast path: assemble and LU-factorize the companion
     /// matrix once, then only rebuild the RHS and back-substitute per step.
     /// Requires a linear circuit (no MOSFETs).
     FactorOnce,
+    /// Sparse factor-once LTI path: assemble the companion matrix in
+    /// compressed-sparse-column form and factorize it once with the
+    /// fill-reducing sparse LU ([`rlc_numeric::SparseLu`]); per step only
+    /// the RHS is rebuilt and the triangular solves run over the factor
+    /// nonzeros. Requires a linear circuit; near-singular stamps degrade to
+    /// the dense [`KernelStrategy::FactorOnce`] path automatically (the
+    /// executed kernel is recorded in [`TransientResult::strategy`]).
+    Sparse,
     /// Split-stamp Newton: cache the static (R/L/C/source) stamps once, and
     /// per Newton iteration copy the cache and stamp only the MOSFET
     /// linearizations. Allocation-free; valid for any circuit.
@@ -184,6 +202,12 @@ pub struct TransientWorkspace {
     guess: Vec<f64>,
     cap_currents: Vec<f64>,
     cap_ieq: Vec<f64>,
+    // Sparse-kernel state: the triplet assembly buffer, the assembled CSC
+    // matrix of the previous run (kept for the same-pattern refactor reuse)
+    // and the sparse factorization.
+    triplets: Vec<(usize, usize, f64)>,
+    csc: CscMatrix,
+    sparse_lu: SparseLu,
     // Per-device overdrive caches for the MOSFET evaluations.
     eval_caches: Vec<MosfetEvalCache>,
     // Woodbury rank-update state: W = A0^{-1} U (one row per update row),
@@ -276,12 +300,21 @@ pub struct TransientResult {
     stride: usize,
     system: MnaSystem,
     node_names: HashMap<String, NodeId>,
+    strategy: KernelStrategy,
 }
 
 impl TransientResult {
     /// Simulated time points.
     pub fn times(&self) -> &[f64] {
         &self.times
+    }
+
+    /// The kernel that actually executed the run — `Auto` resolved to a
+    /// concrete kernel, and any health-gated degradation (sparse falling
+    /// back to dense LU on a near-singular stamp) already applied. Makes the
+    /// automatic strategy selection observable instead of silent.
+    pub fn strategy(&self) -> KernelStrategy {
+        self.strategy
     }
 
     /// Number of accepted time points.
@@ -353,15 +386,24 @@ impl TransientAnalysis {
 
         let strategy = match opts.strategy {
             KernelStrategy::Auto => {
-                if system.is_linear() {
-                    KernelStrategy::FactorOnce
-                } else {
+                if !system.is_linear() {
                     KernelStrategy::SplitStamp
+                } else if n >= SPARSE_AUTO_THRESHOLD {
+                    KernelStrategy::Sparse
+                } else {
+                    KernelStrategy::FactorOnce
                 }
             }
             KernelStrategy::FactorOnce if !system.is_linear() => {
                 return Err(SpiceError::InvalidOptions(
                     "the factor-once fast path requires a linear circuit (no MOSFETs); \
+                     use Auto or SplitStamp"
+                        .to_string(),
+                ));
+            }
+            KernelStrategy::Sparse if !system.is_linear() => {
+                return Err(SpiceError::InvalidOptions(
+                    "the sparse fast path requires a linear circuit (no MOSFETs); \
                      use Auto or SplitStamp"
                         .to_string(),
                 ));
@@ -396,18 +438,24 @@ impl TransientAnalysis {
         times.push(0.0);
         solutions.extend_from_slice(&x0);
 
-        match strategy {
+        let executed = match strategy {
             KernelStrategy::FactorOnce => {
-                self.run_factor_once(&system, ws, n_steps, &mut times, &mut solutions)?
+                self.run_factor_once(&system, ws, n_steps, &mut times, &mut solutions)?;
+                KernelStrategy::FactorOnce
+            }
+            KernelStrategy::Sparse => {
+                self.run_sparse(&system, ws, n_steps, &mut times, &mut solutions)?
             }
             KernelStrategy::SplitStamp => {
-                self.run_split_stamp(&system, ws, n_steps, &mut times, &mut solutions)?
+                self.run_split_stamp(&system, ws, n_steps, &mut times, &mut solutions)?;
+                KernelStrategy::SplitStamp
             }
             KernelStrategy::LegacyFull => {
-                self.run_legacy(&system, ws, n_steps, &mut times, &mut solutions)?
+                self.run_legacy(&system, ws, n_steps, &mut times, &mut solutions)?;
+                KernelStrategy::LegacyFull
             }
             KernelStrategy::Auto => unreachable!("Auto was resolved above"),
-        }
+        };
 
         let node_names = (0..circuit.num_nodes())
             .map(|k| {
@@ -427,6 +475,7 @@ impl TransientAnalysis {
             stride: n,
             system,
             node_names,
+            strategy: executed,
         })
     }
 
@@ -460,6 +509,65 @@ impl TransientAnalysis {
             solutions.extend_from_slice(&ws.x_new);
         }
         Ok(())
+    }
+
+    /// The sparse LTI fast path: assemble the companion matrix as CSC, factor
+    /// it once with the fill-reducing sparse LU (or replay a values-only
+    /// refactorization when the workspace still holds a factorization of the
+    /// same pattern — a repeated run of an unchanged topology), then per step
+    /// rebuild the RHS and run the triangular solves over the factor
+    /// nonzeros.
+    ///
+    /// Pivot health is gated exactly like the dense Woodbury path gates its
+    /// rank update: when the smallest pivot falls below `1e-9 ×` the largest
+    /// stamp magnitude (or the factorization fails outright), the run
+    /// degrades to the dense [`TransientAnalysis::run_factor_once`] kernel
+    /// instead of back-substituting through a near-singular factorization.
+    /// Returns the kernel that actually executed.
+    fn run_sparse(
+        &self,
+        system: &MnaSystem,
+        ws: &mut TransientWorkspace,
+        n_steps: usize,
+        times: &mut Vec<f64>,
+        solutions: &mut Vec<f64>,
+    ) -> Result<KernelStrategy, SpiceError> {
+        let opts = &self.options;
+        let method = opts.method.companion();
+        let h = opts.time_step;
+        let n = system.num_unknowns();
+
+        system.transient_triplets(h, method, &mut ws.triplets);
+        let csc = CscMatrix::from_triplets(n, &ws.triplets);
+        let refactorable = ws.sparse_lu.dim() == n && ws.csc.same_pattern(&csc);
+        let factored = if refactorable {
+            // Values-only replay; a stale pivot sequence going singular gets
+            // one shot at a full re-factorization before falling back.
+            ws.sparse_lu.refactor(&csc).is_ok() || ws.sparse_lu.factor(&csc).is_ok()
+        } else {
+            ws.sparse_lu.factor(&csc).is_ok()
+        };
+        let healthy = factored && ws.sparse_lu.pivot_extremes().0 >= 1e-9 * csc.max_abs();
+        if !healthy {
+            // Near-singular (or unfactorable) sparse stamp: degrade to the
+            // dense partial-pivoting LU, whose row exchanges on the full
+            // matrix handle what the sparsity-constrained pivoting cannot.
+            ws.csc = CscMatrix::default();
+            self.run_factor_once(system, ws, n_steps, times, solutions)?;
+            return Ok(KernelStrategy::FactorOnce);
+        }
+        ws.csc = csc;
+
+        system.init_cap_ieq(h, method, &ws.prev_x, &mut ws.cap_ieq);
+        for step in 1..=n_steps {
+            let t = step as f64 * h;
+            system.transient_rhs_fused(t, h, method, &ws.prev_x, &mut ws.cap_ieq, &mut ws.rhs);
+            ws.sparse_lu.solve_into(&ws.rhs, &mut ws.x_new);
+            ws.prev_x.copy_from_slice(&ws.x_new);
+            times.push(t);
+            solutions.extend_from_slice(&ws.x_new);
+        }
+        Ok(KernelStrategy::Sparse)
     }
 
     /// The nonlinear fast kernel. Static (R/L/C/source) stamps are cached
@@ -1119,6 +1227,126 @@ mod tests {
             Err(SpiceError::InvalidOptions(msg)) => assert!(msg.contains("linear")),
             other => panic!("expected InvalidOptions, got {other:?}"),
         }
+    }
+
+    /// A uniform RC ladder with `segments` sections driven by a ramp — the
+    /// scalable linear fixture for the sparse-kernel tests.
+    fn rc_ladder(segments: usize) -> (Circuit, NodeId) {
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        ckt.add_vsource(
+            "V1",
+            src,
+            Circuit::GROUND,
+            SourceWaveform::rising_ramp(1.0, 0.0, ps(50.0)),
+        );
+        let mut prev = src;
+        let mut far = src;
+        for k in 0..segments {
+            let n = ckt.node(&format!("n{k}"));
+            ckt.add_resistor(&format!("R{k}"), prev, n, 72.44 / segments as f64 * 5.0);
+            ckt.add_capacitor(
+                &format!("C{k}"),
+                n,
+                Circuit::GROUND,
+                1.1e-12 / segments as f64,
+            );
+            prev = n;
+            far = n;
+        }
+        ckt.set_initial_condition(src, 0.0);
+        (ckt, far)
+    }
+
+    #[test]
+    fn auto_records_the_executed_strategy() {
+        // Small linear circuit: Auto resolves to the dense factor-once path.
+        let (small, _) = rc_ladder(10);
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(1.0), ps(20.0)).unwrap())
+            .run(&small)
+            .unwrap();
+        assert_eq!(res.strategy(), KernelStrategy::FactorOnce);
+        // Large linear circuit (>= threshold unknowns): Auto goes sparse.
+        let (large, far) = rc_ladder(SPARSE_AUTO_THRESHOLD);
+        let res = TransientAnalysis::new(TransientOptions::try_new(ps(1.0), ps(20.0)).unwrap())
+            .run(&large)
+            .unwrap();
+        assert_eq!(res.strategy(), KernelStrategy::Sparse);
+        // And the sparse solution matches the explicit dense kernel.
+        let dense = TransientAnalysis::new(
+            TransientOptions::try_new(ps(1.0), ps(20.0))
+                .unwrap()
+                .with_strategy(KernelStrategy::FactorOnce),
+        )
+        .run(&large)
+        .unwrap();
+        assert_eq!(dense.strategy(), KernelStrategy::FactorOnce);
+        let (ws, wd) = (res.waveform(far), dense.waveform(far));
+        for (a, b) in ws.values().iter().zip(wd.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_rejects_nonlinear_circuits() {
+        let mut ckt = Circuit::new();
+        let d = ckt.node("d");
+        let g = ckt.node("g");
+        ckt.add_vsource("V1", d, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_vsource("VG", g, Circuit::GROUND, SourceWaveform::dc(1.8));
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosfetParams::nmos_018(), 1e-6);
+        let opts = TransientOptions::try_new(ps(1.0), ps(10.0))
+            .unwrap()
+            .with_strategy(KernelStrategy::Sparse);
+        match TransientAnalysis::new(opts).run(&ckt) {
+            Err(SpiceError::InvalidOptions(msg)) => assert!(msg.contains("linear")),
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unhealthy_sparse_stamp_degrades_to_dense_lu() {
+        // A floating node carries only the gmin stamp (1e-12), far below
+        // 1e-9 x the resistor conductances — the pivot-health gate must
+        // reject the sparse factorization and fall back to dense LU, and
+        // the recorded strategy must say so.
+        let (mut ckt, far) = rc_ladder(SPARSE_AUTO_THRESHOLD);
+        let _floating = ckt.node("floating");
+        let opts = TransientOptions::try_new(ps(1.0), ps(20.0))
+            .unwrap()
+            .with_strategy(KernelStrategy::Sparse);
+        let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
+        assert_eq!(res.strategy(), KernelStrategy::FactorOnce);
+        // The fallback still produces the right answer.
+        let reference = TransientAnalysis::new(
+            TransientOptions::try_new(ps(1.0), ps(20.0))
+                .unwrap()
+                .with_strategy(KernelStrategy::LegacyFull),
+        )
+        .run(&ckt)
+        .unwrap()
+        .waveform(far);
+        let w = res.waveform(far);
+        for (a, b) in w.values().iter().zip(reference.values()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sparse_workspace_reuse_refactors_and_matches() {
+        let (ckt, far) = rc_ladder(SPARSE_AUTO_THRESHOLD + 10);
+        let analysis = TransientAnalysis::new(
+            TransientOptions::try_new(ps(1.0), ps(20.0))
+                .unwrap()
+                .with_strategy(KernelStrategy::Sparse),
+        );
+        let mut ws = TransientWorkspace::new();
+        let first = analysis.run_with(&ckt, &mut ws).unwrap();
+        assert_eq!(first.strategy(), KernelStrategy::Sparse);
+        // Second run hits the same-pattern refactor path; results identical.
+        let second = analysis.run_with(&ckt, &mut ws).unwrap();
+        assert_eq!(second.strategy(), KernelStrategy::Sparse);
+        assert_eq!(first.waveform(far).values(), second.waveform(far).values());
     }
 
     #[test]

@@ -10,7 +10,7 @@ use std::time::Instant;
 use rlc_ceff::far_end::FarEndOptions;
 use rlc_ceff::flow::{DriverOutputModeler, ModelWaveform};
 use rlc_ceff::{CeffIteration, CriteriaReport};
-use rlc_moments::RationalAdmittance;
+use rlc_moments::{tree_transfer_moments, RationalAdmittance, TransferModel};
 use rlc_numeric::units::ps;
 use rlc_spice::circuit::Circuit;
 use rlc_spice::testbench::{add_inverter_driver, add_inverter_driver_with_input, OutputTransition};
@@ -282,51 +282,60 @@ pub struct FarEndReport {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AnalyticBackend;
 
+/// Runs the paper's analytic Ceff flow on a stage and assembles the report,
+/// shared by [`AnalyticBackend`] and the driver-modeling half of
+/// [`ReducedOrderBackend`] (which stamps its own backend name on the result).
+fn analytic_stage_report(
+    backend_name: &'static str,
+    stage: &Stage,
+    config: &EngineConfig,
+) -> Result<StageReport, EngineError> {
+    let started = Instant::now();
+    let load = stage.load().reduce()?;
+    let input = stage.input();
+    let modeler = DriverOutputModeler::new(config.modeling_config());
+    let model = match config.strategy {
+        CeffStrategy::Auto => modeler.model_reduced(stage.driver(), &load, input.slew, input.delay),
+        CeffStrategy::ForceSingleRamp => {
+            modeler.model_reduced_single_ramp(stage.driver(), &load, input.slew, input.delay)
+        }
+        CeffStrategy::ForceTwoRamp => {
+            modeler.model_reduced_two_ramp(stage.driver(), &load, input.slew, input.delay)
+        }
+    }?;
+    let waveform: Arc<dyn DriverModel> = match model.waveform {
+        ModelWaveform::SingleRamp(m) => Arc::new(m),
+        ModelWaveform::TwoRamp(m) => Arc::new(m),
+    };
+    Ok(StageReport {
+        label: stage.label().to_string(),
+        backend: backend_name,
+        delay: model.delay(),
+        slew: model.slew(),
+        input_t50: model.input_t50,
+        vdd: model.vdd,
+        used_two_ramp: model.is_two_ramp(),
+        waveform,
+        simulated_far_end: None,
+        analytic: Some(AnalyticDetails {
+            fit: model.fit,
+            driver_resistance: model.driver_resistance,
+            breakpoint: model.breakpoint,
+            ceff1: model.ceff1,
+            ceff2: model.ceff2,
+            criteria: model.criteria,
+        }),
+        elapsed_seconds: started.elapsed().as_secs_f64(),
+    })
+}
+
 impl AnalysisBackend for AnalyticBackend {
     fn name(&self) -> &'static str {
         "analytic"
     }
 
     fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
-        let started = Instant::now();
-        let load = stage.load().reduce()?;
-        let input = stage.input();
-        let modeler = DriverOutputModeler::new(config.modeling_config());
-        let model = match config.strategy {
-            CeffStrategy::Auto => {
-                modeler.model_reduced(stage.driver(), &load, input.slew, input.delay)
-            }
-            CeffStrategy::ForceSingleRamp => {
-                modeler.model_reduced_single_ramp(stage.driver(), &load, input.slew, input.delay)
-            }
-            CeffStrategy::ForceTwoRamp => {
-                modeler.model_reduced_two_ramp(stage.driver(), &load, input.slew, input.delay)
-            }
-        }?;
-        let waveform: Arc<dyn DriverModel> = match model.waveform {
-            ModelWaveform::SingleRamp(m) => Arc::new(m),
-            ModelWaveform::TwoRamp(m) => Arc::new(m),
-        };
-        Ok(StageReport {
-            label: stage.label().to_string(),
-            backend: self.name(),
-            delay: model.delay(),
-            slew: model.slew(),
-            input_t50: model.input_t50,
-            vdd: model.vdd,
-            used_two_ramp: model.is_two_ramp(),
-            waveform,
-            simulated_far_end: None,
-            analytic: Some(AnalyticDetails {
-                fit: model.fit,
-                driver_resistance: model.driver_resistance,
-                breakpoint: model.breakpoint,
-                ceff1: model.ceff1,
-                ceff2: model.ceff2,
-                criteria: model.criteria,
-            }),
-            elapsed_seconds: started.elapsed().as_secs_f64(),
-        })
+        analytic_stage_report(self.name(), stage, config)
     }
 }
 
@@ -456,6 +465,193 @@ impl AnalysisBackend for SpiceBackend {
     }
 }
 
+/// Why [`ReducedOrderBackend`] could not model a stage in moment space.
+/// [`ReducedOrderBackend::analyze`] turns every one of these into a silent
+/// fallback to full simulation; [`ReducedOrderBackend::analyze_reduced`]
+/// surfaces them for callers that want to know.
+#[derive(Debug, Clone)]
+pub enum ReductionError {
+    /// The load exposes no [`rlc_interconnect::RlcTree`] topology
+    /// ([`LoadModel::tree_topology`] returned `None`) — lumped caps, pi
+    /// models, coupled buses and moment-space loads.
+    NoTreeTopology,
+    /// The driver-side analytic Ceff flow failed (degenerate load fit,
+    /// non-convergence).
+    Driver(EngineError),
+    /// The transfer-moment fit failed: degenerate transfer, repeated pole,
+    /// or the unstable pole that AWE moment matching cannot rule out.
+    Fit(rlc_moments::MomentError),
+    /// The modeled far-end response never completed its transition within
+    /// the sampled window — the reduced model is not trustworthy here.
+    UnresolvedFarEnd,
+}
+
+impl std::fmt::Display for ReductionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReductionError::NoTreeTopology => {
+                write!(f, "load has no RLC-tree topology to reduce")
+            }
+            ReductionError::Driver(e) => write!(f, "driver modeling failed: {e}"),
+            ReductionError::Fit(e) => write!(f, "transfer-moment fit failed: {e}"),
+            ReductionError::UnresolvedFarEnd => write!(
+                f,
+                "modeled far end never completed its transition within the sampled window"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReductionError {}
+
+/// A moment-matched reduced-order backend: models the driver with the
+/// paper's analytic Ceff flow, then answers the far-end waveform **in closed
+/// form** instead of time stepping — the interconnect transfer from the
+/// driving point to the primary sink is fitted to a 2-pole rational
+/// ([`rlc_moments::TransferModel`] over [`rlc_moments::tree_transfer_moments`])
+/// and the driver's piecewise-linear output is pushed through it as a
+/// superposition of closed-form ramp responses. A far-end answer costs
+/// microseconds where the transient kernel takes milliseconds.
+///
+/// Moment matching is honest about its limits: loads without a tree
+/// topology, degenerate or unstable fits, and responses that fail to settle
+/// all produce a typed [`ReductionError`], and [`AnalysisBackend::analyze`]
+/// falls back to the golden [`SpiceBackend`] — the report then carries the
+/// fallback backend's name (`"rlc-spice"`), so callers can detect the
+/// downgrade from `report.backend`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReducedOrderBackend {
+    fallback: SpiceBackend,
+}
+
+/// Sample count for the modeled far-end waveform — fine enough that linear
+/// interpolation error in the 50 % / 10–90 % measurements is negligible.
+const ROM_SAMPLES: usize = 1200;
+
+impl ReducedOrderBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        ReducedOrderBackend::default()
+    }
+
+    /// Analyzes a stage in moment space, surfacing the typed error instead
+    /// of falling back.
+    ///
+    /// # Errors
+    /// A [`ReductionError`] describing why the stage cannot be answered by
+    /// the reduced-order model.
+    pub fn analyze_reduced(
+        &self,
+        stage: &Stage,
+        config: &EngineConfig,
+    ) -> Result<StageReport, ReductionError> {
+        let started = Instant::now();
+        let tree = stage
+            .load()
+            .tree_topology()
+            .ok_or(ReductionError::NoTreeTopology)?;
+        let sink_name = tree
+            .sinks()
+            .next()
+            .map(|(_, s)| s.name.clone())
+            .ok_or(ReductionError::NoTreeTopology)?;
+        let h =
+            tree_transfer_moments(&tree, &sink_name, 3).ok_or(ReductionError::NoTreeTopology)?;
+        let model = TransferModel::from_moments(&h).map_err(ReductionError::Fit)?;
+
+        let mut report =
+            analytic_stage_report(self.name(), stage, config).map_err(ReductionError::Driver)?;
+
+        // Sample window: the full driver transition plus ten of the fit's
+        // slowest time constants — the closed-form response has settled to
+        // within e^-10 of its asymptote by then.
+        let t_stop = report.waveform.end_time() + 10.0 * model.max_time_constant();
+        let far = rom_far_end_waveform(&model, report.waveform.to_source(t_stop), t_stop);
+
+        let vdd = report.vdd;
+        if far.crossing_fraction(0.5, vdd, true).is_none() || far.slew_10_90(vdd, true).is_none() {
+            return Err(ReductionError::UnresolvedFarEnd);
+        }
+        report.simulated_far_end = Some(SampledWaveform::new(far, vdd));
+        report.elapsed_seconds = started.elapsed().as_secs_f64();
+        Ok(report)
+    }
+}
+
+/// Pushes a piecewise-linear source through a fitted transfer model by ramp
+/// superposition: a PWL waveform is a sum of shifted ramps (one slope change
+/// per breakpoint), and the model's unit-ramp response is closed form, so
+/// the output is an exact evaluation of the reduced model — no time
+/// stepping, no numerical integration.
+fn rom_far_end_waveform(model: &TransferModel, source: SourceWaveform, t_stop: f64) -> Waveform {
+    let points = match source {
+        SourceWaveform::Pwl(points) => points,
+        SourceWaveform::Dc(v) => vec![(0.0, v)],
+        // Driver models only emit PWL or DC sources; treat anything else as
+        // holding its t = 0 value.
+        other => vec![(0.0, other.value_at(0.0))],
+    };
+    let v0 = points.first().map_or(0.0, |p| p.1);
+
+    // Slope changes: v_in(t) = v0 + sum_j dm_j * (t - t_j)+.
+    let mut changes: Vec<(f64, f64)> = Vec::new();
+    let mut prev_slope = 0.0;
+    for w in points.windows(2) {
+        let dt = w[1].0 - w[0].0;
+        if dt <= 0.0 {
+            continue;
+        }
+        let slope = (w[1].1 - w[0].1) / dt;
+        if slope != prev_slope {
+            changes.push((w[0].0, slope - prev_slope));
+        }
+        prev_slope = slope;
+    }
+    if prev_slope != 0.0 {
+        // The source holds its last value after the final breakpoint.
+        changes.push((points.last().unwrap().0, -prev_slope));
+    }
+
+    let n = ROM_SAMPLES;
+    let times: Vec<f64> = (0..n).map(|k| k as f64 * t_stop / (n - 1) as f64).collect();
+    let values: Vec<f64> = times
+        .iter()
+        .map(|&t| {
+            let transient: f64 = changes
+                .iter()
+                .map(|&(tj, dm)| dm * model.unit_ramp_response(t - tj))
+                .sum();
+            v0 * model.dc_gain() + transient
+        })
+        .collect();
+    Waveform::new(times, values)
+}
+
+impl AnalysisBackend for ReducedOrderBackend {
+    fn name(&self) -> &'static str {
+        "reduced-order"
+    }
+
+    fn caps(&self) -> BackendCaps {
+        BackendCaps {
+            // The driver half is the analytic flow, which models ideal-ramp
+            // inputs only.
+            sampled_input: false,
+            // Reports carry the modeled far-end waveform.
+            simulates_far_end: true,
+        }
+    }
+
+    fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
+        match self.analyze_reduced(stage, config) {
+            Ok(report) => Ok(report),
+            // Typed reduction failures degrade to the golden simulation; the
+            // report keeps the fallback's name so the downgrade is visible.
+            Err(_) => self.fallback.analyze(stage, config),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +724,133 @@ mod tests {
         let details = report.analytic.as_ref().unwrap();
         assert!((details.ceff1.ceff - ff(400.0)).abs() < 1e-21);
         assert_eq!(details.breakpoint, 1.0);
+    }
+
+    /// A balanced 8-sink RC(L)-dominated clock-tree-like net whose primary
+    /// sink (`rx0`) has a stable 2-pole transfer fit.
+    fn balanced_8sink_tree() -> rlc_interconnect::RlcTree {
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let root = tree.add_branch(None, RlcLine::new(100.0, nh(0.4), pf(0.5), mm(2.0)));
+        let l1a = tree.add_branch(Some(root), RlcLine::new(120.0, nh(0.3), pf(0.4), mm(1.5)));
+        let l1b = tree.add_branch(Some(root), RlcLine::new(120.0, nh(0.3), pf(0.4), mm(1.5)));
+        for (i, &parent) in [l1a, l1a, l1b, l1b].iter().enumerate() {
+            let mid = tree.add_branch(
+                Some(parent),
+                RlcLine::new(150.0, nh(0.2), pf(0.25), mm(1.0)),
+            );
+            let s1 = tree.add_branch(Some(mid), RlcLine::new(180.0, nh(0.1), pf(0.15), mm(0.6)));
+            let s2 = tree.add_branch(Some(mid), RlcLine::new(180.0, nh(0.1), pf(0.15), mm(0.6)));
+            tree.set_sink(s1, &format!("rx{}", 2 * i), ff(12.0));
+            tree.set_sink(s2, &format!("rx{}", 2 * i + 1), ff(18.0));
+        }
+        tree
+    }
+
+    #[test]
+    fn reduced_order_backend_models_the_far_end_in_closed_form() {
+        // An 8-sink RLC tree: the ROM must answer the primary sink's waveform
+        // without a transient simulation, and the answer must agree with a
+        // real simulation of the same driver waveform through the same tree.
+        let load = crate::load::RlcTreeLoad::new(balanced_8sink_tree()).unwrap();
+        let stage = Stage::builder(crate::test_fixtures::synthetic_cell_75x(), load.clone())
+            .label("rom")
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap();
+
+        let report = ReducedOrderBackend::new()
+            .analyze(&stage, &fast_config())
+            .unwrap();
+        assert_eq!(report.backend, "reduced-order");
+        assert!(
+            report.analytic.is_some(),
+            "driver half is the analytic flow"
+        );
+        let modeled = report.simulated_far_end.as_ref().expect("modeled far end");
+        let rom_t50 = modeled
+            .waveform()
+            .crossing_fraction(0.5, report.vdd, true)
+            .unwrap();
+        let rom_delay = rom_t50 - report.input_t50;
+
+        // Golden cross-check: push the same driver waveform through the same
+        // tree with the transient kernel. The deep tree settles in the
+        // nanosecond range, so give the simulation a wider window than the
+        // single-line default.
+        let options = FarEndOptions {
+            settle_time: ps(4000.0),
+            ..FarEndOptions::default()
+        };
+        let simulated = report.far_end(&load, &options).unwrap();
+        let rel = (rom_delay - simulated.delay_from_input).abs() / simulated.delay_from_input;
+        assert!(
+            rel < 0.05,
+            "ROM far-end delay {rom_delay:e} vs simulated {:e} ({:.1}% off)",
+            simulated.delay_from_input,
+            rel * 100.0
+        );
+        let rom_slew = modeled.waveform().slew_10_90(report.vdd, true).unwrap();
+        let slew_rel = (rom_slew - simulated.slew).abs() / simulated.slew;
+        assert!(
+            slew_rel < 0.10,
+            "ROM far-end slew {rom_slew:e} vs simulated {:e}",
+            simulated.slew
+        );
+    }
+
+    #[test]
+    fn reduced_order_backend_falls_back_on_loads_without_a_tree() {
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            LumpedCapLoad::new(ff(300.0)).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let backend = ReducedOrderBackend::new();
+        assert!(matches!(
+            backend.analyze_reduced(&stage, &fast_config()),
+            Err(ReductionError::NoTreeTopology)
+        ));
+        // analyze() silently degrades to the golden simulation and the
+        // report says so.
+        let report = backend.analyze(&stage, &fast_config()).unwrap();
+        assert_eq!(report.backend, "rlc-spice");
+        assert!(report.analytic.is_none());
+    }
+
+    #[test]
+    fn reduced_order_backend_falls_back_on_unstable_fits() {
+        // An inductive 3-sink tree whose primary-sink Padé fit lands a pole
+        // in the right half plane — the classic AWE non-passivity. The typed
+        // error surfaces from analyze_reduced and analyze() degrades to the
+        // golden simulation.
+        let trunk = RlcLine::new(60.0, nh(2.0), pf(0.6), mm(3.0));
+        let stub = RlcLine::new(120.0, nh(1.0), pf(0.3), mm(1.5));
+        let mut tree = rlc_interconnect::RlcTree::new();
+        let t = tree.add_branch(None, trunk);
+        let a = tree.add_branch(Some(t), stub);
+        let b = tree.add_branch(Some(t), stub);
+        let c = tree.add_branch(Some(b), stub);
+        tree.set_sink(a, "rx0", ff(20.0));
+        tree.set_sink(b, "rx1", ff(10.0));
+        tree.set_sink(c, "rx2", ff(15.0));
+        let stage = Stage::builder(
+            crate::test_fixtures::synthetic_cell_75x(),
+            crate::load::RlcTreeLoad::new(tree).unwrap(),
+        )
+        .input_slew(ps(100.0))
+        .build()
+        .unwrap();
+        let backend = ReducedOrderBackend::new();
+        match backend.analyze_reduced(&stage, &fast_config()) {
+            Err(ReductionError::Fit(e)) => {
+                assert!(e.to_string().contains("unstable"), "got: {e}")
+            }
+            other => panic!("expected an unstable-fit error, got {other:?}"),
+        }
+        let report = backend.analyze(&stage, &fast_config()).unwrap();
+        assert_eq!(report.backend, "rlc-spice");
     }
 
     #[test]

@@ -86,8 +86,8 @@ mod session;
 mod stage;
 
 pub use backend::{
-    AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport, SinkFarEnd,
-    SpiceBackend, StageReport,
+    AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport,
+    ReducedOrderBackend, ReductionError, SinkFarEnd, SpiceBackend, StageReport,
 };
 #[allow(deprecated)]
 pub use compat::BatchReport;
@@ -107,8 +107,8 @@ pub use stage::{
 /// Convenient glob import of the facade types.
 pub mod prelude {
     pub use crate::backend::{
-        AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport, SinkFarEnd,
-        SpiceBackend, StageReport,
+        AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport,
+        ReducedOrderBackend, ReductionError, SinkFarEnd, SpiceBackend, StageReport,
     };
     #[allow(deprecated)]
     pub use crate::compat::BatchReport;

@@ -115,6 +115,16 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// The load's interconnect topology as an [`RlcTree`], when it has one.
+    /// This is what moment-space reduced-order backends
+    /// ([`crate::ReducedOrderBackend`]) consume to build sink transfer
+    /// functions; loads with no tree realization (lumped caps, pi models,
+    /// coupled buses, moment-space loads) return `None` and such backends
+    /// fall back to simulation.
+    fn tree_topology(&self) -> Option<RlcTree> {
+        None
+    }
+
     /// One-line human-readable description.
     fn describe(&self) -> String;
 }
@@ -328,6 +338,10 @@ impl LoadModel for DistributedRlcLoad {
             .add_to_circuit(ckt, near, segments, self.c_load, v_initial, "line"))
     }
 
+    fn tree_topology(&self) -> Option<RlcTree> {
+        Some(RlcTree::single_line(self.line, self.c_load))
+    }
+
     fn describe(&self) -> String {
         format!(
             "RLC line ({}) + CL = {:.1} fF",
@@ -444,6 +458,10 @@ impl LoadModel for RlcTreeLoad {
             .sinks()
             .map(|(_, sink)| sink.name.clone())
             .collect()
+    }
+
+    fn tree_topology(&self) -> Option<RlcTree> {
+        Some(self.tree.clone())
     }
 
     fn describe(&self) -> String {
