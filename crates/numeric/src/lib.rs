@@ -40,6 +40,7 @@ pub use matrix::{DenseMatrix, LuFactors};
 pub use polynomial::Polynomial;
 pub use series::PowerSeries;
 pub use sparse::{CscMatrix, SparseLu};
+pub use stats::{Accumulator, DistributionSummary, Rng};
 
 /// Default absolute tolerance used across the workspace when comparing
 /// floating point quantities that are expected to be "equal".
@@ -85,15 +86,8 @@ pub fn relative_error(value: f64, reference: f64) -> f64 {
 /// sweep tests across this crate.
 #[cfg(test)]
 pub(crate) fn splitmix_stream(seed: u64) -> impl FnMut() -> f64 {
-    let mut state = seed;
-    move || {
-        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        z ^= z >> 31;
-        (z >> 11) as f64 / (1u64 << 52) as f64
-    }
+    let mut rng = stats::Rng::new(seed);
+    move || rng.uniform()
 }
 
 #[cfg(test)]

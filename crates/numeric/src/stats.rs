@@ -1,5 +1,160 @@
 //! Simple descriptive statistics used by the experiment harness
-//! (average/percentile error over the Figure 7 sweep, error-bucket counts).
+//! (average/percentile error over the Figure 7 sweep, error-bucket counts),
+//! plus the seedable deterministic PRNG and sampling helpers used by the
+//! Monte-Carlo variation engine.
+
+/// Deterministic seedable pseudo-random generator (splitmix64 core).
+///
+/// The generator is dependency-free, has a full 2^64 period over its state
+/// increment, and produces an identical stream for an identical seed on every
+/// platform — which is what makes Monte-Carlo sweep results reproducible and
+/// lets tests pin bit-identical distribution reports.
+///
+/// ```
+/// use rlc_numeric::stats::Rng;
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let u = a.uniform();
+/// assert!((0.0..1.0).contains(&u));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+    /// Cached second output of the Box–Muller pair, if any.
+    spare_normal: Option<u64>,
+}
+
+impl Rng {
+    /// Creates a generator from a seed. Equal seeds produce equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed, spare_normal: None }
+    }
+
+    /// Next raw 64-bit output of the splitmix64 sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of mantissa entropy.
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform draw in `[lo, hi)`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi` or either bound is non-finite.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform range");
+        lo + self.uniform() * (hi - lo)
+    }
+
+    /// Standard-normal draw (mean 0, σ 1) via the Box–Muller transform.
+    ///
+    /// Pairs are generated two at a time; the spare is cached so consecutive
+    /// calls consume the underlying stream deterministically.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(bits) = self.spare_normal.take() {
+            return f64::from_bits(bits);
+        }
+        // Reject u1 == 0 so ln(u1) stays finite.
+        let mut u1 = self.uniform();
+        while u1 <= 0.0 {
+            u1 = self.uniform();
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * core::f64::consts::PI * u2;
+        self.spare_normal = Some((r * theta.sin()).to_bits());
+        r * theta.cos()
+    }
+
+    /// Normal draw with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `sigma` is negative or non-finite.
+    pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
+        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        mean + sigma * self.standard_normal()
+    }
+}
+
+/// Streaming accumulator for mean/σ/min/max plus retained samples for
+/// quantiles — the reduction used to summarize each metric of a
+/// Monte-Carlo sweep.
+///
+/// Accumulation order is the push order, so summaries built from the same
+/// sample sequence are bit-identical run to run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Accumulator {
+    samples: Vec<f64>,
+}
+
+impl Accumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Number of samples accumulated so far.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Finishes the reduction. Returns `None` if no samples were pushed.
+    pub fn summary(&self) -> Option<DistributionSummary> {
+        DistributionSummary::from_samples(&self.samples)
+    }
+}
+
+/// Mean/σ/quantile/extreme summary of one scalar metric over a sample
+/// population (delay, slew, peak noise, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistributionSummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum sample (NaN-ignoring).
+    pub min: f64,
+    /// Maximum sample (NaN-ignoring).
+    pub max: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl DistributionSummary {
+    /// Builds a summary from a sample population. Returns `None` for an
+    /// empty slice.
+    pub fn from_samples(samples: &[f64]) -> Option<Self> {
+        Some(Self {
+            count: samples.len(),
+            mean: mean(samples)?,
+            std_dev: std_dev(samples)?,
+            min: min(samples)?,
+            max: max(samples)?,
+            p50: percentile(samples, 50.0)?,
+            p95: percentile(samples, 95.0)?,
+            p99: percentile(samples, 99.0)?,
+        })
+    }
+}
 
 /// Arithmetic mean. Returns `None` for an empty slice.
 pub fn mean(values: &[f64]) -> Option<f64> {
@@ -144,6 +299,65 @@ mod tests {
         let v = [0.01, -0.04, 0.2, -0.07];
         assert!(approx_eq(fraction_below(&v, 0.05).unwrap(), 0.5, 1e-12));
         assert!(approx_eq(fraction_below(&v, 0.10).unwrap(), 0.75, 1e-12));
+    }
+
+    #[test]
+    fn rng_is_deterministic_and_matches_splitmix_reference() {
+        let mut rng = Rng::new(7);
+        let mut reference = crate::splitmix_stream(7);
+        for _ in 0..64 {
+            assert_eq!(rng.uniform(), reference());
+        }
+        // Same seed twice → identical stream, including through normal draws.
+        let mut a = Rng::new(123);
+        let mut b = Rng::new(123);
+        for _ in 0..32 {
+            assert_eq!(a.standard_normal().to_bits(), b.standard_normal().to_bits());
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn uniform_in_covers_range() {
+        let mut rng = Rng::new(99);
+        for _ in 0..256 {
+            let v = rng.uniform_in(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&v));
+        }
+        assert_eq!(rng.clone().uniform_in(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn normal_draws_have_expected_moments() {
+        let mut rng = Rng::new(2024);
+        let samples: Vec<f64> = (0..20_000).map(|_| rng.normal(3.0, 0.5)).collect();
+        let m = mean(&samples).unwrap();
+        let s = std_dev(&samples).unwrap();
+        assert!((m - 3.0).abs() < 0.02, "mean {m}");
+        assert!((s - 0.5).abs() < 0.02, "std {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma")]
+    fn normal_rejects_negative_sigma() {
+        let _ = Rng::new(1).normal(0.0, -1.0);
+    }
+
+    #[test]
+    fn accumulator_and_summary_reduce_population() {
+        let mut acc = Accumulator::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            acc.push(v);
+        }
+        assert_eq!(acc.count(), 4);
+        let s = acc.summary().unwrap();
+        assert_eq!(s.count, 4);
+        assert!(approx_eq(s.mean, 2.5, 1e-12));
+        assert!(approx_eq(s.min, 1.0, 1e-12));
+        assert!(approx_eq(s.max, 4.0, 1e-12));
+        assert!(approx_eq(s.p50, 2.5, 1e-12));
+        assert!(Accumulator::new().summary().is_none());
+        assert!(DistributionSummary::from_samples(&[]).is_none());
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod elements;
 pub mod mna;
 pub mod mosfet;
 pub mod source;
+pub mod sweep;
 pub mod testbench;
 pub mod transient;
 pub mod waveform;
@@ -52,6 +53,7 @@ pub use dc::{dc_operating_point, DcOptions};
 pub use elements::Element;
 pub use mosfet::{MosfetParams, MosfetType};
 pub use source::SourceWaveform;
+pub use sweep::{SweepResult, VariationSpec, VariationSweep};
 pub use transient::{
     IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
     TransientWorkspace, SPARSE_AUTO_THRESHOLD,
@@ -64,6 +66,7 @@ pub mod prelude {
     pub use crate::dc::{dc_operating_point, DcOptions};
     pub use crate::mosfet::{MosfetParams, MosfetType};
     pub use crate::source::SourceWaveform;
+    pub use crate::sweep::{SweepResult, VariationSpec, VariationSweep};
     pub use crate::transient::{
         IntegrationMethod, KernelStrategy, TransientAnalysis, TransientOptions, TransientResult,
         TransientWorkspace, SPARSE_AUTO_THRESHOLD,

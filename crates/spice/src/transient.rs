@@ -38,7 +38,7 @@ pub enum IntegrationMethod {
 }
 
 impl IntegrationMethod {
-    fn companion(self) -> CompanionMethod {
+    pub(crate) fn companion(self) -> CompanionMethod {
         match self {
             IntegrationMethod::Trapezoidal => CompanionMethod::Trapezoidal,
             IntegrationMethod::BackwardEuler => CompanionMethod::BackwardEuler,

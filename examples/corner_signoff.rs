@@ -1,0 +1,151 @@
+//! Statistical signoff: sweep a 4-stage repeater path across process
+//! corners and Monte-Carlo samples in one call.
+//!
+//! This reuses the `path_timing` topology (flagship line, forked tree,
+//! coupled bus, captured receiver) but instead of one nominal analysis it
+//! runs the whole path at every entry of a *variation plan*:
+//!
+//! * three explicit corners — typical, slow (high R/C, low supply, hot) and
+//!   fast (low R/C, high supply), and
+//! * 64 seeded Monte-Carlo draws around nominal
+//!   ([`rlc_ceff_suite::VariationModel`]).
+//!
+//! `TimingEngine::analyze_path_distribution` revalues every stage's driver
+//! and load at each sample (one global process condition per sample),
+//! schedules all `samples x stages` analyses across one session's thread
+//! pool, and chains handoffs corner-consistently: sample *i* of a stage
+//! always consumes the far end of sample *i* of its producer. The result is
+//! one [`rlc_ceff_suite::DistributionReport`] per stage — mean/sigma and
+//! p50/p95/p99 delay and slew, plus the worst-sample witness a signoff flow
+//! escalates. The same seed always reproduces the same report, bit for bit.
+//!
+//! Run with: `cargo run --release --example corner_signoff`
+
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::interconnect::RlcTree;
+use rlc_ceff_suite::{
+    DistributedRlcLoad, EngineConfig, LumpedCapLoad, RlcTreeLoad, Stage, TimingEngine,
+    VariationModel, VariationSpec,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let extractor = EmpiricalExtractor::cmos018();
+
+    let mut config = EngineConfig::builder();
+    if let Ok(dir) = std::env::var("RLC_CACHE_DIR") {
+        config = config.cache_dir(dir);
+    }
+    let engine = TimingEngine::new(config.build());
+    let mut library = engine.open_library()?;
+    let strong = library.get_or_characterize(75.0)?;
+    let receiver = library.get_or_characterize(50.0)?;
+
+    // The three signoff corners plus a Monte-Carlo cloud around nominal.
+    let typical = VariationSpec::nominal();
+    let slow = VariationSpec::nominal()
+        .with_r_scale(1.15)
+        .with_c_scale(1.10)
+        .with_source_scale(0.95)
+        .with_temperature_delta(60.0);
+    let fast = VariationSpec::nominal()
+        .with_r_scale(0.87)
+        .with_c_scale(0.93)
+        .with_source_scale(1.05);
+    let model = VariationModel::default().with_temperature_delta(25.0);
+
+    // Net 1 (the head carries the plan): the paper's flagship 5 mm line.
+    let line = extractor.extract(&WireGeometry::new(mm(5.0), um(1.6)));
+    let launch = Stage::builder(strong.clone(), DistributedRlcLoad::new(line, ff(10.0))?)
+        .label("launch")
+        .input_slew(ps(100.0))
+        .corners([typical, slow, fast])
+        .monte_carlo(64, 0x5eed, model)
+        .build()?;
+
+    // Net 2: a forked tree. Later stages declare placeholder inputs — the
+    // path sweep rewires each sample to its producer's matching sample.
+    let trunk = extractor.extract(&WireGeometry::new(mm(2.0), um(0.8)));
+    let short_branch = extractor.extract(&WireGeometry::new(mm(1.0), um(0.8)));
+    let long_branch = extractor.extract(&WireGeometry::new(mm(3.0), um(0.8)));
+    let mut tree = RlcTree::new();
+    let t = tree.add_branch(None, trunk);
+    let near = tree.add_branch(Some(t), short_branch);
+    let far = tree.add_branch(Some(t), long_branch);
+    tree.set_sink(near, "rx_near", ff(15.0));
+    tree.set_sink(far, "rx_far", ff(15.0));
+    let fork = Stage::builder(strong.clone(), RlcTreeLoad::new(tree)?)
+        .label("fork")
+        .input_slew(ps(100.0))
+        .build()?;
+
+    // Net 3: a 4 mm point-to-point line into the captured receiver.
+    let bus_line = extractor.extract(&WireGeometry::new(mm(4.0), um(1.6)));
+    let repeat = Stage::builder(strong, DistributedRlcLoad::new(bus_line, ff(10.0))?)
+        .label("repeat")
+        .input_slew(ps(100.0))
+        .build()?;
+
+    // Net 4: the captured receiver pin.
+    let capture = Stage::builder(receiver, LumpedCapLoad::new(ff(200.0))?)
+        .label("capture")
+        .input_slew(ps(100.0))
+        .build()?;
+
+    let path = [launch, fork, repeat, capture];
+    let num_samples = path[0].variation_samples().len();
+    println!(
+        "corner + Monte-Carlo signoff: {} samples x {} stages through one session",
+        num_samples,
+        path.len()
+    );
+    println!();
+
+    let reports = engine.analyze_path_distribution(&path)?;
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "stage", "mean(ps)", "sigma(ps)", "p99(ps)", "max(ps)", "worst sample"
+    );
+    for report in &reports {
+        let (index, worst) = report.worst_sample();
+        println!(
+            "{:<10} {:>10.1} {:>10.2} {:>10.1} {:>10.1} {:>12}",
+            report.label(),
+            report.delay().mean * 1e12,
+            report.delay().std_dev * 1e12,
+            report.delay().p99 * 1e12,
+            report.delay().max * 1e12,
+            format!("#{index}"),
+        );
+        let _ = worst;
+    }
+
+    // The witness: which process condition produced the worst capture delay,
+    // and what the cumulative p99 path delay is.
+    let capture_report = reports.last().expect("one report per stage");
+    let (index, worst) = capture_report.worst_sample();
+    let kind = if index == 0 {
+        "typical corner".to_string()
+    } else if index == 1 {
+        "slow corner".to_string()
+    } else if index == 2 {
+        "fast corner".to_string()
+    } else {
+        format!("Monte-Carlo draw #{}", index - 3)
+    };
+    println!();
+    println!(
+        "worst capture sample: #{index} ({kind}) — delay {:.1} ps at \
+         r x {:.3}, c x {:.3}, vdd x {:.3}",
+        worst.delay * 1e12,
+        worst.spec.r_scale,
+        worst.spec.c_scale,
+        worst.spec.source_scale,
+    );
+    let p99_path: f64 = reports.iter().map(|r| r.delay().p99).sum();
+    println!("sum of per-stage p99 delays (pessimistic bound): {:.1} ps", p99_path * 1e12);
+    println!();
+    for report in &reports {
+        println!("{}", report.describe());
+    }
+    Ok(())
+}

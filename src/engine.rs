@@ -10,8 +10,9 @@ use rlc_charlib::{CharacterizationGrid, Library};
 use crate::backend::{AnalysisBackend, AnalyticBackend, SpiceBackend, StageReport};
 use crate::config::{EngineConfig, SessionOptions};
 use crate::error::EngineError;
-use crate::session::AnalysisSession;
+use crate::session::{AnalysisSession, StageHandle};
 use crate::stage::{BackendChoice, Stage};
+use crate::variation::{DistributionReport, SampleResult};
 
 /// The unified timing engine.
 ///
@@ -144,6 +145,107 @@ impl TimingEngine {
     /// cap, handoff fidelity).
     pub fn session_with(&self, options: SessionOptions) -> AnalysisSession {
         AnalysisSession::new(self.clone(), options)
+    }
+
+    /// Analyzes a stage across its variation plan
+    /// ([`crate::StageBuilder::corners`] /
+    /// [`crate::StageBuilder::monte_carlo`]): one revalued copy of the stage
+    /// per sample — driver supply and on-resistance rescaled, load revalued
+    /// through [`crate::LoadModel::scaled`] — scheduled across an
+    /// [`AnalysisSession`]'s thread pool, then reduced into a
+    /// [`DistributionReport`] in plan order. The reduction is deterministic:
+    /// the same stage (and Monte-Carlo seed) always produces a bit-identical
+    /// report, regardless of which worker finished first.
+    ///
+    /// # Errors
+    /// [`EngineError::InvalidStage`] when the stage has no variation plan or
+    /// is dependent, [`EngineError::Unsupported`] when its load cannot be
+    /// revalued, or the first failing sample's analysis error.
+    pub fn analyze_distribution(&self, stage: &Stage) -> Result<DistributionReport, EngineError> {
+        let mut reports = self.analyze_path_distribution(std::slice::from_ref(stage))?;
+        Ok(reports.pop().expect("one report per stage"))
+    }
+
+    /// Analyzes a chained path of stages across the **head** stage's
+    /// variation plan with corner-consistent handoffs: for each sample, the
+    /// whole path is revalued at that sample's spec and chained through
+    /// measured far-end waveforms, so sample *i* of stage *k + 1* always
+    /// consumes the far end of sample *i* of stage *k* — never a different
+    /// corner's waveform. Later stages' own declared inputs (and variation
+    /// plans) are ignored; a path corner is one global process condition.
+    ///
+    /// All `samples × stages` analyses share one session and run across its
+    /// thread pool. Returns one [`DistributionReport`] per stage, in path
+    /// order.
+    ///
+    /// # Errors
+    /// Like [`TimingEngine::analyze_distribution`]; additionally
+    /// [`EngineError::InvalidStage`] for an empty path or a dependent head
+    /// stage.
+    pub fn analyze_path_distribution(
+        &self,
+        stages: &[Stage],
+    ) -> Result<Vec<DistributionReport>, EngineError> {
+        let head = stages.first().ok_or_else(|| {
+            EngineError::invalid("path distribution analysis needs at least one stage")
+        })?;
+        if head.is_dependent() {
+            return Err(EngineError::invalid(format!(
+                "stage '{}' heads a distribution path but declares a dependent input; \
+                 give the head a fixed input event",
+                head.label()
+            )));
+        }
+        let specs = head.variation_samples().to_vec();
+        if specs.is_empty() {
+            return Err(EngineError::invalid(format!(
+                "stage '{}' has no variation plan; add corners(..) or monte_carlo(..) \
+                 to the builder",
+                head.label()
+            )));
+        }
+
+        let mut session = self.session();
+        let mut handles: Vec<Vec<StageHandle>> =
+            vec![Vec::with_capacity(specs.len()); stages.len()];
+        for (i, spec) in specs.iter().enumerate() {
+            let mut prev: Option<StageHandle> = None;
+            for (k, template) in stages.iter().enumerate() {
+                let sample = template.with_sample(spec, i)?;
+                let sample = match prev {
+                    None => sample,
+                    Some(producer) => sample.rewire_input_from(producer),
+                };
+                let handle = session.submit(sample)?;
+                handles[k].push(handle);
+                prev = Some(handle);
+            }
+        }
+        let outcomes = session.wait_all();
+
+        let mut reports = Vec::with_capacity(stages.len());
+        for (k, template) in stages.iter().enumerate() {
+            let mut samples = Vec::with_capacity(specs.len());
+            for (i, handle) in handles[k].iter().enumerate() {
+                let report = outcomes[handle.index()].1.as_ref().map_err(Clone::clone)?;
+                let peak_noise = report
+                    .simulated_far_end
+                    .as_ref()
+                    .map(|far| far.waveform().overshoot(report.vdd));
+                samples.push(SampleResult {
+                    spec: specs[i],
+                    delay: report.delay,
+                    slew: report.slew,
+                    peak_noise,
+                    backend: report.backend,
+                });
+            }
+            reports.push(DistributionReport::from_samples(
+                template.label().to_string(),
+                samples,
+            ));
+        }
+        Ok(reports)
     }
 }
 

@@ -84,6 +84,7 @@ mod error;
 mod load;
 mod session;
 mod stage;
+mod variation;
 
 pub use backend::{
     AnalysisBackend, AnalyticBackend, AnalyticDetails, BackendCaps, FarEndReport,
@@ -103,6 +104,7 @@ pub use session::{AnalysisSession, InputSource, SessionReports, StageHandle, Sta
 pub use stage::{
     AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
 };
+pub use variation::{DistributionReport, SampleResult, VariationModel, VariationSpec};
 
 /// Convenient glob import of the facade types.
 pub mod prelude {
@@ -126,6 +128,7 @@ pub mod prelude {
     pub use crate::stage::{
         AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
     };
+    pub use crate::variation::{DistributionReport, SampleResult, VariationModel, VariationSpec};
 }
 
 /// Version of the reproduction suite.

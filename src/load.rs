@@ -23,6 +23,7 @@ use std::sync::Arc;
 
 use crate::error::EngineError;
 use crate::stage::{AggressorSpec, AggressorSwitching};
+use crate::variation::VariationSpec;
 use rlc_ceff::flow::{ReducedLoad, WaveParameters};
 use rlc_interconnect::{CoupledBus, RlcLine, RlcTree};
 use rlc_moments::{tree_admittance_moments, PiModel, RationalAdmittance};
@@ -115,6 +116,23 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// A copy of this load with every element value rescaled per the
+    /// variation spec: resistances by the temperature-adjusted resistance
+    /// scale ([`VariationSpec::effective_r_scale`]), inductances (self and
+    /// mutual) by the inductance scale, and capacitances (shunt, coupling,
+    /// far-end loads) by the capacitance scale. This is the seam
+    /// [`crate::TimingEngine::analyze_distribution`] revalues each variation
+    /// sample through.
+    ///
+    /// Returns `None` for loads that cannot be revalued — a moment-space
+    /// load, whose moments mix powers of R and C that one pair of scale
+    /// factors cannot untangle — which distribution analysis turns into a
+    /// typed [`EngineError::Unsupported`] instead of silently reusing the
+    /// nominal values.
+    fn scaled(&self, _spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        None
+    }
+
     /// The load's interconnect topology as an [`RlcTree`], when it has one.
     /// This is what moment-space reduced-order backends
     /// ([`crate::ReducedOrderBackend`]) consume to build sink transfer
@@ -127,6 +145,17 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
 
     /// One-line human-readable description.
     fn describe(&self) -> String;
+}
+
+/// `line` with its total parasitics rescaled per `spec` (geometry is
+/// untouched: variation perturbs extracted values, not layout).
+fn scale_line(line: &RlcLine, spec: &VariationSpec) -> RlcLine {
+    RlcLine::new(
+        line.resistance() * spec.effective_r_scale(),
+        line.inductance() * spec.l_scale,
+        line.capacitance() * spec.c_scale,
+        line.length(),
+    )
 }
 
 /// The measurement points a load's netlist exposes after
@@ -184,6 +213,12 @@ impl LoadModel for LumpedCapLoad {
     ) -> Result<NodeId, EngineError> {
         ckt.add_capacitor("CLOAD", near, Circuit::GROUND, self.c);
         Ok(near)
+    }
+
+    fn scaled(&self, spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        Some(Arc::new(LumpedCapLoad {
+            c: self.c * spec.c_scale,
+        }))
     }
 
     fn describe(&self) -> String {
@@ -267,6 +302,16 @@ impl LoadModel for PiModelLoad {
         Ok(far)
     }
 
+    fn scaled(&self, spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        Some(Arc::new(PiModelLoad {
+            pi: PiModel {
+                c_near: self.pi.c_near * spec.c_scale,
+                resistance: self.pi.resistance * spec.effective_r_scale(),
+                c_far: self.pi.c_far * spec.c_scale,
+            },
+        }))
+    }
+
     fn describe(&self) -> String {
         format!(
             "pi load: Cn = {:.1} fF, R = {:.1} ohm, Cf = {:.1} fF",
@@ -340,6 +385,13 @@ impl LoadModel for DistributedRlcLoad {
 
     fn tree_topology(&self) -> Option<RlcTree> {
         Some(RlcTree::single_line(self.line, self.c_load))
+    }
+
+    fn scaled(&self, spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        Some(Arc::new(DistributedRlcLoad {
+            line: scale_line(&self.line, spec),
+            c_load: self.c_load * spec.c_scale,
+        }))
     }
 
     fn describe(&self) -> String {
@@ -462,6 +514,21 @@ impl LoadModel for RlcTreeLoad {
 
     fn tree_topology(&self) -> Option<RlcTree> {
         Some(self.tree.clone())
+    }
+
+    fn scaled(&self, spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        // Rebuild in branch order: `add_branch` appends, so the i-th old
+        // branch maps onto the i-th new id and parent links carry over.
+        let mut tree = RlcTree::new();
+        let mut ids = Vec::with_capacity(self.tree.num_branches());
+        for (_, branch) in self.tree.branches() {
+            let parent = branch.parent().map(|p| ids[p.index()]);
+            ids.push(tree.add_branch(parent, scale_line(branch.line(), spec)));
+        }
+        for (id, sink) in self.tree.sinks() {
+            tree.set_sink(ids[id.index()], &sink.name, sink.c_load * spec.c_scale);
+        }
+        Some(Arc::new(RlcTreeLoad { tree }))
     }
 
     fn describe(&self) -> String {
@@ -620,6 +687,25 @@ impl LoadModel for CoupledBusLoad {
         Some(Arc::new(CoupledBusLoad {
             bus: self.bus,
             aggressor: spec,
+        }))
+    }
+
+    fn scaled(&self, spec: &VariationSpec) -> Option<Arc<dyn LoadModel>> {
+        // The aggressor rail tracks the victim supply, so its swing scales
+        // with the same source factor.
+        Some(Arc::new(CoupledBusLoad {
+            bus: CoupledBus::new(
+                scale_line(self.bus.victim(), spec),
+                scale_line(self.bus.aggressor(), spec),
+                self.bus.coupling_capacitance() * spec.c_scale,
+                self.bus.mutual_inductance() * spec.l_scale,
+                self.bus.victim_load() * spec.c_scale,
+                self.bus.aggressor_load() * spec.c_scale,
+            ),
+            aggressor: AggressorSpec {
+                amplitude: self.aggressor.amplitude * spec.source_scale,
+                ..self.aggressor
+            },
         }))
     }
 
@@ -967,6 +1053,85 @@ mod tests {
         let swapped = quiet.with_aggressor(opposite).unwrap();
         assert!(swapped.total_capacitance() > quiet.total_capacitance());
         assert_eq!(swapped.sink_names(), quiet.sink_names());
+    }
+
+    #[test]
+    fn scaled_revalues_every_element_class() {
+        use crate::variation::VariationSpec;
+
+        let spec = VariationSpec::nominal()
+            .with_r_scale(1.2)
+            .with_l_scale(0.9)
+            .with_c_scale(1.1)
+            .with_source_scale(0.95);
+        let r_eff = spec.effective_r_scale();
+
+        // Lumped: capacitance only.
+        let lumped = LumpedCapLoad::new(ff(200.0)).unwrap();
+        let scaled = lumped.scaled(&spec).unwrap();
+        assert!((scaled.total_capacitance() - 1.1 * 200e-15).abs() < 1e-27);
+
+        // Pi: R by the (temperature-adjusted) resistance scale, C by c_scale.
+        let pi = PiModelLoad::new(PiModel {
+            c_near: 0.2e-12,
+            resistance: 120.0,
+            c_far: 0.9e-12,
+        })
+        .unwrap();
+        let scaled = pi.scaled(&spec).unwrap();
+        assert!((scaled.total_capacitance() - 1.1 * 1.1e-12).abs() < 1e-24);
+
+        // Line: every class, load included; geometry untouched.
+        let line = RlcLine::new(72.44, nh(5.14), pf(1.10), mm(5.0));
+        let load = DistributedRlcLoad::new(line, ff(10.0)).unwrap();
+        let scaled = load.scaled(&spec).unwrap();
+        let tree = scaled.tree_topology().unwrap();
+        let (scaled_line, c_load) = tree.as_single_line().map(|(l, c)| (*l, c)).unwrap();
+        assert!((scaled_line.resistance() - 72.44 * r_eff).abs() < 1e-9);
+        assert!((scaled_line.inductance() - 0.9 * 5.14e-9).abs() < 1e-21);
+        assert!((scaled_line.capacitance() - 1.1 * 1.10e-12).abs() < 1e-24);
+        assert_eq!(scaled_line.length(), line.length());
+        assert!((c_load - 1.1 * 10e-15).abs() < 1e-27);
+
+        // Tree: structure, parents and sink names survive the rebuild.
+        let trunk = RlcLine::new(40.0, nh(2.0), pf(0.5), mm(2.0));
+        let stub = RlcLine::new(20.0, nh(1.0), pf(0.3), mm(1.0));
+        let mut t = RlcTree::new();
+        let root = t.add_branch(None, trunk);
+        let l = t.add_branch(Some(root), stub);
+        let r = t.add_branch(Some(root), stub);
+        t.set_sink(l, "rx0", ff(15.0));
+        t.set_sink(r, "rx1", ff(25.0));
+        let tree_load = RlcTreeLoad::new(t).unwrap();
+        let scaled = tree_load.scaled(&spec).unwrap();
+        assert_eq!(scaled.sink_names(), tree_load.sink_names());
+        let st = scaled.tree_topology().unwrap();
+        assert_eq!(st.num_branches(), 3);
+        assert!(
+            (st.total_capacitance() - 1.1 * tree_load.total_capacitance()).abs() < 1e-24
+        );
+
+        // Bus: coupling C, mutual L and the aggressor amplitude all scale.
+        let bus = CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0));
+        let bus_load = CoupledBusLoad::new(bus, AggressorSpec::quiet(1.8).unwrap()).unwrap();
+        let scaled = bus_load.scaled(&spec).unwrap();
+        // Quiet aggressor -> Miller factor 1: effective C = line C + cc, and
+        // every term scales by c_scale.
+        assert!((scaled.total_capacitance() - 1.1 * bus_load.total_capacitance()).abs() < 1e-24);
+        assert_eq!(scaled.sink_names(), bus_load.sink_names());
+
+        // Temperature feeds the resistance scale.
+        let hot = VariationSpec::nominal().with_temperature_delta(100.0);
+        assert!(hot.effective_r_scale() > 1.0);
+        let hot_line = load.scaled(&hot).unwrap().tree_topology().unwrap();
+        let (hl, _) = hot_line.as_single_line().unwrap();
+        assert!((hl.resistance() - 72.44 * hot.effective_r_scale()).abs() < 1e-9);
+
+        // Moment-space loads cannot be revalued.
+        assert!(MomentsLoad::new(vec![1e-12, -1e-23])
+            .unwrap()
+            .scaled(&spec)
+            .is_none());
     }
 
     #[test]

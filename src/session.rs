@@ -284,10 +284,14 @@ impl AnalysisSession {
     /// host runs on 2 threads, not 64 parked ones.
     fn ensure_worker(&mut self) {
         if self.workers.len() < self.worker_target {
-            let shared = self.shared.clone();
-            self.workers
-                .push(std::thread::spawn(move || worker_loop(&shared)));
+            self.spawn_worker();
         }
+    }
+
+    fn spawn_worker(&mut self) {
+        let shared = self.shared.clone();
+        self.workers
+            .push(std::thread::spawn(move || worker_loop(&shared)));
     }
 
     /// Number of handles issued so far (submissions plus reservations).
@@ -396,7 +400,15 @@ impl AnalysisSession {
     where
         I: IntoIterator<Item = Stage>,
     {
-        stages.into_iter().map(|s| self.submit(s)).collect()
+        let stages = stages.into_iter();
+        // A wide batch wants its full worker complement immediately, not one
+        // new thread per submission — the first stages should already be
+        // fanning out while the tail of the batch is still validating.
+        let known = stages.size_hint().0;
+        while self.workers.len() < self.worker_target.min(known) {
+            self.spawn_worker();
+        }
+        stages.map(|s| self.submit(s)).collect()
     }
 
     /// Blocks for the next completed stage, in completion order. Returns
@@ -723,28 +735,39 @@ fn complete(
     result: Result<StageReport, EngineError>,
     stage: Option<Stage>,
 ) {
-    let mut worklist = vec![(index, result, stage)];
-    while let Some((i, result, stage)) = worklist.pop() {
+    let stream = result.clone();
+    complete_with_stream(st, work, session, index, result, stream, stage);
+}
+
+/// Like [`complete`], but the caller supplies the streamed copy of the
+/// result. Workers clone their report *before* taking the state lock and
+/// come here directly — a wide batch completing on many threads must not
+/// serialize on waveform deep-copies held under the mutex.
+fn complete_with_stream(
+    st: &mut State,
+    work: &Condvar,
+    session: u64,
+    index: usize,
+    result: Result<StageReport, EngineError>,
+    stream: Result<StageReport, EngineError>,
+    stage: Option<Stage>,
+) {
+    let mut worklist = vec![(index, result, stream, stage)];
+    while let Some((i, result, stream, stage)) = worklist.pop() {
         let failed = result.is_err();
         let upstream_label = st.slots[i].label.clone();
-        st.slots[i].phase = Phase::Done {
-            stage,
-            result: result.clone(),
-        };
-        let _ = st.tx.send((StageHandle { session, index: i }, result));
+        st.slots[i].phase = Phase::Done { stage, result };
+        let _ = st.tx.send((StageHandle { session, index: i }, stream));
         for w in std::mem::take(&mut st.slots[i].waiters) {
             match &mut st.slots[w].phase {
                 Phase::Waiting { unmet, .. } if failed => {
                     let _ = unmet;
                     let label = st.slots[w].label.clone();
-                    worklist.push((
-                        w,
-                        Err(EngineError::UpstreamFailed {
-                            label,
-                            upstream: upstream_label.clone(),
-                        }),
-                        None,
-                    ));
+                    let poison = EngineError::UpstreamFailed {
+                        label,
+                        upstream: upstream_label.clone(),
+                    };
+                    worklist.push((w, Err(poison.clone()), Err(poison), None));
                 }
                 Phase::Waiting { unmet, .. } => {
                     *unmet -= 1;
@@ -829,8 +852,19 @@ fn worker_loop(shared: &Shared) {
                 detail: crate::engine::panic_message(payload.as_ref()),
             })
         });
+        // Deep-copy the report for the completion stream while no lock is
+        // held; only the bookkeeping below happens under the mutex.
+        let stream = result.clone();
         let mut st = shared.state.lock().expect("session state");
-        complete(&mut st, &shared.work, shared.id, index, result, Some(stage));
+        complete_with_stream(
+            &mut st,
+            &shared.work,
+            shared.id,
+            index,
+            result,
+            stream,
+            Some(stage),
+        );
     }
 }
 

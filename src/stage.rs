@@ -10,6 +10,7 @@ use crate::driver::SampledWaveform;
 use crate::error::EngineError;
 use crate::load::LoadModel;
 use crate::session::{InputSource, StageHandle};
+use crate::variation::{VariationModel, VariationSpec};
 
 /// The input event applied to the driver: a saturated ramp described by its
 /// 0–100 % transition time, starting at an absolute delay.
@@ -182,6 +183,7 @@ pub struct Stage {
     input_waveform: Option<SampledWaveform>,
     after: Vec<StageHandle>,
     backend: Option<BackendChoice>,
+    variation: Vec<VariationSpec>,
 }
 
 impl Stage {
@@ -206,6 +208,8 @@ impl Stage {
             after: Vec::new(),
             aggressor: None,
             backend: None,
+            corners: Vec::new(),
+            monte_carlo: None,
         }
     }
 
@@ -277,6 +281,51 @@ impl Stage {
         self.backend.as_ref()
     }
 
+    /// The stage's variation plan ([`StageBuilder::corners`] /
+    /// [`StageBuilder::monte_carlo`]), in plan order: corners first, then
+    /// Monte-Carlo draws in seed order. Empty for plain single-condition
+    /// stages.
+    pub fn variation_samples(&self) -> &[VariationSpec] {
+        &self.variation
+    }
+
+    /// A copy of this stage revalued for one variation sample: the driver's
+    /// supply and on-resistance rescaled, the load revalued through
+    /// [`crate::LoadModel::scaled`], and the label suffixed with the sample
+    /// index. The sample stage carries no variation plan (and no ordering
+    /// dependencies) of its own.
+    pub(crate) fn with_sample(
+        &self,
+        spec: &VariationSpec,
+        index: usize,
+    ) -> Result<Stage, EngineError> {
+        let load = self.load.scaled(spec).ok_or_else(|| {
+            EngineError::unsupported(format!(
+                "stage '{}': its load cannot be revalued for variation analysis: {}",
+                self.label,
+                self.load.describe()
+            ))
+        })?;
+        let mut sample = self.clone();
+        sample.label = format!("{}@s{index}", self.label);
+        sample.driver = scaled_driver(&self.driver, spec);
+        sample.load = load;
+        sample.variation = Vec::new();
+        sample.after = Vec::new();
+        Ok(sample)
+    }
+
+    /// A copy of this stage rewired to chain from `producer`'s primary far
+    /// end. Path distribution analysis uses this to keep handoffs
+    /// corner-consistent: sample *i* of a stage always feeds sample *i* of
+    /// the next stage, never a different corner's waveform.
+    pub(crate) fn rewire_input_from(mut self, producer: StageHandle) -> Stage {
+        self.source = InputSource::FromFarEnd { stage: producer };
+        self.resolved = None;
+        self.input_waveform = None;
+        self
+    }
+
     /// A copy of this stage with its dependent input resolved to a concrete
     /// event (and optionally the full sampled waveform for capable
     /// backends). Used by the session scheduler just before dispatch.
@@ -292,6 +341,26 @@ impl Stage {
     }
 }
 
+/// The driver revalued for one variation sample: the supply rail (and with
+/// it every rail-referenced measurement) scales by the source factor, and
+/// the extracted on-resistance — a channel resistance, which drifts with
+/// process and temperature like any other resistor — by the
+/// temperature-adjusted resistance scale. The timing table stays the
+/// characterized nominal.
+fn scaled_driver(driver: &Arc<DriverCell>, spec: &VariationSpec) -> Arc<DriverCell> {
+    let r_eff = spec.effective_r_scale();
+    if spec.source_scale == 1.0 && r_eff == 1.0 {
+        return driver.clone();
+    }
+    let mut inverter = *driver.spec();
+    inverter.vdd *= spec.source_scale;
+    Arc::new(DriverCell::from_parts(
+        inverter,
+        driver.table().clone(),
+        driver.on_resistance() * r_eff,
+    ))
+}
+
 /// Builder for [`Stage`].
 #[derive(Debug, Clone)]
 pub struct StageBuilder {
@@ -304,6 +373,8 @@ pub struct StageBuilder {
     after: Vec<StageHandle>,
     aggressor: Option<AggressorSpec>,
     backend: Option<BackendChoice>,
+    corners: Vec<VariationSpec>,
+    monte_carlo: Option<(usize, u64, VariationModel)>,
 }
 
 impl StageBuilder {
@@ -371,6 +442,25 @@ impl StageBuilder {
         self
     }
 
+    /// Adds explicit process/environment corners to the stage's variation
+    /// plan. [`crate::TimingEngine::analyze_distribution`] analyzes one
+    /// revalued copy of the stage per plan entry and reduces the results
+    /// into a [`crate::DistributionReport`]. Repeatable; corners accumulate
+    /// ahead of any Monte-Carlo draws.
+    pub fn corners(mut self, specs: impl IntoIterator<Item = VariationSpec>) -> Self {
+        self.corners.extend(specs);
+        self
+    }
+
+    /// Appends `n` seeded Monte-Carlo draws from `model` to the variation
+    /// plan. Draws are generated deterministically at build time with
+    /// [`rlc_numeric::Rng`], so the same seed always yields the same plan —
+    /// and therefore a bit-identical [`crate::DistributionReport`].
+    pub fn monte_carlo(mut self, n: usize, seed: u64, model: VariationModel) -> Self {
+        self.monte_carlo = Some((n, seed, model));
+        self
+    }
+
     /// Validates and finishes the stage.
     ///
     /// # Errors
@@ -429,6 +519,16 @@ impl StageBuilder {
                 (InputSource::Event(event), Some(event))
             }
         };
+        let mut variation = self.corners;
+        for spec in &variation {
+            crate::variation::validate_spec(spec)?;
+        }
+        if let Some((n, seed, model)) = self.monte_carlo {
+            model.validate()?;
+            // Draws from a validated model are clamped physical by
+            // construction; only explicit corners need re-validation.
+            variation.extend(model.samples(n, seed));
+        }
         Ok(Stage {
             label: self.label.unwrap_or_else(|| "stage".to_string()),
             driver: self.driver,
@@ -438,6 +538,7 @@ impl StageBuilder {
             input_waveform: None,
             after: self.after,
             backend: self.backend,
+            variation,
         })
     }
 }
