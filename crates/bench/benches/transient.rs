@@ -325,9 +325,7 @@ fn main() {
             }
             black_box(acc)
         });
-        let sweep = VariationSweep::new(
-            TransientOptions::try_new(ps(0.5), mc_stop).unwrap(),
-        );
+        let sweep = VariationSweep::new(TransientOptions::try_new(ps(0.5), mc_stop).unwrap());
         let optimized = runner.bench(&format!("{mc_name}/sweep"), || {
             let res = sweep
                 .run(black_box(&base), &[far], black_box(&specs))
@@ -362,7 +360,11 @@ fn main() {
                     DistributedRlcLoad::new(RlcLine::new(r, l, c, mm(5.0)), ff(10.0)).unwrap(),
                 )
                 .input_slew(ps(100.0))
-                .monte_carlo(if smoke { 8 } else { 16 }, 0x5eed, VariationModel::default())
+                .monte_carlo(
+                    if smoke { 8 } else { 16 },
+                    0x5eed,
+                    VariationModel::default(),
+                )
                 .build()
                 .unwrap()
             };

@@ -10,6 +10,7 @@
 //! results can be compared against the paper (see `EXPERIMENTS.md`).
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod harness;

@@ -30,6 +30,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod driving_point;
 pub mod pi_model;

@@ -1,0 +1,149 @@
+//! Structured diagnostics shared across the workspace.
+//!
+//! A [`Diagnostic`] is one finding from a static analysis pass — a lint over
+//! a netlist, a validation failure in a variation specification — carrying a
+//! stable machine-readable code, a [`Severity`], a locus (the node or element
+//! the finding is anchored to) and a human-readable message. Keeping the type
+//! in `rlc-numeric` lets every layer (SPICE kernel, lint pass, facade,
+//! service protocol) speak the same diagnostic without cyclic dependencies.
+
+use std::fmt;
+
+/// How serious a [`Diagnostic`] is.
+///
+/// Ordered: `Info < Warning < Error`, so "the worst finding in a list" is
+/// simply `iter().map(|d| d.severity).max()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: nothing is wrong, but something non-obvious happened
+    /// (e.g. a kernel degraded to a slower but safer path).
+    Info,
+    /// Suspicious but not certainly fatal: the analysis can proceed, the
+    /// result may be meaningless.
+    Warning,
+    /// The construct is certainly broken; running an analysis over it would
+    /// fail or silently produce garbage.
+    Error,
+}
+
+impl Severity {
+    /// Short lowercase label (`"info"`, `"warning"`, `"error"`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One finding from a static analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Diagnostic {
+    /// Stable machine-readable code (e.g. `"L001"`). Codes are append-only:
+    /// once shipped, a code keeps its meaning forever.
+    pub code: String,
+    /// How serious the finding is.
+    pub severity: Severity,
+    /// The node or element the finding is anchored to (e.g. a node name,
+    /// an element name, a field path). Empty when the finding is global.
+    pub locus: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    pub fn new(
+        code: impl Into<String>,
+        severity: Severity,
+        locus: impl Into<String>,
+        message: impl Into<String>,
+    ) -> Self {
+        Diagnostic {
+            code: code.into(),
+            severity,
+            locus: locus.into(),
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for an [`Severity::Error`] diagnostic.
+    pub fn error(
+        code: impl Into<String>,
+        locus: impl Into<String>,
+        msg: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(code, Severity::Error, locus, msg)
+    }
+
+    /// Shorthand for a [`Severity::Warning`] diagnostic.
+    pub fn warning(
+        code: impl Into<String>,
+        locus: impl Into<String>,
+        msg: impl Into<String>,
+    ) -> Self {
+        Diagnostic::new(code, Severity::Warning, locus, msg)
+    }
+
+    /// Shorthand for an [`Severity::Info`] diagnostic.
+    pub fn info(code: impl Into<String>, locus: impl Into<String>, msg: impl Into<String>) -> Self {
+        Diagnostic::new(code, Severity::Info, locus, msg)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.locus.is_empty() {
+            write!(f, "{} [{}]: {}", self.severity, self.code, self.message)
+        } else {
+            write!(
+                f,
+                "{} [{}] at `{}`: {}",
+                self.severity, self.code, self.locus, self.message
+            )
+        }
+    }
+}
+
+/// The worst severity present in a list of diagnostics, or `None` for an
+/// empty (clean) list.
+pub fn worst_severity(diagnostics: &[Diagnostic]) -> Option<Severity> {
+    diagnostics.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_below_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn display_includes_code_and_locus() {
+        let d = Diagnostic::error("L001", "n3", "node is floating");
+        assert_eq!(d.to_string(), "error [L001] at `n3`: node is floating");
+        let global = Diagnostic::info("L030", "", "degraded");
+        assert_eq!(global.to_string(), "info [L030]: degraded");
+    }
+
+    #[test]
+    fn worst_severity_picks_max() {
+        assert_eq!(worst_severity(&[]), None);
+        let list = vec![
+            Diagnostic::info("L030", "", "a"),
+            Diagnostic::error("L001", "n", "b"),
+            Diagnostic::warning("L003", "r", "c"),
+        ];
+        assert_eq!(worst_severity(&list), Some(Severity::Error));
+    }
+}

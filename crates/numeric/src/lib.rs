@@ -23,9 +23,12 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod complex;
+pub mod diag;
 pub mod interp;
+pub mod matching;
 pub mod matrix;
 pub mod polynomial;
 pub mod quadrature;
@@ -36,6 +39,8 @@ pub mod stats;
 pub mod units;
 
 pub use complex::Complex;
+pub use diag::{Diagnostic, Severity};
+pub use matching::{structural_rank, StructuralRank};
 pub use matrix::{DenseMatrix, LuFactors};
 pub use polynomial::Polynomial;
 pub use series::PowerSeries;

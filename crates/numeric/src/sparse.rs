@@ -170,9 +170,7 @@ impl CscMatrix {
                 let range = self.col_ptr[c]..self.col_ptr[c + 1];
                 let off = self.row_idx[range.clone()]
                     .binary_search(&r)
-                    .unwrap_or_else(|_| {
-                        panic!("triplet ({r}, {c}) is not in the matrix pattern")
-                    });
+                    .unwrap_or_else(|_| panic!("triplet ({r}, {c}) is not in the matrix pattern"));
                 range.start + off
             })
             .collect()
@@ -1049,7 +1047,11 @@ mod tests {
 
     #[test]
     fn solve_many_into_matches_independent_solves() {
-        for (n, extra, k, seed) in [(5usize, 2usize, 3usize, 41u64), (40, 3, 8, 42), (120, 4, 16, 43)] {
+        for (n, extra, k, seed) in [
+            (5usize, 2usize, 3usize, 41u64),
+            (40, 3, 8, 42),
+            (120, 4, 16, 43),
+        ] {
             let (_, a) = random_system(n, extra, seed);
             let mut lu = SparseLu::empty();
             lu.factor(&a).unwrap();
@@ -1113,7 +1115,11 @@ mod tests {
 
     #[test]
     fn solve_many_prepivoted_matches_independent_solves() {
-        for (n, extra, k, seed) in [(5usize, 2usize, 3usize, 23u64), (40, 3, 8, 24), (120, 4, 16, 25)] {
+        for (n, extra, k, seed) in [
+            (5usize, 2usize, 3usize, 23u64),
+            (40, 3, 8, 24),
+            (120, 4, 16, 25),
+        ] {
             let (_, a) = random_system(n, extra, seed);
             let mut lu = SparseLu::empty();
             lu.factor(&a).unwrap();
@@ -1165,4 +1171,3 @@ mod tests {
         assert_eq!(x1, x2);
     }
 }
-

@@ -28,7 +28,10 @@ pub struct Rng {
 impl Rng {
     /// Creates a generator from a seed. Equal seeds produce equal streams.
     pub fn new(seed: u64) -> Self {
-        Self { state: seed, spare_normal: None }
+        Self {
+            state: seed,
+            spare_normal: None,
+        }
     }
 
     /// Next raw 64-bit output of the splitmix64 sequence.
@@ -50,7 +53,10 @@ impl Rng {
     /// # Panics
     /// Panics if `lo > hi` or either bound is non-finite.
     pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo.is_finite() && hi.is_finite() && lo <= hi, "invalid uniform range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo <= hi,
+            "invalid uniform range"
+        );
         lo + self.uniform() * (hi - lo)
     }
 
@@ -79,7 +85,10 @@ impl Rng {
     /// # Panics
     /// Panics if `sigma` is negative or non-finite.
     pub fn normal(&mut self, mean: f64, sigma: f64) -> f64 {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be finite and >= 0"
+        );
         mean + sigma * self.standard_normal()
     }
 }

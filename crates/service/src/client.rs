@@ -26,8 +26,8 @@ use rlc_ceff_suite::{AggressorSpec, AggressorSwitching, SessionOptions};
 
 use crate::error::ServiceError;
 use crate::protocol::{
-    Request, Response, WireAggressor, WireBackend, WireBranch, WireCellRef, WireInput, WireLine,
-    WireLoad, WireReport, WireSessionOptions, WireStage,
+    Request, Response, WireAggressor, WireBackend, WireBranch, WireCellRef, WireDiagnostic,
+    WireInput, WireLine, WireLoad, WireReport, WireSessionOptions, WireStage,
 };
 use crate::server::wire_options;
 use crate::wire::{read_frame, write_frame};
@@ -35,6 +35,10 @@ use crate::wire::{read_frame, write_frame};
 /// The scalar results of one remotely analyzed stage (the wire form of the
 /// facade's `StageReport`).
 pub type RemoteReport = WireReport;
+
+/// One static-audit finding from a remote lint pass (the wire form of the
+/// facade's `Diagnostic`).
+pub type RemoteDiagnostic = WireDiagnostic;
 
 /// A handle on a remotely submitted stage. Indices count accepted
 /// submissions on this connection, exactly like `StageHandle::index()`.
@@ -418,6 +422,23 @@ impl ServiceClient {
     /// The result of an already-reported stage, if any.
     pub fn report_for(&self, handle: RemoteHandle) -> Option<&Result<RemoteReport, ServiceError>> {
         self.collected.get(&handle.index)
+    }
+
+    /// Runs the server's static circuit audit over a stage description
+    /// **without** submitting it for analysis — the remote analogue of the
+    /// facade's `TimingEngine::lint`. Nothing is simulated, no submission
+    /// index is consumed, and the findings are bit-identical to the
+    /// in-process audit of the same stage.
+    ///
+    /// # Errors
+    /// Typed rejections (a stage description the server cannot rebuild)
+    /// and transport failures.
+    pub fn lint(&mut self, stage: RemoteStage) -> Result<Vec<RemoteDiagnostic>, ServiceError> {
+        match self.roundtrip(&Request::Lint(Box::new(stage.wire)))? {
+            Response::LintReport { diagnostics } => Ok(diagnostics),
+            Response::Error { code, message } => Err(ServiceError::remote(code, message)),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Cancels everything not yet running server-side.

@@ -45,6 +45,9 @@ pub mod code {
     /// transparently resubmitted (it had dependencies, or no shard
     /// survived).
     pub const SHARD_LOST: u16 = 15;
+    /// The stage's netlist failed the static lint audit (Error-severity
+    /// findings under a `Deny` lint level).
+    pub const LINT: u16 = 16;
 
     /// A malformed or out-of-order message (e.g. `Submit` before `Hello`).
     pub const PROTOCOL: u16 = 100;
@@ -73,6 +76,7 @@ pub fn engine_code(error: &EngineError) -> u16 {
         EngineError::UpstreamFailed { .. } => code::UPSTREAM_FAILED,
         EngineError::Cancelled { .. } => code::CANCELLED,
         EngineError::DeadlineExceeded { .. } => code::DEADLINE_EXCEEDED,
+        EngineError::Lint { .. } => code::LINT,
     }
 }
 
@@ -105,6 +109,7 @@ pub fn code_name(code: u16) -> &'static str {
         code::CANCELLED => "cancelled",
         code::DEADLINE_EXCEEDED => "deadline-exceeded",
         code::SHARD_LOST => "shard-lost",
+        code::LINT => "lint",
         code::PROTOCOL => "protocol",
         code::CHECKSUM => "checksum",
         code::STALE_PROTOCOL => "stale-protocol",
@@ -201,6 +206,10 @@ mod tests {
             },
             EngineError::Cancelled { label: "a".into() },
             EngineError::DeadlineExceeded { label: "a".into() },
+            EngineError::Lint {
+                label: "a".into(),
+                diagnostics: vec![],
+            },
         ];
         let mut codes: Vec<u16> = errors.iter().map(engine_code).collect();
         codes.sort_unstable();
@@ -216,6 +225,14 @@ mod tests {
             engine_code(&EngineError::DependencyCycle { label: "a".into() }),
             10
         );
+        assert_eq!(
+            engine_code(&EngineError::Lint {
+                label: "a".into(),
+                diagnostics: vec![],
+            }),
+            16
+        );
+        assert_eq!(code_name(16), "lint");
     }
 
     #[test]

@@ -40,8 +40,8 @@ pub mod shard;
 pub mod wire;
 
 pub use client::{
-    RemoteCell, RemoteHandle, RemoteLoad, RemoteReport, RemoteStage, RemoteStageBuilder,
-    ServiceClient,
+    RemoteCell, RemoteDiagnostic, RemoteHandle, RemoteLoad, RemoteReport, RemoteStage,
+    RemoteStageBuilder, ServiceClient,
 };
 pub use error::{code, code_name, ServiceError};
 pub use server::Server;

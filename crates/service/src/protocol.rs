@@ -568,6 +568,46 @@ impl WireReport {
     }
 }
 
+/// One static-audit finding on the wire — the serializable mirror of the
+/// facade's `Diagnostic`. Severity travels as a tag (`0` info, `1` warning,
+/// `2` error) and the strings round-trip verbatim, so a remote `LINT` pass
+/// returns diagnostics bit-identical to the in-process audit of the same
+/// stage.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct WireDiagnostic {
+    /// Stable lint code (e.g. `"L001"`).
+    pub code: String,
+    /// Severity tag: `0` info, `1` warning, `2` error.
+    pub severity: u8,
+    /// The node or element the finding is anchored to; empty when global.
+    pub locus: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl WireDiagnostic {
+    fn encode(&self, e: &mut Encoder) {
+        e.string(&self.code);
+        e.u8(self.severity);
+        e.string(&self.locus);
+        e.string(&self.message);
+    }
+
+    fn decode(d: &mut Decoder) -> Option<Self> {
+        let code = d.string()?;
+        let severity = d.u8()?;
+        if severity > 2 {
+            return None;
+        }
+        Some(WireDiagnostic {
+            code,
+            severity,
+            locus: d.string()?,
+            message: d.string()?,
+        })
+    }
+}
+
 /// A per-stage result on the wire: the report, or a stable response code
 /// plus the error's display string.
 pub type WireOutcome = Result<WireReport, (u16, String)>;
@@ -629,6 +669,13 @@ pub enum Request {
     /// Ends the conversation; the server replies [`Response::Bye`] and
     /// closes the connection.
     Close,
+    /// Runs the static circuit audit over the stage **without** submitting
+    /// it for analysis — nothing is simulated, no matrix is factorized, no
+    /// submission index is consumed, and the engine's lint level is ignored
+    /// (an explicit audit always reports everything it finds). Replies
+    /// [`Response::LintReport`] with every finding, or [`Response::Error`]
+    /// when the stage description itself cannot be rebuilt.
+    Lint(Box<WireStage>),
 }
 
 impl Request {
@@ -650,6 +697,10 @@ impl Request {
             Request::Cancel => e.u8(6),
             Request::Ping => e.u8(7),
             Request::Close => e.u8(8),
+            Request::Lint(stage) => {
+                e.u8(9);
+                stage.encode(&mut e);
+            }
         }
         e.0
     }
@@ -673,6 +724,7 @@ impl Request {
                 6 => Request::Cancel,
                 7 => Request::Ping,
                 8 => Request::Close,
+                9 => Request::Lint(Box::new(WireStage::decode(&mut d)?)),
                 _ => return None,
             };
             Some(request)
@@ -730,6 +782,12 @@ pub enum Response {
         /// Human-readable detail.
         message: String,
     },
+    /// The findings of a [`Request::Lint`] audit, in emission order. An
+    /// empty list is a clean bill of health.
+    LintReport {
+        /// Every diagnostic the audit produced.
+        diagnostics: Vec<WireDiagnostic>,
+    },
 }
 
 impl Response {
@@ -761,6 +819,13 @@ impl Response {
                 e.u16(*code);
                 e.string(message);
             }
+            Response::LintReport { diagnostics } => {
+                e.u8(11);
+                e.u64(diagnostics.len() as u64);
+                for diagnostic in diagnostics {
+                    diagnostic.encode(&mut e);
+                }
+            }
         }
         e.0
     }
@@ -790,6 +855,16 @@ impl Response {
                     code: d.u16()?,
                     message: d.string()?,
                 },
+                11 => {
+                    let n = d.u64()? as usize;
+                    // A diagnostic encodes to >= 13 bytes; decoding fails
+                    // fast on a corrupt count, so no pre-allocation by `n`.
+                    let mut diagnostics = Vec::new();
+                    for _ in 0..n {
+                        diagnostics.push(WireDiagnostic::decode(&mut d)?);
+                    }
+                    Response::LintReport { diagnostics }
+                }
                 _ => return None,
             };
             Some(response)
@@ -904,6 +979,7 @@ mod tests {
             Request::Cancel,
             Request::Ping,
             Request::Close,
+            Request::Lint(Box::new(sample_stage())),
         ];
         for request in requests {
             let decoded = Request::decode(&request.encode()).unwrap();
@@ -943,6 +1019,31 @@ mod tests {
             Response::Error {
                 code: 100,
                 message: "submit before hello".into(),
+            },
+            Response::LintReport {
+                diagnostics: vec![],
+            },
+            Response::LintReport {
+                diagnostics: vec![
+                    WireDiagnostic {
+                        code: "L001".into(),
+                        severity: 2,
+                        locus: "n3".into(),
+                        message: "node `n3` is floating".into(),
+                    },
+                    WireDiagnostic {
+                        code: "L030".into(),
+                        severity: 0,
+                        locus: String::new(),
+                        message: "sparse kernel degraded to dense".into(),
+                    },
+                    WireDiagnostic {
+                        code: "L023".into(),
+                        severity: 1,
+                        locus: "R7".into(),
+                        message: "near-zero resistance".into(),
+                    },
+                ],
             },
         ];
         for response in responses {
@@ -993,6 +1094,20 @@ mod tests {
         for cut in [1, 5, full.len() / 2, full.len() - 1] {
             assert!(Request::decode(&full[..cut]).is_err());
         }
+        // An out-of-range severity tag is malformed, not silently accepted.
+        let bad = Response::LintReport {
+            diagnostics: vec![WireDiagnostic {
+                code: "L001".into(),
+                severity: 3,
+                locus: "n".into(),
+                message: "m".into(),
+            }],
+        }
+        .encode();
+        assert!(matches!(
+            Response::decode(&bad),
+            Err(WireError::Malformed { .. })
+        ));
     }
 
     #[test]

@@ -23,15 +23,15 @@ use std::time::Duration;
 use rlc_ceff_suite::charlib::{DriverCell, Library};
 use rlc_ceff_suite::interconnect::{BranchId, CoupledBus, RlcLine, RlcTree};
 use rlc_ceff_suite::{
-    AggressorSpec, AggressorSwitching, AnalysisSession, BackendChoice, CoupledBusLoad,
+    AggressorSpec, AggressorSwitching, AnalysisSession, BackendChoice, CoupledBusLoad, Diagnostic,
     DistributedRlcLoad, EngineConfig, EngineError, LoadModel, LumpedCapLoad, PiModelLoad,
-    RlcTreeLoad, SessionOptions, Stage, StageHandle, StageReport, TimingEngine,
+    RlcTreeLoad, SessionOptions, Severity, Stage, StageHandle, StageReport, TimingEngine,
 };
 
 use crate::error::{engine_code, wire_code};
 use crate::protocol::{
-    Request, Response, WireBackend, WireCellRef, WireInput, WireLoad, WireOutcome, WireReport,
-    WireSessionOptions, WireStage,
+    Request, Response, WireBackend, WireCellRef, WireDiagnostic, WireInput, WireLoad, WireOutcome,
+    WireReport, WireSessionOptions, WireStage,
 };
 use crate::wire::{is_recoverable, read_frame, write_frame, WireError};
 
@@ -72,6 +72,26 @@ pub fn wire_report(report: &StageReport) -> WireReport {
         used_two_ramp: report.used_two_ramp,
         elapsed_seconds: report.elapsed_seconds,
     }
+}
+
+/// The wire form of a list of static-audit findings. Severity maps onto the
+/// wire tag (`0` info, `1` warning, `2` error); code, locus and message
+/// travel verbatim, so the remote audit is bit-identical to the in-process
+/// one.
+pub fn wire_diagnostics(diagnostics: &[Diagnostic]) -> Vec<WireDiagnostic> {
+    diagnostics
+        .iter()
+        .map(|d| WireDiagnostic {
+            code: d.code.clone(),
+            severity: match d.severity {
+                Severity::Info => 0,
+                Severity::Warning => 1,
+                Severity::Error => 2,
+            },
+            locus: d.locus.clone(),
+            message: d.message.clone(),
+        })
+        .collect()
 }
 
 /// Maps a per-stage engine outcome onto the wire.
@@ -325,6 +345,27 @@ fn handle_request(
         }
         Request::Ping => vec![Response::Pong],
         Request::Close => vec![Response::Bye],
+        Request::Lint(stage) => {
+            // The audit inspects only the load netlist; the input event and
+            // ordering edges are irrelevant to it, so they are neutralized
+            // rather than resolved — a lint-only connection has no accepted
+            // submissions to resolve handles against.
+            let mut wire = *stage;
+            wire.input = WireInput::Event {
+                slew: 100e-12,
+                delay: None,
+            };
+            wire.after.clear();
+            match build_stage(&wire, library, handles) {
+                Ok(stage) => vec![Response::LintReport {
+                    diagnostics: wire_diagnostics(&engine.lint(&stage)),
+                }],
+                Err(e) => vec![Response::Error {
+                    code: engine_code(&e),
+                    message: e.to_string(),
+                }],
+            }
+        }
     }
 }
 

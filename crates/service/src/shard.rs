@@ -375,6 +375,37 @@ impl Coordinator {
             Request::Cancel => vec![self.cancel()],
             Request::Ping => vec![Response::Pong],
             Request::Close => vec![Response::Bye],
+            Request::Lint(wire_stage) => vec![self.lint(*wire_stage)],
+        }
+    }
+
+    /// Forwards a lint audit to the first live worker. The audit is
+    /// stateless server-side (no session state, no handles), so every shard
+    /// produces the same answer and no routing is needed.
+    fn lint(&mut self, wire: WireStage) -> Response {
+        if self.shards.is_empty() {
+            return Response::Error {
+                code: code::PROTOCOL,
+                message: "no open session: send Hello first".into(),
+            };
+        }
+        for s in 0..self.shards.len() {
+            if !self.shards[s].alive() {
+                continue;
+            }
+            match self.shards[s].roundtrip(&Request::Lint(Box::new(wire.clone()))) {
+                Ok(response @ (Response::LintReport { .. } | Response::Error { .. })) => {
+                    return response
+                }
+                Ok(_) | Err(_) => {
+                    self.shards[s].stream = None;
+                    self.shard_died(s);
+                }
+            }
+        }
+        Response::Error {
+            code: code::SHARD_LOST,
+            message: "no shard workers are reachable".into(),
         }
     }
 

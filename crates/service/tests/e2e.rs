@@ -394,3 +394,86 @@ fn dangling_dependency_handles_are_rejected_by_the_coordinator() {
         }
     }
 }
+
+#[test]
+fn lint_round_trip_is_bit_identical_to_the_in_process_audit() {
+    let nets = path_nets();
+    // A tree whose sink capacitance sits below the audit's physical floor:
+    // every constructor accepts it (it is positive and finite), but the
+    // static pass flags it as a degenerate element.
+    let mut tree = RlcTree::new();
+    let b = tree.add_branch(None, nets.line);
+    tree.set_sink(b, "rx", 1e-22);
+
+    // In-process reference on the very same engine configuration the server
+    // binary runs.
+    let engine = TimingEngine::new(EngineConfig::default());
+    let stage = Stage::builder(
+        fixtures::synthetic_cell(STRONG.0, STRONG.1),
+        RlcTreeLoad::new(tree.clone()).unwrap(),
+    )
+    .label("audit")
+    .input_slew(ps(100.0))
+    .build()
+    .unwrap();
+    let local = rlc_service::server::wire_diagnostics(&engine.lint(&stage));
+    assert!(
+        local.iter().any(|d| d.code == "L023"),
+        "the degenerate sink must be flagged: {local:?}"
+    );
+
+    let remote_stage = || {
+        RemoteStage::builder(
+            RemoteCell::synthetic(STRONG.0, STRONG.1),
+            RemoteLoad::from_tree(&tree),
+        )
+        .label("audit")
+        .input_slew(ps(100.0))
+        .build()
+    };
+
+    // Single-process server.
+    let addr = Server::bind("127.0.0.1:0", None)
+        .expect("bind")
+        .serve_in_background();
+    let mut client = ServiceClient::connect(addr).expect("connect");
+    let remote = client.lint(remote_stage()).expect("lint round trip");
+    assert_eq!(remote, local, "remote audit diverged from in-process");
+    // A clean stage lints clean across the wire, and auditing consumed no
+    // stage index: the next submission still gets index 0.
+    let clean = client
+        .lint(
+            RemoteStage::builder(
+                RemoteCell::synthetic(STRONG.0, STRONG.1),
+                RemoteLoad::line(&nets.line, ff(10.0)),
+            )
+            .label("clean")
+            .input_slew(ps(100.0))
+            .build(),
+        )
+        .expect("clean lint");
+    assert!(clean.is_empty(), "clean stage flagged: {clean:?}");
+    let handle = client
+        .submit(
+            RemoteStage::builder(
+                RemoteCell::synthetic(STRONG.0, STRONG.1),
+                RemoteLoad::lumped(ff(50.0)),
+            )
+            .label("first-real")
+            .input_slew(ps(100.0))
+            .build(),
+        )
+        .expect("submit after lint");
+    assert_eq!(handle.index(), 0);
+    assert!(client.wait_all().unwrap().iter().all(Result::is_ok));
+    client.close().unwrap();
+
+    // The shard coordinator forwards the audit to a worker process and the
+    // answer is still bit-identical.
+    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let (addr, _pool) = fleet.serve_in_background();
+    let mut client = ServiceClient::connect(addr).expect("connect shard");
+    let remote = client.lint(remote_stage()).expect("sharded lint");
+    assert_eq!(remote, local, "sharded audit diverged from in-process");
+    client.close().unwrap();
+}

@@ -12,7 +12,15 @@ use crate::SpiceError;
 pub struct NodeId(pub(crate) usize);
 
 impl NodeId {
-    /// Raw index of the node (0 = ground).
+    /// Reconstructs a node id from its raw index. Node indices are stable
+    /// for the lifetime of a circuit (0 is ground, allocation order after
+    /// that); intended for diagnostics that walk raw index arrays — passing
+    /// an index the circuit never allocated panics on the next name lookup.
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index)
+    }
+
+    /// Raw index of the node (ground is 0).
     pub fn index(self) -> usize {
         self.0
     }
@@ -114,6 +122,29 @@ impl Circuit {
     /// All elements in insertion order.
     pub fn elements(&self) -> &[Element] {
         &self.elements
+    }
+
+    /// Human-readable label of MNA unknown `index`, mirroring the compile
+    /// order of [`crate::MnaSystem`]: unknowns `0..num_nodes()-1` are the
+    /// non-ground node voltages (unknown `k` is node `k + 1`), and branch
+    /// currents follow in element insertion order (inductors and voltage
+    /// sources). A diagnostics hook: lets structural analyses name the rows
+    /// of the stamp pattern without reaching into the compiled system.
+    pub fn unknown_label(&self, index: usize) -> String {
+        let node_unknowns = self.num_nodes() - 1;
+        if index < node_unknowns {
+            return format!("node `{}`", self.node_name(NodeId(index + 1)));
+        }
+        let mut branch = node_unknowns;
+        for e in &self.elements {
+            if e.needs_branch_current() {
+                if branch == index {
+                    return format!("branch current of `{}`", e.name());
+                }
+                branch += 1;
+            }
+        }
+        format!("unknown #{index}")
     }
 
     /// Adds a pre-built element.

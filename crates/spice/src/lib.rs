@@ -36,6 +36,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod circuit;
 pub mod dc;

@@ -584,6 +584,36 @@ impl MnaSystem {
         positions.len()
     }
 
+    /// The unique `(row, col)` positions the transient companion stamp
+    /// touches — independent of step size and integration method. A static
+    /// analysis hook: this is the sparsity pattern every transient
+    /// factorization operates on.
+    pub fn transient_stamp_pattern(&self) -> Vec<(usize, usize)> {
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        // h = 1.0 is arbitrary: only the stamp *pattern* matters here.
+        self.stamp_transient_matrix_core(1.0, CompanionMethod::BackwardEuler, &mut |i, j, _| {
+            positions.push((i, j))
+        });
+        positions.sort_unstable();
+        positions.dedup();
+        positions
+    }
+
+    /// The unique `(row, col)` positions the DC stamp touches. This is the
+    /// *discriminating* pattern for structural-rank analysis: inductor branch
+    /// rows carry no companion diagonal at DC, so a branch constraint that is
+    /// structurally deficient here (an empty row, or duplicate constraint
+    /// rows competing for the same columns) makes the DC operating-point
+    /// solve — the first thing every transient run performs — structurally
+    /// singular, with no pivoting able to rescue it.
+    pub fn dc_stamp_pattern(&self) -> Vec<(usize, usize)> {
+        let mut positions: Vec<(usize, usize)> = Vec::new();
+        self.stamp_dc_matrix_core(&mut |i, j, _| positions.push((i, j)));
+        positions.sort_unstable();
+        positions.dedup();
+        positions
+    }
+
     /// Fills `rhs` with the transient right-hand side at time `t`: source
     /// waveform values and the capacitor/inductor companion history terms.
     /// This is the only part of an LTI system that changes per time step, and

@@ -29,7 +29,7 @@
 //! Only probe waveforms are recorded (a full solution history for hundreds
 //! of samples would dwarf the simulation cost in memory traffic).
 
-use rlc_numeric::{CscMatrix, DenseMatrix, LuFactors, SparseLu};
+use rlc_numeric::{CscMatrix, DenseMatrix, Diagnostic, LuFactors, SparseLu};
 
 use crate::circuit::{Circuit, NodeId};
 use crate::dc::{dc_solve_compiled, DcOptions};
@@ -129,33 +129,61 @@ impl VariationSpec {
         self.r_scale * (1.0 + self.r_temp_coeff * self.temperature_delta)
     }
 
+    /// Collects every violation in the sample as a lint-style
+    /// [`Diagnostic`] (code `L040`, Error severity, locus = the offending
+    /// field). An empty list means the sample is valid. Unlike
+    /// [`VariationSpec::validate`] this never stops at the first bad field,
+    /// so a caller fixing a spec sees the complete damage report at once.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        let positive = [
+            ("r_scale", self.r_scale),
+            ("l_scale", self.l_scale),
+            ("c_scale", self.c_scale),
+            ("effective_r_scale", self.effective_r_scale()),
+        ];
+        for (name, v) in positive {
+            if !(v.is_finite() && v > 0.0) {
+                out.push(Diagnostic::error(
+                    "L040",
+                    name,
+                    format!("variation {name} must be finite and positive, got {v:e}"),
+                ));
+            }
+        }
+        if !(self.source_scale.is_finite() && self.source_scale >= 0.0) {
+            out.push(Diagnostic::error(
+                "L040",
+                "source_scale",
+                format!(
+                    "variation source_scale must be finite and non-negative, got {:e}",
+                    self.source_scale
+                ),
+            ));
+        }
+        out
+    }
+
     /// Validates the sample: every scale (including the effective,
     /// temperature-adjusted resistance scale) must be finite and positive,
     /// and the source scale finite and non-negative.
     ///
     /// # Errors
-    /// Returns [`SpiceError::InvalidOptions`] describing the offending field.
+    /// Returns [`SpiceError::InvalidOptions`] listing **every** offending
+    /// field (not just the first), built from
+    /// [`VariationSpec::diagnostics`].
     pub fn validate(&self) -> Result<(), SpiceError> {
-        let positive = [
-            ("r_scale", self.r_scale),
-            ("l_scale", self.l_scale),
-            ("c_scale", self.c_scale),
-            ("effective r scale", self.effective_r_scale()),
-        ];
-        for (name, v) in positive {
-            if !(v.is_finite() && v > 0.0) {
-                return Err(SpiceError::InvalidOptions(format!(
-                    "variation {name} must be finite and positive, got {v:e}"
-                )));
-            }
+        let diags = self.diagnostics();
+        if diags.is_empty() {
+            return Ok(());
         }
-        if !(self.source_scale.is_finite() && self.source_scale >= 0.0) {
-            return Err(SpiceError::InvalidOptions(format!(
-                "variation source_scale must be finite and non-negative, got {:e}",
-                self.source_scale
-            )));
-        }
-        Ok(())
+        let list: Vec<String> = diags.iter().map(|d| d.to_string()).collect();
+        Err(SpiceError::InvalidOptions(format!(
+            "invalid variation sample ({} violation{}): {}",
+            diags.len(),
+            if diags.len() == 1 { "" } else { "s" },
+            list.join("; ")
+        )))
     }
 
     /// Grouping key: samples with bit-identical effective R/L/C scales share
@@ -348,10 +376,18 @@ impl VariationSweep {
         let mut panel = PanelState::default();
         let sched = build_rhs_schedule(&base, n);
 
-        for (_, lanes) in groups.iter() {
+        for (group, (_, lanes)) in groups.iter().enumerate() {
             let spec0 = &specs[lanes[0]];
             let mut sys = base.clone();
             scale_system(&mut sys, spec0);
+            let lints = lint_scaled_tables(&sys, group);
+            if !lints.is_empty() {
+                let list: Vec<String> = lints.iter().map(|d| d.to_string()).collect();
+                return Err(SpiceError::InvalidOptions(format!(
+                    "variation corner produced a non-physical element table: {}",
+                    list.join("; ")
+                )));
+            }
 
             // Starting state at nominal source scale; each lane scales it by
             // its own source factor (valid by linearity: the DC solution and
@@ -410,8 +446,7 @@ impl VariationSweep {
                 panel.prepare(n, sys.num_capacitors(), k);
 
                 // Seed the panel: lane j starts at x0 * its source scale.
-                for row in 0..n {
-                    let base_v = x0[row];
+                for (row, &base_v) in x0.iter().enumerate().take(n) {
                     for (lane, &s) in scales.iter().enumerate() {
                         panel.prev[row * k + lane] = base_v * s;
                     }
@@ -444,6 +479,46 @@ impl VariationSweep {
             matrix_groups,
         })
     }
+}
+
+/// Lints the scaled compiled element tables of one matrix group: every
+/// conductance, capacitance and (self) inductance must still be finite and
+/// positive after the corner's scale factors applied — a huge `r_scale` can
+/// underflow a conductance to zero, an overflowing product goes infinite.
+/// Emitted as code `L041` so a corner cannot push a value non-passive
+/// unnoticed; runs once per matrix group, not per sample.
+fn lint_scaled_tables(sys: &MnaSystem, group: usize) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let locus = format!("matrix group {group}");
+    let mut check = |kind: &str, index: usize, value: f64| {
+        if !(value.is_finite() && value > 0.0) {
+            out.push(Diagnostic::error(
+                "L041",
+                locus.clone(),
+                format!("scaled {kind} #{index} became non-passive: {value:e}"),
+            ));
+        }
+    };
+    for (i, r) in sys.resistors.iter().enumerate() {
+        check("resistor conductance", i, r.conductance);
+    }
+    for (i, c) in sys.capacitors.iter().enumerate() {
+        check("capacitance", i, c.farads);
+    }
+    for (i, l) in sys.inductors.iter().enumerate() {
+        check("inductance", i, l.henries);
+    }
+    for (i, m) in sys.mutuals.iter().enumerate() {
+        let v = m.henries;
+        if !(v.is_finite() && v != 0.0) {
+            out.push(Diagnostic::error(
+                "L041",
+                locus.clone(),
+                format!("scaled mutual inductance #{i} became degenerate: {v:e}"),
+            ));
+        }
+    }
+    out
 }
 
 /// Scales the compiled element tables of `sys` in place according to `spec`.
@@ -632,6 +707,7 @@ fn init_cap_ieq_panel(
 /// tables builds the RHS of every lane, carrying the capacitor
 /// companion-source recurrence as lane-major state and scaling source values
 /// by each lane's source factor.
+#[allow(clippy::too_many_arguments)]
 fn rhs_panel(
     sys: &MnaSystem,
     t: f64,
@@ -731,9 +807,7 @@ fn rhs_panel(
                     (a, b) => {
                         let pa = &prev[(a - 1) * k..a * k];
                         let pb = &prev[(b - 1) * k..b * k];
-                        for (((o, &i), &va), &vb) in
-                            out.iter_mut().zip(i_prev).zip(pa).zip(pb)
-                        {
+                        for (((o, &i), &va), &vb) in out.iter_mut().zip(i_prev).zip(pa).zip(pb) {
                             *o = -z * i - (va - vb);
                         }
                     }
@@ -929,12 +1003,7 @@ mod tests {
             let ckt = scaled_ladder(10, spec);
             let reference = TransientAnalysis::new(opts.clone()).run(&ckt).unwrap();
             let want = reference.waveform(far_node(&ckt, 10));
-            for (step, (&g, &w)) in result
-                .samples(i, 0)
-                .iter()
-                .zip(want.values())
-                .enumerate()
-            {
+            for (step, (&g, &w)) in result.samples(i, 0).iter().zip(want.values()).enumerate() {
                 assert!((g - w).abs() <= 1e-9, "sample {i} step {step}: {g} vs {w}");
             }
         }
@@ -983,12 +1052,7 @@ mod tests {
             let ckt = scaled_ladder(6, &specs[i]);
             let reference = TransientAnalysis::new(opts.clone()).run(&ckt).unwrap();
             let want = reference.waveform(far_node(&ckt, 6));
-            for (step, (&g, &w)) in result
-                .samples(i, 0)
-                .iter()
-                .zip(want.values())
-                .enumerate()
-            {
+            for (step, (&g, &w)) in result.samples(i, 0).iter().zip(want.values()).enumerate() {
                 assert!((g - w).abs() <= 1e-9, "lane {i} step {step}");
             }
         }
@@ -1002,14 +1066,7 @@ mod tests {
         let g = ckt.node("g");
         ckt.add_vsource("V1", g, Circuit::GROUND, SourceWaveform::dc(1.0));
         ckt.add_resistor("R1", d, Circuit::GROUND, 1e3);
-        ckt.add_mosfet(
-            "M1",
-            d,
-            g,
-            Circuit::GROUND,
-            MosfetParams::nmos_018(),
-            1.0,
-        );
+        ckt.add_mosfet("M1", d, g, Circuit::GROUND, MosfetParams::nmos_018(), 1.0);
         let err = VariationSweep::new(options())
             .run(&ckt, &[d], &[VariationSpec::nominal()])
             .unwrap_err();

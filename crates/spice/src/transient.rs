@@ -301,6 +301,7 @@ pub struct TransientResult {
     system: MnaSystem,
     node_names: HashMap<String, NodeId>,
     strategy: KernelStrategy,
+    degraded_to_dense: bool,
 }
 
 impl TransientResult {
@@ -315,6 +316,14 @@ impl TransientResult {
     /// automatic strategy selection observable instead of silent.
     pub fn strategy(&self) -> KernelStrategy {
         self.strategy
+    }
+
+    /// `true` when the sparse kernel was selected (explicitly or by `Auto`)
+    /// but its pivot-health gate rejected the factorization and the run fell
+    /// back to the dense factor-once kernel. Surfaces the silent degrade so
+    /// callers can report *why* the fast path was abandoned.
+    pub fn degraded_to_dense(&self) -> bool {
+        self.degraded_to_dense
     }
 
     /// Number of accepted time points.
@@ -476,6 +485,8 @@ impl TransientAnalysis {
             system,
             node_names,
             strategy: executed,
+            degraded_to_dense: strategy == KernelStrategy::Sparse
+                && executed == KernelStrategy::FactorOnce,
         })
     }
 

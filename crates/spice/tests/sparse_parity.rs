@@ -277,6 +277,10 @@ fn ill_conditioned_stamp_degrades_to_dense() {
         .with_strategy(KernelStrategy::Sparse);
     let res = TransientAnalysis::new(opts).run(&ckt).unwrap();
     assert_eq!(res.strategy(), KernelStrategy::FactorOnce);
+    assert!(
+        res.degraded_to_dense(),
+        "the silent degrade must be observable (it feeds the L030 lint)"
+    );
 
     let reference = TransientAnalysis::new(
         TransientOptions::try_new(ps(1.0), ps(400.0))

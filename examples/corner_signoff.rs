@@ -142,7 +142,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         worst.spec.source_scale,
     );
     let p99_path: f64 = reports.iter().map(|r| r.delay().p99).sum();
-    println!("sum of per-stage p99 delays (pessimistic bound): {:.1} ps", p99_path * 1e12);
+    println!(
+        "sum of per-stage p99 delays (pessimistic bound): {:.1} ps",
+        p99_path * 1e12
+    );
     println!();
     for report in &reports {
         println!("{}", report.describe());

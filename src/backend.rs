@@ -12,6 +12,7 @@ use rlc_ceff::flow::{DriverOutputModeler, ModelWaveform};
 use rlc_ceff::{CeffIteration, CriteriaReport};
 use rlc_moments::{tree_transfer_moments, RationalAdmittance, TransferModel};
 use rlc_numeric::units::ps;
+use rlc_numeric::Diagnostic;
 use rlc_spice::circuit::Circuit;
 use rlc_spice::testbench::{add_inverter_driver, add_inverter_driver_with_input, OutputTransition};
 use rlc_spice::transient::{
@@ -35,6 +36,17 @@ thread_local! {
 /// Runs a transient analysis through this thread's cached workspace.
 fn run_transient(options: TransientOptions, ckt: &Circuit) -> Result<TransientResult, SpiceError> {
     SIM_WORKSPACE.with(|ws| TransientAnalysis::new(options).run_with(ckt, &mut ws.borrow_mut()))
+}
+
+/// The Info-level lint recording that a sparse transient kernel failed its
+/// pivot-health gate and the run silently fell back to dense factor-once.
+pub(crate) fn sparse_degrade_lint(locus: &str) -> Diagnostic {
+    Diagnostic::info(
+        rlc_lint::codes::SPARSE_DEGRADED,
+        locus,
+        "sparse kernel degraded to dense factor-once: the companion matrix failed the \
+         pivot-health gate (near-singular stamp, often a floating or weakly anchored node)",
+    )
 }
 
 /// What a backend can consume and produce, reported through
@@ -121,6 +133,12 @@ pub struct StageReport {
     pub simulated_far_end: Option<SampledWaveform>,
     /// Analytic-flow internals (None for simulated reports).
     pub analytic: Option<AnalyticDetails>,
+    /// Lint findings attached to this report: the static pre-analysis audit
+    /// (when [`crate::EngineConfig::lint_level`] is not `Off`) plus runtime
+    /// observations such as a sparse-kernel degrade
+    /// (`rlc_lint::codes::SPARSE_DEGRADED`). Empty under `LintLevel::Off`
+    /// and for clean stages.
+    pub lints: Vec<Diagnostic>,
     /// Wall-clock time the analysis took (seconds).
     pub elapsed_seconds: f64,
 }
@@ -185,6 +203,7 @@ impl StageReport {
             slew,
             overshoot: far.overshoot(self.vdd),
             waveform: far,
+            degraded_to_dense: result.degraded_to_dense(),
         })
     }
 
@@ -276,6 +295,11 @@ pub struct FarEndReport {
     pub overshoot: f64,
     /// The far-end voltage waveform.
     pub waveform: Waveform,
+    /// `true` when the propagation simulation's sparse kernel failed its
+    /// pivot-health gate and silently fell back to the dense factor-once
+    /// kernel — surfaced by the session as an Info-level
+    /// `rlc_lint::codes::SPARSE_DEGRADED` lint on the consuming stage.
+    pub degraded_to_dense: bool,
 }
 
 /// The paper's analytic effective-capacitance flow as a backend.
@@ -317,6 +341,7 @@ fn analytic_stage_report(
         used_two_ramp: model.is_two_ramp(),
         waveform,
         simulated_far_end: None,
+        lints: Vec::new(),
         analytic: Some(AnalyticDetails {
             fit: model.fit,
             driver_resistance: model.driver_resistance,
@@ -449,6 +474,14 @@ impl AnalysisBackend for SpiceBackend {
         } else {
             None
         };
+        // Nonlinear driver stages never take the sparse path today, but the
+        // check costs nothing and keeps the degrade observable if that
+        // changes.
+        let lints = if result.degraded_to_dense() {
+            vec![sparse_degrade_lint(stage.label())]
+        } else {
+            Vec::new()
+        };
         Ok(StageReport {
             label: stage.label().to_string(),
             backend: self.name(),
@@ -459,6 +492,7 @@ impl AnalysisBackend for SpiceBackend {
             used_two_ramp: false,
             waveform: Arc::new(SampledWaveform::new(near, vdd)),
             simulated_far_end,
+            lints,
             analytic: None,
             elapsed_seconds: started.elapsed().as_secs_f64(),
         })

@@ -8,6 +8,7 @@ use std::time::Duration;
 use rlc_ceff::far_end::FarEndOptions;
 use rlc_ceff::validation::GoldenOptions;
 use rlc_ceff::{InductanceCriteria, IterationSettings, ModelingConfig};
+use rlc_lint::LintLevel;
 
 /// Which waveform shape the analytic backend produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -50,6 +51,13 @@ pub struct EngineConfig {
     /// persist every miss, so only the first process ever pays the cold
     /// start. `None` (the default) keeps characterization in-memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Static-analysis enforcement: `Deny` (the default) runs the
+    /// `rlc-lint` audit over every stage's load netlist before any
+    /// simulation and rejects Error-severity findings as
+    /// [`crate::EngineError::Lint`]; `Warn` attaches findings to
+    /// [`crate::StageReport::lints`] without rejecting; `Off` skips the
+    /// pass entirely.
+    pub lint_level: LintLevel,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +70,7 @@ impl Default for EngineConfig {
             golden: GoldenOptions::default(),
             threads: 0,
             cache_dir: None,
+            lint_level: LintLevel::default(),
         }
     }
 }
@@ -258,6 +267,12 @@ impl EngineConfigBuilder {
     /// transients. Off by default.
     pub fn cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.config.cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Static-analysis enforcement level (default [`LintLevel::Deny`]).
+    pub fn lint_level(mut self, level: LintLevel) -> Self {
+        self.config.lint_level = level;
         self
     }
 

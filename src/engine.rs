@@ -106,9 +106,16 @@ impl TimingEngine {
     /// Analyzes one stage on its backend. Panics inside the analysis are
     /// caught and reported as [`EngineError::StagePanicked`].
     ///
+    /// When [`EngineConfig::lint_level`] is not `Off`, the static audit pass
+    /// ([`crate::lint::lint_circuit`]) runs over the stage's load netlist
+    /// first: under `Deny` (the default) Error-severity findings reject the
+    /// stage as [`EngineError::Lint`] before any matrix is factorized, and
+    /// surviving findings ride along in [`StageReport::lints`].
+    ///
     /// # Errors
     /// Any [`EngineError`] from validation, reduction, modelling or
-    /// simulation; [`EngineError::InvalidDependency`] for a dependent stage
+    /// simulation; [`EngineError::Lint`] for a netlist that fails the static
+    /// audit; [`EngineError::InvalidDependency`] for a dependent stage
     /// ([`crate::StageBuilder::input_from`]), which only a session can
     /// resolve.
     pub fn analyze(&self, stage: &Stage) -> Result<StageReport, EngineError> {
@@ -122,14 +129,68 @@ impl TimingEngine {
                 ),
             });
         }
+        let lints = self.lint_stage(stage)?;
+        self.analyze_prelinted(stage, lints)
+    }
+
+    /// [`TimingEngine::analyze`] minus the audit: runs the backend and
+    /// prepends `lints` — findings an earlier gate (session submit) already
+    /// computed for this stage's load, so the netlist is not synthesized and
+    /// audited a second time.
+    pub(crate) fn analyze_prelinted(
+        &self,
+        stage: &Stage,
+        lints: Vec<rlc_numeric::Diagnostic>,
+    ) -> Result<StageReport, EngineError> {
         let backend = self.backend_for(stage);
-        match catch_unwind(AssertUnwindSafe(|| backend.analyze(stage, &self.config))) {
-            Ok(result) => result,
-            Err(payload) => Err(EngineError::StagePanicked {
-                label: stage.label().to_string(),
-                detail: panic_message(payload.as_ref()),
-            }),
+        let mut report =
+            match catch_unwind(AssertUnwindSafe(|| backend.analyze(stage, &self.config))) {
+                Ok(result) => result?,
+                Err(payload) => {
+                    return Err(EngineError::StagePanicked {
+                        label: stage.label().to_string(),
+                        detail: panic_message(payload.as_ref()),
+                    })
+                }
+            };
+        if !lints.is_empty() {
+            // Static findings lead; runtime observations (a sparse-kernel
+            // degrade the backend noticed) follow.
+            let mut combined = lints;
+            combined.append(&mut report.lints);
+            report.lints = combined;
         }
+        Ok(report)
+    }
+
+    /// Runs the static audit pass ([`crate::lint::lint_circuit`]) over a
+    /// stage's load netlist and returns every finding, regardless of
+    /// [`EngineConfig::lint_level`] — the explicit "just audit it" entry
+    /// point (and what the service protocol's `LINT` request maps onto).
+    /// Nothing is simulated and no matrix is factorized.
+    pub fn lint(&self, stage: &Stage) -> Vec<rlc_numeric::Diagnostic> {
+        crate::lints::lint_stage(stage, &self.config)
+    }
+
+    /// Runs the static audit for a stage per [`EngineConfig::lint_level`]:
+    /// returns the findings to attach, or [`EngineError::Lint`] when the
+    /// level rejects them. Shared by [`TimingEngine::analyze`] and the
+    /// session's submit-time gate.
+    pub(crate) fn lint_stage(
+        &self,
+        stage: &Stage,
+    ) -> Result<Vec<rlc_numeric::Diagnostic>, EngineError> {
+        if !self.config.lint_level.enabled() {
+            return Ok(Vec::new());
+        }
+        let lints = crate::lints::lint_stage(stage, &self.config);
+        if self.config.lint_level.rejects(&lints) {
+            return Err(EngineError::Lint {
+                label: stage.label().to_string(),
+                diagnostics: lints,
+            });
+        }
+        Ok(lints)
     }
 
     /// Opens a dependency-aware [`AnalysisSession`] with default

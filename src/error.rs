@@ -9,6 +9,7 @@
 use rlc_ceff::CeffError;
 use rlc_charlib::CharlibError;
 use rlc_moments::MomentError;
+use rlc_numeric::Diagnostic;
 use rlc_spice::SpiceError;
 
 /// Any error produced by [`crate::TimingEngine`] and the stage/load builders.
@@ -97,6 +98,17 @@ pub enum EngineError {
         /// Label of the producer that failed.
         upstream: String,
     },
+    /// The static audit pass ([`crate::lint`]) found Error-severity problems
+    /// in the stage's netlist and [`crate::EngineConfig::lint_level`] is
+    /// [`rlc_lint::LintLevel::Deny`]. The stage was rejected before any
+    /// matrix was factorized.
+    Lint {
+        /// Label of the rejected stage.
+        label: String,
+        /// Every finding the audit produced (Errors and any accompanying
+        /// Warnings/Infos), in emission order.
+        diagnostics: Vec<Diagnostic>,
+    },
     /// The session was cancelled before the stage ran.
     Cancelled {
         /// Label of the stage that never ran.
@@ -166,6 +178,14 @@ impl std::fmt::Display for EngineError {
                     f,
                     "stage '{label}' was poisoned: its producer '{upstream}' failed"
                 )
+            }
+            EngineError::Lint { label, diagnostics } => {
+                let joined = diagnostics
+                    .iter()
+                    .map(|d| d.to_string())
+                    .collect::<Vec<_>>()
+                    .join("; ");
+                write!(f, "stage '{label}' failed the static audit: {joined}")
             }
             EngineError::Cancelled { label } => {
                 write!(f, "stage '{label}' was cancelled before it ran")

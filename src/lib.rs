@@ -67,10 +67,12 @@
 //! notes from the pre-facade API.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub use rlc_ceff as ceff;
 pub use rlc_charlib as charlib;
 pub use rlc_interconnect as interconnect;
+pub use rlc_lint as lint;
 pub use rlc_moments as moments;
 pub use rlc_numeric as numeric;
 pub use rlc_spice as spice;
@@ -81,6 +83,7 @@ mod config;
 mod driver;
 mod engine;
 mod error;
+mod lints;
 mod load;
 mod session;
 mod stage;
@@ -100,6 +103,7 @@ pub use load::{
     AttachedNet, CoupledBusLoad, DistributedRlcLoad, LoadModel, LumpedCapLoad, MomentsLoad,
     PiModelLoad, RlcTreeLoad,
 };
+pub use rlc_lint::{Diagnostic, LintLevel, Severity};
 pub use session::{AnalysisSession, InputSource, SessionReports, StageHandle, StageOutcome};
 pub use stage::{
     AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
@@ -129,6 +133,7 @@ pub mod prelude {
         AggressorSpec, AggressorSwitching, BackendChoice, InputEvent, Stage, StageBuilder,
     };
     pub use crate::variation::{DistributionReport, SampleResult, VariationModel, VariationSpec};
+    pub use rlc_lint::{Diagnostic, LintLevel, Severity};
 }
 
 /// Version of the reproduction suite.

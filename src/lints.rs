@@ -1,0 +1,39 @@
+//! The facade side of the static circuit-audit pass: synthesize a stage's
+//! load netlist exactly the way the simulation backends do, and run the
+//! `rlc-lint` audit over it **before** any matrix is factorized.
+//!
+//! The synthesis mirrors [`crate::StageReport`]'s far-end propagation: an
+//! ideal driver source at the driving point, then
+//! [`crate::LoadModel::attach_net`] with the engine's golden segment count.
+//! Loads with no physical realization (a moment-space load) have no netlist
+//! to audit and lint clean by construction.
+
+use rlc_lint::{lint_circuit, LintOptions};
+use rlc_numeric::Diagnostic;
+use rlc_spice::circuit::Circuit;
+use rlc_spice::SourceWaveform;
+
+use crate::config::EngineConfig;
+use crate::stage::Stage;
+
+/// Runs the static audit over the stage's load netlist. Returns every
+/// finding; the caller decides enforcement via
+/// [`rlc_lint::LintLevel::rejects`].
+pub(crate) fn lint_stage(stage: &Stage, config: &EngineConfig) -> Vec<Diagnostic> {
+    let mut ckt = Circuit::new();
+    let near = ckt.node("out");
+    ckt.add_vsource("VDRV", near, Circuit::GROUND, SourceWaveform::dc(0.0));
+    let net = match stage
+        .load()
+        .attach_net(&mut ckt, near, 0.0, config.golden.segments)
+    {
+        Ok(net) => net,
+        // No netlist (moment-space loads): nothing for the static pass to
+        // audit — reduction-time validation covers these.
+        Err(_) => return Vec::new(),
+    };
+    let options = LintOptions::new()
+        .with_time_step(config.golden.time_step)
+        .with_sinks(net.sinks);
+    lint_circuit(&ckt, &options)
+}

@@ -1107,9 +1107,7 @@ mod tests {
         assert_eq!(scaled.sink_names(), tree_load.sink_names());
         let st = scaled.tree_topology().unwrap();
         assert_eq!(st.num_branches(), 3);
-        assert!(
-            (st.total_capacitance() - 1.1 * tree_load.total_capacitance()).abs() < 1e-24
-        );
+        assert!((st.total_capacitance() - 1.1 * tree_load.total_capacitance()).abs() < 1e-24);
 
         // Bus: coupling C, mutual L and the aggressor amplitude all scale.
         let bus = CoupledBus::symmetric(line, pf(0.4), nh(1.0), ff(10.0));

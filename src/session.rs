@@ -175,6 +175,11 @@ struct SlotData {
     /// into redundant simulations. Per-slot, so distinct producers still
     /// resolve in parallel; never held together with the state lock.
     handoff_gate: Arc<Mutex<()>>,
+    /// Static-audit findings computed at submit time (the gate that rejects
+    /// Error-severity netlists under `Deny`). Kept so the worker can attach
+    /// them to the report without synthesizing and auditing the netlist a
+    /// second time.
+    lints: Vec<rlc_numeric::Diagnostic>,
     phase: Phase,
 }
 
@@ -188,6 +193,7 @@ impl SlotData {
             far_cache: None,
             sinks_cache: None,
             handoff_gate: Arc::new(Mutex::new(())),
+            lints: Vec::new(),
             phase: Phase::Reserved,
         }
     }
@@ -331,17 +337,24 @@ impl AnalysisSession {
     /// [`crate::StageBuilder::input_from_sink`],
     /// [`crate::StageBuilder::after`]) are validated here: handles must
     /// belong to this session, must not close a cycle, and `FromSink` names
-    /// must exist on the producer's load.
+    /// must exist on the producer's load. The static audit pass also runs
+    /// here (per [`crate::EngineConfig::lint_level`]): a netlist with
+    /// Error-severity findings under `Deny` is rejected as
+    /// [`EngineError::Lint`] **before** the stage ever reaches a worker —
+    /// no matrix is built or factorized for it.
     ///
     /// # Errors
-    /// [`EngineError::InvalidDependency`], [`EngineError::DependencyCycle`]
-    /// or [`EngineError::UnknownSink`]; the stage is not enqueued on error.
+    /// [`EngineError::InvalidDependency`], [`EngineError::DependencyCycle`],
+    /// [`EngineError::UnknownSink`] or [`EngineError::Lint`]; the stage is
+    /// not enqueued on error.
     pub fn submit(&mut self, stage: Stage) -> Result<StageHandle, EngineError> {
+        let lints = self.shared.engine.lint_stage(&stage)?;
         let index = {
             let mut st = self.shared.state.lock().expect("session state");
             let index = st.slots.len();
             let deps = validate(&st, self.shared.id, index, &stage)?;
             st.slots.push(SlotData::reserved(index));
+            st.slots[index].lints = lints;
             fill(&mut st, &self.shared, index, stage, deps);
             index
         };
@@ -361,6 +374,7 @@ impl AnalysisSession {
         handle: StageHandle,
         stage: Stage,
     ) -> Result<(), EngineError> {
+        let lints = self.shared.engine.lint_stage(&stage)?;
         let mut st = self.shared.state.lock().expect("session state");
         if handle.session != self.shared.id || handle.index >= st.slots.len() {
             return Err(EngineError::InvalidDependency {
@@ -385,6 +399,7 @@ impl AnalysisSession {
             return Err(EngineError::InvalidDependency { what });
         }
         let deps = validate(&st, self.shared.id, handle.index, &stage)?;
+        st.slots[handle.index].lints = lints;
         fill(&mut st, &self.shared, handle.index, stage, deps);
         drop(st);
         self.ensure_worker();
@@ -818,7 +833,7 @@ fn fire_deadline(st: &mut State, session: u64) {
 
 fn worker_loop(shared: &Shared) {
     loop {
-        let (index, stage) = {
+        let (index, stage, lints) = {
             let mut st = shared.state.lock().expect("session state");
             loop {
                 if st.shutdown {
@@ -829,7 +844,9 @@ fn worker_loop(shared: &Shared) {
                 }
                 if let Some(i) = st.ready.pop_front() {
                     match std::mem::replace(&mut st.slots[i].phase, Phase::Running) {
-                        Phase::Queued { stage } => break (i, stage),
+                        Phase::Queued { stage } => {
+                            break (i, stage, std::mem::take(&mut st.slots[i].lints))
+                        }
                         other => {
                             st.slots[i].phase = other;
                             continue;
@@ -844,7 +861,16 @@ fn worker_loop(shared: &Shared) {
         // same way, or a panicking handoff would kill the worker with the
         // slot stuck in Running and wait_all blocked forever.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            resolve_input(shared, &stage).and_then(|s| shared.engine.analyze(&s))
+            resolve_input(shared, &stage).and_then(|(s, mut handoff_lints)| {
+                // The load was already synthesized and audited at submit
+                // time; reuse those findings instead of linting twice.
+                let mut report = shared.engine.analyze_prelinted(&s, lints)?;
+                // Observations from the handoff propagation (a sparse kernel
+                // degrading to dense) belong to the consumer that triggered
+                // it.
+                report.lints.append(&mut handoff_lints);
+                Ok(report)
+            })
         }))
         .unwrap_or_else(|payload| {
             Err(EngineError::StagePanicked {
@@ -890,12 +916,21 @@ fn wait_for_work<'a>(shared: &'a Shared, st: MutexGuard<'a, State>) -> MutexGuar
 /// when present, otherwise running the far-end propagation), converts it to
 /// a slew-referenced ramp event, and attaches the sampled waveform when the
 /// consumer's backend negotiates [`crate::BackendCaps::sampled_input`].
-fn resolve_input(shared: &Shared, stage: &Stage) -> Result<Stage, EngineError> {
+///
+/// Alongside the resolved stage it returns any lint observations the handoff
+/// produced — today the `L030` Info lint when the propagation's sparse
+/// kernel silently degraded to dense — which the worker attaches to the
+/// consumer's report.
+fn resolve_input(
+    shared: &Shared,
+    stage: &Stage,
+) -> Result<(Stage, Vec<rlc_numeric::Diagnostic>), EngineError> {
     let (producer_index, sink) = match stage.input_source() {
-        InputSource::Event(_) => return Ok(stage.clone()),
+        InputSource::Event(_) => return Ok((stage.clone(), Vec::new())),
         InputSource::FromFarEnd { stage: p } => (p.index(), None),
         InputSource::FromSink { stage: p, sink } => (p.index(), Some(sink.clone())),
     };
+    let mut handoff_lints = Vec::new();
     let (producer_stage, report) = {
         let st = shared.state.lock().expect("session state");
         match &st.slots[producer_index].phase {
@@ -941,6 +976,11 @@ fn resolve_input(shared: &Shared, stage: &Stage) -> Result<Stage, EngineError> {
             }
             _ => {
                 let far = cached_far_end(shared, producer_index, &producer_stage, &report)?;
+                if far.degraded_to_dense {
+                    handoff_lints.push(crate::backend::sparse_degrade_lint(&format!(
+                        "far-end propagation of '{producer_label}'"
+                    )));
+                }
                 (
                     far.waveform.clone(),
                     report.vdd,
@@ -998,7 +1038,7 @@ fn resolve_input(shared: &Shared, stage: &Stage) -> Result<Stage, EngineError> {
     let caps = shared.engine.backend_for(stage).caps();
     let sampled = (shared.options.sampled_handoff && caps.sampled_input)
         .then(|| SampledWaveform::new(waveform, vdd));
-    Ok(stage.resolve_input(event, sampled))
+    Ok((stage.resolve_input(event, sampled), handoff_lints))
 }
 
 /// The producer's primary-far-end propagation, computed at most once per

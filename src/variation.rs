@@ -302,7 +302,11 @@ mod tests {
         };
         let report = DistributionReport::from_samples(
             "net".into(),
-            vec![mk(10e-12, None), mk(30e-12, Some(0.2)), mk(20e-12, Some(0.1))],
+            vec![
+                mk(10e-12, None),
+                mk(30e-12, Some(0.2)),
+                mk(20e-12, Some(0.1)),
+            ],
         );
         assert_eq!(report.num_samples(), 3);
         assert!((report.delay().mean - 20e-12).abs() < 1e-18);

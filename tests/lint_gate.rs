@@ -1,0 +1,275 @@
+//! Integration tests of the static-audit gate: sessions reject
+//! Error-severity netlists at submit time **before any backend work**, a
+//! `Warn` lint level attaches the findings to the report instead, the
+//! explicit [`TimingEngine::lint`] audit ignores the level entirely, and a
+//! silent sparse-to-dense kernel degrade during a dependency handoff
+//! surfaces as the `L030` Info lint on the consumer's report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use rlc_ceff_suite::ceff::far_end::FarEndOptions;
+use rlc_ceff_suite::ceff::flow::{ReducedLoad, WaveParameters};
+use rlc_ceff_suite::interconnect::RlcLine;
+use rlc_ceff_suite::numeric::units::{ff, ps};
+use rlc_ceff_suite::spice::circuit::Circuit;
+use rlc_ceff_suite::spice::NodeId;
+use rlc_ceff_suite::{
+    AnalysisBackend, AnalyticBackend, BackendChoice, DistributedRlcLoad, EngineConfig, EngineError,
+    LintLevel, LoadModel, LumpedCapLoad, SessionOptions, Severity, Stage, StageReport,
+    TimingEngine,
+};
+
+mod common;
+use common::{paper_line, synthetic_cell};
+
+/// A load whose netlist carries a deliberate defect: it delegates every
+/// electrical question to a clean lumped cap, but `attach` additionally
+/// creates a node no element ever touches — the canonical `L001` Error.
+#[derive(Debug)]
+struct StrandedNodeLoad {
+    inner: LumpedCapLoad,
+}
+
+impl StrandedNodeLoad {
+    fn new() -> StrandedNodeLoad {
+        StrandedNodeLoad {
+            inner: LumpedCapLoad::new(ff(50.0)).unwrap(),
+        }
+    }
+}
+
+impl LoadModel for StrandedNodeLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        self.inner.reduce()
+    }
+    fn total_capacitance(&self) -> f64 {
+        self.inner.total_capacitance()
+    }
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        let far = self.inner.attach(ckt, near, v_initial, segments)?;
+        let _stranded = ckt.node("adrift");
+        Ok(far)
+    }
+    fn describe(&self) -> String {
+        format!("{} + one stranded node", self.inner.describe())
+    }
+}
+
+/// A backend that counts invocations, then delegates to the analytic flow:
+/// the proof that a rejected submission never reached any solver.
+#[derive(Debug)]
+struct Counting {
+    calls: Arc<AtomicUsize>,
+}
+
+impl AnalysisBackend for Counting {
+    fn name(&self) -> &'static str {
+        "counting"
+    }
+    fn analyze(&self, stage: &Stage, config: &EngineConfig) -> Result<StageReport, EngineError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        AnalyticBackend.analyze(stage, config)
+    }
+}
+
+fn defective_stage(calls: &Arc<AtomicUsize>, label: &str) -> Stage {
+    Stage::builder(synthetic_cell(75.0, 70.0), StrandedNodeLoad::new())
+        .label(label)
+        .input_slew(ps(100.0))
+        .backend(BackendChoice::Custom(Arc::new(Counting {
+            calls: calls.clone(),
+        })))
+        .build()
+        .unwrap()
+}
+
+/// Under the default `Deny` level, submit itself returns the typed
+/// `EngineError::Lint` carrying the findings, and the backend-invocation
+/// counter proves no factorization (or any analysis at all) ever ran.
+#[test]
+fn deny_level_rejects_at_submit_time_before_any_backend_work() {
+    let engine = TimingEngine::new(EngineConfig::fast_for_tests());
+    assert_eq!(engine.config().lint_level, LintLevel::Deny);
+
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut session = engine.session();
+    let err = session
+        .submit(defective_stage(&calls, "gated"))
+        .expect_err("a stranded node is an Error-severity lint");
+    match err {
+        EngineError::Lint { label, diagnostics } => {
+            assert_eq!(label, "gated");
+            let hit = diagnostics
+                .iter()
+                .find(|d| d.code == "L001")
+                .expect("the stranded node is reported");
+            assert_eq!(hit.severity, Severity::Error);
+            assert_eq!(hit.locus, "adrift");
+        }
+        other => panic!("expected EngineError::Lint, got {other:?}"),
+    }
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        0,
+        "rejection must happen before the backend is ever invoked"
+    );
+    assert!(session.wait_all().is_empty(), "nothing was accepted");
+
+    // The one-shot `analyze` path enforces the same gate.
+    let err = engine
+        .analyze(&defective_stage(&calls, "direct"))
+        .unwrap_err();
+    assert!(matches!(err, EngineError::Lint { .. }));
+    assert_eq!(calls.load(Ordering::SeqCst), 0);
+}
+
+/// `Warn` downgrades enforcement to observation: the stage analyzes
+/// normally and the findings ride along in `StageReport::lints`. `Off`
+/// silences the audit entirely — but the explicit [`TimingEngine::lint`]
+/// entry point still reports, because it exists precisely to audit without
+/// enforcing.
+#[test]
+fn warn_level_attaches_findings_and_off_silences_them() {
+    let calls = Arc::new(AtomicUsize::new(0));
+
+    let mut config = EngineConfig::fast_for_tests();
+    config.lint_level = LintLevel::Warn;
+    let engine = TimingEngine::new(config);
+    let report = engine.analyze(&defective_stage(&calls, "warned")).unwrap();
+    assert_eq!(calls.load(Ordering::SeqCst), 1, "Warn still analyzes");
+    let hit = report
+        .lints
+        .iter()
+        .find(|d| d.code == "L001")
+        .expect("Warn mode surfaces the finding in the report");
+    assert_eq!(hit.locus, "adrift");
+
+    let mut config = EngineConfig::fast_for_tests();
+    config.lint_level = LintLevel::Off;
+    let engine = TimingEngine::new(config);
+    let report = engine
+        .analyze(&defective_stage(&calls, "silenced"))
+        .unwrap();
+    assert!(report.lints.is_empty(), "Off suppresses the audit");
+    let audit = engine.lint(&defective_stage(&calls, "audited"));
+    assert!(
+        audit.iter().any(|d| d.code == "L001"),
+        "the explicit audit ignores the configured level: {audit:?}"
+    );
+}
+
+/// A big load that delegates to a distributed line but (a) forces enough
+/// segments that the propagation's MNA system crosses the sparse-kernel
+/// threshold and (b) strands a node so the sparse factorization goes
+/// near-singular and silently degrades to the dense path — exactly the
+/// condition `L030` exists to surface.
+#[derive(Debug)]
+struct DegradingLineLoad {
+    inner: DistributedRlcLoad,
+}
+
+impl DegradingLineLoad {
+    fn new(line: RlcLine) -> DegradingLineLoad {
+        DegradingLineLoad {
+            inner: DistributedRlcLoad::new(line, ff(10.0)).unwrap(),
+        }
+    }
+}
+
+impl LoadModel for DegradingLineLoad {
+    fn reduce(&self) -> Result<ReducedLoad, EngineError> {
+        self.inner.reduce()
+    }
+    fn total_capacitance(&self) -> f64 {
+        self.inner.total_capacitance()
+    }
+    fn wave(&self) -> Option<WaveParameters> {
+        self.inner.wave()
+    }
+    fn settle_horizon(&self) -> f64 {
+        self.inner.settle_horizon()
+    }
+    fn attach(
+        &self,
+        ckt: &mut Circuit,
+        near: NodeId,
+        v_initial: f64,
+        segments: usize,
+    ) -> Result<NodeId, EngineError> {
+        // ≥ 80 segments puts the ladder's node + branch-current count well
+        // past the 128-unknown sparse-auto threshold.
+        let far = self.inner.attach(ckt, near, v_initial, segments.max(80))?;
+        let _stranded = ckt.node("adrift");
+        Ok(far)
+    }
+    fn describe(&self) -> String {
+        format!("{} + one stranded node", self.inner.describe())
+    }
+}
+
+/// A producer whose far-end propagation silently degrades from the sparse
+/// kernel to dense hands its consumer a report carrying the `L030` Info
+/// lint naming the producer — the degrade is observable, not silent.
+#[test]
+fn sparse_degrade_during_handoff_surfaces_as_info_lint_on_the_consumer() {
+    let mut config = EngineConfig::fast_for_tests();
+    // The stranded node is also an L001 Error; observe instead of reject so
+    // the analysis proceeds to the handoff under test.
+    config.lint_level = LintLevel::Warn;
+    let engine = TimingEngine::new(config);
+
+    let far_opts = FarEndOptions {
+        segments: 80,
+        time_step: ps(1.0),
+        ..FarEndOptions::default()
+    };
+    let mut session = engine.session_with(SessionOptions::default().with_far_end(far_opts));
+    let producer = session
+        .submit(
+            Stage::builder(
+                synthetic_cell(75.0, 70.0),
+                DegradingLineLoad::new(paper_line()),
+            )
+            .label("big-producer")
+            .input_slew(ps(100.0))
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+    session
+        .submit(
+            Stage::builder(
+                synthetic_cell(75.0, 70.0),
+                LumpedCapLoad::new(ff(50.0)).unwrap(),
+            )
+            .label("consumer")
+            .input_from(producer)
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+
+    let results = session.wait_all();
+    assert_eq!(results.len(), 2);
+    let consumer = results[1]
+        .1
+        .as_ref()
+        .expect("the degraded propagation still completes");
+    let degrade = consumer
+        .lints
+        .iter()
+        .find(|d| d.code == "L030")
+        .expect("the silent degrade must surface on the consumer");
+    assert_eq!(degrade.severity, Severity::Info);
+    assert!(
+        degrade.locus.contains("big-producer"),
+        "the lint names the producer whose propagation degraded: {degrade}"
+    );
+}

@@ -974,12 +974,15 @@ fn fan_out_propagates_the_producer_once() {
     }
     let results = session.wait_all();
     assert!(results.iter().all(|(_, r)| r.is_ok()));
-    // The analytic producer never attaches its netlist; the only attach is
-    // the (single, cached) handoff propagation.
+    // The analytic producer never attaches its netlist to simulate. Exactly
+    // two attaches happen: the submit-time static audit synthesizes the
+    // netlist once (and the worker reuses those findings instead of
+    // auditing again), and the four dependents share one cached handoff
+    // propagation.
     assert_eq!(
         attaches.load(Ordering::SeqCst),
-        1,
-        "fan-out must reuse one propagation simulation"
+        2,
+        "one audit synthesis + one shared propagation simulation"
     );
 }
 

@@ -9,8 +9,8 @@ use rlc_ceff_suite::charlib::DriverCell;
 use rlc_ceff_suite::interconnect::{RlcLine, RlcTree};
 use rlc_ceff_suite::numeric::units::{ff, mm, nh, pf, ps};
 use rlc_ceff_suite::{
-    BackendChoice, DistributedRlcLoad, EngineConfig, EngineError, MomentsLoad,
-    ReducedOrderBackend, RlcTreeLoad, Stage, TimingEngine, VariationModel, VariationSpec,
+    BackendChoice, DistributedRlcLoad, EngineConfig, EngineError, MomentsLoad, ReducedOrderBackend,
+    RlcTreeLoad, Stage, TimingEngine, VariationModel, VariationSpec,
 };
 
 mod common;
@@ -98,7 +98,10 @@ fn monte_carlo_distribution_matches_independent_runs() {
         assert_eq!(sample.backend, "rlc-spice");
         let noise = sample.peak_noise.expect("spice samples carry a far end");
         let naive_far = naive.simulated_far_end.as_ref().unwrap();
-        assert_eq!(noise.to_bits(), naive_far.waveform().overshoot(naive.vdd).to_bits());
+        assert_eq!(
+            noise.to_bits(),
+            naive_far.waveform().overshoot(naive.vdd).to_bits()
+        );
     }
 
     // The summaries reduce those samples.
@@ -131,10 +134,7 @@ fn same_seed_is_bit_identical_across_runs() {
         assert_eq!(x.delay.to_bits(), y.delay.to_bits());
         assert_eq!(x.slew.to_bits(), y.slew.to_bits());
     }
-    for (x, y) in [
-        (a.delay(), b.delay()),
-        (a.slew(), b.slew()),
-    ] {
+    for (x, y) in [(a.delay(), b.delay()), (a.slew(), b.slew())] {
         assert_eq!(x.mean.to_bits(), y.mean.to_bits());
         assert_eq!(x.std_dev.to_bits(), y.std_dev.to_bits());
         assert_eq!(x.min.to_bits(), y.min.to_bits());
