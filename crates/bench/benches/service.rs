@@ -97,7 +97,8 @@ fn run_in_process(netlist: &Netlist) -> (u128, f64) {
 
 fn run_remote(netlist: &Netlist, shards: usize) -> (u128, f64) {
     let exe = std::env::current_exe().expect("own executable");
-    let fleet = ShardServer::spawn("127.0.0.1:0", shards, None, &exe).expect("spawn worker fleet");
+    let fleet =
+        ShardServer::spawn("127.0.0.1:0", shards, None, None, &exe).expect("spawn worker fleet");
     let (addr, _pool) = fleet.serve_in_background();
     let cell = RemoteCell::synthetic(75.0, 70.0);
     let start = Instant::now();

@@ -530,6 +530,103 @@ fn main() {
         optimized_ns: warm.as_nanos(),
     });
 
+    // ---- Incremental re-analysis (ECO): the stage-result cache ------------
+    // A 16-stage repeater chain analyzed cold (every stage simulates,
+    // results persisted) versus fully warm (every stage replays from the
+    // content-addressed store, no backend touched). Between the two, the
+    // single-edit pass documents the cone property the cache exists for: a
+    // one-stage edit re-simulates exactly that stage and its downstream
+    // dependency cone. The full run gates the warm replay on the 10x target.
+    {
+        use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+
+        let eco_dir = workspace_root.join("target/experiments/eco-bench-cache");
+        let eco_line = RlcLine::new(r, l, c, mm(5.0));
+        let eco_engine = || {
+            TimingEngine::new(
+                EngineConfig::builder()
+                    .extract_rs_per_case(false)
+                    .result_cache_dir(&eco_dir)
+                    .build(),
+            )
+        };
+        // Analyzes the 16-stage chain; `edited` doubles stage 8's receiver
+        // cap. Returns (stages simulated, cache hits, path-end delay).
+        let analyze = |engine: &TimingEngine, edited: bool| -> (u64, u64, f64) {
+            let cell = session_bench_cell();
+            let mut session = engine.session();
+            let mut prev = None;
+            for i in 0..16usize {
+                let c_load = if edited && i == 8 {
+                    ff(2.0 * (10.0 + i as f64))
+                } else {
+                    ff(10.0 + i as f64)
+                };
+                let builder = Stage::builder(
+                    cell.clone(),
+                    DistributedRlcLoad::new(eco_line, c_load).unwrap(),
+                )
+                .label(format!("eco{i:02}"));
+                let builder = match prev {
+                    None => builder.input_slew(ps(100.0)),
+                    Some(handle) => builder.input_from(handle),
+                };
+                prev = Some(session.submit(builder.build().unwrap()).unwrap());
+            }
+            let results = session.wait_all();
+            let delay = results.last().unwrap().1.as_ref().unwrap().delay;
+            (
+                session.stages_simulated(),
+                session.result_cache_hits(),
+                delay,
+            )
+        };
+
+        let baseline = runner.bench("eco_single_edit_16stage/cold", || {
+            let _ = std::fs::remove_dir_all(&eco_dir);
+            let (simulated, hits, delay) = analyze(&eco_engine(), true);
+            assert_eq!(
+                (simulated, hits),
+                (16, 0),
+                "a cold run simulates everything"
+            );
+            black_box(delay)
+        });
+        // The single-edit cone: prime with the unedited design, apply the
+        // edit — exactly stage 8 and its 7 downstream stages re-simulate.
+        {
+            let _ = std::fs::remove_dir_all(&eco_dir);
+            analyze(&eco_engine(), false);
+            let (simulated, hits, _) = analyze(&eco_engine(), true);
+            assert_eq!(
+                (simulated, hits),
+                (8, 8),
+                "a stage-8 edit must re-simulate exactly its dependency cone"
+            );
+        }
+        let optimized = runner.bench("eco_single_edit_16stage/warm", || {
+            let (simulated, hits, delay) = analyze(&eco_engine(), true);
+            assert_eq!(
+                (simulated, hits),
+                (0, 16),
+                "a warm re-analysis replays everything"
+            );
+            black_box(delay)
+        });
+        if !smoke {
+            let speedup = baseline.as_nanos() as f64 / optimized.as_nanos() as f64;
+            assert!(
+                speedup >= 10.0,
+                "eco_single_edit_16stage: warm replay speedup {speedup:.1}x is under the 10x target"
+            );
+        }
+        results.push(BenchComparison {
+            name: "eco_single_edit_16stage".to_string(),
+            baseline_ns: baseline.as_nanos(),
+            optimized_ns: optimized.as_nanos(),
+        });
+    }
+
     // ---- AnalysisSession scheduling overhead ------------------------------
     // A 4-stage dependent chain through the session versus hand-rolled
     // sequential analyze + far_end propagation. Both sides run the same

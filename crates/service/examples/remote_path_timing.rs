@@ -123,6 +123,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "127.0.0.1:0",
                 2,
                 cache_dir.as_deref(),
+                None,
                 &std::env::current_exe()?,
             )?;
             let (addr, pool) = spawned.serve_in_background();

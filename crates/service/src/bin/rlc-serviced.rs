@@ -1,12 +1,16 @@
 //! The timing-service daemon.
 //!
 //! ```text
-//! rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]
+//! rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR] [--result-cache-dir DIR]
 //! ```
 //!
 //! With `--shards 1` (the default) the process serves clients directly;
 //! with more shards it spawns N copies of itself as worker processes (all
-//! sharing `--cache-dir`) and coordinates them behind one listener.
+//! sharing `--cache-dir` and `--result-cache-dir`) and coordinates them
+//! behind one listener. A shared `--result-cache-dir` makes repeated
+//! submissions of unchanged stages replay from disk instead of
+//! re-simulating, and lets the coordinator replant dependent chains from a
+//! dead shard onto survivors instead of failing them with `SHARD_LOST`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -14,9 +18,11 @@ use std::process::ExitCode;
 use rlc_service::{maybe_run_worker_from_env, Server, ShardServer};
 
 const DEFAULT_LISTEN: &str = "127.0.0.1:4525";
+const USAGE: &str =
+    "usage: rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR] [--result-cache-dir DIR]";
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]");
+    eprintln!("{USAGE}");
     ExitCode::FAILURE
 }
 
@@ -28,6 +34,7 @@ fn main() -> ExitCode {
     let mut listen = DEFAULT_LISTEN.to_string();
     let mut shards: usize = 1;
     let mut cache_dir: Option<PathBuf> = None;
+    let mut result_cache_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,8 +50,12 @@ fn main() -> ExitCode {
                 Some(value) => cache_dir = Some(PathBuf::from(value)),
                 None => return usage(),
             },
+            "--result-cache-dir" => match args.next() {
+                Some(value) => result_cache_dir = Some(PathBuf::from(value)),
+                None => return usage(),
+            },
             "--help" | "-h" => {
-                println!("usage: rlc-serviced [--listen ADDR] [--shards N] [--cache-dir DIR]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             _ => return usage(),
@@ -52,7 +63,7 @@ fn main() -> ExitCode {
     }
 
     if shards <= 1 {
-        match Server::bind(&listen, cache_dir.as_deref()) {
+        match Server::bind(&listen, cache_dir.as_deref(), result_cache_dir.as_deref()) {
             Ok(server) => {
                 eprintln!("rlc-serviced: serving on {}", server.local_addr());
                 server.serve();
@@ -71,7 +82,13 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        match ShardServer::spawn(&listen, shards, cache_dir.as_deref(), &exe) {
+        match ShardServer::spawn(
+            &listen,
+            shards,
+            cache_dir.as_deref(),
+            result_cache_dir.as_deref(),
+            &exe,
+        ) {
             Ok(server) => {
                 eprintln!(
                     "rlc-serviced: coordinating {shards} shards on {}",

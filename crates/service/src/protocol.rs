@@ -788,6 +788,14 @@ pub enum Response {
         /// Every diagnostic the audit produced.
         diagnostics: Vec<WireDiagnostic>,
     },
+    /// A batch of completed stages in one frame — what [`Request::WaitAll`]
+    /// answers with, so draining a wide session costs one frame, not one
+    /// per stage. The per-stage [`Response::Report`] streaming path
+    /// (`NextReport` / `PollReport`) is unchanged.
+    Reports {
+        /// `(submission index, outcome)` pairs, in completion order.
+        reports: Vec<(u64, WireOutcome)>,
+    },
 }
 
 impl Response {
@@ -824,6 +832,14 @@ impl Response {
                 e.u64(diagnostics.len() as u64);
                 for diagnostic in diagnostics {
                     diagnostic.encode(&mut e);
+                }
+            }
+            Response::Reports { reports } => {
+                e.u8(12);
+                e.u64(reports.len() as u64);
+                for (index, outcome) in reports {
+                    e.u64(*index);
+                    encode_outcome(outcome, &mut e);
                 }
             }
         }
@@ -864,6 +880,16 @@ impl Response {
                         diagnostics.push(WireDiagnostic::decode(&mut d)?);
                     }
                     Response::LintReport { diagnostics }
+                }
+                12 => {
+                    let n = d.u64()? as usize;
+                    // An entry encodes to >= 12 bytes; decoding fails fast
+                    // on a corrupt count, so no pre-allocation by `n`.
+                    let mut reports = Vec::new();
+                    for _ in 0..n {
+                        reports.push((d.u64()?, decode_outcome(&mut d)?));
+                    }
+                    Response::Reports { reports }
                 }
                 _ => return None,
             };
@@ -1045,6 +1071,14 @@ mod tests {
                     },
                 ],
             },
+            Response::Reports { reports: vec![] },
+            Response::Reports {
+                reports: vec![
+                    (0, Ok(report.clone())),
+                    (7, Err((12, "stage 'x' was poisoned".into()))),
+                    (3, Ok(report.clone())),
+                ],
+            },
         ];
         for response in responses {
             let decoded = Response::decode(&response.encode()).unwrap();
@@ -1108,6 +1142,20 @@ mod tests {
             Response::decode(&bad),
             Err(WireError::Malformed { .. })
         ));
+        // A batch whose count outruns its entries fails fast, untruncated
+        // entries and all — no panic, no huge pre-allocation.
+        let mut lying_count = Encoder::default();
+        lying_count.u8(12);
+        lying_count.u64(u64::MAX);
+        lying_count.u64(4);
+        assert!(Response::decode(&lying_count.0).is_err());
+        let full = Response::Reports {
+            reports: vec![(4, Err((12, "poisoned".into())))],
+        }
+        .encode();
+        for cut in [1, 9, full.len() / 2, full.len() - 1] {
+            assert!(Response::decode(&full[..cut]).is_err());
+        }
     }
 
     #[test]

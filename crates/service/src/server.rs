@@ -115,15 +115,26 @@ impl Server {
     /// Binds the server. When `cache_dir` is set, the library warm-starts
     /// from (and persists to) the on-disk characterization cache — the
     /// mechanism that lets many worker processes share one characterization
-    /// effort.
+    /// effort. When `result_cache_dir` is set, every analyzed stage is
+    /// persisted to (and replayed from) the content-addressed stage-result
+    /// store, so repeated submissions of unchanged work — across clients,
+    /// sessions, and worker processes sharing the directory — never touch
+    /// a backend.
     ///
     /// # Errors
     /// I/O errors from binding, and cache-directory failures surfaced as
     /// [`std::io::ErrorKind::Other`].
-    pub fn bind(addr: &str, cache_dir: Option<&Path>) -> std::io::Result<Server> {
+    pub fn bind(
+        addr: &str,
+        cache_dir: Option<&Path>,
+        result_cache_dir: Option<&Path>,
+    ) -> std::io::Result<Server> {
         let mut builder = EngineConfig::builder();
         if let Some(dir) = cache_dir {
             builder = builder.cache_dir(dir);
+        }
+        if let Some(dir) = result_cache_dir {
+            builder = builder.result_cache_dir(dir);
         }
         let engine = TimingEngine::new(builder.build());
         let library = engine
@@ -240,8 +251,8 @@ fn respond(reader: &mut BufReader<TcpStream>, response: &Response) -> Result<(),
     write_frame(reader.get_mut(), &response.encode())
 }
 
-/// Handles one decoded request; a `WaitAll` produces many response frames,
-/// everything else exactly one.
+/// Handles one decoded request; a `WaitAll` produces two response frames
+/// (a bulk `Reports` batch, then `Done`), everything else exactly one.
 fn handle_request(
     request: Request,
     engine: &TimingEngine,
@@ -325,17 +336,14 @@ fn handle_request(
                 return vec![err];
             }
             let s = session.as_mut().expect("session checked above");
-            let mut responses = Vec::new();
+            // One bulk frame for the whole drain: a wide session costs one
+            // frame + one Done, not a frame per stage.
+            let mut reports = Vec::new();
             while let Some((handle, outcome)) = s.next_report() {
-                responses.push(Response::Report {
-                    index: handle.index() as u64,
-                    outcome: wire_outcome(&outcome),
-                });
+                reports.push((handle.index() as u64, wire_outcome(&outcome)));
             }
-            responses.push(Response::Done {
-                count: responses.len() as u64,
-            });
-            responses
+            let count = reports.len() as u64;
+            vec![Response::Reports { reports }, Response::Done { count }]
         }
         Request::Cancel => {
             if let Some(s) = session.as_ref() {

@@ -6,9 +6,14 @@
 //! scenes it routes every accepted stage to one of N worker *processes*
 //! (each a plain `Server` with its own `AnalysisSession` per coordinator
 //! connection), multiplexes their completion streams back into one, and
-//! handles worker death by transparently resubmitting independent stages —
-//! or reporting a typed [`crate::error::code::SHARD_LOST`] outcome for
-//! stages whose dependency chain died with the worker.
+//! handles worker death by transparently resubmitting independent stages.
+//! Dependent stages whose upstream waveforms died with the worker are
+//! normally failed with a typed [`crate::error::code::SHARD_LOST`] outcome —
+//! unless the fleet shares a stage-result store (`result_cache_dir`), in
+//! which case the coordinator replants the *whole producer chain* on a
+//! surviving shard: the already-finished links replay from the shared cache
+//! (bit-identical, no re-simulation), regrowing the waveforms the unfinished
+//! stages need.
 //!
 //! Routing is affinity-based: a stage that consumes another stage's output
 //! (`input_from` / `input_from_sink`) **must** land on its producer's shard,
@@ -42,6 +47,9 @@ pub const WORKER_LISTEN_ENV: &str = "RLC_SERVICE_WORKER_LISTEN";
 /// Environment variable carrying the shared characterization cache
 /// directory to a shard worker.
 pub const WORKER_CACHE_ENV: &str = "RLC_SERVICE_WORKER_CACHE";
+/// Environment variable carrying the shared stage-result cache directory
+/// to a shard worker.
+pub const WORKER_RESULT_CACHE_ENV: &str = "RLC_SERVICE_WORKER_RESULT_CACHE";
 /// Line prefix a worker prints on stdout once its listener is bound.
 pub const READY_PREFIX: &str = "RLC_SERVICE_WORKER_READY ";
 
@@ -60,7 +68,9 @@ pub fn maybe_run_worker_from_env() -> bool {
     };
     let listen = listen.to_string_lossy().into_owned();
     let cache = std::env::var_os(WORKER_CACHE_ENV).map(PathBuf::from);
-    let server = Server::bind(&listen, cache.as_deref()).expect("shard worker failed to bind");
+    let result_cache = std::env::var_os(WORKER_RESULT_CACHE_ENV).map(PathBuf::from);
+    let server = Server::bind(&listen, cache.as_deref(), result_cache.as_deref())
+        .expect("shard worker failed to bind");
     println!("{READY_PREFIX}{}", server.local_addr());
     let _ = std::io::stdout().flush();
     // The parent holds our stdin open for our whole life; EOF means the
@@ -92,11 +102,17 @@ pub struct WorkerPool {
 
 impl WorkerPool {
     /// Spawns `shards` worker processes from `exe` (any binary whose `main`
-    /// starts with [`maybe_run_worker_from_env`]), all sharing `cache_dir`.
+    /// starts with [`maybe_run_worker_from_env`]), all sharing `cache_dir`
+    /// (characterization) and `result_cache_dir` (stage results).
     ///
     /// # Errors
     /// Spawn failures, and workers that exit before announcing an address.
-    pub fn spawn(exe: &Path, shards: usize, cache_dir: Option<&Path>) -> std::io::Result<Self> {
+    pub fn spawn(
+        exe: &Path,
+        shards: usize,
+        cache_dir: Option<&Path>,
+        result_cache_dir: Option<&Path>,
+    ) -> std::io::Result<Self> {
         let mut workers = Vec::new();
         for shard in 0..shards.max(1) {
             let mut command = Command::new(exe);
@@ -107,6 +123,9 @@ impl WorkerPool {
                 .stderr(Stdio::inherit());
             if let Some(dir) = cache_dir {
                 command.env(WORKER_CACHE_ENV, dir);
+            }
+            if let Some(dir) = result_cache_dir {
+                command.env(WORKER_RESULT_CACHE_ENV, dir);
             }
             let mut child = command.spawn()?;
             let stdout = child.stdout.take().expect("piped worker stdout");
@@ -174,10 +193,15 @@ pub struct ShardServer {
     listener: TcpListener,
     pool: Arc<Mutex<WorkerPool>>,
     addrs: Vec<SocketAddr>,
+    shared_result_cache: bool,
 }
 
 impl ShardServer {
     /// Spawns `shards` workers from `exe` and binds the client listener.
+    /// With `result_cache_dir` set, the fleet shares one stage-result store,
+    /// which also upgrades shard-death recovery: dependent chains are
+    /// replanted on survivors (replaying finished links from the store)
+    /// instead of being failed with `SHARD_LOST`.
     ///
     /// # Errors
     /// Bind and worker-spawn failures.
@@ -185,14 +209,16 @@ impl ShardServer {
         listen: &str,
         shards: usize,
         cache_dir: Option<&Path>,
+        result_cache_dir: Option<&Path>,
         exe: &Path,
     ) -> std::io::Result<Self> {
-        let pool = WorkerPool::spawn(exe, shards, cache_dir)?;
+        let pool = WorkerPool::spawn(exe, shards, cache_dir, result_cache_dir)?;
         let addrs = pool.addrs();
         Ok(ShardServer {
             listener: TcpListener::bind(listen)?,
             pool: Arc::new(Mutex::new(pool)),
             addrs,
+            shared_result_cache: result_cache_dir.is_some(),
         })
     }
 
@@ -213,7 +239,8 @@ impl ShardServer {
             match self.listener.accept() {
                 Ok((stream, _)) => {
                     let addrs = self.addrs.clone();
-                    std::thread::spawn(move || Coordinator::new(addrs).run(stream));
+                    let shared = self.shared_result_cache;
+                    std::thread::spawn(move || Coordinator::new(addrs, shared).run(stream));
                 }
                 Err(_) => continue,
             }
@@ -294,10 +321,14 @@ struct Coordinator {
     deferred: Vec<u64>,
     completed: VecDeque<(u64, WireOutcome)>,
     done_count: u64,
+    /// Whether every worker shares one stage-result store. When true, a
+    /// dead shard's dependent chains are replanted on survivors (finished
+    /// links replay from the store) instead of failing with `SHARD_LOST`.
+    shared_result_cache: bool,
 }
 
 impl Coordinator {
-    fn new(addrs: Vec<SocketAddr>) -> Self {
+    fn new(addrs: Vec<SocketAddr>, shared_result_cache: bool) -> Self {
         Coordinator {
             addrs,
             shards: Vec::new(),
@@ -305,6 +336,7 @@ impl Coordinator {
             deferred: Vec::new(),
             completed: VecDeque::new(),
             done_count: 0,
+            shared_result_cache,
         }
     }
 
@@ -663,9 +695,11 @@ impl Coordinator {
 
     /// Shard-death recovery: every unfinished stage that worker owned is
     /// either resubmitted (independent stages — their inputs are fully
-    /// described on the wire) or failed with a typed `SHARD_LOST` outcome
-    /// (dependent stages — their upstream waveforms died with the
-    /// session).
+    /// described on the wire), replanted together with its producer chain
+    /// on a survivor (dependent stages, when the fleet shares a
+    /// stage-result store), or failed with a typed `SHARD_LOST` outcome
+    /// (dependent stages without a shared store — their upstream waveforms
+    /// died with the session).
     fn shard_died(&mut self, shard: usize) {
         let owned = self.shards[shard].local_to_global.clone();
         for global in owned {
@@ -677,12 +711,77 @@ impl Coordinator {
             state.local = None;
             if state.wire.is_independent() {
                 self.deferred.push(global);
+            } else if self.shared_result_cache {
+                self.requeue_chain(global, shard);
             } else {
                 let message = format!(
                     "shard {shard} died while running dependent stage '{}'",
                     state.wire.label
                 );
                 self.record(global, Err((code::SHARD_LOST, message)));
+            }
+        }
+    }
+
+    /// Replants dependent stage `leaf` (whose shard just died) and its whole
+    /// waveform-producer chain on a surviving shard. The routing rules pin a
+    /// chain to one shard, so the entire chain died together; with every
+    /// worker sharing one stage-result store, resubmitting the finished
+    /// links costs a cache replay each (bit-identical, no backend) and
+    /// regrows the waveforms the unfinished links need. Duplicate reports
+    /// from replayed links are dropped by `record`'s idempotence.
+    fn requeue_chain(&mut self, leaf: u64, dead: usize) {
+        // The producer chain, leaf first.
+        let mut chain = vec![leaf];
+        let mut cursor = leaf;
+        while let Some(p) = self.stages[cursor as usize].wire.input.producer() {
+            chain.push(p);
+            cursor = p;
+        }
+        // Replant root-first so each link finds its producer live again.
+        for &member in chain.iter().rev() {
+            let state = &self.stages[member as usize];
+            // Links already replanted (several leaves share their upstream
+            // chain, and the root may sit in the independent-requeue set)
+            // keep their new home.
+            if let Some(s) = state.shard {
+                if self.shards[s].alive() {
+                    continue;
+                }
+            }
+            if member != leaf && state.wire.is_independent() && !state.done {
+                // `shard_died` already queued (or will queue) the root
+                // through the normal independent path; the links above it
+                // defer until it lands.
+                continue;
+            }
+            let was_done = state.done;
+            if was_done && state.failed {
+                let _ = self.poison_upstream(leaf, member);
+                return;
+            }
+            self.stages[member as usize].shard = None;
+            self.stages[member as usize].local = None;
+            match self.try_place(member) {
+                Place::Submitted => {}
+                Place::Deferred if !was_done => self.deferred.push(member),
+                Place::Rejected(code, message) if !was_done => {
+                    self.record(member, Err((code, message)));
+                }
+                Place::Poisoned if !was_done => {}
+                // A finished link that cannot be replanted (no live shard,
+                // or a worker rejected it): `record` no-ops on done stages,
+                // so the loss lands on the stage that still needed it.
+                _ => {
+                    let message = format!(
+                        "shard {dead} died and no survivor could replay '{}' for dependent \
+                         stage '{}'",
+                        self.stages[member as usize].wire.label,
+                        self.stages[leaf as usize].wire.label
+                    );
+                    self.record(leaf, Err((code::SHARD_LOST, message)));
+                    return;
+                }
             }
         }
     }
@@ -756,15 +855,11 @@ impl Coordinator {
                 std::thread::sleep(Duration::from_micros(300));
             }
         }
-        let mut responses: Vec<Response> = self
-            .completed
-            .drain(..)
-            .map(|(index, outcome)| Response::Report { index, outcome })
-            .collect();
-        responses.push(Response::Done {
-            count: responses.len() as u64,
-        });
-        responses
+        // One bulk frame for the whole drain, mirroring the single-server
+        // front: a wide session costs one frame + one Done.
+        let reports: Vec<(u64, WireOutcome)> = self.completed.drain(..).collect();
+        let count = reports.len() as u64;
+        vec![Response::Reports { reports }, Response::Done { count }]
     }
 
     fn cancel(&mut self) -> Response {

@@ -127,7 +127,8 @@ fn four_stage_dependent_path_is_bit_identical_across_two_shards() {
         .collect();
 
     // Remote run against two real worker processes.
-    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let fleet =
+        ShardServer::spawn("127.0.0.1:0", 2, None, None, serviced_exe()).expect("spawn fleet");
     let (addr, _pool) = fleet.serve_in_background();
     let mut client = ServiceClient::connect(addr).expect("connect");
     let strong = RemoteCell::synthetic(STRONG.0, STRONG.1);
@@ -216,7 +217,8 @@ fn four_stage_dependent_path_is_bit_identical_across_two_shards() {
 
 #[test]
 fn independent_stages_survive_a_shard_death() {
-    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let fleet =
+        ShardServer::spawn("127.0.0.1:0", 2, None, None, serviced_exe()).expect("spawn fleet");
     let (addr, pool) = fleet.serve_in_background();
     let mut client = ServiceClient::connect(addr).expect("connect");
     let cell = RemoteCell::synthetic(75.0, 70.0);
@@ -279,8 +281,151 @@ fn independent_stages_survive_a_shard_death() {
 }
 
 #[test]
+fn shared_result_cache_rescues_dependent_chains_from_a_dead_shard() {
+    // In-process reference numbers for the 5-stage netlist below.
+    let nets = path_nets();
+    let engine = TimingEngine::new(EngineConfig::default());
+    let cell = Arc::new(fixtures::synthetic_cell(STRONG.0, STRONG.1));
+    let mut session = engine.session();
+    for i in 0..2 {
+        session
+            .submit(
+                Stage::builder(
+                    cell.clone(),
+                    DistributedRlcLoad::new(nets.line, ff(10.0 + i as f64)).unwrap(),
+                )
+                .label(format!("independent-{i}"))
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap(),
+            )
+            .unwrap();
+    }
+    let producer = session
+        .submit(
+            Stage::builder(cell.clone(), RlcTreeLoad::new(nets.tree.clone()).unwrap())
+                .label("producer")
+                .input_slew(ps(100.0))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let middle = session
+        .submit(
+            Stage::builder(
+                cell.clone(),
+                DistributedRlcLoad::new(nets.line, ff(20.0)).unwrap(),
+            )
+            .label("middle")
+            .input_from_sink(producer, "rx_far")
+            .build()
+            .unwrap(),
+        )
+        .unwrap();
+    session
+        .submit(
+            Stage::builder(cell, LumpedCapLoad::new(ff(50.0)).unwrap())
+                .label("leaf")
+                .input_from(middle)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+    let reference: Vec<_> = session
+        .wait_all()
+        .into_iter()
+        .map(|(_, outcome)| outcome.expect("in-process stage succeeded"))
+        .collect();
+
+    let submit_all = |client: &mut ServiceClient| {
+        let cell = RemoteCell::synthetic(STRONG.0, STRONG.1);
+        for i in 0..2 {
+            client
+                .submit(
+                    RemoteStage::builder(cell, RemoteLoad::line(&nets.line, ff(10.0 + i as f64)))
+                        .label(format!("independent-{i}"))
+                        .input_slew(ps(100.0))
+                        .build(),
+                )
+                .unwrap();
+        }
+        let producer = client
+            .submit(
+                RemoteStage::builder(cell, RemoteLoad::from_tree(&nets.tree))
+                    .label("producer")
+                    .input_slew(ps(100.0))
+                    .build(),
+            )
+            .unwrap();
+        let middle = client
+            .submit(
+                RemoteStage::builder(cell, RemoteLoad::line(&nets.line, ff(20.0)))
+                    .label("middle")
+                    .input_from_sink(producer, "rx_far")
+                    .build(),
+            )
+            .unwrap();
+        client
+            .submit(
+                RemoteStage::builder(cell, RemoteLoad::lumped(ff(50.0)))
+                    .label("leaf")
+                    .input_from(middle)
+                    .build(),
+            )
+            .unwrap();
+    };
+
+    // The producer chain hashes onto one fixed shard; killing shard 0 in
+    // one fleet and shard 1 in another guarantees one of the two kills
+    // lands on the chain while it is in flight. With the workers sharing a
+    // stage-result store, the coordinator must replant the chain on the
+    // survivor (replaying whatever the dead shard already persisted)
+    // instead of failing it with SHARD_LOST — so *every* stage succeeds,
+    // bit-identical to the in-process run, in both fleets.
+    for kill_shard in [0usize, 1] {
+        let dir = std::env::temp_dir().join(format!(
+            "rlc-e2e-rescue-{kill_shard}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, Some(&dir), serviced_exe())
+            .expect("spawn fleet");
+        let (addr, pool) = fleet.serve_in_background();
+        let mut client = ServiceClient::connect(addr).expect("connect");
+        submit_all(&mut client);
+        pool.lock().unwrap().kill(kill_shard);
+        let results = client.wait_all().expect("wait_all survives a dead shard");
+        assert_eq!(results.len(), reference.len());
+        for (expected, result) in reference.iter().zip(&results) {
+            let report = result.as_ref().unwrap_or_else(|e| {
+                panic!(
+                    "stage '{}' must be rescued via the shared result store \
+                     (killed shard {kill_shard}), got: {e}",
+                    expected.label
+                )
+            });
+            assert_eq!(expected.label, report.label);
+            assert_eq!(
+                expected.delay.to_bits(),
+                report.delay.to_bits(),
+                "'{}' delay diverged after rescue",
+                expected.label
+            );
+            assert_eq!(
+                expected.slew.to_bits(),
+                report.slew.to_bits(),
+                "'{}' slew diverged after rescue",
+                expected.label
+            );
+        }
+        client.close().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
 fn typed_errors_cross_the_wire() {
-    let addr = Server::bind("127.0.0.1:0", None)
+    let addr = Server::bind("127.0.0.1:0", None, None)
         .expect("bind")
         .serve_in_background();
 
@@ -356,9 +501,10 @@ fn dangling_dependency_handles_are_rejected_by_the_coordinator() {
     // raw protocol frames: a submission naming a handle that was never
     // allocated must come back as a typed invalid-dependency error on both
     // the coordinator and the single-process server.
-    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let fleet =
+        ShardServer::spawn("127.0.0.1:0", 2, None, None, serviced_exe()).expect("spawn fleet");
     let (shard_addr, _pool) = fleet.serve_in_background();
-    let single_addr = Server::bind("127.0.0.1:0", None)
+    let single_addr = Server::bind("127.0.0.1:0", None, None)
         .expect("bind")
         .serve_in_background();
 
@@ -433,7 +579,7 @@ fn lint_round_trip_is_bit_identical_to_the_in_process_audit() {
     };
 
     // Single-process server.
-    let addr = Server::bind("127.0.0.1:0", None)
+    let addr = Server::bind("127.0.0.1:0", None, None)
         .expect("bind")
         .serve_in_background();
     let mut client = ServiceClient::connect(addr).expect("connect");
@@ -470,7 +616,8 @@ fn lint_round_trip_is_bit_identical_to_the_in_process_audit() {
 
     // The shard coordinator forwards the audit to a worker process and the
     // answer is still bit-identical.
-    let fleet = ShardServer::spawn("127.0.0.1:0", 2, None, serviced_exe()).expect("spawn fleet");
+    let fleet =
+        ShardServer::spawn("127.0.0.1:0", 2, None, None, serviced_exe()).expect("spawn fleet");
     let (addr, _pool) = fleet.serve_in_background();
     let mut client = ServiceClient::connect(addr).expect("connect shard");
     let remote = client.lint(remote_stage()).expect("sharded lint");

@@ -12,7 +12,7 @@ use rlc_service::wire::{read_frame, write_frame, MAX_PAYLOAD};
 use rlc_service::{code, Server};
 
 fn start_server() -> SocketAddr {
-    Server::bind("127.0.0.1:0", None)
+    Server::bind("127.0.0.1:0", None, None)
         .expect("bind test server")
         .serve_in_background()
 }

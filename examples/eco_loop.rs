@@ -1,0 +1,110 @@
+//! Incremental re-analysis (ECO loop): a persistent stage-result cache plus
+//! dependency-cone change propagation.
+//!
+//! An engineering change order (ECO) touches a handful of nets late in the
+//! flow; re-running full-chip timing for a one-net edit wastes almost all of
+//! the work. With [`EngineConfig::result_cache_dir`] set, every analyzed
+//! stage is persisted under a content-addressed key — driver cell, load
+//! topology, input identity (the *producer's* key for dependent stages, so
+//! identity chains transitively down the path), and every result-affecting
+//! engine knob. A later session replays hits from disk and re-simulates
+//! exactly the dependency cone downstream of whatever changed.
+//!
+//! This example analyzes a 16-stage repeater path three times through one
+//! cache directory:
+//!
+//! 1. **cold** — empty cache, all 16 stages simulate;
+//! 2. **ECO** — the receiver pin cap of `stage08` is doubled; only that
+//!    stage and its downstream cone (stages 8–15) re-simulate, the 8
+//!    upstream stages replay from the cache;
+//! 3. **warm** — the edited design re-analyzed unchanged: zero simulations.
+//!
+//! Replayed reports are bit-identical to a cold run: delays, slews and the
+//! driver-output waveform parameters are stored as raw `f64` bits, and
+//! derived quantities (far-end handoffs) recompute deterministically.
+//!
+//! Run with: `cargo run --release --example eco_loop`
+//! (the cache lives in `target/eco-result-cache`; delete it to force cold)
+
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, TimingEngine};
+
+const STAGES: usize = 16;
+const EDITED_STAGE: usize = 8;
+
+/// Builds and analyzes the 16-stage path; `edited` applies the ECO (a
+/// doubled receiver cap on `stage08`). Returns (stages simulated, cache
+/// hits, path delay in seconds).
+fn analyze_path(
+    engine: &TimingEngine,
+    edited: bool,
+) -> Result<(u64, u64, f64), Box<dyn std::error::Error>> {
+    // The synthetic fixture cell keeps the example fast and deterministic;
+    // a real flow would characterize cells via `engine.open_library()`.
+    let cell = rlc_ceff_suite::fixtures::synthetic_cell_75x();
+    let extractor = EmpiricalExtractor::cmos018();
+
+    let mut session = engine.session();
+    let mut previous = None;
+    let mut handles = Vec::with_capacity(STAGES);
+    for i in 0..STAGES {
+        // Every net is distinct (length and receiver cap vary per stage), so
+        // each stage has its own cache identity.
+        let line = extractor.extract(&WireGeometry::new(mm(0.5 + 0.1 * i as f64), um(0.8)));
+        let c_load = if edited && i == EDITED_STAGE {
+            ff(2.0 * (10.0 + i as f64))
+        } else {
+            ff(10.0 + i as f64)
+        };
+        let builder = Stage::builder(cell.clone(), DistributedRlcLoad::new(line, c_load)?)
+            .label(format!("stage{i:02}"));
+        let builder = match previous {
+            None => builder.input_slew(ps(100.0)),
+            Some(handle) => builder.input_from(handle),
+        };
+        let handle = session.submit(builder.build()?)?;
+        handles.push(handle);
+        previous = Some(handle);
+    }
+
+    let results = session.wait_all();
+    let first_t50 = results[0].1.as_ref().map(|r| r.input_t50).unwrap_or(0.0);
+    let mut path_delay = 0.0;
+    for (handle, outcome) in &results {
+        let report = outcome
+            .as_ref()
+            .map_err(|e| format!("stage {} failed: {e}", handle.index()))?;
+        path_delay = (report.input_t50 - first_t50) + report.delay;
+    }
+    Ok((
+        session.stages_simulated(),
+        session.result_cache_hits(),
+        path_delay,
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cache_dir = std::env::var("RLC_RESULT_CACHE_DIR")
+        .unwrap_or_else(|_| "target/eco-result-cache".to_string());
+    let engine = TimingEngine::new(EngineConfig::builder().result_cache_dir(&cache_dir).build());
+    println!("ECO loop over a {STAGES}-stage repeater path (result cache: {cache_dir})");
+    println!();
+
+    let passes: [(&str, bool); 3] = [
+        ("pass 1 (cold)", false),
+        ("pass 2 (ECO: stage08 receiver cap doubled)", true),
+        ("pass 3 (warm re-analysis of the edited design)", true),
+    ];
+    for (name, edited) in passes {
+        let (simulated, hits, path_delay) = analyze_path(&engine, edited)?;
+        println!(
+            "{name}: stages re-simulated: {simulated}/{STAGES} (cache hits: {hits}), \
+             path delay: {:.3} ps",
+            path_delay * 1e12
+        );
+    }
+    println!();
+    println!("The edit invalidates exactly its dependency cone: the 8 upstream stages");
+    println!("replay from disk, and the fully-warm third pass touches no backend at all.");
+    Ok(())
+}

@@ -141,6 +141,10 @@ pub struct StageReport {
     pub lints: Vec<Diagnostic>,
     /// Wall-clock time the analysis took (seconds).
     pub elapsed_seconds: f64,
+    /// Provenance: `true` when this report was replayed from the persistent
+    /// stage-result cache ([`crate::StageResultCache`]) instead of being
+    /// computed by a backend. Cached reports carry `analytic: None`.
+    pub cache_hit: bool,
 }
 
 impl StageReport {
@@ -351,6 +355,7 @@ fn analytic_stage_report(
             criteria: model.criteria,
         }),
         elapsed_seconds: started.elapsed().as_secs_f64(),
+        cache_hit: false,
     })
 }
 
@@ -495,6 +500,7 @@ impl AnalysisBackend for SpiceBackend {
             lints,
             analytic: None,
             elapsed_seconds: started.elapsed().as_secs_f64(),
+            cache_hit: false,
         })
     }
 }

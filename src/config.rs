@@ -51,6 +51,14 @@ pub struct EngineConfig {
     /// persist every miss, so only the first process ever pays the cold
     /// start. `None` (the default) keeps characterization in-memory only.
     pub cache_dir: Option<PathBuf>,
+    /// Directory of the persistent stage-*result* cache
+    /// ([`crate::StageResultCache`]). When set, every
+    /// [`crate::AnalysisSession`] of this engine consults the store before
+    /// dispatching a stage to a backend and persists every miss, so an ECO
+    /// re-analysis re-simulates only the edited stage's dependency cone.
+    /// Many processes (e.g. `rlc-serviced` shards) may share one directory.
+    /// `None` (the default) disables result caching.
+    pub result_cache_dir: Option<PathBuf>,
     /// Static-analysis enforcement: `Deny` (the default) runs the
     /// `rlc-lint` audit over every stage's load netlist before any
     /// simulation and rejects Error-severity findings as
@@ -70,6 +78,7 @@ impl Default for EngineConfig {
             golden: GoldenOptions::default(),
             threads: 0,
             cache_dir: None,
+            result_cache_dir: None,
             lint_level: LintLevel::default(),
         }
     }
@@ -270,6 +279,15 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Persistent stage-result cache directory (created on first use).
+    /// Sessions of this engine then short-circuit unchanged stages from
+    /// disk, re-simulating only the dependency cone of an edit — the
+    /// incremental (ECO) re-analysis mode. Off by default.
+    pub fn result_cache_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.config.result_cache_dir = Some(dir.into());
+        self
+    }
+
     /// Static-analysis enforcement level (default [`LintLevel::Deny`]).
     pub fn lint_level(mut self, level: LintLevel) -> Self {
         self.config.lint_level = level;
@@ -296,6 +314,7 @@ mod tests {
             .strategy(CeffStrategy::ForceTwoRamp)
             .threads(3)
             .cache_dir("target/test-char-cache")
+            .result_cache_dir("target/test-result-cache")
             .build();
         assert_eq!(config.iteration.rel_tolerance, 1e-6);
         assert_eq!(config.iteration.max_iterations, 42);
@@ -309,8 +328,13 @@ mod tests {
         );
         // Untouched knobs keep their defaults.
         assert_eq!(config.criteria, InductanceCriteria::default());
-        // The cache is opt-in.
+        assert_eq!(
+            config.result_cache_dir.as_deref(),
+            Some(std::path::Path::new("target/test-result-cache"))
+        );
+        // Both caches are opt-in.
         assert_eq!(EngineConfig::default().cache_dir, None);
+        assert_eq!(EngineConfig::default().result_cache_dir, None);
     }
 
     #[test]

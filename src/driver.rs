@@ -54,6 +54,15 @@ pub trait DriverModel: std::fmt::Debug + Send + Sync {
     /// simulations.
     fn to_source(&self, t_stop: f64) -> SourceWaveform;
 
+    /// An exact persistable description of this waveform for the
+    /// stage-result cache ([`crate::StageResultCache`]): the model parameters
+    /// (or samples) that reconstruct it bit-identically. Returns `None` (the
+    /// default) for waveform types the cache does not know; reports carrying
+    /// such waveforms are simply never persisted.
+    fn cache_descriptor(&self) -> Option<crate::eco::WaveformDescriptor> {
+        None
+    }
+
     /// One-line human-readable description.
     fn describe(&self) -> String;
 }
@@ -77,6 +86,14 @@ impl DriverModel for SingleRampModel {
 
     fn to_source(&self, t_stop: f64) -> SourceWaveform {
         SingleRampModel::to_source(self, t_stop)
+    }
+
+    fn cache_descriptor(&self) -> Option<crate::eco::WaveformDescriptor> {
+        Some(crate::eco::WaveformDescriptor::SingleRamp {
+            vdd: self.vdd,
+            tr: self.tr,
+            start_time: self.start_time,
+        })
     }
 
     fn describe(&self) -> String {
@@ -103,6 +120,16 @@ impl DriverModel for TwoRampModel {
 
     fn to_source(&self, t_stop: f64) -> SourceWaveform {
         TwoRampModel::to_source(self, t_stop)
+    }
+
+    fn cache_descriptor(&self) -> Option<crate::eco::WaveformDescriptor> {
+        Some(crate::eco::WaveformDescriptor::TwoRamp {
+            vdd: self.vdd,
+            f: self.f,
+            tr1: self.tr1,
+            tr2: self.tr2,
+            start_time: self.start_time,
+        })
     }
 
     fn describe(&self) -> String {
@@ -199,6 +226,14 @@ impl DriverModel for SampledWaveform {
             }
         }
         SourceWaveform::pwl(pts)
+    }
+
+    fn cache_descriptor(&self) -> Option<crate::eco::WaveformDescriptor> {
+        Some(crate::eco::WaveformDescriptor::Sampled {
+            vdd: self.vdd,
+            times: self.waveform.times().to_vec(),
+            values: self.waveform.values().to_vec(),
+        })
     }
 
     fn describe(&self) -> String {

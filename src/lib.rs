@@ -81,6 +81,7 @@ mod backend;
 mod compat;
 mod config;
 mod driver;
+pub mod eco;
 mod engine;
 mod error;
 mod lints;
@@ -97,6 +98,9 @@ pub use backend::{
 pub use compat::BatchReport;
 pub use config::{CeffStrategy, EngineConfig, EngineConfigBuilder, SessionOptions};
 pub use driver::{DriverModel, SampledWaveform};
+pub use eco::{
+    driver_fingerprint, stage_key, InputFingerprint, StageKey, StageResultCache, WaveformDescriptor,
+};
 pub use engine::TimingEngine;
 pub use error::EngineError;
 pub use load::{
@@ -120,6 +124,10 @@ pub mod prelude {
     pub use crate::compat::BatchReport;
     pub use crate::config::{CeffStrategy, EngineConfig, EngineConfigBuilder, SessionOptions};
     pub use crate::driver::{DriverModel, SampledWaveform};
+    pub use crate::eco::{
+        driver_fingerprint, stage_key, InputFingerprint, StageKey, StageResultCache,
+        WaveformDescriptor,
+    };
     pub use crate::engine::TimingEngine;
     pub use crate::error::EngineError;
     pub use crate::load::{

@@ -143,8 +143,31 @@ pub trait LoadModel: std::fmt::Debug + Send + Sync {
         None
     }
 
+    /// A stable content fingerprint of the load — a hash over a type tag
+    /// plus every element value — used to key the persistent stage-result
+    /// cache ([`crate::StageResultCache`]). Two loads with the same
+    /// fingerprint must be electrically identical.
+    ///
+    /// Returns `None` (the default) when the load has no faithful
+    /// fingerprint; stages driving such loads are never cached and always
+    /// re-simulate, which degrades performance but never correctness.
+    /// Downstream implementations may hash their parameters with any stable
+    /// scheme — the value is opaque to the engine.
+    fn cache_fingerprint(&self) -> Option<u64> {
+        None
+    }
+
     /// One-line human-readable description.
     fn describe(&self) -> String;
+}
+
+/// Fingerprints one line's four element values into `e` for
+/// [`LoadModel::cache_fingerprint`].
+fn fingerprint_line(e: &mut crate::eco::Enc, line: &RlcLine) {
+    e.f64(line.resistance());
+    e.f64(line.inductance());
+    e.f64(line.capacitance());
+    e.f64(line.length());
 }
 
 /// `line` with its total parasitics rescaled per `spec` (geometry is
@@ -219,6 +242,13 @@ impl LoadModel for LumpedCapLoad {
         Some(Arc::new(LumpedCapLoad {
             c: self.c * spec.c_scale,
         }))
+    }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(1);
+        e.f64(self.c);
+        Some(crate::eco::fnv(&e.finish()))
     }
 
     fn describe(&self) -> String {
@@ -312,6 +342,15 @@ impl LoadModel for PiModelLoad {
         }))
     }
 
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(2);
+        e.f64(self.pi.c_near);
+        e.f64(self.pi.resistance);
+        e.f64(self.pi.c_far);
+        Some(crate::eco::fnv(&e.finish()))
+    }
+
     fn describe(&self) -> String {
         format!(
             "pi load: Cn = {:.1} fF, R = {:.1} ohm, Cf = {:.1} fF",
@@ -392,6 +431,14 @@ impl LoadModel for DistributedRlcLoad {
             line: scale_line(&self.line, spec),
             c_load: self.c_load * spec.c_scale,
         }))
+    }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(3);
+        fingerprint_line(&mut e, &self.line);
+        e.f64(self.c_load);
+        Some(crate::eco::fnv(&e.finish()))
     }
 
     fn describe(&self) -> String {
@@ -529,6 +576,26 @@ impl LoadModel for RlcTreeLoad {
             tree.set_sink(ids[id.index()], &sink.name, sink.c_load * spec.c_scale);
         }
         Some(Arc::new(RlcTreeLoad { tree }))
+    }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(4);
+        e.u64(self.tree.num_branches() as u64);
+        for (_, branch) in self.tree.branches() {
+            match branch.parent() {
+                None => e.u64(u64::MAX),
+                Some(p) => e.u64(p.index() as u64),
+            }
+            fingerprint_line(&mut e, branch.line());
+        }
+        e.u64(self.tree.num_sinks() as u64);
+        for (id, sink) in self.tree.sinks() {
+            e.u64(id.index() as u64);
+            e.str(&sink.name);
+            e.f64(sink.c_load);
+        }
+        Some(crate::eco::fnv(&e.finish()))
     }
 
     fn describe(&self) -> String {
@@ -709,6 +776,26 @@ impl LoadModel for CoupledBusLoad {
         }))
     }
 
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(5);
+        fingerprint_line(&mut e, self.bus.victim());
+        fingerprint_line(&mut e, self.bus.aggressor());
+        e.f64(self.bus.coupling_capacitance());
+        e.f64(self.bus.mutual_inductance());
+        e.f64(self.bus.victim_load());
+        e.f64(self.bus.aggressor_load());
+        e.u8(match self.aggressor.switching {
+            AggressorSwitching::Quiet => 0,
+            AggressorSwitching::SameDirection => 1,
+            AggressorSwitching::OppositeDirection => 2,
+        });
+        e.f64(self.aggressor.slew);
+        e.f64(self.aggressor.delay);
+        e.f64(self.aggressor.amplitude);
+        Some(crate::eco::fnv(&e.finish()))
+    }
+
     fn describe(&self) -> String {
         format!(
             "{} | aggressor {:?} (slew {:.0} ps)",
@@ -790,6 +877,13 @@ impl LoadModel for MomentsLoad {
         // No netlist, no observable sinks: sessions reject dependent stages
         // that try to chain off a moment-space producer at submit time.
         Vec::new()
+    }
+
+    fn cache_fingerprint(&self) -> Option<u64> {
+        let mut e = crate::eco::Enc::default();
+        e.u8(6);
+        e.f64s(&self.moments);
+        Some(crate::eco::fnv(&e.finish()))
     }
 
     fn describe(&self) -> String {

@@ -180,6 +180,12 @@ struct SlotData {
     /// them to the report without synthesizing and auditing the netlist a
     /// second time.
     lints: Vec<rlc_numeric::Diagnostic>,
+    /// The stage's result-cache key, recorded by the worker (hit or miss)
+    /// before the slot completes so dependents can chain it into their own
+    /// keys. `None` while pending, when result caching is off, or when the
+    /// stage cannot be fingerprinted (custom backend/load, uncacheable
+    /// producer).
+    cache_key: Option<crate::eco::StageKey>,
     phase: Phase,
 }
 
@@ -194,6 +200,7 @@ impl SlotData {
             sinks_cache: None,
             handoff_gate: Arc::new(Mutex::new(())),
             lints: Vec::new(),
+            cache_key: None,
             phase: Phase::Reserved,
         }
     }
@@ -217,6 +224,17 @@ struct Shared {
     deadline: Option<Instant>,
     options: SessionOptions,
     engine: TimingEngine,
+    /// The persistent stage-result store, opened from
+    /// [`crate::EngineConfig::result_cache_dir`]. `None` when result caching
+    /// is off (or the directory could not be created — caching is an
+    /// optimization, so an unusable store silently degrades to re-simulation
+    /// like any damaged entry would).
+    result_cache: Option<crate::eco::StageResultCache>,
+    /// Number of stages dispatched to a backend (result-cache misses plus
+    /// uncacheable stages).
+    simulated: AtomicU64,
+    /// Number of stages short-circuited from the result cache.
+    result_hits: AtomicU64,
 }
 
 impl Shared {
@@ -260,6 +278,11 @@ impl AnalysisSession {
             }
             .max(1)
         };
+        let result_cache = engine
+            .config()
+            .result_cache_dir
+            .clone()
+            .and_then(|dir| crate::eco::StageResultCache::open(dir).ok());
         let shared = Arc::new(Shared {
             id,
             state: Mutex::new(State {
@@ -275,6 +298,9 @@ impl AnalysisSession {
             deadline: options.deadline.map(|d| Instant::now() + d),
             options,
             engine,
+            result_cache,
+            simulated: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
         });
         AnalysisSession {
             shared,
@@ -527,6 +553,21 @@ impl AnalysisSession {
                 )
             })
             .collect()
+    }
+
+    /// Number of stages this session dispatched to an analysis backend —
+    /// result-cache misses plus uncacheable stages. With a warm
+    /// [`crate::StageResultCache`] and no edits this stays at zero for a
+    /// full re-analysis.
+    pub fn stages_simulated(&self) -> u64 {
+        self.shared.simulated.load(Ordering::Relaxed)
+    }
+
+    /// Number of stages short-circuited from the persistent result cache
+    /// ([`crate::EngineConfigBuilder::result_cache_dir`]). Always zero when
+    /// result caching is off.
+    pub fn result_cache_hits(&self) -> u64 {
+        self.shared.result_hits.load(Ordering::Relaxed)
     }
 
     /// Cancels everything that has not started running: queued and waiting
@@ -856,6 +897,35 @@ fn worker_loop(shared: &Shared) {
                 st = wait_for_work(shared, st);
             }
         };
+        // Incremental mode: compute the stage's content-addressed identity
+        // (dependents chain their producer's recorded key, so identity flows
+        // transitively down the cone) and replay a stored report on a hit.
+        // The hit path skips resolve_input entirely — an unchanged cone
+        // never runs a far-end propagation, let alone a backend.
+        let key = stage_cache_key(shared, &stage);
+        if let Some(key) = &key {
+            let hit = shared
+                .result_cache
+                .as_ref()
+                .and_then(|cache| cache.load(key, stage.label()));
+            if let Some(report) = hit {
+                shared.result_hits.fetch_add(1, Ordering::Relaxed);
+                let stream = Ok(report.clone());
+                let mut st = shared.state.lock().expect("session state");
+                st.slots[index].cache_key = Some(*key);
+                complete_with_stream(
+                    &mut st,
+                    &shared.work,
+                    shared.id,
+                    index,
+                    Ok(report),
+                    stream,
+                    Some(stage),
+                );
+                continue;
+            }
+        }
+        shared.simulated.fetch_add(1, Ordering::Relaxed);
         // The handoff propagation in resolve_input runs the same simulation
         // code the engine defends with catch_unwind; contain panics here the
         // same way, or a panicking handoff would kill the worker with the
@@ -878,10 +948,16 @@ fn worker_loop(shared: &Shared) {
                 detail: crate::engine::panic_message(payload.as_ref()),
             })
         });
+        // Persist the freshly simulated report before completing the slot
+        // (store failures degrade to "not cached", never to a stage error).
+        if let (Some(cache), Some(key), Ok(report)) = (&shared.result_cache, &key, &result) {
+            let _ = cache.store(key, report);
+        }
         // Deep-copy the report for the completion stream while no lock is
         // held; only the bookkeeping below happens under the mutex.
         let stream = result.clone();
         let mut st = shared.state.lock().expect("session state");
+        st.slots[index].cache_key = key;
         complete_with_stream(
             &mut st,
             &shared.work,
@@ -892,6 +968,31 @@ fn worker_loop(shared: &Shared) {
             Some(stage),
         );
     }
+}
+
+/// Computes the result-cache key of a stage about to run: a fixed input
+/// event fingerprints directly; a dependent stage chains its producer's
+/// recorded key (always available — producers complete before dependents are
+/// queued). An uncacheable producer (custom backend/load) makes the whole
+/// downstream cone uncacheable, which is exactly the conservative behavior
+/// we want: never replay what we could not have identified.
+fn stage_cache_key(shared: &Shared, stage: &Stage) -> Option<crate::eco::StageKey> {
+    shared.result_cache.as_ref()?;
+    let producer_key = |p: &StageHandle| -> Option<u64> {
+        let st = shared.state.lock().expect("session state");
+        st.slots[p.index()].cache_key.map(|k| k.value())
+    };
+    let input = match stage.input_source() {
+        InputSource::Event(event) => crate::eco::InputFingerprint::Fixed(*event),
+        InputSource::FromFarEnd { stage: p } => crate::eco::InputFingerprint::FarEnd {
+            producer: producer_key(p)?,
+        },
+        InputSource::FromSink { stage: p, sink } => crate::eco::InputFingerprint::Sink {
+            producer: producer_key(p)?,
+            sink: sink.as_str(),
+        },
+    };
+    crate::eco::stage_key(stage, input, shared.engine.config(), &shared.options)
 }
 
 fn wait_for_work<'a>(shared: &'a Shared, st: MutexGuard<'a, State>) -> MutexGuard<'a, State> {

@@ -1,0 +1,138 @@
+//! Incremental re-analysis proof: editing one stage of a dependent path
+//! re-simulates exactly that stage plus its downstream dependency cone —
+//! nothing upstream, nothing on sibling branches — and the mixed
+//! replayed/re-simulated result is bit-identical to a cold full re-analysis
+//! of the edited design.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rlc_ceff_suite::fixtures::synthetic_cell_75x;
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::{DistributedRlcLoad, EngineConfig, Stage, StageReport, TimingEngine};
+
+const CHAIN: usize = 16;
+const EDITED: usize = 8;
+const SIBLING_TAP: usize = 4;
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlc-eco-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Analyzes the 16-stage chain plus a sibling branch tapped off stage 4.
+/// `edit` changes stage 8's receiver cap. Returns the 17 reports in
+/// submission order plus (simulated, hits).
+fn analyze(dir: &Path, edit: bool) -> (Vec<StageReport>, u64, u64) {
+    let engine = TimingEngine::new(EngineConfig::builder().result_cache_dir(dir).build());
+    let cell = synthetic_cell_75x();
+    let extractor = EmpiricalExtractor::cmos018();
+    let load = |i: usize, c_load: f64| {
+        let line = extractor.extract(&WireGeometry::new(mm(0.5 + 0.1 * i as f64), um(0.8)));
+        DistributedRlcLoad::new(line, c_load).unwrap()
+    };
+
+    let mut session = engine.session();
+    let mut handles = Vec::with_capacity(CHAIN + 1);
+    for i in 0..CHAIN {
+        let c_load = if edit && i == EDITED {
+            ff(2.0 * (10.0 + i as f64))
+        } else {
+            ff(10.0 + i as f64)
+        };
+        let builder = Stage::builder(cell.clone(), load(i, c_load)).label(format!("stage{i:02}"));
+        let builder = match handles.last() {
+            None => builder.input_slew(ps(100.0)),
+            Some(&h) => builder.input_from(h),
+        };
+        handles.push(session.submit(builder.build().unwrap()).unwrap());
+    }
+    // The sibling taps the chain *upstream* of the edit: it must stay warm.
+    session
+        .submit(
+            Stage::builder(cell, load(20, ff(55.0)))
+                .label("sibling")
+                .input_from(handles[SIBLING_TAP])
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+
+    let reports = session
+        .wait_all()
+        .into_iter()
+        .map(|(_, outcome)| outcome.unwrap())
+        .collect();
+    (
+        reports,
+        session.stages_simulated(),
+        session.result_cache_hits(),
+    )
+}
+
+fn assert_same_numbers(a: &StageReport, b: &StageReport) {
+    assert_eq!(a.label, b.label);
+    assert_eq!(
+        a.delay.to_bits(),
+        b.delay.to_bits(),
+        "{}: delay must be bit-identical",
+        a.label
+    );
+    assert_eq!(a.slew.to_bits(), b.slew.to_bits(), "{}", a.label);
+    assert_eq!(a.input_t50.to_bits(), b.input_t50.to_bits(), "{}", a.label);
+    assert_eq!(a.used_two_ramp, b.used_two_ramp);
+}
+
+#[test]
+fn an_edit_re_simulates_exactly_the_dependency_cone() {
+    let dir = tmp_dir("cone");
+
+    // Cold: everything simulates.
+    let (cold, simulated, hits) = analyze(&dir, false);
+    assert_eq!((simulated, hits), (CHAIN as u64 + 1, 0));
+    assert!(cold.iter().all(|r| !r.cache_hit));
+
+    // Edit stage 8: only stages 8..16 (the downstream cone) re-simulate;
+    // stages 0..8 and the sibling branch replay from the cache.
+    let (edited, simulated, hits) = analyze(&dir, true);
+    assert_eq!(
+        simulated,
+        (CHAIN - EDITED) as u64,
+        "exactly the edited stage and its downstream cone re-simulate"
+    );
+    assert_eq!(hits, EDITED as u64 + 1, "upstream + sibling replay");
+    for (i, report) in edited.iter().enumerate() {
+        let expect_hit = i < EDITED || i == CHAIN; // upstream chain + sibling
+        assert_eq!(
+            report.cache_hit, expect_hit,
+            "stage {i} ({}) hit={} but the cone says {}",
+            report.label, report.cache_hit, expect_hit
+        );
+    }
+    // Upstream numbers are untouched by the edit; the cone's changed.
+    for i in 0..EDITED {
+        assert_same_numbers(&cold[i], &edited[i]);
+    }
+    assert_ne!(cold[EDITED].delay.to_bits(), edited[EDITED].delay.to_bits());
+
+    // The mixed replayed/re-simulated analysis is bit-identical to a cold
+    // full re-analysis of the edited design in a fresh cache directory.
+    let fresh_dir = tmp_dir("cone-fresh");
+    let (fresh, simulated, hits) = analyze(&fresh_dir, true);
+    assert_eq!((simulated, hits), (CHAIN as u64 + 1, 0));
+    for (mixed, full) in edited.iter().zip(&fresh) {
+        assert_same_numbers(mixed, full);
+    }
+
+    // Fully warm re-analysis of the edited design: zero simulations.
+    let (warm, simulated, hits) = analyze(&dir, true);
+    assert_eq!((simulated, hits), (0, CHAIN as u64 + 1));
+    assert!(warm.iter().all(|r| r.cache_hit));
+    for (mixed, replayed) in edited.iter().zip(&warm) {
+        assert_same_numbers(mixed, replayed);
+    }
+
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&fresh_dir);
+}

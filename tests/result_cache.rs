@@ -1,0 +1,309 @@
+//! Integration tests of the persistent stage-result cache
+//! ([`rlc_ceff_suite::StageResultCache`]) through the session front: warm
+//! sessions must replay bit-identical reports without touching a backend,
+//! damaged stores must silently fall back to re-simulation and heal, and
+//! concurrent writers must never leave a torn file behind — mirroring the
+//! charlib `CharCache` damage suite one layer up.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rlc_ceff_suite::fixtures::synthetic_cell_75x;
+use rlc_ceff_suite::interconnect::prelude::*;
+use rlc_ceff_suite::{
+    stage_key, DistributedRlcLoad, EngineConfig, InputFingerprint, SessionOptions, Stage,
+    StageReport, StageResultCache, TimingEngine,
+};
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rlc-result-cache-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+fn fixed_stage(label: &str, c_load: f64) -> Stage {
+    let line = EmpiricalExtractor::cmos018().extract(&WireGeometry::new(mm(2.0), um(1.6)));
+    Stage::builder(
+        synthetic_cell_75x(),
+        DistributedRlcLoad::new(line, c_load).unwrap(),
+    )
+    .label(label)
+    .input_slew(ps(100.0))
+    .build()
+    .unwrap()
+}
+
+fn engine_with_cache(dir: &Path) -> TimingEngine {
+    TimingEngine::new(EngineConfig::builder().result_cache_dir(dir).build())
+}
+
+/// Runs one single-stage session; returns the report plus the session's
+/// (stages simulated, cache hits) counters.
+fn run_once(engine: &TimingEngine, stage: Stage) -> (StageReport, u64, u64) {
+    let mut session = engine.session();
+    session.submit(stage).unwrap();
+    let results = session.wait_all();
+    let report = results[0].1.clone().unwrap();
+    (
+        report,
+        session.stages_simulated(),
+        session.result_cache_hits(),
+    )
+}
+
+fn assert_bit_identical(a: &StageReport, b: &StageReport) {
+    assert_eq!(a.label, b.label);
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(
+        a.delay.to_bits(),
+        b.delay.to_bits(),
+        "delay must replay exactly"
+    );
+    assert_eq!(
+        a.slew.to_bits(),
+        b.slew.to_bits(),
+        "slew must replay exactly"
+    );
+    assert_eq!(a.input_t50.to_bits(), b.input_t50.to_bits());
+    assert_eq!(a.vdd.to_bits(), b.vdd.to_bits());
+    assert_eq!(a.used_two_ramp, b.used_two_ramp);
+    assert_eq!(a.lints.len(), b.lints.len());
+    // The waveform is rebuilt from its exact model parameters: it must
+    // evaluate bit-identically everywhere, not just describe alike.
+    assert_eq!(a.waveform.describe(), b.waveform.describe());
+    for &t in &[0.0, ps(50.0), ps(123.4), ps(400.0), ps(900.0)] {
+        assert_eq!(a.waveform.v(t).to_bits(), b.waveform.v(t).to_bits());
+    }
+}
+
+/// The single `stage-*.bin` entry in a cache directory.
+fn only_entry(dir: &Path) -> PathBuf {
+    let entries: Vec<PathBuf> = fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .map(|n| {
+                    let n = n.to_string_lossy();
+                    n.starts_with("stage-") && n.ends_with(".bin")
+                })
+                .unwrap_or(false)
+        })
+        .collect();
+    assert_eq!(entries.len(), 1, "expected exactly one entry: {entries:?}");
+    entries.into_iter().next().unwrap()
+}
+
+#[test]
+fn warm_session_replays_bit_identically_without_simulating() {
+    let dir = tmp_dir("warm");
+
+    let cold = engine_with_cache(&dir);
+    let (first, simulated, hits) = run_once(&cold, fixed_stage("warm", ff(120.0)));
+    assert_eq!((simulated, hits), (1, 0));
+    assert!(!first.cache_hit, "a cold run is not a replay");
+
+    // A fresh engine over the same directory replays without simulating.
+    let warm = engine_with_cache(&dir);
+    let (replayed, simulated, hits) = run_once(&warm, fixed_stage("warm", ff(120.0)));
+    assert_eq!((simulated, hits), (0, 1), "warm start must not simulate");
+    assert!(replayed.cache_hit);
+    assert_bit_identical(&first, &replayed);
+    // Iteration internals are signoff detail, not replayed.
+    assert!(replayed.analytic.is_none());
+
+    // Caching off (no result_cache_dir): same stage simulates again.
+    let plain = TimingEngine::new(EngineConfig::default());
+    let (report, simulated, hits) = run_once(&plain, fixed_stage("warm", ff(120.0)));
+    assert_eq!((simulated, hits), (1, 0));
+    assert!(!report.cache_hit);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn every_kind_of_damage_reads_as_a_miss_then_heals() {
+    let dir = tmp_dir("damaged");
+    let engine = engine_with_cache(&dir);
+    let (original, ..) = run_once(&engine, fixed_stage("dmg", ff(80.0)));
+    let entry = only_entry(&dir);
+    let good = fs::read(&entry).unwrap();
+
+    let mut bit_flip = good.clone();
+    let mid = bit_flip.len() / 2;
+    bit_flip[mid] ^= 0x01;
+    let mut stale_version = good.clone();
+    stale_version[8] ^= 0xff; // first byte of the little-endian format version
+    let mut trailing = good.clone();
+    trailing.extend_from_slice(b"garbage");
+
+    let damages: Vec<(&str, Vec<u8>)> = vec![
+        ("empty file", Vec::new()),
+        ("truncated inside the header", good[..7].to_vec()),
+        (
+            "truncated inside the payload",
+            good[..good.len() / 3].to_vec(),
+        ),
+        ("truncated checksum", good[..good.len() - 1].to_vec()),
+        ("stale format version", stale_version),
+        ("payload bit flip", bit_flip),
+        ("trailing garbage", trailing),
+    ];
+    for (what, bytes) in damages {
+        fs::write(&entry, &bytes).unwrap();
+        // Damage reads as a miss: the session silently re-simulates …
+        let (report, simulated, hits) = run_once(&engine, fixed_stage("dmg", ff(80.0)));
+        assert_eq!(
+            (simulated, hits),
+            (1, 0),
+            "{what} must fall back to simulation"
+        );
+        assert!(!report.cache_hit, "{what}");
+        assert_bit_identical(&original, &report);
+        // … and heals the entry on the way out: the *next* run replays.
+        let (healed, simulated, hits) = run_once(&engine, fixed_stage("dmg", ff(80.0)));
+        assert_eq!((simulated, hits), (0, 1), "{what} must heal the entry");
+        assert!(healed.cache_hit, "{what}");
+        assert_bit_identical(&original, &healed);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn foreign_entry_under_our_key_is_never_a_wrong_hit() {
+    let dir = tmp_dir("foreign");
+    let engine = engine_with_cache(&dir);
+    run_once(&engine, fixed_stage("victim", ff(80.0)));
+    let victim_entry = only_entry(&dir);
+
+    // Park a *different* stage's (perfectly valid) entry under the victim's
+    // key, as a stray rename or key collision would. The checksum is intact,
+    // so only the component echo inside the payload can catch this.
+    let other_dir = tmp_dir("foreign-other");
+    let other_engine = engine_with_cache(&other_dir);
+    run_once(&other_engine, fixed_stage("victim", ff(220.0)));
+    fs::copy(only_entry(&other_dir), &victim_entry).unwrap();
+
+    let (report, simulated, hits) = run_once(&engine, fixed_stage("victim", ff(80.0)));
+    assert_eq!(
+        (simulated, hits),
+        (1, 0),
+        "a foreign entry must be ignored, not returned"
+    );
+    assert!(!report.cache_hit);
+    let _ = fs::remove_dir_all(&dir);
+    let _ = fs::remove_dir_all(&other_dir);
+}
+
+#[test]
+fn config_change_invalidates_but_scheduling_knobs_do_not() {
+    let dir = tmp_dir("config");
+    let engine = engine_with_cache(&dir);
+    run_once(&engine, fixed_stage("cfg", ff(80.0)));
+
+    // A result-affecting knob (iteration tolerance) must miss.
+    let mut strict = EngineConfig {
+        result_cache_dir: Some(dir.clone()),
+        ..EngineConfig::default()
+    };
+    strict.iteration.rel_tolerance /= 10.0;
+    let (_, simulated, hits) = run_once(&TimingEngine::new(strict), fixed_stage("cfg", ff(80.0)));
+    assert_eq!(
+        (simulated, hits),
+        (1, 0),
+        "tolerance change must invalidate"
+    );
+
+    // A scheduling knob (worker cap) must not: same analysis, same key.
+    let engine = engine_with_cache(&dir);
+    let mut session = engine.session_with(SessionOptions {
+        max_in_flight: 1,
+        ..SessionOptions::default()
+    });
+    session.submit(fixed_stage("cfg", ff(80.0))).unwrap();
+    let results = session.wait_all();
+    assert!(results[0].1.is_ok());
+    assert_eq!(
+        session.result_cache_hits(),
+        1,
+        "scheduling knobs are not identity"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_writers_round_trip_cleanly() {
+    let dir = tmp_dir("concurrent");
+    let engine = TimingEngine::new(EngineConfig::default());
+    let stage = fixed_stage("hammer", ff(150.0));
+    let report = engine.analyze(&stage).unwrap();
+    let key = stage_key(
+        &stage,
+        InputFingerprint::Fixed(stage.input()),
+        engine.config(),
+        &SessionOptions::default(),
+    )
+    .unwrap();
+
+    // Two writers hammer the same key while a reader polls it: atomic
+    // write-rename means every successful load decodes to exactly the
+    // written report — a torn file either fails the decode (miss,
+    // acceptable) or would produce different numbers (never acceptable).
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let (dir, key, report) = (&dir, &key, &report);
+            scope.spawn(move || {
+                let cache = StageResultCache::open(dir).unwrap();
+                for _ in 0..50 {
+                    cache.store(key, report).unwrap();
+                }
+            });
+        }
+        let (dir, key, report) = (&dir, &key, &report);
+        scope.spawn(move || {
+            let cache = StageResultCache::open(dir).unwrap();
+            for _ in 0..200 {
+                if let Some(loaded) = cache.load(key, "hammer") {
+                    assert_eq!(loaded.delay.to_bits(), report.delay.to_bits());
+                    assert_eq!(loaded.slew.to_bits(), report.slew.to_bits());
+                }
+            }
+        });
+    });
+
+    // After the dust settles the entry replays and no temp files leak.
+    let cache = StageResultCache::open(&dir).unwrap();
+    let loaded = cache.load(&key, "hammer").unwrap();
+    assert_bit_identical(&report, &loaded);
+    assert!(loaded.cache_hit);
+    let leftovers: Vec<_> = fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .collect();
+    assert!(
+        leftovers.is_empty(),
+        "temp files must not leak: {leftovers:?}"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unusable_cache_dir_is_an_open_error_but_never_a_session_error() {
+    let dir = tmp_dir("unusable");
+    fs::create_dir_all(&dir).unwrap();
+    let blocker = dir.join("blocker");
+    fs::write(&blocker, b"not a directory").unwrap();
+    let inside = blocker.join("cache");
+
+    // Opening directly reports the failure …
+    assert!(StageResultCache::open(&inside).is_err());
+
+    // … but a session configured with the same unusable path silently runs
+    // uncached: caching is an optimization, never a correctness gate.
+    let engine = engine_with_cache(&inside);
+    let (report, simulated, hits) = run_once(&engine, fixed_stage("nocache", ff(80.0)));
+    assert_eq!((simulated, hits), (1, 0));
+    assert!(!report.cache_hit);
+    let _ = fs::remove_dir_all(&dir);
+}
